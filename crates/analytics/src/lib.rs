@@ -1,0 +1,29 @@
+//! Additional vertex programs on the simulated D-Galois substrate.
+//!
+//! D-Galois is a *general* distributed graph-analytics system — the MRBC
+//! paper implements betweenness centrality in it, but the same
+//! partition/proxy/synchronization machinery runs any vertex program.
+//! This crate demonstrates that generality (and stress-tests the
+//! `mrbc-dgalois` substrate from independent directions) with three
+//! classic programs, each returning its results plus the same
+//! [`BspStats`] the BC algorithms report:
+//!
+//! * [`pagerank`] — synchronous topology-driven PageRank (sum-reduce).
+//! * [`connected_components`] — label propagation over `U_G`
+//!   (min-reduce).
+//! * [`sssp`] — Bellman-Ford single-source shortest paths on weighted
+//!   graphs (min-reduce), the workload of the paper's weighted-capable
+//!   baselines.
+//!
+//! [`BspStats`]: mrbc_dgalois::BspStats
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cc;
+mod pr;
+mod shortest_path;
+
+pub use cc::{connected_components, CcOutcome};
+pub use pr::{pagerank, pagerank_sequential, PageRankConfig, PageRankOutcome};
+pub use shortest_path::{sssp, SsspOutcome};

@@ -1,0 +1,185 @@
+//! Distributed weighted SSSP (Bellman-Ford, min-reduce), written against
+//! the [`mrbc_dgalois::bsp`] vertex-program API.
+
+use mrbc_dgalois::bsp::{run_bsp, BspProgram};
+use mrbc_dgalois::{BspStats, DistGraph};
+use mrbc_graph::weighted::{WeightedCsrGraph, INF_WDIST, WDist};
+use mrbc_graph::VertexId;
+use rayon::prelude::*;
+
+/// Result of a distributed SSSP run.
+#[derive(Clone, Debug)]
+pub struct SsspOutcome {
+    /// Shortest distance from the source per vertex ([`INF_WDIST`] when
+    /// unreachable).
+    pub dist: Vec<WDist>,
+    /// Bellman-Ford rounds executed.
+    pub rounds: u32,
+    /// Per-round work and communication records.
+    pub stats: BspStats,
+}
+
+/// Bellman-Ford vertex program: relax the out-edges of the frontier
+/// (vertices improved last round), min-reduce the improved labels.
+struct BellmanFord {
+    frontier: Vec<VertexId>,
+    /// Per host, per local edge (in CSR order): the edge weight.
+    host_weights: Vec<Vec<WDist>>,
+}
+
+impl BspProgram for BellmanFord {
+    type Label = WDist;
+    type Update = WDist;
+
+    fn item_bytes(&self) -> u64 {
+        8
+    }
+
+    fn compute(
+        &self,
+        host: usize,
+        dg: &DistGraph,
+        labels: &[WDist],
+        out: &mut Vec<(VertexId, WDist)>,
+    ) -> u64 {
+        let topo = &dg.hosts[host];
+        let offsets = topo.graph.raw_offsets();
+        let mut w = 0;
+        for &v in &self.frontier {
+            let Some(lv) = dg.local(host, v) else { continue };
+            let dv = labels[v as usize];
+            let lo = offsets[lv as usize];
+            for (i, &lu) in topo.graph.out_neighbors(lv).iter().enumerate() {
+                w += 1;
+                let cand = dv + self.host_weights[host][lo + i];
+                let gu = topo.global_of_local[lu as usize];
+                if cand < labels[gu as usize] {
+                    out.push((gu, cand));
+                }
+            }
+        }
+        w
+    }
+
+    fn apply(&mut self, label: &mut WDist, update: WDist) -> bool {
+        if update < *label {
+            *label = update;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn after_round(&mut self, _r: u32, changed: &[VertexId], _l: &[WDist]) -> bool {
+        self.frontier = changed.to_vec();
+        changed.is_empty()
+    }
+}
+
+/// Distributed Bellman-Ford over a partition of the weighted graph's
+/// underlying topology — the workload of the paper's weighted-capable
+/// baselines. `dg` must be a partition of `wg.graph()`.
+pub fn sssp(wg: &WeightedCsrGraph, dg: &DistGraph, source: VertexId) -> SsspOutcome {
+    let n = wg.num_vertices();
+    assert!((source as usize) < n, "source out of range");
+    assert_eq!(
+        dg.num_global_vertices, n,
+        "partition does not match the weighted graph"
+    );
+
+    // Pre-resolve each host's local edge weights once.
+    let host_weights: Vec<Vec<WDist>> = (0..dg.num_hosts)
+        .into_par_iter()
+        .map(|h| {
+            let topo = &dg.hosts[h];
+            let mut w = Vec::with_capacity(topo.graph.num_edges());
+            for lu in 0..topo.num_proxies() as u32 {
+                let gu = topo.global_of_local[lu as usize];
+                for &lv in topo.graph.out_neighbors(lu) {
+                    let gv = topo.global_of_local[lv as usize];
+                    let weight = wg
+                        .out_edges(gu)
+                        .find(|&(t, _)| t == gv)
+                        .map(|(_, wt)| wt as WDist)
+                        .expect("partition edge exists in weighted graph");
+                    w.push(weight);
+                }
+            }
+            w
+        })
+        .collect();
+
+    let mut dist = vec![INF_WDIST; n];
+    dist[source as usize] = 0;
+    let mut prog = BellmanFord {
+        frontier: vec![source],
+        host_weights,
+    };
+    // Bellman-Ford converges within n - 1 relaxation waves.
+    let stats = run_bsp(dg, &mut prog, &mut dist, n as u32 + 1);
+    // The final (empty-frontier) round only detects termination.
+    let rounds = stats.num_rounds().saturating_sub(1);
+    SsspOutcome { dist, rounds, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrbc_dgalois::{partition, PartitionPolicy};
+    use mrbc_graph::weighted::dijkstra_distances;
+    use mrbc_graph::{generators, GraphBuilder};
+
+    #[test]
+    fn matches_dijkstra_on_random_weighted_graphs() {
+        for seed in 0..3 {
+            let g = generators::erdos_renyi(100, 0.05, seed);
+            let wg = WeightedCsrGraph::random(&g, 9, seed);
+            let want = dijkstra_distances(&wg, 0);
+            for hosts in [1, 4] {
+                let dg = partition(&g, hosts, PartitionPolicy::CartesianVertexCut);
+                let out = sssp(&wg, &dg, 0);
+                assert_eq!(out.dist, want, "seed {seed}, {hosts} hosts");
+            }
+        }
+    }
+
+    #[test]
+    fn unit_weights_match_bfs() {
+        let g = generators::web_crawl(generators::WebCrawlConfig::new(200), 2);
+        let wg = WeightedCsrGraph::unit(&g);
+        let dg = partition(&g, 3, PartitionPolicy::BlockedEdgeCut);
+        let out = sssp(&wg, &dg, 5);
+        let bfs = mrbc_graph::algo::bfs_distances(&g, 5);
+        for v in 0..g.num_vertices() {
+            let want = if bfs[v] == mrbc_graph::INF_DIST {
+                INF_WDIST
+            } else {
+                bfs[v] as WDist
+            };
+            assert_eq!(out.dist[v], want, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn heavy_edge_is_bypassed_over_rounds() {
+        // 0 -> 3 direct weight 10; 0 -> 1 -> 2 -> 3 weight 3. Bellman-Ford
+        // first finds the direct edge, then improves over later rounds.
+        let g = GraphBuilder::new(4)
+            .edges([(0, 3), (0, 1), (1, 2), (2, 3)])
+            .build();
+        let wg = WeightedCsrGraph::from_graph(&g, |u, v| if (u, v) == (0, 3) { 10 } else { 1 });
+        let dg = partition(&g, 2, PartitionPolicy::BlockedEdgeCut);
+        let out = sssp(&wg, &dg, 0);
+        assert_eq!(out.dist, vec![0, 1, 2, 3]);
+        assert!(out.rounds >= 3, "needs multiple relaxation waves");
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_infinite() {
+        let g = GraphBuilder::new(3).edge(0, 1).build();
+        let wg = WeightedCsrGraph::unit(&g);
+        let dg = partition(&g, 2, PartitionPolicy::BlockedEdgeCut);
+        let out = sssp(&wg, &dg, 0);
+        assert_eq!(out.dist, vec![0, 1, INF_WDIST]);
+    }
+}

@@ -1,0 +1,78 @@
+//! Criterion micro-benchmarks: wall-clock cost of the four BC algorithms
+//! on the simulated substrate, plus the MRBC batch-size sweep.
+//!
+//! These measure *simulation* wall time (useful for tracking regressions
+//! in this repository); the paper-shaped numbers come from the modeled
+//! times printed by the `table*`/`fig*` binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrbc_core::dist::{mfbc, mrbc, sbbc};
+use mrbc_core::shared::abbc;
+use mrbc_dgalois::{partition, PartitionPolicy};
+use mrbc_graph::generators::{self, RmatConfig, RoadNetworkConfig};
+use mrbc_graph::sample;
+use std::hint::black_box;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let g = generators::rmat(RmatConfig::new(10, 8), 3);
+    let sources = sample::contiguous_sources(g.num_vertices(), 16, 1);
+    let dg = partition(&g, 4, PartitionPolicy::CartesianVertexCut);
+
+    let mut group = c.benchmark_group("bc_algorithms_rmat10");
+    group.sample_size(10);
+    group.bench_function("mrbc", |b| {
+        b.iter(|| black_box(mrbc::mrbc_bc(&g, &dg, &sources, 16)))
+    });
+    group.bench_function("sbbc", |b| {
+        b.iter(|| black_box(sbbc::sbbc_bc(&g, &dg, &sources)))
+    });
+    group.bench_function("mfbc", |b| {
+        b.iter(|| black_box(mfbc::mfbc_bc(&g, &dg, &sources, 16)))
+    });
+    group.bench_function("abbc", |b| {
+        b.iter(|| black_box(abbc::abbc_bc(&g, &sources, 8)))
+    });
+    group.bench_function("brandes", |b| {
+        b.iter(|| black_box(mrbc_core::brandes::bc_sources(&g, &sources)))
+    });
+    group.finish();
+}
+
+fn bench_batch_sizes(c: &mut Criterion) {
+    let g = generators::grid_road_network(RoadNetworkConfig::new(3, 120), 2);
+    let sources = sample::contiguous_sources(g.num_vertices(), 16, 4);
+    let dg = partition(&g, 4, PartitionPolicy::CartesianVertexCut);
+
+    let mut group = c.benchmark_group("mrbc_batch_size_road");
+    group.sample_size(10);
+    for k in [2usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| black_box(mrbc::mrbc_bc(&g, &dg, &sources, k)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_congest(c: &mut Criterion) {
+    let g = generators::random_strongly_connected(120, 0.05, 9);
+    let sources: Vec<u32> = (0..16).collect();
+
+    let mut group = c.benchmark_group("congest_simulator");
+    group.sample_size(10);
+    group.bench_function("mrbc_kssp", |b| {
+        b.iter(|| {
+            black_box(mrbc_core::congest::mrbc::mrbc_bc(
+                &g,
+                &sources,
+                mrbc_core::congest::mrbc::TerminationMode::GlobalDetection,
+            ))
+        })
+    });
+    group.bench_function("sbbc", |b| {
+        b.iter(|| black_box(mrbc_core::congest::sbbc::sbbc_bc(&g, &sources)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_batch_sizes, bench_congest);
+criterion_main!(benches);

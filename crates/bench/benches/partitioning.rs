@@ -1,0 +1,40 @@
+//! Criterion micro-benchmarks for the partitioning substrate: cost of
+//! building each partition policy and the replication/traffic structure
+//! it induces (the paper uses the Cartesian vertex-cut because it
+//! "performs well at scale").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrbc_dgalois::{partition, PartitionPolicy};
+use mrbc_graph::generators::{self, RmatConfig};
+use std::hint::black_box;
+
+fn bench_partition_policies(c: &mut Criterion) {
+    let g = generators::rmat(RmatConfig::new(12, 8), 5);
+    let mut group = c.benchmark_group("partition_rmat12_16hosts");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("blocked_ec", PartitionPolicy::BlockedEdgeCut),
+        ("hashed_ec", PartitionPolicy::HashedEdgeCut),
+        ("cartesian_vc", PartitionPolicy::CartesianVertexCut),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &p| {
+            b.iter(|| black_box(partition(&g, 16, p)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_host_scaling(c: &mut Criterion) {
+    let g = generators::rmat(RmatConfig::new(12, 8), 5);
+    let mut group = c.benchmark_group("cartesian_vc_host_scaling");
+    group.sample_size(10);
+    for hosts in [2usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(hosts), &hosts, |b, &h| {
+            b.iter(|| black_box(partition(&g, h, PartitionPolicy::CartesianVertexCut)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition_policies, bench_host_scaling);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion micro-benchmarks for the substrate layers and extensions:
+//! partitioned analytics programs, weighted Brandes, and the CONGEST
+//! engine's per-round overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrbc_analytics::{connected_components, pagerank, sssp, PageRankConfig};
+use mrbc_core::weighted::{bc_sources_weighted, bc_sources_weighted_parallel};
+use mrbc_dgalois::{partition, PartitionPolicy};
+use mrbc_graph::generators::{self, RmatConfig};
+use mrbc_graph::weighted::WeightedCsrGraph;
+use std::hint::black_box;
+
+fn bench_analytics(c: &mut Criterion) {
+    let g = generators::rmat(RmatConfig::new(11, 8), 6);
+    let dg = partition(&g, 8, PartitionPolicy::CartesianVertexCut);
+    let wg = WeightedCsrGraph::random(&g, 10, 1);
+
+    let mut group = c.benchmark_group("analytics_rmat11_8hosts");
+    group.sample_size(10);
+    group.bench_function("pagerank", |b| {
+        let cfg = PageRankConfig {
+            max_iterations: 20,
+            ..PageRankConfig::default()
+        };
+        b.iter(|| black_box(pagerank(&g, &dg, &cfg)))
+    });
+    group.bench_function("connected_components", |b| {
+        b.iter(|| black_box(connected_components(&g, &dg)))
+    });
+    group.bench_function("weighted_sssp", |b| b.iter(|| black_box(sssp(&wg, &dg, 0))));
+    group.finish();
+}
+
+fn bench_weighted_bc(c: &mut Criterion) {
+    let g = generators::rmat(RmatConfig::new(9, 8), 7);
+    let wg = WeightedCsrGraph::random(&g, 10, 2);
+    let sources: Vec<u32> = (0..32).collect();
+
+    let mut group = c.benchmark_group("weighted_bc_rmat9");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| black_box(bc_sources_weighted(&wg, &sources)))
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| black_box(bc_sources_weighted_parallel(&wg, &sources)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analytics, bench_weighted_bc);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Regenerates **Figure 2**: breakdown of execution time into computation
+//! and non-overlapped communication, plus total communication volume, for
+//! SBBC vs MRBC — (a) small graphs at scale, (b) large graphs at scale.
+//!
+//! The paper's reading: MRBC always pays *more computation* (heavier data
+//! structures) but *less communication* (fewer rounds ⇒ amortized
+//! metadata, fewer barrier waits); the net wins exactly on non-trivial
+//! diameter graphs. Volumes are printed like the labels on the paper's
+//! bars.
+//!
+//! Run with: `cargo run --release -p mrbc-bench --bin fig2`
+
+use mrbc_bench::report::{bytes, ratio, secs, Table};
+use mrbc_bench::suite::{self, SizeClass, Workload};
+use mrbc_core::{bc, Algorithm, BcConfig};
+use mrbc_graph::sample;
+use mrbc_util::stats::geomean;
+
+fn run_panel(title: &str, workloads: &[Workload], comm_ratios: &mut Vec<f64>) {
+    let mut tbl = Table::new(
+        title,
+        &[
+            "input", "alg", "compute", "non-overlap comm", "exec", "volume",
+        ],
+    );
+    for w in workloads {
+        let g = w.build();
+        let sources = sample::contiguous_sources(g.num_vertices(), w.num_sources, w.seed);
+        let mut comm = [0.0f64; 2];
+        for (i, alg) in [Algorithm::Sbbc, Algorithm::Mrbc].into_iter().enumerate() {
+            let cfg = BcConfig {
+                algorithm: alg,
+                num_hosts: w.hosts_at_scale(),
+                batch_size: w.batch_size,
+                ..BcConfig::default()
+            };
+            let r = bc(&g, &sources, &cfg);
+            let stats = r.stats.as_ref().expect("distributed");
+            comm[i] = r.communication_time;
+            tbl.row(vec![
+                w.name.into(),
+                alg.name().into(),
+                secs(r.computation_time),
+                secs(r.communication_time),
+                secs(r.execution_time),
+                bytes(stats.total_bytes()),
+            ]);
+        }
+        comm_ratios.push(comm[0] / comm[1]);
+    }
+    tbl.print();
+}
+
+fn main() {
+    let mut comm_ratios = Vec::new();
+    let small: Vec<Workload> = suite::small_workloads();
+    run_panel(
+        "Figure 2a: small graphs at scale (32 hosts -> 8 simulated)",
+        &small,
+        &mut comm_ratios,
+    );
+    let large: Vec<Workload> = suite::workloads()
+        .into_iter()
+        .filter(|w| w.class == SizeClass::Large)
+        .collect();
+    run_panel(
+        "Figure 2b: large graphs at scale (256 hosts -> 16 simulated)",
+        &large,
+        &mut comm_ratios,
+    );
+    println!(
+        "\ncommunication-time reduction SBBC/MRBC (geomean): {} (paper: 2.8x average)",
+        ratio(geomean(&comm_ratios))
+    );
+}

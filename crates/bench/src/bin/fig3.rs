@@ -1,0 +1,66 @@
+//! Regenerates **Figure 3**: strong scaling of execution time (and its
+//! computation component) for the large graphs, SBBC vs MRBC.
+//!
+//! The paper scales 64 → 256 hosts and finds MRBC's mean self-relative
+//! speedup is 2.7× vs SBBC's 1.5× — the benefit of fewer rounds grows
+//! with host count because every round pays barrier latency and per-pair
+//! metadata. We scale 4 → 16 simulated hosts.
+//!
+//! Run with: `cargo run --release -p mrbc-bench --bin fig3`
+
+use mrbc_bench::report::{ratio, secs, Table};
+use mrbc_bench::suite;
+use mrbc_core::{bc, Algorithm, BcConfig};
+use mrbc_graph::sample;
+use mrbc_util::stats::geomean;
+
+fn main() {
+    const HOSTS: [usize; 3] = [4, 8, 16];
+    let mut tbl = Table::new(
+        "Figure 3: strong scaling on large graphs",
+        &["input", "alg", "hosts", "exec", "compute", "self-speedup"],
+    );
+    let mut mrbc_speedups = Vec::new();
+    let mut sbbc_speedups = Vec::new();
+    for w in suite::large_workloads() {
+        let g = w.build();
+        let sources = sample::contiguous_sources(g.num_vertices(), w.num_sources, w.seed);
+        for alg in [Algorithm::Sbbc, Algorithm::Mrbc] {
+            let mut base = None;
+            for h in HOSTS {
+                let cfg = BcConfig {
+                    algorithm: alg,
+                    num_hosts: h,
+                    batch_size: w.batch_size,
+                    ..BcConfig::default()
+                };
+                let r = bc(&g, &sources, &cfg);
+                let b = *base.get_or_insert(r.execution_time);
+                let speedup = b / r.execution_time;
+                if h == *HOSTS.last().expect("non-empty") {
+                    match alg {
+                        Algorithm::Mrbc => mrbc_speedups.push(speedup),
+                        Algorithm::Sbbc => sbbc_speedups.push(speedup),
+                        _ => {}
+                    }
+                }
+                tbl.row(vec![
+                    w.name.into(),
+                    alg.name().into(),
+                    h.to_string(),
+                    secs(r.execution_time),
+                    secs(r.computation_time),
+                    ratio(speedup),
+                ]);
+            }
+        }
+    }
+    tbl.print();
+    println!(
+        "\nmean self-relative speedup {}x hosts: MRBC {} vs SBBC {}",
+        HOSTS[HOSTS.len() - 1] / HOSTS[0],
+        ratio(geomean(&mrbc_speedups)),
+        ratio(geomean(&sbbc_speedups)),
+    );
+    println!("paper (64 -> 256 hosts): MRBC 2.7x vs SBBC 1.5x");
+}

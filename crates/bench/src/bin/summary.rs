@@ -1,0 +1,72 @@
+//! Regenerates the paper's **§5.3 headline averages**: MRBC vs SBBC
+//! rounds reduction, communication-time reduction, and the execution-time
+//! speedup on the real-world web-crawl stand-ins at scale.
+//!
+//! Paper: "MRBC reduces the number of rounds executed over SBBC by 14.0×
+//! ... reduces the communication time compared to SBBC by 2.8× on
+//! average ... for real-world web-crawls on 256 hosts, MRBC is 2.1×
+//! faster than Brandes BC."
+//!
+//! Run with: `cargo run --release -p mrbc-bench --bin summary`
+
+use mrbc_bench::report::{ratio, Table};
+use mrbc_bench::suite;
+use mrbc_core::{bc, Algorithm, BcConfig};
+use mrbc_graph::sample;
+use mrbc_util::stats::geomean;
+
+fn main() {
+    let mut rounds_red = Vec::new();
+    let mut comm_red = Vec::new();
+    let mut crawl_speedups = Vec::new();
+    let mut tbl = Table::new(
+        "Per-input MRBC vs SBBC at scale",
+        &["input", "rounds red.", "comm red.", "exec speedup"],
+    );
+
+    for w in suite::workloads() {
+        let g = w.build();
+        let sources = sample::contiguous_sources(g.num_vertices(), w.num_sources, w.seed);
+        let run = |alg| {
+            let cfg = BcConfig {
+                algorithm: alg,
+                num_hosts: w.hosts_at_scale(),
+                batch_size: w.batch_size,
+                ..BcConfig::default()
+            };
+            bc(&g, &sources, &cfg)
+        };
+        let sb = run(Algorithm::Sbbc);
+        let mr = run(Algorithm::Mrbc);
+        let (sbs, mrs) = (sb.stats.expect("stats"), mr.stats.expect("stats"));
+        let r_red = sbs.num_rounds() as f64 / mrs.num_rounds() as f64;
+        let c_red = sb.communication_time / mr.communication_time;
+        let speedup = sb.execution_time / mr.execution_time;
+        rounds_red.push(r_red);
+        comm_red.push(c_red);
+        if matches!(w.name, "gsh15" | "clueweb12") {
+            crawl_speedups.push(speedup);
+        }
+        tbl.row(vec![
+            w.name.into(),
+            ratio(r_red),
+            ratio(c_red),
+            ratio(speedup),
+        ]);
+    }
+    tbl.print();
+
+    println!("\nheadline averages (geomean) vs the paper:");
+    println!(
+        "  rounds reduction:     {:>7}   (paper: 14.0x)",
+        ratio(geomean(&rounds_red))
+    );
+    println!(
+        "  comm-time reduction:  {:>7}   (paper: 2.8x)",
+        ratio(geomean(&comm_red))
+    );
+    println!(
+        "  web-crawl speedup:    {:>7}   (paper: 2.1x on gsh15/clueweb12 at 256 hosts)",
+        ratio(geomean(&crawl_speedups))
+    );
+}

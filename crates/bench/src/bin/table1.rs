@@ -1,0 +1,69 @@
+//! Regenerates **Table 1**: input properties, SBBC vs MRBC rounds per
+//! source, and load imbalance at scale.
+//!
+//! Run with: `cargo run --release -p mrbc-bench --bin table1`
+
+use mrbc_bench::report::{ratio, Table};
+use mrbc_bench::suite;
+use mrbc_core::dist::{mrbc, sbbc};
+use mrbc_dgalois::{partition, PartitionPolicy};
+use mrbc_graph::{properties::GraphProperties, sample};
+
+/// Paper values for the bottom half of Table 1 (rounds per source and
+/// load imbalance at scale), in suite order.
+const PAPER_SBBC_ROUNDS: [f64; 8] = [25.0, 40.6, 6.8, 42_345.7, 44.2, 6.0, 127.1, 661.0];
+const PAPER_MRBC_ROUNDS: [f64; 8] = [2.7, 3.3, 1.4, 1_410.8, 3.5, 1.0, 4.4, 17.0];
+
+fn main() {
+    let mut props_tbl = Table::new(
+        "Table 1 (top): inputs and their properties",
+        &["input", "stand-in", "|V|", "|E|", "max out", "max in", "#src", "est. D"],
+    );
+    let mut rounds_tbl = Table::new(
+        "Table 1 (bottom): rounds per source and load imbalance at scale",
+        &[
+            "input", "SBBC rnds", "MRBC rnds", "reduction", "paper", "SBBC imb", "MRBC imb",
+        ],
+    );
+
+    let mut reductions = Vec::new();
+    for (i, w) in suite::workloads().iter().enumerate() {
+        let g = w.build();
+        let sources = sample::contiguous_sources(g.num_vertices(), w.num_sources, w.seed);
+        let p = GraphProperties::measure(&g, &sources);
+        props_tbl.row(vec![
+            w.name.into(),
+            w.standin.into(),
+            p.num_vertices.to_string(),
+            p.num_edges.to_string(),
+            p.max_out_degree.to_string(),
+            p.max_in_degree.to_string(),
+            p.num_sources.to_string(),
+            p.estimated_diameter.to_string(),
+        ]);
+
+        let dg = partition(&g, w.hosts_at_scale(), PartitionPolicy::CartesianVertexCut);
+        let sb = sbbc::sbbc_bc(&g, &dg, &sources);
+        let mr = mrbc::mrbc_bc(&g, &dg, &sources, w.batch_size);
+        let sb_rounds = sb.stats.num_rounds() as f64 / sources.len() as f64;
+        let mr_rounds = mr.stats.num_rounds() as f64 / sources.len() as f64;
+        let red = sb_rounds / mr_rounds;
+        reductions.push(red);
+        rounds_tbl.row(vec![
+            w.name.into(),
+            format!("{sb_rounds:.1}"),
+            format!("{mr_rounds:.1}"),
+            ratio(red),
+            ratio(PAPER_SBBC_ROUNDS[i] / PAPER_MRBC_ROUNDS[i]),
+            format!("{:.2}", sb.stats.load_imbalance()),
+            format!("{:.2}", mr.stats.load_imbalance()),
+        ]);
+    }
+
+    props_tbl.print();
+    rounds_tbl.print();
+    println!(
+        "\nmean rounds reduction (geomean): {} (paper: 14.0x arithmetic-style average)",
+        ratio(mrbc_util::stats::geomean(&reductions))
+    );
+}

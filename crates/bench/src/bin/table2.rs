@@ -1,0 +1,106 @@
+//! Regenerates **Table 2**: execution time (per source) of ABBC, MFBC,
+//! SBBC, and MRBC using the best-performing number of hosts.
+//!
+//! The paper evaluates ABBC and MFBC only on the small inputs (ABBC is
+//! shared-memory-only; "MFBC does not perform well as graphs increase in
+//! size"), and SBBC/MRBC on all inputs; we follow that. Host counts are
+//! scaled 32 → 8 and 256 → 16.
+//!
+//! Run with: `cargo run --release -p mrbc-bench --bin table2`
+
+use mrbc_bench::report::{secs, Table};
+use mrbc_bench::suite::{self, SizeClass};
+use mrbc_core::{bc, Algorithm, BcConfig};
+use mrbc_graph::sample;
+
+fn main() {
+    let mut tbl = Table::new(
+        "Table 2: execution time per source at the best host count",
+        &["input", "ABBC", "MFBC", "SBBC", "MRBC", "winner", "paper winner"],
+    );
+
+    // Winners in the paper's Table 2, per input.
+    let paper_winner = |name: &str| match name {
+        "livejournal" => "SBBC",
+        "indochina04" => "MRBC",
+        "rmat24" => "SBBC",
+        "road-europe" => "ABBC",
+        "friendster" => "SBBC",
+        "kron30" => "SBBC",
+        "gsh15" => "MRBC",
+        "clueweb12" => "MRBC",
+        _ => "?",
+    };
+
+    for w in suite::workloads() {
+        let g = w.build();
+        let sources = sample::contiguous_sources(g.num_vertices(), w.num_sources, w.seed);
+        let per_source = |t: f64| t / sources.len() as f64;
+
+        // Candidate host counts: 1 plus "at scale"; report the best.
+        let host_options: Vec<usize> = match w.class {
+            SizeClass::Small => vec![1, 8],
+            SizeClass::Large => vec![4, 8, 16],
+        };
+
+        let best_of = |alg: Algorithm| -> f64 {
+            host_options
+                .iter()
+                .map(|&h| {
+                    let cfg = BcConfig {
+                        algorithm: alg,
+                        num_hosts: h,
+                        batch_size: w.batch_size,
+                        chunk_size: w.chunk_size,
+                        ..BcConfig::default()
+                    };
+                    bc(&g, &sources, &cfg).execution_time
+                })
+                .fold(f64::INFINITY, f64::min)
+        };
+
+        let small = w.class == SizeClass::Small;
+        let abbc = small.then(|| {
+            let cfg = BcConfig {
+                algorithm: Algorithm::Abbc,
+                chunk_size: w.chunk_size,
+                ..BcConfig::default()
+            };
+            bc(&g, &sources, &cfg).execution_time
+        });
+        let mfbc = small.then(|| best_of(Algorithm::Mfbc));
+        let sbbc = best_of(Algorithm::Sbbc);
+        let mrbc = best_of(Algorithm::Mrbc);
+
+        let mut entries: Vec<(&str, f64)> = vec![("SBBC", sbbc), ("MRBC", mrbc)];
+        if let Some(a) = abbc {
+            entries.push(("ABBC", a));
+        }
+        if let Some(m) = mfbc {
+            entries.push(("MFBC", m));
+        }
+        let winner = entries
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("nonempty")
+            .0;
+
+        let fmt = |t: Option<f64>| t.map(|t| secs(per_source(t))).unwrap_or_else(|| "-".into());
+        tbl.row(vec![
+            w.name.into(),
+            fmt(abbc),
+            fmt(mfbc),
+            secs(per_source(sbbc)),
+            secs(per_source(mrbc)),
+            winner.into(),
+            paper_winner(w.name).into(),
+        ]);
+    }
+    tbl.print();
+    println!(
+        "\nnote: times are modeled from exact round/volume/work counters via the\n\
+         CostModel; the paper's key shape is the winner column — SBBC on\n\
+         trivially-low-diameter graphs, MRBC on non-trivial-diameter crawls,\n\
+         ABBC on the road network."
+    );
+}

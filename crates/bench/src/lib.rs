@@ -1,0 +1,23 @@
+//! Benchmark harness for the MRBC reproduction.
+//!
+//! [`suite`] defines the scaled-down stand-ins for the paper's eight
+//! input graphs (Table 1) and the per-graph experiment parameters;
+//! [`report`] provides the fixed-width table printer the regeneration
+//! binaries share. Each binary under `src/bin/` regenerates one table or
+//! figure:
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `table1` | Table 1 — inputs, rounds, load imbalance |
+//! | `table2` | Table 2 — execution time per algorithm at best host count |
+//! | `fig1` | Figure 1 — MRBC time & rounds vs batch size |
+//! | `fig2` | Figure 2 — compute/comm breakdown + volume |
+//! | `fig3` | Figure 3 — strong scaling |
+//! | `bounds` | Theorem 1 / Lemmas 6–8 round & message bounds |
+//! | `summary` | §5.3 headline averages (rounds ×, comm ×, time ×) |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod suite;

@@ -1,0 +1,222 @@
+//! The scaled-down input suite mirroring Table 1 of the paper.
+//!
+//! Every paper input is mapped to a generator configuration that
+//! reproduces its *shape* (degree distribution and diameter regime) at a
+//! size a laptop simulates in seconds. The absolute sizes are ~3 orders
+//! of magnitude smaller; the evaluation's conclusions depend on shape
+//! (low-diameter power-law vs. long-tail web crawl vs. road network),
+//! which is preserved. Source counts are scaled correspondingly.
+
+use mrbc_graph::generators::{
+    self, KroneckerConfig, RmatConfig, RoadNetworkConfig, WebCrawlConfig,
+};
+use mrbc_graph::CsrGraph;
+
+/// Size class, mirroring the paper's small/large split (Section 5.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SizeClass {
+    /// Evaluated on 1 and 32 hosts in the paper (we scale 32 → 8).
+    Small,
+    /// Evaluated on 64–256 hosts in the paper (we scale 256 → 16).
+    Large,
+}
+
+/// One benchmark input: the paper graph it stands in for plus the
+/// parameters of the scaled reproduction.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Paper input name this stands in for.
+    pub name: &'static str,
+    /// Generator label of the stand-in.
+    pub standin: &'static str,
+    /// Size class.
+    pub class: SizeClass,
+    /// Number of sampled BC sources (paper's Table 1 column, scaled).
+    pub num_sources: usize,
+    /// MRBC/MFBC batch size (paper: 32 small / 64 large).
+    pub batch_size: usize,
+    /// ABBC worklist chunk size (paper: 64 road, 8 rest).
+    pub chunk_size: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Workload {
+    /// Instantiates the stand-in graph.
+    pub fn build(&self) -> CsrGraph {
+        match self.standin {
+            "rmat-social" => generators::rmat(RmatConfig::new(12, 14), self.seed),
+            "indochina-crawl" => generators::web_crawl(
+                WebCrawlConfig {
+                    tail_length: 25,
+                    ..WebCrawlConfig::new(6_000)
+                },
+                self.seed,
+            ),
+            "rmat" => generators::rmat(RmatConfig::new(13, 16), self.seed),
+            "road" => {
+                generators::grid_road_network(RoadNetworkConfig::new(4, 1_000), self.seed)
+            }
+            "rmat-dense" => generators::rmat(RmatConfig::new(12, 28), self.seed),
+            "kron" => generators::kronecker(KroneckerConfig::new(14, 16), self.seed),
+            "gsh-crawl" => generators::web_crawl(
+                WebCrawlConfig {
+                    tail_length: 60,
+                    core_fraction: 0.7,
+                    ..WebCrawlConfig::new(12_000)
+                },
+                self.seed,
+            ),
+            "clueweb-crawl" => generators::web_crawl(
+                WebCrawlConfig {
+                    tail_length: 250,
+                    core_fraction: 0.6,
+                    ..WebCrawlConfig::new(12_000)
+                },
+                self.seed,
+            ),
+            other => panic!("unknown stand-in {other}"),
+        }
+    }
+
+    /// Simulated host count for the "at scale" experiments (32 → 8 for
+    /// small inputs, 256 → 16 for large ones).
+    pub fn hosts_at_scale(&self) -> usize {
+        match self.class {
+            SizeClass::Small => 8,
+            SizeClass::Large => 16,
+        }
+    }
+}
+
+/// The eight-input suite of Table 1, in the paper's column order.
+pub fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "livejournal",
+            standin: "rmat-social",
+            class: SizeClass::Small,
+            num_sources: 64,
+            batch_size: 32,
+            chunk_size: 8,
+            seed: 101,
+        },
+        Workload {
+            name: "indochina04",
+            standin: "indochina-crawl",
+            class: SizeClass::Small,
+            num_sources: 64,
+            batch_size: 32,
+            chunk_size: 8,
+            seed: 102,
+        },
+        Workload {
+            name: "rmat24",
+            standin: "rmat",
+            class: SizeClass::Small,
+            num_sources: 64,
+            batch_size: 32,
+            chunk_size: 8,
+            seed: 103,
+        },
+        Workload {
+            name: "road-europe",
+            standin: "road",
+            class: SizeClass::Small,
+            num_sources: 16,
+            batch_size: 16,
+            chunk_size: 64,
+            seed: 104,
+        },
+        Workload {
+            name: "friendster",
+            standin: "rmat-dense",
+            class: SizeClass::Small,
+            num_sources: 64,
+            batch_size: 32,
+            chunk_size: 8,
+            seed: 105,
+        },
+        Workload {
+            name: "kron30",
+            standin: "kron",
+            class: SizeClass::Large,
+            num_sources: 64,
+            batch_size: 64,
+            chunk_size: 8,
+            seed: 106,
+        },
+        Workload {
+            name: "gsh15",
+            standin: "gsh-crawl",
+            class: SizeClass::Large,
+            num_sources: 32,
+            batch_size: 64,
+            chunk_size: 8,
+            seed: 107,
+        },
+        Workload {
+            name: "clueweb12",
+            standin: "clueweb-crawl",
+            class: SizeClass::Large,
+            num_sources: 16,
+            batch_size: 64,
+            chunk_size: 8,
+            seed: 108,
+        },
+    ]
+}
+
+/// The three large inputs (kron30, gsh15, clueweb12) used by Figures 1–3.
+pub fn large_workloads() -> Vec<Workload> {
+    workloads()
+        .into_iter()
+        .filter(|w| w.class == SizeClass::Large)
+        .collect()
+}
+
+/// The five small inputs used by Figure 2a and Table 2's left half.
+pub fn small_workloads() -> Vec<Workload> {
+    workloads()
+        .into_iter()
+        .filter(|w| w.class == SizeClass::Small)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrbc_graph::{properties::GraphProperties, sample};
+
+    #[test]
+    fn suite_has_eight_inputs_like_table1() {
+        assert_eq!(workloads().len(), 8);
+        assert_eq!(large_workloads().len(), 3);
+        assert_eq!(small_workloads().len(), 5);
+    }
+
+    #[test]
+    fn diameter_regimes_match_the_paper() {
+        // The paper classifies livejournal/rmat24/friendster/kron30 as
+        // low-diameter (≤ 25) and the rest as non-trivial.
+        for w in workloads() {
+            let g = w.build();
+            let sources = sample::contiguous_sources(g.num_vertices(), w.num_sources, w.seed);
+            let p = GraphProperties::measure(&g, &sources);
+            let expect_low = matches!(w.name, "livejournal" | "rmat24" | "friendster" | "kron30");
+            assert_eq!(
+                p.is_low_diameter(),
+                expect_low,
+                "{}: estimated diameter {} breaks the paper's regime",
+                w.name,
+                p.estimated_diameter
+            );
+        }
+    }
+
+    #[test]
+    fn workload_builds_are_deterministic() {
+        let w = &workloads()[0];
+        assert_eq!(w.build(), w.build());
+    }
+}

@@ -1,0 +1,135 @@
+//! A small, dependency-free argument parser.
+//!
+//! Grammar: `mrbc <command> [positional...] [--flag value]... [--switch]...`.
+//! Flags may appear in any order after the command; every flag is
+//! `--name value` except boolean switches, which the caller declares.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ParsedArgs {
+    /// The subcommand (first non-flag token).
+    pub command: String,
+    /// Positional arguments after the command.
+    pub positional: Vec<String>,
+    /// `--name value` pairs.
+    pub flags: BTreeMap<String, String>,
+    /// Bare `--name` switches.
+    pub switches: Vec<String>,
+}
+
+/// Parse errors with the offending token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand given.
+    MissingCommand,
+    /// A `--flag` that needs a value reached end of input.
+    MissingValue(String),
+    /// A flag that is neither a known value-flag nor a known switch.
+    UnknownFlag(String),
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "missing command"),
+            ArgError::MissingValue(flag) => write!(f, "flag --{flag} needs a value"),
+            ArgError::UnknownFlag(flag) => write!(f, "unknown flag --{flag}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parses `argv` (without the program name). `switches` lists the flags
+/// that take no value; everything else starting with `--` takes one.
+pub fn parse(argv: &[String], switches: &[&str]) -> Result<ParsedArgs, ArgError> {
+    let mut it = argv.iter().peekable();
+    let command = it.next().ok_or(ArgError::MissingCommand)?.clone();
+    let mut out = ParsedArgs {
+        command,
+        ..Default::default()
+    };
+    while let Some(tok) = it.next() {
+        if let Some(name) = tok.strip_prefix("--") {
+            if switches.contains(&name) {
+                out.switches.push(name.to_string());
+            } else {
+                let value = it
+                    .next()
+                    .ok_or_else(|| ArgError::MissingValue(name.to_string()))?;
+                out.flags.insert(name.to_string(), value.clone());
+            }
+        } else {
+            out.positional.push(tok.clone());
+        }
+    }
+    Ok(out)
+}
+
+impl ParsedArgs {
+    /// Flag value parsed as `T`, or `default` when absent. Returns an
+    /// error string on unparsable input.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{name}: {v:?}")),
+        }
+    }
+
+    /// Raw flag value.
+    pub fn get_str(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(|s| s.as_str())
+    }
+
+    /// True if the switch was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(xs: &[&str]) -> Vec<String> {
+        xs.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_positionals_flags_switches() {
+        let p = parse(
+            &sv(&["bc", "graph.el", "--hosts", "8", "--verbose", "--algo", "mrbc"]),
+            &["verbose"],
+        )
+        .expect("parse");
+        assert_eq!(p.command, "bc");
+        assert_eq!(p.positional, vec!["graph.el"]);
+        assert_eq!(p.get_str("hosts"), Some("8"));
+        assert_eq!(p.get_str("algo"), Some("mrbc"));
+        assert!(p.has("verbose"));
+        assert!(!p.has("quiet"));
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let p = parse(&sv(&["x", "--k", "32"]), &[]).expect("parse");
+        assert_eq!(p.get_or("k", 1usize), Ok(32));
+        assert_eq!(p.get_or("missing", 7usize), Ok(7));
+        assert!(p.get_or::<usize>("k", 0).is_ok());
+        let bad = parse(&sv(&["x", "--k", "abc"]), &[]).expect("parse");
+        assert!(bad.get_or::<usize>("k", 0).is_err());
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(parse(&[], &[]), Err(ArgError::MissingCommand));
+        assert_eq!(
+            parse(&sv(&["x", "--flag"]), &[]),
+            Err(ArgError::MissingValue("flag".into()))
+        );
+    }
+}

@@ -1,0 +1,440 @@
+//! Subcommand implementations, kept separate from `main` so they are unit
+//! testable (each returns its report as a `String`).
+
+use crate::args::ParsedArgs;
+use mrbc_core::congest::mrbc::{directed_apsp, TerminationMode};
+use mrbc_core::{bc, tune_batch_size, Algorithm, BcConfig};
+use mrbc_dgalois::{partition, CostModel, PartitionPolicy};
+use mrbc_graph::generators::{
+    self, KroneckerConfig, RmatConfig, RoadNetworkConfig, WebCrawlConfig,
+};
+use mrbc_graph::properties::GraphProperties;
+use mrbc_graph::{algo, io, sample, CsrGraph};
+
+/// Usage text for `mrbc help`.
+pub const USAGE: &str = "\
+mrbc — Min-Rounds Betweenness Centrality (PPoPP 2019 reproduction)
+
+USAGE:
+  mrbc generate <kind> --out <file> [--scale S] [--n N] [--seed X] [...]
+      kinds: rmat kron ba ws er road webcrawl cycle path
+  mrbc info <file> [--sources K] [--seed X]
+  mrbc bc <file> [--algorithm mrbc|sbbc|mfbc|abbc|brandes] [--hosts H]
+                 [--sources K] [--batch B] [--top N] [--seed X] [--csv out.csv]
+  mrbc apsp <file> [--mode 2n|finalizer|detect] [--sources K] [--seed X]
+  mrbc tune <file> [--hosts H] [--candidates 8,16,32] [--pilot K] [--seed X]
+  mrbc pagerank <file> [--hosts H] [--iters N] [--damping D]
+  mrbc cc <file> [--hosts H]
+  mrbc sssp <file> [--hosts H] [--source V] [--max-weight W] [--seed X]
+  mrbc help
+";
+
+/// Dispatches a parsed command line; returns the report to print.
+pub fn run(p: &ParsedArgs) -> Result<String, String> {
+    match p.command.as_str() {
+        "generate" => cmd_generate(p),
+        "info" => cmd_info(p),
+        "bc" => cmd_bc(p),
+        "apsp" => cmd_apsp(p),
+        "tune" => cmd_tune(p),
+        "pagerank" => cmd_pagerank(p),
+        "cc" => cmd_cc(p),
+        "sssp" => cmd_sssp(p),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+}
+
+/// Builds a generator graph from CLI parameters (shared by `generate` and
+/// the tests).
+pub fn build_graph(kind: &str, p: &ParsedArgs) -> Result<CsrGraph, String> {
+    let seed: u64 = p.get_or("seed", 42u64)?;
+    let scale: u32 = p.get_or("scale", 10u32)?;
+    let n: usize = p.get_or("n", 1usize << scale)?;
+    let ef: usize = p.get_or("edge-factor", 8usize)?;
+    Ok(match kind {
+        "rmat" => generators::rmat(RmatConfig::new(scale, ef), seed),
+        "kron" => generators::kronecker(KroneckerConfig::new(scale, ef), seed),
+        "ba" => generators::barabasi_albert(n, p.get_or("attach", 3usize)?, seed),
+        "ws" => generators::watts_strogatz(
+            n,
+            p.get_or("k", 2usize)?,
+            p.get_or("beta", 0.1f64)?,
+            seed,
+        ),
+        "er" => generators::erdos_renyi(n, p.get_or("p", 0.01f64)?, seed),
+        "road" => generators::grid_road_network(
+            RoadNetworkConfig::new(p.get_or("height", 4usize)?, p.get_or("width", 256usize)?),
+            seed,
+        ),
+        "webcrawl" => generators::web_crawl(
+            WebCrawlConfig {
+                tail_length: p.get_or("tail", 40usize)?,
+                ..WebCrawlConfig::new(n)
+            },
+            seed,
+        ),
+        "cycle" => generators::cycle(n),
+        "path" => generators::path(n),
+        other => return Err(format!("unknown graph kind {other:?}")),
+    })
+}
+
+fn load(p: &ParsedArgs) -> Result<CsrGraph, String> {
+    let path = p
+        .positional
+        .first()
+        .ok_or_else(|| "missing graph file argument".to_string())?;
+    io::read_edge_list_file(path, None).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn sources_of(p: &ParsedArgs, g: &CsrGraph) -> Result<Vec<u32>, String> {
+    let k: usize = p.get_or("sources", 32usize)?;
+    let seed: u64 = p.get_or("seed", 1u64)?;
+    Ok(sample::contiguous_sources(g.num_vertices(), k, seed))
+}
+
+fn cmd_generate(p: &ParsedArgs) -> Result<String, String> {
+    let kind = p
+        .positional
+        .first()
+        .ok_or_else(|| "missing graph kind".to_string())?
+        .clone();
+    let out = p
+        .get_str("out")
+        .ok_or_else(|| "missing --out <file>".to_string())?
+        .to_string();
+    let g = build_graph(&kind, p)?;
+    io::write_edge_list_file(&g, &out).map_err(|e| format!("cannot write {out}: {e}"))?;
+    Ok(format!(
+        "wrote {kind} graph: {} vertices, {} edges -> {out}\n",
+        g.num_vertices(),
+        g.num_edges()
+    ))
+}
+
+fn cmd_info(p: &ParsedArgs) -> Result<String, String> {
+    let g = load(p)?;
+    let sources = sources_of(p, &g)?;
+    let props = GraphProperties::measure(&g, &sources);
+    Ok(format!(
+        "vertices:           {}\n\
+         edges:              {}\n\
+         max out-degree:     {}\n\
+         max in-degree:      {}\n\
+         estimated diameter: {} (from {} sources)\n\
+         classification:     {}\n\
+         weakly connected:   {}\n\
+         strongly connected: {}\n",
+        props.num_vertices,
+        props.num_edges,
+        props.max_out_degree,
+        props.max_in_degree,
+        props.estimated_diameter,
+        props.num_sources,
+        if props.is_low_diameter() {
+            "low-diameter (SBBC territory)"
+        } else {
+            "non-trivial diameter (MRBC territory)"
+        },
+        algo::is_weakly_connected(&g),
+        algo::is_strongly_connected(&g),
+    ))
+}
+
+fn cmd_bc(p: &ParsedArgs) -> Result<String, String> {
+    let g = load(p)?;
+    let sources = sources_of(p, &g)?;
+    let algorithm = match p.get_str("algorithm").unwrap_or("mrbc") {
+        "mrbc" => Algorithm::Mrbc,
+        "sbbc" => Algorithm::Sbbc,
+        "mfbc" => Algorithm::Mfbc,
+        "abbc" => Algorithm::Abbc,
+        "brandes" => Algorithm::Brandes,
+        other => return Err(format!("unknown algorithm {other:?}")),
+    };
+    let cfg = BcConfig {
+        algorithm,
+        num_hosts: p.get_or("hosts", 4usize)?,
+        batch_size: p.get_or("batch", 32usize)?,
+        ..BcConfig::default()
+    };
+    let result = bc(&g, &sources, &cfg);
+    let top: usize = p.get_or("top", 10usize)?;
+    let mut ranked: Vec<usize> = (0..g.num_vertices()).collect();
+    ranked.sort_by(|&a, &b| result.bc[b].total_cmp(&result.bc[a]));
+
+    let mut out = format!(
+        "{} on {} vertices / {} edges, {} sources, {} hosts\n\
+         modeled execution time: {:.6}s (compute {:.6}s, comm {:.6}s)\n",
+        algorithm.name(),
+        g.num_vertices(),
+        g.num_edges(),
+        sources.len(),
+        cfg.num_hosts,
+        result.execution_time,
+        result.computation_time,
+        result.communication_time,
+    );
+    if let Some(stats) = &result.stats {
+        out += &format!(
+            "BSP rounds: {}   comm volume: {}   sync items: {}   imbalance: {:.2}\n",
+            stats.num_rounds(),
+            mrbc_util::stats::humanize_bytes(stats.total_bytes()),
+            stats.total_sync_items(),
+            stats.load_imbalance(),
+        );
+        if let Some(csv) = p.get_str("csv") {
+            let f = std::fs::File::create(csv).map_err(|e| format!("cannot create {csv}: {e}"))?;
+            stats
+                .write_csv(std::io::BufWriter::new(f))
+                .map_err(|e| format!("cannot write {csv}: {e}"))?;
+            out += &format!("per-round CSV written to {csv}\n");
+        }
+    }
+    out += &format!("top-{top} betweenness:\n");
+    for &v in ranked.iter().take(top) {
+        out += &format!("  {v:>8}  {:.3}\n", result.bc[v]);
+    }
+    Ok(out)
+}
+
+fn cmd_apsp(p: &ParsedArgs) -> Result<String, String> {
+    let g = load(p)?;
+    let mode = match p.get_str("mode").unwrap_or("detect") {
+        "2n" => TerminationMode::FixedTwoN,
+        "finalizer" => TerminationMode::Finalizer,
+        "detect" => TerminationMode::GlobalDetection,
+        other => return Err(format!("unknown mode {other:?}")),
+    };
+    let sources = if mode == TerminationMode::Finalizer {
+        (0..g.num_vertices() as u32).collect()
+    } else {
+        sources_of(p, &g)?
+    };
+    let out = directed_apsp(&g, &sources, mode);
+    let mut s = format!(
+        "directed APSP ({:?}) over {} sources\n\
+         forward rounds:   {}\n\
+         forward messages: {}\n\
+         message bits:     {}\n",
+        mode,
+        out.sources_sorted.len(),
+        out.forward.rounds,
+        out.forward.messages,
+        out.forward.bits,
+    );
+    if let Some(d) = out.diameter {
+        s += &format!("directed diameter (Algorithm 4): {d}\n");
+    }
+    Ok(s)
+}
+
+fn cmd_tune(p: &ParsedArgs) -> Result<String, String> {
+    let g = load(p)?;
+    let hosts: usize = p.get_or("hosts", 4usize)?;
+    let pilot_k: usize = p.get_or("pilot", 32usize)?;
+    let seed: u64 = p.get_or("seed", 1u64)?;
+    let candidates: Vec<usize> = p
+        .get_str("candidates")
+        .unwrap_or("8,16,32,64")
+        .split(',')
+        .map(|x| x.trim().parse().map_err(|_| format!("bad candidate {x:?}")))
+        .collect::<Result<_, _>>()?;
+    let dg = partition(&g, hosts, PartitionPolicy::CartesianVertexCut);
+    let pilot = sample::contiguous_sources(g.num_vertices(), pilot_k, seed);
+    let outcome = tune_batch_size(&g, &dg, &pilot, &candidates, &CostModel::default());
+    let mut s = String::from("batch-size autotuning (modeled time per source):\n");
+    for smp in &outcome.samples {
+        let marker = if smp.batch_size == outcome.best_batch_size {
+            "  <-- best"
+        } else {
+            ""
+        };
+        s += &format!(
+            "  k = {:>4}: {:>10.6}s, {:.1} rounds/source{marker}\n",
+            smp.batch_size, smp.time_per_source, smp.rounds_per_source
+        );
+    }
+    Ok(s)
+}
+
+fn cmd_pagerank(p: &ParsedArgs) -> Result<String, String> {
+    let g = load(p)?;
+    let dg = partition(&g, p.get_or("hosts", 4usize)?, PartitionPolicy::CartesianVertexCut);
+    let cfg = mrbc_analytics::PageRankConfig {
+        damping: p.get_or("damping", 0.85f64)?,
+        max_iterations: p.get_or("iters", 100u32)?,
+        ..mrbc_analytics::PageRankConfig::default()
+    };
+    let out = mrbc_analytics::pagerank(&g, &dg, &cfg);
+    let mut ranked: Vec<usize> = (0..g.num_vertices()).collect();
+    ranked.sort_by(|&a, &b| out.ranks[b].total_cmp(&out.ranks[a]));
+    let mut s = format!(
+        "pagerank converged in {} iterations ({} rounds, {} comm)\ntop-10 ranks:\n",
+        out.iterations,
+        out.stats.num_rounds(),
+        mrbc_util::stats::humanize_bytes(out.stats.total_bytes())
+    );
+    for &v in ranked.iter().take(10) {
+        s += &format!("  {v:>8}  {:.6}\n", out.ranks[v]);
+    }
+    Ok(s)
+}
+
+fn cmd_cc(p: &ParsedArgs) -> Result<String, String> {
+    let g = load(p)?;
+    let dg = partition(&g, p.get_or("hosts", 4usize)?, PartitionPolicy::CartesianVertexCut);
+    let out = mrbc_analytics::connected_components(&g, &dg);
+    Ok(format!(
+        "weakly connected components: {} ({} rounds, {} comm)\n",
+        out.num_components,
+        out.stats.num_rounds(),
+        mrbc_util::stats::humanize_bytes(out.stats.total_bytes())
+    ))
+}
+
+fn cmd_sssp(p: &ParsedArgs) -> Result<String, String> {
+    let g = load(p)?;
+    let dg = partition(&g, p.get_or("hosts", 4usize)?, PartitionPolicy::CartesianVertexCut);
+    let source: u32 = p.get_or("source", 0u32)?;
+    let max_w: u32 = p.get_or("max-weight", 1u32)?;
+    let wg = if max_w <= 1 {
+        mrbc_graph::weighted::WeightedCsrGraph::unit(&g)
+    } else {
+        mrbc_graph::weighted::WeightedCsrGraph::random(&g, max_w, p.get_or("seed", 1u64)?)
+    };
+    let out = mrbc_analytics::sssp(&wg, &dg, source);
+    let reached = out
+        .dist
+        .iter()
+        .filter(|&&d| d != mrbc_graph::weighted::INF_WDIST)
+        .count();
+    let far = out
+        .dist
+        .iter()
+        .filter(|&&d| d != mrbc_graph::weighted::INF_WDIST)
+        .max()
+        .copied()
+        .unwrap_or(0);
+    Ok(format!(
+        "sssp from {source}: reached {reached}/{} vertices, max distance {far}, {} rounds\n",
+        g.num_vertices(),
+        out.rounds
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn sv(xs: &[&str]) -> Vec<String> {
+        xs.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn tmpfile(name: &str) -> String {
+        let dir = std::env::temp_dir().join("mrbc_cli_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_and_unknown_command() {
+        let p = parse(&sv(&["help"]), &[]).expect("parse");
+        assert!(run(&p).expect("help").contains("USAGE"));
+        let p = parse(&sv(&["frobnicate"]), &[]).expect("parse");
+        assert!(run(&p).is_err());
+    }
+
+    #[test]
+    fn generate_info_bc_roundtrip() {
+        let file = tmpfile("cli_rt.el");
+        let p = parse(
+            &sv(&["generate", "rmat", "--out", &file, "--scale", "7", "--seed", "3"]),
+            &[],
+        )
+        .expect("parse");
+        let msg = run(&p).expect("generate");
+        assert!(msg.contains("128 vertices"));
+
+        let p = parse(&sv(&["info", &file, "--sources", "8"]), &[]).expect("parse");
+        let info = run(&p).expect("info");
+        assert!(info.contains("vertices:           128"), "{info}");
+
+        let p = parse(
+            &sv(&["bc", &file, "--algorithm", "mrbc", "--hosts", "2", "--sources", "8", "--top", "3"]),
+            &[],
+        )
+        .expect("parse");
+        let rep = run(&p).expect("bc");
+        assert!(rep.contains("MRBC on 128 vertices"), "{rep}");
+        assert!(rep.contains("BSP rounds"), "{rep}");
+    }
+
+    #[test]
+    fn apsp_and_tune_commands() {
+        let file = tmpfile("cli_cycle.el");
+        let g = generators::cycle(24);
+        io::write_edge_list_file(&g, &file).expect("write");
+
+        let p = parse(&sv(&["apsp", &file, "--mode", "finalizer"]), &[]).expect("parse");
+        let rep = run(&p).expect("apsp");
+        assert!(rep.contains("forward rounds"), "{rep}");
+
+        let p = parse(
+            &sv(&["tune", &file, "--hosts", "2", "--candidates", "2,4", "--pilot", "6"]),
+            &[],
+        )
+        .expect("parse");
+        let rep = run(&p).expect("tune");
+        assert!(rep.contains("<-- best"), "{rep}");
+    }
+
+    #[test]
+    fn bc_csv_flag_writes_per_round_series() {
+        let file = tmpfile("cli_csv.el");
+        let csv = tmpfile("cli_rounds.csv");
+        io::write_edge_list_file(&generators::cycle(16), &file).expect("write");
+        let p = parse(
+            &sv(&["bc", &file, "--hosts", "2", "--sources", "4", "--csv", &csv]),
+            &[],
+        )
+        .expect("parse");
+        let rep = run(&p).expect("bc");
+        assert!(rep.contains("per-round CSV"), "{rep}");
+        let text = std::fs::read_to_string(&csv).expect("csv exists");
+        assert!(text.starts_with("round,total_work"), "{text}");
+        assert!(text.lines().count() > 2);
+    }
+
+    #[test]
+    fn every_generator_kind_builds() {
+        for kind in ["rmat", "kron", "ba", "ws", "er", "road", "webcrawl", "cycle", "path"] {
+            let p = parse(&sv(&["generate", kind, "--scale", "6", "--n", "50"]), &[])
+                .expect("parse");
+            let g = build_graph(kind, &p).unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert!(g.num_vertices() > 0, "{kind} built an empty graph");
+        }
+    }
+
+    #[test]
+    fn analytics_commands() {
+        let file = tmpfile("cli_analytics.el");
+        io::write_edge_list_file(&generators::barabasi_albert(60, 2, 4), &file).expect("write");
+        let p = parse(&sv(&["pagerank", &file, "--hosts", "2", "--iters", "20"]), &[]).expect("parse");
+        assert!(run(&p).expect("pagerank").contains("converged"));
+        let p = parse(&sv(&["cc", &file]), &[]).expect("parse");
+        assert!(run(&p).expect("cc").contains("components: 1"));
+        let p = parse(&sv(&["sssp", &file, "--max-weight", "5"]), &[]).expect("parse");
+        assert!(run(&p).expect("sssp").contains("reached"));
+    }
+
+    #[test]
+    fn bad_inputs_are_reported() {
+        let p = parse(&sv(&["bc", "/nonexistent/file.el"]), &[]).expect("parse");
+        assert!(run(&p).unwrap_err().contains("cannot read"));
+        let p = parse(&sv(&["generate", "nope", "--out", "/tmp/x.el"]), &[]).expect("parse");
+        assert!(run(&p).unwrap_err().contains("unknown graph kind"));
+    }
+}

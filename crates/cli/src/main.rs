@@ -1,0 +1,20 @@
+//! `mrbc` — generate graphs, compute betweenness centrality, validate
+//! APSP bounds, tune batch sizes. Run `mrbc help` for usage.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match mrbc_cli::args::parse(&argv, &[]) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", mrbc_cli::commands::USAGE);
+            std::process::exit(2);
+        }
+    };
+    match mrbc_cli::commands::run(&parsed) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Sequential Brandes betweenness centrality — the correctness oracle.
+//!
+//! Brandes' algorithm (Algorithms 1–2 of the paper) computes, for each
+//! source `s`, the SSSP DAG with shortest-path counts `σ_sv`, then
+//! accumulates dependencies backwards:
+//!
+//! ```text
+//! δ_s•(v) = Σ_{w : v ∈ P_s(w)}  σ_sv / σ_sw · (1 + δ_s•(w))
+//! BC(v)   = Σ_{s ≠ v} δ_s•(v)
+//! ```
+//!
+//! Every distributed implementation in this workspace is validated against
+//! this module.
+
+use mrbc_graph::{CsrGraph, VertexId, INF_DIST};
+use std::collections::VecDeque;
+
+/// Betweenness centrality restricted to the given sources (approximate BC
+/// in the sense of Bader et al. 2007: the betweenness scores of sampled
+/// sources only). Passing every vertex yields exact BC.
+pub fn bc_sources(g: &CsrGraph, sources: &[VertexId]) -> Vec<f64> {
+    let n = g.num_vertices();
+    let mut bc = vec![0.0f64; n];
+    let mut workspace = Workspace::new(n);
+    for &s in sources {
+        workspace.accumulate_source(g, s, &mut bc);
+    }
+    bc
+}
+
+/// Exact betweenness centrality (all sources).
+pub fn bc_exact(g: &CsrGraph) -> Vec<f64> {
+    let all: Vec<VertexId> = (0..g.num_vertices() as VertexId).collect();
+    bc_sources(g, &all)
+}
+
+/// Per-source dependency vector `δ_s•(·)` — exposed for tests that check
+/// distributed accumulation phases source by source.
+pub fn dependencies(g: &CsrGraph, s: VertexId) -> Vec<f64> {
+    let n = g.num_vertices();
+    let mut ws = Workspace::new(n);
+    let mut scratch_bc = vec![0.0; n];
+    ws.accumulate_source(g, s, &mut scratch_bc);
+    ws.delta
+}
+
+/// Reusable per-source scratch buffers (the "workhorse collection"
+/// pattern: one allocation reused across all sources).
+struct Workspace {
+    dist: Vec<u32>,
+    sigma: Vec<f64>,
+    delta: Vec<f64>,
+    /// Vertices in BFS visit order (non-decreasing distance).
+    order: Vec<VertexId>,
+    queue: VecDeque<VertexId>,
+}
+
+impl Workspace {
+    fn new(n: usize) -> Self {
+        Self {
+            dist: vec![INF_DIST; n],
+            sigma: vec![0.0; n],
+            delta: vec![0.0; n],
+            order: Vec::with_capacity(n),
+            queue: VecDeque::new(),
+        }
+    }
+
+    fn accumulate_source(&mut self, g: &CsrGraph, s: VertexId, bc: &mut [f64]) {
+        let n = g.num_vertices();
+        if n == 0 {
+            return;
+        }
+        self.dist.fill(INF_DIST);
+        self.sigma.fill(0.0);
+        self.delta.fill(0.0);
+        self.order.clear();
+
+        // Forward: BFS computing σ and visit order.
+        self.dist[s as usize] = 0;
+        self.sigma[s as usize] = 1.0;
+        self.queue.push_back(s);
+        while let Some(u) = self.queue.pop_front() {
+            self.order.push(u);
+            let du = self.dist[u as usize];
+            let su = self.sigma[u as usize];
+            for &v in g.out_neighbors(u) {
+                if self.dist[v as usize] == INF_DIST {
+                    self.dist[v as usize] = du + 1;
+                    self.queue.push_back(v);
+                }
+                if self.dist[v as usize] == du + 1 {
+                    self.sigma[v as usize] += su;
+                }
+            }
+        }
+
+        self.backward(g, s, bc);
+    }
+
+    /// Backward sweep in reverse BFS order. Pull-based: `v ∈ P_s(w)` iff
+    /// the edge `(v, w)` exists with `dist(w) == dist(v) + 1`, so each `v`
+    /// gathers `σ_v/σ_w · (1 + δ_w)` from its one-level-deeper successors
+    /// — whose `δ` values are already final because of the ordering.
+    fn backward(&mut self, g: &CsrGraph, s: VertexId, bc: &mut [f64]) {
+        for v in self.order.iter().rev() {
+            let v = *v;
+            let dv = self.dist[v as usize];
+            let mut acc = 0.0;
+            for &w in g.out_neighbors(v) {
+                if self.dist[w as usize] == dv + 1 {
+                    acc += self.sigma[v as usize] / self.sigma[w as usize]
+                        * (1.0 + self.delta[w as usize]);
+                }
+            }
+            self.delta[v as usize] = acc;
+            if v != s {
+                bc[v as usize] += acc;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrbc_graph::{generators, GraphBuilder};
+
+    fn assert_close(got: &[f64], want: &[f64]) {
+        assert_eq!(got.len(), want.len());
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            assert!(
+                (g - w).abs() < 1e-9,
+                "BC[{i}]: got {g}, want {w}\nall got: {got:?}\nall want: {want:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn directed_path_bc() {
+        // 0 -> 1 -> 2 -> 3: interior vertices lie on paths.
+        // BC(1): pairs (0,2), (0,3) -> 2. BC(2): (0,3), (1,3) -> 2.
+        let g = generators::path(4);
+        assert_close(&bc_exact(&g), &[0.0, 2.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn undirected_star_bc() {
+        // Star center lies on every path between distinct leaves:
+        // ordered pairs among 4 leaves = 12.
+        let g = generators::star(5);
+        let bc = bc_exact(&g);
+        assert_close(&bc, &[12.0, 0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn diamond_splits_flow() {
+        // 0 -> {1, 2} -> 3: σ(0,3) = 2, each middle vertex carries 1/2.
+        let g = GraphBuilder::new(4)
+            .edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+            .build();
+        assert_close(&bc_exact(&g), &[0.0, 0.5, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn cycle_bc_uniform() {
+        // Directed n-cycle: each ordered pair has a unique path; vertex v
+        // is interior to (n-1)(n-2)/2 of them by symmetry.
+        let n = 6;
+        let g = generators::cycle(n);
+        let expect = ((n - 1) * (n - 2)) as f64 / 2.0;
+        let bc = bc_exact(&g);
+        for v in 0..n {
+            assert!((bc[v] - expect).abs() < 1e-9, "BC[{v}] = {}", bc[v]);
+        }
+    }
+
+    #[test]
+    fn disconnected_pairs_contribute_nothing() {
+        let g = GraphBuilder::new(5).edges([(0, 1), (1, 2), (3, 4)]).build();
+        let bc = bc_exact(&g);
+        assert_close(&bc, &[0.0, 1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn sampled_sources_are_partial_sums() {
+        let g = generators::rmat(generators::RmatConfig::new(6, 4), 9);
+        let n = g.num_vertices();
+        let full = bc_exact(&g);
+        let mut acc = vec![0.0; n];
+        for s in 0..n as u32 {
+            let part = bc_sources(&g, &[s]);
+            for v in 0..n {
+                acc[v] += part[v];
+            }
+        }
+        assert_close(&acc, &full);
+    }
+
+    #[test]
+    fn dependencies_match_definition_on_diamond() {
+        let g = GraphBuilder::new(4)
+            .edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+            .build();
+        let d = dependencies(&g, 0);
+        // δ_0(1) = σ01/σ03·(1+δ(3)) over path through 1 = 1/2·1 + (pair (0,1) excluded).
+        assert_close(&d, &[3.0, 0.5, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(bc_exact(&GraphBuilder::new(0).build()).is_empty());
+        assert_close(&bc_exact(&GraphBuilder::new(1).build()), &[0.0]);
+    }
+}

@@ -1,0 +1,210 @@
+//! The Lenzen–Peleg APSP algorithm (PODC 2013) — the algorithm MRBC's
+//! forward phase refines.
+//!
+//! Section 3.2 of the paper: "In each round r of the Lenzen-Peleg
+//! algorithm, each vertex v sends along its outgoing edges the pair with
+//! smallest index in `L_v^r` whose status (a conditional flag) is set to
+//! *ready*; v then sets the status of this pair to *sent*. As noted in
+//! `[38]` this approach can result in multiple messages being sent from v
+//! for the same source s (in different rounds)." A pair becomes ready
+//! again whenever its entry is updated (distance improved or new shortest
+//! paths found), so up to `2mn` messages can flow — the inefficiency
+//! MRBC's round-indexed schedule removes (Theorem 1 improves both rounds
+//! and messages "by a constant factor").
+//!
+//! This implementation exists as a *measured baseline*: the test suite
+//! and the `bounds` binary compare its message count against MRBC's on
+//! the same graphs, demonstrating the claimed improvement empirically.
+//!
+//! `[38]` computes *distances only*. Shortest-path counts cannot ride on
+//! its messages: a vertex may transmit before all equal-distance
+//! contributions have arrived and then re-transmit its (total) σ, which a
+//! naive receiver would double-count. Guaranteeing σ correctness with
+//! exactly one message per (vertex, source) is precisely MRBC's
+//! Algorithm 3 enhancement ("our APSP algorithm also computes ... the
+//! number of shortest paths σ_sv", Section 3.2).
+
+use mrbc_congest::{Engine, Outbox, RunStats, Target, VertexProgram};
+use mrbc_graph::{CsrGraph, VertexId, INF_DIST};
+
+/// Outcome of a Lenzen–Peleg APSP run.
+#[derive(Clone, Debug)]
+pub struct LpOutcome {
+    /// `dist[j][v]`: distance from the `j`-th (ascending) source to `v`.
+    pub dist: Vec<Vec<u32>>,
+    /// The sources in ascending order.
+    pub sources_sorted: Vec<VertexId>,
+    /// Round / message counters.
+    pub stats: RunStats,
+}
+
+/// Runs Lenzen–Peleg APSP from the given sources until quiescence
+/// (bounded by `2n + k` rounds, the directed-graph guarantee of `[38]`).
+pub fn lenzen_peleg_apsp(g: &CsrGraph, sources: &[VertexId]) -> LpOutcome {
+    let n = g.num_vertices();
+    let mut sources_sorted: Vec<VertexId> = sources.to_vec();
+    sources_sorted.sort_unstable();
+    sources_sorted.dedup();
+    assert!(
+        sources_sorted.iter().all(|&s| (s as usize) < n),
+        "source out of range"
+    );
+    let engine = Engine::new(g);
+    let mut prog = Lp::new(n, &sources_sorted);
+    let cap = 2 * n as u32 + sources_sorted.len() as u32 + 2;
+    let stats = engine.run_until_quiescent(&mut prog, cap.max(1));
+
+    let k = sources_sorted.len();
+    let mut dist = vec![vec![INF_DIST; n]; k];
+    for v in 0..n {
+        for j in 0..k {
+            dist[j][v] = prog.dist[v][j];
+        }
+    }
+    LpOutcome {
+        dist,
+        sources_sorted,
+        stats,
+    }
+}
+
+/// Entry status in `L_v` (the "conditional flag" of `[38]`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Status {
+    Ready,
+    Sent,
+}
+
+struct Lp {
+    k: usize,
+    /// Per vertex, per source: distance estimate.
+    dist: Vec<Vec<u32>>,
+    status: Vec<Vec<Status>>,
+}
+
+impl Lp {
+    fn new(n: usize, sources: &[VertexId]) -> Self {
+        let k = sources.len();
+        let mut lp = Self {
+            k,
+            dist: vec![vec![INF_DIST; k]; n],
+            status: vec![vec![Status::Sent; k]; n],
+        };
+        for (j, &s) in sources.iter().enumerate() {
+            lp.dist[s as usize][j] = 0;
+            lp.status[s as usize][j] = Status::Ready;
+        }
+        lp
+    }
+
+    /// Smallest (distance, source-index) entry flagged ready.
+    fn smallest_ready(&self, v: usize) -> Option<usize> {
+        (0..self.k)
+            .filter(|&j| self.status[v][j] == Status::Ready)
+            .min_by_key(|&j| (self.dist[v][j], j))
+    }
+}
+
+impl VertexProgram for Lp {
+    type Msg = (u32, u32); // (source index, distance)
+
+    fn message_bits(&self, _: &(u32, u32)) -> u64 {
+        32 + 32
+    }
+
+    fn round(
+        &mut self,
+        v: VertexId,
+        _round: u32,
+        inbox: &[(VertexId, (u32, u32))],
+        out: &mut Outbox<(u32, u32)>,
+    ) {
+        let vi = v as usize;
+        // Receive: any distance improvement re-arms the entry.
+        for &(_, (j, d)) in inbox {
+            let ji = j as usize;
+            let cand = d + 1;
+            if cand < self.dist[vi][ji] {
+                self.dist[vi][ji] = cand;
+                self.status[vi][ji] = Status::Ready;
+            }
+        }
+        // Send the smallest ready entry, then mark it sent.
+        if let Some(j) = self.smallest_ready(vi) {
+            self.status[vi][j] = Status::Sent;
+            out.send(Target::OutNeighbors, (j as u32, self.dist[vi][j]));
+        }
+    }
+
+    fn wants_round(&self, v: VertexId, _round: u32) -> bool {
+        self.smallest_ready(v as usize).is_some()
+    }
+
+    fn is_quiescent(&self, v: VertexId) -> bool {
+        self.smallest_ready(v as usize).is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::congest::mrbc::{directed_apsp, TerminationMode};
+    use mrbc_graph::{algo, generators};
+
+    #[test]
+    fn computes_correct_apsp() {
+        let g = generators::rmat(generators::RmatConfig::new(6, 5), 12);
+        let n = g.num_vertices();
+        let all: Vec<VertexId> = (0..n as u32).collect();
+        let out = lenzen_peleg_apsp(&g, &all);
+        let _ = n;
+        for (j, &s) in out.sources_sorted.iter().enumerate() {
+            assert_eq!(out.dist[j], algo::bfs_distances(&g, s), "distances from {s}");
+        }
+    }
+
+    #[test]
+    fn mrbc_sends_no_more_messages_than_lenzen_peleg() {
+        // Theorem 1 vs `[38]`: MRBC sends exactly one message per (vertex,
+        // source) pair; LP re-sends whenever an estimate improves. On
+        // graphs where estimates do improve (non-BFS-tree arrival order),
+        // LP strictly loses.
+        let mut lp_extra = 0u64;
+        for seed in 0..5 {
+            let g = generators::erdos_renyi(60, 0.08, seed);
+            let all: Vec<VertexId> = (0..60).collect();
+            let lp = lenzen_peleg_apsp(&g, &all);
+            let mr = directed_apsp(&g, &all, TerminationMode::FixedTwoN);
+            assert!(
+                mr.forward.messages <= lp.stats.messages,
+                "seed {seed}: MRBC {} > LP {}",
+                mr.forward.messages,
+                lp.stats.messages
+            );
+            lp_extra += lp.stats.messages - mr.forward.messages;
+            // Both compute the same distances.
+            assert_eq!(lp.dist, mr.dist, "seed {seed}");
+        }
+        assert!(lp_extra > 0, "expected LP to re-send at least once across seeds");
+    }
+
+    #[test]
+    fn lp_respects_the_2mn_bound() {
+        let g = generators::random_strongly_connected(50, 0.06, 2);
+        let all: Vec<VertexId> = (0..50).collect();
+        let out = lenzen_peleg_apsp(&g, &all);
+        let bound = 2 * (g.num_edges() * 50) as u64;
+        assert!(out.stats.messages <= bound);
+        assert!(out.stats.rounds <= 2 * 50 + 52);
+    }
+
+    #[test]
+    fn k_source_subset() {
+        let g = generators::web_crawl(generators::WebCrawlConfig::new(150), 3);
+        let sources = vec![3, 30, 90];
+        let out = lenzen_peleg_apsp(&g, &sources);
+        for (j, &s) in out.sources_sorted.iter().enumerate() {
+            assert_eq!(out.dist[j], algo::bfs_distances(&g, s));
+        }
+    }
+}

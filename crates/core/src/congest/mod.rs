@@ -1,0 +1,5 @@
+//! CONGEST-model implementations (round/message-bound validation).
+
+pub mod lenzen_peleg;
+pub mod mrbc;
+pub mod sbbc;

@@ -1,0 +1,269 @@
+//! Synchronous-Brandes BC in the CONGEST model.
+//!
+//! The classical baseline (the paper's SBBC): one source at a time, a
+//! level-by-level BFS computes distances and shortest-path counts, then a
+//! level-by-level backward sweep accumulates dependencies. Each BFS level
+//! costs one round in each direction, so a single source needs
+//! `Θ(ecc(s))` rounds and `k` sources need `Θ(Σ ecc)` rounds — the
+//! round count MRBC's pipelining collapses to `2(k + H)`.
+
+use mrbc_congest::{Engine, Outbox, RunStats, Target, VertexProgram};
+use mrbc_graph::{CsrGraph, VertexId, INF_DIST};
+
+/// Outcome of a CONGEST SBBC run.
+#[derive(Clone, Debug)]
+pub struct SbbcOutcome {
+    /// Betweenness scores restricted to the requested sources.
+    pub bc: Vec<f64>,
+    /// Total rounds across all sources and both phases.
+    pub total: RunStats,
+    /// Rounds of the slowest single source (forward + backward).
+    pub max_rounds_per_source: u32,
+}
+
+/// Runs SBBC for every source in `sources`, accumulating BC.
+pub fn sbbc_bc(g: &CsrGraph, sources: &[VertexId]) -> SbbcOutcome {
+    let n = g.num_vertices();
+    let engine = Engine::new(g);
+    let mut bc = vec![0.0f64; n];
+    let mut total = RunStats::default();
+    let mut max_per_source = 0u32;
+
+    for &s in sources {
+        // Forward phase.
+        let mut fwd = SbbcForward::new(n, s);
+        let fwd_stats = engine.run_until_quiescent(&mut fwd, 2 * n as u32 + 2);
+
+        // Deepest reached level bounds the backward schedule.
+        let max_level = fwd
+            .dist
+            .iter()
+            .filter(|&&d| d != INF_DIST)
+            .max()
+            .copied()
+            .unwrap_or(0);
+
+        // Backward phase.
+        let mut bwd = SbbcBackward {
+            dist: std::mem::take(&mut fwd.dist),
+            sigma: std::mem::take(&mut fwd.sigma),
+            delta: vec![0.0; n],
+            max_level,
+        };
+        let bwd_stats = engine.run_rounds(&mut bwd, max_level + 1);
+
+        for v in 0..n {
+            if v != s as usize && bwd.dist[v] != INF_DIST {
+                bc[v] += bwd.delta[v];
+            }
+        }
+        max_per_source = max_per_source.max(fwd_stats.rounds + bwd_stats.rounds);
+        total.merge(fwd_stats);
+        total.merge(bwd_stats);
+    }
+
+    SbbcOutcome {
+        bc,
+        total,
+        max_rounds_per_source: max_per_source,
+    }
+}
+
+/// Level-synchronous BFS with σ aggregation. All predecessors of a
+/// level-`ℓ` vertex sit at level `ℓ − 1` and send in the same round, so
+/// the full σ is available the first (and only) round a vertex receives.
+struct SbbcForward {
+    source: VertexId,
+    dist: Vec<u32>,
+    sigma: Vec<f64>,
+    started: bool,
+}
+
+impl SbbcForward {
+    fn new(n: usize, source: VertexId) -> Self {
+        let mut dist = vec![INF_DIST; n];
+        let mut sigma = vec![0.0; n];
+        dist[source as usize] = 0;
+        sigma[source as usize] = 1.0;
+        Self {
+            source,
+            dist,
+            sigma,
+            started: false,
+        }
+    }
+}
+
+impl VertexProgram for SbbcForward {
+    type Msg = (u32, f64);
+
+    fn message_bits(&self, _: &(u32, f64)) -> u64 {
+        32 + 64
+    }
+
+    fn round(
+        &mut self,
+        v: VertexId,
+        round: u32,
+        inbox: &[(VertexId, (u32, f64))],
+        out: &mut Outbox<(u32, f64)>,
+    ) {
+        let vi = v as usize;
+        if round == 1 && v == self.source {
+            self.started = true;
+            out.send(Target::OutNeighbors, (0, 1.0));
+            return;
+        }
+        if inbox.is_empty() || self.dist[vi] != INF_DIST {
+            return; // already settled; any further messages are longer paths
+        }
+        let d = inbox[0].1 .0 + 1;
+        let mut sig = 0.0;
+        for (_, (du, su)) in inbox {
+            debug_assert_eq!(du + 1, d, "mixed levels in one inbox");
+            sig += su;
+        }
+        self.dist[vi] = d;
+        self.sigma[vi] = sig;
+        out.send(Target::OutNeighbors, (d, sig));
+    }
+
+    fn wants_round(&self, v: VertexId, round: u32) -> bool {
+        round == 1 && v == self.source
+    }
+
+    fn is_quiescent(&self, _v: VertexId) -> bool {
+        true
+    }
+}
+
+/// Backward sweep: the vertex at level `ℓ` broadcasts `(1 + δ)/σ` along
+/// its in-edges in round `max_level − ℓ + 1`; receivers one level closer
+/// to the source filter by distance and accumulate.
+struct SbbcBackward {
+    dist: Vec<u32>,
+    sigma: Vec<f64>,
+    delta: Vec<f64>,
+    max_level: u32,
+}
+
+impl VertexProgram for SbbcBackward {
+    type Msg = (u32, f64);
+
+    fn message_bits(&self, _: &(u32, f64)) -> u64 {
+        32 + 64
+    }
+
+    fn round(
+        &mut self,
+        v: VertexId,
+        round: u32,
+        inbox: &[(VertexId, (u32, f64))],
+        out: &mut Outbox<(u32, f64)>,
+    ) {
+        let vi = v as usize;
+        let dv = self.dist[vi];
+        if dv == INF_DIST {
+            return;
+        }
+        // Contributions from one level deeper arrive exactly this round.
+        for (_, (dw, m)) in inbox {
+            if *dw == dv + 1 {
+                self.delta[vi] += self.sigma[vi] * m;
+            }
+        }
+        if self.max_level >= dv && round == self.max_level - dv + 1 && dv > 0 {
+            let m = (1.0 + self.delta[vi]) / self.sigma[vi];
+            out.send(Target::InNeighbors, (dv, m));
+        }
+        // Level-0 (the source) never sends; its δ is complete after its
+        // receive round.
+    }
+
+    fn wants_round(&self, v: VertexId, round: u32) -> bool {
+        let dv = self.dist[v as usize];
+        dv != INF_DIST && dv > 0 && self.max_level >= dv && round == self.max_level - dv + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brandes;
+    use mrbc_graph::{generators, GraphBuilder};
+
+    fn assert_bc_close(got: &[f64], want: &[f64]) {
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            assert!((g - w).abs() < 1e-9, "BC[{i}]: got {g}, want {w}");
+        }
+    }
+
+    #[test]
+    fn matches_brandes_on_shapes() {
+        let cases = vec![
+            generators::path(6),
+            generators::cycle(8),
+            generators::star(7),
+            GraphBuilder::new(4)
+                .edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+                .build(),
+        ];
+        for g in cases {
+            let n = g.num_vertices();
+            let sources: Vec<VertexId> = (0..n as VertexId).collect();
+            let got = sbbc_bc(&g, &sources);
+            assert_bc_close(&got.bc, &brandes::bc_exact(&g));
+        }
+    }
+
+    #[test]
+    fn matches_brandes_on_random_graphs_with_sampled_sources() {
+        for seed in 0..3 {
+            let g = generators::erdos_renyi(35, 0.1, seed);
+            let sources = vec![0, 7, 19];
+            let got = sbbc_bc(&g, &sources);
+            assert_bc_close(&got.bc, &brandes::bc_sources(&g, &sources));
+        }
+    }
+
+    #[test]
+    fn rounds_scale_with_eccentricity() {
+        // SBBC on a long path: source 0 pays ~2·(n−1) rounds.
+        let g = generators::path(30);
+        let out = sbbc_bc(&g, &[0]);
+        assert!(
+            out.total.rounds >= 2 * 29,
+            "path rounds {} too low",
+            out.total.rounds
+        );
+        // A star is done in a handful of rounds.
+        let star = generators::star(30);
+        let out2 = sbbc_bc(&star, &[0]);
+        assert!(out2.total.rounds <= 8, "star rounds {}", out2.total.rounds);
+    }
+
+    #[test]
+    fn mrbc_needs_fewer_rounds_than_sbbc_on_high_diameter() {
+        use crate::congest::mrbc::{mrbc_bc, TerminationMode};
+        let g = generators::grid_road_network(generators::RoadNetworkConfig::new(2, 40), 1);
+        let sources: Vec<VertexId> = (0..8).collect();
+        let sb = sbbc_bc(&g, &sources);
+        let mr = mrbc_bc(&g, &sources, TerminationMode::GlobalDetection);
+        let mr_rounds = mr.forward.rounds + mr.backward.rounds;
+        assert!(
+            mr_rounds * 2 < sb.total.rounds,
+            "MRBC {} rounds vs SBBC {} — pipelining should win by >2x",
+            mr_rounds,
+            sb.total.rounds
+        );
+        assert_bc_close(&mr.bc, &sb.bc);
+    }
+
+    #[test]
+    fn empty_sources() {
+        let g = generators::path(4);
+        let out = sbbc_bc(&g, &[]);
+        assert_eq!(out.total.rounds, 0);
+        assert!(out.bc.iter().all(|&b| b == 0.0));
+    }
+}

@@ -1,0 +1,715 @@
+//! MRBC on the simulated D-Galois substrate, with the paper's
+//! optimizations (Section 4.3).
+//!
+//! * **Data structures** — per vertex and source the labels live in a
+//!   dense array `A_v` (distance, σ, δ grouped for locality) and the send
+//!   schedule in the flat map `M_v : distance → bitvector over sources`,
+//!   exactly the structures of Section 4.3.
+//! * **Delayed synchronization** — a `(v, s)` label is synchronized
+//!   exactly once per phase, in the round in which Algorithm 3/5 proves
+//!   it final, instead of every round it changes.
+//! * **Proxy synchronization rule** — in round `r`, `(d_sv, σ_sv)` is
+//!   reduced from mirrors to the master and broadcast back only if
+//!   `r = d_sv + ℓ_v^r(d_sv, s)`; in the accumulation phase `δ_s•(v)` is
+//!   synchronized only in round `A_sv`.
+//!
+//! Execution model: one BSP round = one CONGEST round. Each round first
+//! synchronizes the labels whose send condition fires (reduce mirrors →
+//! master, sum σ / δ partials, broadcast the reconciled value to every
+//! mirror), then every host pushes the finalized labels along its local
+//! edges, updating neighbor proxies locally. Per-host partial updates are
+//! applied in parallel with Rayon; the authoritative pipelining schedule
+//! is kept per global vertex, which is exactly the CONGEST semantics the
+//! correctness lemmas are stated for (each host's flag is a subset of the
+//! global flag; Gluon synchronizes the union).
+
+use super::{DistBcOutcome, MRBC_ITEM_BYTES};
+use mrbc_dgalois::comm::{Exchange, PhaseDir, RoundComm};
+use mrbc_dgalois::{BspStats, DistGraph};
+use mrbc_graph::{CsrGraph, VertexId, INF_DIST};
+use mrbc_util::{DenseBitset, FlatMap};
+use rayon::prelude::*;
+
+/// Tuning knobs for [`mrbc_bc_with_options`].
+#[derive(Clone, Copy, Debug)]
+pub struct MrbcOptions {
+    /// Sources per batch (the paper's `k`; Figure 1 sweeps this).
+    pub batch_size: usize,
+    /// `true` (default): the paper's Section 4.3 *delayed
+    /// synchronization* — each `(v, s)` label is reduced + broadcast
+    /// exactly once per phase, in the round its send condition fires.
+    /// `false`: Gluon's default eager mode — every proxy label updated in
+    /// a round is synchronized at the start of the next round, however
+    /// many times it changes. Results are identical; the communication
+    /// accounting quantifies what the optimization saves (the `ablation`
+    /// benchmark binary reports it).
+    pub delayed_sync: bool,
+}
+
+impl Default for MrbcOptions {
+    fn default() -> Self {
+        Self {
+            batch_size: 32,
+            delayed_sync: true,
+        }
+    }
+}
+
+/// Runs distributed MRBC over `dg` (a partition of `g`) for the given
+/// sources, processing them in batches of `batch_size` (the paper's `k`;
+/// Figure 1 sweeps this parameter).
+pub fn mrbc_bc(
+    g: &CsrGraph,
+    dg: &DistGraph,
+    sources: &[VertexId],
+    batch_size: usize,
+) -> DistBcOutcome {
+    mrbc_bc_with_options(
+        g,
+        dg,
+        sources,
+        &MrbcOptions {
+            batch_size,
+            ..MrbcOptions::default()
+        },
+    )
+}
+
+/// [`mrbc_bc`] with explicit [`MrbcOptions`].
+pub fn mrbc_bc_with_options(
+    g: &CsrGraph,
+    dg: &DistGraph,
+    sources: &[VertexId],
+    options: &MrbcOptions,
+) -> DistBcOutcome {
+    assert!(options.batch_size >= 1, "batch size must be at least 1");
+    let n = g.num_vertices();
+    let mut sorted: Vec<VertexId> = sources.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert!(sorted.iter().all(|&s| (s as usize) < n), "source out of range");
+
+    let mut bc = vec![0.0f64; n];
+    let mut stats = BspStats::new(dg.num_hosts);
+    for batch in sorted.chunks(options.batch_size) {
+        let mut state = Batch::new(g, dg, batch, options.delayed_sync);
+        state.forward(&mut stats);
+        state.backward(&mut stats);
+        for v in 0..n {
+            for (j, &s) in batch.iter().enumerate() {
+                if s as usize != v {
+                    bc[v] += state.delta_g[v * state.k + j];
+                }
+            }
+        }
+    }
+    DistBcOutcome { bc, stats }
+}
+
+/// Per-host forward-phase push records: `(target vertex, source index,
+/// candidate distance, σ contribution)` plus the host's work units.
+type FwdPushes = (Vec<(u32, u32, u32, f64)>, u64);
+
+/// Per-host backward-phase push records: `(target vertex, source index,
+/// δ contribution)` plus the host's work units.
+type BwdPushes = (Vec<(u32, u32, f64)>, u64);
+
+/// Per-host proxy labels for one batch: the partial (pre-reduce) values
+/// accumulated from local edges, flat over `(local proxy, source)`.
+struct HostState {
+    dist: Vec<u32>,
+    sigma: Vec<f64>,
+    delta: Vec<f64>,
+    /// Forward-synced markers: after `(v, j)` syncs, the proxy value is
+    /// final and must never receive another shortest-path contribution.
+    synced: DenseBitset,
+}
+
+/// One batch's execution state.
+struct Batch<'a> {
+    g: &'a CsrGraph,
+    dg: &'a DistGraph,
+    k: usize,
+    /// Authoritative labels, flat over `(global vertex, source)`.
+    dist_g: Vec<u32>,
+    sigma_g: Vec<f64>,
+    delta_g: Vec<f64>,
+    tau: Vec<u32>,
+    /// The schedule `M_v` per global vertex.
+    schedule: Vec<FlatMap<u32, DenseBitset>>,
+    pending_total: u64,
+    /// Forward-phase termination round `R`.
+    r_term: u32,
+    hosts: Vec<HostState>,
+    /// Delayed (paper) vs eager (Gluon-default) synchronization.
+    delayed_sync: bool,
+    /// Eager mode: `(host, v, j)` proxy labels updated last round and not
+    /// yet synchronized.
+    eager_pending: Vec<(u16, u32, u32)>,
+}
+
+impl<'a> Batch<'a> {
+    fn new(
+        g: &'a CsrGraph,
+        dg: &'a DistGraph,
+        sources: &[VertexId],
+        delayed_sync: bool,
+    ) -> Self {
+        let n = g.num_vertices();
+        let k = sources.len();
+        let hosts = dg
+            .hosts
+            .iter()
+            .map(|h| {
+                let p = h.num_proxies();
+                HostState {
+                    dist: vec![INF_DIST; p * k],
+                    sigma: vec![0.0; p * k],
+                    delta: vec![0.0; p * k],
+                    synced: DenseBitset::new(p * k),
+                }
+            })
+            .collect();
+        let mut b = Self {
+            g,
+            dg,
+            k,
+            dist_g: vec![INF_DIST; n * k],
+            sigma_g: vec![0.0; n * k],
+            delta_g: vec![0.0; n * k],
+            tau: vec![u32::MAX; n * k],
+            schedule: (0..n).map(|_| FlatMap::new()).collect(),
+            pending_total: 0,
+            r_term: 0,
+            hosts,
+            delayed_sync,
+            eager_pending: Vec::new(),
+        };
+        for (j, &s) in sources.iter().enumerate() {
+            let v = s as usize;
+            b.dist_g[v * k + j] = 0;
+            b.sigma_g[v * k + j] = 1.0;
+            b.schedule[v]
+                .get_or_insert_with(0, || DenseBitset::new(k))
+                .set(j);
+            b.pending_total += 1;
+            // The source's own proxy on its owner starts with (0, 1).
+            let own = dg.owner(s) as usize;
+            let l = dg.local(own, s).expect("owner has master proxy") as usize;
+            b.hosts[own].dist[l * k + j] = 0;
+            b.hosts[own].sigma[l * k + j] = 1.0;
+            if !b.delayed_sync {
+                b.eager_pending.push((own as u16, s, j as u32));
+            }
+        }
+        b
+    }
+
+    /// The unique `(j, d)` of `M_v` scheduled for `round`, if any
+    /// (identical logic to the CONGEST implementation).
+    fn scheduled_send(&self, v: usize, round: u32) -> Option<(u32, u32)> {
+        let mut below: u32 = 0;
+        for (d, bits) in self.schedule[v].iter() {
+            let cnt = bits.count_ones() as u32;
+            let lo = d + below + 1;
+            if round < lo {
+                return None;
+            }
+            if round <= d + below + cnt {
+                let j = bits.select((round - lo) as usize).expect("rank in block") as u32;
+                return Some((j, *d));
+            }
+            below += cnt;
+        }
+        None
+    }
+
+    /// Forward phase: Algorithm 3 as BSP rounds with delayed sync.
+    fn forward(&mut self, stats: &mut BspStats) {
+        let n = self.g.num_vertices();
+        let k = self.k;
+        let cap = 2 * n as u32 + k as u32 + 2;
+        let mut round = 0u32;
+        while self.pending_total > 0 {
+            round += 1;
+            assert!(round <= cap, "forward phase exceeded the 2n + k bound");
+            let mut comm = RoundComm::new(self.dg.num_hosts);
+
+            // Flag set: labels whose send condition fires this round.
+            let flags: Vec<(u32, u32, u32)> = (0..n)
+                .into_par_iter()
+                .filter_map(|v| {
+                    self.scheduled_send(v, round)
+                        .map(|(j, d)| (v as u32, j, d))
+                })
+                .collect();
+            for &(v, j, _) in &flags {
+                let idx = v as usize * k + j as usize;
+                debug_assert_eq!(self.tau[idx], u32::MAX);
+                self.tau[idx] = round;
+                self.pending_total -= 1;
+            }
+
+            // SYNC: delayed mode reduces + broadcasts exactly the flagged
+            // labels; eager mode synchronizes whatever was updated in the
+            // previous round (Gluon's default behavior).
+            if self.delayed_sync {
+                self.sync_flags(&flags, &mut comm, /*forward=*/ true);
+            } else {
+                self.eager_sync(&mut comm);
+            }
+
+            // COMPUTE: every host pushes each flagged label along its
+            // local out-edges, updating its own proxy partials.
+            let dg = self.dg;
+            let sigma_g = &self.sigma_g;
+            let pushes: Vec<FwdPushes> = self
+                .hosts
+                .par_iter_mut()
+                .enumerate()
+                .map(|(h, hs)| {
+                    let topo = &dg.hosts[h];
+                    let mut out: Vec<(u32, u32, u32, f64)> = Vec::new();
+                    let mut w = 0u64;
+                    for &(v, j, d) in &flags {
+                        let Some(lv) = dg.local(h, v) else { continue };
+                        // Schedule scan + sync bookkeeping for this label.
+                        w += 2;
+                        let sig = sigma_g[v as usize * k + j as usize];
+                        let d_new = d + 1;
+                        for &lu in topo.graph.out_neighbors(lv) {
+                            // Relaxation + M_v flat-map/bitvector upkeep:
+                            // the data-structure overhead behind the
+                            // paper's "computation time of MRBC is higher
+                            // than that of SBBC" (Section 5.3).
+                            w += 3;
+                            let gu = topo.global_of_local[lu as usize];
+                            let idx = lu as usize * k + j as usize;
+                            let cur = hs.dist[idx];
+                            if d_new < cur {
+                                debug_assert!(
+                                    !hs.synced.get(idx),
+                                    "proxy improved after its sync round"
+                                );
+                                hs.dist[idx] = d_new;
+                                hs.sigma[idx] = sig;
+                                out.push((gu, j, d_new, sig));
+                            } else if d_new == cur {
+                                debug_assert!(
+                                    !hs.synced.get(idx),
+                                    "σ contribution after the sync round"
+                                );
+                                hs.sigma[idx] += sig;
+                                out.push((gu, j, d_new, sig));
+                            }
+                            // d_new > cur: longer path, ignored.
+                        }
+                    }
+                    (out, w)
+                })
+                .collect();
+
+            // Merge pushes into the authoritative state (Steps 11–17).
+            let mut work = Vec::with_capacity(self.dg.num_hosts);
+            for (h, (host_pushes, w)) in pushes.into_iter().enumerate() {
+                work.push(w);
+                for (gu, j, d_new, sig) in host_pushes {
+                    if !self.delayed_sync {
+                        self.eager_pending.push((h as u16, gu, j));
+                    }
+                    self.merge_global(gu as usize, j as usize, d_new, sig);
+                }
+            }
+
+            stats.record_round(work, comm);
+        }
+        // Eager mode flushes the final round's updates in one extra sync.
+        if !self.delayed_sync && !self.eager_pending.is_empty() {
+            round += 1;
+            let mut comm = RoundComm::new(self.dg.num_hosts);
+            self.eager_sync(&mut comm);
+            stats.record_round(vec![0; self.dg.num_hosts], comm);
+        }
+        self.r_term = round;
+    }
+
+    /// Gluon-default synchronization: every proxy label updated since the
+    /// previous sync is reduced to its master and the reconciled value
+    /// broadcast to every mirror — once per round it changed, not once
+    /// per phase. Only the traffic differs from delayed mode; the
+    /// computation (and therefore every result) is identical.
+    fn eager_sync(&mut self, comm: &mut RoundComm) {
+        let updates = std::mem::take(&mut self.eager_pending);
+        if updates.is_empty() {
+            return;
+        }
+        let mut reduce: Exchange<()> = Exchange::new(self.dg.num_hosts);
+        let mut bcast: Exchange<()> = Exchange::new(self.dg.num_hosts);
+        // Distinct (host, v, j) contribute one reduce item each ...
+        let mut contributors = updates;
+        contributors.sort_unstable();
+        contributors.dedup();
+        for &(h, v, _) in &contributors {
+            let own = self.dg.owner(v) as usize;
+            if h as usize != own {
+                reduce.send(h as usize, own, (), MRBC_ITEM_BYTES);
+            }
+        }
+        // ... and each distinct (v, j) broadcasts to every mirror.
+        let mut labels: Vec<(u32, u32)> = contributors.iter().map(|&(_, v, j)| (v, j)).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        for &(v, _) in &labels {
+            let own = self.dg.owner(v) as usize;
+            for &mh in self.dg.mirror_hosts(v) {
+                bcast.send(own, mh as usize, (), MRBC_ITEM_BYTES);
+            }
+        }
+        reduce.finish(self.dg, PhaseDir::Reduce, comm);
+        bcast.finish(self.dg, PhaseDir::Broadcast, comm);
+    }
+
+    /// Merge one push into the global labels and schedule (Steps 11–17 of
+    /// Algorithm 3 on the authoritative state).
+    fn merge_global(&mut self, v: usize, j: usize, d_new: u32, sig: f64) {
+        let k = self.k;
+        let idx = v * k + j;
+        let cur = self.dist_g[idx];
+        if cur == INF_DIST {
+            self.dist_g[idx] = d_new;
+            self.sigma_g[idx] = sig;
+            self.schedule[v]
+                .get_or_insert_with(d_new, || DenseBitset::new(k))
+                .set(j);
+            self.pending_total += 1;
+        } else if cur == d_new {
+            debug_assert_eq!(self.tau[idx], u32::MAX, "σ after send (Lemma 5)");
+            self.sigma_g[idx] += sig;
+        } else if cur > d_new {
+            debug_assert_eq!(self.tau[idx], u32::MAX, "improvement after send");
+            let bits = self.schedule[v].get_mut(&cur).expect("entry exists");
+            bits.clear(j);
+            if bits.none() {
+                self.schedule[v].remove(&cur);
+            }
+            self.dist_g[idx] = d_new;
+            self.sigma_g[idx] = sig;
+            self.schedule[v]
+                .get_or_insert_with(d_new, || DenseBitset::new(k))
+                .set(j);
+        }
+    }
+
+    /// One reduce + broadcast cycle for the flagged labels. In the
+    /// forward phase (d, σ) is reconciled; in the backward phase δ.
+    fn sync_flags(&mut self, flags: &[(u32, u32, u32)], comm: &mut RoundComm, forward: bool) {
+        let k = self.k;
+        let mut reduce: Exchange<()> = Exchange::new(self.dg.num_hosts);
+        let mut bcast: Exchange<()> = Exchange::new(self.dg.num_hosts);
+        for &(v, j, _) in flags {
+            let gidx = v as usize * k + j as usize;
+            let own = self.dg.owner(v) as usize;
+            let mut reduced_sigma = 0.0f64;
+            let mut reduced_delta = 0.0f64;
+            let d_final = self.dist_g[gidx];
+            // Reduce: every proxy (mirrors and master alike) contributes
+            // its partial; mirror contributions cross the network.
+            for h in std::iter::once(own).chain(self.dg.mirror_hosts(v).iter().map(|&m| m as usize))
+            {
+                let Some(l) = self.dg.local(h, v) else { continue };
+                let lidx = l as usize * k + j as usize;
+                let hs = &mut self.hosts[h];
+                if forward {
+                    if hs.dist[lidx] == d_final {
+                        reduced_sigma += hs.sigma[lidx];
+                    }
+                    if h != own && hs.dist[lidx] != INF_DIST {
+                        reduce.send(h, own, (), MRBC_ITEM_BYTES);
+                    }
+                } else {
+                    reduced_delta += hs.delta[lidx];
+                    if h != own && hs.delta[lidx] != 0.0 {
+                        reduce.send(h, own, (), MRBC_ITEM_BYTES);
+                    }
+                }
+            }
+            if forward {
+                debug_assert!(
+                    (reduced_sigma - self.sigma_g[gidx]).abs() <= 1e-9 * self.sigma_g[gidx].max(1.0),
+                    "σ reduce mismatch: {} vs {}",
+                    reduced_sigma,
+                    self.sigma_g[gidx]
+                );
+            } else {
+                debug_assert!(
+                    (reduced_delta - self.delta_g[gidx]).abs()
+                        <= 1e-9 * self.delta_g[gidx].abs().max(1.0),
+                    "δ reduce mismatch: {} vs {}",
+                    reduced_delta,
+                    self.delta_g[gidx]
+                );
+            }
+            // Broadcast the reconciled value to every proxy that can use
+            // it. Gluon "automatically exploits partitioning constraints
+            // to avoid the default all-reduce" (Section 4.1): a proxy
+            // consumes the forward (d, σ) only to push along local
+            // out-edges, and the backward δ only to push along local
+            // in-edges, so mirrors without such edges are skipped —
+            // e.g. under the Cartesian vertex-cut, forward values flow
+            // only to the owner's grid row and δ only to its column.
+            for h in std::iter::once(own).chain(self.dg.mirror_hosts(v).iter().map(|&m| m as usize))
+            {
+                let Some(l) = self.dg.local(h, v) else { continue };
+                let consumes = if forward {
+                    self.dg.hosts[h].graph.out_degree(l) > 0
+                } else {
+                    self.dg.hosts[h].in_graph.out_degree(l) > 0
+                };
+                if !consumes && h != own {
+                    continue;
+                }
+                let lidx = l as usize * k + j as usize;
+                if h != own {
+                    bcast.send(own, h, (), MRBC_ITEM_BYTES);
+                }
+                let hs = &mut self.hosts[h];
+                if forward {
+                    hs.dist[lidx] = d_final;
+                    hs.sigma[lidx] = self.sigma_g[gidx];
+                    hs.synced.set(lidx);
+                } else {
+                    hs.delta[lidx] = self.delta_g[gidx];
+                }
+            }
+        }
+        reduce.finish(self.dg, PhaseDir::Reduce, comm);
+        bcast.finish(self.dg, PhaseDir::Broadcast, comm);
+    }
+
+    /// Backward phase: Algorithm 5 as BSP rounds. `A_sv = R − τ_sv + 1`.
+    fn backward(&mut self, stats: &mut BspStats) {
+        let n = self.g.num_vertices();
+        let k = self.k;
+        let r = self.r_term;
+        // Bucket the accumulation agenda by round.
+        let mut agenda: Vec<Vec<(u32, u32, u32)>> = vec![Vec::new(); r as usize + 2];
+        for v in 0..n {
+            for j in 0..k {
+                let tau = self.tau[v * k + j];
+                if tau != u32::MAX {
+                    let a = r - tau + 1;
+                    agenda[a as usize].push((v as u32, j as u32, self.dist_g[v * k + j]));
+                }
+            }
+        }
+
+        for round in 1..=(r + 1) {
+            let flags = std::mem::take(&mut agenda[round as usize]);
+            let mut comm = RoundComm::new(self.dg.num_hosts);
+            // SYNC δ for the labels due this round (delayed), or all δ
+            // partials updated last round (eager).
+            if self.delayed_sync {
+                self.sync_flags(&flags, &mut comm, /*forward=*/ false);
+            } else {
+                self.eager_sync(&mut comm);
+            }
+
+            // COMPUTE: push (1 + δ)/σ to shortest-path predecessors along
+            // local in-edges; accumulate δ partials per host.
+            let dg = self.dg;
+            let (dist_g, sigma_g, delta_g) = (&self.dist_g, &self.sigma_g, &self.delta_g);
+            let pushes: Vec<BwdPushes> = self
+                .hosts
+                .par_iter_mut()
+                .enumerate()
+                .map(|(h, hs)| {
+                    let topo = &dg.hosts[h];
+                    let mut out = Vec::new();
+                    let mut w = 0u64;
+                    for &(v, j, dv) in &flags {
+                        let Some(lv) = dg.local(h, v) else { continue };
+                        w += 2;
+                        let gidx = v as usize * k + j as usize;
+                        let m = (1.0 + delta_g[gidx]) / sigma_g[gidx];
+                        for &lu in topo.in_graph.out_neighbors(lv) {
+                            // Accumulation + per-source indexing upkeep.
+                            w += 2;
+                            let gu = topo.global_of_local[lu as usize] as usize;
+                            let uidx = gu * k + j as usize;
+                            // u ∈ P_s(v) iff d_su + 1 = d_sv.
+                            if dv > 0 && dist_g[uidx] == dv - 1 {
+                                let contrib = sigma_g[uidx] * m;
+                                hs.delta[lu as usize * k + j as usize] += contrib;
+                                out.push((gu as u32, j, contrib));
+                            }
+                        }
+                    }
+                    (out, w)
+                })
+                .collect();
+            let mut work = Vec::with_capacity(self.dg.num_hosts);
+            for (h, (host_pushes, w)) in pushes.into_iter().enumerate() {
+                work.push(w);
+                for (gu, j, contrib) in host_pushes {
+                    if !self.delayed_sync {
+                        self.eager_pending.push((h as u16, gu, j));
+                    }
+                    self.delta_g[gu as usize * k + j as usize] += contrib;
+                }
+            }
+            stats.record_round(work, comm);
+        }
+        if !self.delayed_sync && !self.eager_pending.is_empty() {
+            let mut comm = RoundComm::new(self.dg.num_hosts);
+            self.eager_sync(&mut comm);
+            stats.record_round(vec![0; self.dg.num_hosts], comm);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brandes;
+    use mrbc_dgalois::{partition, PartitionPolicy};
+    use mrbc_graph::generators;
+
+    fn assert_bc_close(got: &[f64], want: &[f64]) {
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            assert!(
+                (g - w).abs() < 1e-9 * w.abs().max(1.0),
+                "BC[{i}]: got {g}, want {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_brandes_across_policies_and_hosts() {
+        let g = generators::rmat(generators::RmatConfig::new(6, 5), 21);
+        let sources: Vec<u32> = (0..16).collect();
+        let want = brandes::bc_sources(&g, &sources);
+        for policy in [
+            PartitionPolicy::BlockedEdgeCut,
+            PartitionPolicy::HashedEdgeCut,
+            PartitionPolicy::CartesianVertexCut,
+        ] {
+            for hosts in [1, 2, 4] {
+                let dg = partition(&g, hosts, policy);
+                let out = mrbc_bc(&g, &dg, &sources, 8);
+                assert_bc_close(&out.bc, &want);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_size_does_not_change_results() {
+        let g = generators::web_crawl(generators::WebCrawlConfig::new(300), 4);
+        let sources: Vec<u32> = (0..24).collect();
+        let dg = partition(&g, 4, PartitionPolicy::CartesianVertexCut);
+        let want = brandes::bc_sources(&g, &sources);
+        for batch in [1, 4, 24] {
+            let out = mrbc_bc(&g, &dg, &sources, batch);
+            assert_bc_close(&out.bc, &want);
+        }
+    }
+
+    #[test]
+    fn larger_batches_cut_rounds() {
+        let g = generators::grid_road_network(generators::RoadNetworkConfig::new(3, 30), 2);
+        let sources: Vec<u32> = (0..16).collect();
+        let dg = partition(&g, 4, PartitionPolicy::CartesianVertexCut);
+        let small = mrbc_bc(&g, &dg, &sources, 2);
+        let large = mrbc_bc(&g, &dg, &sources, 16);
+        assert!(
+            large.stats.num_rounds() * 2 < small.stats.num_rounds(),
+            "batch 16: {} rounds, batch 2: {} rounds",
+            large.stats.num_rounds(),
+            small.stats.num_rounds()
+        );
+        assert_bc_close(&large.bc, &small.bc);
+    }
+
+    #[test]
+    fn round_bound_two_k_plus_h() {
+        // Lemma 8 + Theorem 1 II: one batch of k sources finishes in at
+        // most ~2(k + H) rounds.
+        let g = generators::random_strongly_connected(80, 0.06, 7);
+        let sources: Vec<u32> = (0..16).collect();
+        let dg = partition(&g, 2, PartitionPolicy::BlockedEdgeCut);
+        let out = mrbc_bc(&g, &dg, &sources, 16);
+        let h = (0..16usize)
+            .flat_map(|j| (0..80usize).map(move |v| (j, v)))
+            .filter_map(|(j, v)| {
+                let d = mrbc_graph::algo::bfs_distances(&g, sources[j])[v];
+                (d != mrbc_graph::INF_DIST).then_some(d)
+            })
+            .max()
+            .unwrap_or(0);
+        let bound = 2 * (16 + h + 2);
+        assert!(
+            out.stats.num_rounds() <= bound,
+            "rounds {} > 2(k + H) = {bound}",
+            out.stats.num_rounds()
+        );
+    }
+
+    #[test]
+    fn single_host_has_zero_comm_volume() {
+        let g = generators::cycle(30);
+        let sources: Vec<u32> = (0..6).collect();
+        let dg = partition(&g, 1, PartitionPolicy::BlockedEdgeCut);
+        let out = mrbc_bc(&g, &dg, &sources, 6);
+        assert_eq!(out.stats.total_bytes(), 0);
+        assert_bc_close(&out.bc, &brandes::bc_sources(&g, &sources));
+    }
+
+    #[test]
+    fn eager_sync_same_results_more_traffic() {
+        // The Section 4.3 delayed-synchronization ablation: Gluon-default
+        // eager sync must produce identical BC values while synchronizing
+        // more items and shipping more bytes.
+        let g = generators::web_crawl(generators::WebCrawlConfig::new(400), 6);
+        let sources: Vec<u32> = (0..24).collect();
+        let dg = partition(&g, 4, PartitionPolicy::CartesianVertexCut);
+        let delayed = mrbc_bc_with_options(
+            &g,
+            &dg,
+            &sources,
+            &MrbcOptions {
+                batch_size: 12,
+                delayed_sync: true,
+            },
+        );
+        let eager = mrbc_bc_with_options(
+            &g,
+            &dg,
+            &sources,
+            &MrbcOptions {
+                batch_size: 12,
+                delayed_sync: false,
+            },
+        );
+        assert_bc_close(&eager.bc, &delayed.bc);
+        assert!(
+            eager.stats.total_sync_items() > delayed.stats.total_sync_items(),
+            "eager items {} !> delayed items {}",
+            eager.stats.total_sync_items(),
+            delayed.stats.total_sync_items()
+        );
+        assert!(
+            eager.stats.total_bytes() > delayed.stats.total_bytes(),
+            "eager bytes {} !> delayed bytes {}",
+            eager.stats.total_bytes(),
+            delayed.stats.total_bytes()
+        );
+    }
+
+    #[test]
+    fn empty_sources() {
+        let g = generators::path(5);
+        let dg = partition(&g, 2, PartitionPolicy::BlockedEdgeCut);
+        let out = mrbc_bc(&g, &dg, &[], 4);
+        assert!(out.bc.iter().all(|&b| b == 0.0));
+        assert_eq!(out.stats.num_rounds(), 0);
+    }
+}

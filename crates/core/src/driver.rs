@@ -1,0 +1,241 @@
+//! Top-level betweenness-centrality driver.
+//!
+//! One entry point over every algorithm in the workspace, so examples and
+//! benchmarks can sweep algorithms/partitions/host counts uniformly.
+
+use crate::dist;
+use crate::shared::abbc;
+use mrbc_dgalois::{partition, BspStats, CostModel, PartitionPolicy};
+use mrbc_graph::{CsrGraph, VertexId};
+
+/// Which BC algorithm to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Min-Rounds BC (this paper) on the simulated D-Galois substrate.
+    Mrbc,
+    /// Synchronous-Brandes BC on the simulated D-Galois substrate.
+    Sbbc,
+    /// Maximal-Frontier BC on the simulated D-Galois substrate.
+    Mfbc,
+    /// Asynchronous-Brandes BC on shared memory (ignores `num_hosts`).
+    Abbc,
+    /// Sequential Brandes (the oracle; ignores distribution settings).
+    Brandes,
+}
+
+impl Algorithm {
+    /// Short display name matching the paper's abbreviations.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Mrbc => "MRBC",
+            Algorithm::Sbbc => "SBBC",
+            Algorithm::Mfbc => "MFBC",
+            Algorithm::Abbc => "ABBC",
+            Algorithm::Brandes => "Brandes",
+        }
+    }
+}
+
+/// Configuration for a BC run.
+#[derive(Clone, Debug)]
+pub struct BcConfig {
+    /// Algorithm to execute.
+    pub algorithm: Algorithm,
+    /// Simulated host count (distributed algorithms).
+    pub num_hosts: usize,
+    /// Partition policy (distributed algorithms).
+    pub partition: PartitionPolicy,
+    /// Source batch size `k` (MRBC / MFBC).
+    pub batch_size: usize,
+    /// Worklist chunk size (ABBC).
+    pub chunk_size: usize,
+    /// Cost model used to derive execution-time estimates.
+    pub cost: CostModel,
+    /// Compute lanes per simulated host. The [`CostModel`]'s per-unit
+    /// cost is already calibrated to a full 48-thread Skylake host, so
+    /// the default is 1; raise it to model beefier hosts.
+    pub threads_per_host: usize,
+}
+
+impl Default for BcConfig {
+    fn default() -> Self {
+        Self {
+            algorithm: Algorithm::Mrbc,
+            num_hosts: 1,
+            partition: PartitionPolicy::CartesianVertexCut,
+            batch_size: 32,
+            chunk_size: abbc::DEFAULT_CHUNK_SIZE,
+            cost: CostModel::default(),
+            threads_per_host: 1,
+        }
+    }
+}
+
+/// Result of a driver run.
+#[derive(Clone, Debug)]
+pub struct BcResult {
+    /// Betweenness scores restricted to the requested sources.
+    pub bc: Vec<f64>,
+    /// BSP statistics (distributed algorithms only).
+    pub stats: Option<BspStats>,
+    /// Modeled execution time under the configured [`CostModel`].
+    pub execution_time: f64,
+    /// Modeled computation component of `execution_time`.
+    pub computation_time: f64,
+    /// Modeled non-overlapped communication component.
+    pub communication_time: f64,
+}
+
+/// Runs the configured algorithm over `g` for `sources`.
+pub fn bc(g: &CsrGraph, sources: &[VertexId], config: &BcConfig) -> BcResult {
+    match config.algorithm {
+        Algorithm::Brandes => {
+            let bc = crate::brandes::bc_sources(g, sources);
+            // Model: sequential Brandes work ≈ Σ_s (n + m) relaxations.
+            let work = sources.len() as f64 * (g.num_vertices() + g.num_edges()) as f64;
+            let t = work * config.cost.compute_sec_per_unit;
+            BcResult {
+                bc,
+                stats: None,
+                execution_time: t,
+                computation_time: t,
+                communication_time: 0.0,
+            }
+        }
+        Algorithm::Abbc => {
+            let out = abbc::abbc_bc(g, sources, config.chunk_size);
+            let t = out.modeled_time(&config.cost, config.threads_per_host);
+            BcResult {
+                bc: out.bc,
+                stats: None,
+                execution_time: t,
+                computation_time: t,
+                communication_time: 0.0,
+            }
+        }
+        Algorithm::Mrbc | Algorithm::Sbbc | Algorithm::Mfbc => {
+            let dg = partition(g, config.num_hosts, config.partition);
+            let out = match config.algorithm {
+                Algorithm::Mrbc => dist::mrbc::mrbc_bc(g, &dg, sources, config.batch_size),
+                Algorithm::Sbbc => dist::sbbc::sbbc_bc(g, &dg, sources),
+                Algorithm::Mfbc => dist::mfbc::mfbc_bc(g, &dg, sources, config.batch_size),
+                _ => unreachable!(),
+            };
+            // Per-host compute is spread over the host's threads.
+            let mut cost = config.cost;
+            cost.compute_sec_per_unit /= config.threads_per_host.max(1) as f64;
+            let compute = out.stats.computation_time(&cost);
+            let comm = out.stats.communication_time(&cost);
+            BcResult {
+                bc: out.bc,
+                stats: Some(out.stats),
+                execution_time: compute + comm,
+                computation_time: compute,
+                communication_time: comm,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrbc_graph::generators;
+
+    #[test]
+    fn all_algorithms_agree_through_the_driver() {
+        let g = generators::rmat(generators::RmatConfig::new(6, 4), 77);
+        let sources: Vec<u32> = (0..8).collect();
+        let oracle = bc(
+            &g,
+            &sources,
+            &BcConfig {
+                algorithm: Algorithm::Brandes,
+                ..BcConfig::default()
+            },
+        );
+        for alg in [
+            Algorithm::Mrbc,
+            Algorithm::Sbbc,
+            Algorithm::Mfbc,
+            Algorithm::Abbc,
+        ] {
+            let cfg = BcConfig {
+                algorithm: alg,
+                num_hosts: 4,
+                ..BcConfig::default()
+            };
+            let out = bc(&g, &sources, &cfg);
+            for (i, (got, want)) in out.bc.iter().zip(&oracle.bc).enumerate() {
+                assert!(
+                    (got - want).abs() < 1e-9 * want.abs().max(1.0),
+                    "{}: BC[{i}] {got} vs {want}",
+                    alg.name()
+                );
+            }
+            assert!(out.execution_time > 0.0 && out.execution_time.is_finite());
+        }
+    }
+
+    #[test]
+    fn partition_policy_does_not_change_results() {
+        let g = generators::rmat(generators::RmatConfig::new(6, 4), 5);
+        let sources: Vec<u32> = (0..6).collect();
+        let mut results = Vec::new();
+        for policy in [
+            mrbc_dgalois::PartitionPolicy::BlockedEdgeCut,
+            mrbc_dgalois::PartitionPolicy::HashedEdgeCut,
+            mrbc_dgalois::PartitionPolicy::CartesianVertexCut,
+        ] {
+            let cfg = BcConfig {
+                algorithm: Algorithm::Mrbc,
+                num_hosts: 3,
+                partition: policy,
+                ..BcConfig::default()
+            };
+            results.push(bc(&g, &sources, &cfg).bc);
+        }
+        for r in &results[1..] {
+            for (a, b) in r.iter().zip(&results[0]) {
+                assert!((a - b).abs() < 1e-9 * b.abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn more_hosts_do_not_increase_computation_time() {
+        // Strong-scaling sanity at the driver level: the per-round max
+        // host work shrinks as the partition spreads.
+        let g = generators::kronecker(generators::KroneckerConfig::new(9, 8), 3);
+        let sources: Vec<u32> = (0..16).collect();
+        let time_at = |h: usize| {
+            bc(
+                &g,
+                &sources,
+                &BcConfig {
+                    algorithm: Algorithm::Sbbc,
+                    num_hosts: h,
+                    ..BcConfig::default()
+                },
+            )
+            .computation_time
+        };
+        assert!(time_at(8) < time_at(1));
+    }
+
+    #[test]
+    fn distributed_results_carry_stats() {
+        let g = generators::cycle(20);
+        let cfg = BcConfig {
+            algorithm: Algorithm::Mrbc,
+            num_hosts: 2,
+            ..BcConfig::default()
+        };
+        let out = bc(&g, &[0, 5], &cfg);
+        let stats = out.stats.expect("distributed run records stats");
+        assert!(stats.num_rounds() > 0);
+        assert!(
+            (out.execution_time - (out.computation_time + out.communication_time)).abs() < 1e-12
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Post-processing utilities for betweenness scores.
+//!
+//! The conveniences every BC user reaches for: extrapolating sampled
+//! scores to exact-scale estimates (Bader et al. 2007, the approximation
+//! the paper's evaluation relies on), normalizing to `[0, 1]`, and
+//! extracting the top-k ranking.
+
+use mrbc_graph::VertexId;
+
+/// Scales sampled-source betweenness scores into estimates of the exact
+/// values: with `k` of `n` sources sampled uniformly, `BC ≈ (n / k) ·
+/// BC_sampled` (Bader et al. 2007). No-op when `k == n` or `k == 0`.
+pub fn extrapolate_sampled(bc: &mut [f64], num_sources: usize) {
+    let n = bc.len();
+    if num_sources == 0 || num_sources >= n {
+        return;
+    }
+    let scale = n as f64 / num_sources as f64;
+    for b in bc.iter_mut() {
+        *b *= scale;
+    }
+}
+
+/// Normalizes betweenness scores by the number of ordered vertex pairs
+/// excluding the endpoint, `(n − 1)(n − 2)`, mapping exact directed BC
+/// into `[0, 1]`. No-op for graphs with fewer than 3 vertices.
+pub fn normalize(bc: &mut [f64]) {
+    let n = bc.len();
+    if n < 3 {
+        return;
+    }
+    let denom = ((n - 1) * (n - 2)) as f64;
+    for b in bc.iter_mut() {
+        *b /= denom;
+    }
+}
+
+/// The `k` vertices with the largest scores, descending; ties broken by
+/// smaller vertex id for determinism.
+pub fn top_k(bc: &[f64], k: usize) -> Vec<(VertexId, f64)> {
+    let mut idx: Vec<VertexId> = (0..bc.len() as VertexId).collect();
+    idx.sort_by(|&a, &b| {
+        bc[b as usize]
+            .total_cmp(&bc[a as usize])
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx.into_iter().map(|v| (v, bc[v as usize])).collect()
+}
+
+/// Spearman rank-correlation between two score vectors — the standard
+/// measure of how well sampled BC preserves the exact ranking.
+pub fn rank_correlation(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "score vectors must have equal length");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let ranks = |xs: &[f64]| -> Vec<f64> {
+        let mut idx: Vec<usize> = (0..xs.len()).collect();
+        idx.sort_by(|&i, &j| xs[i].total_cmp(&xs[j]));
+        let mut r = vec![0.0; xs.len()];
+        // Average ranks over ties for a well-defined coefficient.
+        let mut i = 0;
+        while i < idx.len() {
+            let mut j = i;
+            while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+                j += 1;
+            }
+            let avg = (i + j) as f64 / 2.0;
+            for &v in &idx[i..=j] {
+                r[v] = avg;
+            }
+            i = j + 1;
+        }
+        r
+    };
+    let (ra, rb) = (ranks(a), ranks(b));
+    let mean = (n as f64 - 1.0) / 2.0;
+    let (mut cov, mut va, mut vb) = (0.0, 0.0, 0.0);
+    for i in 0..n {
+        let (da, db) = (ra[i] - mean, rb[i] - mean);
+        cov += da * db;
+        va += da * da;
+        vb += db * db;
+    }
+    if va == 0.0 || vb == 0.0 {
+        1.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brandes;
+    use mrbc_graph::{generators, sample};
+
+    #[test]
+    fn extrapolation_scales_and_handles_edges() {
+        let mut bc = vec![2.0, 4.0];
+        extrapolate_sampled(&mut bc, 1); // n=2, k=1 < n: scale by 2
+        assert_eq!(bc, vec![4.0, 8.0]);
+        let mut bc = vec![2.0, 4.0];
+        extrapolate_sampled(&mut bc, 2); // k == n: no-op
+        assert_eq!(bc, vec![2.0, 4.0]);
+        extrapolate_sampled(&mut bc, 0); // no sources: no-op
+        assert_eq!(bc, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn normalization_maps_star_center_to_one() {
+        let g = generators::star(6);
+        let mut bc = brandes::bc_exact(&g);
+        normalize(&mut bc);
+        // Undirected star center: interior to every leaf pair, both
+        // directions — but not to pairs involving itself, and the leaf
+        // pairs are 5·4 = 20 of (n−1)(n−2) = 20 ordered pairs.
+        assert!((bc[0] - 1.0).abs() < 1e-12, "center {}", bc[0]);
+        assert!(bc[1..].iter().all(|&b| b == 0.0));
+    }
+
+    #[test]
+    fn top_k_is_deterministic_under_ties() {
+        let bc = vec![1.0, 3.0, 3.0, 0.5];
+        let t = top_k(&bc, 3);
+        assert_eq!(t, vec![(1, 3.0), (2, 3.0), (0, 1.0)]);
+        assert_eq!(top_k(&bc, 0), vec![]);
+        assert_eq!(top_k(&bc, 10).len(), 4);
+    }
+
+    #[test]
+    fn rank_correlation_properties() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let b = vec![10.0, 20.0, 30.0, 40.0];
+        assert!((rank_correlation(&a, &b) - 1.0).abs() < 1e-12);
+        let rev: Vec<f64> = b.iter().rev().copied().collect();
+        assert!((rank_correlation(&a, &rev) + 1.0).abs() < 1e-12);
+        assert_eq!(rank_correlation(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn sampled_bc_ranks_correlate_with_exact() {
+        let g = generators::rmat(generators::RmatConfig::new(7, 8), 31);
+        let n = g.num_vertices();
+        let exact = brandes::bc_exact(&g);
+        let mut sampled = brandes::bc_sources(&g, &sample::uniform_sources(n, 48, 7));
+        extrapolate_sampled(&mut sampled, 48);
+        let rho = rank_correlation(&exact, &sampled);
+        assert!(rho > 0.8, "rank correlation too weak: {rho}");
+    }
+}

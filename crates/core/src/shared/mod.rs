@@ -1,0 +1,3 @@
+//! Shared-memory implementations.
+
+pub mod abbc;

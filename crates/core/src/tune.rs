@@ -1,0 +1,129 @@
+//! Batch-size autotuning for MRBC.
+//!
+//! Section 5.2 of the paper: "it is not clear what k performs best for
+//! MRBC. ... The tradeoff between increasing parallelism and data
+//! structure access time (i.e., finding the best batch size for a graph)
+//! can be explored using a method such as autotuning; this is not the
+//! focus of this work." This module is that autotuner: it probes each
+//! candidate batch size on a small pilot set of sources and extrapolates
+//! the modeled per-source execution time.
+
+use crate::dist::mrbc::{mrbc_bc_with_options, MrbcOptions};
+use mrbc_dgalois::{CostModel, DistGraph};
+use mrbc_graph::{CsrGraph, VertexId};
+
+/// One probed configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TuneSample {
+    /// Batch size probed.
+    pub batch_size: usize,
+    /// Modeled execution time per source at this batch size.
+    pub time_per_source: f64,
+    /// BSP rounds per source at this batch size.
+    pub rounds_per_source: f64,
+}
+
+/// Result of a tuning run: the winning batch size plus every probe.
+#[derive(Clone, Debug)]
+pub struct TuneOutcome {
+    /// Batch size with the smallest modeled per-source time.
+    pub best_batch_size: usize,
+    /// All probes, in candidate order.
+    pub samples: Vec<TuneSample>,
+}
+
+/// Probes MRBC with each candidate batch size on `pilot_sources`
+/// (typically a few dozen sampled sources) and returns the candidate
+/// with the lowest modeled per-source execution time under `cost`.
+///
+/// Each probe runs one full batch per candidate, so tuning costs roughly
+/// `candidates.len()` pilot runs; the pilot's relative ordering carries
+/// over to the full source set because both the `2(k + H)` round schedule
+/// and the per-push work scale linearly in the number of batches.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty, a candidate is zero, or
+/// `pilot_sources` is empty.
+pub fn tune_batch_size(
+    g: &CsrGraph,
+    dg: &DistGraph,
+    pilot_sources: &[VertexId],
+    candidates: &[usize],
+    cost: &CostModel,
+) -> TuneOutcome {
+    assert!(!candidates.is_empty(), "need at least one candidate");
+    assert!(!pilot_sources.is_empty(), "need pilot sources");
+    let mut samples = Vec::with_capacity(candidates.len());
+    for &k in candidates {
+        assert!(k >= 1, "batch size candidates must be positive");
+        // Probe with at most one batch worth of pilot sources so every
+        // candidate pays one forward + one backward phase.
+        let probe: Vec<VertexId> = pilot_sources.iter().copied().take(k).collect();
+        let out = mrbc_bc_with_options(
+            g,
+            dg,
+            &probe,
+            &MrbcOptions {
+                batch_size: k,
+                delayed_sync: true,
+            },
+        );
+        let per_source = probe.len().max(1) as f64;
+        samples.push(TuneSample {
+            batch_size: k,
+            time_per_source: out.stats.execution_time(cost) / per_source,
+            rounds_per_source: out.stats.num_rounds() as f64 / per_source,
+        });
+    }
+    let best = samples
+        .iter()
+        .min_by(|a, b| a.time_per_source.total_cmp(&b.time_per_source))
+        .expect("candidates nonempty");
+    TuneOutcome {
+        best_batch_size: best.batch_size,
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrbc_dgalois::{partition, PartitionPolicy};
+    use mrbc_graph::{generators, sample};
+
+    #[test]
+    fn prefers_large_batches_on_high_diameter_graphs() {
+        // Rounds per source ≈ 2(k + H)/k: on a high-diameter graph the
+        // H/k amortization dominates and big k must win.
+        let g = generators::grid_road_network(generators::RoadNetworkConfig::new(3, 100), 1);
+        let dg = partition(&g, 4, PartitionPolicy::CartesianVertexCut);
+        let pilot = sample::contiguous_sources(g.num_vertices(), 32, 3);
+        let out = tune_batch_size(&g, &dg, &pilot, &[2, 8, 32], &CostModel::default());
+        assert_eq!(out.best_batch_size, 32, "{:?}", out.samples);
+        // Rounds per source must be monotonically decreasing in k here.
+        for w in out.samples.windows(2) {
+            assert!(w[0].rounds_per_source > w[1].rounds_per_source);
+        }
+    }
+
+    #[test]
+    fn samples_cover_every_candidate_in_order() {
+        let g = generators::cycle(40);
+        let dg = partition(&g, 2, PartitionPolicy::BlockedEdgeCut);
+        let pilot = sample::contiguous_sources(40, 8, 0);
+        let out = tune_batch_size(&g, &dg, &pilot, &[1, 4, 8], &CostModel::default());
+        let ks: Vec<usize> = out.samples.iter().map(|s| s.batch_size).collect();
+        assert_eq!(ks, vec![1, 4, 8]);
+        assert!(out.samples.iter().all(|s| s.time_per_source > 0.0));
+        assert!([1, 4, 8].contains(&out.best_batch_size));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn rejects_empty_candidates() {
+        let g = generators::cycle(10);
+        let dg = partition(&g, 1, PartitionPolicy::BlockedEdgeCut);
+        tune_batch_size(&g, &dg, &[0], &[], &CostModel::default());
+    }
+}

@@ -1,0 +1,158 @@
+//! Weighted betweenness centrality (Dijkstra-based Brandes).
+//!
+//! The paper's Algorithm 1 is stated for weighted graphs ("run Dijkstra
+//! SSSP from s, or BFS if G is unweighted"); its evaluation restricts to
+//! unweighted inputs but notes that ABBC and MFBC handle weights. This
+//! module completes the workspace with the weighted variant: a sequential
+//! Dijkstra–Brandes oracle and a Rayon-parallel per-source version (the
+//! standard shared-memory parallelization: sources are embarrassingly
+//! parallel, per-thread BC vectors are reduced at the end).
+
+use mrbc_graph::weighted::{dijkstra_sigma, settle_order, WeightedCsrGraph, INF_WDIST};
+use mrbc_graph::VertexId;
+use rayon::prelude::*;
+
+/// Sequential weighted BC restricted to `sources` (all vertices ⇒ exact).
+pub fn bc_sources_weighted(g: &WeightedCsrGraph, sources: &[VertexId]) -> Vec<f64> {
+    let n = g.num_vertices();
+    let mut bc = vec![0.0f64; n];
+    for &s in sources {
+        accumulate_source(g, s, &mut bc);
+    }
+    bc
+}
+
+/// Exact sequential weighted BC.
+pub fn bc_exact_weighted(g: &WeightedCsrGraph) -> Vec<f64> {
+    let all: Vec<VertexId> = (0..g.num_vertices() as VertexId).collect();
+    bc_sources_weighted(g, &all)
+}
+
+/// Parallel weighted BC: sources are processed concurrently, each on the
+/// sequential kernel, with per-chunk BC vectors summed at the end.
+pub fn bc_sources_weighted_parallel(g: &WeightedCsrGraph, sources: &[VertexId]) -> Vec<f64> {
+    let n = g.num_vertices();
+    sources
+        .par_chunks(8.max(sources.len() / (4 * rayon::current_num_threads()).max(1)))
+        .map(|chunk| {
+            let mut local = vec![0.0f64; n];
+            for &s in chunk {
+                accumulate_source(g, s, &mut local);
+            }
+            local
+        })
+        .reduce(
+            || vec![0.0f64; n],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+                a
+            },
+        )
+}
+
+/// One source's dependency accumulation into `bc`.
+fn accumulate_source(g: &WeightedCsrGraph, s: VertexId, bc: &mut [f64]) {
+    assert!((s as usize) < g.num_vertices(), "source out of range");
+    let (dist, sigma) = dijkstra_sigma(g, s);
+    let order = settle_order(&dist);
+    let mut delta = vec![0.0f64; g.num_vertices()];
+    // Reverse settle order: successors' δ are final before v needs them.
+    for &v in order.iter().rev() {
+        let dv = dist[v as usize];
+        let mut acc = 0.0;
+        for (w, wt) in g.out_edges(v) {
+            // v ∈ P_s(w) iff the edge is tight: d(v) + w(v,w) = d(w).
+            if dist[w as usize] != INF_WDIST && dv + wt as u64 == dist[w as usize] {
+                acc += sigma[v as usize] / sigma[w as usize] * (1.0 + delta[w as usize]);
+            }
+        }
+        delta[v as usize] = acc;
+        if v != s {
+            bc[v as usize] += acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brandes;
+    use mrbc_graph::{generators, GraphBuilder};
+    use proptest::prelude::*;
+
+    fn assert_close(got: &[f64], want: &[f64]) {
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            assert!(
+                (g - w).abs() < 1e-9 * w.abs().max(1.0),
+                "BC[{i}]: got {g}, want {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn unit_weights_reduce_to_unweighted_bc() {
+        let g = generators::rmat(generators::RmatConfig::new(6, 5), 4);
+        let wg = WeightedCsrGraph::unit(&g);
+        assert_close(&bc_exact_weighted(&wg), &brandes::bc_exact(&g));
+    }
+
+    #[test]
+    fn uniform_scaling_preserves_bc() {
+        // Multiplying every weight by a constant cannot change which
+        // paths are shortest.
+        let g = generators::erdos_renyi(60, 0.08, 5);
+        let w1 = WeightedCsrGraph::random(&g, 7, 9);
+        let w3 = WeightedCsrGraph::from_graph(&g, {
+            let mut it = (0..g.num_vertices() as u32)
+                .flat_map(|u| w1.out_edges(u).map(move |(_, w)| w))
+                .collect::<Vec<_>>()
+                .into_iter();
+            move |_, _| 3 * it.next().expect("same edge order")
+        });
+        assert_close(&bc_exact_weighted(&w3), &bc_exact_weighted(&w1));
+    }
+
+    #[test]
+    fn weights_reroute_centrality() {
+        // Path 0→1→2 vs direct 0→2: with the direct edge cheap, vertex 1
+        // is never interior; with it expensive, vertex 1 carries (0, 2).
+        let g = GraphBuilder::new(3).edges([(0, 1), (1, 2), (0, 2)]).build();
+        let cheap = WeightedCsrGraph::from_graph(&g, |u, v| if (u, v) == (0, 2) { 1 } else { 5 });
+        assert_close(&bc_exact_weighted(&cheap), &[0.0, 0.0, 0.0]);
+        let dear = WeightedCsrGraph::from_graph(&g, |u, v| if (u, v) == (0, 2) { 9 } else { 1 });
+        assert_close(&bc_exact_weighted(&dear), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = generators::barabasi_albert(300, 3, 8);
+        let wg = WeightedCsrGraph::random(&g, 10, 2);
+        let sources: Vec<u32> = (0..60).collect();
+        assert_close(
+            &bc_sources_weighted_parallel(&wg, &sources),
+            &bc_sources_weighted(&wg, &sources),
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn prop_unit_weighted_equals_unweighted(
+            n in 2usize..25,
+            raw in proptest::collection::vec((0u32..25, 0u32..25), 0..80),
+        ) {
+            let edges: Vec<(u32, u32)> =
+                raw.into_iter().map(|(u, v)| (u % n as u32, v % n as u32)).collect();
+            let g = GraphBuilder::new(n).edges(edges).build();
+            let wg = WeightedCsrGraph::unit(&g);
+            let got = bc_exact_weighted(&wg);
+            let want = brandes::bc_exact(&g);
+            for (a, b) in got.iter().zip(&want) {
+                prop_assert!((a - b).abs() < 1e-9 * b.abs().max(1.0));
+            }
+        }
+    }
+}

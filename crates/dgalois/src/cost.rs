@@ -1,0 +1,67 @@
+//! Analytic cluster cost model.
+
+/// Translates measured work units and communication records into wall-time
+/// estimates for a target cluster.
+///
+/// Defaults approximate one Stampede2 Skylake host pair on Intel Omni-Path
+/// (the paper's platform): 100 Gbps ≈ 12.5 GB/s peak, a few µs message
+/// latency, log-depth barrier cost, and a per-work-unit compute cost
+/// calibrated so one "work unit" is roughly one label update on a 2.1 GHz
+/// core spread over 48 threads.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// Link bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: f64,
+    /// Per aggregated host-pair message latency (seconds).
+    pub msg_latency_sec: f64,
+    /// Per-round barrier cost multiplier; the barrier costs
+    /// `barrier_latency_sec * log2(hosts)` per round.
+    pub barrier_latency_sec: f64,
+    /// Fixed per-round BSP bookkeeping (intra-host thread barrier, kernel
+    /// launch, bitset reset), paid even on a single host — the term that
+    /// makes 42,000-round SBBC runs lose to asynchronous execution on
+    /// road networks exactly as in the paper's Table 2.
+    pub round_overhead_sec: f64,
+    /// Seconds per compute work unit, where a work unit is one label
+    /// update / edge relaxation on one (48-thread) host.
+    pub compute_sec_per_unit: f64,
+    /// Serialization + deserialization cost per byte (seconds).
+    pub serialize_sec_per_byte: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            bandwidth_bytes_per_sec: 12.5e9,
+            msg_latency_sec: 2e-6,
+            barrier_latency_sec: 5e-6,
+            round_overhead_sec: 2e-5,
+            compute_sec_per_unit: 2e-8,
+            serialize_sec_per_byte: 2e-10,
+        }
+    }
+}
+
+impl CostModel {
+    /// Barrier cost for one round over `hosts` hosts.
+    pub fn barrier(&self, hosts: usize) -> f64 {
+        if hosts <= 1 {
+            0.0
+        } else {
+            self.barrier_latency_sec * (hosts as f64).log2()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barrier_scales_logarithmically() {
+        let c = CostModel::default();
+        assert_eq!(c.barrier(1), 0.0);
+        assert!((c.barrier(4) - 2.0 * c.barrier_latency_sec).abs() < 1e-15);
+        assert!(c.barrier(256) > c.barrier(16));
+    }
+}

@@ -1,0 +1,270 @@
+//! Graph partitioning policies.
+//!
+//! Gluon supports general vertex-cuts, edge-cuts, and Cartesian cuts
+//! (Section 4.1); the paper's experiments use the Cartesian vertex-cut,
+//! "which performs well at scale". All policies here assign *edges* to
+//! hosts and derive proxies from edge endpoints, exactly as described in
+//! the paper: "these strategies partition the edges of the graph among
+//! the hosts using heuristics and create proxy vertices on each host for
+//! the endpoints of edges assigned to that host".
+
+use crate::topology::{DistGraph, HostId, HostTopology, LocalId, NO_LOCAL};
+use mrbc_graph::{CsrGraph, GraphBuilder, VertexId};
+use mrbc_util::{splitmix64, DenseBitset};
+
+/// Edge-assignment policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PartitionPolicy {
+    /// Contiguous vertex ranges balanced by out-degree; each host owns the
+    /// out-edges of its vertex range ("outgoing edge-cut").
+    BlockedEdgeCut,
+    /// Owner chosen by hashing the vertex id; out-edges live with the
+    /// source's owner. Breaks up locality, useful as a partitioning
+    /// ablation.
+    HashedEdgeCut,
+    /// The 2-D Cartesian vertex-cut of Boman et al. used in the paper's
+    /// evaluation: hosts form a `pr × pc` grid; edge `(u, v)` is assigned
+    /// to the host at (row of `owner(u)`, column of `owner(v)`).
+    CartesianVertexCut,
+}
+
+/// Partitions `g` over `num_hosts` hosts under `policy`.
+///
+/// Panics if `num_hosts == 0`. A single host yields a trivial partition
+/// (all masters, no mirrors), which the algorithms use as their
+/// shared-memory configuration.
+pub fn partition(g: &CsrGraph, num_hosts: usize, policy: PartitionPolicy) -> DistGraph {
+    assert!(num_hosts > 0, "need at least one host");
+    assert!(num_hosts <= HostId::MAX as usize, "too many hosts");
+    let n = g.num_vertices();
+
+    let owner: Vec<HostId> = match policy {
+        PartitionPolicy::BlockedEdgeCut | PartitionPolicy::CartesianVertexCut => {
+            blocked_owners(g, num_hosts)
+        }
+        PartitionPolicy::HashedEdgeCut => (0..n)
+            .map(|v| (splitmix64(v as u64) % num_hosts as u64) as HostId)
+            .collect(),
+    };
+
+    let (rows, cols) = grid_shape(num_hosts);
+    let assign_edge = |u: VertexId, v: VertexId| -> usize {
+        match policy {
+            PartitionPolicy::BlockedEdgeCut | PartitionPolicy::HashedEdgeCut => {
+                owner[u as usize] as usize
+            }
+            PartitionPolicy::CartesianVertexCut => {
+                let r = owner[u as usize] as usize / cols;
+                let c = owner[v as usize] as usize % cols;
+                debug_assert!(r < rows);
+                r * cols + c
+            }
+        }
+    };
+
+    // Per-host edge lists in global ids.
+    let mut host_edges: Vec<Vec<(VertexId, VertexId)>> = vec![Vec::new(); num_hosts];
+    for (u, v) in g.edges() {
+        host_edges[assign_edge(u, v)].push((u, v));
+    }
+
+    // Proxy sets: edge endpoints plus every owned vertex on its owner (so
+    // isolated vertices still have a master carrying their labels).
+    let mut local_of_global: Vec<Vec<LocalId>> = vec![vec![NO_LOCAL; n]; num_hosts];
+    let mut hosts = Vec::with_capacity(num_hosts);
+    for h in 0..num_hosts {
+        let mut present = DenseBitset::new(n);
+        for &(u, v) in &host_edges[h] {
+            present.set(u as usize);
+            present.set(v as usize);
+        }
+        for gdx in 0..n {
+            if owner[gdx] as usize == h {
+                present.set(gdx);
+            }
+        }
+        let global_of_local: Vec<VertexId> =
+            present.iter_ones().map(|g| g as VertexId).collect();
+        for (l, &gv) in global_of_local.iter().enumerate() {
+            local_of_global[h][gv as usize] = l as LocalId;
+        }
+        let mut b = GraphBuilder::new(global_of_local.len());
+        for &(u, v) in &host_edges[h] {
+            b = b.edge(
+                local_of_global[h][u as usize],
+                local_of_global[h][v as usize],
+            );
+        }
+        let graph = b.build();
+        let in_graph = graph.reverse();
+        let mut masters = DenseBitset::new(global_of_local.len());
+        for (l, &gv) in global_of_local.iter().enumerate() {
+            if owner[gv as usize] as usize == h {
+                masters.set(l);
+            }
+        }
+        hosts.push(HostTopology {
+            graph,
+            in_graph,
+            global_of_local,
+            masters,
+        });
+    }
+
+    DistGraph::assemble(num_hosts, n, g.num_edges(), hosts, owner, local_of_global)
+}
+
+/// Contiguous vertex ranges with balanced out-degree mass.
+fn blocked_owners(g: &CsrGraph, num_hosts: usize) -> Vec<HostId> {
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    let mut owner = vec![0 as HostId; n];
+    // Weight each vertex by out-degree + 1 so empty vertices also spread.
+    let total = (m + n) as f64;
+    let per_host = total / num_hosts as f64;
+    let mut acc = 0f64;
+    let mut h = 0usize;
+    for v in 0..n {
+        owner[v] = h as HostId;
+        acc += (g.out_degree(v as VertexId) + 1) as f64;
+        if acc >= per_host * (h + 1) as f64 && h + 1 < num_hosts {
+            h += 1;
+        }
+    }
+    owner
+}
+
+/// Near-square grid factorization `rows × cols == num_hosts`,
+/// `rows ≤ cols`.
+fn grid_shape(num_hosts: usize) -> (usize, usize) {
+    let mut rows = (num_hosts as f64).sqrt() as usize;
+    while rows > 1 && num_hosts % rows != 0 {
+        rows -= 1;
+    }
+    (rows.max(1), num_hosts / rows.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrbc_graph::generators;
+
+    const POLICIES: [PartitionPolicy; 3] = [
+        PartitionPolicy::BlockedEdgeCut,
+        PartitionPolicy::HashedEdgeCut,
+        PartitionPolicy::CartesianVertexCut,
+    ];
+
+    #[test]
+    fn grid_shapes() {
+        assert_eq!(grid_shape(1), (1, 1));
+        assert_eq!(grid_shape(4), (2, 2));
+        assert_eq!(grid_shape(6), (2, 3));
+        assert_eq!(grid_shape(7), (1, 7));
+        assert_eq!(grid_shape(16), (4, 4));
+        assert_eq!(grid_shape(32), (4, 8));
+    }
+
+    #[test]
+    fn invariants_hold_for_all_policies_and_host_counts() {
+        let g = generators::rmat(generators::RmatConfig::new(7, 6), 11);
+        for policy in POLICIES {
+            for hosts in [1, 2, 3, 4, 8] {
+                let dg = partition(&g, hosts, policy);
+                dg.check_invariants(&g);
+            }
+        }
+    }
+
+    #[test]
+    fn single_host_has_no_mirrors() {
+        let g = generators::cycle(20);
+        let dg = partition(&g, 1, PartitionPolicy::CartesianVertexCut);
+        assert_eq!(dg.total_proxies(), 20);
+        assert!((dg.replication_factor() - 1.0).abs() < 1e-12);
+        for v in 0..20u32 {
+            assert!(dg.mirror_hosts(v).is_empty());
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_get_master_proxies() {
+        // Vertex 3 has no edges at all.
+        let g = mrbc_graph::GraphBuilder::new(4).edges([(0, 1), (1, 2)]).build();
+        for policy in POLICIES {
+            let dg = partition(&g, 2, policy);
+            dg.check_invariants(&g);
+            let own = dg.owner(3) as usize;
+            assert!(dg.local(own, 3).is_some(), "{policy:?} lost vertex 3");
+        }
+    }
+
+    #[test]
+    fn blocked_ranges_are_contiguous() {
+        let g = generators::path(100);
+        let dg = partition(&g, 4, PartitionPolicy::BlockedEdgeCut);
+        for v in 1..100u32 {
+            assert!(dg.owner(v) >= dg.owner(v - 1), "owners must be monotone");
+        }
+        // All four hosts used.
+        assert_eq!(dg.owner(99), 3);
+    }
+
+    #[test]
+    fn cartesian_cut_bounds_replication() {
+        // CVC replication is bounded by rows + cols - 1 per vertex.
+        let g = generators::rmat(generators::RmatConfig::new(8, 8), 3);
+        let dg = partition(&g, 16, PartitionPolicy::CartesianVertexCut);
+        dg.check_invariants(&g);
+        for v in 0..g.num_vertices() as u32 {
+            let proxies = 1 + dg.mirror_hosts(v).len();
+            assert!(proxies < 4 + 4, "vertex {v} on {proxies} hosts");
+        }
+    }
+
+    #[test]
+    fn hashed_cut_spreads_ownership() {
+        let g = generators::path(1000);
+        let dg = partition(&g, 8, PartitionPolicy::HashedEdgeCut);
+        let mut counts = [0usize; 8];
+        for v in 0..1000u32 {
+            counts[dg.owner(v) as usize] += 1;
+        }
+        for (h, &c) in counts.iter().enumerate() {
+            assert!(c > 60, "host {h} owns only {c} of 1000 vertices");
+        }
+    }
+
+    #[test]
+    fn shared_proxy_counts_match_mirror_lists() {
+        let g = generators::rmat(generators::RmatConfig::new(7, 5), 2);
+        let dg = partition(&g, 4, PartitionPolicy::CartesianVertexCut);
+        let mut expect = vec![vec![0u32; 4]; 4];
+        for v in 0..g.num_vertices() as u32 {
+            for &mh in dg.mirror_hosts(v) {
+                expect[mh as usize][dg.owner(v) as usize] += 1;
+            }
+        }
+        for a in 0..4 {
+            for b in 0..4 {
+                assert_eq!(dg.shared_proxies(a, b), expect[a][b]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one host")]
+    fn zero_hosts_rejected() {
+        partition(&generators::cycle(4), 0, PartitionPolicy::BlockedEdgeCut);
+    }
+
+    #[test]
+    fn empty_graph_partitions() {
+        let g = mrbc_graph::GraphBuilder::new(0).build();
+        for policy in POLICIES {
+            let dg = partition(&g, 3, policy);
+            dg.check_invariants(&g);
+            assert_eq!(dg.total_proxies(), 0);
+        }
+    }
+}

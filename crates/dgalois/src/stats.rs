@@ -1,0 +1,241 @@
+//! Per-round execution records and derived metrics.
+
+use crate::comm::RoundComm;
+use crate::cost::CostModel;
+use mrbc_util::stats::imbalance_ratio;
+
+/// One BSP round's record: per-host compute work and the round's
+/// communication.
+#[derive(Clone, Debug)]
+pub struct RoundRecord {
+    /// Compute work units per host (label updates / edge relaxations).
+    pub work: Vec<u64>,
+    /// Communication accumulated over the round's sync phases.
+    pub comm: RoundComm,
+}
+
+/// Accumulated execution statistics for one BSP run.
+///
+/// These are the raw measurements behind the paper's evaluation: round
+/// counts (Table 1), communication volume and compute/communication time
+/// breakdown (Figure 2), load imbalance (Table 1), and — through
+/// [`CostModel`] — execution time (Table 2, Figures 1 and 3).
+#[derive(Clone, Debug, Default)]
+pub struct BspStats {
+    /// Number of hosts.
+    pub num_hosts: usize,
+    /// Per-round records.
+    pub rounds: Vec<RoundRecord>,
+}
+
+impl BspStats {
+    /// Empty statistics for `num_hosts` hosts.
+    pub fn new(num_hosts: usize) -> Self {
+        Self {
+            num_hosts,
+            rounds: Vec::new(),
+        }
+    }
+
+    /// Records one finished round.
+    pub fn record_round(&mut self, work: Vec<u64>, comm: RoundComm) {
+        debug_assert_eq!(work.len(), self.num_hosts);
+        self.rounds.push(RoundRecord { work, comm });
+    }
+
+    /// Number of BSP rounds executed.
+    pub fn num_rounds(&self) -> u32 {
+        self.rounds.len() as u32
+    }
+
+    /// Total bytes on the wire.
+    pub fn total_bytes(&self) -> u64 {
+        self.rounds.iter().map(|r| r.comm.bytes).sum()
+    }
+
+    /// Total aggregated host-pair messages.
+    pub fn total_messages(&self) -> u64 {
+        self.rounds.iter().map(|r| r.comm.messages).sum()
+    }
+
+    /// Total proxy items synchronized (pre-aggregation).
+    pub fn total_sync_items(&self) -> u64 {
+        self.rounds.iter().map(|r| r.comm.items).sum()
+    }
+
+    /// Total compute work units summed over hosts.
+    pub fn total_work(&self) -> u64 {
+        self.rounds.iter().flat_map(|r| r.work.iter()).sum()
+    }
+
+    /// Computation time: `Σ_rounds max_host(work) · unit_cost` — the
+    /// "maximum across hosts" convention the paper uses (Section 5.3).
+    pub fn computation_time(&self, cost: &CostModel) -> f64 {
+        self.rounds
+            .iter()
+            .map(|r| {
+                r.work.iter().copied().max().unwrap_or(0) as f64 * cost.compute_sec_per_unit
+            })
+            .sum()
+    }
+
+    /// Non-overlapped communication time: per round, fixed BSP overhead
+    /// plus barrier cost plus the worst host's wire time (volume /
+    /// bandwidth + per-message latency) plus (de)serialization of its
+    /// traffic.
+    pub fn communication_time(&self, cost: &CostModel) -> f64 {
+        self.rounds
+            .iter()
+            .map(|r| {
+                let worst = (0..self.num_hosts)
+                    .map(|h| {
+                        let bytes = (r.comm.sent_bytes[h] + r.comm.recv_bytes[h]) as f64;
+                        bytes / cost.bandwidth_bytes_per_sec
+                            + bytes * cost.serialize_sec_per_byte
+                            + r.comm.msgs_per_host[h] as f64 * cost.msg_latency_sec
+                    })
+                    .fold(0.0, f64::max);
+                cost.round_overhead_sec + cost.barrier(self.num_hosts) + worst
+            })
+            .sum()
+    }
+
+    /// Execution time = computation + non-overlapped communication.
+    pub fn execution_time(&self, cost: &CostModel) -> f64 {
+        self.computation_time(cost) + self.communication_time(cost)
+    }
+
+    /// Load imbalance: `max/mean` compute work per round, averaged over
+    /// rounds that did any work (Table 1's metric).
+    pub fn load_imbalance(&self) -> f64 {
+        let mut total = 0.0;
+        let mut counted = 0usize;
+        for r in &self.rounds {
+            let work: Vec<f64> = r.work.iter().map(|&w| w as f64).collect();
+            if work.iter().sum::<f64>() > 0.0 {
+                total += imbalance_ratio(&work);
+                counted += 1;
+            }
+        }
+        if counted == 0 {
+            1.0
+        } else {
+            total / counted as f64
+        }
+    }
+
+    /// Writes one CSV row per round: round index, total/max work, bytes,
+    /// messages, items, per-round imbalance — the raw series behind the
+    /// paper's figures, ready for external plotting.
+    pub fn write_csv(&self, mut w: impl std::io::Write) -> std::io::Result<()> {
+        writeln!(
+            w,
+            "round,total_work,max_host_work,bytes,messages,sync_items,imbalance"
+        )?;
+        for (i, r) in self.rounds.iter().enumerate() {
+            let total: u64 = r.work.iter().sum();
+            let max = r.work.iter().copied().max().unwrap_or(0);
+            let work_f: Vec<f64> = r.work.iter().map(|&x| x as f64).collect();
+            writeln!(
+                w,
+                "{},{},{},{},{},{},{:.4}",
+                i + 1,
+                total,
+                max,
+                r.comm.bytes,
+                r.comm.messages,
+                r.comm.items,
+                imbalance_ratio(&work_f)
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Appends another run's rounds (e.g. accumulate per-batch stats).
+    pub fn merge(&mut self, other: BspStats) {
+        debug_assert_eq!(self.num_hosts, other.num_hosts);
+        self.rounds.extend(other.rounds);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comm2(sent0: u64, msgs: u64) -> RoundComm {
+        let mut c = RoundComm::new(2);
+        c.sent_bytes[0] = sent0;
+        c.recv_bytes[1] = sent0;
+        c.msgs_per_host[0] = msgs as u32;
+        c.msgs_per_host[1] = msgs as u32;
+        c.messages = msgs;
+        c.bytes = sent0;
+        c
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let mut s = BspStats::new(2);
+        s.record_round(vec![10, 30], comm2(100, 1));
+        s.record_round(vec![20, 20], comm2(50, 1));
+        assert_eq!(s.num_rounds(), 2);
+        assert_eq!(s.total_bytes(), 150);
+        assert_eq!(s.total_messages(), 2);
+        assert_eq!(s.total_work(), 80);
+    }
+
+    #[test]
+    fn computation_time_uses_max_host() {
+        let mut s = BspStats::new(2);
+        s.record_round(vec![10, 30], RoundComm::new(2));
+        let cost = CostModel {
+            compute_sec_per_unit: 1.0,
+            ..CostModel::default()
+        };
+        assert!((s.computation_time(&cost) - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn imbalance_averages_active_rounds() {
+        let mut s = BspStats::new(2);
+        s.record_round(vec![30, 10], RoundComm::new(2)); // imbalance 1.5
+        s.record_round(vec![0, 0], RoundComm::new(2)); // idle, skipped
+        s.record_round(vec![20, 20], RoundComm::new(2)); // imbalance 1.0
+        assert!((s.load_imbalance() - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comm_time_includes_barrier_and_overhead_per_round() {
+        let mut s = BspStats::new(4);
+        s.record_round(vec![0; 4], RoundComm::new(4));
+        s.record_round(vec![0; 4], RoundComm::new(4));
+        let cost = CostModel::default();
+        let want = 2.0 * (cost.barrier(4) + cost.round_overhead_sec);
+        assert!((s.communication_time(&cost) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_export_has_one_row_per_round() {
+        let mut s = BspStats::new(2);
+        s.record_round(vec![3, 1], comm2(64, 1));
+        s.record_round(vec![0, 0], RoundComm::new(2));
+        let mut buf = Vec::new();
+        s.write_csv(&mut buf).expect("csv");
+        let text = String::from_utf8(buf).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "header + 2 rounds");
+        assert!(lines[0].starts_with("round,"));
+        assert!(lines[1].starts_with("1,4,3,64,1,"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn merge_appends() {
+        let mut a = BspStats::new(2);
+        a.record_round(vec![1, 1], RoundComm::new(2));
+        let mut b = BspStats::new(2);
+        b.record_round(vec![2, 2], RoundComm::new(2));
+        a.merge(b);
+        assert_eq!(a.num_rounds(), 2);
+        assert_eq!(a.total_work(), 6);
+    }
+}

@@ -1,0 +1,389 @@
+//! Traversals and structure analysis: BFS, connectivity, diameter.
+
+use crate::{CsrGraph, Dist, VertexId, INF_DIST};
+use std::collections::VecDeque;
+
+/// Single-source BFS distances in the directed graph. Unreachable vertices
+/// get [`INF_DIST`].
+pub fn bfs_distances(g: &CsrGraph, source: VertexId) -> Vec<Dist> {
+    let mut dist = vec![INF_DIST; g.num_vertices()];
+    if g.num_vertices() == 0 {
+        return dist;
+    }
+    let mut q = VecDeque::new();
+    dist[source as usize] = 0;
+    q.push_back(source);
+    while let Some(u) = q.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.out_neighbors(u) {
+            if dist[v as usize] == INF_DIST {
+                dist[v as usize] = du + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// BFS distances *and* shortest-path counts from `source`.
+///
+/// Path counts are `f64` — the paper uses double-precision floats for
+/// `σ` because exact counts overflow 64-bit integers on real graphs
+/// (Section 5.2).
+pub fn bfs_sigma(g: &CsrGraph, source: VertexId) -> (Vec<Dist>, Vec<f64>) {
+    let n = g.num_vertices();
+    let mut dist = vec![INF_DIST; n];
+    let mut sigma = vec![0.0f64; n];
+    if n == 0 {
+        return (dist, sigma);
+    }
+    let mut q = VecDeque::new();
+    dist[source as usize] = 0;
+    sigma[source as usize] = 1.0;
+    q.push_back(source);
+    while let Some(u) = q.pop_front() {
+        let du = dist[u as usize];
+        let su = sigma[u as usize];
+        for &v in g.out_neighbors(u) {
+            let vd = &mut dist[v as usize];
+            if *vd == INF_DIST {
+                *vd = du + 1;
+                sigma[v as usize] = su;
+                q.push_back(v);
+            } else if *vd == du + 1 {
+                sigma[v as usize] += su;
+            }
+        }
+    }
+    (dist, sigma)
+}
+
+/// Eccentricity of `source`: the largest *finite* BFS distance from it
+/// (0 if it reaches nothing else).
+pub fn eccentricity(g: &CsrGraph, source: VertexId) -> Dist {
+    bfs_distances(g, source)
+        .into_iter()
+        .filter(|&d| d != INF_DIST)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Exact directed diameter: max finite distance over all ordered pairs.
+/// `O(n·m)` — intended for the small graphs used in tests and workload
+/// characterization. Returns 0 for graphs with fewer than 2 vertices.
+pub fn exact_diameter(g: &CsrGraph) -> Dist {
+    (0..g.num_vertices() as VertexId)
+        .map(|v| eccentricity(g, v))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Double-sweep lower bound on the diameter: BFS from `start`, then BFS
+/// again from the farthest vertex found. Exact on trees; a strong lower
+/// bound in practice, at two BFS traversals instead of `n` — the standard
+/// way to characterize graphs too big for [`exact_diameter`].
+pub fn double_sweep_diameter(g: &CsrGraph, start: VertexId) -> Dist {
+    if g.num_vertices() == 0 {
+        return 0;
+    }
+    let first = bfs_distances(g, start);
+    let far = first
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d != INF_DIST)
+        .max_by_key(|&(_, &d)| d)
+        .map(|(v, _)| v as VertexId)
+        .unwrap_or(start);
+    eccentricity(g, far).max(eccentricity(g, start))
+}
+
+/// The "estimated diameter" of Table 1: the maximum finite shortest-path
+/// distance observed from the given sample of sources (the paper estimates
+/// the diameter from the sampled BC sources).
+pub fn estimated_diameter(g: &CsrGraph, sources: &[VertexId]) -> Dist {
+    sources.iter().map(|&s| eccentricity(g, s)).max().unwrap_or(0)
+}
+
+/// True if every vertex is reachable from every other vertex.
+pub fn is_strongly_connected(g: &CsrGraph) -> bool {
+    let n = g.num_vertices();
+    if n <= 1 {
+        return true;
+    }
+    bfs_distances(g, 0).iter().all(|&d| d != INF_DIST)
+        && bfs_distances(&g.reverse(), 0).iter().all(|&d| d != INF_DIST)
+}
+
+/// True if the undirected version `U_G` is connected.
+pub fn is_weakly_connected(g: &CsrGraph) -> bool {
+    let n = g.num_vertices();
+    if n <= 1 {
+        return true;
+    }
+    bfs_distances(&g.undirected(), 0)
+        .iter()
+        .all(|&d| d != INF_DIST)
+}
+
+/// Strongly connected components via iterative Tarjan.
+///
+/// Returns `(component_id_per_vertex, component_count)`; ids are in
+/// reverse-topological discovery order (as Tarjan emits them).
+pub fn strongly_connected_components(g: &CsrGraph) -> (Vec<usize>, usize) {
+    const UNVISITED: usize = usize::MAX;
+    let n = g.num_vertices();
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![UNVISITED; n];
+    let mut stack: Vec<VertexId> = Vec::new();
+    let mut next_index = 0usize;
+    let mut num_comps = 0usize;
+
+    // Explicit DFS stack: (vertex, next-child cursor).
+    let mut call: Vec<(VertexId, usize)> = Vec::new();
+    for root in 0..n as VertexId {
+        if index[root as usize] != UNVISITED {
+            continue;
+        }
+        call.push((root, 0));
+        index[root as usize] = next_index;
+        lowlink[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+
+        while let Some(&mut (v, ref mut cursor)) = call.last_mut() {
+            let ns = g.out_neighbors(v);
+            if *cursor < ns.len() {
+                let w = ns[*cursor];
+                *cursor += 1;
+                if index[w as usize] == UNVISITED {
+                    index[w as usize] = next_index;
+                    lowlink[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    call.push((w, 0));
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    lowlink[parent as usize] =
+                        lowlink[parent as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    loop {
+                        let w = stack.pop().expect("Tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        comp[w as usize] = num_comps;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    num_comps += 1;
+                }
+            }
+        }
+    }
+    (comp, num_comps)
+}
+
+/// Extracts the largest strongly connected component as a standalone graph.
+///
+/// Returns the subgraph plus the mapping `new_id -> old_id`. Useful for
+/// exercising MRBC's `n + 5D` early-termination mode, which requires a
+/// strongly connected input.
+pub fn largest_scc(g: &CsrGraph) -> (CsrGraph, Vec<VertexId>) {
+    let n = g.num_vertices();
+    if n == 0 {
+        return (crate::GraphBuilder::new(0).build(), Vec::new());
+    }
+    let (comp, k) = strongly_connected_components(g);
+    let mut sizes = vec![0usize; k];
+    for &c in &comp {
+        sizes[c] += 1;
+    }
+    let best = (0..k).max_by_key(|&c| sizes[c]).unwrap_or(0);
+    let mut old_of_new: Vec<VertexId> = Vec::with_capacity(sizes.get(best).copied().unwrap_or(0));
+    let mut new_of_old = vec![VertexId::MAX; n];
+    for v in 0..n {
+        if comp[v] == best {
+            new_of_old[v] = old_of_new.len() as VertexId;
+            old_of_new.push(v as VertexId);
+        }
+    }
+    let mut b = crate::GraphBuilder::new(old_of_new.len());
+    for (u, v) in g.edges() {
+        if comp[u as usize] == best && comp[v as usize] == best {
+            b = b.edge(new_of_old[u as usize], new_of_old[v as usize]);
+        }
+    }
+    (b.build(), old_of_new)
+}
+
+/// BFS tree over the *undirected* version of `g`, rooted at `root`.
+///
+/// Returns `(parent, children)` where `parent[root] == root`. This is the
+/// tree `B` built in Step 1 of Algorithm 3 and consumed by the
+/// APSP-Finalizer (Algorithm 4).
+pub fn undirected_bfs_tree(
+    g: &CsrGraph,
+    root: VertexId,
+) -> (Vec<VertexId>, Vec<Vec<VertexId>>) {
+    let u = g.undirected();
+    let n = u.num_vertices();
+    let mut parent = vec![VertexId::MAX; n];
+    let mut children = vec![Vec::new(); n];
+    if n == 0 {
+        return (parent, children);
+    }
+    let mut q = VecDeque::new();
+    parent[root as usize] = root;
+    q.push_back(root);
+    while let Some(x) = q.pop_front() {
+        for &y in u.out_neighbors(x) {
+            if parent[y as usize] == VertexId::MAX {
+                parent[y as usize] = x;
+                children[x as usize].push(y);
+                q.push_back(y);
+            }
+        }
+    }
+    (parent, children)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn cycle(n: usize) -> CsrGraph {
+        GraphBuilder::new(n)
+            .edges((0..n as u32).map(|i| (i, (i + 1) % n as u32)))
+            .build()
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = GraphBuilder::new(4).edges([(0, 1), (1, 2), (2, 3)]).build();
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3]);
+        assert_eq!(bfs_distances(&g, 3), vec![INF_DIST, INF_DIST, INF_DIST, 0]);
+    }
+
+    #[test]
+    fn sigma_counts_diamond() {
+        // Two shortest paths 0->3.
+        let g = GraphBuilder::new(4)
+            .edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+            .build();
+        let (d, s) = bfs_sigma(&g, 0);
+        assert_eq!(d, vec![0, 1, 1, 2]);
+        assert_eq!(s, vec![1.0, 1.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn sigma_unreachable_is_zero() {
+        let g = GraphBuilder::new(3).edges([(0, 1)]).build();
+        let (d, s) = bfs_sigma(&g, 0);
+        assert_eq!(d[2], INF_DIST);
+        assert_eq!(s[2], 0.0);
+    }
+
+    #[test]
+    fn diameter_of_cycle() {
+        let g = cycle(6);
+        assert_eq!(exact_diameter(&g), 5);
+        assert_eq!(eccentricity(&g, 0), 5);
+        assert_eq!(estimated_diameter(&g, &[0, 3]), 5);
+    }
+
+    #[test]
+    fn double_sweep_bounds_the_diameter() {
+        // Exact on trees and paths; a lower bound everywhere.
+        let p = GraphBuilder::new(5).edges([(0, 1), (1, 2), (2, 3), (3, 4)]).build();
+        let tree = crate::generators::balanced_tree(2, 4);
+        assert_eq!(double_sweep_diameter(&p, 0), 4);
+        assert_eq!(double_sweep_diameter(&tree, 0), exact_diameter(&tree));
+        for seed in 0..3 {
+            let g = crate::generators::erdos_renyi(60, 0.06, seed);
+            assert!(double_sweep_diameter(&g, 0) <= exact_diameter(&g));
+        }
+        assert_eq!(double_sweep_diameter(&GraphBuilder::new(0).build(), 0), 0);
+    }
+
+    #[test]
+    fn connectivity_checks() {
+        assert!(is_strongly_connected(&cycle(5)));
+        let path = GraphBuilder::new(3).edges([(0, 1), (1, 2)]).build();
+        assert!(!is_strongly_connected(&path));
+        assert!(is_weakly_connected(&path));
+        let disjoint = GraphBuilder::new(4).edges([(0, 1), (2, 3)]).build();
+        assert!(!is_weakly_connected(&disjoint));
+        // Trivial graphs are connected by convention.
+        assert!(is_strongly_connected(&GraphBuilder::new(1).build()));
+        assert!(is_weakly_connected(&GraphBuilder::new(0).build()));
+    }
+
+    #[test]
+    fn scc_structure() {
+        // Two 3-cycles joined by one edge: 2 components.
+        let mut b = GraphBuilder::new(6);
+        for i in 0..3u32 {
+            b = b.edge(i, (i + 1) % 3).edge(3 + i, 3 + (i + 1) % 3);
+        }
+        let g = b.edge(0, 3).build();
+        let (comp, k) = strongly_connected_components(&g);
+        assert_eq!(k, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[0], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+    }
+
+    #[test]
+    fn scc_singletons_on_dag() {
+        let g = GraphBuilder::new(4)
+            .edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+            .build();
+        let (_, k) = strongly_connected_components(&g);
+        assert_eq!(k, 4);
+    }
+
+    #[test]
+    fn largest_scc_extraction() {
+        // 4-cycle plus pendant chain.
+        let g = GraphBuilder::new(7)
+            .edges([(0, 1), (1, 2), (2, 3), (3, 0), (3, 4), (4, 5), (5, 6)])
+            .build();
+        let (sub, map) = largest_scc(&g);
+        assert_eq!(sub.num_vertices(), 4);
+        assert_eq!(sub.num_edges(), 4);
+        assert!(is_strongly_connected(&sub));
+        let mut orig: Vec<u32> = map.clone();
+        orig.sort_unstable();
+        assert_eq!(orig, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn bfs_tree_covers_weakly_connected_graph() {
+        let g = GraphBuilder::new(5)
+            .edges([(1, 0), (1, 2), (3, 2), (3, 4)])
+            .build();
+        let (parent, children) = undirected_bfs_tree(&g, 0);
+        assert_eq!(parent[0], 0);
+        for v in 1..5 {
+            assert_ne!(parent[v], VertexId::MAX, "vertex {v} not in tree");
+        }
+        // children lists and parent pointers must agree.
+        for v in 0..5u32 {
+            for &c in &children[v as usize] {
+                assert_eq!(parent[c as usize], v);
+            }
+        }
+        let total_children: usize = children.iter().map(|c| c.len()).sum();
+        assert_eq!(total_children, 4, "tree has n-1 edges");
+    }
+}

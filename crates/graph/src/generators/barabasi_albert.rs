@@ -1,0 +1,82 @@
+//! Barabási–Albert preferential-attachment generator.
+
+use crate::{CsrGraph, GraphBuilder, VertexId};
+use rand::{Rng, SeedableRng};
+
+/// Barabási–Albert scale-free digraph.
+///
+/// Starts from a small seed clique and attaches each new vertex to `k`
+/// existing vertices chosen with probability proportional to their current
+/// degree; each attachment contributes edges in both directions so the
+/// result is strongly shaped like a social network (the paper's
+/// livejournal / friendster inputs). Deterministic per `(n, k, seed)`.
+pub fn barabasi_albert(n: usize, k: usize, seed: u64) -> CsrGraph {
+    assert!(k >= 1, "attachment degree must be at least 1");
+    let seed_size = (k + 1).min(n.max(1));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    // `targets_pool` holds one entry per half-edge endpoint, so uniform
+    // sampling from it is degree-proportional sampling.
+    let mut pool: Vec<VertexId> = Vec::with_capacity(2 * n * k);
+    for u in 0..seed_size as VertexId {
+        for v in 0..seed_size as VertexId {
+            if u < v {
+                b = b.undirected_edge(u, v);
+                pool.push(u);
+                pool.push(v);
+            }
+        }
+    }
+    if seed_size == 1 {
+        pool.push(0);
+    }
+    for u in seed_size as VertexId..n as VertexId {
+        let mut chosen = Vec::with_capacity(k);
+        let mut guard = 0;
+        while chosen.len() < k && guard < 50 * k {
+            let v = pool[rng.gen_range(0..pool.len())];
+            if v != u && !chosen.contains(&v) {
+                chosen.push(v);
+            }
+            guard += 1;
+        }
+        for &v in &chosen {
+            b = b.undirected_edge(u, v);
+            pool.push(u);
+            pool.push(v);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        let g = barabasi_albert(500, 3, 7);
+        assert_eq!(g.num_vertices(), 500);
+        // Each of ~497 vertices adds up to 3 undirected edges (6 directed).
+        assert!(g.num_edges() > 2000, "too few edges: {}", g.num_edges());
+    }
+
+    #[test]
+    fn hubs_emerge() {
+        let g = barabasi_albert(500, 3, 7);
+        let mean = g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(
+            g.max_out_degree() as f64 > 4.0 * mean,
+            "no hub: max {} vs mean {mean:.1}",
+            g.max_out_degree()
+        );
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let g = barabasi_albert(1, 2, 0);
+        assert_eq!(g.num_vertices(), 1);
+        let g = barabasi_albert(2, 1, 0);
+        assert_eq!(g.num_edges(), 2); // one undirected edge
+    }
+}

@@ -1,0 +1,111 @@
+//! Deterministic classic graphs used throughout the test suites.
+
+use crate::{CsrGraph, GraphBuilder, VertexId};
+
+/// Directed path `0 → 1 → … → n-1`.
+pub fn path(n: usize) -> CsrGraph {
+    GraphBuilder::new(n)
+        .edges((1..n as VertexId).map(|i| (i - 1, i)))
+        .build()
+}
+
+/// Directed cycle `0 → 1 → … → n-1 → 0`. Strongly connected with
+/// diameter `n - 1`, the worst case for round-count bounds.
+pub fn cycle(n: usize) -> CsrGraph {
+    assert!(n >= 1, "cycle needs at least one vertex");
+    GraphBuilder::new(n)
+        .edges((0..n as VertexId).map(|i| (i, (i + 1) % n as VertexId)))
+        .build()
+}
+
+/// Undirected star: center 0 connected to every other vertex.
+pub fn star(n: usize) -> CsrGraph {
+    assert!(n >= 1, "star needs at least one vertex");
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n as VertexId {
+        b = b.undirected_edge(0, v);
+    }
+    b.build()
+}
+
+/// Complete digraph: every ordered pair is an edge.
+pub fn complete(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as VertexId {
+        for v in 0..n as VertexId {
+            if u != v {
+                b = b.edge(u, v);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Balanced tree of the given branching factor and depth, with
+/// bidirectional edges. `depth = 0` is a single root.
+pub fn balanced_tree(branching: usize, depth: usize) -> CsrGraph {
+    assert!(branching >= 1, "branching factor must be >= 1");
+    // n = 1 + b + b^2 + ... + b^depth
+    let mut n = 1usize;
+    let mut level = 1usize;
+    for _ in 0..depth {
+        level *= branching;
+        n += level;
+    }
+    let mut b = GraphBuilder::new(n);
+    // Children of vertex v are branching*v + 1 ..= branching*v + branching.
+    for v in 0..n {
+        for c in 1..=branching {
+            let child = branching * v + c;
+            if child < n {
+                b = b.undirected_edge(v as VertexId, child as VertexId);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{exact_diameter, is_strongly_connected};
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(exact_diameter(&g), 4);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(7);
+        assert!(is_strongly_connected(&g));
+        assert_eq!(exact_diameter(&g), 6);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(6);
+        assert_eq!(g.out_degree(0), 5);
+        assert_eq!(g.out_degree(3), 1);
+        assert_eq!(exact_diameter(&g), 2);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(5);
+        assert_eq!(g.num_edges(), 20);
+        assert_eq!(exact_diameter(&g), 1);
+    }
+
+    #[test]
+    fn balanced_tree_shape() {
+        let g = balanced_tree(2, 3); // 1 + 2 + 4 + 8 = 15
+        assert_eq!(g.num_vertices(), 15);
+        assert_eq!(g.num_edges(), 28); // 14 undirected edges
+        assert_eq!(exact_diameter(&g), 6);
+        let root_only = balanced_tree(3, 0);
+        assert_eq!(root_only.num_vertices(), 1);
+    }
+}

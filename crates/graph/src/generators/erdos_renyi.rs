@@ -1,0 +1,101 @@
+//! Erdős–Rényi `G(n, p)` digraphs and strongly-connected variants.
+
+use crate::{CsrGraph, GraphBuilder, VertexId};
+use rand::{Rng, SeedableRng};
+
+/// Directed `G(n, p)`: each ordered pair `(u, v)`, `u ≠ v`, is an edge
+/// independently with probability `p`. Deterministic per `(n, p, seed)`.
+///
+/// Used by the property-test suite as an unbiased source of random
+/// digraphs (the paper's generators are all heavily structured).
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    // Geometric skipping keeps this O(m) instead of O(n^2) for sparse p.
+    if p > 0.0 {
+        let total = n.saturating_mul(n) as u64;
+        let mut idx: u64 = 0;
+        while idx < total {
+            let r: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            let skip = if p >= 1.0 {
+                0
+            } else {
+                (r.ln() / (1.0 - p).ln()).floor() as u64
+            };
+            idx = idx.saturating_add(skip);
+            if idx >= total {
+                break;
+            }
+            let u = (idx / n as u64) as VertexId;
+            let v = (idx % n as u64) as VertexId;
+            if u != v {
+                b = b.edge(u, v);
+            }
+            idx += 1;
+        }
+    }
+    b.build()
+}
+
+/// A random *strongly connected* digraph: a Hamiltonian cycle (guaranteeing
+/// strong connectivity) plus `G(n, p)` noise edges.
+///
+/// MRBC's `n + 5D` early-termination mode (Algorithm 4) requires strong
+/// connectivity; this generator provides arbitrarily many such inputs.
+pub fn random_strongly_connected(n: usize, p: f64, seed: u64) -> CsrGraph {
+    assert!(n >= 1, "need at least one vertex");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    // Random cycle over a shuffled vertex order.
+    let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b = b.edge(order[i], order[(i + 1) % n]);
+    }
+    let noise = erdos_renyi(n, p, seed.wrapping_add(0x9e37_79b9));
+    b.edges(noise.edges()).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::is_strongly_connected;
+
+    #[test]
+    fn density_is_close_to_p() {
+        let n = 200;
+        let p = 0.05;
+        let g = erdos_renyi(n, p, 123);
+        let expect = p * (n * (n - 1)) as f64;
+        let got = g.num_edges() as f64;
+        assert!(
+            (got - expect).abs() < 0.25 * expect,
+            "edge count {got} far from expectation {expect}"
+        );
+    }
+
+    #[test]
+    fn p_zero_and_one() {
+        assert_eq!(erdos_renyi(10, 0.0, 1).num_edges(), 0);
+        assert_eq!(erdos_renyi(10, 1.0, 1).num_edges(), 90);
+    }
+
+    #[test]
+    fn strongly_connected_by_construction() {
+        for seed in 0..5 {
+            let g = random_strongly_connected(50, 0.02, seed);
+            assert!(is_strongly_connected(&g), "seed {seed} not strongly connected");
+        }
+    }
+
+    #[test]
+    fn single_vertex_sc() {
+        let g = random_strongly_connected(1, 0.5, 0);
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0); // self-loop dropped
+    }
+}

@@ -1,0 +1,99 @@
+//! High-diameter road-network stand-in: a long 2-D grid.
+
+use crate::{CsrGraph, GraphBuilder, VertexId};
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`grid_road_network`].
+///
+/// A `height × width` lattice with bidirectional street edges; making
+/// `width ≫ height` yields the very large diameter (`≈ width`) that
+/// characterizes the paper's `road-europe` input (estimated diameter
+/// 22,541 at 174M vertices). A small `perturbation` probability removes
+/// some cross streets to make the lattice irregular like a real road
+/// network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoadNetworkConfig {
+    /// Number of rows.
+    pub height: usize,
+    /// Number of columns (dominates the diameter).
+    pub width: usize,
+    /// Per-edge removal probability numerator out of 1000.
+    pub removal_per_mille: u32,
+}
+
+impl RoadNetworkConfig {
+    /// Regular grid with 5% of interior edges removed.
+    pub fn new(height: usize, width: usize) -> Self {
+        Self {
+            height,
+            width,
+            removal_per_mille: 50,
+        }
+    }
+
+    /// Total vertex count.
+    pub fn num_vertices(&self) -> usize {
+        self.height * self.width
+    }
+}
+
+/// Generates the road-network stand-in. Deterministic per `(config, seed)`.
+///
+/// The first row (`y = 0`) is kept fully intact so the graph always stays
+/// weakly connected (and strongly connected along that row), preserving
+/// the long shortest paths that drive SBBC's round count.
+pub fn grid_road_network(config: RoadNetworkConfig, seed: u64) -> CsrGraph {
+    let (h, w) = (config.height, config.width);
+    assert!(h >= 1 && w >= 1, "grid must be at least 1x1");
+    let n = h * w;
+    let id = |x: usize, y: usize| -> VertexId { (y * w + x) as VertexId };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                let keep = y == 0 || rng.gen_range(0..1000) >= config.removal_per_mille;
+                if keep {
+                    b = b.undirected_edge(id(x, y), id(x + 1, y));
+                }
+            }
+            if y + 1 < h {
+                let keep = x == 0 || rng.gen_range(0..1000) >= config.removal_per_mille;
+                if keep {
+                    b = b.undirected_edge(id(x, y), id(x, y + 1));
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{estimated_diameter, is_weakly_connected};
+
+    #[test]
+    fn grid_shape() {
+        let g = grid_road_network(RoadNetworkConfig::new(3, 10), 0);
+        assert_eq!(g.num_vertices(), 30);
+        assert!(g.max_out_degree() <= 4);
+        assert!(is_weakly_connected(&g));
+    }
+
+    #[test]
+    fn diameter_scales_with_width() {
+        let narrow = grid_road_network(RoadNetworkConfig::new(2, 20), 1);
+        let wide = grid_road_network(RoadNetworkConfig::new(2, 80), 1);
+        let dn = estimated_diameter(&narrow, &[0]);
+        let dw = estimated_diameter(&wide, &[0]);
+        assert!(dw >= dn + 50, "diameters: narrow {dn}, wide {dw}");
+    }
+
+    #[test]
+    fn one_by_one_grid() {
+        let g = grid_road_network(RoadNetworkConfig::new(1, 1), 0);
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Stochastic Kronecker-graph generator (Leskovec et al., 2010).
+
+use crate::{CsrGraph, GraphBuilder};
+use rand::{Rng, SeedableRng};
+
+/// Parameters for the stochastic Kronecker generator behind the paper's
+/// `kron30` input.
+///
+/// A 2×2 initiator matrix is Kronecker-powered `scale` times; each sampled
+/// edge descends the recursion choosing a quadrant with probability
+/// proportional to the initiator entry. This is equivalent to R-MAT with
+/// per-level noise disabled and the canonical Graph500 initiator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KroneckerConfig {
+    /// log2 of the vertex count.
+    pub scale: u32,
+    /// Average edges per vertex before deduplication.
+    pub edge_factor: usize,
+    /// 2×2 initiator matrix, row-major. Need not be normalized.
+    pub initiator: [f64; 4],
+}
+
+impl KroneckerConfig {
+    /// Graph500 initiator `[0.57, 0.19; 0.19, 0.05]`.
+    pub fn new(scale: u32, edge_factor: usize) -> Self {
+        Self {
+            scale,
+            edge_factor,
+            initiator: [0.57, 0.19, 0.19, 0.05],
+        }
+    }
+}
+
+/// Generates a stochastic Kronecker graph. Deterministic per
+/// `(config, seed)`.
+pub fn kronecker(config: KroneckerConfig, seed: u64) -> CsrGraph {
+    assert!(config.scale < 31, "scale too large for VertexId");
+    let total: f64 = config.initiator.iter().sum();
+    assert!(
+        total > 0.0 && config.initiator.iter().all(|&p| p >= 0.0),
+        "initiator entries must be non-negative with positive sum"
+    );
+    let n = 1usize << config.scale;
+    let m = n.saturating_mul(config.edge_factor);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let thresholds = [
+        config.initiator[0] / total,
+        (config.initiator[0] + config.initiator[1]) / total,
+        (config.initiator[0] + config.initiator[1] + config.initiator[2]) / total,
+    ];
+    let mut b = GraphBuilder::new(n);
+    for _ in 0..m {
+        let mut u = 0u32;
+        let mut v = 0u32;
+        for _ in 0..config.scale {
+            u <<= 1;
+            v <<= 1;
+            let r: f64 = rng.gen();
+            if r < thresholds[0] {
+            } else if r < thresholds[1] {
+                v |= 1;
+            } else if r < thresholds[2] {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        b = b.edge(u, v);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_skew() {
+        let g = kronecker(KroneckerConfig::new(10, 8), 1);
+        assert_eq!(g.num_vertices(), 1024);
+        assert!(g.num_edges() > 4000);
+        let mean = g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(g.max_out_degree() as f64 > 4.0 * mean);
+    }
+
+    #[test]
+    fn unnormalized_initiator_is_accepted() {
+        let cfg = KroneckerConfig {
+            initiator: [5.7, 1.9, 1.9, 0.5],
+            ..KroneckerConfig::new(6, 4)
+        };
+        let g = kronecker(cfg, 3);
+        assert_eq!(g.num_vertices(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_initiator() {
+        let cfg = KroneckerConfig {
+            initiator: [-1.0, 0.5, 0.5, 0.5],
+            ..KroneckerConfig::new(4, 2)
+        };
+        kronecker(cfg, 0);
+    }
+}

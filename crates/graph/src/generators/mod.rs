@@ -1,0 +1,72 @@
+//! Deterministic, seedable graph generators.
+//!
+//! The paper's evaluation spans three graph shapes: low-diameter power-law
+//! graphs (livejournal, friendster, rmat24, kron30), web crawls with a
+//! non-trivial diameter from long tails (indochina04, gsh15, clueweb12),
+//! and a very high-diameter road network (road-europe). These generators
+//! reproduce those shapes at configurable scale; every generator is a pure
+//! function of its parameters and seed.
+
+mod barabasi_albert;
+mod classic;
+mod erdos_renyi;
+mod grid;
+mod kronecker;
+mod rmat;
+mod watts_strogatz;
+mod webcrawl;
+
+pub use barabasi_albert::barabasi_albert;
+pub use classic::{complete, cycle, path, star, balanced_tree};
+pub use erdos_renyi::{erdos_renyi, random_strongly_connected};
+pub use grid::{grid_road_network, RoadNetworkConfig};
+pub use kronecker::{kronecker, KroneckerConfig};
+pub use rmat::{rmat, RmatConfig};
+pub use watts_strogatz::watts_strogatz;
+pub use webcrawl::{web_crawl, WebCrawlConfig};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn all_generators_are_deterministic_per_seed() {
+        assert_eq!(rmat(RmatConfig::new(8, 4), 7), rmat(RmatConfig::new(8, 4), 7));
+        assert_eq!(
+            kronecker(KroneckerConfig::new(6, 3), 9),
+            kronecker(KroneckerConfig::new(6, 3), 9)
+        );
+        assert_eq!(erdos_renyi(100, 0.05, 3), erdos_renyi(100, 0.05, 3));
+        assert_eq!(barabasi_albert(100, 3, 5), barabasi_albert(100, 3, 5));
+        assert_eq!(watts_strogatz(100, 4, 0.1, 2), watts_strogatz(100, 4, 0.1, 2));
+        assert_eq!(
+            web_crawl(WebCrawlConfig::new(200), 11),
+            web_crawl(WebCrawlConfig::new(200), 11)
+        );
+    }
+
+    #[test]
+    fn seeds_change_random_generators() {
+        assert_ne!(rmat(RmatConfig::new(8, 4), 1), rmat(RmatConfig::new(8, 4), 2));
+        assert_ne!(erdos_renyi(100, 0.05, 1), erdos_renyi(100, 0.05, 2));
+    }
+
+    #[test]
+    fn road_network_has_high_diameter() {
+        let g = grid_road_network(RoadNetworkConfig::new(4, 50), 1);
+        let d = algo::estimated_diameter(&g, &[0]);
+        assert!(d >= 50, "road network diameter {d} too small");
+    }
+
+    #[test]
+    fn web_crawl_has_long_tail() {
+        let cfg = WebCrawlConfig::new(500);
+        let g = web_crawl(cfg, 5);
+        // Tail chains push the diameter well beyond a power-law core's.
+        let core = rmat(RmatConfig::new(9, 8), 5);
+        let dg = algo::estimated_diameter(&g, &(0..16).collect::<Vec<_>>());
+        let dc = algo::estimated_diameter(&core, &(0..16).collect::<Vec<_>>());
+        assert!(dg > dc, "web crawl diameter {dg} not larger than rmat {dc}");
+    }
+}

@@ -1,0 +1,118 @@
+//! R-MAT recursive-matrix power-law generator (Chakrabarti et al., 2004).
+
+use crate::{CsrGraph, GraphBuilder, VertexId};
+use rand::{Rng, SeedableRng};
+
+/// Parameters for the R-MAT generator.
+///
+/// Generates `2^scale` vertices and about `edge_factor · 2^scale` directed
+/// edges (duplicates and self-loops are removed, as in the paper's simple
+/// digraph inputs, so the final count is slightly lower).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RmatConfig {
+    /// log2 of the vertex count.
+    pub scale: u32,
+    /// Average edges per vertex before deduplication.
+    pub edge_factor: usize,
+    /// Probability of recursing into the top-left quadrant.
+    pub a: f64,
+    /// Probability of the top-right quadrant.
+    pub b: f64,
+    /// Probability of the bottom-left quadrant.
+    pub c: f64,
+}
+
+impl RmatConfig {
+    /// Graph500-style defaults `(a, b, c) = (0.57, 0.19, 0.19)` — the
+    /// parameterization behind the paper's `rmat24` input.
+    pub fn new(scale: u32, edge_factor: usize) -> Self {
+        Self {
+            scale,
+            edge_factor,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.scale < 31, "scale too large for VertexId");
+        let d = 1.0 - self.a - self.b - self.c;
+        assert!(
+            self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0 && d >= -1e-9,
+            "quadrant probabilities must be a valid distribution"
+        );
+    }
+}
+
+/// Generates an R-MAT graph. Deterministic per `(config, seed)`.
+pub fn rmat(config: RmatConfig, seed: u64) -> CsrGraph {
+    config.validate();
+    let n = 1usize << config.scale;
+    let m = n.saturating_mul(config.edge_factor);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for _ in 0..m {
+        let (u, v) = sample_edge(&config, &mut rng);
+        b = b.edge(u, v);
+    }
+    b.build()
+}
+
+fn sample_edge(cfg: &RmatConfig, rng: &mut impl Rng) -> (VertexId, VertexId) {
+    let mut u = 0u32;
+    let mut v = 0u32;
+    for _ in 0..cfg.scale {
+        u <<= 1;
+        v <<= 1;
+        let r: f64 = rng.gen();
+        if r < cfg.a {
+            // top-left: no bits set
+        } else if r < cfg.a + cfg.b {
+            v |= 1;
+        } else if r < cfg.a + cfg.b + cfg.c {
+            u |= 1;
+        } else {
+            u |= 1;
+            v |= 1;
+        }
+    }
+    (u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_plausible() {
+        let g = rmat(RmatConfig::new(10, 8), 42);
+        assert_eq!(g.num_vertices(), 1024);
+        // Dedup removes some of the 8192 sampled edges but most survive.
+        assert!(g.num_edges() > 4000, "only {} edges", g.num_edges());
+        assert!(g.num_edges() <= 8192);
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let g = rmat(RmatConfig::new(10, 8), 42);
+        let max = g.max_out_degree();
+        let mean = g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(
+            max as f64 > 5.0 * mean,
+            "max out-degree {max} not power-law-ish vs mean {mean:.1}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "valid distribution")]
+    fn rejects_bad_probabilities() {
+        let cfg = RmatConfig {
+            a: 0.9,
+            b: 0.9,
+            c: 0.9,
+            ..RmatConfig::new(4, 2)
+        };
+        rmat(cfg, 0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Watts–Strogatz small-world generator.
+
+use crate::{CsrGraph, GraphBuilder, VertexId};
+use rand::{Rng, SeedableRng};
+
+/// Watts–Strogatz small-world digraph.
+///
+/// A ring lattice where each vertex connects to its `k` nearest neighbors
+/// on each side (undirected, so `2k` per vertex), with each edge rewired
+/// to a uniform random endpoint with probability `beta`. Interpolates
+/// between the paper's two graph regimes: `beta = 0` gives a high-diameter
+/// quasi-road-network, `beta → 1` a low-diameter random graph — useful for
+/// sweeping the diameter axis in crossover experiments.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&beta), "beta must be a probability");
+    assert!(n == 0 || 2 * k < n, "ring degree 2k must be below n");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for j in 1..=k {
+            let mut v = (u + j) % n;
+            if rng.gen::<f64>() < beta {
+                // Rewire to a uniform non-self target.
+                let mut guard = 0;
+                loop {
+                    let cand = rng.gen_range(0..n);
+                    if cand != u || guard > 20 {
+                        v = cand;
+                        break;
+                    }
+                    guard += 1;
+                }
+            }
+            b = b.undirected_edge(u as VertexId, v as VertexId);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::estimated_diameter;
+
+    #[test]
+    fn ring_without_rewiring_has_large_diameter() {
+        let g = watts_strogatz(100, 1, 0.0, 0);
+        assert_eq!(estimated_diameter(&g, &[0]), 50);
+    }
+
+    #[test]
+    fn rewiring_shrinks_diameter() {
+        let ring = watts_strogatz(200, 2, 0.0, 3);
+        let small_world = watts_strogatz(200, 2, 0.3, 3);
+        let d0 = estimated_diameter(&ring, &[0]);
+        let d1 = estimated_diameter(&small_world, &[0]);
+        assert!(d1 < d0, "rewired diameter {d1} !< ring diameter {d0}");
+    }
+
+    #[test]
+    fn degree_bound_holds() {
+        let g = watts_strogatz(50, 2, 0.0, 1);
+        // Ring lattice: out-degree exactly 2k.
+        for v in 0..50u32 {
+            assert_eq!(g.out_degree(v), 4);
+        }
+    }
+}

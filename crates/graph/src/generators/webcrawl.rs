@@ -1,0 +1,150 @@
+//! Web-crawl stand-in: power-law core plus long tail chains.
+
+use super::rmat::{rmat, RmatConfig};
+use crate::{CsrGraph, GraphBuilder, VertexId};
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`web_crawl`].
+///
+/// The paper observes that "real world web-crawls like gsh15 and clueweb12
+/// have non-trivial diameters (due to long tails)" — a dense power-law
+/// core with long, thin chains of pages hanging off it (deep paginated
+/// archives, calendars, etc.). This generator reproduces that: an R-MAT
+/// core over `core_fraction` of the vertices, with the remaining vertices
+/// arranged into bidirectional chains of length `tail_length` attached to
+/// random core vertices.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WebCrawlConfig {
+    /// Total vertex count.
+    pub num_vertices: usize,
+    /// Fraction of vertices in the power-law core (0, 1].
+    pub core_fraction: f64,
+    /// Length of each tail chain.
+    pub tail_length: usize,
+    /// Edges per core vertex before dedup.
+    pub core_edge_factor: usize,
+}
+
+impl WebCrawlConfig {
+    /// 75% core, tails of length 40, core degree 8.
+    pub fn new(num_vertices: usize) -> Self {
+        Self {
+            num_vertices,
+            core_fraction: 0.75,
+            tail_length: 40,
+            core_edge_factor: 8,
+        }
+    }
+}
+
+/// Generates the web-crawl stand-in. Deterministic per `(config, seed)`.
+pub fn web_crawl(config: WebCrawlConfig, seed: u64) -> CsrGraph {
+    assert!(
+        config.core_fraction > 0.0 && config.core_fraction <= 1.0,
+        "core_fraction must be in (0, 1]"
+    );
+    assert!(config.tail_length >= 1, "tail_length must be >= 1");
+    let n = config.num_vertices;
+    if n == 0 {
+        return GraphBuilder::new(0).build();
+    }
+    let core_n = ((n as f64 * config.core_fraction) as usize).max(1).min(n);
+    // Round the core up to a power of two for the R-MAT recursion, then
+    // fold sampled ids down into the actual core range.
+    let scale = (core_n.max(2) as f64).log2().ceil() as u32;
+    let core = rmat(RmatConfig::new(scale, config.core_edge_factor), seed);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xdead_beef);
+    let mut b = GraphBuilder::new(n);
+    let mut uf = UnionFind::new(core_n);
+    for (u, v) in core.edges() {
+        let cu = (u as usize % core_n) as VertexId;
+        let cv = (v as usize % core_n) as VertexId;
+        b = b.edge(cu, cv);
+        uf.union(cu as usize, cv as usize);
+    }
+    // A crawl reaches every page it records, so the core must be weakly
+    // connected: link each stray component's representative back to the
+    // component of vertex 0.
+    for v in 1..core_n {
+        if uf.find(v) != uf.find(0) {
+            b = b.undirected_edge(0, v as VertexId);
+            uf.union(0, v);
+        }
+    }
+    // Attach the remaining vertices as chains.
+    let mut next = core_n;
+    while next < n {
+        let anchor = rng.gen_range(0..core_n) as VertexId;
+        let mut prev = anchor;
+        let chain_len = config.tail_length.min(n - next);
+        for _ in 0..chain_len {
+            let cur = next as VertexId;
+            b = b.undirected_edge(prev, cur);
+            prev = cur;
+            next += 1;
+        }
+    }
+    b.build()
+}
+
+/// Minimal union-find with path halving, used to make the core connected.
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] as usize != x {
+            let gp = self.parent[self.parent[x] as usize];
+            self.parent[x] = gp;
+            x = gp as usize;
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[rb] = ra as u32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{estimated_diameter, is_weakly_connected};
+
+    #[test]
+    fn shape_properties() {
+        let g = web_crawl(WebCrawlConfig::new(1000), 3);
+        assert_eq!(g.num_vertices(), 1000);
+        assert!(is_weakly_connected(&g));
+        // Tails of length 40 force the diameter beyond a pure core's.
+        let d = estimated_diameter(&g, &(0..8).collect::<Vec<_>>());
+        assert!(d >= 40, "diameter {d} lacks the long tail");
+    }
+
+    #[test]
+    fn all_core_degenerates_to_rmat_shape() {
+        let cfg = WebCrawlConfig {
+            core_fraction: 1.0,
+            ..WebCrawlConfig::new(256)
+        };
+        let g = web_crawl(cfg, 1);
+        assert_eq!(g.num_vertices(), 256);
+        assert!(g.num_edges() > 200);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = web_crawl(WebCrawlConfig::new(0), 0);
+        assert_eq!(g.num_vertices(), 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Plain-text edge-list I/O.
+//!
+//! Format: one `src dst` pair per line, `#`-prefixed comment lines
+//! ignored, vertex count inferred as `max id + 1` (or given explicitly).
+//! This is the interchange format of SNAP datasets, which the paper's
+//! livejournal/friendster inputs ship in.
+
+use crate::{CsrGraph, GraphBuilder, VertexId};
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Errors from edge-list parsing.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A non-comment line that is not two integers.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "I/O error: {e}"),
+            ParseError::Malformed { line, content } => {
+                write!(f, "malformed edge on line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Parses an edge list from any reader.
+///
+/// `num_vertices = None` infers the count from the largest endpoint.
+pub fn read_edge_list(
+    reader: impl BufRead,
+    num_vertices: Option<usize>,
+) -> Result<CsrGraph, ParseError> {
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut max_id: u64 = 0;
+    let mut header_n: Option<usize> = None;
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            // Our writer emits "# vertices N edges M"; honor it so
+            // trailing isolated vertices round-trip.
+            let mut toks = t.trim_start_matches(['#', '%']).split_whitespace();
+            if toks.next() == Some("vertices") {
+                if let Some(n) = toks.next().and_then(|x| x.parse().ok()) {
+                    header_n = Some(n);
+                }
+            }
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let parse = |s: Option<&str>| -> Option<u64> { s.and_then(|x| x.parse().ok()) };
+        match (parse(it.next()), parse(it.next())) {
+            (Some(u), Some(v)) if u <= VertexId::MAX as u64 && v <= VertexId::MAX as u64 => {
+                max_id = max_id.max(u).max(v);
+                edges.push((u as VertexId, v as VertexId));
+            }
+            _ => {
+                return Err(ParseError::Malformed {
+                    line: i + 1,
+                    content: t.to_string(),
+                })
+            }
+        }
+    }
+    let inferred = if edges.is_empty() { 0 } else { max_id as usize + 1 };
+    let n = num_vertices.or(header_n).unwrap_or(inferred);
+    Ok(GraphBuilder::new(n.max(inferred)).edges(edges).build())
+}
+
+/// Reads an edge-list file from disk.
+pub fn read_edge_list_file(
+    path: impl AsRef<Path>,
+    num_vertices: Option<usize>,
+) -> Result<CsrGraph, ParseError> {
+    let f = std::fs::File::open(path)?;
+    read_edge_list(io::BufReader::new(f), num_vertices)
+}
+
+/// Writes the graph as an edge list with a header comment.
+pub fn write_edge_list(g: &CsrGraph, writer: impl Write) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# vertices {} edges {}", g.num_vertices(), g.num_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()
+}
+
+/// Writes an edge-list file to disk.
+pub fn write_edge_list_file(g: &CsrGraph, path: impl AsRef<Path>) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_edge_list(g, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_text() {
+        let g = crate::generators::rmat(crate::generators::RmatConfig::new(6, 4), 5);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(io::BufReader::new(&buf[..]), Some(g.num_vertices())).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn header_preserves_isolated_trailing_vertices() {
+        // Vertex 9 has no edges; the writer's header must carry it.
+        let g = crate::GraphBuilder::new(10).edges([(0, 1)]).build();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(io::BufReader::new(&buf[..]), None).unwrap();
+        assert_eq!(g2.num_vertices(), 10);
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header\n\n% also comment\n0 1\n1 2\n";
+        let g = read_edge_list(io::BufReader::new(text.as_bytes()), None).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn vertex_count_inference_and_override() {
+        let text = "0 5\n";
+        let g = read_edge_list(io::BufReader::new(text.as_bytes()), None).unwrap();
+        assert_eq!(g.num_vertices(), 6);
+        let g = read_edge_list(io::BufReader::new(text.as_bytes()), Some(10)).unwrap();
+        assert_eq!(g.num_vertices(), 10);
+        // Explicit count below inferred is grown, not truncated.
+        let g = read_edge_list(io::BufReader::new(text.as_bytes()), Some(2)).unwrap();
+        assert_eq!(g.num_vertices(), 6);
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_position() {
+        let text = "0 1\nnot an edge\n";
+        let err = read_edge_list(io::BufReader::new(text.as_bytes()), None).unwrap_err();
+        match err {
+            ParseError::Malformed { line, .. } => assert_eq!(line, 2),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let g = read_edge_list(io::BufReader::new(&b""[..]), None).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = crate::generators::cycle(10);
+        let dir = std::env::temp_dir().join("mrbc_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("cycle.el");
+        write_edge_list_file(&g, &p).unwrap();
+        let g2 = read_edge_list_file(&p, None).unwrap();
+        assert_eq!(g, g2);
+    }
+}

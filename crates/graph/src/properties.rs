@@ -1,0 +1,67 @@
+//! Workload characterization (the left half of Table 1).
+
+use crate::{algo, CsrGraph, VertexId};
+
+/// The per-input properties the paper reports in Table 1: sizes, degree
+/// extremes, and the diameter estimated from the sampled sources.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GraphProperties {
+    /// `|V|`.
+    pub num_vertices: usize,
+    /// `|E|`.
+    pub num_edges: usize,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Number of sampled sources used for the estimate.
+    pub num_sources: usize,
+    /// Max finite shortest-path distance observed from the sources.
+    pub estimated_diameter: u32,
+}
+
+impl GraphProperties {
+    /// Computes the properties of `g` using the given source sample.
+    pub fn measure(g: &CsrGraph, sources: &[VertexId]) -> Self {
+        Self {
+            num_vertices: g.num_vertices(),
+            num_edges: g.num_edges(),
+            max_out_degree: g.max_out_degree(),
+            max_in_degree: g.max_in_degree(),
+            num_sources: sources.len(),
+            estimated_diameter: algo::estimated_diameter(g, sources),
+        }
+    }
+
+    /// True if the paper would classify this input as "low-diameter"
+    /// (estimated diameter ≤ 25; Section 5.1).
+    pub fn is_low_diameter(&self) -> bool {
+        self.estimated_diameter <= 25
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn measures_cycle() {
+        let g = generators::cycle(30);
+        let p = GraphProperties::measure(&g, &[0, 10]);
+        assert_eq!(p.num_vertices, 30);
+        assert_eq!(p.num_edges, 30);
+        assert_eq!(p.max_out_degree, 1);
+        assert_eq!(p.max_in_degree, 1);
+        assert_eq!(p.estimated_diameter, 29);
+        assert!(!p.is_low_diameter());
+    }
+
+    #[test]
+    fn low_diameter_classification() {
+        let g = generators::complete(10);
+        let p = GraphProperties::measure(&g, &[0]);
+        assert_eq!(p.estimated_diameter, 1);
+        assert!(p.is_low_diameter());
+    }
+}

@@ -1,0 +1,82 @@
+//! Source-vertex sampling for approximate BC.
+//!
+//! Exact BC runs an SSSP from *every* vertex; practical evaluations (the
+//! paper follows Bader et al. 2007) approximate BC using a sampled subset
+//! of sources. The paper samples "a random contiguous chunk of sources"
+//! because its MFBC baseline only accepts contiguous source ranges
+//! (Section 5.1); both that and unbiased uniform sampling are provided.
+
+use crate::VertexId;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+/// A random contiguous chunk of `k` source ids out of `n` vertices,
+/// wrapping around at `n` — the paper's sampling scheme. Deterministic per
+/// seed; `k` is clamped to `n`.
+pub fn contiguous_sources(n: usize, k: usize, seed: u64) -> Vec<VertexId> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = k.min(n);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let start = rng.gen_range(0..n);
+    (0..k).map(|i| ((start + i) % n) as VertexId).collect()
+}
+
+/// `k` distinct sources sampled uniformly at random, sorted ascending.
+/// Deterministic per seed; `k` is clamped to `n`.
+pub fn uniform_sources(n: usize, k: usize, seed: u64) -> Vec<VertexId> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = k.min(n);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut ids: Vec<VertexId> = (0..n as VertexId).collect();
+    ids.shuffle(&mut rng);
+    ids.truncate(k);
+    ids.sort_unstable();
+    ids
+}
+
+/// Every vertex as a source — exact BC.
+pub fn all_sources(n: usize) -> Vec<VertexId> {
+    (0..n as VertexId).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn contiguous_wraps_and_clamps() {
+        let s = contiguous_sources(10, 4, 0);
+        assert_eq!(s.len(), 4);
+        for w in s.windows(2) {
+            assert_eq!((w[0] + 1) % 10, w[1] % 10);
+        }
+        assert_eq!(contiguous_sources(3, 10, 0).len(), 3);
+        assert!(contiguous_sources(0, 5, 0).is_empty());
+    }
+
+    #[test]
+    fn uniform_is_distinct_and_sorted() {
+        let s = uniform_sources(100, 20, 42);
+        assert_eq!(s.len(), 20);
+        let set: BTreeSet<_> = s.iter().collect();
+        assert_eq!(set.len(), 20);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        assert!(s.iter().all(|&v| v < 100));
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        assert_eq!(contiguous_sources(50, 5, 9), contiguous_sources(50, 5, 9));
+        assert_eq!(uniform_sources(50, 5, 9), uniform_sources(50, 5, 9));
+        assert_ne!(uniform_sources(50, 5, 1), uniform_sources(50, 5, 2));
+    }
+
+    #[test]
+    fn all_sources_is_identity() {
+        assert_eq!(all_sources(4), vec![0, 1, 2, 3]);
+    }
+}

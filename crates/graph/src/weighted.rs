@@ -1,0 +1,267 @@
+//! Weighted directed graphs and Dijkstra-based shortest paths.
+//!
+//! The paper evaluates unweighted graphs only, but its framing is
+//! general: Brandes' Algorithm 1 runs "Dijkstra SSSP from s (or BFS if G
+//! is unweighted)", and the ABBC/MFBC baselines "can also handle weighted
+//! graphs". This module provides the weighted substrate those baselines
+//! assume: a weighted CSR graph and Dijkstra computing distances plus
+//! shortest-path counts.
+
+use crate::{CsrGraph, VertexId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Edge weight. Strictly positive integers keep shortest paths well
+/// defined and path counts finite.
+pub type Weight = u32;
+
+/// Weighted shortest-path distance.
+pub type WDist = u64;
+
+/// Sentinel for "unreachable" weighted distances.
+pub const INF_WDIST: WDist = WDist::MAX;
+
+/// An immutable weighted directed graph in CSR form.
+///
+/// # Examples
+///
+/// ```
+/// use mrbc_graph::{GraphBuilder, weighted::WeightedCsrGraph};
+/// let g = GraphBuilder::new(3).edges([(0, 1), (1, 2), (0, 2)]).build();
+/// // Weight each edge by target id + 1.
+/// let wg = WeightedCsrGraph::from_graph(&g, |_, dst| dst + 1);
+/// assert_eq!(wg.out_edges(0).collect::<Vec<_>>(), vec![(1, 2), (2, 3)]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WeightedCsrGraph {
+    graph: CsrGraph,
+    weights: Vec<Weight>,
+}
+
+impl WeightedCsrGraph {
+    /// Attaches weights to an unweighted graph via `weight(src, dst)`.
+    /// Panics on a zero weight.
+    pub fn from_graph(g: &CsrGraph, mut weight: impl FnMut(VertexId, VertexId) -> Weight) -> Self {
+        let weights: Vec<Weight> = g
+            .edges()
+            .map(|(u, v)| {
+                let w = weight(u, v);
+                assert!(w >= 1, "edge ({u}, {v}) has zero weight");
+                w
+            })
+            .collect();
+        Self {
+            graph: g.clone(),
+            weights,
+        }
+    }
+
+    /// Unit weights: weighted algorithms degenerate to the unweighted
+    /// ones (the equivalence the test suite exploits).
+    pub fn unit(g: &CsrGraph) -> Self {
+        Self::from_graph(g, |_, _| 1)
+    }
+
+    /// Pseudo-random weights in `1..=max_weight`, deterministic per seed.
+    pub fn random(g: &CsrGraph, max_weight: Weight, seed: u64) -> Self {
+        assert!(max_weight >= 1, "max_weight must be at least 1");
+        let mut i = 0u64;
+        Self::from_graph(g, |u, v| {
+            i += 1;
+            let h = mrbc_util::splitmix64(seed ^ (u as u64) << 32 ^ (v as u64) ^ i);
+            1 + (h % max_weight as u64) as Weight
+        })
+    }
+
+    /// The underlying unweighted graph.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    /// Out-edges of `v` as `(target, weight)` pairs.
+    pub fn out_edges(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        let vi = v as usize;
+        let (lo, hi) = (self.graph.raw_offsets()[vi], self.graph.raw_offsets()[vi + 1]);
+        self.graph.raw_targets()[lo..hi]
+            .iter()
+            .zip(&self.weights[lo..hi])
+            .map(|(&t, &w)| (t, w))
+    }
+
+    /// The transposed weighted graph.
+    pub fn reverse(&self) -> WeightedCsrGraph {
+        // Rebuild by sorting reversed (src, dst, w) triples; edge count is
+        // preserved exactly because the forward graph is simple.
+        let mut triples: Vec<(VertexId, VertexId, Weight)> = Vec::with_capacity(self.num_edges());
+        for u in 0..self.num_vertices() as VertexId {
+            for (v, w) in self.out_edges(u) {
+                triples.push((v, u, w));
+            }
+        }
+        triples.sort_unstable();
+        let rev = crate::GraphBuilder::new(self.num_vertices())
+            .edges(triples.iter().map(|&(a, b, _)| (a, b)))
+            .build();
+        let weights = triples.into_iter().map(|(_, _, w)| w).collect();
+        Self { graph: rev, weights }
+    }
+}
+
+/// Dijkstra distances from `source`. Unreachable vertices get
+/// [`INF_WDIST`].
+pub fn dijkstra_distances(g: &WeightedCsrGraph, source: VertexId) -> Vec<WDist> {
+    dijkstra_sigma(g, source).0
+}
+
+/// Dijkstra distances *and* shortest-path counts from `source`, plus the
+/// settle order is encoded implicitly: distances are produced by a
+/// standard lazy-deletion Dijkstra, σ accumulated on relaxation (all
+/// predecessors of `u` settle strictly before `u` because weights are
+/// positive).
+pub fn dijkstra_sigma(g: &WeightedCsrGraph, source: VertexId) -> (Vec<WDist>, Vec<f64>) {
+    let n = g.num_vertices();
+    let mut dist = vec![INF_WDIST; n];
+    let mut sigma = vec![0.0f64; n];
+    if n == 0 {
+        return (dist, sigma);
+    }
+    let mut heap: BinaryHeap<Reverse<(WDist, VertexId)>> = BinaryHeap::new();
+    let mut settled = vec![false; n];
+    dist[source as usize] = 0;
+    sigma[source as usize] = 1.0;
+    heap.push(Reverse((0, source)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if settled[v as usize] {
+            continue;
+        }
+        settled[v as usize] = true;
+        debug_assert_eq!(d, dist[v as usize]);
+        let sv = sigma[v as usize];
+        for (u, w) in g.out_edges(v) {
+            let cand = d + w as WDist;
+            let du = &mut dist[u as usize];
+            if cand < *du {
+                *du = cand;
+                sigma[u as usize] = sv;
+                heap.push(Reverse((cand, u)));
+            } else if cand == *du {
+                debug_assert!(!settled[u as usize], "positive weights settle preds first");
+                sigma[u as usize] += sv;
+            }
+        }
+    }
+    (dist, sigma)
+}
+
+/// Vertices in non-decreasing distance order (the Brandes stack `S`),
+/// excluding unreachable ones.
+pub fn settle_order(dist: &[WDist]) -> Vec<VertexId> {
+    let mut order: Vec<VertexId> = (0..dist.len() as VertexId)
+        .filter(|&v| dist[v as usize] != INF_WDIST)
+        .collect();
+    order.sort_by_key(|&v| dist[v as usize]);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{algo, generators, GraphBuilder};
+
+    #[test]
+    fn unit_weights_match_bfs() {
+        let g = generators::rmat(generators::RmatConfig::new(6, 4), 2);
+        let wg = WeightedCsrGraph::unit(&g);
+        for s in [0u32, 5, 17] {
+            let (wd, wsig) = dijkstra_sigma(&wg, s);
+            let (bd, bsig) = algo::bfs_sigma(&g, s);
+            for v in 0..g.num_vertices() {
+                let want = if bd[v] == crate::INF_DIST {
+                    INF_WDIST
+                } else {
+                    bd[v] as WDist
+                };
+                assert_eq!(wd[v], want, "distance from {s} to {v}");
+                assert_eq!(wsig[v], bsig[v], "sigma from {s} to {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_shortest_path_prefers_light_detour() {
+        // 0 -> 1 -> 2 with weights 1,1 beats direct 0 -> 2 with weight 5.
+        let g = GraphBuilder::new(3).edges([(0, 1), (1, 2), (0, 2)]).build();
+        let wg = WeightedCsrGraph::from_graph(&g, |u, v| if (u, v) == (0, 2) { 5 } else { 1 });
+        let (d, sig) = dijkstra_sigma(&wg, 0);
+        assert_eq!(d, vec![0, 1, 2]);
+        assert_eq!(sig, vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn equal_weight_paths_are_counted() {
+        // Diamond where both branches cost 3.
+        let g = GraphBuilder::new(4)
+            .edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+            .build();
+        let wg = WeightedCsrGraph::from_graph(&g, |u, _| if u == 0 { 1 } else { 2 });
+        let (d, sig) = dijkstra_sigma(&wg, 0);
+        assert_eq!(d[3], 3);
+        assert_eq!(sig[3], 2.0);
+    }
+
+    #[test]
+    fn reverse_preserves_weights() {
+        let g = generators::rmat(generators::RmatConfig::new(5, 4), 7);
+        let wg = WeightedCsrGraph::random(&g, 9, 3);
+        let rev = wg.reverse();
+        assert_eq!(rev.num_edges(), wg.num_edges());
+        let mut fwd: Vec<(u32, u32, u32)> = (0..wg.num_vertices() as u32)
+            .flat_map(|u| wg.out_edges(u).map(move |(v, w)| (u, v, w)))
+            .collect();
+        let mut bwd: Vec<(u32, u32, u32)> = (0..rev.num_vertices() as u32)
+            .flat_map(|v| rev.out_edges(v).map(move |(u, w)| (u, v, w)))
+            .collect();
+        fwd.sort_unstable();
+        bwd.sort_unstable();
+        assert_eq!(fwd, bwd);
+    }
+
+    #[test]
+    fn settle_order_is_sorted_and_reachable_only() {
+        let g = GraphBuilder::new(4).edges([(0, 1), (1, 2)]).build();
+        let wg = WeightedCsrGraph::unit(&g);
+        let d = dijkstra_distances(&wg, 0);
+        let order = settle_order(&d);
+        assert_eq!(order, vec![0, 1, 2]); // vertex 3 unreachable
+    }
+
+    #[test]
+    #[should_panic(expected = "zero weight")]
+    fn zero_weights_rejected() {
+        let g = GraphBuilder::new(2).edge(0, 1).build();
+        WeightedCsrGraph::from_graph(&g, |_, _| 0);
+    }
+
+    #[test]
+    fn random_weights_are_deterministic_and_in_range() {
+        let g = generators::cycle(20);
+        let a = WeightedCsrGraph::random(&g, 5, 11);
+        let b = WeightedCsrGraph::random(&g, 5, 11);
+        assert_eq!(a, b);
+        for u in 0..20u32 {
+            for (_, w) in a.out_edges(u) {
+                assert!((1..=5).contains(&w));
+            }
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! A sorted-vector map (the Rust analogue of Boost `flat_map`).
+
+/// An ordered map backed by a sorted `Vec<(K, V)>`.
+///
+/// The MRBC paper (Section 4.3, footnote 1) observes that a Boost
+/// `flat_map` — a sorted vector — outperforms a red-black tree for the
+/// per-vertex `M_v : distance → source bitvector` map "even with `O(k)`
+/// insertion complexity due to improved locality". This structure
+/// reproduces that trade-off: `O(log n)` lookup, `O(n)` insertion/removal,
+/// contiguous in-order iteration.
+///
+/// # Examples
+///
+/// ```
+/// use mrbc_util::FlatMap;
+/// let mut m: FlatMap<u32, &str> = FlatMap::new();
+/// m.insert(3, "c");
+/// m.insert(1, "a");
+/// m.insert(2, "b");
+/// assert_eq!(m.get(&2), Some(&"b"));
+/// let keys: Vec<u32> = m.iter().map(|(k, _)| *k).collect();
+/// assert_eq!(keys, vec![1, 2, 3]); // always sorted
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlatMap<K, V> {
+    entries: Vec<(K, V)>,
+}
+
+impl<K: Ord, V> Default for FlatMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord, V> FlatMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self { entries: Vec::new() }
+    }
+
+    /// Creates an empty map with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            entries: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the map holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    #[inline]
+    fn position(&self, key: &K) -> Result<usize, usize> {
+        self.entries.binary_search_by(|(k, _)| k.cmp(key))
+    }
+
+    /// Inserts `value` at `key`, returning the previous value if present.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        match self.position(&key) {
+            Ok(i) => Some(std::mem::replace(&mut self.entries[i].1, value)),
+            Err(i) => {
+                self.entries.insert(i, (key, value));
+                None
+            }
+        }
+    }
+
+    /// Returns a reference to the value at `key`.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.position(key).ok().map(|i| &self.entries[i].1)
+    }
+
+    /// Returns a mutable reference to the value at `key`.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        match self.position(key) {
+            Ok(i) => Some(&mut self.entries[i].1),
+            Err(_) => None,
+        }
+    }
+
+    /// Returns a mutable reference to the value at `key`, inserting
+    /// `default()` first if absent.
+    pub fn get_or_insert_with(&mut self, key: K, default: impl FnOnce() -> V) -> &mut V {
+        let i = match self.position(&key) {
+            Ok(i) => i,
+            Err(i) => {
+                self.entries.insert(i, (key, default()));
+                i
+            }
+        };
+        &mut self.entries[i].1
+    }
+
+    /// Removes and returns the value at `key`.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        match self.position(key) {
+            Ok(i) => Some(self.entries.remove(i).1),
+            Err(_) => None,
+        }
+    }
+
+    /// True if `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.position(key).is_ok()
+    }
+
+    /// In-order iterator over `(key, value)` pairs.
+    pub fn iter(&self) -> std::slice::Iter<'_, (K, V)> {
+        self.entries.iter()
+    }
+
+    /// In-order iterator with mutable values.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&K, &mut V)> {
+        self.entries.iter_mut().map(|(k, v)| (&*k, v))
+    }
+
+    /// The entry with the smallest key.
+    pub fn first(&self) -> Option<&(K, V)> {
+        self.entries.first()
+    }
+
+    /// The entry with the largest key.
+    pub fn last(&self) -> Option<&(K, V)> {
+        self.entries.last()
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Index of `key` in sorted order (its rank), if present.
+    pub fn rank_of(&self, key: &K) -> Option<usize> {
+        self.position(key).ok()
+    }
+
+    /// The `i`-th entry in sorted order.
+    pub fn nth(&self, i: usize) -> Option<&(K, V)> {
+        self.entries.get(i)
+    }
+
+    /// Retains only entries for which the predicate returns `true`.
+    pub fn retain(&mut self, mut f: impl FnMut(&K, &mut V) -> bool) {
+        self.entries.retain_mut(|(k, v)| f(k, v));
+    }
+}
+
+impl<K: Ord, V> FromIterator<(K, V)> for FlatMap<K, V> {
+    /// Builds the map from an iterator; later duplicates win.
+    fn from_iter<T: IntoIterator<Item = (K, V)>>(iter: T) -> Self {
+        let mut m = FlatMap::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut m = FlatMap::new();
+        assert_eq!(m.insert(5u32, 50), None);
+        assert_eq!(m.insert(1, 10), None);
+        assert_eq!(m.insert(5, 55), Some(50));
+        assert_eq!(m.get(&5), Some(&55));
+        assert_eq!(m.get(&2), None);
+        assert_eq!(m.remove(&1), Some(10));
+        assert_eq!(m.remove(&1), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let m: FlatMap<i32, i32> = [(3, 0), (1, 0), (2, 0), (-7, 0)].into_iter().collect();
+        let keys: Vec<i32> = m.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![-7, 1, 2, 3]);
+        assert_eq!(m.first().unwrap().0, -7);
+        assert_eq!(m.last().unwrap().0, 3);
+    }
+
+    #[test]
+    fn rank_and_nth() {
+        let m: FlatMap<u32, &str> = [(10, "a"), (20, "b"), (30, "c")].into_iter().collect();
+        assert_eq!(m.rank_of(&20), Some(1));
+        assert_eq!(m.rank_of(&15), None);
+        assert_eq!(m.nth(2).map(|(k, _)| *k), Some(30));
+        assert_eq!(m.nth(3), None);
+    }
+
+    #[test]
+    fn get_or_insert_with() {
+        let mut m: FlatMap<u8, Vec<u8>> = FlatMap::new();
+        m.get_or_insert_with(1, Vec::new).push(9);
+        m.get_or_insert_with(1, Vec::new).push(8);
+        assert_eq!(m.get(&1), Some(&vec![9, 8]));
+    }
+
+    #[test]
+    fn retain_filters() {
+        let mut m: FlatMap<u32, u32> = (0..10).map(|i| (i, i * i)).collect();
+        m.retain(|k, _| k % 2 == 0);
+        assert_eq!(m.len(), 5);
+        assert!(m.contains_key(&4));
+        assert!(!m.contains_key(&5));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_behaves_like_btreemap(ops in proptest::collection::vec((0u16..50, 0u32..1000, proptest::bool::ANY), 0..200)) {
+            let mut flat = FlatMap::new();
+            let mut btree = BTreeMap::new();
+            for (k, v, is_insert) in ops {
+                if is_insert {
+                    prop_assert_eq!(flat.insert(k, v), btree.insert(k, v));
+                } else {
+                    prop_assert_eq!(flat.remove(&k), btree.remove(&k));
+                }
+            }
+            prop_assert_eq!(flat.len(), btree.len());
+            let f: Vec<(u16, u32)> = flat.iter().copied().collect();
+            let b: Vec<(u16, u32)> = btree.iter().map(|(k, v)| (*k, *v)).collect();
+            prop_assert_eq!(f, b);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Cross-substrate consistency: the CONGEST simulator and the simulated
+//! D-Galois runtime execute the *same* algorithm on the same pipelining
+//! schedule, so their structural measurements must agree — Section 4.2:
+//! "Each round in Min-Rounds BC maps to a BSP round in D-Galois".
+
+use mrbc::prelude::*;
+use mrbc_core::congest::mrbc::{mrbc_bc as congest_mrbc, TerminationMode};
+use mrbc_core::congest::sbbc::sbbc_bc as congest_sbbc;
+use mrbc_core::dist::{mrbc as dist_mrbc, sbbc as dist_sbbc};
+use proptest::prelude::*;
+
+#[test]
+fn mrbc_round_counts_match_across_substrates() {
+    // One batch holding every source: the distributed forward+backward
+    // round count must equal the CONGEST forward+backward count up to
+    // the simulators' differing conventions for trailing delivery /
+    // detection rounds (≤ 3 rounds of slack).
+    for seed in 0..4 {
+        let g = generators::erdos_renyi(80, 0.06, seed);
+        let sources = sample::uniform_sources(80, 16, seed);
+        let congest = congest_mrbc(&g, &sources, TerminationMode::GlobalDetection);
+        let congest_rounds = congest.forward.rounds + congest.backward.rounds;
+        let dg = partition(&g, 4, PartitionPolicy::CartesianVertexCut);
+        let dist = dist_mrbc::mrbc_bc(&g, &dg, &sources, sources.len());
+        let dist_rounds = dist.stats.num_rounds();
+        let diff = (dist_rounds as i64 - congest_rounds as i64).abs();
+        assert!(
+            diff <= 3,
+            "seed {seed}: dist {dist_rounds} vs congest {congest_rounds}"
+        );
+        // And of course the BC values agree.
+        for (a, b) in dist.bc.iter().zip(&congest.bc) {
+            assert!((a - b).abs() < 1e-9 * b.abs().max(1.0));
+        }
+    }
+}
+
+#[test]
+fn sbbc_round_counts_match_across_substrates() {
+    let g = generators::web_crawl(WebCrawlConfig::new(300), 8);
+    let sources = sample::uniform_sources(g.num_vertices(), 8, 1);
+    let congest = congest_sbbc(&g, &sources);
+    let dg = partition(&g, 3, PartitionPolicy::BlockedEdgeCut);
+    let dist = dist_sbbc::sbbc_bc(&g, &dg, &sources);
+    // Per-source: CONGEST counts fwd ecc+2-ish and bwd max_level+1; the
+    // BSP version counts levels directly. Allow 2 rounds per source.
+    let diff = (dist.stats.num_rounds() as i64 - congest.total.rounds as i64).abs();
+    assert!(
+        diff <= 2 * sources.len() as i64,
+        "dist {} vs congest {}",
+        dist.stats.num_rounds(),
+        congest.total.rounds
+    );
+}
+
+#[test]
+fn dist_mrbc_sync_items_equal_forward_plus_backward_broadcasts() {
+    // Delayed sync: forward syncs each reachable (v, s) exactly once;
+    // backward the same. Items = Σ over synced labels of
+    // (contributing mirrors + consuming mirrors), which is bounded by
+    // 2 phases × 2 directions × k × Σ_v mirrors(v).
+    let g = generators::rmat(RmatConfig::new(7, 6), 5);
+    let k = 12usize;
+    let sources = sample::uniform_sources(g.num_vertices(), k, 2);
+    let dg = partition(&g, 4, PartitionPolicy::CartesianVertexCut);
+    let out = dist_mrbc::mrbc_bc(&g, &dg, &sources, k);
+    let total_mirrors: u64 = (0..g.num_vertices() as u32)
+        .map(|v| dg.mirror_hosts(v).len() as u64)
+        .sum();
+    assert!(out.stats.total_sync_items() <= 4 * k as u64 * total_mirrors);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn prop_round_counts_agree_on_random_digraphs(
+        n in 5usize..40,
+        raw in proptest::collection::vec((0u32..40, 0u32..40), 1..120),
+        hosts in 1usize..5,
+    ) {
+        let edges: Vec<(u32, u32)> =
+            raw.into_iter().map(|(u, v)| (u % n as u32, v % n as u32)).collect();
+        let g = GraphBuilder::new(n).edges(edges).build();
+        let sources = sample::uniform_sources(n, (n / 2).max(1), 7);
+        let congest = congest_mrbc(&g, &sources, TerminationMode::GlobalDetection);
+        let dg = partition(&g, hosts, PartitionPolicy::CartesianVertexCut);
+        let dist = dist_mrbc::mrbc_bc(&g, &dg, &sources, sources.len());
+        let c = (congest.forward.rounds + congest.backward.rounds) as i64;
+        let d = dist.stats.num_rounds() as i64;
+        prop_assert!((c - d).abs() <= 3, "congest {c} vs dist {d}");
+    }
+}

@@ -1,0 +1,184 @@
+//! Cross-implementation equivalence: every algorithm in the workspace —
+//! across substrates, partition policies, host counts, and batch sizes —
+//! must reproduce sequential Brandes BC.
+
+use mrbc::prelude::*;
+use mrbc_core::congest::mrbc::{mrbc_bc as congest_mrbc, TerminationMode};
+use mrbc_core::congest::sbbc::sbbc_bc as congest_sbbc;
+use mrbc_core::dist::{mfbc, mrbc as dist_mrbc, sbbc as dist_sbbc};
+use mrbc_core::shared::abbc;
+
+fn assert_bc_close(label: &str, got: &[f64], want: &[f64]) {
+    assert_eq!(got.len(), want.len(), "{label}: length");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert!(
+            (g - w).abs() < 1e-9 * w.abs().max(1.0),
+            "{label}: BC[{i}] = {g}, want {w}"
+        );
+    }
+}
+
+/// The graph shapes the paper's evaluation spans, at test scale.
+fn shapes() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        ("rmat", generators::rmat(RmatConfig::new(7, 6), 42)),
+        ("kron", generators::kronecker(KroneckerConfig::new(7, 6), 43)),
+        ("ba-social", generators::barabasi_albert(150, 3, 44)),
+        (
+            "road",
+            generators::grid_road_network(RoadNetworkConfig::new(3, 40), 45),
+        ),
+        (
+            "web-crawl",
+            generators::web_crawl(
+                WebCrawlConfig {
+                    tail_length: 20,
+                    ..WebCrawlConfig::new(200)
+                },
+                46,
+            ),
+        ),
+        ("erdos-renyi", generators::erdos_renyi(120, 0.04, 47)),
+        ("small-world", generators::watts_strogatz(100, 2, 0.2, 48)),
+        ("cycle", generators::cycle(40)),
+        ("tree", generators::balanced_tree(3, 4)),
+    ]
+}
+
+#[test]
+fn every_algorithm_matches_brandes_on_every_shape() {
+    for (name, g) in shapes() {
+        let n = g.num_vertices();
+        let sources = sample::uniform_sources(n, 12.min(n), 7);
+        let want = brandes::bc_sources(&g, &sources);
+
+        let dg = partition(&g, 4, PartitionPolicy::CartesianVertexCut);
+        assert_bc_close(
+            &format!("{name}/dist-mrbc"),
+            &dist_mrbc::mrbc_bc(&g, &dg, &sources, 8).bc,
+            &want,
+        );
+        assert_bc_close(
+            &format!("{name}/dist-sbbc"),
+            &dist_sbbc::sbbc_bc(&g, &dg, &sources).bc,
+            &want,
+        );
+        assert_bc_close(
+            &format!("{name}/dist-mfbc"),
+            &mfbc::mfbc_bc(&g, &dg, &sources, 8).bc,
+            &want,
+        );
+        assert_bc_close(
+            &format!("{name}/abbc"),
+            &abbc::abbc_bc(&g, &sources, 8).bc,
+            &want,
+        );
+        assert_bc_close(
+            &format!("{name}/congest-mrbc"),
+            &congest_mrbc(&g, &sources, TerminationMode::GlobalDetection).bc,
+            &want,
+        );
+        assert_bc_close(
+            &format!("{name}/congest-sbbc"),
+            &congest_sbbc(&g, &sources).bc,
+            &want,
+        );
+    }
+}
+
+#[test]
+fn exact_bc_with_all_sources_matches_across_substrates() {
+    let g = generators::rmat(RmatConfig::new(6, 5), 9);
+    let n = g.num_vertices();
+    let all = sample::all_sources(n);
+    let want = brandes::bc_exact(&g);
+    let dg = partition(&g, 3, PartitionPolicy::BlockedEdgeCut);
+    assert_bc_close(
+        "exact/dist-mrbc",
+        &dist_mrbc::mrbc_bc(&g, &dg, &all, 16).bc,
+        &want,
+    );
+    assert_bc_close(
+        "exact/congest-mrbc-2n",
+        &congest_mrbc(&g, &all, TerminationMode::FixedTwoN).bc,
+        &want,
+    );
+}
+
+#[test]
+fn host_count_never_changes_results() {
+    let g = generators::web_crawl(WebCrawlConfig::new(250), 3);
+    let sources = sample::contiguous_sources(g.num_vertices(), 16, 2);
+    let want = brandes::bc_sources(&g, &sources);
+    for hosts in [1, 2, 3, 5, 8, 16] {
+        for policy in [
+            PartitionPolicy::BlockedEdgeCut,
+            PartitionPolicy::HashedEdgeCut,
+            PartitionPolicy::CartesianVertexCut,
+        ] {
+            let dg = partition(&g, hosts, policy);
+            assert_bc_close(
+                &format!("{hosts} hosts {policy:?}"),
+                &dist_mrbc::mrbc_bc(&g, &dg, &sources, 8).bc,
+                &want,
+            );
+        }
+    }
+}
+
+#[test]
+fn driver_level_equivalence_and_time_decomposition() {
+    let g = generators::barabasi_albert(200, 2, 6);
+    let sources = sample::uniform_sources(200, 10, 3);
+    let want = brandes::bc_sources(&g, &sources);
+    for alg in [
+        Algorithm::Mrbc,
+        Algorithm::Sbbc,
+        Algorithm::Mfbc,
+        Algorithm::Abbc,
+        Algorithm::Brandes,
+    ] {
+        let out = bc(
+            &g,
+            &sources,
+            &BcConfig {
+                algorithm: alg,
+                num_hosts: 4,
+                batch_size: 4,
+                ..BcConfig::default()
+            },
+        );
+        assert_bc_close(alg.name(), &out.bc, &want);
+        assert!(
+            (out.execution_time - out.computation_time - out.communication_time).abs() < 1e-12,
+            "{}: time decomposition",
+            alg.name()
+        );
+    }
+}
+
+#[test]
+fn approximate_bc_converges_toward_exact_with_more_sources() {
+    // Bader et al. 2007: sampled-source BC approximates exact BC. The
+    // normalized estimate n/k * BC_k should approach BC_exact.
+    let g = generators::rmat(RmatConfig::new(7, 8), 12);
+    let n = g.num_vertices();
+    let exact = brandes::bc_exact(&g);
+    let err = |k: usize| -> f64 {
+        let s = sample::uniform_sources(n, k, 99);
+        let est = brandes::bc_sources(&g, &s);
+        let scale = n as f64 / s.len() as f64;
+        exact
+            .iter()
+            .zip(&est)
+            .map(|(e, a)| (e - a * scale).abs())
+            .sum::<f64>()
+            / exact.iter().sum::<f64>().max(1.0)
+    };
+    let coarse = err(8);
+    let fine = err(96);
+    assert!(
+        fine < coarse,
+        "more sources should reduce error: k=8 -> {coarse}, k=96 -> {fine}"
+    );
+}
