@@ -1,8 +1,9 @@
 //! Connected components by label propagation (min-reduce), written
 //! against the [`mrbc_dgalois::bsp`] vertex-program API.
 
-use mrbc_dgalois::bsp::{run_bsp, BspProgram};
+use mrbc_dgalois::bsp::{run_bsp, run_bsp_with_faults, BspProgram};
 use mrbc_dgalois::{BspStats, DistGraph};
+use mrbc_faults::{FaultSession, RecoveryStats};
 use mrbc_graph::{CsrGraph, VertexId};
 
 /// Result of a distributed connected-components run.
@@ -68,6 +69,24 @@ impl BspProgram for CcProgram {
     fn after_round(&mut self, _r: u32, changed: &[VertexId], _l: &[VertexId]) -> bool {
         changed.is_empty()
     }
+
+    // Min-label propagation is self-correcting in the Phoenix sense: its
+    // fixpoint (every vertex holds its component's minimum id) does not
+    // depend on intermediate state, and labels only ever decrease toward
+    // it. A crashed host's masters are re-initialized to their own ids —
+    // a valid (over-approximated) state — and propagation re-converges
+    // without any rollback.
+    fn self_correcting(&self) -> bool {
+        true
+    }
+
+    fn reinit_host(&mut self, host: usize, dg: &DistGraph, labels: &mut [VertexId]) {
+        for v in 0..dg.num_global_vertices as VertexId {
+            if dg.owner(v) as usize == host {
+                labels[v as usize] = v;
+            }
+        }
+    }
 }
 
 /// Distributed weakly-connected components over a partition of `g`.
@@ -84,6 +103,41 @@ pub fn connected_components(g: &CsrGraph, dg: &DistGraph) -> CcOutcome {
         labels,
         stats,
     }
+}
+
+/// [`connected_components`] under an injected fault plan. Maskable
+/// faults are absorbed by the reliable link; crashes take the Phoenix
+/// fast path — the lost host's labels are re-initialized in place and
+/// propagation re-converges to the same fixpoint, no rollback needed
+/// (`checkpoint_interval` still controls the periodic snapshots a
+/// non-self-correcting program would restore from).
+pub fn connected_components_with_faults(
+    g: &CsrGraph,
+    dg: &DistGraph,
+    session: &FaultSession,
+    checkpoint_interval: u32,
+) -> (CcOutcome, RecoveryStats) {
+    let n = g.num_vertices();
+    let mut labels: Vec<VertexId> = (0..n as VertexId).collect();
+    let run = run_bsp_with_faults(
+        dg,
+        &mut CcProgram,
+        &mut labels,
+        2 * n as u32 + 2,
+        session,
+        checkpoint_interval,
+    );
+    let mut distinct = labels.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    (
+        CcOutcome {
+            num_components: distinct.len(),
+            labels,
+            stats: run.stats,
+        },
+        run.recovery,
+    )
 }
 
 #[cfg(test)]
@@ -132,6 +186,21 @@ mod tests {
                 assert_eq!(out.labels, want, "seed {seed}, {hosts} hosts");
             }
         }
+    }
+
+    #[test]
+    fn phoenix_recovery_matches_fault_free_components() {
+        let g = generators::erdos_renyi(80, 0.03, 4);
+        let dg = partition(&g, 4, PartitionPolicy::HashedEdgeCut);
+        let clean = connected_components(&g, &dg);
+        let plan = "crash:host=2@round=3;drop:p=0.1;seed=6".parse().unwrap();
+        let session = FaultSession::new(plan);
+        let (got, recovery) = connected_components_with_faults(&g, &dg, &session, 5);
+        assert_eq!(clean.labels, got.labels, "Phoenix must reach the same fixpoint");
+        assert_eq!(clean.num_components, got.num_components);
+        assert_eq!(recovery.crashes, 1);
+        assert_eq!(recovery.phoenix_restarts, 1);
+        assert_eq!(recovery.rollbacks, 0, "self-correcting path skips rollback");
     }
 
     #[test]

@@ -24,6 +24,8 @@ mod cc;
 mod pr;
 mod shortest_path;
 
-pub use cc::{connected_components, CcOutcome};
-pub use pr::{pagerank, pagerank_sequential, PageRankConfig, PageRankOutcome};
+pub use cc::{connected_components, connected_components_with_faults, CcOutcome};
+pub use pr::{
+    pagerank, pagerank_sequential, pagerank_with_faults, PageRankConfig, PageRankOutcome,
+};
 pub use shortest_path::{sssp, SsspOutcome};

@@ -1,8 +1,9 @@
 //! Synchronous PageRank written against the [`mrbc_dgalois::bsp`]
 //! vertex-program API.
 
-use mrbc_dgalois::bsp::{run_bsp, BspProgram, SyncScope};
+use mrbc_dgalois::bsp::{run_bsp, run_bsp_with_faults, BspProgram, SyncScope};
 use mrbc_dgalois::{BspStats, DistGraph};
+use mrbc_faults::{FaultSession, RecoveryStats};
 use mrbc_graph::{CsrGraph, VertexId};
 
 /// PageRank parameters.
@@ -148,6 +149,40 @@ impl BspProgram for PrProgram {
         self.converged = delta < self.tolerance;
         self.converged
     }
+
+    // PageRank recovers by rollback: `before_round` destroys the current
+    // labels (they are reset to the teleport base), so a crashed round
+    // cannot be resumed — the run restores the checkpointed ranks plus
+    // this auxiliary state and replays deterministically.
+    fn snapshot_aux(&self) -> Vec<u64> {
+        let mut aux = Vec::with_capacity(self.prev.len() + 2);
+        aux.push(self.iterations as u64);
+        aux.push(self.converged as u64);
+        aux.extend(self.prev.iter().map(|r| r.to_bits()));
+        aux
+    }
+
+    fn restore_aux(&mut self, aux: &[u64]) {
+        self.iterations = aux[0] as u32;
+        self.converged = aux[1] != 0;
+        self.prev.clear();
+        self.prev.extend(aux[2..].iter().map(|&b| f64::from_bits(b)));
+    }
+}
+
+impl PrProgram {
+    fn new(g: &CsrGraph, config: &PageRankConfig) -> Self {
+        let n = g.num_vertices();
+        Self {
+            damping: config.damping,
+            base: (1.0 - config.damping) / n as f64,
+            tolerance: config.tolerance,
+            degrees: (0..n as u32).map(|v| g.out_degree(v) as u32).collect(),
+            prev: Vec::with_capacity(n),
+            iterations: 0,
+            converged: false,
+        }
+    }
 }
 
 /// Distributed PageRank over a partition of `g`. Every iteration is one
@@ -162,21 +197,56 @@ pub fn pagerank(g: &CsrGraph, dg: &DistGraph, config: &PageRankConfig) -> PageRa
         };
     }
     let mut ranks = vec![1.0 / n as f64; n];
-    let mut prog = PrProgram {
-        damping: config.damping,
-        base: (1.0 - config.damping) / n as f64,
-        tolerance: config.tolerance,
-        degrees: (0..n as u32).map(|v| g.out_degree(v) as u32).collect(),
-        prev: Vec::with_capacity(n),
-        iterations: 0,
-        converged: false,
-    };
+    let mut prog = PrProgram::new(g, config);
     let stats = run_bsp(dg, &mut prog, &mut ranks, config.max_iterations);
     PageRankOutcome {
         ranks,
         iterations: prog.iterations,
         stats,
     }
+}
+
+/// [`pagerank`] under an injected fault plan with checkpoint/rollback
+/// recovery. Drops, duplicates, and delays are masked by the reliable
+/// link; crashes roll the run back to the latest checkpoint (taken every
+/// `checkpoint_interval` iterations) and replay — the final ranks are
+/// bitwise-identical to the fault-free run's.
+pub fn pagerank_with_faults(
+    g: &CsrGraph,
+    dg: &DistGraph,
+    config: &PageRankConfig,
+    session: &FaultSession,
+    checkpoint_interval: u32,
+) -> (PageRankOutcome, RecoveryStats) {
+    let n = g.num_vertices();
+    if n == 0 {
+        return (
+            PageRankOutcome {
+                ranks: Vec::new(),
+                iterations: 0,
+                stats: BspStats::new(dg.num_hosts),
+            },
+            RecoveryStats::default(),
+        );
+    }
+    let mut ranks = vec![1.0 / n as f64; n];
+    let mut prog = PrProgram::new(g, config);
+    let run = run_bsp_with_faults(
+        dg,
+        &mut prog,
+        &mut ranks,
+        config.max_iterations,
+        session,
+        checkpoint_interval,
+    );
+    (
+        PageRankOutcome {
+            ranks,
+            iterations: prog.iterations,
+            stats: run.stats,
+        },
+        run.recovery,
+    )
 }
 
 #[cfg(test)]
@@ -219,6 +289,22 @@ mod tests {
         for &r in &out.ranks {
             assert!((r - 0.1).abs() < 1e-6, "cycle rank should be uniform, got {r}");
         }
+    }
+
+    #[test]
+    fn crash_recovery_reproduces_fault_free_ranks() {
+        let g = generators::rmat(generators::RmatConfig::new(6, 5), 11);
+        let dg = partition(&g, 3, PartitionPolicy::CartesianVertexCut);
+        let cfg = PageRankConfig::default();
+        let clean = pagerank(&g, &dg, &cfg);
+        let plan = "crash:host=1@round=6;drop:p=0.05;seed=3".parse().unwrap();
+        let session = mrbc_faults::FaultSession::new(plan);
+        let (got, recovery) = pagerank_with_faults(&g, &dg, &cfg, &session, 4);
+        assert_eq!(clean.ranks, got.ranks, "rollback replay must be exact");
+        assert_eq!(clean.iterations, got.iterations);
+        assert_eq!(recovery.crashes, 1);
+        assert_eq!(recovery.rollbacks, 1);
+        assert!(recovery.checkpoints >= 2);
     }
 
     #[test]

@@ -150,8 +150,8 @@ mod tests {
         let dg = partition(&g, 3, PartitionPolicy::BlockedEdgeCut);
         let out = sssp(&wg, &dg, 5);
         let bfs = mrbc_graph::algo::bfs_distances(&g, 5);
-        for v in 0..g.num_vertices() {
-            let want = if bfs[v] == mrbc_graph::INF_DIST {
+        for (v, &d) in bfs.iter().enumerate() {
+            let want = if d == mrbc_graph::INF_DIST {
                 INF_WDIST
             } else {
                 bfs[v] as WDist

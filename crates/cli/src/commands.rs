@@ -5,6 +5,7 @@ use crate::args::ParsedArgs;
 use mrbc_core::congest::mrbc::{directed_apsp, TerminationMode};
 use mrbc_core::{bc, tune_batch_size, Algorithm, BcConfig};
 use mrbc_dgalois::{partition, CostModel, PartitionPolicy};
+use mrbc_faults::{FaultPlan, FaultSession};
 use mrbc_graph::generators::{
     self, KroneckerConfig, RmatConfig, RoadNetworkConfig, WebCrawlConfig,
 };
@@ -21,12 +22,23 @@ USAGE:
   mrbc info <file> [--sources K] [--seed X]
   mrbc bc <file> [--algorithm mrbc|sbbc|mfbc|abbc|brandes] [--hosts H]
                  [--sources K] [--batch B] [--top N] [--seed X] [--csv out.csv]
+                 [--faults PLAN]
   mrbc apsp <file> [--mode 2n|finalizer|detect] [--sources K] [--seed X]
   mrbc tune <file> [--hosts H] [--candidates 8,16,32] [--pilot K] [--seed X]
   mrbc pagerank <file> [--hosts H] [--iters N] [--damping D]
-  mrbc cc <file> [--hosts H]
+                       [--faults PLAN] [--checkpoint K]
+  mrbc cc <file> [--hosts H] [--faults PLAN] [--checkpoint K]
   mrbc sssp <file> [--hosts H] [--source V] [--max-weight W] [--seed X]
   mrbc help
+
+FAULT PLANS (--faults):
+  Semicolon-separated clauses, e.g. \"crash:host=2@round=40;drop:p=0.01;seed=42\"
+    crash:host=H@round=R   host H fails at round R (pagerank/cc recover via
+                           checkpoints every --checkpoint K rounds; bc masks
+                           drops/delays only and ignores crash clauses)
+    drop:p=P               each message transmission is lost with probability P
+    delay:pair=A-B,rounds=D  messages A->B arrive D rounds late
+    seed=S                 deterministic fault stream seed
 ";
 
 /// Dispatches a parsed command line; returns the report to print.
@@ -86,6 +98,24 @@ fn load(p: &ParsedArgs) -> Result<CsrGraph, String> {
         .first()
         .ok_or_else(|| "missing graph file argument".to_string())?;
     io::read_edge_list_file(path, None).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn checkpoint_of(p: &ParsedArgs) -> Result<u32, String> {
+    let interval: u32 = p.get_or("checkpoint", 5u32)?;
+    if interval == 0 {
+        return Err("--checkpoint must be at least 1 round".to_string());
+    }
+    Ok(interval)
+}
+
+fn faults_of(p: &ParsedArgs) -> Result<Option<FaultPlan>, String> {
+    match p.get_str("faults") {
+        None => Ok(None),
+        Some(spec) => spec
+            .parse::<FaultPlan>()
+            .map(Some)
+            .map_err(|e| format!("bad --faults plan: {e}")),
+    }
 }
 
 fn sources_of(p: &ParsedArgs, g: &CsrGraph) -> Result<Vec<u32>, String> {
@@ -153,10 +183,13 @@ fn cmd_bc(p: &ParsedArgs) -> Result<String, String> {
         "brandes" => Algorithm::Brandes,
         other => return Err(format!("unknown algorithm {other:?}")),
     };
+    let faults = faults_of(p)?;
+    let crash_note = faults.as_ref().is_some_and(|f| !f.crashes.is_empty());
     let cfg = BcConfig {
         algorithm,
         num_hosts: p.get_or("hosts", 4usize)?,
         batch_size: p.get_or("batch", 32usize)?,
+        faults,
         ..BcConfig::default()
     };
     let result = bc(&g, &sources, &cfg);
@@ -190,6 +223,13 @@ fn cmd_bc(p: &ParsedArgs) -> Result<String, String> {
                 .write_csv(std::io::BufWriter::new(f))
                 .map_err(|e| format!("cannot write {csv}: {e}"))?;
             out += &format!("per-round CSV written to {csv}\n");
+        }
+    }
+    if let Some(rec) = &result.recovery {
+        out += &format!("{rec}\n");
+        if crash_note {
+            out += "note: crash clauses are ignored by bc (masking only); \
+                    use pagerank/cc to exercise checkpointed crash recovery\n";
         }
     }
     out += &format!("top-{top} betweenness:\n");
@@ -267,15 +307,28 @@ fn cmd_pagerank(p: &ParsedArgs) -> Result<String, String> {
         max_iterations: p.get_or("iters", 100u32)?,
         ..mrbc_analytics::PageRankConfig::default()
     };
-    let out = mrbc_analytics::pagerank(&g, &dg, &cfg);
+    let (out, recovery) = match faults_of(p)? {
+        None => (mrbc_analytics::pagerank(&g, &dg, &cfg), None),
+        Some(plan) => {
+            let session = FaultSession::new(plan);
+            let interval = checkpoint_of(p)?;
+            let (out, rec) =
+                mrbc_analytics::pagerank_with_faults(&g, &dg, &cfg, &session, interval);
+            (out, Some(rec))
+        }
+    };
     let mut ranked: Vec<usize> = (0..g.num_vertices()).collect();
     ranked.sort_by(|&a, &b| out.ranks[b].total_cmp(&out.ranks[a]));
     let mut s = format!(
-        "pagerank converged in {} iterations ({} rounds, {} comm)\ntop-10 ranks:\n",
+        "pagerank converged in {} iterations ({} rounds, {} comm)\n",
         out.iterations,
         out.stats.num_rounds(),
         mrbc_util::stats::humanize_bytes(out.stats.total_bytes())
     );
+    if let Some(rec) = recovery {
+        s += &format!("{rec}\n");
+    }
+    s += "top-10 ranks:\n";
     for &v in ranked.iter().take(10) {
         s += &format!("  {v:>8}  {:.6}\n", out.ranks[v]);
     }
@@ -285,13 +338,26 @@ fn cmd_pagerank(p: &ParsedArgs) -> Result<String, String> {
 fn cmd_cc(p: &ParsedArgs) -> Result<String, String> {
     let g = load(p)?;
     let dg = partition(&g, p.get_or("hosts", 4usize)?, PartitionPolicy::CartesianVertexCut);
-    let out = mrbc_analytics::connected_components(&g, &dg);
-    Ok(format!(
+    let (out, recovery) = match faults_of(p)? {
+        None => (mrbc_analytics::connected_components(&g, &dg), None),
+        Some(plan) => {
+            let session = FaultSession::new(plan);
+            let interval = checkpoint_of(p)?;
+            let (out, rec) =
+                mrbc_analytics::connected_components_with_faults(&g, &dg, &session, interval);
+            (out, Some(rec))
+        }
+    };
+    let mut s = format!(
         "weakly connected components: {} ({} rounds, {} comm)\n",
         out.num_components,
         out.stats.num_rounds(),
         mrbc_util::stats::humanize_bytes(out.stats.total_bytes())
-    ))
+    );
+    if let Some(rec) = recovery {
+        s += &format!("{rec}\n");
+    }
+    Ok(s)
 }
 
 fn cmd_sssp(p: &ParsedArgs) -> Result<String, String> {
@@ -428,6 +494,65 @@ mod tests {
         assert!(run(&p).expect("cc").contains("components: 1"));
         let p = parse(&sv(&["sssp", &file, "--max-weight", "5"]), &[]).expect("parse");
         assert!(run(&p).expect("sssp").contains("reached"));
+    }
+
+    #[test]
+    fn bc_with_faults_reports_overhead_and_matches_clean_scores() {
+        let file = tmpfile("cli_faults.el");
+        io::write_edge_list_file(&generators::barabasi_albert(80, 2, 7), &file).expect("write");
+        let base = &["bc", &file, "--hosts", "3", "--sources", "8", "--top", "3"];
+        let clean = run(&parse(&sv(base), &[]).expect("parse")).expect("clean bc");
+
+        let mut argv = base.to_vec();
+        argv.extend_from_slice(&["--faults", "drop:p=0.05;seed=42"]);
+        let faulty = run(&parse(&sv(&argv), &[]).expect("parse")).expect("faulty bc");
+        assert!(faulty.contains("fault overhead:"), "{faulty}");
+        // Masking is exact, so the top-N table is byte-identical.
+        let tail = |s: &str| s[s.find("top-3").unwrap()..].to_string();
+        assert_eq!(tail(&clean), tail(&faulty));
+
+        let last = argv.len() - 1;
+        argv[last] = "crash:host=0@round=2;seed=1";
+        let crashed = run(&parse(&sv(&argv), &[]).expect("parse")).expect("crash-plan bc");
+        assert!(crashed.contains("crash clauses are ignored by bc"), "{crashed}");
+    }
+
+    #[test]
+    fn analytics_with_faults_recover_and_report() {
+        let file = tmpfile("cli_faults_an.el");
+        io::write_edge_list_file(&generators::barabasi_albert(60, 2, 4), &file).expect("write");
+        let p = parse(
+            &sv(&["pagerank", &file, "--hosts", "2", "--iters", "20",
+                  "--faults", "crash:host=1@round=6;drop:p=0.02;seed=3", "--checkpoint", "4"]),
+            &[],
+        )
+        .expect("parse");
+        let rep = run(&p).expect("faulty pagerank");
+        assert!(rep.contains("converged"), "{rep}");
+        assert!(rep.contains("1 crashes") && rep.contains("rollbacks"), "{rep}");
+
+        let p = parse(
+            &sv(&["cc", &file, "--faults", "crash:host=0@round=3;seed=9"]),
+            &[],
+        )
+        .expect("parse");
+        let rep = run(&p).expect("faulty cc");
+        assert!(rep.contains("components: 1"), "{rep}");
+        assert!(rep.contains("phoenix restarts"), "{rep}");
+    }
+
+    #[test]
+    fn bad_fault_plans_are_reported() {
+        let file = tmpfile("cli_badplan.el");
+        io::write_edge_list_file(&generators::cycle(8), &file).expect("write");
+        let p = parse(&sv(&["bc", &file, "--faults", "explode:now"]), &[]).expect("parse");
+        assert!(run(&p).unwrap_err().contains("bad --faults plan"));
+        let p = parse(
+            &sv(&["cc", &file, "--faults", "crash:host=0@round=1", "--checkpoint", "0"]),
+            &[],
+        )
+        .expect("parse");
+        assert!(run(&p).unwrap_err().contains("--checkpoint must be at least 1"));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The synchronous round executor.
 
+use mrbc_faults::{FaultSession, RecoveryStats};
 use mrbc_graph::{CsrGraph, VertexId};
 
 /// Where a vertex sends one message in a round.
@@ -81,8 +82,31 @@ pub trait VertexProgram {
     }
 }
 
+/// How an execution ended — the watchdog's verdict. Ordered by severity
+/// so merging phases keeps the worst outcome.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RunOutcome {
+    /// The program reached global quiescence (or ran its fixed schedule
+    /// to completion).
+    #[default]
+    Converged,
+    /// The round budget ran out before quiescence was observed. Results
+    /// may be incomplete; callers must not treat them as converged.
+    BudgetExhausted,
+    /// Quiescence was reached, but only because crashed vertices cut the
+    /// network: silent does not mean correct here.
+    PartitionedByCrash,
+}
+
+impl RunOutcome {
+    /// True only for [`RunOutcome::Converged`].
+    pub fn converged(self) -> bool {
+        self == RunOutcome::Converged
+    }
+}
+
 /// Round and message counters for one execution — the quantities bounded
-/// by Theorem 1.
+/// by Theorem 1 — plus the watchdog's [`RunOutcome`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RunStats {
     /// Rounds executed.
@@ -91,15 +115,18 @@ pub struct RunStats {
     pub messages: u64,
     /// Total message payload bits.
     pub bits: u64,
+    /// How the execution ended.
+    pub outcome: RunOutcome,
 }
 
 impl RunStats {
     /// Merges another phase's counters into this one (e.g. forward APSP
-    /// plus accumulation).
+    /// plus accumulation). The merged outcome is the worst of the two.
     pub fn merge(&mut self, other: RunStats) {
         self.rounds += other.rounds;
         self.messages += other.messages;
         self.bits += other.bits;
+        self.outcome = self.outcome.max(other.outcome);
     }
 }
 
@@ -137,7 +164,10 @@ impl<'g> Engine<'g> {
     /// Runs until global quiescence (a round in which no vertex sent a
     /// message and every vertex reports no pending sends), or until
     /// `max_rounds`. The final silent round is not counted: it is the
-    /// round in which the system *detects* termination.
+    /// round in which the system *detects* termination. If the budget
+    /// runs out first, the returned stats carry
+    /// [`RunOutcome::BudgetExhausted`] instead of silently looking like a
+    /// converged run.
     pub fn run_until_quiescent<P: VertexProgram>(&self, prog: &mut P, max_rounds: u32) -> RunStats {
         self.run_inner(prog, max_rounds, true)
     }
@@ -189,7 +219,131 @@ impl<'g> Engine<'g> {
             }
             stats.rounds = round;
         }
+        if stop_on_quiescence {
+            // The loop above only falls through when the budget ran out
+            // before a quiescent round was observed.
+            stats.outcome = RunOutcome::BudgetExhausted;
+        }
         stats
+    }
+
+    /// [`Engine::run_until_quiescent`] under an adversarial network: the
+    /// fault session may drop, duplicate, or delay individual deliveries
+    /// and fail-stop vertices (the CONGEST reading of the plan's `host`
+    /// ids). The engine performs *no* recovery — CONGEST algorithms are
+    /// stated for a lossless synchronous network — so this is the
+    /// graceful-degradation watchdog: it observes how the program's own
+    /// termination detection behaves when that assumption breaks, and
+    /// reports a structured [`RunOutcome`] instead of hanging or
+    /// masquerading as a clean run. Returns the run counters plus the
+    /// injected-fault ledger.
+    pub fn run_until_quiescent_with_faults<P: VertexProgram>(
+        &self,
+        prog: &mut P,
+        max_rounds: u32,
+        session: &FaultSession,
+    ) -> (RunStats, RecoveryStats) {
+        let n = self.graph.num_vertices();
+        let mut stats = RunStats::default();
+        let mut recovery = RecoveryStats::default();
+        let mut inboxes: Vec<Vec<(VertexId, P::Msg)>> = vec![Vec::new(); n];
+        let mut next: Vec<Vec<(VertexId, P::Msg)>> = vec![Vec::new(); n];
+        // Straggler-delayed messages: (arrival round, to, from, msg).
+        let mut delayed: Vec<(u32, VertexId, VertexId, P::Msg)> = Vec::new();
+        let mut crashed = vec![false; n];
+        let mut any_crashed = false;
+        let empty: Vec<(VertexId, P::Msg)> = Vec::new();
+        let mut outbox = Outbox::new();
+
+        for round in 1..=max_rounds {
+            // A crash at the end of round r silences the vertex from
+            // round r + 1 on.
+            for c in session.crashes_at(round.wrapping_sub(1)) {
+                if c.host < n && !crashed[c.host] {
+                    crashed[c.host] = true;
+                    any_crashed = true;
+                    recovery.crashes += 1;
+                }
+            }
+            // Delayed messages whose stall expires this round arrive now.
+            let mut i = 0;
+            while i < delayed.len() {
+                if delayed[i].0 <= round {
+                    let (_, to, from, msg) = delayed.swap_remove(i);
+                    if !crashed[to as usize] {
+                        inboxes[to as usize].push((from, msg));
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+
+            let mut acted_this_round = false;
+            for v in 0..n as VertexId {
+                if crashed[v as usize] {
+                    inboxes[v as usize].clear();
+                    continue;
+                }
+                let has_input = !inboxes[v as usize].is_empty();
+                acted_this_round |= has_input;
+                if !has_input && !prog.wants_round(v, round) {
+                    continue;
+                }
+                let inbox = if has_input { &inboxes[v as usize] } else { &empty };
+                prog.round(v, round, inbox, &mut outbox);
+                acted_this_round |= !outbox.sends.is_empty();
+                for (target, msg) in outbox.sends.drain(..) {
+                    let bits = prog.message_bits(&msg);
+                    self.expand_target(v, &target, |to| {
+                        // The transmission happens (and is charged)
+                        // whatever its fate.
+                        stats.messages += 1;
+                        stats.bits += bits;
+                        if crashed[to as usize] {
+                            return;
+                        }
+                        if session.should_drop(round, v as usize, to as usize, 0) {
+                            recovery.drops += 1;
+                            return;
+                        }
+                        let stall = session.delay_rounds(v as usize, to as usize);
+                        if stall > 0 {
+                            recovery.stall_rounds += stall as u64;
+                            delayed.push((round + 1 + stall, to, v, msg.clone()));
+                        } else {
+                            next[to as usize].push((v, msg.clone()));
+                        }
+                        if session.should_duplicate(round, v as usize, to as usize, 0) {
+                            recovery.duplicates += 1;
+                            stats.messages += 1;
+                            stats.bits += bits;
+                            next[to as usize].push((v, msg.clone()));
+                        }
+                    });
+                }
+            }
+            for ib in &mut inboxes {
+                ib.clear();
+            }
+            std::mem::swap(&mut inboxes, &mut next);
+
+            if !acted_this_round && delayed.is_empty() {
+                let all_quiet =
+                    (0..n as VertexId).all(|v| crashed[v as usize] || prog.is_quiescent(v));
+                if all_quiet {
+                    stats.rounds = round - 1;
+                    stats.outcome = if any_crashed {
+                        RunOutcome::PartitionedByCrash
+                    } else {
+                        RunOutcome::Converged
+                    };
+                    return (stats, recovery);
+                }
+            }
+            stats.rounds = round;
+        }
+        stats.outcome = RunOutcome::BudgetExhausted;
+        (stats, recovery)
     }
 
     fn deliver<P: VertexProgram>(
@@ -202,23 +356,28 @@ impl<'g> Engine<'g> {
         prog: &P,
     ) -> u64 {
         let bits = prog.message_bits(&msg);
-        let mut push = |to: VertexId, m: P::Msg, stats: &mut RunStats| {
-            next[to as usize].push((from, m));
+        let mut count = 0u64;
+        self.expand_target(from, &target, |to| {
+            next[to as usize].push((from, msg.clone()));
             stats.messages += 1;
             stats.bits += bits;
-        };
-        let mut count = 0u64;
+            count += 1;
+        });
+        count
+    }
+
+    /// Resolves a [`Target`] into the recipient vertices, validating
+    /// explicit targets against `U_G` and deduplicating `AllNeighbors`.
+    fn expand_target(&self, from: VertexId, target: &Target, mut sink: impl FnMut(VertexId)) {
         match target {
             Target::OutNeighbors => {
                 for &w in self.graph.out_neighbors(from) {
-                    push(w, msg.clone(), stats);
-                    count += 1;
+                    sink(w);
                 }
             }
             Target::InNeighbors => {
                 for &u in self.reverse.out_neighbors(from) {
-                    push(u, msg.clone(), stats);
-                    count += 1;
+                    sink(u);
                 }
             }
             Target::AllNeighbors => {
@@ -251,24 +410,20 @@ impl<'g> Engine<'g> {
                         }
                         (None, None) => unreachable!(),
                     };
-                    push(w, msg.clone(), stats);
-                    count += 1;
+                    sink(w);
                 }
             }
             Target::Neighbor(w) => {
-                self.assert_adjacent(from, w);
-                push(w, msg, stats);
-                count += 1;
+                self.assert_adjacent(from, *w);
+                sink(*w);
             }
             Target::Neighbors(ws) => {
-                for w in ws {
+                for &w in ws {
                     self.assert_adjacent(from, w);
-                    push(w, msg.clone(), stats);
-                    count += 1;
+                    sink(w);
                 }
             }
         }
-        count
     }
 
     fn assert_adjacent(&self, from: VertexId, to: VertexId) {
@@ -477,24 +632,126 @@ mod tests {
     }
 
     #[test]
-    fn stats_merge_adds_fields() {
+    fn stats_merge_adds_fields_and_keeps_worst_outcome() {
         let mut a = RunStats {
             rounds: 3,
             messages: 10,
             bits: 100,
+            outcome: RunOutcome::Converged,
         };
         a.merge(RunStats {
             rounds: 2,
             messages: 5,
             bits: 50,
+            outcome: RunOutcome::BudgetExhausted,
         });
         assert_eq!(
             a,
             RunStats {
                 rounds: 5,
                 messages: 15,
-                bits: 150
+                bits: 150,
+                outcome: RunOutcome::BudgetExhausted,
             }
         );
+        a.merge(RunStats::default());
+        assert_eq!(a.outcome, RunOutcome::BudgetExhausted, "worst is sticky");
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported_not_silent() {
+        // BFS on a long path cannot quiesce in 3 rounds.
+        let g = generators::path(50);
+        let mut prog = Bfs::new(50);
+        let stats = Engine::new(&g).run_until_quiescent(&mut prog, 3);
+        assert_eq!(stats.rounds, 3);
+        assert_eq!(stats.outcome, RunOutcome::BudgetExhausted);
+        assert!(!stats.outcome.converged());
+        // A completed run converges.
+        let mut prog = Bfs::new(50);
+        let stats = Engine::new(&g).run_until_quiescent(&mut prog, 1000);
+        assert_eq!(stats.outcome, RunOutcome::Converged);
+        // Fixed-schedule runs are their own completion criterion.
+        let mut prog = Bfs::new(50);
+        assert_eq!(
+            Engine::new(&g).run_rounds(&mut prog, 3).outcome,
+            RunOutcome::Converged
+        );
+    }
+
+    #[test]
+    fn faulty_run_with_empty_plan_matches_reliable_run() {
+        let g = generators::cycle(12);
+        let session = FaultSession::new(mrbc_faults::FaultPlan::default());
+        let mut a = Bfs::new(12);
+        let clean = Engine::new(&g).run_until_quiescent(&mut a, 1000);
+        let mut b = Bfs::new(12);
+        let (faulty, recovery) =
+            Engine::new(&g).run_until_quiescent_with_faults(&mut b, 1000, &session);
+        assert_eq!(a.dist, b.dist);
+        assert_eq!(clean, faulty);
+        assert!(recovery.is_clean());
+    }
+
+    #[test]
+    fn dropped_messages_break_bfs_but_are_detected() {
+        // With a hard drop rate on the only path forward, some vertex
+        // never learns its distance; the watchdog must still terminate
+        // (quiescent or budget-exhausted) rather than hang, and a
+        // converged-looking outcome must only appear with correct input.
+        let g = generators::path(30);
+        let session = FaultSession::new("drop:p=0.6;seed=11".parse().expect("plan"));
+        let mut prog = Bfs::new(30);
+        let (stats, recovery) =
+            Engine::new(&g).run_until_quiescent_with_faults(&mut prog, 500, &session);
+        assert!(recovery.drops > 0, "plan should have dropped something");
+        assert!(prog.dist.contains(&INF_DIST), "lossy BFS is incomplete");
+        // The run ended and told us how.
+        assert!(stats.rounds <= 500);
+        assert_eq!(stats.outcome, RunOutcome::Converged, "silent network looks converged — the degradation the outcome API makes observable");
+    }
+
+    #[test]
+    fn crashed_vertex_partitions_the_run() {
+        // Path 0-1-2-...: vertex 1 dies end of round 1, before relaying.
+        let g = generators::path(10);
+        let session = FaultSession::new("crash:host=1@round=1".parse().expect("plan"));
+        let mut prog = Bfs::new(10);
+        let (stats, recovery) =
+            Engine::new(&g).run_until_quiescent_with_faults(&mut prog, 500, &session);
+        assert_eq!(recovery.crashes, 1);
+        assert_eq!(stats.outcome, RunOutcome::PartitionedByCrash);
+        assert!(prog.dist[2..].iter().all(|&d| d == INF_DIST));
+    }
+
+    #[test]
+    fn straggler_delay_stretches_rounds_without_changing_results() {
+        let g = generators::path(5);
+        let clean = {
+            let mut prog = Bfs::new(5);
+            let s = Engine::new(&g).run_until_quiescent(&mut prog, 1000);
+            (prog.dist, s.rounds)
+        };
+        let session = FaultSession::new("delay:pair=1-2,rounds=3".parse().expect("plan"));
+        let mut prog = Bfs::new(5);
+        let (stats, recovery) =
+            Engine::new(&g).run_until_quiescent_with_faults(&mut prog, 1000, &session);
+        assert_eq!(prog.dist, clean.0, "delays reorder, BFS min is idempotent");
+        assert!(stats.rounds > clean.1, "stragglers cost rounds");
+        assert!(recovery.stall_rounds > 0);
+        assert_eq!(stats.outcome, RunOutcome::Converged);
+    }
+
+    #[test]
+    fn duplicated_messages_are_charged() {
+        let g = generators::cycle(8);
+        let session = FaultSession::new("dup:p=0.99;seed=5".parse().expect("plan"));
+        let mut prog = Bfs::new(8);
+        let (stats, recovery) =
+            Engine::new(&g).run_until_quiescent_with_faults(&mut prog, 1000, &session);
+        let want = mrbc_graph::algo::bfs_distances(&g, 0);
+        assert_eq!(prog.dist, want, "BFS is idempotent under duplication");
+        assert!(recovery.duplicates > 0);
+        assert!(stats.messages > 8, "duplicates appear in the message count");
     }
 }

@@ -58,4 +58,4 @@
 
 mod engine;
 
-pub use engine::{Engine, Outbox, RunStats, Target, VertexProgram};
+pub use engine::{Engine, Outbox, RunOutcome, RunStats, Target, VertexProgram};

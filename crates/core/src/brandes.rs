@@ -170,8 +170,8 @@ mod tests {
         let g = generators::cycle(n);
         let expect = ((n - 1) * (n - 2)) as f64 / 2.0;
         let bc = bc_exact(&g);
-        for v in 0..n {
-            assert!((bc[v] - expect).abs() < 1e-9, "BC[{v}] = {}", bc[v]);
+        for (v, x) in bc.iter().enumerate() {
+            assert!((x - expect).abs() < 1e-9, "BC[{v}] = {x}");
         }
     }
 

@@ -53,12 +53,16 @@ pub fn lenzen_peleg_apsp(g: &CsrGraph, sources: &[VertexId]) -> LpOutcome {
     let mut prog = Lp::new(n, &sources_sorted);
     let cap = 2 * n as u32 + sources_sorted.len() as u32 + 2;
     let stats = engine.run_until_quiescent(&mut prog, cap.max(1));
+    assert!(
+        stats.outcome.converged(),
+        "Lenzen–Peleg APSP exceeded its 2n + k round budget: {stats:?}"
+    );
 
     let k = sources_sorted.len();
     let mut dist = vec![vec![INF_DIST; n]; k];
-    for v in 0..n {
-        for j in 0..k {
-            dist[j][v] = prog.dist[v][j];
+    for (v, row) in prog.dist.iter().enumerate() {
+        for (j, &d) in row.iter().enumerate().take(k) {
+            dist[j][v] = d;
         }
     }
     LpOutcome {

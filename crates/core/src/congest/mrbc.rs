@@ -36,7 +36,7 @@
 //! `A_sv` are distinct per source, at most one message per round leaves
 //! each vertex — the forward pipelining replayed in reverse.
 
-use mrbc_congest::{Engine, Outbox, RunStats, Target, VertexProgram};
+use mrbc_congest::{Engine, Outbox, RunOutcome, RunStats, Target, VertexProgram};
 use mrbc_graph::{CsrGraph, VertexId, INF_DIST};
 use mrbc_util::{DenseBitset, FlatMap};
 
@@ -151,7 +151,7 @@ pub fn mrbc_bc_with_precision(
     let engine = Engine::new(g);
     let mut fwd = Forward::new(g, &sources_sorted, mode, precision);
     let two_n = 2 * n as u32;
-    let forward_stats = match mode {
+    let mut forward_stats = match mode {
         TerminationMode::FixedTwoN => engine.run_rounds(&mut fwd, two_n.max(1)),
         // The finalizer halts every vertex once the diameter arrives; the
         // 2n cap of Step 7 still applies as the safety bound.
@@ -161,6 +161,20 @@ pub fn mrbc_bc_with_precision(
             engine.run_until_quiescent(&mut fwd, two_n + sources_sorted.len() as u32 + 2)
         }
     };
+    match mode {
+        // With the watchdog outcome on RunStats, a budget overrun is
+        // loud: under global detection it would mean the Lemma 8 round
+        // bound does not hold.
+        TerminationMode::GlobalDetection => assert!(
+            forward_stats.outcome.converged(),
+            "forward phase exhausted its round budget without quiescing: {forward_stats:?}"
+        ),
+        // Step 7's 2n cap is part of the Finalizer algorithm: every
+        // vertex halts there by schedule, so reaching it is a planned
+        // stop, not a watchdog violation.
+        TerminationMode::Finalizer => forward_stats.outcome = RunOutcome::Converged,
+        TerminationMode::FixedTwoN => {}
+    }
 
     let diameter = fwd.fin.as_ref().and_then(|f| f.diameter[0]);
 
@@ -170,6 +184,10 @@ pub fn mrbc_bc_with_precision(
     // Every send happens at A_sv = R - τ_sv + 1 ∈ [1, R + 1]; one extra
     // round delivers the last messages.
     let backward_stats = engine.run_until_quiescent(&mut bwd, r_term + 2);
+    assert!(
+        backward_stats.outcome.converged(),
+        "accumulation exceeded its A_sv ≤ R + 1 schedule: {backward_stats:?}"
+    );
 
     let k = sources_sorted.len();
     let mut bc = vec![0.0f64; n];
@@ -637,18 +655,17 @@ impl Backward {
         let n = g.num_vertices();
         let k = fwd.k;
         let mut agenda: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
-        for v in 0..n {
-            for j in 0..k {
-                let tau = fwd.tau[v][j];
+        for (taus, slots) in fwd.tau.iter().zip(agenda.iter_mut()) {
+            for (j, &tau) in taus.iter().enumerate() {
                 if tau != u32::MAX {
                     // Engine rounds are 1-based: A_sv = R − τ_sv + 1 ≥ 1.
-                    agenda[v].push((r_term - tau + 1, j as u32));
+                    slots.push((r_term - tau + 1, j as u32));
                 }
             }
-            agenda[v].sort_unstable();
+            slots.sort_unstable();
             // τ values are distinct per vertex, hence so are the A_sv
             // (the "only one message per round" guarantee of Lemma 7).
-            debug_assert!(agenda[v].windows(2).all(|w| w[0].0 < w[1].0));
+            debug_assert!(slots.windows(2).all(|w| w[0].0 < w[1].0));
         }
         Self {
             precision: fwd.precision,

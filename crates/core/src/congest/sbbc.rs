@@ -33,6 +33,10 @@ pub fn sbbc_bc(g: &CsrGraph, sources: &[VertexId]) -> SbbcOutcome {
         // Forward phase.
         let mut fwd = SbbcForward::new(n, s);
         let fwd_stats = engine.run_until_quiescent(&mut fwd, 2 * n as u32 + 2);
+        assert!(
+            fwd_stats.outcome.converged(),
+            "SBBC BFS from {s} exceeded its 2n round budget: {fwd_stats:?}"
+        );
 
         // Deepest reached level bounds the backward schedule.
         let max_level = fwd
@@ -52,9 +56,9 @@ pub fn sbbc_bc(g: &CsrGraph, sources: &[VertexId]) -> SbbcOutcome {
         };
         let bwd_stats = engine.run_rounds(&mut bwd, max_level + 1);
 
-        for v in 0..n {
+        for (v, x) in bc.iter_mut().enumerate() {
             if v != s as usize && bwd.dist[v] != INF_DIST {
-                bc[v] += bwd.delta[v];
+                *x += bwd.delta[v];
             }
         }
         max_per_source = max_per_source.max(fwd_stats.rounds + bwd_stats.rounds);

@@ -17,9 +17,10 @@
 //! paper's Table 2, and it is modeled here explicitly
 //! ([`super::MFBC_ELEM_BYTES`] per source per sync).
 
-use super::{DistBcOutcome, MFBC_ELEM_BYTES};
+use super::{finish_phase, DistBcOutcome, MFBC_ELEM_BYTES};
 use mrbc_dgalois::comm::{Exchange, PhaseDir, RoundComm};
-use mrbc_dgalois::{BspStats, DistGraph};
+use mrbc_dgalois::{BspStats, DistGraph, ReliableLink};
+use mrbc_faults::{FaultSession, RecoveryStats};
 use mrbc_graph::{CsrGraph, VertexId, INF_DIST};
 use rayon::prelude::*;
 
@@ -32,6 +33,32 @@ pub fn mfbc_bc(
     sources: &[VertexId],
     batch_size: usize,
 ) -> DistBcOutcome {
+    run(g, dg, sources, batch_size, None)
+}
+
+/// [`mfbc_bc`] under an injected fault plan: the reliable link masks
+/// drops/duplicates/delays (identical BC scores) and charges the
+/// overhead. Crash clauses are not interpreted here — see
+/// [`super::mrbc::mrbc_bc_with_faults`].
+pub fn mfbc_bc_with_faults(
+    g: &CsrGraph,
+    dg: &DistGraph,
+    sources: &[VertexId],
+    batch_size: usize,
+    session: &FaultSession,
+) -> (DistBcOutcome, RecoveryStats) {
+    let mut link = ReliableLink::new(session, dg.num_hosts);
+    let out = run(g, dg, sources, batch_size, Some(&mut link));
+    (out, link.recovery)
+}
+
+fn run(
+    g: &CsrGraph,
+    dg: &DistGraph,
+    sources: &[VertexId],
+    batch_size: usize,
+    mut link: Option<&mut ReliableLink<'_>>,
+) -> DistBcOutcome {
     assert!(batch_size >= 1, "batch size must be at least 1");
     let n = g.num_vertices();
     let mut sorted: Vec<VertexId> = sources.to_vec();
@@ -42,7 +69,7 @@ pub fn mfbc_bc(
     let mut bc = vec![0.0f64; n];
     let mut stats = BspStats::new(dg.num_hosts);
     for batch in sorted.chunks(batch_size) {
-        let delta = run_batch(g, dg, batch, &mut stats);
+        let delta = run_batch(g, dg, batch, &mut stats, link.as_deref_mut());
         let k = batch.len();
         for v in 0..n {
             for (j, &s) in batch.iter().enumerate() {
@@ -59,7 +86,13 @@ pub fn mfbc_bc(
 /// contribution)` plus the host's work units.
 type Pushes = (Vec<(u32, usize, f64)>, u64);
 
-fn run_batch(g: &CsrGraph, dg: &DistGraph, batch: &[VertexId], stats: &mut BspStats) -> Vec<f64> {
+fn run_batch(
+    g: &CsrGraph,
+    dg: &DistGraph,
+    batch: &[VertexId],
+    stats: &mut BspStats,
+    mut link: Option<&mut ReliableLink<'_>>,
+) -> Vec<f64> {
     let n = g.num_vertices();
     let k = batch.len();
     let mut dist = vec![INF_DIST; n * k];
@@ -79,8 +112,11 @@ fn run_batch(g: &CsrGraph, dg: &DistGraph, batch: &[VertexId], stats: &mut BspSt
 
     let mut level = 0u32;
     while !frontier.is_empty() {
+        if let Some(l) = link.as_deref_mut() {
+            l.begin_round(stats.num_rounds() + 1);
+        }
         let mut comm = RoundComm::new(dg.num_hosts);
-        sync_dense(dg, &frontier, k, &mut comm);
+        sync_dense(dg, &frontier, k, &mut comm, link.as_deref_mut());
 
         // Relax every out-edge of the frontier for all k sources (the
         // dense row structure of the matrix formulation: work is k per
@@ -142,8 +178,11 @@ fn run_batch(g: &CsrGraph, dg: &DistGraph, batch: &[VertexId], stats: &mut BspSt
         if frontier.is_empty() {
             continue;
         }
+        if let Some(l) = link.as_deref_mut() {
+            l.begin_round(stats.num_rounds() + 1);
+        }
         let mut comm = RoundComm::new(dg.num_hosts);
-        sync_dense(dg, &frontier, k, &mut comm);
+        sync_dense(dg, &frontier, k, &mut comm, link.as_deref_mut());
 
         let results: Vec<Pushes> = (0..dg.num_hosts)
             .into_par_iter()
@@ -186,7 +225,13 @@ fn run_batch(g: &CsrGraph, dg: &DistGraph, batch: &[VertexId], stats: &mut BspSt
 /// CTF-style dense synchronization: every frontier vertex with proxies on
 /// multiple hosts exchanges its full `k`-wide row (reduce from each
 /// mirror, broadcast back), independent of how many sources are active.
-fn sync_dense(dg: &DistGraph, frontier: &[u32], k: usize, comm: &mut RoundComm) {
+fn sync_dense(
+    dg: &DistGraph,
+    frontier: &[u32],
+    k: usize,
+    comm: &mut RoundComm,
+    mut link: Option<&mut ReliableLink<'_>>,
+) {
     let row_bytes = MFBC_ELEM_BYTES * k as u64;
     let mut reduce: Exchange<()> = Exchange::new(dg.num_hosts);
     let mut bcast: Exchange<()> = Exchange::new(dg.num_hosts);
@@ -197,8 +242,8 @@ fn sync_dense(dg: &DistGraph, frontier: &[u32], k: usize, comm: &mut RoundComm) 
             bcast.send(own, mh as usize, (), row_bytes);
         }
     }
-    reduce.finish(dg, PhaseDir::Reduce, comm);
-    bcast.finish(dg, PhaseDir::Broadcast, comm);
+    finish_phase(reduce, dg, PhaseDir::Reduce, comm, link.as_deref_mut());
+    finish_phase(bcast, dg, PhaseDir::Broadcast, comm, link);
 }
 
 #[cfg(test)]

@@ -23,9 +23,10 @@
 //! correctness lemmas are stated for (each host's flag is a subset of the
 //! global flag; Gluon synchronizes the union).
 
-use super::{DistBcOutcome, MRBC_ITEM_BYTES};
+use super::{finish_phase, DistBcOutcome, MRBC_ITEM_BYTES};
 use mrbc_dgalois::comm::{Exchange, PhaseDir, RoundComm};
-use mrbc_dgalois::{BspStats, DistGraph};
+use mrbc_dgalois::{BspStats, DistGraph, ReliableLink};
+use mrbc_faults::{FaultSession, RecoveryStats};
 use mrbc_graph::{CsrGraph, VertexId, INF_DIST};
 use mrbc_util::{DenseBitset, FlatMap};
 use rayon::prelude::*;
@@ -82,6 +83,36 @@ pub fn mrbc_bc_with_options(
     sources: &[VertexId],
     options: &MrbcOptions,
 ) -> DistBcOutcome {
+    run(g, dg, sources, options, None)
+}
+
+/// [`mrbc_bc_with_options`] under an injected fault plan: both sync
+/// phases of every round run through the [`ReliableLink`], which masks
+/// drops, duplicates, and straggler delays — the BC scores are
+/// bitwise-identical to the fault-free run's, and the overhead appears
+/// in the stats (`retry_bytes` / `stall_rounds`) and the returned
+/// [`RecoveryStats`]. Crash clauses in the plan are *not* interpreted
+/// here (BC batches carry no checkpoint hooks); crash recovery is
+/// exercised through the general BSP executor (PageRank / components).
+pub fn mrbc_bc_with_faults(
+    g: &CsrGraph,
+    dg: &DistGraph,
+    sources: &[VertexId],
+    options: &MrbcOptions,
+    session: &FaultSession,
+) -> (DistBcOutcome, RecoveryStats) {
+    let mut link = ReliableLink::new(session, dg.num_hosts);
+    let out = run(g, dg, sources, options, Some(&mut link));
+    (out, link.recovery)
+}
+
+fn run(
+    g: &CsrGraph,
+    dg: &DistGraph,
+    sources: &[VertexId],
+    options: &MrbcOptions,
+    mut link: Option<&mut ReliableLink<'_>>,
+) -> DistBcOutcome {
     assert!(options.batch_size >= 1, "batch size must be at least 1");
     let n = g.num_vertices();
     let mut sorted: Vec<VertexId> = sources.to_vec();
@@ -93,12 +124,12 @@ pub fn mrbc_bc_with_options(
     let mut stats = BspStats::new(dg.num_hosts);
     for batch in sorted.chunks(options.batch_size) {
         let mut state = Batch::new(g, dg, batch, options.delayed_sync);
-        state.forward(&mut stats);
-        state.backward(&mut stats);
-        for v in 0..n {
+        state.forward(&mut stats, link.as_deref_mut());
+        state.backward(&mut stats, link.as_deref_mut());
+        for (v, x) in bc.iter_mut().enumerate() {
             for (j, &s) in batch.iter().enumerate() {
                 if s as usize != v {
-                    bc[v] += state.delta_g[v * state.k + j];
+                    *x += state.delta_g[v * state.k + j];
                 }
             }
         }
@@ -225,7 +256,7 @@ impl<'a> Batch<'a> {
     }
 
     /// Forward phase: Algorithm 3 as BSP rounds with delayed sync.
-    fn forward(&mut self, stats: &mut BspStats) {
+    fn forward(&mut self, stats: &mut BspStats, mut link: Option<&mut ReliableLink<'_>>) {
         let n = self.g.num_vertices();
         let k = self.k;
         let cap = 2 * n as u32 + k as u32 + 2;
@@ -233,6 +264,9 @@ impl<'a> Batch<'a> {
         while self.pending_total > 0 {
             round += 1;
             assert!(round <= cap, "forward phase exceeded the 2n + k bound");
+            if let Some(l) = link.as_deref_mut() {
+                l.begin_round(stats.num_rounds() + 1);
+            }
             let mut comm = RoundComm::new(self.dg.num_hosts);
 
             // Flag set: labels whose send condition fires this round.
@@ -254,9 +288,9 @@ impl<'a> Batch<'a> {
             // labels; eager mode synchronizes whatever was updated in the
             // previous round (Gluon's default behavior).
             if self.delayed_sync {
-                self.sync_flags(&flags, &mut comm, /*forward=*/ true);
+                self.sync_flags(&flags, &mut comm, /*forward=*/ true, link.as_deref_mut());
             } else {
-                self.eager_sync(&mut comm);
+                self.eager_sync(&mut comm, link.as_deref_mut());
             }
 
             // COMPUTE: every host pushes each flagged label along its
@@ -326,8 +360,11 @@ impl<'a> Batch<'a> {
         // Eager mode flushes the final round's updates in one extra sync.
         if !self.delayed_sync && !self.eager_pending.is_empty() {
             round += 1;
+            if let Some(l) = link.as_deref_mut() {
+                l.begin_round(stats.num_rounds() + 1);
+            }
             let mut comm = RoundComm::new(self.dg.num_hosts);
-            self.eager_sync(&mut comm);
+            self.eager_sync(&mut comm, link);
             stats.record_round(vec![0; self.dg.num_hosts], comm);
         }
         self.r_term = round;
@@ -338,7 +375,7 @@ impl<'a> Batch<'a> {
     /// broadcast to every mirror — once per round it changed, not once
     /// per phase. Only the traffic differs from delayed mode; the
     /// computation (and therefore every result) is identical.
-    fn eager_sync(&mut self, comm: &mut RoundComm) {
+    fn eager_sync(&mut self, comm: &mut RoundComm, mut link: Option<&mut ReliableLink<'_>>) {
         let updates = std::mem::take(&mut self.eager_pending);
         if updates.is_empty() {
             return;
@@ -365,8 +402,8 @@ impl<'a> Batch<'a> {
                 bcast.send(own, mh as usize, (), MRBC_ITEM_BYTES);
             }
         }
-        reduce.finish(self.dg, PhaseDir::Reduce, comm);
-        bcast.finish(self.dg, PhaseDir::Broadcast, comm);
+        finish_phase(reduce, self.dg, PhaseDir::Reduce, comm, link.as_deref_mut());
+        finish_phase(bcast, self.dg, PhaseDir::Broadcast, comm, link);
     }
 
     /// Merge one push into the global labels and schedule (Steps 11–17 of
@@ -402,7 +439,13 @@ impl<'a> Batch<'a> {
 
     /// One reduce + broadcast cycle for the flagged labels. In the
     /// forward phase (d, σ) is reconciled; in the backward phase δ.
-    fn sync_flags(&mut self, flags: &[(u32, u32, u32)], comm: &mut RoundComm, forward: bool) {
+    fn sync_flags(
+        &mut self,
+        flags: &[(u32, u32, u32)],
+        comm: &mut RoundComm,
+        forward: bool,
+        mut link: Option<&mut ReliableLink<'_>>,
+    ) {
         let k = self.k;
         let mut reduce: Exchange<()> = Exchange::new(self.dg.num_hosts);
         let mut bcast: Exchange<()> = Exchange::new(self.dg.num_hosts);
@@ -482,12 +525,12 @@ impl<'a> Batch<'a> {
                 }
             }
         }
-        reduce.finish(self.dg, PhaseDir::Reduce, comm);
-        bcast.finish(self.dg, PhaseDir::Broadcast, comm);
+        finish_phase(reduce, self.dg, PhaseDir::Reduce, comm, link.as_deref_mut());
+        finish_phase(bcast, self.dg, PhaseDir::Broadcast, comm, link);
     }
 
     /// Backward phase: Algorithm 5 as BSP rounds. `A_sv = R − τ_sv + 1`.
-    fn backward(&mut self, stats: &mut BspStats) {
+    fn backward(&mut self, stats: &mut BspStats, mut link: Option<&mut ReliableLink<'_>>) {
         let n = self.g.num_vertices();
         let k = self.k;
         let r = self.r_term;
@@ -505,13 +548,16 @@ impl<'a> Batch<'a> {
 
         for round in 1..=(r + 1) {
             let flags = std::mem::take(&mut agenda[round as usize]);
+            if let Some(l) = link.as_deref_mut() {
+                l.begin_round(stats.num_rounds() + 1);
+            }
             let mut comm = RoundComm::new(self.dg.num_hosts);
             // SYNC δ for the labels due this round (delayed), or all δ
             // partials updated last round (eager).
             if self.delayed_sync {
-                self.sync_flags(&flags, &mut comm, /*forward=*/ false);
+                self.sync_flags(&flags, &mut comm, /*forward=*/ false, link.as_deref_mut());
             } else {
-                self.eager_sync(&mut comm);
+                self.eager_sync(&mut comm, link.as_deref_mut());
             }
 
             // COMPUTE: push (1 + δ)/σ to shortest-path predecessors along
@@ -560,8 +606,11 @@ impl<'a> Batch<'a> {
             stats.record_round(work, comm);
         }
         if !self.delayed_sync && !self.eager_pending.is_empty() {
+            if let Some(l) = link.as_deref_mut() {
+                l.begin_round(stats.num_rounds() + 1);
+            }
             let mut comm = RoundComm::new(self.dg.num_hosts);
-            self.eager_sync(&mut comm);
+            self.eager_sync(&mut comm, link);
             stats.record_round(vec![0; self.dg.num_hosts], comm);
         }
     }
@@ -711,5 +760,28 @@ mod tests {
         let out = mrbc_bc(&g, &dg, &[], 4);
         assert!(out.bc.iter().all(|&b| b == 0.0));
         assert_eq!(out.stats.num_rounds(), 0);
+    }
+
+    #[test]
+    fn reliable_link_masks_faults_bitwise() {
+        let g = generators::rmat(generators::RmatConfig::new(6, 5), 13);
+        let sources: Vec<u32> = (0..12).collect();
+        let dg = partition(&g, 4, PartitionPolicy::CartesianVertexCut);
+        let opts = MrbcOptions {
+            batch_size: 6,
+            delayed_sync: true,
+        };
+        let clean = mrbc_bc_with_options(&g, &dg, &sources, &opts);
+        let session = mrbc_faults::FaultSession::new(
+            "drop:p=0.1;delay:pair=1-2,rounds=1;seed=42".parse().unwrap(),
+        );
+        let (faulty, recovery) = mrbc_bc_with_faults(&g, &dg, &sources, &opts, &session);
+        // Bitwise, not approximately: retries happen within the round.
+        assert_eq!(clean.bc, faulty.bc);
+        assert_eq!(clean.stats.total_bytes(), faulty.stats.total_bytes());
+        assert_eq!(clean.stats.num_rounds(), faulty.stats.num_rounds());
+        assert!(faulty.stats.total_retry_bytes() > 0, "{recovery:?}");
+        assert!(recovery.retransmissions > 0, "{recovery:?}");
+        assert_eq!(recovery.crashes, 0);
     }
 }

@@ -13,14 +13,39 @@
 //! `≈ 2 · ecc(s)` rounds — each paying barrier latency and per-round
 //! metadata — which is exactly the cost MRBC's pipelining removes.
 
-use super::{DistBcOutcome, SBBC_ITEM_BYTES};
+use super::{finish_phase, DistBcOutcome, SBBC_ITEM_BYTES};
 use mrbc_dgalois::comm::{Exchange, PhaseDir, RoundComm};
-use mrbc_dgalois::{BspStats, DistGraph};
+use mrbc_dgalois::{BspStats, DistGraph, ReliableLink};
+use mrbc_faults::{FaultSession, RecoveryStats};
 use mrbc_graph::{CsrGraph, VertexId, INF_DIST};
 use rayon::prelude::*;
 
 /// Runs distributed SBBC for the given sources, one source at a time.
 pub fn sbbc_bc(g: &CsrGraph, dg: &DistGraph, sources: &[VertexId]) -> DistBcOutcome {
+    run(g, dg, sources, None)
+}
+
+/// [`sbbc_bc`] under an injected fault plan: the reliable link masks
+/// drops/duplicates/delays (identical BC scores) and charges the
+/// overhead. Crash clauses are not interpreted here — see
+/// [`super::mrbc::mrbc_bc_with_faults`].
+pub fn sbbc_bc_with_faults(
+    g: &CsrGraph,
+    dg: &DistGraph,
+    sources: &[VertexId],
+    session: &FaultSession,
+) -> (DistBcOutcome, RecoveryStats) {
+    let mut link = ReliableLink::new(session, dg.num_hosts);
+    let out = run(g, dg, sources, Some(&mut link));
+    (out, link.recovery)
+}
+
+fn run(
+    g: &CsrGraph,
+    dg: &DistGraph,
+    sources: &[VertexId],
+    mut link: Option<&mut ReliableLink<'_>>,
+) -> DistBcOutcome {
     let n = g.num_vertices();
     let mut bc = vec![0.0f64; n];
     let mut stats = BspStats::new(dg.num_hosts);
@@ -28,11 +53,11 @@ pub fn sbbc_bc(g: &CsrGraph, dg: &DistGraph, sources: &[VertexId]) -> DistBcOutc
     for &s in sources {
         assert!((s as usize) < n, "source out of range");
         state.reset(s);
-        state.forward(&mut stats);
-        state.backward(&mut stats);
-        for v in 0..n {
+        state.forward(&mut stats, link.as_deref_mut());
+        state.backward(&mut stats, link.as_deref_mut());
+        for (v, x) in bc.iter_mut().enumerate() {
             if v != s as usize && state.dist_g[v] != INF_DIST {
-                bc[v] += state.delta_g[v];
+                *x += state.delta_g[v];
             }
         }
     }
@@ -90,7 +115,12 @@ impl<'a> SourceState<'a> {
     }
 
     /// Reduce + broadcast `(d, σ)` for the given frontier vertices.
-    fn sync_forward(&mut self, frontier: &[u32], comm: &mut RoundComm) {
+    fn sync_forward(
+        &mut self,
+        frontier: &[u32],
+        comm: &mut RoundComm,
+        mut link: Option<&mut ReliableLink<'_>>,
+    ) {
         let mut reduce: Exchange<()> = Exchange::new(self.dg.num_hosts);
         let mut bcast: Exchange<()> = Exchange::new(self.dg.num_hosts);
         for &v in frontier {
@@ -130,20 +160,23 @@ impl<'a> SourceState<'a> {
                 self.host_sigma[h][l as usize] = sig;
             }
         }
-        reduce.finish(self.dg, PhaseDir::Reduce, comm);
-        bcast.finish(self.dg, PhaseDir::Broadcast, comm);
+        finish_phase(reduce, self.dg, PhaseDir::Reduce, comm, link.as_deref_mut());
+        finish_phase(bcast, self.dg, PhaseDir::Broadcast, comm, link);
     }
 
     /// Level-synchronous BFS with σ aggregation.
-    fn forward(&mut self, stats: &mut BspStats) {
+    fn forward(&mut self, stats: &mut BspStats, mut link: Option<&mut ReliableLink<'_>>) {
         let mut level = 0u32;
         loop {
             let frontier = self.levels[level as usize].clone();
             if frontier.is_empty() {
                 break;
             }
+            if let Some(l) = link.as_deref_mut() {
+                l.begin_round(stats.num_rounds() + 1);
+            }
             let mut comm = RoundComm::new(self.dg.num_hosts);
-            self.sync_forward(&frontier, &mut comm);
+            self.sync_forward(&frontier, &mut comm, link.as_deref_mut());
 
             // Push the frontier along local out-edges on every host.
             let dg = self.dg;
@@ -200,7 +233,12 @@ impl<'a> SourceState<'a> {
     }
 
     /// Reduce + broadcast δ for the given level's vertices.
-    fn sync_backward(&mut self, level_vertices: &[u32], comm: &mut RoundComm) {
+    fn sync_backward(
+        &mut self,
+        level_vertices: &[u32],
+        comm: &mut RoundComm,
+        mut link: Option<&mut ReliableLink<'_>>,
+    ) {
         let mut reduce: Exchange<()> = Exchange::new(self.dg.num_hosts);
         let mut bcast: Exchange<()> = Exchange::new(self.dg.num_hosts);
         for &v in level_vertices {
@@ -237,18 +275,21 @@ impl<'a> SourceState<'a> {
                 self.host_delta[h][l as usize] = total;
             }
         }
-        reduce.finish(self.dg, PhaseDir::Reduce, comm);
-        bcast.finish(self.dg, PhaseDir::Broadcast, comm);
+        finish_phase(reduce, self.dg, PhaseDir::Reduce, comm, link.as_deref_mut());
+        finish_phase(bcast, self.dg, PhaseDir::Broadcast, comm, link);
     }
 
     /// Backward dependency accumulation, deepest level first.
-    fn backward(&mut self, stats: &mut BspStats) {
+    fn backward(&mut self, stats: &mut BspStats, mut link: Option<&mut ReliableLink<'_>>) {
         // The last frontier is empty; deepest populated level is len - 2.
         let max_level = self.levels.len().saturating_sub(2);
         for level in (1..=max_level).rev() {
             let vertices = self.levels[level].clone();
+            if let Some(l) = link.as_deref_mut() {
+                l.begin_round(stats.num_rounds() + 1);
+            }
             let mut comm = RoundComm::new(self.dg.num_hosts);
-            self.sync_backward(&vertices, &mut comm);
+            self.sync_backward(&vertices, &mut comm, link.as_deref_mut());
 
             let dg = self.dg;
             let (dist_g, sigma_g, delta_g) = (&self.dist_g, &self.sigma_g, &self.delta_g);

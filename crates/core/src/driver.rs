@@ -6,6 +6,7 @@
 use crate::dist;
 use crate::shared::abbc;
 use mrbc_dgalois::{partition, BspStats, CostModel, PartitionPolicy};
+use mrbc_faults::{FaultPlan, FaultSession, RecoveryStats};
 use mrbc_graph::{CsrGraph, VertexId};
 
 /// Which BC algorithm to run.
@@ -55,6 +56,12 @@ pub struct BcConfig {
     /// cost is already calibrated to a full 48-thread Skylake host, so
     /// the default is 1; raise it to model beefier hosts.
     pub threads_per_host: usize,
+    /// Fault plan to inject (distributed algorithms only). Drops,
+    /// duplicates, and delays are masked by the reliable-delivery layer —
+    /// BC results stay bitwise-identical, only overhead is charged.
+    /// Crash clauses are ignored by the BC driver (crash recovery runs
+    /// through the general BSP executor; see `mrbc-analytics`).
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for BcConfig {
@@ -67,6 +74,7 @@ impl Default for BcConfig {
             chunk_size: abbc::DEFAULT_CHUNK_SIZE,
             cost: CostModel::default(),
             threads_per_host: 1,
+            faults: None,
         }
     }
 }
@@ -84,6 +92,8 @@ pub struct BcResult {
     pub computation_time: f64,
     /// Modeled non-overlapped communication component.
     pub communication_time: f64,
+    /// Fault/recovery ledger (present iff a fault plan was injected).
+    pub recovery: Option<RecoveryStats>,
 }
 
 /// Runs the configured algorithm over `g` for `sources`.
@@ -100,6 +110,7 @@ pub fn bc(g: &CsrGraph, sources: &[VertexId], config: &BcConfig) -> BcResult {
                 execution_time: t,
                 computation_time: t,
                 communication_time: 0.0,
+                recovery: None,
             }
         }
         Algorithm::Abbc => {
@@ -111,14 +122,37 @@ pub fn bc(g: &CsrGraph, sources: &[VertexId], config: &BcConfig) -> BcResult {
                 execution_time: t,
                 computation_time: t,
                 communication_time: 0.0,
+                recovery: None,
             }
         }
         Algorithm::Mrbc | Algorithm::Sbbc | Algorithm::Mfbc => {
             let dg = partition(g, config.num_hosts, config.partition);
-            let out = match config.algorithm {
-                Algorithm::Mrbc => dist::mrbc::mrbc_bc(g, &dg, sources, config.batch_size),
-                Algorithm::Sbbc => dist::sbbc::sbbc_bc(g, &dg, sources),
-                Algorithm::Mfbc => dist::mfbc::mfbc_bc(g, &dg, sources, config.batch_size),
+            let session = config.faults.clone().map(FaultSession::new);
+            let (out, recovery) = match (&config.algorithm, &session) {
+                (Algorithm::Mrbc, None) => {
+                    (dist::mrbc::mrbc_bc(g, &dg, sources, config.batch_size), None)
+                }
+                (Algorithm::Mrbc, Some(s)) => {
+                    let opts = dist::mrbc::MrbcOptions {
+                        batch_size: config.batch_size,
+                        ..dist::mrbc::MrbcOptions::default()
+                    };
+                    let (out, rec) = dist::mrbc::mrbc_bc_with_faults(g, &dg, sources, &opts, s);
+                    (out, Some(rec))
+                }
+                (Algorithm::Sbbc, None) => (dist::sbbc::sbbc_bc(g, &dg, sources), None),
+                (Algorithm::Sbbc, Some(s)) => {
+                    let (out, rec) = dist::sbbc::sbbc_bc_with_faults(g, &dg, sources, s);
+                    (out, Some(rec))
+                }
+                (Algorithm::Mfbc, None) => {
+                    (dist::mfbc::mfbc_bc(g, &dg, sources, config.batch_size), None)
+                }
+                (Algorithm::Mfbc, Some(s)) => {
+                    let (out, rec) =
+                        dist::mfbc::mfbc_bc_with_faults(g, &dg, sources, config.batch_size, s);
+                    (out, Some(rec))
+                }
                 _ => unreachable!(),
             };
             // Per-host compute is spread over the host's threads.
@@ -132,6 +166,7 @@ pub fn bc(g: &CsrGraph, sources: &[VertexId], config: &BcConfig) -> BcResult {
                 execution_time: compute + comm,
                 computation_time: compute,
                 communication_time: comm,
+                recovery,
             }
         }
     }
@@ -221,6 +256,34 @@ mod tests {
             .computation_time
         };
         assert!(time_at(8) < time_at(1));
+    }
+
+    #[test]
+    fn faulty_driver_runs_match_clean_ones_and_report_overhead() {
+        let g = generators::rmat(generators::RmatConfig::new(6, 4), 9);
+        let sources: Vec<u32> = (0..6).collect();
+        for alg in [Algorithm::Mrbc, Algorithm::Sbbc, Algorithm::Mfbc] {
+            let base = BcConfig {
+                algorithm: alg,
+                num_hosts: 3,
+                ..BcConfig::default()
+            };
+            let clean = bc(&g, &sources, &base);
+            let faulty_cfg = BcConfig {
+                faults: Some("drop:p=0.05;seed=42".parse().unwrap()),
+                ..base
+            };
+            let faulty = bc(&g, &sources, &faulty_cfg);
+            assert_eq!(clean.bc, faulty.bc, "{}: masking must be exact", alg.name());
+            let rec = faulty.recovery.expect("fault plan produces a ledger");
+            assert!(rec.drops > 0 || rec.retransmissions > 0, "{rec:?}");
+            assert!(clean.recovery.is_none());
+            assert!(
+                faulty.communication_time >= clean.communication_time,
+                "{}: retries cannot make the run cheaper",
+                alg.name()
+            );
+        }
     }
 
     #[test]

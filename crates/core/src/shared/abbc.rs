@@ -98,8 +98,8 @@ pub fn abbc_bc(g: &CsrGraph, sources: &[VertexId], chunk_size: usize) -> AbbcOut
 
         let mut sigma = vec![0.0f64; n];
         sigma[s as usize] = 1.0;
-        for lvl in 1..=max_d as usize {
-            let sig_next: Vec<(u32, f64)> = levels[lvl]
+        for level in levels.iter().take(max_d as usize + 1).skip(1) {
+            let sig_next: Vec<(u32, f64)> = level
                 .par_iter()
                 .map(|&v| {
                     let mut acc = 0.0;

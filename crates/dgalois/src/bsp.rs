@@ -70,9 +70,10 @@
 //! assert!(stats.num_rounds() <= 11);
 //! ```
 
-use crate::comm::{Exchange, PhaseDir, RoundComm};
+use crate::comm::{Exchange, PhaseDir, ReliableLink, RoundComm};
 use crate::stats::BspStats;
 use crate::topology::DistGraph;
+use mrbc_faults::{FaultSession, RecoveryStats};
 use mrbc_graph::VertexId;
 use rayon::prelude::*;
 
@@ -124,6 +125,132 @@ pub trait BspProgram: Sync {
     /// Post-round hook with the deduplicated changed set. Return `true`
     /// to terminate.
     fn after_round(&mut self, round: u32, changed: &[VertexId], labels: &[Self::Label]) -> bool;
+
+    /// Serializes the program's auxiliary state (anything outside the
+    /// label vector that `apply`/`after_round` depend on) for a
+    /// checkpoint. Programs whose labels are their whole state keep the
+    /// empty default.
+    fn snapshot_aux(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Restores auxiliary state saved by [`BspProgram::snapshot_aux`].
+    fn restore_aux(&mut self, _aux: &[u64]) {}
+
+    /// True for programs whose fixpoint is independent of intermediate
+    /// state (PageRank-style contraction maps, min-label propagation):
+    /// after a crash, [`run_bsp_with_faults`] re-initializes the lost
+    /// host in place and continues — the Phoenix fast path — instead of
+    /// rolling back to a checkpoint.
+    fn self_correcting(&self) -> bool {
+        false
+    }
+
+    /// Phoenix re-initialization: reset the labels mastered by `host` to
+    /// their algorithm-initial values (and patch any per-vertex aux
+    /// state), as if the replacement host had loaded a fresh partition.
+    /// Only called when [`BspProgram::self_correcting`] is true.
+    fn reinit_host(&mut self, _host: usize, _dg: &DistGraph, _labels: &mut [Self::Label]) {}
+}
+
+/// One executed round's outcome, before the termination check.
+struct RoundResult {
+    work: Vec<u64>,
+    comm: RoundComm,
+    changed: Vec<VertexId>,
+}
+
+/// Executes one BSP round: before-hook, parallel compute, apply with
+/// reduce accounting, broadcast accounting, sync finish. Hosts flagged in
+/// `dead` crashed mid-round: they perform no compute and their staged
+/// proposals are lost. With a `link`, both sync phases run through the
+/// reliable-delivery layer.
+fn execute_round<P: BspProgram>(
+    dg: &DistGraph,
+    prog: &mut P,
+    labels: &mut [P::Label],
+    round: u32,
+    dead: &[bool],
+    link: Option<&mut ReliableLink<'_>>,
+) -> RoundResult {
+    prog.before_round(round, labels);
+    // COMPUTE (parallel across hosts).
+    type HostProposals<U> = (Vec<(VertexId, U)>, u64);
+    let results: Vec<HostProposals<P::Update>> = (0..dg.num_hosts)
+        .into_par_iter()
+        .map(|h| {
+            if dead[h] {
+                return (Vec::new(), 0);
+            }
+            let mut out = Vec::new();
+            let w = prog.compute(h, dg, labels, &mut out);
+            (out, w)
+        })
+        .collect();
+
+    // APPLY + reduce accounting (one item per proposing host per
+    // touched vertex).
+    let mut comm = RoundComm::new(dg.num_hosts);
+    let mut reduce: Exchange<()> = Exchange::new(dg.num_hosts);
+    let mut changed: Vec<VertexId> = Vec::new();
+    let mut work = Vec::with_capacity(dg.num_hosts);
+    let item = prog.item_bytes();
+    for (h, (proposals, w)) in results.into_iter().enumerate() {
+        work.push(w);
+        let mut touched: Vec<VertexId> = Vec::with_capacity(proposals.len());
+        for (v, update) in proposals {
+            if prog.apply(&mut labels[v as usize], update) {
+                changed.push(v);
+            }
+            touched.push(v);
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for v in touched {
+            let own = dg.owner(v) as usize;
+            if h != own {
+                reduce.send(h, own, (), item);
+            }
+        }
+    }
+    changed.sort_unstable();
+    changed.dedup();
+
+    // BROADCAST accounting.
+    let mut bcast: Exchange<()> = Exchange::new(dg.num_hosts);
+    match prog.sync_scope() {
+        SyncScope::Changed => {
+            for &v in &changed {
+                let own = dg.owner(v) as usize;
+                for &mh in dg.mirror_hosts(v) {
+                    bcast.send(own, mh as usize, (), item);
+                }
+            }
+        }
+        SyncScope::AllVertices => {
+            for v in 0..dg.num_global_vertices as VertexId {
+                let own = dg.owner(v) as usize;
+                for &mh in dg.mirror_hosts(v) {
+                    bcast.send(own, mh as usize, (), item);
+                }
+            }
+        }
+    }
+    match link {
+        Some(link) => {
+            reduce.finish_reliable(dg, PhaseDir::Reduce, &mut comm, link);
+            bcast.finish_reliable(dg, PhaseDir::Broadcast, &mut comm, link);
+        }
+        None => {
+            reduce.finish(dg, PhaseDir::Reduce, &mut comm);
+            bcast.finish(dg, PhaseDir::Broadcast, &mut comm);
+        }
+    }
+    RoundResult {
+        work,
+        comm,
+        changed,
+    }
 }
 
 /// Runs `prog` over the partition until it terminates or `max_rounds`
@@ -141,76 +268,138 @@ pub fn run_bsp<P: BspProgram>(
         "one label per global vertex"
     );
     let mut stats = BspStats::new(dg.num_hosts);
+    let dead = vec![false; dg.num_hosts];
     for round in 1..=max_rounds {
-        prog.before_round(round, labels);
-        // COMPUTE (parallel across hosts).
-        type HostProposals<U> = (Vec<(VertexId, U)>, u64);
-        let results: Vec<HostProposals<P::Update>> = (0..dg.num_hosts)
-            .into_par_iter()
-            .map(|h| {
-                let mut out = Vec::new();
-                let w = prog.compute(h, dg, labels, &mut out);
-                (out, w)
-            })
-            .collect();
-
-        // APPLY + reduce accounting (one item per proposing host per
-        // touched vertex).
-        let mut comm = RoundComm::new(dg.num_hosts);
-        let mut reduce: Exchange<()> = Exchange::new(dg.num_hosts);
-        let mut changed: Vec<VertexId> = Vec::new();
-        let mut work = Vec::with_capacity(dg.num_hosts);
-        let item = prog.item_bytes();
-        for (h, (proposals, w)) in results.into_iter().enumerate() {
-            work.push(w);
-            let mut touched: Vec<VertexId> = Vec::with_capacity(proposals.len());
-            for (v, update) in proposals {
-                if prog.apply(&mut labels[v as usize], update) {
-                    changed.push(v);
-                }
-                touched.push(v);
-            }
-            touched.sort_unstable();
-            touched.dedup();
-            for v in touched {
-                let own = dg.owner(v) as usize;
-                if h != own {
-                    reduce.send(h, own, (), item);
-                }
-            }
-        }
-        changed.sort_unstable();
-        changed.dedup();
-
-        // BROADCAST accounting.
-        let mut bcast: Exchange<()> = Exchange::new(dg.num_hosts);
-        match prog.sync_scope() {
-            SyncScope::Changed => {
-                for &v in &changed {
-                    let own = dg.owner(v) as usize;
-                    for &mh in dg.mirror_hosts(v) {
-                        bcast.send(own, mh as usize, (), item);
-                    }
-                }
-            }
-            SyncScope::AllVertices => {
-                for v in 0..dg.num_global_vertices as VertexId {
-                    let own = dg.owner(v) as usize;
-                    for &mh in dg.mirror_hosts(v) {
-                        bcast.send(own, mh as usize, (), item);
-                    }
-                }
-            }
-        }
-        reduce.finish(dg, PhaseDir::Reduce, &mut comm);
-        bcast.finish(dg, PhaseDir::Broadcast, &mut comm);
-        stats.record_round(work, comm);
-
-        if prog.after_round(round, &changed, labels) {
+        let res = execute_round(dg, prog, labels, round, &dead, None);
+        stats.record_round(res.work, res.comm);
+        if prog.after_round(round, &res.changed, labels) {
             break;
         }
     }
     stats
+}
+
+/// A fault-injected BSP run: the usual statistics plus the recovery
+/// ledger (retransmissions, checkpoints, rollbacks, …).
+#[derive(Clone, Debug)]
+pub struct FaultyBspRun {
+    /// Per-round work/communication records, replayed rounds included.
+    pub stats: BspStats,
+    /// Fault events and the overhead spent recovering from them.
+    pub recovery: RecoveryStats,
+}
+
+/// [`run_bsp`] under an injected [`FaultSession`], with checkpoint-based
+/// recovery.
+///
+/// *Maskable* faults (drops, duplicates, straggler delays) are absorbed
+/// by the [`ReliableLink`] inside each sync phase: every round delivers
+/// exactly what the fault-free round would, so label evolution — and the
+/// final result — is bitwise-identical to [`run_bsp`]; only
+/// `retry_bytes` / `stall_rounds` grow.
+///
+/// *Crashes* are behavioral. A host crashing in round `r` loses its
+/// round-`r` compute (its proposals never reach the sync phase). The
+/// executor snapshots `labels` + [`BspProgram::snapshot_aux`] at the top
+/// of every `checkpoint_interval`-th round (the first checkpoint at round
+/// 1 always exists) and, on detecting the crash:
+///
+/// * **rollback** (default): restores the latest checkpoint and replays
+///   deterministically — rounds re-execute and are re-recorded in
+///   `stats`, the cost of recovery;
+/// * **Phoenix fast path** ([`BspProgram::self_correcting`]): the lost
+///   host's masters are re-initialized in place via
+///   [`BspProgram::reinit_host`] and execution simply continues — valid
+///   for programs whose fixpoint does not depend on intermediate state,
+///   as in Phoenix's globally-consistent recovery for self-correcting
+///   algorithms.
+///
+/// Each planned crash fires at most once, so replay cannot re-trigger it
+/// (the replacement host does not re-fail).
+pub fn run_bsp_with_faults<P: BspProgram>(
+    dg: &DistGraph,
+    prog: &mut P,
+    labels: &mut [P::Label],
+    max_rounds: u32,
+    session: &FaultSession,
+    checkpoint_interval: u32,
+) -> FaultyBspRun {
+    assert_eq!(
+        labels.len(),
+        dg.num_global_vertices,
+        "one label per global vertex"
+    );
+    assert!(checkpoint_interval >= 1, "checkpoint interval must be ≥ 1");
+    let mut stats = BspStats::new(dg.num_hosts);
+    let mut recovery = RecoveryStats::default();
+    let mut link = ReliableLink::new(session, dg.num_hosts);
+    let item = prog.item_bytes();
+
+    // Latest checkpoint: (round it restarts at, labels, aux state).
+    let mut ckpt: Option<(u32, Vec<P::Label>, Vec<u64>)> = None;
+    let crashes = session.plan().crashes.clone();
+    let mut fired = vec![false; crashes.len()];
+
+    let mut round = 1u32;
+    while round <= max_rounds {
+        // Periodic checkpoint at the top of the round (captures the state
+        // a restart would resume from — i.e. after round `round - 1`).
+        if (round - 1).is_multiple_of(checkpoint_interval) {
+            let aux = prog.snapshot_aux();
+            recovery.checkpoints += 1;
+            recovery.checkpoint_bytes +=
+                labels.len() as u64 * item + aux.len() as u64 * 8;
+            ckpt = Some((round, labels.to_vec(), aux));
+        }
+
+        // Hosts crashing during this round; each planned crash fires once.
+        let mut dead = vec![false; dg.num_hosts];
+        let mut any_crash = false;
+        for (i, c) in crashes.iter().enumerate() {
+            if !fired[i] && c.round == round && c.host < dg.num_hosts {
+                fired[i] = true;
+                dead[c.host] = true;
+                any_crash = true;
+                recovery.crashes += 1;
+            }
+        }
+
+        link.begin_round(round);
+        let res = execute_round(dg, prog, labels, round, &dead, Some(&mut link));
+        stats.record_round(res.work, res.comm);
+
+        if any_crash {
+            if prog.self_correcting() {
+                // Phoenix: re-initialize the lost masters in place and
+                // continue; the termination check is skipped because the
+                // re-initialization invalidates this round's quiescence.
+                for (h, &d) in dead.iter().enumerate() {
+                    if d {
+                        prog.reinit_host(h, dg, labels);
+                        recovery.phoenix_restarts += 1;
+                    }
+                }
+                round += 1;
+                continue;
+            }
+            // Rollback: restore the latest checkpoint and replay.
+            let (ckpt_round, saved, aux) =
+                ckpt.as_ref().expect("checkpoint exists from round 1");
+            labels.clone_from_slice(saved);
+            prog.restore_aux(aux);
+            recovery.rollbacks += 1;
+            recovery.rounds_replayed += (round - ckpt_round + 1) as u64;
+            round = *ckpt_round;
+            continue;
+        }
+
+        if prog.after_round(round, &res.changed, labels) {
+            break;
+        }
+        round += 1;
+    }
+    recovery.merge(&link.recovery);
+    FaultyBspRun { stats, recovery }
 }
 
 #[cfg(test)]
@@ -302,5 +491,125 @@ mod tests {
         let dg = partition(&g, 1, PartitionPolicy::BlockedEdgeCut);
         let mut labels: Vec<u32> = vec![0; 3];
         run_bsp(&dg, &mut MinFlood, &mut labels, 1);
+    }
+
+    #[test]
+    fn maskable_faults_leave_labels_bitwise_identical() {
+        let g = generators::cycle(16);
+        let dg = partition(&g, 3, PartitionPolicy::BlockedEdgeCut);
+        let mut clean: Vec<u32> = (0..16).collect();
+        let clean_stats = run_bsp(&dg, &mut MinFlood, &mut clean, 100);
+
+        let plan = "drop:p=0.25;dup:p=0.05;delay:pair=0-1,rounds=2;seed=5"
+            .parse()
+            .unwrap();
+        let session = FaultSession::new(plan);
+        let mut faulty: Vec<u32> = (0..16).collect();
+        let run = run_bsp_with_faults(&dg, &mut MinFlood, &mut faulty, 100, &session, 4);
+
+        assert_eq!(clean, faulty, "masking must not alter label evolution");
+        assert_eq!(run.stats.num_rounds(), clean_stats.num_rounds());
+        assert_eq!(run.recovery.rollbacks, 0, "no crashes, no rollbacks");
+        assert!(run.recovery.checkpoints >= 1);
+        assert!(
+            run.recovery.retransmissions > 0 || run.recovery.stall_rounds > 0,
+            "faults at p=0.25 over these rounds must cost something: {:?}",
+            run.recovery
+        );
+        assert!(run.stats.total_retry_bytes() > 0);
+    }
+
+    #[test]
+    fn crash_rollback_recovers_the_fault_free_result() {
+        let g = generators::cycle(24);
+        let dg = partition(&g, 3, PartitionPolicy::CartesianVertexCut);
+        let mut clean: Vec<u32> = (0..24).collect();
+        run_bsp(&dg, &mut MinFlood, &mut clean, 100);
+
+        for (crash_round, interval) in [(3u32, 2u32), (5, 1), (7, 4), (1, 3)] {
+            let plan = format!("crash:host=1@round={crash_round};seed=9")
+                .parse()
+                .unwrap();
+            let session = FaultSession::new(plan);
+            let mut faulty: Vec<u32> = (0..24).collect();
+            let run =
+                run_bsp_with_faults(&dg, &mut MinFlood, &mut faulty, 200, &session, interval);
+            assert_eq!(
+                clean, faulty,
+                "crash@{crash_round}/interval {interval}: replay must converge to the \
+                 fault-free fixpoint"
+            );
+            assert_eq!(run.recovery.crashes, 1);
+            assert_eq!(run.recovery.rollbacks, 1);
+            assert!(run.recovery.rounds_replayed >= 1);
+            assert!(
+                run.recovery.rounds_replayed <= interval as u64 + 1,
+                "replay window exceeds checkpoint spacing: {:?}",
+                run.recovery
+            );
+        }
+    }
+
+    /// MinFlood with the Phoenix contract: min-label propagation is
+    /// self-correcting (re-initialized vertices re-converge to the global
+    /// minimum), so a crashed host's masters are reset in place.
+    struct PhoenixMinFlood;
+
+    impl BspProgram for PhoenixMinFlood {
+        type Label = u32;
+        type Update = u32;
+
+        fn item_bytes(&self) -> u64 {
+            MinFlood.item_bytes()
+        }
+
+        fn compute(
+            &self,
+            host: usize,
+            dg: &DistGraph,
+            labels: &[u32],
+            out: &mut Vec<(VertexId, u32)>,
+        ) -> u64 {
+            MinFlood.compute(host, dg, labels, out)
+        }
+
+        fn apply(&mut self, label: &mut u32, update: u32) -> bool {
+            MinFlood.apply(label, update)
+        }
+
+        fn after_round(&mut self, r: u32, changed: &[VertexId], l: &[u32]) -> bool {
+            MinFlood.after_round(r, changed, l)
+        }
+
+        fn self_correcting(&self) -> bool {
+            true
+        }
+
+        fn reinit_host(&mut self, host: usize, dg: &DistGraph, labels: &mut [u32]) {
+            for v in 0..dg.num_global_vertices as VertexId {
+                if dg.owner(v) as usize == host {
+                    labels[v as usize] = v; // algorithm-initial value
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn phoenix_path_reconverges_without_rollback() {
+        let g = generators::cycle(20);
+        let dg = partition(&g, 4, PartitionPolicy::BlockedEdgeCut);
+        let plan = "crash:host=2@round=4;seed=1".parse().unwrap();
+        let session = FaultSession::new(plan);
+        let mut labels: Vec<u32> = (0..20).collect();
+        let run =
+            run_bsp_with_faults(&dg, &mut PhoenixMinFlood, &mut labels, 200, &session, 5);
+        assert!(
+            labels.iter().all(|&l| l == 0),
+            "self-correcting program must reconverge: {labels:?}"
+        );
+        assert_eq!(run.recovery.crashes, 1);
+        assert_eq!(run.recovery.phoenix_restarts, 1);
+        assert_eq!(run.recovery.rollbacks, 0, "Phoenix path skips rollback");
+        assert_eq!(run.recovery.rounds_replayed, 0);
     }
 }

@@ -23,6 +23,7 @@
 //! more compression of metadata and lower communication volume".
 
 use crate::topology::DistGraph;
+use mrbc_faults::{FaultSession, RecoveryStats};
 
 /// Fixed per-message envelope (tags, lengths) in bytes.
 pub const MESSAGE_HEADER_BYTES: u64 = 16;
@@ -30,6 +31,18 @@ pub const MESSAGE_HEADER_BYTES: u64 = 16;
 /// Metadata bytes per item under the sparse (index-list) encoding:
 /// a 4-byte proxy offset plus framing.
 pub const INDEX_META_BYTES: u64 = 8;
+
+/// Bytes of one acknowledgement frame (pair id + sequence number).
+pub const ACK_BYTES: u64 = 12;
+
+/// Retransmission backoff cap, in modeled rounds. Backoff doubles per
+/// retry (1, 2, 4, …) up to this bound.
+pub const MAX_BACKOFF_ROUNDS: u32 = 8;
+
+/// Retransmission attempts after which the link gives up on backoff and
+/// delivers out of band (a real transport would escalate to connection
+/// re-establishment; the simulated link just bounds the stall).
+pub const MAX_RETRIES: u32 = 16;
 
 /// Direction of a synchronization phase, which determines which side of a
 /// host pair owns the shared-proxy universe used for metadata accounting.
@@ -57,6 +70,14 @@ pub struct RoundComm {
     /// Proxy items synchronized (pre-aggregation), the "number of proxies
     /// synchronized" count the paper compares between SBBC and MRBC.
     pub items: u64,
+    /// Fault overhead: extra bytes from retransmissions, acks, and
+    /// duplicate deliveries (zero on a fault-free run).
+    pub retry_bytes: u64,
+    /// Fault overhead: extra rounds this BSP round stalled on the slowest
+    /// host pair's retransmission backoff and straggler delays — the
+    /// barrier waits for the worst link, so the maximum (not the sum)
+    /// over pairs is charged per phase.
+    pub stall_rounds: u32,
 }
 
 impl RoundComm {
@@ -69,7 +90,105 @@ impl RoundComm {
             messages: 0,
             bytes: 0,
             items: 0,
+            retry_bytes: 0,
+            stall_rounds: 0,
         }
+    }
+}
+
+/// The reliable-delivery layer over the simulated network.
+///
+/// Real Gluon runs over LCI/MPI, which already guarantee delivery; under
+/// an injected [`FaultSession`] the raw network may drop, duplicate, or
+/// stall the aggregated host-pair messages, and this layer restores the
+/// exactly-once, in-order semantics BSP synchronization needs:
+///
+/// * **sequence numbers** per ordered host pair — duplicates (network- or
+///   retransmission-induced) are detected and suppressed at the receiver;
+/// * **ack / resend** — every delivered message is acknowledged
+///   ([`ACK_BYTES`]); a sender that misses the ack retransmits after a
+///   bounded exponential backoff (1, 2, 4, … up to
+///   [`MAX_BACKOFF_ROUNDS`] rounds, at most [`MAX_RETRIES`] attempts).
+///
+/// Because a BSP round cannot complete until its sync phase delivers
+/// everything, retries happen *within* the logical round: faults never
+/// change what is delivered, only what it costs. The cost shows up as
+/// [`RoundComm::retry_bytes`] and [`RoundComm::stall_rounds`] (and in the
+/// [`RecoveryStats`] ledger); label evolution stays bitwise-identical to
+/// the fault-free run — the invariant the recovery property tests check.
+pub struct ReliableLink<'a> {
+    session: &'a FaultSession,
+    num_hosts: usize,
+    /// Next sequence number per ordered host pair (`from * H + to`).
+    seq: Vec<u64>,
+    /// Current BSP round, used to key the session's decisions.
+    round: u32,
+    /// Accumulated fault/overhead ledger.
+    pub recovery: RecoveryStats,
+}
+
+impl<'a> ReliableLink<'a> {
+    /// A fresh link layer for `num_hosts` hosts under `session`.
+    pub fn new(session: &'a FaultSession, num_hosts: usize) -> Self {
+        Self {
+            session,
+            num_hosts,
+            seq: vec![0; num_hosts * num_hosts],
+            round: 0,
+            recovery: RecoveryStats::default(),
+        }
+    }
+
+    /// Enters BSP round `round`: subsequent transfers draw their fault
+    /// decisions from this round's decision space.
+    pub fn begin_round(&mut self, round: u32) {
+        self.round = round;
+    }
+
+    /// Simulates the reliable transfer of one aggregated pair message of
+    /// `bytes` bytes. Returns `(stall_rounds, extra_bytes)`: how long the
+    /// sender was held up by backoff + straggler delay, and the bytes
+    /// beyond the first transmission (resends, acks, duplicates).
+    fn transfer(&mut self, from: usize, to: usize, bytes: u64) -> (u32, u64) {
+        let seq = self.seq[from * self.num_hosts + to];
+        self.seq[from * self.num_hosts + to] += 1;
+        let mut stall = self.session.delay_rounds(from, to);
+        let mut extra = 0u64;
+        let mut backoff = 1u32;
+        let mut attempt = 0u32;
+        loop {
+            // Each (data, ack) leg of each attempt gets its own decision
+            // point, keyed so no two legs ever collide.
+            let tag = seq.wrapping_mul(2 * (MAX_RETRIES as u64 + 1)) + 2 * attempt as u64;
+            let delivered = !self.session.should_drop(self.round, from, to, tag);
+            if delivered {
+                // The receiver sees the payload; a retransmitted copy of
+                // an already-delivered sequence number is discarded there.
+                if self.session.should_duplicate(self.round, from, to, tag) {
+                    self.recovery.duplicates += 1;
+                    extra += bytes;
+                }
+                extra += ACK_BYTES;
+                let ack_ok = !self.session.should_drop(self.round, to, from, tag + 1);
+                if ack_ok {
+                    break;
+                }
+                self.recovery.ack_drops += 1;
+            } else {
+                self.recovery.drops += 1;
+            }
+            attempt += 1;
+            if attempt > MAX_RETRIES {
+                break;
+            }
+            // Timeout, then resend the payload.
+            stall += backoff;
+            backoff = (backoff * 2).min(MAX_BACKOFF_ROUNDS);
+            self.recovery.retransmissions += 1;
+            extra += bytes;
+        }
+        self.recovery.retry_bytes += extra;
+        (stall, extra)
     }
 }
 
@@ -117,7 +236,36 @@ impl<M> Exchange<M> {
     /// Finalizes the phase: applies the metadata-compression model,
     /// accumulates into `comm`, and returns the per-host inboxes.
     pub fn finish(self, dg: &DistGraph, dir: PhaseDir, comm: &mut RoundComm) -> Vec<Vec<(usize, M)>> {
+        self.finish_inner(dg, dir, comm, None)
+    }
+
+    /// [`Exchange::finish`] over an unreliable network: each aggregated
+    /// pair message additionally runs through the [`ReliableLink`], which
+    /// guarantees delivery (so the returned inboxes are identical to the
+    /// fault-free ones) and charges the retry/straggler overhead to
+    /// `comm.retry_bytes` / `comm.stall_rounds` and the link's
+    /// [`RecoveryStats`]. The phase stalls for the slowest pair — a BSP
+    /// barrier waits on the worst link, so the per-pair maximum (not the
+    /// sum) is what the round loses.
+    pub fn finish_reliable(
+        self,
+        dg: &DistGraph,
+        dir: PhaseDir,
+        comm: &mut RoundComm,
+        link: &mut ReliableLink<'_>,
+    ) -> Vec<Vec<(usize, M)>> {
+        self.finish_inner(dg, dir, comm, Some(link))
+    }
+
+    fn finish_inner(
+        self,
+        dg: &DistGraph,
+        dir: PhaseDir,
+        comm: &mut RoundComm,
+        mut link: Option<&mut ReliableLink<'_>>,
+    ) -> Vec<Vec<(usize, M)>> {
         let h = self.num_hosts;
+        let mut phase_stall = 0u32;
         for from in 0..h {
             for to in 0..h {
                 if from == to {
@@ -141,7 +289,16 @@ impl<M> Exchange<M> {
                 comm.messages += 1;
                 comm.bytes += total;
                 comm.items += items as u64;
+                if let Some(link) = link.as_deref_mut() {
+                    let (stall, extra) = link.transfer(from, to, total);
+                    phase_stall = phase_stall.max(stall);
+                    comm.retry_bytes += extra;
+                }
             }
+        }
+        if let Some(link) = link {
+            comm.stall_rounds += phase_stall;
+            link.recovery.stall_rounds += phase_stall as u64;
         }
         self.staged
     }
@@ -206,6 +363,94 @@ mod tests {
         let reduce_meta = meta(dg.shared_proxies(0, 1) as u64);
         let bcast_meta = meta(dg.shared_proxies(1, 0) as u64);
         assert_eq!(c1.bytes + bcast_meta, c2.bytes + reduce_meta);
+    }
+
+    #[test]
+    fn reliable_finish_under_empty_plan_costs_only_acks() {
+        let dg = two_host_dg();
+        let session = FaultSession::new(Default::default());
+        let mut link = ReliableLink::new(&session, 2);
+        link.begin_round(1);
+        let mut comm = RoundComm::new(2);
+        let mut ex: Exchange<u32> = Exchange::new(2);
+        ex.send(0, 1, 1, 10);
+        ex.send(1, 0, 2, 10);
+        let inboxes = ex.finish_reliable(&dg, PhaseDir::Reduce, &mut comm, &mut link);
+        assert_eq!(inboxes[1], vec![(0, 1)]);
+        assert_eq!(inboxes[0], vec![(1, 2)]);
+        // Two pair messages, each acknowledged once; nothing resent.
+        assert_eq!(comm.retry_bytes, 2 * ACK_BYTES);
+        assert_eq!(comm.stall_rounds, 0);
+        assert_eq!(link.recovery.retransmissions, 0);
+        assert_eq!(link.recovery.drops, 0);
+    }
+
+    #[test]
+    fn reliable_link_masks_drops_and_charges_overhead() {
+        let dg = two_host_dg();
+        let plan: mrbc_faults::FaultPlan = "drop:p=0.4;seed=7".parse().unwrap();
+        let session = FaultSession::new(plan);
+        let mut link = ReliableLink::new(&session, 2);
+        let mut lossy = RoundComm::new(2);
+        let mut clean = RoundComm::new(2);
+        let mut lossy_inboxes = Vec::new();
+        let mut clean_inboxes = Vec::new();
+        for round in 1..=40u32 {
+            link.begin_round(round);
+            let mut ex: Exchange<u32> = Exchange::new(2);
+            ex.send(0, 1, round, 10);
+            lossy_inboxes.push(ex.finish_reliable(&dg, PhaseDir::Reduce, &mut lossy, &mut link));
+            let mut ex: Exchange<u32> = Exchange::new(2);
+            ex.send(0, 1, round, 10);
+            clean_inboxes.push(ex.finish(&dg, PhaseDir::Reduce, &mut clean));
+        }
+        // Masking: delivery is exactly what the fault-free run sees.
+        assert_eq!(lossy_inboxes, clean_inboxes);
+        assert_eq!(lossy.bytes, clean.bytes, "base wire accounting unchanged");
+        // At p = 0.4 over 40 rounds, some payload drops must have fired,
+        // each costing a retransmission and a backoff stall.
+        assert!(link.recovery.drops > 0, "{:?}", link.recovery);
+        assert!(link.recovery.retransmissions >= link.recovery.drops);
+        assert!(lossy.retry_bytes > 40 * ACK_BYTES);
+        assert!(lossy.stall_rounds > 0);
+        assert_eq!(link.recovery.stall_rounds, lossy.stall_rounds as u64);
+    }
+
+    #[test]
+    fn reliable_link_is_deterministic() {
+        let dg = two_host_dg();
+        let run = || {
+            let plan: mrbc_faults::FaultPlan =
+                "drop:p=0.3;dup:p=0.1;seed=99".parse().unwrap();
+            let session = FaultSession::new(plan);
+            let mut link = ReliableLink::new(&session, 2);
+            let mut comm = RoundComm::new(2);
+            for round in 1..=20u32 {
+                link.begin_round(round);
+                let mut ex: Exchange<u32> = Exchange::new(2);
+                ex.send(0, 1, round, 16);
+                ex.send(1, 0, round, 16);
+                ex.finish_reliable(&dg, PhaseDir::Broadcast, &mut comm, &mut link);
+            }
+            (link.recovery, comm.retry_bytes, comm.stall_rounds)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn straggler_delay_stalls_phase_by_the_slowest_pair() {
+        let dg = two_host_dg();
+        let plan: mrbc_faults::FaultPlan = "delay:pair=0-1,rounds=3".parse().unwrap();
+        let session = FaultSession::new(plan);
+        let mut link = ReliableLink::new(&session, 2);
+        link.begin_round(1);
+        let mut comm = RoundComm::new(2);
+        let mut ex: Exchange<u32> = Exchange::new(2);
+        ex.send(0, 1, 1, 8); // delayed pair
+        ex.send(1, 0, 2, 8); // also the delayed pair (bidirectional)
+        ex.finish_reliable(&dg, PhaseDir::Reduce, &mut comm, &mut link);
+        // Barrier semantics: the phase pays max(3, 3) = 3, not 6.
+        assert_eq!(comm.stall_rounds, 3);
     }
 
     #[test]

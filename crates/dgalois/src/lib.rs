@@ -45,6 +45,8 @@ mod partition;
 mod stats;
 mod topology;
 
+pub use bsp::{run_bsp, run_bsp_with_faults, BspProgram, FaultyBspRun, SyncScope};
+pub use comm::ReliableLink;
 pub use cost::CostModel;
 pub use partition::{partition, PartitionPolicy};
 pub use stats::{BspStats, RoundRecord};

@@ -78,8 +78,8 @@ pub fn partition(g: &CsrGraph, num_hosts: usize, policy: PartitionPolicy) -> Dis
             present.set(u as usize);
             present.set(v as usize);
         }
-        for gdx in 0..n {
-            if owner[gdx] as usize == h {
+        for (gdx, &o) in owner.iter().enumerate() {
+            if o as usize == h {
                 present.set(gdx);
             }
         }
@@ -124,8 +124,8 @@ fn blocked_owners(g: &CsrGraph, num_hosts: usize) -> Vec<HostId> {
     let per_host = total / num_hosts as f64;
     let mut acc = 0f64;
     let mut h = 0usize;
-    for v in 0..n {
-        owner[v] = h as HostId;
+    for (v, o) in owner.iter_mut().enumerate() {
+        *o = h as HostId;
         acc += (g.out_degree(v as VertexId) + 1) as f64;
         if acc >= per_host * (h + 1) as f64 && h + 1 < num_hosts {
             h += 1;
@@ -138,7 +138,7 @@ fn blocked_owners(g: &CsrGraph, num_hosts: usize) -> Vec<HostId> {
 /// `rows ≤ cols`.
 fn grid_shape(num_hosts: usize) -> (usize, usize) {
     let mut rows = (num_hosts as f64).sqrt() as usize;
-    while rows > 1 && num_hosts % rows != 0 {
+    while rows > 1 && !num_hosts.is_multiple_of(rows) {
         rows -= 1;
     }
     (rows.max(1), num_hosts / rows.max(1))
@@ -245,9 +245,9 @@ mod tests {
                 expect[mh as usize][dg.owner(v) as usize] += 1;
             }
         }
-        for a in 0..4 {
-            for b in 0..4 {
-                assert_eq!(dg.shared_proxies(a, b), expect[a][b]);
+        for (a, row) in expect.iter().enumerate() {
+            for (b, &want) in row.iter().enumerate() {
+                assert_eq!(dg.shared_proxies(a, b), want);
             }
         }
     }

@@ -68,6 +68,18 @@ impl BspStats {
         self.rounds.iter().flat_map(|r| r.work.iter()).sum()
     }
 
+    /// Total fault overhead bytes (retransmissions, acks, duplicates).
+    /// Zero on a fault-free run.
+    pub fn total_retry_bytes(&self) -> u64 {
+        self.rounds.iter().map(|r| r.comm.retry_bytes).sum()
+    }
+
+    /// Total rounds lost stalling on retransmission backoff / stragglers.
+    /// Zero on a fault-free run.
+    pub fn total_stall_rounds(&self) -> u64 {
+        self.rounds.iter().map(|r| r.comm.stall_rounds as u64).sum()
+    }
+
     /// Computation time: `Σ_rounds max_host(work) · unit_cost` — the
     /// "maximum across hosts" convention the paper uses (Section 5.3).
     pub fn computation_time(&self, cost: &CostModel) -> f64 {
@@ -95,7 +107,12 @@ impl BspStats {
                             + r.comm.msgs_per_host[h] as f64 * cost.msg_latency_sec
                     })
                     .fold(0.0, f64::max);
-                cost.round_overhead_sec + cost.barrier(self.num_hosts) + worst
+                // Fault overhead: the barrier re-pays the round overhead
+                // for every stall round, and retry traffic rides the wire
+                // of the blocking link. Both are zero on fault-free runs.
+                let fault = r.comm.stall_rounds as f64 * cost.round_overhead_sec
+                    + r.comm.retry_bytes as f64 / cost.bandwidth_bytes_per_sec;
+                cost.round_overhead_sec + cost.barrier(self.num_hosts) + worst + fault
             })
             .sum()
     }
@@ -130,7 +147,7 @@ impl BspStats {
     pub fn write_csv(&self, mut w: impl std::io::Write) -> std::io::Result<()> {
         writeln!(
             w,
-            "round,total_work,max_host_work,bytes,messages,sync_items,imbalance"
+            "round,total_work,max_host_work,bytes,messages,sync_items,imbalance,retry_bytes,stall_rounds"
         )?;
         for (i, r) in self.rounds.iter().enumerate() {
             let total: u64 = r.work.iter().sum();
@@ -138,14 +155,16 @@ impl BspStats {
             let work_f: Vec<f64> = r.work.iter().map(|&x| x as f64).collect();
             writeln!(
                 w,
-                "{},{},{},{},{},{},{:.4}",
+                "{},{},{},{},{},{},{:.4},{},{}",
                 i + 1,
                 total,
                 max,
                 r.comm.bytes,
                 r.comm.messages,
                 r.comm.items,
-                imbalance_ratio(&work_f)
+                imbalance_ratio(&work_f),
+                r.comm.retry_bytes,
+                r.comm.stall_rounds
             )?;
         }
         Ok(())
@@ -226,6 +245,30 @@ mod tests {
         assert_eq!(lines.len(), 3, "header + 2 rounds");
         assert!(lines[0].starts_with("round,"));
         assert!(lines[1].starts_with("1,4,3,64,1,"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn fault_overhead_totals_and_time_penalty() {
+        let mut clean = BspStats::new(2);
+        clean.record_round(vec![1, 1], comm2(100, 1));
+        let mut faulty = BspStats::new(2);
+        let mut c = comm2(100, 1);
+        c.retry_bytes = 300;
+        c.stall_rounds = 4;
+        faulty.record_round(vec![1, 1], c);
+        assert_eq!(clean.total_retry_bytes(), 0);
+        assert_eq!(faulty.total_retry_bytes(), 300);
+        assert_eq!(faulty.total_stall_rounds(), 4);
+        let cost = CostModel::default();
+        assert!(
+            faulty.communication_time(&cost) > clean.communication_time(&cost),
+            "stalls and retries must show up in modeled time"
+        );
+        // CSV rows carry the overhead columns at the end.
+        let mut buf = Vec::new();
+        faulty.write_csv(&mut buf).expect("csv");
+        let text = String::from_utf8(buf).expect("utf8");
+        assert!(text.lines().nth(1).expect("row").ends_with(",300,4"), "{text}");
     }
 
     #[test]

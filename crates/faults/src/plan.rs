@@ -1,0 +1,267 @@
+//! The FaultPlan DSL.
+//!
+//! A plan is a `;`-separated list of clauses:
+//!
+//! ```text
+//! crash:host=2@round=40      host 2 fail-stops at the end of round 40
+//! drop:p=0.01                each transmission is lost with probability 0.01
+//! dup:p=0.005                each delivery is duplicated with probability 0.005
+//! delay:pair=0-3,rounds=2    the 0↔3 link straggles 2 extra rounds per message
+//! seed=42                    RNG seed for the probabilistic clauses
+//! ```
+//!
+//! Clauses may repeat (`crash` and `delay` accumulate; `drop`/`dup`/`seed`
+//! take the last occurrence). Whitespace around clauses is ignored.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One fail-stop crash: `host` dies at the end of `round`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashFault {
+    /// The host (or, in the CONGEST interpretation, the vertex) that dies.
+    pub host: usize,
+    /// The 1-based round at whose end the crash fires.
+    pub round: u32,
+}
+
+/// A straggler rule: every message between the two endpoints stalls the
+/// sender an extra `rounds` rounds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DelayFault {
+    /// One endpoint of the slow link.
+    pub a: usize,
+    /// The other endpoint (the rule applies in both directions).
+    pub b: usize,
+    /// Extra rounds of latency per message on this link.
+    pub rounds: u32,
+}
+
+/// A declarative, seeded description of the faults to inject into a run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the probabilistic clauses (`drop`, `dup`).
+    pub seed: u64,
+    /// Fail-stop crashes, in clause order.
+    pub crashes: Vec<CrashFault>,
+    /// Per-transmission drop probability in `[0, 1)`.
+    pub drop_p: f64,
+    /// Per-delivery duplication probability in `[0, 1)`.
+    pub dup_p: f64,
+    /// Straggler links.
+    pub delays: Vec<DelayFault>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            crashes: Vec::new(),
+            drop_p: 0.0,
+            dup_p: 0.0,
+            delays: Vec::new(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// True if the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty() && self.drop_p == 0.0 && self.dup_p == 0.0 && self.delays.is_empty()
+    }
+
+    /// True if the plan contains only masked faults (drops, duplication,
+    /// delays) — faults a reliable delivery layer hides completely, so
+    /// results must be bitwise-identical to a fault-free run.
+    pub fn is_maskable(&self) -> bool {
+        self.crashes.is_empty()
+    }
+}
+
+/// Error from parsing a fault-plan string; carries a human-readable
+/// description of the offending clause.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultParseError(pub String);
+
+impl fmt::Display for FaultParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid fault plan: {}", self.0)
+    }
+}
+
+impl std::error::Error for FaultParseError {}
+
+fn err(msg: impl Into<String>) -> FaultParseError {
+    FaultParseError(msg.into())
+}
+
+/// Splits `kv` at `=` and parses the value, checking the expected key.
+fn keyed<T: FromStr>(kv: &str, key: &str) -> Result<T, FaultParseError> {
+    let (k, v) = kv
+        .split_once('=')
+        .ok_or_else(|| err(format!("expected {key}=<value>, got {kv:?}")))?;
+    if k.trim() != key {
+        return Err(err(format!("expected key {key:?}, got {:?}", k.trim())));
+    }
+    v.trim()
+        .parse()
+        .map_err(|_| err(format!("cannot parse {key} value {:?}", v.trim())))
+}
+
+fn parse_probability(kv: &str) -> Result<f64, FaultParseError> {
+    let p: f64 = keyed(kv, "p")?;
+    if !(0.0..1.0).contains(&p) {
+        return Err(err(format!("probability {p} outside [0, 1)")));
+    }
+    Ok(p)
+}
+
+impl FromStr for FaultPlan {
+    type Err = FaultParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut plan = FaultPlan::default();
+        for clause in s.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            if let Some(seed) = clause.strip_prefix("seed=") {
+                plan.seed = seed
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(format!("cannot parse seed {:?}", seed.trim())))?;
+                continue;
+            }
+            let (kind, body) = clause
+                .split_once(':')
+                .ok_or_else(|| err(format!("clause {clause:?} has no kind (expected kind:args)")))?;
+            match kind.trim() {
+                "crash" => {
+                    // crash:host=H@round=R
+                    let (host_kv, round_kv) = body
+                        .split_once('@')
+                        .ok_or_else(|| err(format!("crash clause {body:?}: expected host=H@round=R")))?;
+                    plan.crashes.push(CrashFault {
+                        host: keyed(host_kv, "host")?,
+                        round: keyed(round_kv, "round")?,
+                    });
+                }
+                "drop" => plan.drop_p = parse_probability(body)?,
+                "dup" => plan.dup_p = parse_probability(body)?,
+                "delay" => {
+                    // delay:pair=A-B,rounds=K
+                    let (pair_kv, rounds_kv) = body.split_once(',').ok_or_else(|| {
+                        err(format!("delay clause {body:?}: expected pair=A-B,rounds=K"))
+                    })?;
+                    let pair: String = keyed(pair_kv, "pair")?;
+                    let (a, b) = pair
+                        .split_once('-')
+                        .ok_or_else(|| err(format!("pair {pair:?}: expected A-B")))?;
+                    plan.delays.push(DelayFault {
+                        a: a.parse().map_err(|_| err(format!("bad pair endpoint {a:?}")))?,
+                        b: b.parse().map_err(|_| err(format!("bad pair endpoint {b:?}")))?,
+                        rounds: keyed(rounds_kv, "rounds")?,
+                    });
+                }
+                other => return Err(err(format!("unknown fault kind {other:?}"))),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    /// Renders the plan back into the DSL (parse ∘ display is identity on
+    /// the normalized form).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts: Vec<String> = Vec::new();
+        for c in &self.crashes {
+            parts.push(format!("crash:host={}@round={}", c.host, c.round));
+        }
+        if self.drop_p > 0.0 {
+            parts.push(format!("drop:p={}", self.drop_p));
+        }
+        if self.dup_p > 0.0 {
+            parts.push(format!("dup:p={}", self.dup_p));
+        }
+        for d in &self.delays {
+            parts.push(format!("delay:pair={}-{},rounds={}", d.a, d.b, d.rounds));
+        }
+        parts.push(format!("seed={}", self.seed));
+        write!(f, "{}", parts.join(";"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_reference_example() {
+        let plan: FaultPlan = "crash:host=2@round=40;drop:p=0.01;delay:pair=0-3,rounds=2;seed=42"
+            .parse()
+            .expect("reference plan");
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.crashes, vec![CrashFault { host: 2, round: 40 }]);
+        assert_eq!(plan.drop_p, 0.01);
+        assert_eq!(plan.dup_p, 0.0);
+        assert_eq!(
+            plan.delays,
+            vec![DelayFault { a: 0, b: 3, rounds: 2 }]
+        );
+        assert!(!plan.is_empty());
+        assert!(!plan.is_maskable());
+    }
+
+    #[test]
+    fn repeated_clauses_accumulate() {
+        let plan: FaultPlan = "crash:host=0@round=5;crash:host=1@round=9;dup:p=0.5"
+            .parse()
+            .expect("plan");
+        assert_eq!(plan.crashes.len(), 2);
+        assert_eq!(plan.dup_p, 0.5);
+        assert!(!plan.is_maskable());
+    }
+
+    #[test]
+    fn whitespace_and_empty_clauses_are_tolerated() {
+        let plan: FaultPlan = " drop:p=0.25 ; ; seed=7 ".parse().expect("plan");
+        assert_eq!(plan.drop_p, 0.25);
+        assert_eq!(plan.seed, 7);
+        assert!(plan.is_maskable());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let text = "crash:host=2@round=40;drop:p=0.01;dup:p=0.005;delay:pair=0-3,rounds=2;seed=42";
+        let plan: FaultPlan = text.parse().expect("plan");
+        assert_eq!(plan.to_string(), text);
+        let again: FaultPlan = plan.to_string().parse().expect("round trip");
+        assert_eq!(again, plan);
+    }
+
+    #[test]
+    fn bad_plans_are_rejected_with_context() {
+        for (text, needle) in [
+            ("drop:p=1.5", "outside"),
+            ("drop:q=0.1", "expected key"),
+            ("teleport:p=0.1", "unknown fault kind"),
+            ("crash:host=1", "host=H@round=R"),
+            ("delay:pair=0-1", "rounds"),
+            ("delay:pair=01,rounds=2", "A-B"),
+            ("seed=banana", "seed"),
+            ("justaword", "no kind"),
+        ] {
+            let got = text.parse::<FaultPlan>().expect_err(text);
+            assert!(got.0.contains(needle), "{text}: {got:?} missing {needle:?}");
+        }
+    }
+
+    #[test]
+    fn empty_string_is_the_empty_plan() {
+        let plan: FaultPlan = "".parse().expect("empty");
+        assert!(plan.is_empty());
+        assert!(plan.is_maskable());
+    }
+}

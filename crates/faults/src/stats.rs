@@ -1,0 +1,131 @@
+//! Recovery-overhead accounting.
+
+use std::fmt;
+
+/// The cost of surviving the injected faults, filled in by the reliable
+/// delivery layer and the checkpointing executor. Everything here is
+/// *overhead relative to the fault-free run*: a plan that injects nothing
+/// leaves every field zero.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Data transmissions lost in the network.
+    pub drops: u64,
+    /// Acknowledgements lost (the data arrived, but the sender timed out
+    /// and resent anyway).
+    pub ack_drops: u64,
+    /// Spurious duplicate deliveries suppressed by sequence numbers.
+    pub duplicates: u64,
+    /// Payload retransmissions performed by the reliable layer.
+    pub retransmissions: u64,
+    /// Extra bytes on the wire: resent payloads, acks, duplicates.
+    pub retry_bytes: u64,
+    /// Extra rounds spent in retransmission backoff and straggler stalls
+    /// (per BSP round, the slowest host pair's stall — the barrier waits
+    /// for it).
+    pub stall_rounds: u64,
+    /// Host crashes that fired.
+    pub crashes: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Bytes snapshotted into checkpoints.
+    pub checkpoint_bytes: u64,
+    /// Rollbacks to a checkpoint.
+    pub rollbacks: u64,
+    /// Rounds re-executed during rollback replay.
+    pub rounds_replayed: u64,
+    /// Crashes absorbed by the Phoenix-style self-correcting fast path
+    /// (state reinitialized in place, no rollback).
+    pub phoenix_restarts: u64,
+}
+
+impl RecoveryStats {
+    /// True if no fault fired and no recovery machinery ran.
+    pub fn is_clean(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Accumulates another phase's overhead into this one.
+    pub fn merge(&mut self, other: &RecoveryStats) {
+        self.drops += other.drops;
+        self.ack_drops += other.ack_drops;
+        self.duplicates += other.duplicates;
+        self.retransmissions += other.retransmissions;
+        self.retry_bytes += other.retry_bytes;
+        self.stall_rounds += other.stall_rounds;
+        self.crashes += other.crashes;
+        self.checkpoints += other.checkpoints;
+        self.checkpoint_bytes += other.checkpoint_bytes;
+        self.rollbacks += other.rollbacks;
+        self.rounds_replayed += other.rounds_replayed;
+        self.phoenix_restarts += other.phoenix_restarts;
+    }
+}
+
+impl fmt::Display for RecoveryStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fault overhead: {} drops + {} lost acks + {} duplicates -> {} retransmissions, {} retry bytes, {} stall rounds",
+            self.drops,
+            self.ack_drops,
+            self.duplicates,
+            self.retransmissions,
+            self.retry_bytes,
+            self.stall_rounds,
+        )?;
+        write!(
+            f,
+            "recovery: {} crashes, {} checkpoints ({} bytes), {} rollbacks ({} rounds replayed), {} phoenix restarts",
+            self.crashes,
+            self.checkpoints,
+            self.checkpoint_bytes,
+            self.rollbacks,
+            self.rounds_replayed,
+            self.phoenix_restarts,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_fieldwise() {
+        let mut a = RecoveryStats {
+            drops: 1,
+            retry_bytes: 100,
+            stall_rounds: 3,
+            ..RecoveryStats::default()
+        };
+        let b = RecoveryStats {
+            drops: 2,
+            crashes: 1,
+            rollbacks: 1,
+            rounds_replayed: 7,
+            ..RecoveryStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.drops, 3);
+        assert_eq!(a.retry_bytes, 100);
+        assert_eq!(a.stall_rounds, 3);
+        assert_eq!(a.crashes, 1);
+        assert_eq!(a.rounds_replayed, 7);
+        assert!(!a.is_clean());
+        assert!(RecoveryStats::default().is_clean());
+    }
+
+    #[test]
+    fn display_mentions_the_headline_numbers() {
+        let s = RecoveryStats {
+            drops: 5,
+            retransmissions: 4,
+            crashes: 2,
+            ..RecoveryStats::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("5 drops"), "{text}");
+        assert!(text.contains("4 retransmissions"), "{text}");
+        assert!(text.contains("2 crashes"), "{text}");
+    }
+}

@@ -374,8 +374,8 @@ mod tests {
             .build();
         let (parent, children) = undirected_bfs_tree(&g, 0);
         assert_eq!(parent[0], 0);
-        for v in 1..5 {
-            assert_ne!(parent[v], VertexId::MAX, "vertex {v} not in tree");
+        for (v, &pv) in parent.iter().enumerate().skip(1) {
+            assert_ne!(pv, VertexId::MAX, "vertex {v} not in tree");
         }
         // children lists and parent pointers must agree.
         for v in 0..5u32 {

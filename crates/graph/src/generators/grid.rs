@@ -52,13 +52,13 @@ pub fn grid_road_network(config: RoadNetworkConfig, seed: u64) -> CsrGraph {
     for y in 0..h {
         for x in 0..w {
             if x + 1 < w {
-                let keep = y == 0 || rng.gen_range(0..1000) >= config.removal_per_mille;
+                let keep = y == 0 || rng.gen_range(0..1000u32) >= config.removal_per_mille;
                 if keep {
                     b = b.undirected_edge(id(x, y), id(x + 1, y));
                 }
             }
             if y + 1 < h {
-                let keep = x == 0 || rng.gen_range(0..1000) >= config.removal_per_mille;
+                let keep = x == 0 || rng.gen_range(0..1000u32) >= config.removal_per_mille;
                 if keep {
                     b = b.undirected_edge(id(x, y), id(x, y + 1));
                 }

@@ -65,8 +65,8 @@ fn main() {
     for &s in fin.sources_sorted.iter().take(5) {
         let (_, sigma) = algo::bfs_sigma(&g, s);
         let j = fin.sources_sorted.iter().position(|&x| x == s).unwrap();
-        for v in 0..n {
-            assert!((fin.sigma[j][v] - sigma[v]).abs() < 1e-9 * sigma[v].max(1.0));
+        for (v, &sig) in sigma.iter().enumerate() {
+            assert!((fin.sigma[j][v] - sig).abs() < 1e-9 * sig.max(1.0));
         }
     }
     println!("verified shortest-path counts (σ) on 5 sources.");

@@ -1,0 +1,99 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides the `deque::{Injector, Steal}` subset used by the
+//! asynchronous BC worklist. The lock-free Chase–Lev deque is replaced by
+//! a mutex-guarded `VecDeque` — contention characteristics differ, but
+//! the blocking semantics match and the simulation's modeled times never
+//! measure queue throughput.
+
+/// Work-stealing deque types.
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Result of a steal attempt, matching crossbeam's three-way answer.
+    pub enum Steal<T> {
+        /// Got a task.
+        Success(T),
+        /// Queue was empty.
+        Empty,
+        /// Transient contention; try again.
+        Retry,
+    }
+
+    /// A FIFO injector queue shared by all workers.
+    pub struct Injector<T> {
+        q: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// New empty queue.
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Self {
+            Self {
+                q: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Enqueues a task.
+        pub fn push(&self, task: T) {
+            self.q.lock().expect("injector poisoned").push_back(task);
+        }
+
+        /// Attempts to take one task.
+        pub fn steal(&self) -> Steal<T> {
+            match self.q.try_lock() {
+                Ok(mut q) => match q.pop_front() {
+                    Some(t) => Steal::Success(t),
+                    None => Steal::Empty,
+                },
+                Err(std::sync::TryLockError::WouldBlock) => Steal::Retry,
+                Err(std::sync::TryLockError::Poisoned(_)) => panic!("injector poisoned"),
+            }
+        }
+
+        /// True if no tasks are queued.
+        pub fn is_empty(&self) -> bool {
+            self.q.lock().expect("injector poisoned").is_empty()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Injector, Steal};
+
+    #[test]
+    fn push_steal_fifo() {
+        let inj = Injector::new();
+        inj.push(1);
+        inj.push(2);
+        assert!(matches!(inj.steal(), Steal::Success(1)));
+        assert!(matches!(inj.steal(), Steal::Success(2)));
+        assert!(matches!(inj.steal(), Steal::Empty));
+        assert!(inj.is_empty());
+    }
+
+    #[test]
+    fn concurrent_workers_drain_queue() {
+        let inj = Injector::new();
+        for i in 0..1000 {
+            inj.push(i);
+        }
+        let count = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| loop {
+                    match inj.steal() {
+                        Steal::Success(_) => {
+                            count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        Steal::Retry => std::hint::spin_loop(),
+                        Steal::Empty => break,
+                    }
+                });
+            }
+        });
+        assert_eq!(count.load(std::sync::atomic::Ordering::Relaxed), 1000);
+    }
+}

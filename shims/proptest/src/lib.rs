@@ -1,0 +1,418 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset of proptest used by its test suites: the
+//! [`Strategy`] trait with `prop_map`/`prop_flat_map`, range / tuple /
+//! collection strategies, `proptest::bool::ANY`, and the [`proptest!`] /
+//! [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! Differences from upstream, all acceptable for this repository's use:
+//!
+//! * **No shrinking** — a failing case reports its generated inputs (via
+//!   `Debug` in the assertion message) but is not minimized.
+//! * **Deterministic seeds** — case `i` of every test derives from a
+//!   fixed constant mixed with `i`, so failures always reproduce; the
+//!   `PROPTEST_CASES` environment variable still overrides case counts.
+//! * **No persistence** — `*.proptest-regressions` files are ignored.
+
+/// Deterministic per-case RNG (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// RNG for the `case`-th execution of a property.
+    pub fn for_case(case: u64) -> Self {
+        TestRng(0x243f_6a88_85a3_08d3 ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "cannot sample an empty range");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// Test-runner configuration (the `cases` knob is the only one used).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+
+    /// Case count after applying the `PROPTEST_CASES` env override.
+    pub fn effective_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.cases)
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the full workspace suite
+        // fast while still exercising plenty of shapes per property.
+        Self { cases: 64 }
+    }
+}
+
+/// A value generator. Upstream proptest separates strategies from value
+/// trees (for shrinking); without shrinking a strategy is just a seeded
+/// generation function.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` returns —
+    /// for dependent inputs (e.g. a size, then edges bounded by it).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy adapter for [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Strategy adapter for [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.new_value(rng)).new_value(rng)
+    }
+}
+
+/// Constant strategy.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+
+/// Boolean strategies.
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Uniform boolean strategy type.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Uniform boolean strategy (`proptest::bool::ANY`).
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn new_value(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Generated-size strategy for `Vec<S::Value>`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// `Vec` strategy with a size drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.clone().new_value(rng);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// Generated-size strategy for `BTreeSet<S::Value>`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// `BTreeSet` strategy; like upstream, duplicate draws shrink the set
+    /// below the drawn size.
+    pub fn btree_set<S>(element: S, size: core::ops::Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.clone().new_value(rng);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property test module needs.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Property failure: `Err` carries the rendered assertion message.
+pub type TestCaseResult = Result<(), String>;
+
+/// Fails the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                format!("prop_assert failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Fails the current property case unless the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs == rhs) {
+            return ::core::result::Result::Err(
+                format!("prop_assert_eq failed: {:?} != {:?}", lhs, rhs));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs == rhs) {
+            return ::core::result::Result::Err(
+                format!("prop_assert_eq failed: {:?} != {:?}: {}", lhs, rhs,
+                        format!($($fmt)*)));
+        }
+    }};
+}
+
+/// Fails the current property case if the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if lhs == rhs {
+            return ::core::result::Result::Err(
+                format!("prop_assert_ne failed: both {:?}", lhs));
+        }
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over seeded random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)
+     $($(#[$meta:meta])*
+       fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::ProptestConfig::effective_cases(&$cfg);
+                for case in 0..cases as u64 {
+                    let mut rng = $crate::TestRng::for_case(case);
+                    $(let $arg = $crate::Strategy::new_value(&($strat), &mut rng);)+
+                    let outcome: $crate::TestCaseResult = (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    if let ::core::result::Result::Err(msg) = outcome {
+                        panic!(
+                            "property {} failed at case {case}/{cases}: {msg}",
+                            stringify!($name),
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in 0usize..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y <= 4, "y = {y}");
+        }
+
+        #[test]
+        fn vec_sizes_respect_range(v in crate::collection::vec(0u8..10, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&b| b < 10));
+        }
+
+        #[test]
+        fn flat_map_dependent_generation(
+            pair in (2usize..10).prop_flat_map(|n| (Just(n), 0usize..n)),
+        ) {
+            let (n, i) = pair;
+            prop_assert!(i < n);
+        }
+
+        #[test]
+        fn tuples_and_bool_any(t in (0u16..5, crate::bool::ANY, 1u64..3)) {
+            let (a, _b, c) = t;
+            prop_assert!(a < 5);
+            prop_assert_eq!(c.clamp(1, 2), c);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a = crate::TestRng::for_case(9).next_u64();
+        let b = crate::TestRng::for_case(9).next_u64();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "property always_fails failed")]
+    fn failures_panic_with_case_info() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(1))]
+            fn always_fails(x in 0u8..1) {
+                prop_assert!(x > 200, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}

@@ -39,6 +39,7 @@
 //! | distributed substrate | [`mrbc_dgalois`] | partitioners, proxies, Gluon-style sync accounting, BSP stats, cost model |
 //! | CONGEST substrate | [`mrbc_congest`] | synchronous round engine with message/bit accounting |
 //! | graphs | [`mrbc_graph`] | CSR graphs, generators, traversals, sampling, I/O |
+//! | fault injection | [`mrbc_faults`] | seeded fault plans, recovery-overhead ledger |
 //! | support | [`mrbc_util`] | bitsets, flat maps, statistics |
 //!
 //! See `DESIGN.md` for the system inventory and the per-experiment index,
@@ -51,6 +52,7 @@ pub use mrbc_analytics as analytics;
 pub use mrbc_congest as congest;
 pub use mrbc_core::{bc, Algorithm, BcConfig, BcResult};
 pub use mrbc_dgalois as dgalois;
+pub use mrbc_faults as faults;
 pub use mrbc_graph as graph;
 pub use mrbc_util as util;
 
@@ -60,6 +62,7 @@ pub mod prelude {
         bc, brandes, postprocess, tune_batch_size, weighted, Algorithm, BcConfig, BcResult,
     };
     pub use mrbc_dgalois::{partition, BspStats, CostModel, DistGraph, PartitionPolicy};
+    pub use mrbc_faults::{FaultPlan, FaultSession, RecoveryStats};
     pub use mrbc_graph::generators::{
         self, KroneckerConfig, RmatConfig, RoadNetworkConfig, WebCrawlConfig,
     };

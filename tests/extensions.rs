@@ -26,9 +26,13 @@ fn weighted_bc_agrees_across_sequential_and_parallel() {
 
 #[test]
 fn tuner_agrees_with_exhaustive_sweep() {
+    // A decisively long tail: at tail_length 60 the 12-vs-24 margin is
+    // ~0.05% and flips with the RNG stream behind the generated crawl;
+    // at 120 the batch-24 win is ~40%, making the paper-shape assertion
+    // below robust to generator details.
     let g = generators::web_crawl(
         WebCrawlConfig {
-            tail_length: 60,
+            tail_length: 120,
             ..WebCrawlConfig::new(800)
         },
         9,
@@ -78,11 +82,11 @@ fn analytics_share_one_partition() {
     let wg = WeightedCsrGraph::unit(&g);
     let sp = sssp(&wg, &dg, 0);
     let bfs = algo::bfs_distances(&g, 0);
-    for v in 0..g.num_vertices() {
-        let want = if bfs[v] == mrbc_graph::INF_DIST {
+    for (v, &d) in bfs.iter().enumerate() {
+        let want = if d == mrbc_graph::INF_DIST {
             mrbc_graph::weighted::INF_WDIST
         } else {
-            bfs[v] as u64
+            d as u64
         };
         assert_eq!(sp.dist[v], want);
     }

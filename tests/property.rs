@@ -58,8 +58,8 @@ proptest! {
         for (j, &s) in out.sources_sorted.iter().enumerate() {
             let (d, sig) = algo::bfs_sigma(&g, s);
             prop_assert_eq!(&out.dist[j], &d);
-            for v in 0..n {
-                prop_assert!((out.sigma[j][v] - sig[v]).abs() < 1e-9 * sig[v].max(1.0));
+            for (v, &want) in sig.iter().enumerate() {
+                prop_assert!((out.sigma[j][v] - want).abs() < 1e-9 * want.max(1.0));
             }
         }
     }
@@ -159,5 +159,64 @@ proptest! {
             (total - expect).abs() < 1e-6 * expect.max(1.0),
             "Σ BC = {total}, Σ (d(s,t) − 1) = {expect}"
         );
+    }
+}
+
+/// An arbitrary *maskable* fault plan (drops, duplication, stragglers —
+/// no crashes) over a fixed host count.
+fn arb_maskable_plan(hosts: usize) -> impl Strategy<Value = FaultPlan> {
+    (
+        0u32..400,  // drop probability, in permille
+        0u32..200,  // duplication probability, in permille
+        proptest::collection::vec((0..hosts, 0..hosts, 1u32..4), 0..3),
+        0u64..1_000_000,
+    )
+        .prop_map(|(drop_pm, dup_pm, delays, seed)| FaultPlan {
+            seed,
+            crashes: Vec::new(),
+            drop_p: drop_pm as f64 / 1000.0,
+            dup_p: dup_pm as f64 / 1000.0,
+            delays: delays
+                .into_iter()
+                .map(|(a, b, rounds)| mrbc::faults::DelayFault { a, b, rounds })
+                .collect(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The reliable-delivery layer masks *any* plan of drops, duplicates,
+    /// and delays completely: BC scores are bitwise-identical to the
+    /// fault-free run and the logical round structure is untouched — the
+    /// faults only show up as overhead in the recovery ledger.
+    #[test]
+    fn prop_maskable_faults_never_change_bc(
+        g in arb_graph(30),
+        hosts in 2usize..5,
+        batch in 1usize..6,
+        plan in arb_maskable_plan(4),
+        seed in 0u64..1000,
+    ) {
+        prop_assert!(plan.is_maskable(), "plan built without crashes");
+        let n = g.num_vertices();
+        let sources = sample::uniform_sources(n, (n / 2).max(1), seed);
+        let dg = partition(&g, hosts, PartitionPolicy::CartesianVertexCut);
+        let clean = dist_mrbc::mrbc_bc(&g, &dg, &sources, batch);
+        let opts = dist_mrbc::MrbcOptions {
+            batch_size: batch,
+            ..dist_mrbc::MrbcOptions::default()
+        };
+        let session = FaultSession::new(plan);
+        let (faulty, recovery) =
+            dist_mrbc::mrbc_bc_with_faults(&g, &dg, &sources, &opts, &session);
+        // Bitwise, not approximate: masking means the program never
+        // observes the faults.
+        prop_assert_eq!(clean.bc, faulty.bc);
+        prop_assert_eq!(clean.stats.num_rounds(), faulty.stats.num_rounds());
+        prop_assert_eq!(clean.stats.total_bytes(), faulty.stats.total_bytes());
+        // No crash machinery may run for a maskable plan.
+        prop_assert_eq!(recovery.crashes, 0);
+        prop_assert_eq!(recovery.rollbacks, 0);
     }
 }
