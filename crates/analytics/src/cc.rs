@@ -196,7 +196,10 @@ mod tests {
         let plan = "crash:host=2@round=3;drop:p=0.1;seed=6".parse().unwrap();
         let session = FaultSession::new(plan);
         let (got, recovery) = connected_components_with_faults(&g, &dg, &session, 5);
-        assert_eq!(clean.labels, got.labels, "Phoenix must reach the same fixpoint");
+        assert_eq!(
+            clean.labels, got.labels,
+            "Phoenix must reach the same fixpoint"
+        );
         assert_eq!(clean.num_components, got.num_components);
         assert_eq!(recovery.crashes, 1);
         assert_eq!(recovery.phoenix_restarts, 1);

@@ -166,7 +166,8 @@ impl BspProgram for PrProgram {
         self.iterations = aux[0] as u32;
         self.converged = aux[1] != 0;
         self.prev.clear();
-        self.prev.extend(aux[2..].iter().map(|&b| f64::from_bits(b)));
+        self.prev
+            .extend(aux[2..].iter().map(|&b| f64::from_bits(b)));
     }
 }
 
@@ -287,7 +288,10 @@ mod tests {
         let dg = partition(&g, 2, PartitionPolicy::BlockedEdgeCut);
         let out = pagerank(&g, &dg, &PageRankConfig::default());
         for &r in &out.ranks {
-            assert!((r - 0.1).abs() < 1e-6, "cycle rank should be uniform, got {r}");
+            assert!(
+                (r - 0.1).abs() < 1e-6,
+                "cycle rank should be uniform, got {r}"
+            );
         }
     }
 

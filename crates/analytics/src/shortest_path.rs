@@ -3,7 +3,7 @@
 
 use mrbc_dgalois::bsp::{run_bsp, BspProgram};
 use mrbc_dgalois::{BspStats, DistGraph};
-use mrbc_graph::weighted::{WeightedCsrGraph, INF_WDIST, WDist};
+use mrbc_graph::weighted::{WDist, WeightedCsrGraph, INF_WDIST};
 use mrbc_graph::VertexId;
 use rayon::prelude::*;
 
@@ -46,7 +46,9 @@ impl BspProgram for BellmanFord {
         let offsets = topo.graph.raw_offsets();
         let mut w = 0;
         for &v in &self.frontier {
-            let Some(lv) = dg.local(host, v) else { continue };
+            let Some(lv) = dg.local(host, v) else {
+                continue;
+            };
             let dv = labels[v as usize];
             let lo = offsets[lv as usize];
             for (i, &lu) in topo.graph.out_neighbors(lv).iter().enumerate() {
@@ -119,7 +121,11 @@ pub fn sssp(wg: &WeightedCsrGraph, dg: &DistGraph, source: VertexId) -> SsspOutc
     let stats = run_bsp(dg, &mut prog, &mut dist, n as u32 + 1);
     // The final (empty-frontier) round only detects termination.
     let rounds = stats.num_rounds().saturating_sub(1);
-    SsspOutcome { dist, rounds, stats }
+    SsspOutcome {
+        dist,
+        rounds,
+        stats,
+    }
 }
 
 #[cfg(test)]

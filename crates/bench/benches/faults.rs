@@ -47,7 +47,9 @@ fn bench_checkpointed_pagerank(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("pagerank_rmat10_4hosts");
     group.sample_size(10);
-    group.bench_function("fault_free", |b| b.iter(|| black_box(pagerank(&g, &dg, &cfg))));
+    group.bench_function("fault_free", |b| {
+        b.iter(|| black_box(pagerank(&g, &dg, &cfg)))
+    });
     for interval in [2u32, 8] {
         let session = FaultSession::new(plan.clone());
         group.bench_function(format!("crash_recovery_ckpt_{interval}"), |b| {

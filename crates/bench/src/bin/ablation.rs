@@ -27,7 +27,12 @@ fn main() {
     let mut tbl = Table::new(
         "Ablation 1: delayed synchronization (MRBC, hosts at scale)",
         &[
-            "input", "mode", "sync items", "volume", "comm time", "saving",
+            "input",
+            "mode",
+            "sync items",
+            "volume",
+            "comm time",
+            "saving",
         ],
     );
     let mut savings = Vec::new();
@@ -64,7 +69,11 @@ fn main() {
                 items.to_string(),
                 bytes(vol),
                 secs(comm),
-                if mode == "delayed" { ratio(saving) } else { String::new() },
+                if mode == "delayed" {
+                    ratio(saving)
+                } else {
+                    String::new()
+                },
             ]);
         }
     }
@@ -80,7 +89,12 @@ fn main() {
     let mut tbl = Table::new(
         "Ablation 2: partition policy (MRBC, hosts at scale)",
         &[
-            "input", "policy", "replication", "volume", "imbalance", "exec time",
+            "input",
+            "policy",
+            "replication",
+            "volume",
+            "imbalance",
+            "exec time",
         ],
     );
     for w in suite::workloads() {

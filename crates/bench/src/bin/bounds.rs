@@ -13,10 +13,22 @@ fn main() {
     let mut tbl = Table::new(
         "Theorem 1 (I): directed APSP on strongly connected digraphs",
         &[
-            "n", "m", "D", "rounds", "min(2n,n+5D)", "messages", "mn+O(m)", "D found",
+            "n",
+            "m",
+            "D",
+            "rounds",
+            "min(2n,n+5D)",
+            "messages",
+            "mn+O(m)",
+            "D found",
         ],
     );
-    for (n, p, seed) in [(60usize, 0.12, 1u64), (100, 0.08, 2), (150, 0.05, 3), (200, 0.04, 4)] {
+    for (n, p, seed) in [
+        (60usize, 0.12, 1u64),
+        (100, 0.08, 2),
+        (150, 0.05, 3),
+        (200, 0.04, 4),
+    ] {
         let g = generators::random_strongly_connected(n, p, seed);
         let m = g.num_edges();
         let d = algo::exact_diameter(&g);
@@ -70,7 +82,16 @@ fn main() {
     // ---- Lemma 8 + Theorem 1 part II: k-SSP and BC doubling. ----
     let mut tbl = Table::new(
         "Lemma 8: k-SSP in k + H rounds; BC at most doubles rounds and messages",
-        &["n", "k", "H", "fwd rounds", "k+H+1", "bwd rounds", "fwd msgs", "mk"],
+        &[
+            "n",
+            "k",
+            "H",
+            "fwd rounds",
+            "k+H+1",
+            "bwd rounds",
+            "fwd msgs",
+            "mk",
+        ],
     );
     for (n, k, seed) in [(100usize, 8usize, 7u64), (150, 16, 8), (200, 32, 9)] {
         let g = generators::random_strongly_connected(n, 0.05, seed);
@@ -84,8 +105,14 @@ fn main() {
             .max()
             .copied()
             .unwrap_or(0);
-        assert!(out.forward.rounds <= k as u32 + h + 1, "Lemma 8 rounds violated");
-        assert!(out.backward.rounds <= out.forward.rounds + 1, "BC > 2x rounds");
+        assert!(
+            out.forward.rounds <= k as u32 + h + 1,
+            "Lemma 8 rounds violated"
+        );
+        assert!(
+            out.backward.rounds <= out.forward.rounds + 1,
+            "BC > 2x rounds"
+        );
         let mk = (g.num_edges() * k) as u64;
         assert!(out.forward.messages <= mk, "Lemma 8 messages violated");
         assert!(out.backward.messages <= mk, "BC messages > 2x bound");

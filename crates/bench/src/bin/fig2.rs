@@ -20,7 +20,12 @@ fn run_panel(title: &str, workloads: &[Workload], comm_ratios: &mut Vec<f64>) {
     let mut tbl = Table::new(
         title,
         &[
-            "input", "alg", "compute", "non-overlap comm", "exec", "volume",
+            "input",
+            "alg",
+            "compute",
+            "non-overlap comm",
+            "exec",
+            "volume",
         ],
     );
     for w in workloads {

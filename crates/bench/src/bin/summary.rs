@@ -8,14 +8,65 @@
 //! faster than Brandes BC."
 //!
 //! Run with: `cargo run --release -p mrbc-bench --bin summary`
+//! Pass `--json` to also emit a machine-readable `BENCH_summary.json`.
 
 use mrbc_bench::report::{ratio, Table};
 use mrbc_bench::suite;
 use mrbc_core::{bc, Algorithm, BcConfig};
 use mrbc_graph::sample;
+use mrbc_obs::json::JsonWriter;
 use mrbc_util::stats::geomean;
 
+struct Row {
+    name: &'static str,
+    rounds_reduction: f64,
+    comm_reduction: f64,
+    exec_speedup: f64,
+}
+
+/// Render the machine-readable summary document.
+fn to_json(rows: &[Row], rounds: f64, comm: f64, crawl: f64) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("schema");
+    w.string("mrbc-bench-summary-v1");
+    w.key("inputs");
+    w.begin_array();
+    for r in rows {
+        w.begin_object();
+        w.key("input");
+        w.string(r.name);
+        w.key("rounds_reduction");
+        w.float(r.rounds_reduction);
+        w.key("comm_reduction");
+        w.float(r.comm_reduction);
+        w.key("exec_speedup");
+        w.float(r.exec_speedup);
+        w.end_object();
+    }
+    w.end_array();
+    w.key("headline");
+    w.begin_object();
+    w.key("rounds_reduction_geomean");
+    w.float(rounds);
+    w.key("comm_reduction_geomean");
+    w.float(comm);
+    w.key("web_crawl_speedup_geomean");
+    w.float(crawl);
+    w.key("paper_rounds_reduction");
+    w.float(14.0);
+    w.key("paper_comm_reduction");
+    w.float(2.8);
+    w.key("paper_web_crawl_speedup");
+    w.float(2.1);
+    w.end_object();
+    w.end_object();
+    w.finish()
+}
+
 fn main() {
+    let json_out = std::env::args().any(|a| a == "--json");
+    let mut rows = Vec::new();
     let mut rounds_red = Vec::new();
     let mut comm_red = Vec::new();
     let mut crawl_speedups = Vec::new();
@@ -47,6 +98,12 @@ fn main() {
         if matches!(w.name, "gsh15" | "clueweb12") {
             crawl_speedups.push(speedup);
         }
+        rows.push(Row {
+            name: w.name,
+            rounds_reduction: r_red,
+            comm_reduction: c_red,
+            exec_speedup: speedup,
+        });
         tbl.row(vec![
             w.name.into(),
             ratio(r_red),
@@ -56,17 +113,23 @@ fn main() {
     }
     tbl.print();
 
+    let rounds = geomean(&rounds_red);
+    let comm = geomean(&comm_red);
+    let crawl = geomean(&crawl_speedups);
     println!("\nheadline averages (geomean) vs the paper:");
     println!(
         "  rounds reduction:     {:>7}   (paper: 14.0x)",
-        ratio(geomean(&rounds_red))
+        ratio(rounds)
     );
-    println!(
-        "  comm-time reduction:  {:>7}   (paper: 2.8x)",
-        ratio(geomean(&comm_red))
-    );
+    println!("  comm-time reduction:  {:>7}   (paper: 2.8x)", ratio(comm));
     println!(
         "  web-crawl speedup:    {:>7}   (paper: 2.1x on gsh15/clueweb12 at 256 hosts)",
-        ratio(geomean(&crawl_speedups))
+        ratio(crawl)
     );
+
+    if json_out {
+        let doc = to_json(&rows, rounds, comm, crawl);
+        std::fs::write("BENCH_summary.json", &doc).expect("write BENCH_summary.json");
+        println!("\nmachine-readable summary written to BENCH_summary.json");
+    }
 }

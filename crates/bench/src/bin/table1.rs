@@ -17,12 +17,20 @@ const PAPER_MRBC_ROUNDS: [f64; 8] = [2.7, 3.3, 1.4, 1_410.8, 3.5, 1.0, 4.4, 17.0
 fn main() {
     let mut props_tbl = Table::new(
         "Table 1 (top): inputs and their properties",
-        &["input", "stand-in", "|V|", "|E|", "max out", "max in", "#src", "est. D"],
+        &[
+            "input", "stand-in", "|V|", "|E|", "max out", "max in", "#src", "est. D",
+        ],
     );
     let mut rounds_tbl = Table::new(
         "Table 1 (bottom): rounds per source and load imbalance at scale",
         &[
-            "input", "SBBC rnds", "MRBC rnds", "reduction", "paper", "SBBC imb", "MRBC imb",
+            "input",
+            "SBBC rnds",
+            "MRBC rnds",
+            "reduction",
+            "paper",
+            "SBBC imb",
+            "MRBC imb",
         ],
     );
 

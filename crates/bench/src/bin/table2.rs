@@ -16,7 +16,15 @@ use mrbc_graph::sample;
 fn main() {
     let mut tbl = Table::new(
         "Table 2: execution time per source at the best host count",
-        &["input", "ABBC", "MFBC", "SBBC", "MRBC", "winner", "paper winner"],
+        &[
+            "input",
+            "ABBC",
+            "MFBC",
+            "SBBC",
+            "MRBC",
+            "winner",
+            "paper winner",
+        ],
     );
 
     // Winners in the paper's Table 2, per input.

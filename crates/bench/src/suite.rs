@@ -54,9 +54,7 @@ impl Workload {
                 self.seed,
             ),
             "rmat" => generators::rmat(RmatConfig::new(13, 16), self.seed),
-            "road" => {
-                generators::grid_road_network(RoadNetworkConfig::new(4, 1_000), self.seed)
-            }
+            "road" => generators::grid_road_network(RoadNetworkConfig::new(4, 1_000), self.seed),
             "rmat-dense" => generators::rmat(RmatConfig::new(12, 28), self.seed),
             "kron" => generators::kronecker(KroneckerConfig::new(14, 16), self.seed),
             "gsh-crawl" => generators::web_crawl(

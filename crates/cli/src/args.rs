@@ -61,6 +61,10 @@ pub fn parse(argv: &[String], switches: &[&str]) -> Result<ParsedArgs, ArgError>
                     .ok_or_else(|| ArgError::MissingValue(name.to_string()))?;
                 out.flags.insert(name.to_string(), value.clone());
             }
+        } else if tok.len() == 2 && tok.starts_with('-') && switches.contains(&&tok[1..]) {
+            // Declared short switches (`-v`); anything else starting with
+            // `-` stays positional for backward compatibility.
+            out.switches.push(tok[1..].to_string());
         } else {
             out.positional.push(tok.clone());
         }
@@ -102,7 +106,15 @@ mod tests {
     #[test]
     fn parses_command_positionals_flags_switches() {
         let p = parse(
-            &sv(&["bc", "graph.el", "--hosts", "8", "--verbose", "--algo", "mrbc"]),
+            &sv(&[
+                "bc",
+                "graph.el",
+                "--hosts",
+                "8",
+                "--verbose",
+                "--algo",
+                "mrbc",
+            ]),
             &["verbose"],
         )
         .expect("parse");
@@ -122,6 +134,16 @@ mod tests {
         assert!(p.get_or::<usize>("k", 0).is_ok());
         let bad = parse(&sv(&["x", "--k", "abc"]), &[]).expect("parse");
         assert!(bad.get_or::<usize>("k", 0).is_err());
+    }
+
+    #[test]
+    fn declared_short_switches_parse() {
+        let p = parse(&sv(&["bc", "g.el", "-v"]), &["v"]).expect("parse");
+        assert!(p.has("v"));
+        assert_eq!(p.positional, vec!["g.el"]);
+        // Undeclared single-dash tokens stay positional.
+        let p = parse(&sv(&["bc", "-x"]), &[]).expect("parse");
+        assert_eq!(p.positional, vec!["-x"]);
     }
 
     #[test]

@@ -29,7 +29,16 @@ USAGE:
                        [--faults PLAN] [--checkpoint K]
   mrbc cc <file> [--hosts H] [--faults PLAN] [--checkpoint K]
   mrbc sssp <file> [--hosts H] [--source V] [--max-weight W] [--seed X]
+  mrbc check-json <file>   validate an emitted --trace / --metrics document
   mrbc help
+
+OBSERVABILITY (any command):
+  --trace out.json    write a Chrome-trace / Perfetto timeline of the run
+  --metrics out.json  write a metrics snapshot (counters, histograms, and
+                      the Theorem 1 / Lemma 8 bound-probe report) and arm
+                      the online invariant probes
+  -v | --verbose      live progress line on stderr (round, frontier,
+                      sources settled, bytes)
 
 FAULT PLANS (--faults):
   Semicolon-separated clauses, e.g. \"crash:host=2@round=40;drop:p=0.01;seed=42\"
@@ -41,9 +50,13 @@ FAULT PLANS (--faults):
     seed=S                 deterministic fault stream seed
 ";
 
+/// Boolean switches `main` declares to the argument parser.
+pub const SWITCHES: &[&str] = &["v", "verbose"];
+
 /// Dispatches a parsed command line; returns the report to print.
 pub fn run(p: &ParsedArgs) -> Result<String, String> {
-    match p.command.as_str() {
+    let obs = ObsRun::begin(p);
+    let result = match p.command.as_str() {
         "generate" => cmd_generate(p),
         "info" => cmd_info(p),
         "bc" => cmd_bc(p),
@@ -52,8 +65,116 @@ pub fn run(p: &ParsedArgs) -> Result<String, String> {
         "pagerank" => cmd_pagerank(p),
         "cc" => cmd_cc(p),
         "sssp" => cmd_sssp(p),
+        "check-json" => cmd_check_json(p),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    };
+    obs.finish(result)
+}
+
+/// Per-invocation observability session: installs the global recorder
+/// when `--trace` / `--metrics` ask for it, arms the bound probes for
+/// metrics runs, and on completion writes the requested JSON exports.
+struct ObsRun {
+    trace: Option<String>,
+    metrics: Option<String>,
+    active: bool,
+}
+
+impl ObsRun {
+    fn begin(p: &ParsedArgs) -> Self {
+        let trace = p.get_str("trace").map(str::to_string);
+        let metrics = p.get_str("metrics").map(str::to_string);
+        let active = trace.is_some() || metrics.is_some();
+        if active {
+            mrbc_obs::install(&format!("mrbc {}", p.command));
+            // Metrics runs validate the paper's bounds online; the trace
+            // alone stays probe-free (probes cost oracle BFS time).
+            mrbc_obs::set_probes(metrics.is_some());
+        }
+        mrbc_obs::set_verbose(p.has("v") || p.has("verbose"));
+        ObsRun {
+            trace,
+            metrics,
+            active,
+        }
+    }
+
+    fn finish(self, result: Result<String, String>) -> Result<String, String> {
+        mrbc_obs::set_verbose(false);
+        if !self.active {
+            return result;
+        }
+        mrbc_obs::set_probes(false);
+        let rec = mrbc_obs::uninstall();
+        let mut out = result?;
+        let rec = rec.ok_or_else(|| {
+            "observability is compiled out (mrbc-obs feature \"record\" disabled); \
+             --trace/--metrics cannot export"
+                .to_string()
+        })?;
+        if let Some(path) = &self.trace {
+            std::fs::write(path, rec.to_chrome_trace_json())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            out += &format!(
+                "trace timeline written to {path} ({} events)\n",
+                rec.events().len()
+            );
+        }
+        if let Some(path) = &self.metrics {
+            std::fs::write(path, rec.to_metrics_json())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            out += &format!("metrics snapshot written to {path}\n");
+        }
+        Ok(out)
+    }
+}
+
+/// `mrbc check-json <file>`: re-parse an emitted export and verify its
+/// schema tag and shape — the hermetic validation step the CI smoke test
+/// runs on `--trace` / `--metrics` output.
+fn cmd_check_json(p: &ParsedArgs) -> Result<String, String> {
+    use mrbc_obs::json::{self, Value};
+    let path = p
+        .positional
+        .first()
+        .ok_or_else(|| "missing JSON file argument".to_string())?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let v = json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let metrics_tag = v.get("schema").and_then(Value::as_str);
+    let trace_tag = v
+        .get("otherData")
+        .and_then(|o| o.get("schema"))
+        .and_then(Value::as_str);
+    match (metrics_tag, trace_tag) {
+        (Some(json::METRICS_SCHEMA), _) => {
+            for key in ["counters", "gauges", "histograms"] {
+                if v.get(key).is_none() {
+                    return Err(format!("{path}: metrics document missing {key:?}"));
+                }
+            }
+            let mut s = format!("{path}: valid {} document\n", json::METRICS_SCHEMA);
+            if let Some(bounds) = v.get("bounds") {
+                match bounds.get("within_bounds").and_then(Value::as_bool) {
+                    Some(true) => s += "bound probes: all invariants hold\n",
+                    Some(false) => return Err(format!("{path}: bound probes report violations")),
+                    None => return Err(format!("{path}: malformed bounds report")),
+                }
+            }
+            Ok(s)
+        }
+        (_, Some(json::TRACE_SCHEMA)) => {
+            let events = v
+                .get("traceEvents")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| format!("{path}: trace document missing traceEvents"))?;
+            Ok(format!(
+                "{path}: valid {} document ({} events)\n",
+                json::TRACE_SCHEMA,
+                events.len()
+            ))
+        }
+        _ => Err(format!("{path}: unrecognized schema")),
     }
 }
 
@@ -68,12 +189,9 @@ pub fn build_graph(kind: &str, p: &ParsedArgs) -> Result<CsrGraph, String> {
         "rmat" => generators::rmat(RmatConfig::new(scale, ef), seed),
         "kron" => generators::kronecker(KroneckerConfig::new(scale, ef), seed),
         "ba" => generators::barabasi_albert(n, p.get_or("attach", 3usize)?, seed),
-        "ws" => generators::watts_strogatz(
-            n,
-            p.get_or("k", 2usize)?,
-            p.get_or("beta", 0.1f64)?,
-            seed,
-        ),
+        "ws" => {
+            generators::watts_strogatz(n, p.get_or("k", 2usize)?, p.get_or("beta", 0.1f64)?, seed)
+        }
         "er" => generators::erdos_renyi(n, p.get_or("p", 0.01f64)?, seed),
         "road" => generators::grid_road_network(
             RoadNetworkConfig::new(p.get_or("height", 4usize)?, p.get_or("width", 256usize)?),
@@ -301,7 +419,11 @@ fn cmd_tune(p: &ParsedArgs) -> Result<String, String> {
 
 fn cmd_pagerank(p: &ParsedArgs) -> Result<String, String> {
     let g = load(p)?;
-    let dg = partition(&g, p.get_or("hosts", 4usize)?, PartitionPolicy::CartesianVertexCut);
+    let dg = partition(
+        &g,
+        p.get_or("hosts", 4usize)?,
+        PartitionPolicy::CartesianVertexCut,
+    );
     let cfg = mrbc_analytics::PageRankConfig {
         damping: p.get_or("damping", 0.85f64)?,
         max_iterations: p.get_or("iters", 100u32)?,
@@ -337,7 +459,11 @@ fn cmd_pagerank(p: &ParsedArgs) -> Result<String, String> {
 
 fn cmd_cc(p: &ParsedArgs) -> Result<String, String> {
     let g = load(p)?;
-    let dg = partition(&g, p.get_or("hosts", 4usize)?, PartitionPolicy::CartesianVertexCut);
+    let dg = partition(
+        &g,
+        p.get_or("hosts", 4usize)?,
+        PartitionPolicy::CartesianVertexCut,
+    );
     let (out, recovery) = match faults_of(p)? {
         None => (mrbc_analytics::connected_components(&g, &dg), None),
         Some(plan) => {
@@ -362,7 +488,11 @@ fn cmd_cc(p: &ParsedArgs) -> Result<String, String> {
 
 fn cmd_sssp(p: &ParsedArgs) -> Result<String, String> {
     let g = load(p)?;
-    let dg = partition(&g, p.get_or("hosts", 4usize)?, PartitionPolicy::CartesianVertexCut);
+    let dg = partition(
+        &g,
+        p.get_or("hosts", 4usize)?,
+        PartitionPolicy::CartesianVertexCut,
+    );
     let source: u32 = p.get_or("source", 0u32)?;
     let max_w: u32 = p.get_or("max-weight", 1u32)?;
     let wg = if max_w <= 1 {
@@ -417,7 +547,9 @@ mod tests {
     fn generate_info_bc_roundtrip() {
         let file = tmpfile("cli_rt.el");
         let p = parse(
-            &sv(&["generate", "rmat", "--out", &file, "--scale", "7", "--seed", "3"]),
+            &sv(&[
+                "generate", "rmat", "--out", &file, "--scale", "7", "--seed", "3",
+            ]),
             &[],
         )
         .expect("parse");
@@ -429,7 +561,18 @@ mod tests {
         assert!(info.contains("vertices:           128"), "{info}");
 
         let p = parse(
-            &sv(&["bc", &file, "--algorithm", "mrbc", "--hosts", "2", "--sources", "8", "--top", "3"]),
+            &sv(&[
+                "bc",
+                &file,
+                "--algorithm",
+                "mrbc",
+                "--hosts",
+                "2",
+                "--sources",
+                "8",
+                "--top",
+                "3",
+            ]),
             &[],
         )
         .expect("parse");
@@ -449,7 +592,16 @@ mod tests {
         assert!(rep.contains("forward rounds"), "{rep}");
 
         let p = parse(
-            &sv(&["tune", &file, "--hosts", "2", "--candidates", "2,4", "--pilot", "6"]),
+            &sv(&[
+                "tune",
+                &file,
+                "--hosts",
+                "2",
+                "--candidates",
+                "2,4",
+                "--pilot",
+                "6",
+            ]),
             &[],
         )
         .expect("parse");
@@ -476,9 +628,11 @@ mod tests {
 
     #[test]
     fn every_generator_kind_builds() {
-        for kind in ["rmat", "kron", "ba", "ws", "er", "road", "webcrawl", "cycle", "path"] {
-            let p = parse(&sv(&["generate", kind, "--scale", "6", "--n", "50"]), &[])
-                .expect("parse");
+        for kind in [
+            "rmat", "kron", "ba", "ws", "er", "road", "webcrawl", "cycle", "path",
+        ] {
+            let p =
+                parse(&sv(&["generate", kind, "--scale", "6", "--n", "50"]), &[]).expect("parse");
             let g = build_graph(kind, &p).unwrap_or_else(|e| panic!("{kind}: {e}"));
             assert!(g.num_vertices() > 0, "{kind} built an empty graph");
         }
@@ -488,7 +642,11 @@ mod tests {
     fn analytics_commands() {
         let file = tmpfile("cli_analytics.el");
         io::write_edge_list_file(&generators::barabasi_albert(60, 2, 4), &file).expect("write");
-        let p = parse(&sv(&["pagerank", &file, "--hosts", "2", "--iters", "20"]), &[]).expect("parse");
+        let p = parse(
+            &sv(&["pagerank", &file, "--hosts", "2", "--iters", "20"]),
+            &[],
+        )
+        .expect("parse");
         assert!(run(&p).expect("pagerank").contains("converged"));
         let p = parse(&sv(&["cc", &file]), &[]).expect("parse");
         assert!(run(&p).expect("cc").contains("components: 1"));
@@ -514,7 +672,10 @@ mod tests {
         let last = argv.len() - 1;
         argv[last] = "crash:host=0@round=2;seed=1";
         let crashed = run(&parse(&sv(&argv), &[]).expect("parse")).expect("crash-plan bc");
-        assert!(crashed.contains("crash clauses are ignored by bc"), "{crashed}");
+        assert!(
+            crashed.contains("crash clauses are ignored by bc"),
+            "{crashed}"
+        );
     }
 
     #[test]
@@ -522,14 +683,27 @@ mod tests {
         let file = tmpfile("cli_faults_an.el");
         io::write_edge_list_file(&generators::barabasi_albert(60, 2, 4), &file).expect("write");
         let p = parse(
-            &sv(&["pagerank", &file, "--hosts", "2", "--iters", "20",
-                  "--faults", "crash:host=1@round=6;drop:p=0.02;seed=3", "--checkpoint", "4"]),
+            &sv(&[
+                "pagerank",
+                &file,
+                "--hosts",
+                "2",
+                "--iters",
+                "20",
+                "--faults",
+                "crash:host=1@round=6;drop:p=0.02;seed=3",
+                "--checkpoint",
+                "4",
+            ]),
             &[],
         )
         .expect("parse");
         let rep = run(&p).expect("faulty pagerank");
         assert!(rep.contains("converged"), "{rep}");
-        assert!(rep.contains("1 crashes") && rep.contains("rollbacks"), "{rep}");
+        assert!(
+            rep.contains("1 crashes") && rep.contains("rollbacks"),
+            "{rep}"
+        );
 
         let p = parse(
             &sv(&["cc", &file, "--faults", "crash:host=0@round=3;seed=9"]),
@@ -548,11 +722,107 @@ mod tests {
         let p = parse(&sv(&["bc", &file, "--faults", "explode:now"]), &[]).expect("parse");
         assert!(run(&p).unwrap_err().contains("bad --faults plan"));
         let p = parse(
-            &sv(&["cc", &file, "--faults", "crash:host=0@round=1", "--checkpoint", "0"]),
+            &sv(&[
+                "cc",
+                &file,
+                "--faults",
+                "crash:host=0@round=1",
+                "--checkpoint",
+                "0",
+            ]),
             &[],
         )
         .expect("parse");
-        assert!(run(&p).unwrap_err().contains("--checkpoint must be at least 1"));
+        assert!(run(&p)
+            .unwrap_err()
+            .contains("--checkpoint must be at least 1"));
+    }
+
+    #[test]
+    fn bc_trace_and_metrics_exports_validate() {
+        let _guard = mrbc_obs::test_mutex().lock().unwrap();
+        let file = tmpfile("cli_obs.el");
+        let trace = tmpfile("cli_obs_trace.json");
+        let metrics = tmpfile("cli_obs_metrics.json");
+        io::write_edge_list_file(&generators::rmat(RmatConfig::new(6, 5), 9), &file)
+            .expect("write");
+        let p = parse(
+            &sv(&[
+                "bc",
+                &file,
+                "--hosts",
+                "2",
+                "--sources",
+                "8",
+                "-v",
+                "--trace",
+                &trace,
+                "--metrics",
+                &metrics,
+            ]),
+            SWITCHES,
+        )
+        .expect("parse");
+        let rep = run(&p).expect("bc with obs");
+        assert!(rep.contains("trace timeline written"), "{rep}");
+        assert!(rep.contains("metrics snapshot written"), "{rep}");
+
+        // Hermetic validation through the check-json subcommand (what CI
+        // runs), including the Lemma 8 bound-probe verdict.
+        let p = parse(&sv(&["check-json", &metrics]), SWITCHES).expect("parse");
+        let chk = run(&p).expect("check metrics");
+        assert!(chk.contains("all invariants hold"), "{chk}");
+        let p = parse(&sv(&["check-json", &trace]), SWITCHES).expect("parse");
+        assert!(run(&p).expect("check trace").contains("mrbc-trace-v1"));
+
+        // The timeline separates forward APSP from BC accumulation.
+        let text = std::fs::read_to_string(&trace).expect("trace exists");
+        assert!(text.contains("\"cat\":\"forward\""), "forward spans tagged");
+        assert!(
+            text.contains("\"cat\":\"accumulation\""),
+            "accumulation spans tagged"
+        );
+        let m = std::fs::read_to_string(&metrics).expect("metrics exists");
+        assert!(m.contains("\"model\":\"bsp\""), "{m}");
+        assert!(m.contains("\"within_bounds\":true"), "{m}");
+    }
+
+    #[test]
+    fn apsp_metrics_reports_theorem1_bounds() {
+        let _guard = mrbc_obs::test_mutex().lock().unwrap();
+        let file = tmpfile("cli_obs_apsp.el");
+        let metrics = tmpfile("cli_obs_apsp_metrics.json");
+        io::write_edge_list_file(&generators::cycle(20), &file).expect("write");
+        let p = parse(
+            &sv(&[
+                "apsp",
+                &file,
+                "--mode",
+                "detect",
+                "--sources",
+                "6",
+                "--metrics",
+                &metrics,
+            ]),
+            SWITCHES,
+        )
+        .expect("parse");
+        run(&p).expect("apsp with metrics");
+        let m = std::fs::read_to_string(&metrics).expect("metrics exists");
+        assert!(m.contains("\"model\":\"congest\""), "{m}");
+        assert!(m.contains("\"within_bounds\":true"), "{m}");
+        let p = parse(&sv(&["check-json", &metrics]), SWITCHES).expect("parse");
+        assert!(run(&p).expect("check").contains("all invariants hold"));
+    }
+
+    #[test]
+    fn check_json_rejects_garbage() {
+        let path = tmpfile("cli_obs_garbage.json");
+        std::fs::write(&path, "{\"schema\":\"other\"}").expect("write");
+        let p = parse(&sv(&["check-json", &path]), SWITCHES).expect("parse");
+        assert!(run(&p).unwrap_err().contains("unrecognized schema"));
+        std::fs::write(&path, "not json").expect("write");
+        assert!(run(&p).unwrap_err().contains("invalid JSON"));
     }
 
     #[test]

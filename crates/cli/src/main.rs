@@ -3,7 +3,7 @@
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let parsed = match mrbc_cli::args::parse(&argv, &[]) {
+    let parsed = match mrbc_cli::args::parse(&argv, mrbc_cli::commands::SWITCHES) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}\n\n{}", mrbc_cli::commands::USAGE);

@@ -2,6 +2,7 @@
 
 use mrbc_faults::{FaultSession, RecoveryStats};
 use mrbc_graph::{CsrGraph, VertexId};
+use mrbc_obs::{MessageClass, Phase};
 
 /// Where a vertex sends one message in a round.
 ///
@@ -79,6 +80,24 @@ pub trait VertexProgram {
     /// `d_sv + ℓ > r`").
     fn is_quiescent(&self, _v: VertexId) -> bool {
         true
+    }
+
+    /// The algorithm phase this program is currently executing, used to
+    /// tag the per-round trace spans (Algorithm 3 forward source
+    /// detection vs Algorithm 4 finalizer vs Algorithm 5 accumulation).
+    /// Queried once per round, so a program may report phase changes as
+    /// its internal mode shifts. The default tags generic programs as
+    /// driver-level work.
+    fn phase(&self) -> Phase {
+        Phase::Driver
+    }
+
+    /// Classifies one message for per-class observability accounting
+    /// (distance pairs vs dependency messages vs termination-detection
+    /// traffic). The default attributes everything to
+    /// [`MessageClass::Control`].
+    fn message_class(&self, _msg: &Self::Msg) -> MessageClass {
+        MessageClass::Control
     }
 }
 
@@ -184,8 +203,15 @@ impl<'g> Engine<'g> {
         let mut next: Vec<Vec<(VertexId, P::Msg)>> = vec![Vec::new(); n];
         let empty: Vec<(VertexId, P::Msg)> = Vec::new();
         let mut outbox = Outbox::new();
+        // Observability is gated on one flag read per run; when disabled
+        // the per-round instrumentation below is dead code.
+        let obs_on = mrbc_obs::is_enabled();
+        let mut class_counts = [0u64; MessageClass::COUNT];
+        let mut quiesced = false;
 
         for round in 1..=max_rounds {
+            let round_start = if obs_on { mrbc_obs::now_us() } else { 0 };
+            let msgs_before = stats.messages;
             // A round is "active" if any vertex received input or issued a
             // send — including a send addressed to an empty neighbor set
             // (the vertex still acted in this round, and timestamps like
@@ -197,11 +223,23 @@ impl<'g> Engine<'g> {
                 if !has_input && !prog.wants_round(v, round) {
                     continue;
                 }
-                let inbox = if has_input { &inboxes[v as usize] } else { &empty };
+                let inbox = if has_input {
+                    &inboxes[v as usize]
+                } else {
+                    &empty
+                };
                 prog.round(v, round, inbox, &mut outbox);
                 acted_this_round |= !outbox.sends.is_empty();
                 for (target, msg) in outbox.sends.drain(..) {
-                    self.deliver(v, target, msg, &mut next, &mut stats, prog);
+                    let class = if obs_on {
+                        prog.message_class(&msg).index()
+                    } else {
+                        0
+                    };
+                    let sent = self.deliver(v, target, msg, &mut next, &mut stats, prog);
+                    if obs_on {
+                        class_counts[class] += sent;
+                    }
                 }
             }
             for ib in &mut inboxes {
@@ -209,22 +247,73 @@ impl<'g> Engine<'g> {
             }
             std::mem::swap(&mut inboxes, &mut next);
 
+            if obs_on {
+                let end = mrbc_obs::now_us();
+                mrbc_obs::histogram_record("congest.round_us", end.saturating_sub(round_start));
+                mrbc_obs::span_at(
+                    "round",
+                    prog.phase().as_str(),
+                    round_start,
+                    end.saturating_sub(round_start),
+                    0,
+                    &[
+                        ("round", round as u64),
+                        ("sent", stats.messages - msgs_before),
+                        ("active", acted_this_round as u64),
+                    ],
+                );
+            }
+
             if stop_on_quiescence && !acted_this_round {
                 let all_quiet = (0..n as VertexId).all(|v| prog.is_quiescent(v));
                 if all_quiet {
                     // This silent round only detected termination.
                     stats.rounds = round - 1;
-                    return stats;
+                    quiesced = true;
+                    break;
                 }
             }
             stats.rounds = round;
         }
-        if stop_on_quiescence {
+        if stop_on_quiescence && !quiesced {
             // The loop above only falls through when the budget ran out
             // before a quiescent round was observed.
             stats.outcome = RunOutcome::BudgetExhausted;
         }
+        if obs_on {
+            self.flush_run_obs(prog.phase(), &stats, &class_counts);
+        }
         stats
+    }
+
+    /// Accumulates one finished run's counters into the global recorder.
+    fn flush_run_obs(
+        &self,
+        phase: Phase,
+        stats: &RunStats,
+        class_counts: &[u64; MessageClass::COUNT],
+    ) {
+        mrbc_obs::counter_add("congest.rounds", stats.rounds as u64);
+        mrbc_obs::counter_add("congest.messages", stats.messages);
+        mrbc_obs::counter_add("congest.bits", stats.bits);
+        if stats.outcome == RunOutcome::BudgetExhausted {
+            mrbc_obs::counter_add("congest.budget_exhausted", 1);
+        }
+        match phase {
+            Phase::Forward | Phase::Finalizer => {
+                mrbc_obs::counter_add("congest.rounds.forward", stats.rounds as u64)
+            }
+            Phase::Accumulation => {
+                mrbc_obs::counter_add("congest.rounds.accumulation", stats.rounds as u64)
+            }
+            _ => {}
+        }
+        for c in MessageClass::ALL {
+            let count = class_counts[c.index()];
+            if count > 0 {
+                mrbc_obs::counter_add(c.counter_name(), count);
+            }
+        }
     }
 
     /// [`Engine::run_until_quiescent`] under an adversarial network: the
@@ -254,8 +343,13 @@ impl<'g> Engine<'g> {
         let mut any_crashed = false;
         let empty: Vec<(VertexId, P::Msg)> = Vec::new();
         let mut outbox = Outbox::new();
+        let obs_on = mrbc_obs::is_enabled();
+        let mut class_counts = [0u64; MessageClass::COUNT];
+        let mut finished = false;
 
         for round in 1..=max_rounds {
+            let round_start = if obs_on { mrbc_obs::now_us() } else { 0 };
+            let msgs_before = stats.messages;
             // A crash at the end of round r silences the vertex from
             // round r + 1 on.
             for c in session.crashes_at(round.wrapping_sub(1)) {
@@ -289,16 +383,28 @@ impl<'g> Engine<'g> {
                 if !has_input && !prog.wants_round(v, round) {
                     continue;
                 }
-                let inbox = if has_input { &inboxes[v as usize] } else { &empty };
+                let inbox = if has_input {
+                    &inboxes[v as usize]
+                } else {
+                    &empty
+                };
                 prog.round(v, round, inbox, &mut outbox);
                 acted_this_round |= !outbox.sends.is_empty();
                 for (target, msg) in outbox.sends.drain(..) {
                     let bits = prog.message_bits(&msg);
+                    let class = if obs_on {
+                        prog.message_class(&msg).index()
+                    } else {
+                        0
+                    };
                     self.expand_target(v, &target, |to| {
                         // The transmission happens (and is charged)
                         // whatever its fate.
                         stats.messages += 1;
                         stats.bits += bits;
+                        if obs_on {
+                            class_counts[class] += 1;
+                        }
                         if crashed[to as usize] {
                             return;
                         }
@@ -327,6 +433,23 @@ impl<'g> Engine<'g> {
             }
             std::mem::swap(&mut inboxes, &mut next);
 
+            if obs_on {
+                let end = mrbc_obs::now_us();
+                mrbc_obs::histogram_record("congest.round_us", end.saturating_sub(round_start));
+                mrbc_obs::span_at(
+                    "round",
+                    prog.phase().as_str(),
+                    round_start,
+                    end.saturating_sub(round_start),
+                    0,
+                    &[
+                        ("round", round as u64),
+                        ("sent", stats.messages - msgs_before),
+                        ("active", acted_this_round as u64),
+                    ],
+                );
+            }
+
             if !acted_this_round && delayed.is_empty() {
                 let all_quiet =
                     (0..n as VertexId).all(|v| crashed[v as usize] || prog.is_quiescent(v));
@@ -337,12 +460,22 @@ impl<'g> Engine<'g> {
                     } else {
                         RunOutcome::Converged
                     };
-                    return (stats, recovery);
+                    finished = true;
+                    break;
                 }
             }
             stats.rounds = round;
         }
-        stats.outcome = RunOutcome::BudgetExhausted;
+        if !finished {
+            stats.outcome = RunOutcome::BudgetExhausted;
+        }
+        if obs_on {
+            self.flush_run_obs(prog.phase(), &stats, &class_counts);
+            mrbc_obs::counter_add("congest.fault.drops", recovery.drops);
+            mrbc_obs::counter_add("congest.fault.duplicates", recovery.duplicates);
+            mrbc_obs::counter_add("congest.fault.crashes", recovery.crashes);
+            mrbc_obs::counter_add("congest.fault.stall_rounds", recovery.stall_rounds);
+        }
         (stats, recovery)
     }
 
@@ -461,7 +594,13 @@ mod tests {
             32
         }
 
-        fn round(&mut self, v: VertexId, round: u32, inbox: &[(VertexId, u32)], out: &mut Outbox<u32>) {
+        fn round(
+            &mut self,
+            v: VertexId,
+            round: u32,
+            inbox: &[(VertexId, u32)],
+            out: &mut Outbox<u32>,
+        ) {
             let mut improved = false;
             for &(_, d) in inbox {
                 if d + 1 < self.dist[v as usize] {
@@ -530,7 +669,13 @@ mod tests {
             1
         }
 
-        fn round(&mut self, v: VertexId, round: u32, inbox: &[(VertexId, ())], out: &mut Outbox<()>) {
+        fn round(
+            &mut self,
+            v: VertexId,
+            round: u32,
+            inbox: &[(VertexId, ())],
+            out: &mut Outbox<()>,
+        ) {
             self.hits[v as usize] += inbox.len() as u32;
             if round == 1 {
                 out.send(Target::InNeighbors, ());
@@ -586,7 +731,13 @@ mod tests {
             fn message_bits(&self, _: &()) -> u64 {
                 1
             }
-            fn round(&mut self, v: VertexId, round: u32, inbox: &[(VertexId, ())], out: &mut Outbox<()>) {
+            fn round(
+                &mut self,
+                v: VertexId,
+                round: u32,
+                inbox: &[(VertexId, ())],
+                out: &mut Outbox<()>,
+            ) {
                 self.got[v as usize] += inbox.len() as u32;
                 if round == 1 && v == 0 {
                     out.send(Target::AllNeighbors, ());
@@ -612,7 +763,13 @@ mod tests {
             fn message_bits(&self, _: &()) -> u64 {
                 1
             }
-            fn round(&mut self, v: VertexId, round: u32, _i: &[(VertexId, ())], out: &mut Outbox<()>) {
+            fn round(
+                &mut self,
+                v: VertexId,
+                round: u32,
+                _i: &[(VertexId, ())],
+                out: &mut Outbox<()>,
+            ) {
                 if v == 0 && round == 3 {
                     self.fired = true;
                     out.send(Target::OutNeighbors, ());
@@ -708,7 +865,11 @@ mod tests {
         assert!(prog.dist.contains(&INF_DIST), "lossy BFS is incomplete");
         // The run ended and told us how.
         assert!(stats.rounds <= 500);
-        assert_eq!(stats.outcome, RunOutcome::Converged, "silent network looks converged — the degradation the outcome API makes observable");
+        assert_eq!(
+            stats.outcome,
+            RunOutcome::Converged,
+            "silent network looks converged — the degradation the outcome API makes observable"
+        );
     }
 
     #[test]

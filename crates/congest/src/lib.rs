@@ -59,3 +59,6 @@
 mod engine;
 
 pub use engine::{Engine, Outbox, RunOutcome, RunStats, Target, VertexProgram};
+// Re-exported so `VertexProgram` implementors can name their phase and
+// message-class tags without a direct `mrbc-obs` dependency.
+pub use mrbc_obs::{MessageClass, Phase};

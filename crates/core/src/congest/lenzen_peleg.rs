@@ -163,7 +163,11 @@ mod tests {
         let out = lenzen_peleg_apsp(&g, &all);
         let _ = n;
         for (j, &s) in out.sources_sorted.iter().enumerate() {
-            assert_eq!(out.dist[j], algo::bfs_distances(&g, s), "distances from {s}");
+            assert_eq!(
+                out.dist[j],
+                algo::bfs_distances(&g, s),
+                "distances from {s}"
+            );
         }
     }
 
@@ -189,7 +193,10 @@ mod tests {
             // Both compute the same distances.
             assert_eq!(lp.dist, mr.dist, "seed {seed}");
         }
-        assert!(lp_extra > 0, "expected LP to re-send at least once across seeds");
+        assert!(
+            lp_extra > 0,
+            "expected LP to re-send at least once across seeds"
+        );
     }
 
     #[test]

@@ -151,6 +151,9 @@ pub fn mrbc_bc_with_precision(
     let engine = Engine::new(g);
     let mut fwd = Forward::new(g, &sources_sorted, mode, precision);
     let two_n = 2 * n as u32;
+    let fwd_span = mrbc_obs::span("mrbc.forward", mrbc_congest::Phase::Forward.as_str())
+        .arg("n", n as u64)
+        .arg("k", sources_sorted.len() as u64);
     let mut forward_stats = match mode {
         TerminationMode::FixedTwoN => engine.run_rounds(&mut fwd, two_n.max(1)),
         // The finalizer halts every vertex once the diameter arrives; the
@@ -175,6 +178,7 @@ pub fn mrbc_bc_with_precision(
         TerminationMode::Finalizer => forward_stats.outcome = RunOutcome::Converged,
         TerminationMode::FixedTwoN => {}
     }
+    drop(fwd_span);
 
     let diameter = fwd.fin.as_ref().and_then(|f| f.diameter[0]);
 
@@ -183,7 +187,10 @@ pub fn mrbc_bc_with_precision(
     let mut bwd = Backward::new(g, fwd, r_term);
     // Every send happens at A_sv = R - τ_sv + 1 ∈ [1, R + 1]; one extra
     // round delivers the last messages.
+    let bwd_span = mrbc_obs::span("mrbc.backward", mrbc_congest::Phase::Accumulation.as_str())
+        .arg("r_term", r_term as u64);
     let backward_stats = engine.run_until_quiescent(&mut bwd, r_term + 2);
+    drop(bwd_span);
     assert!(
         backward_stats.outcome.converged(),
         "accumulation exceeded its A_sv ≤ R + 1 schedule: {backward_stats:?}"
@@ -203,7 +210,7 @@ pub fn mrbc_bc_with_precision(
         }
     }
 
-    MrbcOutcome {
+    let out = MrbcOutcome {
         bc,
         dist,
         sigma,
@@ -211,17 +218,17 @@ pub fn mrbc_bc_with_precision(
         forward: forward_stats,
         backward: backward_stats,
         diameter,
+    };
+    if mrbc_obs::probes_enabled() {
+        crate::probes::check_congest_run(g, &out, mode).record();
     }
+    out
 }
 
 /// Runs only the forward phase — the paper's standalone directed APSP
 /// (Theorem 1, part I). Returns distances, shortest-path counts, round
 /// and message counters, and the diameter when Algorithm 4 ran.
-pub fn directed_apsp(
-    g: &CsrGraph,
-    sources: &[VertexId],
-    mode: TerminationMode,
-) -> MrbcOutcome {
+pub fn directed_apsp(g: &CsrGraph, sources: &[VertexId], mode: TerminationMode) -> MrbcOutcome {
     // APSP is BC minus the accumulation phase; reuse the driver but report
     // only what the forward phase produced. Backward stats of a pure APSP
     // run are zeroed for clarity.
@@ -625,6 +632,26 @@ impl VertexProgram for Forward {
             _ => self.pending[vi] == 0,
         }
     }
+
+    fn phase(&self) -> mrbc_congest::Phase {
+        // Algorithm 4 machinery runs interleaved with Algorithm 3; tag
+        // the run as Finalizer only when it is actually present so the
+        // timeline distinguishes the two termination strategies.
+        if self.fin.is_some() {
+            mrbc_congest::Phase::Finalizer
+        } else {
+            mrbc_congest::Phase::Forward
+        }
+    }
+
+    fn message_class(&self, msg: &FwdMsg) -> mrbc_congest::MessageClass {
+        match msg {
+            FwdMsg::Apsp { .. } => mrbc_congest::MessageClass::DistancePair,
+            // Everything else is Algorithm 4 termination-detection
+            // machinery (tree building, counts, d*, diameter).
+            _ => mrbc_congest::MessageClass::Termination,
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -731,6 +758,14 @@ impl VertexProgram for Backward {
 
     fn is_quiescent(&self, v: VertexId) -> bool {
         self.cursor[v as usize] >= self.agenda[v as usize].len()
+    }
+
+    fn phase(&self) -> mrbc_congest::Phase {
+        mrbc_congest::Phase::Accumulation
+    }
+
+    fn message_class(&self, _msg: &AccMsg) -> mrbc_congest::MessageClass {
+        mrbc_congest::MessageClass::Dependency
     }
 }
 

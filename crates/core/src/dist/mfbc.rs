@@ -64,7 +64,10 @@ fn run(
     let mut sorted: Vec<VertexId> = sources.to_vec();
     sorted.sort_unstable();
     sorted.dedup();
-    assert!(sorted.iter().all(|&s| (s as usize) < n), "source out of range");
+    assert!(
+        sorted.iter().all(|&s| (s as usize) < n),
+        "source out of range"
+    );
 
     let mut bc = vec![0.0f64; n];
     let mut stats = BspStats::new(dg.num_hosts);

@@ -118,14 +118,28 @@ fn run(
     let mut sorted: Vec<VertexId> = sources.to_vec();
     sorted.sort_unstable();
     sorted.dedup();
-    assert!(sorted.iter().all(|&s| (s as usize) < n), "source out of range");
+    assert!(
+        sorted.iter().all(|&s| (s as usize) < n),
+        "source out of range"
+    );
 
     let mut bc = vec![0.0f64; n];
     let mut stats = BspStats::new(dg.num_hosts);
-    for batch in sorted.chunks(options.batch_size) {
+    let mut probe = mrbc_obs::probes_enabled().then(crate::probes::BspProbeAccum::default);
+    let num_batches = sorted.len().div_ceil(options.batch_size.max(1));
+    let mut settled = 0usize;
+    for (bi, batch) in sorted.chunks(options.batch_size).enumerate() {
         let mut state = Batch::new(g, dg, batch, options.delayed_sync);
+        let fwd_span = mrbc_obs::span("batch.forward", mrbc_obs::Phase::Forward.as_str())
+            .arg("batch", bi as u64)
+            .arg("k", batch.len() as u64);
         state.forward(&mut stats, link.as_deref_mut());
+        drop(fwd_span);
+        let bwd_span = mrbc_obs::span("batch.backward", mrbc_obs::Phase::Accumulation.as_str())
+            .arg("batch", bi as u64)
+            .arg("r_term", state.r_term as u64);
         state.backward(&mut stats, link.as_deref_mut());
+        drop(bwd_span);
         for (v, x) in bc.iter_mut().enumerate() {
             for (j, &s) in batch.iter().enumerate() {
                 if s as usize != v {
@@ -133,6 +147,28 @@ fn run(
                 }
             }
         }
+        // Lemma 8 batch progress: every source of the batch is settled
+        // once its accumulation phase drains.
+        settled += batch.len();
+        mrbc_obs::counter_add("mrbc.sources_settled", batch.len() as u64);
+        if mrbc_obs::verbose_enabled() {
+            mrbc_obs::progress(&format!(
+                "mrbc batch {}/{num_batches} · sources {settled}/{} · round {} · {} B",
+                bi + 1,
+                sorted.len(),
+                stats.num_rounds(),
+                stats.total_bytes(),
+            ));
+        }
+        if let Some(p) = probe.as_mut() {
+            p.record_batch(g, batch, &state.dist_g, &state.sigma_g);
+        }
+    }
+    if mrbc_obs::verbose_enabled() {
+        mrbc_obs::progress_done();
+    }
+    if let Some(p) = probe {
+        crate::probes::check_bsp_run(g, sorted.len(), dg.num_hosts, &stats, &p).record();
     }
     DistBcOutcome { bc, stats }
 }
@@ -180,12 +216,7 @@ struct Batch<'a> {
 }
 
 impl<'a> Batch<'a> {
-    fn new(
-        g: &'a CsrGraph,
-        dg: &'a DistGraph,
-        sources: &[VertexId],
-        delayed_sync: bool,
-    ) -> Self {
+    fn new(g: &'a CsrGraph, dg: &'a DistGraph, sources: &[VertexId], delayed_sync: bool) -> Self {
         let n = g.num_vertices();
         let k = sources.len();
         let hosts = dg
@@ -272,10 +303,7 @@ impl<'a> Batch<'a> {
             // Flag set: labels whose send condition fires this round.
             let flags: Vec<(u32, u32, u32)> = (0..n)
                 .into_par_iter()
-                .filter_map(|v| {
-                    self.scheduled_send(v, round)
-                        .map(|(j, d)| (v as u32, j, d))
-                })
+                .filter_map(|v| self.scheduled_send(v, round).map(|(j, d)| (v as u32, j, d)))
                 .collect();
             for &(v, j, _) in &flags {
                 let idx = v as usize * k + j as usize;
@@ -283,12 +311,24 @@ impl<'a> Batch<'a> {
                 self.tau[idx] = round;
                 self.pending_total -= 1;
             }
+            if mrbc_obs::verbose_enabled() {
+                mrbc_obs::progress(&format!(
+                    "round {round} · frontier {} · pending {}",
+                    flags.len(),
+                    self.pending_total
+                ));
+            }
 
             // SYNC: delayed mode reduces + broadcasts exactly the flagged
             // labels; eager mode synchronizes whatever was updated in the
             // previous round (Gluon's default behavior).
             if self.delayed_sync {
-                self.sync_flags(&flags, &mut comm, /*forward=*/ true, link.as_deref_mut());
+                self.sync_flags(
+                    &flags,
+                    &mut comm,
+                    /*forward=*/ true,
+                    link.as_deref_mut(),
+                );
             } else {
                 self.eager_sync(&mut comm, link.as_deref_mut());
             }
@@ -459,7 +499,9 @@ impl<'a> Batch<'a> {
             // its partial; mirror contributions cross the network.
             for h in std::iter::once(own).chain(self.dg.mirror_hosts(v).iter().map(|&m| m as usize))
             {
-                let Some(l) = self.dg.local(h, v) else { continue };
+                let Some(l) = self.dg.local(h, v) else {
+                    continue;
+                };
                 let lidx = l as usize * k + j as usize;
                 let hs = &mut self.hosts[h];
                 if forward {
@@ -478,7 +520,8 @@ impl<'a> Batch<'a> {
             }
             if forward {
                 debug_assert!(
-                    (reduced_sigma - self.sigma_g[gidx]).abs() <= 1e-9 * self.sigma_g[gidx].max(1.0),
+                    (reduced_sigma - self.sigma_g[gidx]).abs()
+                        <= 1e-9 * self.sigma_g[gidx].max(1.0),
                     "σ reduce mismatch: {} vs {}",
                     reduced_sigma,
                     self.sigma_g[gidx]
@@ -502,7 +545,9 @@ impl<'a> Batch<'a> {
             // only to the owner's grid row and δ only to its column.
             for h in std::iter::once(own).chain(self.dg.mirror_hosts(v).iter().map(|&m| m as usize))
             {
-                let Some(l) = self.dg.local(h, v) else { continue };
+                let Some(l) = self.dg.local(h, v) else {
+                    continue;
+                };
                 let consumes = if forward {
                     self.dg.hosts[h].graph.out_degree(l) > 0
                 } else {
@@ -555,7 +600,12 @@ impl<'a> Batch<'a> {
             // SYNC δ for the labels due this round (delayed), or all δ
             // partials updated last round (eager).
             if self.delayed_sync {
-                self.sync_flags(&flags, &mut comm, /*forward=*/ false, link.as_deref_mut());
+                self.sync_flags(
+                    &flags,
+                    &mut comm,
+                    /*forward=*/ false,
+                    link.as_deref_mut(),
+                );
             } else {
                 self.eager_sync(&mut comm, link.as_deref_mut());
             }
@@ -773,7 +823,9 @@ mod tests {
         };
         let clean = mrbc_bc_with_options(&g, &dg, &sources, &opts);
         let session = mrbc_faults::FaultSession::new(
-            "drop:p=0.1;delay:pair=1-2,rounds=1;seed=42".parse().unwrap(),
+            "drop:p=0.1;delay:pair=1-2,rounds=1;seed=42"
+                .parse()
+                .unwrap(),
         );
         let (faulty, recovery) = mrbc_bc_with_faults(&g, &dg, &sources, &opts, &session);
         // Bitwise, not approximately: retries happen within the round.

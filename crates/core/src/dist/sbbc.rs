@@ -88,9 +88,21 @@ impl<'a> SourceState<'a> {
             sigma_g: vec![0.0; n],
             delta_g: vec![0.0; n],
             levels: Vec::new(),
-            host_dist: dg.hosts.iter().map(|h| vec![INF_DIST; h.num_proxies()]).collect(),
-            host_sigma: dg.hosts.iter().map(|h| vec![0.0; h.num_proxies()]).collect(),
-            host_delta: dg.hosts.iter().map(|h| vec![0.0; h.num_proxies()]).collect(),
+            host_dist: dg
+                .hosts
+                .iter()
+                .map(|h| vec![INF_DIST; h.num_proxies()])
+                .collect(),
+            host_sigma: dg
+                .hosts
+                .iter()
+                .map(|h| vec![0.0; h.num_proxies()])
+                .collect(),
+            host_delta: dg
+                .hosts
+                .iter()
+                .map(|h| vec![0.0; h.num_proxies()])
+                .collect(),
         }
     }
 
@@ -128,10 +140,11 @@ impl<'a> SourceState<'a> {
             let d = self.dist_g[v as usize];
             let sig = self.sigma_g[v as usize];
             let mut reduced = 0.0;
-            for h in std::iter::once(own)
-                .chain(self.dg.mirror_hosts(v).iter().map(|&m| m as usize))
+            for h in std::iter::once(own).chain(self.dg.mirror_hosts(v).iter().map(|&m| m as usize))
             {
-                let Some(l) = self.dg.local(h, v) else { continue };
+                let Some(l) = self.dg.local(h, v) else {
+                    continue;
+                };
                 if self.host_dist[h][l as usize] == d {
                     reduced += self.host_sigma[h][l as usize];
                 }
@@ -143,10 +156,11 @@ impl<'a> SourceState<'a> {
                 (reduced - sig).abs() <= 1e-9 * sig.max(1.0),
                 "σ reduce mismatch for {v}: {reduced} vs {sig}"
             );
-            for h in std::iter::once(own)
-                .chain(self.dg.mirror_hosts(v).iter().map(|&m| m as usize))
+            for h in std::iter::once(own).chain(self.dg.mirror_hosts(v).iter().map(|&m| m as usize))
             {
-                let Some(l) = self.dg.local(h, v) else { continue };
+                let Some(l) = self.dg.local(h, v) else {
+                    continue;
+                };
                 // Partition-constraint optimization (Section 4.1): a
                 // proxy consumes (d, σ) only to push along local
                 // out-edges; skip mirrors without any.
@@ -248,10 +262,11 @@ impl<'a> SourceState<'a> {
             }
             let own = self.dg.owner(v) as usize;
             let mut reduced = 0.0;
-            for h in std::iter::once(own)
-                .chain(self.dg.mirror_hosts(v).iter().map(|&m| m as usize))
+            for h in std::iter::once(own).chain(self.dg.mirror_hosts(v).iter().map(|&m| m as usize))
             {
-                let Some(l) = self.dg.local(h, v) else { continue };
+                let Some(l) = self.dg.local(h, v) else {
+                    continue;
+                };
                 reduced += self.host_delta[h][l as usize];
                 if h != own && self.host_delta[h][l as usize] != 0.0 {
                     reduce.send(h, own, (), SBBC_ITEM_BYTES);
@@ -261,10 +276,11 @@ impl<'a> SourceState<'a> {
                 (reduced - total).abs() <= 1e-9 * total.abs().max(1.0),
                 "δ reduce mismatch for {v}"
             );
-            for h in std::iter::once(own)
-                .chain(self.dg.mirror_hosts(v).iter().map(|&m| m as usize))
+            for h in std::iter::once(own).chain(self.dg.mirror_hosts(v).iter().map(|&m| m as usize))
             {
-                let Some(l) = self.dg.local(h, v) else { continue };
+                let Some(l) = self.dg.local(h, v) else {
+                    continue;
+                };
                 // δ is consumed by pushes along local in-edges only.
                 if h != own && self.dg.hosts[h].in_graph.out_degree(l) == 0 {
                     continue;

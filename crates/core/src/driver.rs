@@ -129,9 +129,10 @@ pub fn bc(g: &CsrGraph, sources: &[VertexId], config: &BcConfig) -> BcResult {
             let dg = partition(g, config.num_hosts, config.partition);
             let session = config.faults.clone().map(FaultSession::new);
             let (out, recovery) = match (&config.algorithm, &session) {
-                (Algorithm::Mrbc, None) => {
-                    (dist::mrbc::mrbc_bc(g, &dg, sources, config.batch_size), None)
-                }
+                (Algorithm::Mrbc, None) => (
+                    dist::mrbc::mrbc_bc(g, &dg, sources, config.batch_size),
+                    None,
+                ),
                 (Algorithm::Mrbc, Some(s)) => {
                     let opts = dist::mrbc::MrbcOptions {
                         batch_size: config.batch_size,
@@ -145,9 +146,10 @@ pub fn bc(g: &CsrGraph, sources: &[VertexId], config: &BcConfig) -> BcResult {
                     let (out, rec) = dist::sbbc::sbbc_bc_with_faults(g, &dg, sources, s);
                     (out, Some(rec))
                 }
-                (Algorithm::Mfbc, None) => {
-                    (dist::mfbc::mfbc_bc(g, &dg, sources, config.batch_size), None)
-                }
+                (Algorithm::Mfbc, None) => (
+                    dist::mfbc::mfbc_bc(g, &dg, sources, config.batch_size),
+                    None,
+                ),
                 (Algorithm::Mfbc, Some(s)) => {
                     let (out, rec) =
                         dist::mfbc::mfbc_bc_with_faults(g, &dg, sources, config.batch_size, s);

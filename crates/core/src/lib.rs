@@ -28,8 +28,9 @@ pub mod brandes;
 pub mod congest;
 pub mod dist;
 mod driver;
-pub mod shared;
 pub mod postprocess;
+pub mod probes;
+pub mod shared;
 pub mod tune;
 pub mod weighted;
 

@@ -39,11 +39,7 @@ pub fn normalize(bc: &mut [f64]) {
 /// smaller vertex id for determinism.
 pub fn top_k(bc: &[f64], k: usize) -> Vec<(VertexId, f64)> {
     let mut idx: Vec<VertexId> = (0..bc.len() as VertexId).collect();
-    idx.sort_by(|&a, &b| {
-        bc[b as usize]
-            .total_cmp(&bc[a as usize])
-            .then(a.cmp(&b))
-    });
+    idx.sort_by(|&a, &b| bc[b as usize].total_cmp(&bc[a as usize]).then(a.cmp(&b)));
     idx.truncate(k);
     idx.into_iter().map(|v| (v, bc[v as usize])).collect()
 }

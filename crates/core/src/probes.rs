@@ -1,0 +1,403 @@
+//! Online invariant probes: the paper's complexity bounds, checked
+//! against a live run.
+//!
+//! When probes are armed (`mrbc_obs::set_probes(true)`, the CLI's
+//! `--metrics` flag does this) the drivers validate the bounds the
+//! paper proves:
+//!
+//! * **Theorem 1** on the CONGEST path — forward rounds within
+//!   `min(2n, n + 5D)` (Finalizer), `2n` (FixedTwoN) or `k + H + 1`
+//!   (GlobalDetection, Lemma 8); accumulation within `R + 2` rounds;
+//!   total messages within `2mk + 2m`.
+//! * **Lemma 8** on the BSP/D-Galois path — each batch of `k_b` sources
+//!   completes both phases within `2(k_b + H_b + 3)` BSP rounds, and a
+//!   round synchronizes at most two phases' worth of host-pair messages.
+//! * **σ-consistency** — on sampled sources, the distributed `(d, σ)`
+//!   labels match a sequential BFS oracle exactly (distances) and to
+//!   floating-point tolerance (path counts).
+//!
+//! A violated bound is *recorded*, not panicked on: it lands as
+//! `probe.violations` in the metrics counters and as `"ok": false` /
+//! `"within_bounds": false` in the `"bounds"` object of the metrics
+//! snapshot, so a production run degrades into a loud report instead of
+//! an abort.
+
+use crate::congest::mrbc::{MrbcOutcome, TerminationMode};
+use mrbc_dgalois::BspStats;
+use mrbc_graph::{algo, CsrGraph, VertexId, INF_DIST};
+use mrbc_obs::json::JsonWriter;
+
+/// One checked inequality `actual ≤ limit`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Check {
+    /// Observed value.
+    pub actual: u64,
+    /// Proven upper bound.
+    pub limit: u64,
+}
+
+impl Check {
+    /// Whether the bound holds.
+    pub fn ok(&self) -> bool {
+        self.actual <= self.limit
+    }
+
+    fn write(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("actual");
+        w.number(self.actual);
+        w.key("limit");
+        w.number(self.limit);
+        w.key("ok");
+        w.boolean(self.ok());
+        w.end_object();
+    }
+}
+
+/// The bound-probe report attached to the metrics snapshot as the
+/// top-level `"bounds"` object.
+#[derive(Debug, Clone)]
+pub struct BoundsReport {
+    /// `"congest"` (Theorem 1 on the simulator) or `"bsp"` (Lemma 8 on
+    /// the D-Galois substrate).
+    pub model: &'static str,
+    /// Vertices.
+    pub n: u64,
+    /// Edges.
+    pub m: u64,
+    /// Sources actually processed (after dedup).
+    pub k: u64,
+    /// Directed diameter, when Algorithm 4 computed it.
+    pub diameter: Option<u64>,
+    /// Round bound: forward rounds (CONGEST) or total BSP rounds.
+    pub rounds: Check,
+    /// Accumulation-phase round bound (CONGEST only; the BSP round
+    /// check already covers both phases).
+    pub backward_rounds: Option<Check>,
+    /// Message bound: `2mk + 2m` deliveries (CONGEST) or synchronized
+    /// host-pair messages (BSP).
+    pub messages: Check,
+    /// Sources spot-checked against the sequential BFS oracle.
+    pub sigma_checked: u64,
+    /// `(v, s)` labels where the distributed `(d, σ)` disagreed with
+    /// the oracle.
+    pub sigma_mismatches: u64,
+}
+
+impl BoundsReport {
+    /// `true` iff every bound holds and no σ mismatch was observed.
+    pub fn within_bounds(&self) -> bool {
+        self.rounds.ok()
+            && self.backward_rounds.is_none_or(|c| c.ok())
+            && self.messages.ok()
+            && self.sigma_mismatches == 0
+    }
+
+    /// Number of failed checks (bounds exceeded count once each; σ
+    /// mismatches count individually).
+    pub fn violations(&self) -> u64 {
+        let mut v = self.sigma_mismatches;
+        for c in [Some(self.rounds), self.backward_rounds, Some(self.messages)]
+            .into_iter()
+            .flatten()
+        {
+            if !c.ok() {
+                v += 1;
+            }
+        }
+        v
+    }
+
+    /// Render the report as a JSON object (the `"bounds"` value of the
+    /// metrics snapshot).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("model");
+        w.string(self.model);
+        w.key("n");
+        w.number(self.n);
+        w.key("m");
+        w.number(self.m);
+        w.key("k");
+        w.number(self.k);
+        w.key("diameter");
+        match self.diameter {
+            Some(d) => w.number(d),
+            None => w.raw("null"),
+        }
+        w.key("rounds");
+        self.rounds.write(&mut w);
+        if let Some(b) = self.backward_rounds {
+            w.key("backward_rounds");
+            b.write(&mut w);
+        }
+        w.key("messages");
+        self.messages.write(&mut w);
+        w.key("sigma");
+        w.begin_object();
+        w.key("checked");
+        w.number(self.sigma_checked);
+        w.key("mismatches");
+        w.number(self.sigma_mismatches);
+        w.key("ok");
+        w.boolean(self.sigma_mismatches == 0);
+        w.end_object();
+        w.key("within_bounds");
+        w.boolean(self.within_bounds());
+        w.end_object();
+        w.finish()
+    }
+
+    /// Publish the report into the installed recorder: probe gauges and
+    /// counters, plus the full JSON under the `"bounds"` extra.
+    pub fn record(&self) {
+        mrbc_obs::gauge_set("probe.rounds", self.rounds.actual);
+        mrbc_obs::gauge_set("probe.rounds_limit", self.rounds.limit);
+        mrbc_obs::gauge_set("probe.messages", self.messages.actual);
+        mrbc_obs::gauge_set("probe.messages_limit", self.messages.limit);
+        mrbc_obs::counter_add("probe.sigma_checked", self.sigma_checked);
+        mrbc_obs::counter_add("probe.sigma_mismatches", self.sigma_mismatches);
+        mrbc_obs::counter_add("probe.violations", self.violations());
+        mrbc_obs::gauge_set("probe.within_bounds", u64::from(self.within_bounds()));
+        let json = self.to_json();
+        mrbc_obs::with_recorder(|r| r.set_extra("bounds", json.clone()));
+    }
+}
+
+/// Compare one source's distributed `(d, σ)` labels against the
+/// sequential BFS oracle; returns the number of mismatching vertices.
+/// Distances must agree exactly; σ to accumulation tolerance.
+pub fn sigma_spot_check(g: &CsrGraph, source: VertexId, dist: &[u32], sigma: &[f64]) -> u64 {
+    let (want_d, want_s) = algo::bfs_sigma(g, source);
+    let mut mismatches = 0u64;
+    for v in 0..g.num_vertices() {
+        let d_ok = dist[v] == want_d[v];
+        let s_ok = if want_d[v] == INF_DIST {
+            sigma[v] == 0.0
+        } else {
+            (sigma[v] - want_s[v]).abs() <= 1e-6 * want_s[v].max(1.0)
+        };
+        if !d_ok || !s_ok {
+            mismatches += 1;
+        }
+    }
+    mismatches
+}
+
+/// Up to three spread-out sample indices in `0..k` (first, middle,
+/// last — the cheap "sampled vertices" of the Theorem 1 probe).
+pub fn sample_indices(k: usize) -> Vec<usize> {
+    let mut idx = vec![0, k / 2, k.saturating_sub(1)];
+    idx.retain(|&i| i < k);
+    idx.dedup();
+    idx
+}
+
+/// Validate a finished CONGEST MRBC run against Theorem 1. `H` (the
+/// largest finite distance) and `D` come from the run's own output, so
+/// the probe costs O(nk) — no extra BFS beyond the σ spot checks.
+pub fn check_congest_run(g: &CsrGraph, out: &MrbcOutcome, mode: TerminationMode) -> BoundsReport {
+    let n = g.num_vertices() as u64;
+    let m = g.num_edges() as u64;
+    let k = out.sources_sorted.len() as u64;
+    let h = out
+        .dist
+        .iter()
+        .flat_map(|row| row.iter())
+        .filter(|&&d| d != INF_DIST)
+        .max()
+        .copied()
+        .unwrap_or(0) as u64;
+    let two_n = 2 * n;
+    let forward_limit = match mode {
+        TerminationMode::FixedTwoN => two_n,
+        // Lemma 6 (+ implementation constant, matched by the unit
+        // tests): min(2n, n + 5D + 10); the 2n cap alone when the run
+        // hit it before the finalizer could announce the diameter.
+        TerminationMode::Finalizer => match out.diameter {
+            Some(d) => two_n.min(n + 5 * d as u64 + 10),
+            None => two_n,
+        },
+        // Lemma 8: k + H (+1 delivery round), inside the 2n + k cap.
+        TerminationMode::GlobalDetection => (k + h + 1).min(two_n + k + 2),
+    };
+    let mut sigma_checked = 0u64;
+    let mut sigma_mismatches = 0u64;
+    for j in sample_indices(out.sources_sorted.len()) {
+        sigma_checked += 1;
+        sigma_mismatches += sigma_spot_check(g, out.sources_sorted[j], &out.dist[j], &out.sigma[j]);
+    }
+    BoundsReport {
+        model: "congest",
+        n,
+        m,
+        k,
+        diameter: out.diameter.map(u64::from),
+        rounds: Check {
+            actual: out.forward.rounds as u64,
+            limit: forward_limit,
+        },
+        // Theorem 1 part II: every accumulation send is scheduled at
+        // A_sv ≤ R + 1; one more round delivers it.
+        backward_rounds: Some(Check {
+            actual: out.backward.rounds as u64,
+            limit: out.forward.rounds as u64 + 2,
+        }),
+        // Theorem 1: ≤ mk forward + mk accumulation deliveries, plus
+        // 2m for Algorithm 4's tree machinery when the finalizer ran.
+        messages: Check {
+            actual: out.forward.messages + out.backward.messages,
+            limit: 2 * m * k + 2 * m,
+        },
+        sigma_checked,
+        sigma_mismatches,
+    }
+}
+
+/// Per-batch tallies accumulated by the BSP MRBC driver while probes
+/// are armed (Lemma 8 applied batch by batch).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BspProbeAccum {
+    /// Σ over batches of the `2(k_b + H_b + 3)` round budget.
+    pub rounds_limit: u64,
+    /// Sources spot-checked against the BFS oracle.
+    pub sigma_checked: u64,
+    /// Mismatching `(v, s)` labels across all spot checks.
+    pub sigma_mismatches: u64,
+}
+
+impl BspProbeAccum {
+    /// Fold in one finished batch: its Lemma 8 budget and a σ spot
+    /// check of its first source.
+    pub fn record_batch(
+        &mut self,
+        g: &CsrGraph,
+        batch: &[VertexId],
+        dist_g: &[u32],
+        sigma_g: &[f64],
+    ) {
+        let k_b = batch.len();
+        let h_b = dist_g
+            .iter()
+            .filter(|&&d| d != INF_DIST)
+            .max()
+            .copied()
+            .unwrap_or(0) as u64;
+        // Forward ≤ k_b + H_b + 1 (+1 eager flush); backward replays the
+        // forward schedule plus a delivery round (+1 eager flush).
+        self.rounds_limit += 2 * (k_b as u64 + h_b + 3);
+        if let Some(&s) = batch.first() {
+            let n = g.num_vertices();
+            let dist: Vec<u32> = (0..n).map(|v| dist_g[v * k_b]).collect();
+            let sigma: Vec<f64> = (0..n).map(|v| sigma_g[v * k_b]).collect();
+            self.sigma_checked += 1;
+            self.sigma_mismatches += sigma_spot_check(g, s, &dist, &sigma);
+        }
+    }
+}
+
+/// Build the Lemma 8 report for a finished BSP MRBC run.
+///
+/// The message bound is structural: each BSP round runs at most two
+/// reduce + broadcast cycles (one per phase flavor), and a cycle sends
+/// at most one aggregated message per ordered host pair.
+pub fn check_bsp_run(
+    g: &CsrGraph,
+    k: usize,
+    num_hosts: usize,
+    stats: &BspStats,
+    accum: &BspProbeAccum,
+) -> BoundsReport {
+    let rounds = stats.num_rounds() as u64;
+    let pairs = (num_hosts as u64) * (num_hosts as u64 - 1);
+    BoundsReport {
+        model: "bsp",
+        n: g.num_vertices() as u64,
+        m: g.num_edges() as u64,
+        k: k as u64,
+        diameter: None,
+        rounds: Check {
+            actual: rounds,
+            limit: accum.rounds_limit,
+        },
+        backward_rounds: None,
+        messages: Check {
+            actual: stats.total_messages(),
+            limit: rounds * 2 * pairs,
+        },
+        sigma_checked: accum.sigma_checked,
+        sigma_mismatches: accum.sigma_mismatches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::congest::mrbc::mrbc_bc;
+    use mrbc_graph::generators;
+    use mrbc_obs::json::{parse, Value};
+
+    #[test]
+    fn congest_run_within_bounds_and_json_shape() {
+        let g = generators::rmat(generators::RmatConfig::new(5, 6), 11);
+        let sources: Vec<u32> = (0..g.num_vertices() as u32).collect();
+        for mode in [
+            TerminationMode::FixedTwoN,
+            TerminationMode::Finalizer,
+            TerminationMode::GlobalDetection,
+        ] {
+            let out = mrbc_bc(&g, &sources, mode);
+            let report = check_congest_run(&g, &out, mode);
+            assert!(report.within_bounds(), "{mode:?}: {report:?}");
+            assert_eq!(report.violations(), 0);
+            let v = parse(&report.to_json()).unwrap();
+            assert_eq!(v.get("model").and_then(Value::as_str), Some("congest"));
+            assert_eq!(v.get("within_bounds").and_then(Value::as_bool), Some(true));
+            assert!(
+                v.get("rounds").and_then(|r| r.get("limit")).is_some(),
+                "rounds check carries its limit"
+            );
+        }
+    }
+
+    #[test]
+    fn probes_flag_broken_round_and_message_counts() {
+        // A "broken engine" whose watchdog budget was exceeded shows up
+        // as round counts past the proven limit.
+        let g = generators::path(8);
+        let sources: Vec<u32> = (0..8).collect();
+        let mut out = mrbc_bc(&g, &sources, TerminationMode::FixedTwoN);
+        out.forward.rounds = 10_000;
+        out.backward.rounds = 20_000;
+        out.forward.messages = u64::MAX / 4;
+        let report = check_congest_run(&g, &out, TerminationMode::FixedTwoN);
+        assert!(!report.rounds.ok());
+        assert!(!report.backward_rounds.unwrap().ok());
+        assert!(!report.messages.ok());
+        assert!(!report.within_bounds());
+        assert_eq!(report.violations(), 3);
+        let v = parse(&report.to_json()).unwrap();
+        assert_eq!(v.get("within_bounds").and_then(Value::as_bool), Some(false));
+    }
+
+    #[test]
+    fn probes_flag_wrong_sigma() {
+        let g = generators::random_strongly_connected(30, 0.1, 2);
+        let sources: Vec<u32> = (0..30).collect();
+        let mut out = mrbc_bc(&g, &sources, TerminationMode::FixedTwoN);
+        // Corrupt one sampled source's σ row.
+        out.sigma[0][7] += 3.0;
+        let report = check_congest_run(&g, &out, TerminationMode::FixedTwoN);
+        assert!(report.sigma_mismatches >= 1, "{report:?}");
+        assert!(!report.within_bounds());
+    }
+
+    #[test]
+    fn sample_indices_are_deduped_and_in_range() {
+        assert_eq!(sample_indices(0), Vec::<usize>::new());
+        assert_eq!(sample_indices(1), vec![0]);
+        assert_eq!(sample_indices(2), vec![0, 1]);
+        assert_eq!(sample_indices(9), vec![0, 4, 8]);
+    }
+}

@@ -88,7 +88,12 @@ pub fn abbc_bc(g: &CsrGraph, sources: &[VertexId], chunk_size: usize) -> AbbcOut
 
         // ---- Level-ordered σ and δ sweeps over the settled distances.
         let dists: Vec<u32> = dist.iter().map(|d| d.load(Ordering::Relaxed)).collect();
-        let max_d = dists.iter().filter(|&&d| d != INF_DIST).max().copied().unwrap_or(0);
+        let max_d = dists
+            .iter()
+            .filter(|&&d| d != INF_DIST)
+            .max()
+            .copied()
+            .unwrap_or(0);
         let mut levels: Vec<Vec<u32>> = vec![Vec::new(); max_d as usize + 1];
         for v in 0..n as u32 {
             if dists[v as usize] != INF_DIST {
@@ -125,8 +130,8 @@ pub fn abbc_bc(g: &CsrGraph, sources: &[VertexId], chunk_size: usize) -> AbbcOut
                     let mut acc = 0.0;
                     for &w in g.out_neighbors(v) {
                         if dists[w as usize] == dists[v as usize] + 1 {
-                            acc += sigma[v as usize] / sigma[w as usize]
-                                * (1.0 + delta[w as usize]);
+                            acc +=
+                                sigma[v as usize] / sigma[w as usize] * (1.0 + delta[w as usize]);
                         }
                     }
                     work.fetch_add(g.out_degree(v) as u64, Ordering::Relaxed);

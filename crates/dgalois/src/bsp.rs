@@ -173,20 +173,40 @@ fn execute_round<P: BspProgram>(
     dead: &[bool],
     link: Option<&mut ReliableLink<'_>>,
 ) -> RoundResult {
+    let obs_on = mrbc_obs::is_enabled();
+    let round_start = mrbc_obs::now_us();
     prog.before_round(round, labels);
-    // COMPUTE (parallel across hosts).
-    type HostProposals<U> = (Vec<(VertexId, U)>, u64);
+    // COMPUTE (parallel across hosts). Each host's wall-clock window is
+    // captured inside the parallel section and emitted as a span after
+    // the barrier (one timeline track per host).
+    type HostProposals<U> = (Vec<(VertexId, U)>, u64, u64, u64);
     let results: Vec<HostProposals<P::Update>> = (0..dg.num_hosts)
         .into_par_iter()
         .map(|h| {
             if dead[h] {
-                return (Vec::new(), 0);
+                return (Vec::new(), 0, 0, 0);
             }
+            let t0 = mrbc_obs::now_us();
             let mut out = Vec::new();
             let w = prog.compute(h, dg, labels, &mut out);
-            (out, w)
+            (out, w, t0, mrbc_obs::now_us())
         })
         .collect();
+    if obs_on {
+        for (h, &(_, w, t0, t1)) in results.iter().enumerate() {
+            if !dead[h] {
+                mrbc_obs::span_at(
+                    "compute",
+                    mrbc_obs::Phase::Compute.as_str(),
+                    t0,
+                    t1.saturating_sub(t0),
+                    h as u32,
+                    &[("round", round as u64), ("work", w)],
+                );
+            }
+        }
+    }
+    let sync_start = mrbc_obs::now_us();
 
     // APPLY + reduce accounting (one item per proposing host per
     // touched vertex).
@@ -195,7 +215,7 @@ fn execute_round<P: BspProgram>(
     let mut changed: Vec<VertexId> = Vec::new();
     let mut work = Vec::with_capacity(dg.num_hosts);
     let item = prog.item_bytes();
-    for (h, (proposals, w)) in results.into_iter().enumerate() {
+    for (h, (proposals, w, _, _)) in results.into_iter().enumerate() {
         work.push(w);
         let mut touched: Vec<VertexId> = Vec::with_capacity(proposals.len());
         for (v, update) in proposals {
@@ -245,6 +265,23 @@ fn execute_round<P: BspProgram>(
             reduce.finish(dg, PhaseDir::Reduce, &mut comm);
             bcast.finish(dg, PhaseDir::Broadcast, &mut comm);
         }
+    }
+    if obs_on {
+        let now = mrbc_obs::now_us();
+        mrbc_obs::span_at(
+            "sync",
+            mrbc_obs::Phase::Sync.as_str(),
+            sync_start,
+            now.saturating_sub(sync_start),
+            0,
+            &[("round", round as u64), ("bytes", comm.bytes())],
+        );
+        mrbc_obs::histogram_record("bsp.round_us", now.saturating_sub(round_start));
+        mrbc_obs::histogram_record("bsp.round_bytes", comm.bytes());
+        mrbc_obs::counter_add("bsp.rounds", 1);
+        mrbc_obs::counter_add("bsp.bytes", comm.bytes());
+        mrbc_obs::counter_add("bsp.messages", comm.messages());
+        mrbc_obs::counter_add("bsp.changed_labels", changed.len() as u64);
     }
     RoundResult {
         work,
@@ -347,9 +384,9 @@ pub fn run_bsp_with_faults<P: BspProgram>(
         if (round - 1).is_multiple_of(checkpoint_interval) {
             let aux = prog.snapshot_aux();
             recovery.checkpoints += 1;
-            recovery.checkpoint_bytes +=
-                labels.len() as u64 * item + aux.len() as u64 * 8;
+            recovery.checkpoint_bytes += labels.len() as u64 * item + aux.len() as u64 * 8;
             ckpt = Some((round, labels.to_vec(), aux));
+            mrbc_obs::counter_add("bsp.checkpoints", 1);
         }
 
         // Hosts crashing during this round; each planned crash fires once.
@@ -377,18 +414,24 @@ pub fn run_bsp_with_faults<P: BspProgram>(
                     if d {
                         prog.reinit_host(h, dg, labels);
                         recovery.phoenix_restarts += 1;
+                        mrbc_obs::counter_add("bsp.phoenix_restarts", 1);
                     }
                 }
                 round += 1;
                 continue;
             }
             // Rollback: restore the latest checkpoint and replay.
-            let (ckpt_round, saved, aux) =
-                ckpt.as_ref().expect("checkpoint exists from round 1");
+            let (ckpt_round, saved, aux) = ckpt.as_ref().expect("checkpoint exists from round 1");
+            let rb_span = mrbc_obs::span("rollback", mrbc_obs::Phase::Recovery.as_str())
+                .arg("round", round as u64)
+                .arg("ckpt_round", *ckpt_round as u64);
             labels.clone_from_slice(saved);
             prog.restore_aux(aux);
+            drop(rb_span);
             recovery.rollbacks += 1;
             recovery.rounds_replayed += (round - ckpt_round + 1) as u64;
+            mrbc_obs::counter_add("bsp.rollbacks", 1);
+            mrbc_obs::counter_add("bsp.rounds_replayed", (round - ckpt_round + 1) as u64);
             round = *ckpt_round;
             continue;
         }
@@ -532,8 +575,7 @@ mod tests {
                 .unwrap();
             let session = FaultSession::new(plan);
             let mut faulty: Vec<u32> = (0..24).collect();
-            let run =
-                run_bsp_with_faults(&dg, &mut MinFlood, &mut faulty, 200, &session, interval);
+            let run = run_bsp_with_faults(&dg, &mut MinFlood, &mut faulty, 200, &session, interval);
             assert_eq!(
                 clean, faulty,
                 "crash@{crash_round}/interval {interval}: replay must converge to the \
@@ -601,8 +643,7 @@ mod tests {
         let plan = "crash:host=2@round=4;seed=1".parse().unwrap();
         let session = FaultSession::new(plan);
         let mut labels: Vec<u32> = (0..20).collect();
-        let run =
-            run_bsp_with_faults(&dg, &mut PhoenixMinFlood, &mut labels, 200, &session, 5);
+        let run = run_bsp_with_faults(&dg, &mut PhoenixMinFlood, &mut labels, 200, &session, 5);
         assert!(
             labels.iter().all(|&l| l == 0),
             "self-correcting program must reconverge: {labels:?}"

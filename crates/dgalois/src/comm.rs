@@ -63,10 +63,6 @@ pub struct RoundComm {
     pub recv_bytes: Vec<u64>,
     /// Host-pair messages each host participated in this round.
     pub msgs_per_host: Vec<u32>,
-    /// Total aggregated host-pair messages.
-    pub messages: u64,
-    /// Total bytes on the wire.
-    pub bytes: u64,
     /// Proxy items synchronized (pre-aggregation), the "number of proxies
     /// synchronized" count the paper compares between SBBC and MRBC.
     pub items: u64,
@@ -87,12 +83,27 @@ impl RoundComm {
             sent_bytes: vec![0; num_hosts],
             recv_bytes: vec![0; num_hosts],
             msgs_per_host: vec![0; num_hosts],
-            messages: 0,
-            bytes: 0,
             items: 0,
             retry_bytes: 0,
             stall_rounds: 0,
         }
+    }
+
+    /// Total bytes on the wire, derived from the per-host send ledger so
+    /// the aggregate can never drift from the per-host breakdown (every
+    /// byte sent is received exactly once, so the receive ledger agrees).
+    pub fn bytes(&self) -> u64 {
+        let sent: u64 = self.sent_bytes.iter().sum();
+        debug_assert_eq!(sent, self.recv_bytes.iter().sum::<u64>());
+        sent
+    }
+
+    /// Total aggregated host-pair messages, derived from the per-host
+    /// participation counts (each pair message counts at both endpoints).
+    pub fn messages(&self) -> u64 {
+        let ends: u64 = self.msgs_per_host.iter().map(|&m| m as u64).sum();
+        debug_assert_eq!(ends % 2, 0, "every pair message has two endpoints");
+        ends / 2
     }
 }
 
@@ -156,6 +167,8 @@ impl<'a> ReliableLink<'a> {
         let mut extra = 0u64;
         let mut backoff = 1u32;
         let mut attempt = 0u32;
+        let mut acks = 0u64;
+        let mut resends = 0u64;
         loop {
             // Each (data, ack) leg of each attempt gets its own decision
             // point, keyed so no two legs ever collide.
@@ -169,6 +182,7 @@ impl<'a> ReliableLink<'a> {
                     extra += bytes;
                 }
                 extra += ACK_BYTES;
+                acks += 1;
                 let ack_ok = !self.session.should_drop(self.round, to, from, tag + 1);
                 if ack_ok {
                     break;
@@ -185,9 +199,20 @@ impl<'a> ReliableLink<'a> {
             stall += backoff;
             backoff = (backoff * 2).min(MAX_BACKOFF_ROUNDS);
             self.recovery.retransmissions += 1;
+            resends += 1;
             extra += bytes;
         }
         self.recovery.retry_bytes += extra;
+        if mrbc_obs::is_enabled() {
+            // The retry/ack traffic class of the reliable layer (the
+            // congest engine tags the same class on its message path).
+            mrbc_obs::counter_add("link.acks", acks);
+            mrbc_obs::counter_add("link.retransmissions", resends);
+            mrbc_obs::counter_add("link.retry_bytes", extra);
+            if stall > 0 {
+                mrbc_obs::counter_add("link.stall_rounds", stall as u64);
+            }
+        }
         (stall, extra)
     }
 }
@@ -235,7 +260,12 @@ impl<M> Exchange<M> {
 
     /// Finalizes the phase: applies the metadata-compression model,
     /// accumulates into `comm`, and returns the per-host inboxes.
-    pub fn finish(self, dg: &DistGraph, dir: PhaseDir, comm: &mut RoundComm) -> Vec<Vec<(usize, M)>> {
+    pub fn finish(
+        self,
+        dg: &DistGraph,
+        dir: PhaseDir,
+        comm: &mut RoundComm,
+    ) -> Vec<Vec<(usize, M)>> {
         self.finish_inner(dg, dir, comm, None)
     }
 
@@ -264,6 +294,8 @@ impl<M> Exchange<M> {
         comm: &mut RoundComm,
         mut link: Option<&mut ReliableLink<'_>>,
     ) -> Vec<Vec<(usize, M)>> {
+        let obs_start = mrbc_obs::now_us();
+        let bytes_before = comm.bytes();
         let h = self.num_hosts;
         let mut phase_stall = 0u32;
         for from in 0..h {
@@ -286,8 +318,6 @@ impl<M> Exchange<M> {
                 comm.recv_bytes[to] += total;
                 comm.msgs_per_host[from] += 1;
                 comm.msgs_per_host[to] += 1;
-                comm.messages += 1;
-                comm.bytes += total;
                 comm.items += items as u64;
                 if let Some(link) = link.as_deref_mut() {
                     let (stall, extra) = link.transfer(from, to, total);
@@ -299,6 +329,34 @@ impl<M> Exchange<M> {
         if let Some(link) = link {
             comm.stall_rounds += phase_stall;
             link.recovery.stall_rounds += phase_stall as u64;
+        }
+        if mrbc_obs::is_enabled() {
+            // Serialization/aggregation cost of this phase finish, split
+            // by direction so reduce and broadcast stay distinguishable.
+            let dur = mrbc_obs::now_us().saturating_sub(obs_start);
+            let (name, us, by) = match dir {
+                PhaseDir::Reduce => (
+                    "exchange.reduce",
+                    "exchange.reduce_us",
+                    "exchange.reduce.bytes",
+                ),
+                PhaseDir::Broadcast => (
+                    "exchange.broadcast",
+                    "exchange.broadcast_us",
+                    "exchange.broadcast.bytes",
+                ),
+            };
+            let bytes = comm.bytes() - bytes_before;
+            mrbc_obs::histogram_record(us, dur);
+            mrbc_obs::counter_add(by, bytes);
+            mrbc_obs::span_at(
+                name,
+                mrbc_obs::Phase::Sync.as_str(),
+                obs_start,
+                dur,
+                0,
+                &[("bytes", bytes)],
+            );
         }
         self.staged
     }
@@ -322,8 +380,8 @@ mod tests {
         let mut ex: Exchange<u32> = Exchange::new(2);
         ex.send(0, 0, 7, 100);
         let inboxes = ex.finish(&dg, PhaseDir::Reduce, &mut comm);
-        assert_eq!(comm.bytes, 0);
-        assert_eq!(comm.messages, 0);
+        assert_eq!(comm.bytes(), 0);
+        assert_eq!(comm.messages(), 0);
         assert_eq!(inboxes[0], vec![(0, 7)]);
     }
 
@@ -336,13 +394,13 @@ mod tests {
         ex.send(0, 1, 2, 10);
         ex.send(0, 1, 3, 10);
         let inboxes = ex.finish(&dg, PhaseDir::Reduce, &mut comm);
-        assert_eq!(comm.messages, 1, "three items, one aggregated message");
+        assert_eq!(comm.messages(), 1, "three items, one aggregated message");
         assert_eq!(comm.items, 3);
         let universe = dg.shared_proxies(0, 1) as u64;
         let meta = universe.div_ceil(8).min(INDEX_META_BYTES * 3);
-        assert_eq!(comm.bytes, MESSAGE_HEADER_BYTES + meta + 30);
-        assert_eq!(comm.sent_bytes[0], comm.bytes);
-        assert_eq!(comm.recv_bytes[1], comm.bytes);
+        assert_eq!(comm.bytes(), MESSAGE_HEADER_BYTES + meta + 30);
+        assert_eq!(comm.sent_bytes[0], comm.bytes());
+        assert_eq!(comm.recv_bytes[1], comm.bytes());
         assert_eq!(inboxes[1].len(), 3);
     }
 
@@ -362,7 +420,7 @@ mod tests {
         let meta = |universe: u64| universe.div_ceil(8).min(INDEX_META_BYTES);
         let reduce_meta = meta(dg.shared_proxies(0, 1) as u64);
         let bcast_meta = meta(dg.shared_proxies(1, 0) as u64);
-        assert_eq!(c1.bytes + bcast_meta, c2.bytes + reduce_meta);
+        assert_eq!(c1.bytes() + bcast_meta, c2.bytes() + reduce_meta);
     }
 
     #[test]
@@ -406,7 +464,11 @@ mod tests {
         }
         // Masking: delivery is exactly what the fault-free run sees.
         assert_eq!(lossy_inboxes, clean_inboxes);
-        assert_eq!(lossy.bytes, clean.bytes, "base wire accounting unchanged");
+        assert_eq!(
+            lossy.bytes(),
+            clean.bytes(),
+            "base wire accounting unchanged"
+        );
         // At p = 0.4 over 40 rounds, some payload drops must have fired,
         // each costing a retransmission and a backoff stall.
         assert!(link.recovery.drops > 0, "{:?}", link.recovery);
@@ -420,8 +482,7 @@ mod tests {
     fn reliable_link_is_deterministic() {
         let dg = two_host_dg();
         let run = || {
-            let plan: mrbc_faults::FaultPlan =
-                "drop:p=0.3;dup:p=0.1;seed=99".parse().unwrap();
+            let plan: mrbc_faults::FaultPlan = "drop:p=0.3;dup:p=0.1;seed=99".parse().unwrap();
             let session = FaultSession::new(plan);
             let mut link = ReliableLink::new(&session, 2);
             let mut comm = RoundComm::new(2);
@@ -465,7 +526,7 @@ mod tests {
                 ex.send(0, 1, i, 12);
             }
             ex.finish(&dg, PhaseDir::Reduce, &mut comm);
-            comm.bytes
+            comm.bytes()
         };
         let many_rounds = {
             let mut comm = RoundComm::new(2);
@@ -474,7 +535,7 @@ mod tests {
                 ex.send(0, 1, i, 12);
                 ex.finish(&dg, PhaseDir::Reduce, &mut comm);
             }
-            comm.bytes
+            comm.bytes()
         };
         assert!(
             one_round < many_rounds,

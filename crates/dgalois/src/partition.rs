@@ -83,8 +83,7 @@ pub fn partition(g: &CsrGraph, num_hosts: usize, policy: PartitionPolicy) -> Dis
                 present.set(gdx);
             }
         }
-        let global_of_local: Vec<VertexId> =
-            present.iter_ones().map(|g| g as VertexId).collect();
+        let global_of_local: Vec<VertexId> = present.iter_ones().map(|g| g as VertexId).collect();
         for (l, &gv) in global_of_local.iter().enumerate() {
             local_of_global[h][gv as usize] = l as LocalId;
         }
@@ -190,7 +189,9 @@ mod tests {
     #[test]
     fn isolated_vertices_get_master_proxies() {
         // Vertex 3 has no edges at all.
-        let g = mrbc_graph::GraphBuilder::new(4).edges([(0, 1), (1, 2)]).build();
+        let g = mrbc_graph::GraphBuilder::new(4)
+            .edges([(0, 1), (1, 2)])
+            .build();
         for policy in POLICIES {
             let dg = partition(&g, 2, policy);
             dg.check_invariants(&g);

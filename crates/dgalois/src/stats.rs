@@ -38,8 +38,18 @@ impl BspStats {
     }
 
     /// Records one finished round.
+    ///
+    /// # Panics
+    /// If the per-host vectors are not sized for `num_hosts` — a
+    /// mis-sized record would corrupt every per-host derived metric.
     pub fn record_round(&mut self, work: Vec<u64>, comm: RoundComm) {
-        debug_assert_eq!(work.len(), self.num_hosts);
+        assert_eq!(
+            work.len(),
+            self.num_hosts,
+            "BspStats::record_round: work vector sized for {} hosts, stats track {}",
+            work.len(),
+            self.num_hosts
+        );
         self.rounds.push(RoundRecord { work, comm });
     }
 
@@ -50,12 +60,12 @@ impl BspStats {
 
     /// Total bytes on the wire.
     pub fn total_bytes(&self) -> u64 {
-        self.rounds.iter().map(|r| r.comm.bytes).sum()
+        self.rounds.iter().map(|r| r.comm.bytes()).sum()
     }
 
     /// Total aggregated host-pair messages.
     pub fn total_messages(&self) -> u64 {
-        self.rounds.iter().map(|r| r.comm.messages).sum()
+        self.rounds.iter().map(|r| r.comm.messages()).sum()
     }
 
     /// Total proxy items synchronized (pre-aggregation).
@@ -85,9 +95,7 @@ impl BspStats {
     pub fn computation_time(&self, cost: &CostModel) -> f64 {
         self.rounds
             .iter()
-            .map(|r| {
-                r.work.iter().copied().max().unwrap_or(0) as f64 * cost.compute_sec_per_unit
-            })
+            .map(|r| r.work.iter().copied().max().unwrap_or(0) as f64 * cost.compute_sec_per_unit)
             .sum()
     }
 
@@ -159,8 +167,8 @@ impl BspStats {
                 i + 1,
                 total,
                 max,
-                r.comm.bytes,
-                r.comm.messages,
+                r.comm.bytes(),
+                r.comm.messages(),
                 r.comm.items,
                 imbalance_ratio(&work_f),
                 r.comm.retry_bytes,
@@ -171,9 +179,29 @@ impl BspStats {
     }
 
     /// Appends another run's rounds (e.g. accumulate per-batch stats).
+    ///
+    /// # Panics
+    /// If the host counts differ (in release builds too): merging stats
+    /// from different host counts would silently mis-attribute every
+    /// per-host metric downstream. Use [`BspStats::try_merge`] to handle
+    /// the mismatch instead.
     pub fn merge(&mut self, other: BspStats) {
-        debug_assert_eq!(self.num_hosts, other.num_hosts);
+        if let Err(e) = self.try_merge(other) {
+            panic!("BspStats::merge: {e}");
+        }
+    }
+
+    /// Fallible [`BspStats::merge`]: refuses (with a descriptive error)
+    /// to combine stats recorded for different host counts.
+    pub fn try_merge(&mut self, other: BspStats) -> Result<(), String> {
+        if self.num_hosts != other.num_hosts {
+            return Err(format!(
+                "num_hosts mismatch: {} vs {}",
+                self.num_hosts, other.num_hosts
+            ));
+        }
         self.rounds.extend(other.rounds);
+        Ok(())
     }
 }
 
@@ -187,8 +215,6 @@ mod tests {
         c.recv_bytes[1] = sent0;
         c.msgs_per_host[0] = msgs as u32;
         c.msgs_per_host[1] = msgs as u32;
-        c.messages = msgs;
-        c.bytes = sent0;
         c
     }
 
@@ -268,7 +294,10 @@ mod tests {
         let mut buf = Vec::new();
         faulty.write_csv(&mut buf).expect("csv");
         let text = String::from_utf8(buf).expect("utf8");
-        assert!(text.lines().nth(1).expect("row").ends_with(",300,4"), "{text}");
+        assert!(
+            text.lines().nth(1).expect("row").ends_with(",300,4"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -280,5 +309,29 @@ mod tests {
         a.merge(b);
         assert_eq!(a.num_rounds(), 2);
         assert_eq!(a.total_work(), 6);
+    }
+
+    #[test]
+    fn try_merge_rejects_host_count_mismatch() {
+        let mut a = BspStats::new(2);
+        let b = BspStats::new(3);
+        let err = a.try_merge(b).unwrap_err();
+        assert!(err.contains("2 vs 3"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "num_hosts mismatch")]
+    fn merge_panics_on_host_count_mismatch_in_release_too() {
+        let mut a = BspStats::new(2);
+        a.merge(BspStats::new(4));
+    }
+
+    #[test]
+    fn aggregates_derive_from_per_host_vectors() {
+        let c = comm2(128, 3);
+        assert_eq!(c.bytes(), 128);
+        assert_eq!(c.messages(), 3);
+        assert_eq!(RoundComm::new(2).bytes(), 0);
+        assert_eq!(RoundComm::new(2).messages(), 0);
     }
 }

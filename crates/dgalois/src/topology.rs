@@ -148,9 +148,7 @@ impl DistGraph {
             .filter(|&&l| l != NO_LOCAL)
             .count();
         let distinct: usize = (0..self.num_global_vertices)
-            .filter(|&g| {
-                (0..self.num_hosts).any(|h| self.local_of_global[h][g] != NO_LOCAL)
-            })
+            .filter(|&g| (0..self.num_hosts).any(|h| self.local_of_global[h][g] != NO_LOCAL))
             .count();
         if distinct == 0 {
             0.0
@@ -218,9 +216,7 @@ impl DistGraph {
         // (3) mirror lists are exact.
         for g in 0..self.num_global_vertices {
             let mut expect: Vec<HostId> = (0..self.num_hosts)
-                .filter(|&h| {
-                    h != self.owner[g] as usize && self.local_of_global[h][g] != NO_LOCAL
-                })
+                .filter(|&h| h != self.owner[g] as usize && self.local_of_global[h][g] != NO_LOCAL)
                 .map(|h| h as HostId)
                 .collect();
             expect.sort_unstable();

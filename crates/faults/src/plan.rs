@@ -133,15 +133,17 @@ impl FromStr for FaultPlan {
                     .map_err(|_| err(format!("cannot parse seed {:?}", seed.trim())))?;
                 continue;
             }
-            let (kind, body) = clause
-                .split_once(':')
-                .ok_or_else(|| err(format!("clause {clause:?} has no kind (expected kind:args)")))?;
+            let (kind, body) = clause.split_once(':').ok_or_else(|| {
+                err(format!(
+                    "clause {clause:?} has no kind (expected kind:args)"
+                ))
+            })?;
             match kind.trim() {
                 "crash" => {
                     // crash:host=H@round=R
-                    let (host_kv, round_kv) = body
-                        .split_once('@')
-                        .ok_or_else(|| err(format!("crash clause {body:?}: expected host=H@round=R")))?;
+                    let (host_kv, round_kv) = body.split_once('@').ok_or_else(|| {
+                        err(format!("crash clause {body:?}: expected host=H@round=R"))
+                    })?;
                     plan.crashes.push(CrashFault {
                         host: keyed(host_kv, "host")?,
                         round: keyed(round_kv, "round")?,
@@ -159,8 +161,10 @@ impl FromStr for FaultPlan {
                         .split_once('-')
                         .ok_or_else(|| err(format!("pair {pair:?}: expected A-B")))?;
                     plan.delays.push(DelayFault {
-                        a: a.parse().map_err(|_| err(format!("bad pair endpoint {a:?}")))?,
-                        b: b.parse().map_err(|_| err(format!("bad pair endpoint {b:?}")))?,
+                        a: a.parse()
+                            .map_err(|_| err(format!("bad pair endpoint {a:?}")))?,
+                        b: b.parse()
+                            .map_err(|_| err(format!("bad pair endpoint {b:?}")))?,
                         rounds: keyed(rounds_kv, "rounds")?,
                     });
                 }
@@ -208,7 +212,11 @@ mod tests {
         assert_eq!(plan.dup_p, 0.0);
         assert_eq!(
             plan.delays,
-            vec![DelayFault { a: 0, b: 3, rounds: 2 }]
+            vec![DelayFault {
+                a: 0,
+                b: 3,
+                rounds: 2
+            }]
         );
         assert!(!plan.is_empty());
         assert!(!plan.is_maskable());

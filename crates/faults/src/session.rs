@@ -58,8 +58,7 @@ impl FaultSession {
 
     /// Does the network deliver a spurious duplicate of this message?
     pub fn should_duplicate(&self, round: u32, from: usize, to: usize, attempt: u64) -> bool {
-        self.plan.dup_p > 0.0
-            && self.unit(STREAM_DUP, round, from, to, attempt) < self.plan.dup_p
+        self.plan.dup_p > 0.0 && self.unit(STREAM_DUP, round, from, to, attempt) < self.plan.dup_p
     }
 
     /// Extra straggler rounds for a message between `from` and `to`
@@ -122,9 +121,7 @@ mod tests {
     fn drop_rate_tracks_probability() {
         let s = session("drop:p=0.25;seed=1");
         let n = 10_000;
-        let dropped = (0..n)
-            .filter(|&i| s.should_drop(i as u32, 0, 1, 0))
-            .count();
+        let dropped = (0..n).filter(|&i| s.should_drop(i as u32, 0, 1, 0)).count();
         let rate = dropped as f64 / n as f64;
         assert!((rate - 0.25).abs() < 0.02, "observed drop rate {rate}");
     }
@@ -155,7 +152,11 @@ mod tests {
         assert_eq!(s.delay_rounds(0, 1), 0);
         assert_eq!(
             s.plan().delays[0],
-            DelayFault { a: 0, b: 3, rounds: 2 }
+            DelayFault {
+                a: 0,
+                b: 3,
+                rounds: 2
+            }
         );
     }
 

@@ -101,7 +101,11 @@ pub fn double_sweep_diameter(g: &CsrGraph, start: VertexId) -> Dist {
 /// distance observed from the given sample of sources (the paper estimates
 /// the diameter from the sampled BC sources).
 pub fn estimated_diameter(g: &CsrGraph, sources: &[VertexId]) -> Dist {
-    sources.iter().map(|&s| eccentricity(g, s)).max().unwrap_or(0)
+    sources
+        .iter()
+        .map(|&s| eccentricity(g, s))
+        .max()
+        .unwrap_or(0)
 }
 
 /// True if every vertex is reachable from every other vertex.
@@ -111,7 +115,9 @@ pub fn is_strongly_connected(g: &CsrGraph) -> bool {
         return true;
     }
     bfs_distances(g, 0).iter().all(|&d| d != INF_DIST)
-        && bfs_distances(&g.reverse(), 0).iter().all(|&d| d != INF_DIST)
+        && bfs_distances(&g.reverse(), 0)
+            .iter()
+            .all(|&d| d != INF_DIST)
 }
 
 /// True if the undirected version `U_G` is connected.
@@ -171,8 +177,7 @@ pub fn strongly_connected_components(g: &CsrGraph) -> (Vec<usize>, usize) {
             } else {
                 call.pop();
                 if let Some(&(parent, _)) = call.last() {
-                    lowlink[parent as usize] =
-                        lowlink[parent as usize].min(lowlink[v as usize]);
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
                 }
                 if lowlink[v as usize] == index[v as usize] {
                     loop {
@@ -229,10 +234,7 @@ pub fn largest_scc(g: &CsrGraph) -> (CsrGraph, Vec<VertexId>) {
 /// Returns `(parent, children)` where `parent[root] == root`. This is the
 /// tree `B` built in Step 1 of Algorithm 3 and consumed by the
 /// APSP-Finalizer (Algorithm 4).
-pub fn undirected_bfs_tree(
-    g: &CsrGraph,
-    root: VertexId,
-) -> (Vec<VertexId>, Vec<Vec<VertexId>>) {
+pub fn undirected_bfs_tree(g: &CsrGraph, root: VertexId) -> (Vec<VertexId>, Vec<Vec<VertexId>>) {
     let u = g.undirected();
     let n = u.num_vertices();
     let mut parent = vec![VertexId::MAX; n];
@@ -303,7 +305,9 @@ mod tests {
     #[test]
     fn double_sweep_bounds_the_diameter() {
         // Exact on trees and paths; a lower bound everywhere.
-        let p = GraphBuilder::new(5).edges([(0, 1), (1, 2), (2, 3), (3, 4)]).build();
+        let p = GraphBuilder::new(5)
+            .edges([(0, 1), (1, 2), (2, 3), (3, 4)])
+            .build();
         let tree = crate::generators::balanced_tree(2, 4);
         assert_eq!(double_sweep_diameter(&p, 0), 4);
         assert_eq!(double_sweep_diameter(&tree, 0), exact_diameter(&tree));

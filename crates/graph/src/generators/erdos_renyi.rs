@@ -88,7 +88,10 @@ mod tests {
     fn strongly_connected_by_construction() {
         for seed in 0..5 {
             let g = random_strongly_connected(50, 0.02, seed);
-            assert!(is_strongly_connected(&g), "seed {seed} not strongly connected");
+            assert!(
+                is_strongly_connected(&g),
+                "seed {seed} not strongly connected"
+            );
         }
     }
 

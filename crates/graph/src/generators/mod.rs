@@ -17,7 +17,7 @@ mod watts_strogatz;
 mod webcrawl;
 
 pub use barabasi_albert::barabasi_albert;
-pub use classic::{complete, cycle, path, star, balanced_tree};
+pub use classic::{balanced_tree, complete, cycle, path, star};
 pub use erdos_renyi::{erdos_renyi, random_strongly_connected};
 pub use grid::{grid_road_network, RoadNetworkConfig};
 pub use kronecker::{kronecker, KroneckerConfig};
@@ -32,14 +32,20 @@ mod tests {
 
     #[test]
     fn all_generators_are_deterministic_per_seed() {
-        assert_eq!(rmat(RmatConfig::new(8, 4), 7), rmat(RmatConfig::new(8, 4), 7));
+        assert_eq!(
+            rmat(RmatConfig::new(8, 4), 7),
+            rmat(RmatConfig::new(8, 4), 7)
+        );
         assert_eq!(
             kronecker(KroneckerConfig::new(6, 3), 9),
             kronecker(KroneckerConfig::new(6, 3), 9)
         );
         assert_eq!(erdos_renyi(100, 0.05, 3), erdos_renyi(100, 0.05, 3));
         assert_eq!(barabasi_albert(100, 3, 5), barabasi_albert(100, 3, 5));
-        assert_eq!(watts_strogatz(100, 4, 0.1, 2), watts_strogatz(100, 4, 0.1, 2));
+        assert_eq!(
+            watts_strogatz(100, 4, 0.1, 2),
+            watts_strogatz(100, 4, 0.1, 2)
+        );
         assert_eq!(
             web_crawl(WebCrawlConfig::new(200), 11),
             web_crawl(WebCrawlConfig::new(200), 11)
@@ -48,7 +54,10 @@ mod tests {
 
     #[test]
     fn seeds_change_random_generators() {
-        assert_ne!(rmat(RmatConfig::new(8, 4), 1), rmat(RmatConfig::new(8, 4), 2));
+        assert_ne!(
+            rmat(RmatConfig::new(8, 4), 1),
+            rmat(RmatConfig::new(8, 4), 2)
+        );
         assert_ne!(erdos_renyi(100, 0.05, 1), erdos_renyi(100, 0.05, 2));
     }
 

@@ -81,7 +81,11 @@ pub fn read_edge_list(
             }
         }
     }
-    let inferred = if edges.is_empty() { 0 } else { max_id as usize + 1 };
+    let inferred = if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    };
     let n = num_vertices.or(header_n).unwrap_or(inferred);
     Ok(GraphBuilder::new(n.max(inferred)).edges(edges).build())
 }

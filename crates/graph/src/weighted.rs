@@ -91,7 +91,10 @@ impl WeightedCsrGraph {
     /// Out-edges of `v` as `(target, weight)` pairs.
     pub fn out_edges(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
         let vi = v as usize;
-        let (lo, hi) = (self.graph.raw_offsets()[vi], self.graph.raw_offsets()[vi + 1]);
+        let (lo, hi) = (
+            self.graph.raw_offsets()[vi],
+            self.graph.raw_offsets()[vi + 1],
+        );
         self.graph.raw_targets()[lo..hi]
             .iter()
             .zip(&self.weights[lo..hi])
@@ -113,7 +116,10 @@ impl WeightedCsrGraph {
             .edges(triples.iter().map(|&(a, b, _)| (a, b)))
             .build();
         let weights = triples.into_iter().map(|(_, _, w)| w).collect();
-        Self { graph: rev, weights }
+        Self {
+            graph: rev,
+            weights,
+        }
     }
 }
 

@@ -1,0 +1,357 @@
+//! The per-run [`Recorder`]: counters, gauges, histograms and the trace
+//! event buffer, together with their JSON exporters.
+
+use std::collections::BTreeMap;
+
+use crate::json::{self, JsonWriter};
+
+/// Hard cap on buffered trace events so a runaway run cannot exhaust
+/// memory; overflow is counted in [`Recorder::dropped_events`] and
+/// surfaced in the metrics snapshot.
+pub const MAX_TRACE_EVENTS: usize = 1 << 20;
+
+/// A single Chrome-trace "complete" (`ph:"X"`) event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event name (shown on the timeline slice).
+    pub name: &'static str,
+    /// Category — we use the [`crate::Phase`] tag so Perfetto can
+    /// filter forward APSP vs accumulation vs sync traffic.
+    pub cat: &'static str,
+    /// Start timestamp in microseconds since the recorder epoch.
+    pub ts_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Track id — host id for per-host spans, 0 for the driver.
+    pub tid: u32,
+    /// Extra key/value payload rendered into the event's `args` object.
+    pub args: Vec<(&'static str, u64)>,
+}
+
+/// A log2-bucketed histogram of `u64` samples (typically microseconds
+/// or bytes). Bucket `i` counts samples whose value has bit-length `i`,
+/// i.e. `v == 0` lands in bucket 0 and otherwise
+/// `bucket = 64 - v.leading_zeros()`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        let b = (64 - v.leading_zeros()) as usize;
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Inclusive lower bound of the bucket holding the p-th percentile
+    /// sample (`p` in 0..=100). Log2 buckets make this exact only to a
+    /// factor of two, which is all the live progress line needs.
+    pub fn percentile_bucket_lo(&self, p: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (self.count.saturating_mul(p)).div_ceil(100).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i == 0 { 0 } else { 1u64 << (i - 1) };
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(inclusive_lo, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << (i - 1) }, c))
+            .collect()
+    }
+}
+
+/// Accumulates everything observed during one run and serializes it to
+/// the two export formats (Chrome-trace timeline, metrics snapshot).
+///
+/// A `Recorder` is usually installed globally via [`crate::install`],
+/// but it can also be driven directly — the golden-file tests build one
+/// by hand with fixed timestamps so the JSON output is byte-stable.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    /// Human-readable run label, embedded in both exports.
+    pub run: String,
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    events: Vec<TraceEvent>,
+    dropped_events: u64,
+    /// Extra top-level JSON objects for the metrics snapshot, keyed by
+    /// field name. Values must be valid JSON — the bound-probe report
+    /// from `mrbc-core` lands here as `"bounds"`.
+    extras: BTreeMap<&'static str, String>,
+}
+
+impl Recorder {
+    /// Create an empty recorder for the named run.
+    pub fn new(run: impl Into<String>) -> Self {
+        Recorder {
+            run: run.into(),
+            ..Recorder::default()
+        }
+    }
+
+    /// Add `delta` to the named counter.
+    pub fn counter_add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Set the named gauge to its latest value.
+    pub fn gauge_set(&mut self, name: &'static str, value: u64) {
+        self.gauges.insert(name, value);
+    }
+
+    /// Record one histogram sample.
+    pub fn histogram_record(&mut self, name: &'static str, value: u64) {
+        self.histograms.entry(name).or_default().record(value);
+    }
+
+    /// Append a trace event (dropped, and counted, past the buffer cap).
+    pub fn push_event(&mut self, ev: TraceEvent) {
+        if self.events.len() >= MAX_TRACE_EVENTS {
+            self.dropped_events += 1;
+        } else {
+            self.events.push(ev);
+        }
+    }
+
+    /// Attach a pre-rendered JSON value under `key` at the top level of
+    /// the metrics snapshot.
+    pub fn set_extra(&mut self, key: &'static str, value_json: String) {
+        self.extras.insert(key, value_json);
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge, if set.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The named histogram, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Buffered trace events, in recording order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events dropped because the buffer cap was hit.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped_events
+    }
+
+    /// Serialize the event buffer as Chrome-trace / Perfetto JSON
+    /// (`chrome://tracing` "JSON Array Format" wrapped in an object).
+    pub fn to_chrome_trace_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("traceEvents");
+        w.begin_array();
+        for ev in &self.events {
+            w.begin_object();
+            w.key("name");
+            w.string(ev.name);
+            w.key("cat");
+            w.string(ev.cat);
+            w.key("ph");
+            w.string("X");
+            w.key("ts");
+            w.number(ev.ts_us);
+            w.key("dur");
+            w.number(ev.dur_us);
+            w.key("pid");
+            w.number(1);
+            w.key("tid");
+            w.number(ev.tid as u64);
+            if !ev.args.is_empty() {
+                w.key("args");
+                w.begin_object();
+                for &(k, v) in &ev.args {
+                    w.key(k);
+                    w.number(v);
+                }
+                w.end_object();
+            }
+            w.end_object();
+        }
+        w.end_array();
+        w.key("displayTimeUnit");
+        w.string("ms");
+        w.key("otherData");
+        w.begin_object();
+        w.key("run");
+        w.string(&self.run);
+        w.key("schema");
+        w.string(json::TRACE_SCHEMA);
+        w.key("droppedEvents");
+        w.number(self.dropped_events);
+        w.end_object();
+        w.end_object();
+        w.finish()
+    }
+
+    /// Serialize counters/gauges/histograms (plus any extras) as the
+    /// stable metrics-snapshot JSON document.
+    pub fn to_metrics_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("schema");
+        w.string(json::METRICS_SCHEMA);
+        w.key("run");
+        w.string(&self.run);
+        w.key("counters");
+        w.begin_object();
+        for (&k, &v) in &self.counters {
+            w.key(k);
+            w.number(v);
+        }
+        w.end_object();
+        w.key("gauges");
+        w.begin_object();
+        for (&k, &v) in &self.gauges {
+            w.key(k);
+            w.number(v);
+        }
+        w.end_object();
+        w.key("histograms");
+        w.begin_object();
+        for (&k, h) in &self.histograms {
+            w.key(k);
+            w.begin_object();
+            w.key("count");
+            w.number(h.count());
+            w.key("sum");
+            w.number(h.sum());
+            w.key("min");
+            w.number(h.min());
+            w.key("max");
+            w.number(h.max());
+            w.key("p50_bucket_lo");
+            w.number(h.percentile_bucket_lo(50));
+            w.key("buckets");
+            w.begin_array();
+            for (lo, c) in h.nonzero_buckets() {
+                w.begin_array();
+                w.number(lo);
+                w.number(c);
+                w.end_array();
+            }
+            w.end_array();
+            w.end_object();
+        }
+        w.end_object();
+        w.key("trace_events");
+        w.number(self.events.len() as u64);
+        w.key("dropped_events");
+        w.number(self.dropped_events);
+        for (&k, v) in &self.extras {
+            w.key(k);
+            w.raw(v);
+        }
+        w.end_object();
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1010);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        // 0 → bucket lo 0; 1 → lo 1; 2,3 → lo 2; 4 → lo 4; 1000 → lo 512.
+        assert_eq!(
+            h.nonzero_buckets(),
+            vec![(0, 1), (1, 1), (2, 2), (4, 1), (512, 1)]
+        );
+        assert_eq!(h.percentile_bucket_lo(50), 2);
+        assert_eq!(h.percentile_bucket_lo(100), 512);
+    }
+
+    #[test]
+    fn event_buffer_caps_and_counts_drops() {
+        let mut r = Recorder::new("cap");
+        for i in 0..3 {
+            r.push_event(TraceEvent {
+                name: "e",
+                cat: "c",
+                ts_us: i,
+                dur_us: 1,
+                tid: 0,
+                args: Vec::new(),
+            });
+        }
+        assert_eq!(r.events().len(), 3);
+        assert_eq!(r.dropped_events(), 0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Golden-file tests: the two JSON export formats are byte-stable for a
+//! hand-built recorder, so any schema change is a deliberate diff here.
+
+use mrbc_obs::{Recorder, TraceEvent};
+
+fn sample_recorder() -> Recorder {
+    let mut r = Recorder::new("golden-run");
+    r.counter_add("congest.rounds", 12);
+    r.counter_add("congest.messages", 340);
+    r.gauge_set("probe.within_bounds", 1);
+    r.histogram_record("round_us", 3);
+    r.histogram_record("round_us", 90);
+    r.push_event(TraceEvent {
+        name: "mrbc.forward",
+        cat: "forward",
+        ts_us: 10,
+        dur_us: 250,
+        tid: 0,
+        args: vec![("n", 64), ("k", 8)],
+    });
+    r.push_event(TraceEvent {
+        name: "mrbc.backward",
+        cat: "accumulation",
+        ts_us: 260,
+        dur_us: 120,
+        tid: 0,
+        args: Vec::new(),
+    });
+    r.set_extra(
+        "bounds",
+        "{\"model\":\"congest\",\"within_bounds\":true}".to_string(),
+    );
+    r
+}
+
+#[test]
+fn metrics_snapshot_is_byte_stable() {
+    let got = sample_recorder().to_metrics_json();
+    let want = concat!(
+        "{\"schema\":\"mrbc-metrics-v1\",\"run\":\"golden-run\",",
+        "\"counters\":{\"congest.messages\":340,\"congest.rounds\":12},",
+        "\"gauges\":{\"probe.within_bounds\":1},",
+        "\"histograms\":{\"round_us\":{\"count\":2,\"sum\":93,\"min\":3,\"max\":90,",
+        "\"p50_bucket_lo\":2,\"buckets\":[[2,1],[64,1]]}},",
+        "\"trace_events\":2,\"dropped_events\":0,",
+        "\"bounds\":{\"model\":\"congest\",\"within_bounds\":true}}",
+    );
+    assert_eq!(got, want);
+    // The document round-trips through the bundled parser.
+    let v = mrbc_obs::json::parse(&got).expect("valid JSON");
+    assert_eq!(
+        v.get("schema").and_then(mrbc_obs::json::Value::as_str),
+        Some("mrbc-metrics-v1")
+    );
+}
+
+#[test]
+fn chrome_trace_is_byte_stable() {
+    let got = sample_recorder().to_chrome_trace_json();
+    let want = concat!(
+        "{\"traceEvents\":[",
+        "{\"name\":\"mrbc.forward\",\"cat\":\"forward\",\"ph\":\"X\",\"ts\":10,",
+        "\"dur\":250,\"pid\":1,\"tid\":0,\"args\":{\"n\":64,\"k\":8}},",
+        "{\"name\":\"mrbc.backward\",\"cat\":\"accumulation\",\"ph\":\"X\",\"ts\":260,",
+        "\"dur\":120,\"pid\":1,\"tid\":0}",
+        "],\"displayTimeUnit\":\"ms\",",
+        "\"otherData\":{\"run\":\"golden-run\",\"schema\":\"mrbc-trace-v1\",",
+        "\"droppedEvents\":0}}",
+    );
+    assert_eq!(got, want);
+    let v = mrbc_obs::json::parse(&got).expect("valid JSON");
+    assert_eq!(
+        v.get("traceEvents")
+            .and_then(mrbc_obs::json::Value::as_arr)
+            .map(<[_]>::len),
+        Some(2)
+    );
+}

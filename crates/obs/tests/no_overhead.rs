@@ -1,0 +1,63 @@
+//! With no recorder installed (and equally with the `record` feature
+//! compiled out), every instrumentation entry point must stay off the
+//! allocator — the hot paths of the algorithms call these per round and
+//! per message, and "observability disabled" has to mean free.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to the system allocator; the counter is a
+// relaxed atomic with no further invariants.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_instrumentation_never_allocates() {
+    let _guard = mrbc_obs::test_mutex().lock().unwrap();
+    assert!(
+        mrbc_obs::uninstall().is_none(),
+        "test requires no installed recorder"
+    );
+    mrbc_obs::set_verbose(false);
+    // Touch every entry point once outside the measured window so any
+    // lazy one-time setup does not count against the hot path.
+    exercise(1);
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    exercise(10_000);
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled observability calls must not touch the allocator"
+    );
+}
+
+fn exercise(iters: u64) {
+    for i in 0..iters {
+        mrbc_obs::counter_add("test.counter", 1);
+        mrbc_obs::gauge_set("test.gauge", i);
+        mrbc_obs::histogram_record("test.hist", i);
+        mrbc_obs::span_at("ev", "cat", i, 1, 0, &[("k", i)]);
+        let span = mrbc_obs::span("scoped", "cat").arg("k", i);
+        drop(span);
+        let _ = mrbc_obs::now_us();
+        let _ = mrbc_obs::is_enabled();
+        mrbc_obs::progress("never shown");
+    }
+}

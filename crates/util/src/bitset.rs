@@ -94,9 +94,16 @@ impl DenseBitset {
 
     /// Number of set bits strictly below `i` (the *rank* of `i`).
     pub fn rank(&self, i: usize) -> usize {
-        assert!(i <= self.len, "rank index {i} out of range 0..={}", self.len);
+        assert!(
+            i <= self.len,
+            "rank index {i} out of range 0..={}",
+            self.len
+        );
         let (w, b) = (i / 64, i % 64);
-        let mut r: usize = self.words[..w].iter().map(|x| x.count_ones() as usize).sum();
+        let mut r: usize = self.words[..w]
+            .iter()
+            .map(|x| x.count_ones() as usize)
+            .sum();
         if b > 0 && w < self.words.len() {
             r += (self.words[w] & ((1u64 << b) - 1)).count_ones() as usize;
         }

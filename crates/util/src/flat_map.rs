@@ -35,7 +35,9 @@ impl<K: Ord, V> Default for FlatMap<K, V> {
 impl<K: Ord, V> FlatMap<K, V> {
     /// Creates an empty map.
     pub fn new() -> Self {
-        Self { entries: Vec::new() }
+        Self {
+            entries: Vec::new(),
+        }
     }
 
     /// Creates an empty map with pre-reserved capacity.

@@ -99,7 +99,10 @@ pub fn imbalance_ratio(per_host_work: &[f64]) -> f64 {
         return 1.0;
     }
     let mean = sum / per_host_work.len() as f64;
-    let max = per_host_work.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let max = per_host_work
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
     max / mean
 }
 

@@ -45,7 +45,11 @@ fn main() {
     // Theorem 1, part I.2: exactly 2n rounds, at most mn messages.
     let fixed = directed_apsp(&g, &all, TerminationMode::FixedTwoN);
     println!("\nwithout the finalizer (fixed 2n rounds):");
-    println!("  rounds   = {:>8}   (= 2n = {})", fixed.forward.rounds, 2 * n);
+    println!(
+        "  rounds   = {:>8}   (= 2n = {})",
+        fixed.forward.rounds,
+        2 * n
+    );
     println!(
         "  messages = {:>8}   bound mn = {}",
         fixed.forward.messages,

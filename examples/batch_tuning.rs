@@ -19,9 +19,16 @@ fn sweep(name: &str, g: &CsrGraph, num_sources: usize) {
         "\n{name}: |V| = {}, estimated diameter = {} ({})",
         props.num_vertices,
         props.estimated_diameter,
-        if props.is_low_diameter() { "low-diameter" } else { "non-trivial diameter" },
+        if props.is_low_diameter() {
+            "low-diameter"
+        } else {
+            "non-trivial diameter"
+        },
     );
-    println!("{:>8}{:>10}{:>16}{:>18}", "k", "rounds", "volume (KiB)", "exec time (ms)");
+    println!(
+        "{:>8}{:>10}{:>16}{:>18}",
+        "k", "rounds", "volume (KiB)", "exec time (ms)"
+    );
     for k in [4, 16, 64] {
         let r = bc(
             g,
@@ -57,7 +64,5 @@ fn main() {
     );
     sweep("web crawl (long tails)", &crawl, 64);
 
-    println!(
-        "\nas in Figure 1: increasing k helps in proportion to the graph's diameter."
-    );
+    println!("\nas in Figure 1: increasing k helps in proportion to the graph's diameter.");
 }

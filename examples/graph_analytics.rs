@@ -83,8 +83,8 @@ fn main() {
     let top_pr = top(&pr.ranks, 20);
     let top_bc = top(&result.bc, 20);
     let overlap = top_pr.iter().filter(|v| top_bc.contains(v)).count();
+    println!("\ntop-20 overlap between PageRank hubs and BC brokers: {overlap}/20");
     println!(
-        "\ntop-20 overlap between PageRank hubs and BC brokers: {overlap}/20"
+        "(hubs attract links; brokers sit on shortest paths — related but not identical roles)"
     );
-    println!("(hubs attract links; brokers sit on shortest paths — related but not identical roles)");
 }

@@ -22,7 +22,10 @@ fn main() {
         "road network: |V| = {}, |E| = {}, estimated diameter = {}",
         props.num_vertices, props.num_edges, props.estimated_diameter
     );
-    assert!(!props.is_low_diameter(), "this example needs a high-diameter input");
+    assert!(
+        !props.is_low_diameter(),
+        "this example needs a high-diameter input"
+    );
 
     let mut cfg = BcConfig {
         num_hosts: 8,
@@ -44,7 +47,10 @@ fn main() {
             .unwrap_or_else(|| "async".into())
     };
 
-    println!("\n{:<10}{:>12}{:>18}{:>22}", "algorithm", "rounds", "exec time/src", "comm time/src");
+    println!(
+        "\n{:<10}{:>12}{:>18}{:>22}",
+        "algorithm", "rounds", "exec time/src", "comm time/src"
+    );
     for (name, r) in [("SBBC", &sbbc), ("MRBC", &mrbc), ("ABBC", &abbc)] {
         println!(
             "{:<10}{:>12}{:>17.4}s{:>21.4}s",

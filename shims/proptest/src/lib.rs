@@ -312,8 +312,7 @@ macro_rules! prop_assert_ne {
     ($a:expr, $b:expr $(,)?) => {{
         let (lhs, rhs) = (&$a, &$b);
         if lhs == rhs {
-            return ::core::result::Result::Err(
-                format!("prop_assert_ne failed: both {:?}", lhs));
+            return ::core::result::Result::Err(format!("prop_assert_ne failed: both {:?}", lhs));
         }
     }};
 }

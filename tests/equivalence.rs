@@ -22,7 +22,10 @@ fn assert_bc_close(label: &str, got: &[f64], want: &[f64]) {
 fn shapes() -> Vec<(&'static str, CsrGraph)> {
     vec![
         ("rmat", generators::rmat(RmatConfig::new(7, 6), 42)),
-        ("kron", generators::kronecker(KroneckerConfig::new(7, 6), 43)),
+        (
+            "kron",
+            generators::kronecker(KroneckerConfig::new(7, 6), 43),
+        ),
         ("ba-social", generators::barabasi_albert(150, 3, 44)),
         (
             "road",

@@ -73,7 +73,10 @@ fn abbc_wins_on_road_networks() {
     let sb = run(&g, &sources, Algorithm::Sbbc, 8, 8);
     let mr = run(&g, &sources, Algorithm::Mrbc, 8, 8);
     assert!(ab.execution_time < mr.execution_time);
-    assert!(mr.execution_time < sb.execution_time, "MRBC should still beat SBBC");
+    assert!(
+        mr.execution_time < sb.execution_time,
+        "MRBC should still beat SBBC"
+    );
 }
 
 #[test]

@@ -4,9 +4,7 @@
 
 use mrbc::prelude::*;
 use mrbc_analytics::{connected_components, pagerank, pagerank_sequential, sssp, PageRankConfig};
-use mrbc_core::congest::mrbc::{
-    mrbc_bc_with_precision, SigmaPrecision, TerminationMode,
-};
+use mrbc_core::congest::mrbc::{mrbc_bc_with_precision, SigmaPrecision, TerminationMode};
 use mrbc_core::dist::mrbc::{mrbc_bc_with_options, MrbcOptions};
 use mrbc_core::weighted;
 use mrbc_graph::weighted::WeightedCsrGraph;
@@ -57,8 +55,12 @@ fn sigma_precision_trades_bits_for_bounded_error() {
     let g = generators::barabasi_albert(300, 3, 4);
     let sources: Vec<u32> = (0..24).collect();
     let exact = mrbc_core::congest::mrbc::mrbc_bc(&g, &sources, TerminationMode::GlobalDetection);
-    let approx =
-        mrbc_bc_with_precision(&g, &sources, TerminationMode::GlobalDetection, SigmaPrecision::Single);
+    let approx = mrbc_bc_with_precision(
+        &g,
+        &sources,
+        TerminationMode::GlobalDetection,
+        SigmaPrecision::Single,
+    );
     assert!(approx.forward.bits < exact.forward.bits);
     for (a, e) in approx.bc.iter().zip(&exact.bc) {
         assert!((a - e).abs() <= 1e-4 * e.abs().max(1.0), "{a} vs {e}");

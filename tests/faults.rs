@@ -92,8 +92,16 @@ fn driver_bc_masks_network_faults_under_every_algorithm() {
         );
         assert_eq!(clean.bc, faulty.bc, "{}: masking must be exact", alg.name());
         let rec = faulty.recovery.expect("ledger present under a fault plan");
-        assert!(rec.drops > 0 && rec.retransmissions > 0, "{}: {rec:?}", alg.name());
-        assert!(rec.stall_rounds > 0, "{}: straggler link must stall", alg.name());
+        assert!(
+            rec.drops > 0 && rec.retransmissions > 0,
+            "{}: {rec:?}",
+            alg.name()
+        );
+        assert!(
+            rec.stall_rounds > 0,
+            "{}: straggler link must stall",
+            alg.name()
+        );
         assert!(
             faulty.communication_time >= clean.communication_time,
             "{}: fault overhead cannot speed the run up",
@@ -116,7 +124,8 @@ fn crash_plus_network_faults_compose() {
         ..PageRankConfig::default()
     };
     let clean = pagerank(&g, &dg, &cfg);
-    let spec = "crash:host=0@round=4;crash:host=3@round=10;drop:p=0.05;delay:pair=1-2,rounds=1;seed=77";
+    let spec =
+        "crash:host=0@round=4;crash:host=3@round=10;drop:p=0.05;delay:pair=1-2,rounds=1;seed=77";
     let session = FaultSession::new(plan(spec));
     let (got, rec) = pagerank_with_faults(&g, &dg, &cfg, &session, 3);
     assert_eq!(clean.ranks, got.ranks);

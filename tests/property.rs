@@ -166,8 +166,8 @@ proptest! {
 /// no crashes) over a fixed host count.
 fn arb_maskable_plan(hosts: usize) -> impl Strategy<Value = FaultPlan> {
     (
-        0u32..400,  // drop probability, in permille
-        0u32..200,  // duplication probability, in permille
+        0u32..400, // drop probability, in permille
+        0u32..200, // duplication probability, in permille
         proptest::collection::vec((0..hosts, 0..hosts, 1u32..4), 0..3),
         0u64..1_000_000,
     )
