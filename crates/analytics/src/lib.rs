@@ -17,9 +17,6 @@
 //!
 //! [`BspStats`]: mrbc_dgalois::BspStats
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod cc;
 mod pr;
 mod shortest_path;

@@ -103,6 +103,7 @@ pub fn sssp(wg: &WeightedCsrGraph, dg: &DistGraph, source: VertexId) -> SsspOutc
                         .out_edges(gu)
                         .find(|&(t, _)| t == gv)
                         .map(|(_, wt)| wt as WDist)
+                        // lint: allow(unwrap): the edge came from this graph's own partition
                         .expect("partition edge exists in weighted graph");
                     w.push(weight);
                 }

@@ -1,0 +1,31 @@
+//! `mrbc-analyze`: the workspace's own static-analysis and
+//! model-checking toolbox.
+//!
+//! Two halves, one binary:
+//!
+//! * **Lint engine** ([`lints`], [`walk`], [`lexer`]) — project-specific
+//!   rules `clippy` cannot express because they are about *this*
+//!   codebase's layering contract: wall-clock reads live only in
+//!   `mrbc-obs`, protocol crates stay deterministic, library panics are
+//!   justified or absent, `unsafe` carries a `// SAFETY:` argument, and
+//!   only the CLI may `std::process::exit`. Violations can be
+//!   acknowledged in place with `// lint: allow(<name>): <reason>` —
+//!   the reason is mandatory and its absence is itself a violation.
+//! * **Protocol model checker** ([`model`]) — a from-the-paper
+//!   re-implementation of the Algorithm 3/5 send schedules that
+//!   exhaustively enumerates every labeled digraph up to `n = 5`,
+//!   asserts the pipelining invariants (`r = d_sv + ℓ`,
+//!   `A_sv = R − τ_sv`, Lemmas 2–8, the Theorem 1 round/message
+//!   bounds) against a BFS/Brandes oracle, and cross-checks the real
+//!   `mrbc-core` CONGEST engine for bit-identical distances, σ-counts
+//!   and send timestamps.
+//!
+//! Run it as `cargo run -p analyze` (lint scan) or
+//! `cargo run -p analyze -- model-check`; CI runs both with
+//! `--deny-all` semantics. The same entry points are exercised as
+//! tier-1 tests so a red invariant fails `cargo test` too.
+
+pub mod lexer;
+pub mod lints;
+pub mod model;
+pub mod walk;

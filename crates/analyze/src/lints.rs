@@ -1,0 +1,555 @@
+//! Project-specific lint rules.
+//!
+//! Each lint is a pattern over [`lexer::mask`]ed code — comments and
+//! string contents can never trigger one — plus a scope (which crates
+//! and target roles it applies to) and an escape hatch: a justification
+//! comment of the form
+//!
+//! ```text
+//! // lint: allow(<lint>): <reason>
+//! ```
+//!
+//! on the offending line or the line directly above it. The reason is
+//! mandatory — a bare `allow` is itself a violation — so every
+//! exemption in the tree documents *why* the rule does not apply.
+//!
+//! | lint | rule |
+//! |---|---|
+//! | `wallclock` | no `Instant::now` / `SystemTime` outside `crates/obs` — algorithm code must route timing through the observability facade so runs are replayable |
+//! | `unwrap` | no `.unwrap()` / `.expect(` in library code — invariant-backed uses carry a justification comment, everything else propagates `Result` |
+//! | `safety` | every `unsafe` token is preceded by a `// SAFETY:` comment |
+//! | `nondet` | no `HashMap`/`HashSet`/unseeded RNG in protocol crates (congest, core, dgalois) — iteration order and entropy must never reach the message schedule |
+//! | `exit` | no `std::process::exit` outside the CLI binary |
+
+use crate::lexer::{self, Masked};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Identity of a lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LintId {
+    /// Wall-clock reads outside the observability crate.
+    WallClock,
+    /// Unjustified `.unwrap()` / `.expect()` in library code.
+    Unwrap,
+    /// `unsafe` without a `// SAFETY:` comment.
+    Safety,
+    /// Nondeterminism hazards in protocol crates.
+    Nondet,
+    /// `std::process::exit` outside the CLI.
+    Exit,
+}
+
+impl LintId {
+    /// All lints, in reporting order.
+    pub const ALL: [LintId; 5] = [
+        LintId::WallClock,
+        LintId::Unwrap,
+        LintId::Safety,
+        LintId::Nondet,
+        LintId::Exit,
+    ];
+
+    /// The name used in `// lint: allow(<name>)` comments and CLI args.
+    pub fn name(self) -> &'static str {
+        match self {
+            LintId::WallClock => "wallclock",
+            LintId::Unwrap => "unwrap",
+            LintId::Safety => "safety",
+            LintId::Nondet => "nondet",
+            LintId::Exit => "exit",
+        }
+    }
+
+    /// Parse a lint name (as used on the CLI and in allow comments).
+    pub fn parse(s: &str) -> Option<LintId> {
+        LintId::ALL.into_iter().find(|l| l.name() == s)
+    }
+}
+
+impl fmt::Display for LintId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One reported lint violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which rule fired.
+    pub lint: LintId,
+    /// File it fired in (workspace-relative when produced by the walker).
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.lint,
+            self.message
+        )
+    }
+}
+
+/// What kind of compilation target a file belongs to. Lint scopes
+/// differ: library code must never panic on bad input, while tests and
+/// benches unwrap freely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Part of a crate's library target (`src/` except `src/bin`).
+    Lib,
+    /// A binary target (`src/main.rs`, `src/bin/*`).
+    Bin,
+    /// Integration tests (`tests/`).
+    Test,
+    /// Benchmarks (`benches/`).
+    Bench,
+    /// Examples (`examples/`).
+    Example,
+}
+
+/// Per-file lint context derived from its workspace path.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Short crate name (`congest`, `core`, `obs`, … or `mrbc` for the
+    /// facade crate at the workspace root).
+    pub crate_name: String,
+    /// Target role of the file.
+    pub role: Role,
+    /// Workspace-relative path (used in reports).
+    pub rel_path: PathBuf,
+}
+
+/// Crates whose code participates in the CONGEST/BSP message schedule.
+/// Any nondeterminism here (hash iteration order, unseeded entropy)
+/// would silently break the paper's send-schedule invariants — the
+/// exact bugs the [`crate::model`] checker pins down.
+pub const PROTOCOL_CRATES: [&str; 3] = ["congest", "core", "dgalois"];
+
+impl FileContext {
+    /// Derive the context from a workspace-relative path, e.g.
+    /// `crates/core/src/driver.rs` or `tests/property.rs`.
+    pub fn from_rel_path(rel: &Path) -> FileContext {
+        let comps: Vec<&str> = rel
+            .components()
+            .filter_map(|c| c.as_os_str().to_str())
+            .collect();
+        let (crate_name, rest): (String, &[&str]) = match comps.split_first() {
+            Some((&"crates", tail)) if tail.len() >= 2 => (tail[0].to_string(), &tail[1..]),
+            _ => ("mrbc".to_string(), &comps[..]),
+        };
+        let role = match rest.first().copied() {
+            Some("tests") => Role::Test,
+            Some("benches") => Role::Bench,
+            Some("examples") => Role::Example,
+            Some("src") if rest.get(1).copied() == Some("bin") => Role::Bin,
+            Some("src") if rest.get(1).copied() == Some("main.rs") => Role::Bin,
+            _ => Role::Lib,
+        };
+        FileContext {
+            crate_name,
+            role,
+            rel_path: rel.to_path_buf(),
+        }
+    }
+
+    fn is_protocol(&self) -> bool {
+        PROTOCOL_CRATES.contains(&self.crate_name.as_str())
+    }
+}
+
+/// Lint one file; returns every violation found.
+pub fn lint_file(ctx: &FileContext, source: &str) -> Vec<Violation> {
+    let masked = lexer::mask(source);
+    let mut allows = collect_allows(ctx, &masked);
+    let test_lines = cfg_test_lines(&masked);
+    let mut out = std::mem::take(&mut allows.errors);
+
+    let mut emit = |lint: LintId, line: usize, message: String| {
+        if !allows.is_allowed(lint, line) {
+            out.push(Violation {
+                lint,
+                file: ctx.rel_path.clone(),
+                line,
+                message,
+            });
+        }
+    };
+
+    for (idx, text) in masked.code.lines().enumerate() {
+        let line = idx + 1;
+        let in_test = test_lines.get(idx).copied().unwrap_or(false);
+
+        // wallclock — everywhere except the obs crate, which owns the
+        // process-wide trace epoch.
+        if ctx.crate_name != "obs" {
+            for pat in ["Instant::now", "SystemTime"] {
+                if contains_token(text, pat) {
+                    emit(
+                        LintId::WallClock,
+                        line,
+                        format!(
+                            "`{pat}` outside crates/obs; route timing through \
+                             mrbc-obs spans so algorithm code stays replayable"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // unwrap — library code only, outside #[cfg(test)] modules.
+        if ctx.role == Role::Lib && !in_test {
+            for pat in [".unwrap()", ".expect("] {
+                if text.contains(pat) {
+                    emit(
+                        LintId::Unwrap,
+                        line,
+                        format!(
+                            "`{pat}` in library code; propagate the error or add \
+                             `// lint: allow(unwrap): <why it cannot fail>`"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // safety — every unsafe token needs a SAFETY comment nearby.
+        if contains_token(text, "unsafe") && !has_safety_comment(&masked, line) {
+            emit(
+                LintId::Safety,
+                line,
+                "`unsafe` without a `// SAFETY:` comment on the preceding lines".to_string(),
+            );
+        }
+
+        // nondet — protocol crates, library code only.
+        if ctx.is_protocol() && ctx.role == Role::Lib && !in_test {
+            for (pat, why) in [
+                (
+                    "HashMap",
+                    "iteration order is nondeterministic; use BTreeMap or FlatMap",
+                ),
+                (
+                    "HashSet",
+                    "iteration order is nondeterministic; use BTreeSet or DenseBitset",
+                ),
+                (
+                    "thread_rng",
+                    "unseeded RNG; thread a seeded StdRng through instead",
+                ),
+                (
+                    "from_entropy",
+                    "unseeded RNG; thread a seeded StdRng through instead",
+                ),
+                (
+                    "rand::random",
+                    "unseeded RNG; thread a seeded StdRng through instead",
+                ),
+                (
+                    "RandomState",
+                    "randomized hasher; protocol state must be deterministic",
+                ),
+            ] {
+                if contains_token(text, pat) {
+                    emit(
+                        LintId::Nondet,
+                        line,
+                        format!("`{pat}` in protocol code ({why})"),
+                    );
+                }
+            }
+        }
+
+        // exit — only the CLI binary may terminate the process.
+        if contains_token(text, "process::exit")
+            && !(ctx.crate_name == "cli" && ctx.role == Role::Bin)
+        {
+            emit(
+                LintId::Exit,
+                line,
+                "`std::process::exit` outside the CLI binary; return an error instead".to_string(),
+            );
+        }
+    }
+    out.sort_by_key(|v| v.line);
+    out
+}
+
+/// `pat` appears in `text` delimited by non-identifier characters.
+fn contains_token(text: &str, pat: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(pat) {
+        let start = from + pos;
+        let end = start + pat.len();
+        let left_ok = start == 0
+            || !text.as_bytes()[start - 1].is_ascii_alphanumeric()
+                && text.as_bytes()[start - 1] != b'_';
+        let right_ok = end >= text.len()
+            || !text.as_bytes()[end].is_ascii_alphanumeric() && text.as_bytes()[end] != b'_';
+        if left_ok && right_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// A `// SAFETY:` comment on the same line or one of the three lines
+/// above `line` (attributes and signatures may sit between the comment
+/// and the `unsafe` token).
+fn has_safety_comment(masked: &Masked, line: usize) -> bool {
+    let lo = line.saturating_sub(3);
+    masked
+        .comments
+        .iter()
+        .any(|(l, text)| (lo..=line).contains(l) && text.contains("SAFETY:"))
+}
+
+/// Parsed `// lint: allow(<lint>): <reason>` comments.
+struct Allows {
+    /// `(lint, line the exemption covers)` — the comment's own line and
+    /// the one below it.
+    entries: Vec<(LintId, usize)>,
+    /// Malformed allow comments are violations themselves.
+    errors: Vec<Violation>,
+}
+
+impl Allows {
+    fn is_allowed(&self, lint: LintId, line: usize) -> bool {
+        self.entries
+            .iter()
+            .any(|&(l, al)| l == lint && (line == al || line == al + 1))
+    }
+}
+
+fn collect_allows(ctx: &FileContext, masked: &Masked) -> Allows {
+    let mut entries = Vec::new();
+    let mut errors = Vec::new();
+    for (line, text) in &masked.comments {
+        let Some(rest) = text
+            .trim_start_matches('/')
+            .trim()
+            .strip_prefix("lint: allow(")
+        else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let name = &rest[..close];
+        let tail = rest[close + 1..].trim_start_matches(':').trim();
+        match LintId::parse(name) {
+            Some(lint) if !tail.is_empty() => entries.push((lint, *line)),
+            Some(lint) => errors.push(Violation {
+                lint,
+                file: ctx.rel_path.clone(),
+                line: *line,
+                message: format!(
+                    "`lint: allow({name})` without a justification; write \
+                     `// lint: allow({name}): <reason>`"
+                ),
+            }),
+            None => errors.push(Violation {
+                lint: LintId::Unwrap,
+                file: ctx.rel_path.clone(),
+                line: *line,
+                message: format!(
+                    "unknown lint {name:?} in allow comment (known: {})",
+                    LintId::ALL.map(|l| l.name()).join(", ")
+                ),
+            }),
+        }
+    }
+    Allows { entries, errors }
+}
+
+/// Per-line flags marking the bodies of `#[cfg(test)]` modules, found
+/// by brace-matching on masked code (string braces cannot confuse it).
+fn cfg_test_lines(masked: &Masked) -> Vec<bool> {
+    let lines: Vec<&str> = masked.code.lines().collect();
+    let mut flags = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        if lines[i].contains("#[cfg(test)]") || lines[i].contains("#[cfg(all(test") {
+            // Find the opening brace of the item that follows, then
+            // its matching close; everything in between is test code.
+            let mut depth = 0i32;
+            let mut opened = false;
+            let mut j = i;
+            'outer: while j < lines.len() {
+                for b in lines[j].bytes() {
+                    match b {
+                        b'{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        b'}' => depth -= 1,
+                        b';' if !opened && depth == 0 => break 'outer, // e.g. `mod tests;`
+                        _ => {}
+                    }
+                }
+                flags[j] = true;
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(path: &str) -> FileContext {
+        FileContext::from_rel_path(Path::new(path))
+    }
+
+    fn lints_of(vs: &[Violation]) -> Vec<LintId> {
+        vs.iter().map(|v| v.lint).collect()
+    }
+
+    #[test]
+    fn role_and_crate_derivation() {
+        let c = ctx("crates/core/src/driver.rs");
+        assert_eq!(c.crate_name, "core");
+        assert_eq!(c.role, Role::Lib);
+        assert!(c.is_protocol());
+        assert_eq!(ctx("crates/cli/src/main.rs").role, Role::Bin);
+        assert_eq!(ctx("crates/bench/src/bin/fig1.rs").role, Role::Bin);
+        assert_eq!(ctx("crates/obs/tests/golden.rs").role, Role::Test);
+        assert_eq!(ctx("crates/bench/benches/faults.rs").role, Role::Bench);
+        assert_eq!(ctx("tests/property.rs").crate_name, "mrbc");
+        assert_eq!(ctx("tests/property.rs").role, Role::Test);
+        assert_eq!(ctx("examples/quickstart.rs").role, Role::Example);
+        assert_eq!(ctx("src/lib.rs").crate_name, "mrbc");
+        assert_eq!(ctx("src/lib.rs").role, Role::Lib);
+    }
+
+    #[test]
+    fn unwrap_in_lib_fires_and_allow_comment_silences() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let vs = lint_file(&ctx("crates/congest/src/engine.rs"), src);
+        assert_eq!(lints_of(&vs), vec![LintId::Unwrap]);
+
+        let src = "// lint: allow(unwrap): x is Some by construction\n\
+                   fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert!(lint_file(&ctx("crates/congest/src/engine.rs"), src).is_empty());
+
+        // Same-line allow works too.
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // lint: allow(unwrap): infallible\n";
+        assert!(lint_file(&ctx("crates/congest/src/engine.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_is_scoped_to_library_roles() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert!(lint_file(&ctx("crates/core/tests/t.rs"), src).is_empty());
+        assert!(lint_file(&ctx("crates/bench/benches/b.rs"), src).is_empty());
+        assert!(lint_file(&ctx("examples/e.rs"), src).is_empty());
+        assert!(lint_file(&ctx("crates/bench/src/bin/fig1.rs"), src).is_empty());
+        assert!(!lint_file(&ctx("crates/bench/src/report.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_ignores_cfg_test_modules_and_comments() {
+        let src = "\
+pub fn ok() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        Some(1).unwrap();
+    }
+}
+";
+        assert!(lint_file(&ctx("crates/core/src/x.rs"), src).is_empty());
+        let src = "// .unwrap() in a comment\nlet s = \".expect(\";\n";
+        assert!(lint_file(&ctx("crates/core/src/x.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_violation() {
+        let src = "// lint: allow(unwrap)\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let vs = lint_file(&ctx("crates/core/src/x.rs"), src);
+        assert!(vs.iter().any(|v| v.message.contains("justification")));
+    }
+
+    #[test]
+    fn wallclock_everywhere_but_obs() {
+        let src = "let t = std::time::Instant::now();\n";
+        assert_eq!(
+            lints_of(&lint_file(&ctx("crates/core/src/x.rs"), src)),
+            vec![LintId::WallClock]
+        );
+        // Fires even in tests/benches: measured time belongs to obs.
+        assert_eq!(
+            lints_of(&lint_file(&ctx("crates/bench/benches/b.rs"), src)),
+            vec![LintId::WallClock]
+        );
+        assert!(lint_file(&ctx("crates/obs/src/lib.rs"), src).is_empty());
+        let src = "let t = std::time::SystemTime::now();\n";
+        assert_eq!(
+            lints_of(&lint_file(&ctx("crates/graph/src/io.rs"), src)),
+            vec![LintId::WallClock]
+        );
+    }
+
+    #[test]
+    fn safety_comment_requirement() {
+        let src = "unsafe { core::hint::unreachable_unchecked() }\n";
+        assert_eq!(
+            lints_of(&lint_file(&ctx("crates/util/src/x.rs"), src)),
+            vec![LintId::Safety]
+        );
+        let src = "// SAFETY: caller guarantees the invariant\nunsafe { f() }\n";
+        assert!(lint_file(&ctx("crates/util/src/x.rs"), src).is_empty());
+        // `unsafe_code` (the rustc lint name) is not the `unsafe` token.
+        let src = "#![forbid(unsafe_code)]\n";
+        assert!(lint_file(&ctx("crates/util/src/x.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn nondet_only_in_protocol_lib_code() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(
+            lints_of(&lint_file(&ctx("crates/dgalois/src/comm.rs"), src)),
+            vec![LintId::Nondet]
+        );
+        assert!(lint_file(&ctx("crates/graph/src/io.rs"), src).is_empty());
+        assert!(lint_file(&ctx("crates/core/tests/t.rs"), src).is_empty());
+        let src = "let mut rng = rand::thread_rng();\n";
+        assert_eq!(
+            lints_of(&lint_file(&ctx("crates/congest/src/engine.rs"), src)),
+            vec![LintId::Nondet]
+        );
+    }
+
+    #[test]
+    fn exit_only_in_cli_bin() {
+        let src = "std::process::exit(1);\n";
+        assert!(lint_file(&ctx("crates/cli/src/main.rs"), src).is_empty());
+        assert_eq!(
+            lints_of(&lint_file(&ctx("crates/cli/src/commands.rs"), src)),
+            vec![LintId::Exit]
+        );
+        assert_eq!(
+            lints_of(&lint_file(&ctx("crates/core/src/driver.rs"), src)),
+            vec![LintId::Exit]
+        );
+    }
+}

@@ -1,0 +1,207 @@
+//! `mrbc-analyze` — workspace lint scan and protocol model checking.
+//!
+//! ```text
+//! mrbc-analyze [lint] [--deny-all] [--root PATH] [--lint NAME]...
+//! mrbc-analyze model-check [--nmax N] [--samples N] [--seed N] [--skip-core]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations or invariant failures, 2 usage
+//! errors. CI runs `mrbc-analyze --deny-all` and
+//! `mrbc-analyze model-check` as gates.
+
+use analyze::lints::{LintId, Violation};
+use analyze::{model, walk};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+mrbc-analyze — workspace lint engine & protocol model checker
+
+USAGE:
+    mrbc-analyze [lint] [OPTIONS]       scan the workspace for lint violations
+    mrbc-analyze model-check [OPTIONS]  check the Algorithm 3/5 schedule invariants
+
+LINT OPTIONS:
+    --deny-all      exit non-zero if any violation is found (CI gate mode)
+    --root PATH     workspace root to scan (default: this binary's workspace)
+    --lint NAME     restrict to one lint (repeatable); names:
+                    wallclock, unwrap, safety, nondet, exit
+
+MODEL-CHECK OPTIONS:
+    --nmax N        exhaustive enumeration horizon, 1..=5   (default 5)
+    --samples N     seeded random graphs at n = 8 per sweep (default 64)
+    --seed N        RNG seed for the sampled sweeps         (default 2019)
+    --skip-core     skip the mrbc-core cross-check (model invariants only)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Dispatch; `Ok(false)` means "ran fine, found problems".
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut it = args.iter().map(String::as_str).peekable();
+    match it.peek().copied() {
+        Some("model-check") => {
+            it.next();
+            model_check(&mut it)
+        }
+        Some("--help") | Some("-h") => {
+            println!("{USAGE}");
+            Ok(true)
+        }
+        Some("lint") => {
+            it.next();
+            lint(&mut it)
+        }
+        _ => lint(&mut it),
+    }
+}
+
+fn lint<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<bool, String> {
+    let mut deny_all = false;
+    let mut root: Option<PathBuf> = None;
+    let mut only: Vec<LintId> = Vec::new();
+    while let Some(arg) = it.next() {
+        match arg {
+            "--deny-all" => deny_all = true,
+            "--root" => {
+                let path = it.next().ok_or("--root needs a path")?;
+                root = Some(PathBuf::from(path));
+            }
+            "--lint" => {
+                let name = it.next().ok_or("--lint needs a name")?;
+                only.push(LintId::parse(name).ok_or_else(|| format!("unknown lint {name:?}"))?);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    let root = root.unwrap_or_else(default_root);
+    if !root.join("Cargo.toml").is_file() {
+        return Err(format!(
+            "{} does not look like a workspace root (no Cargo.toml); pass --root",
+            root.display()
+        ));
+    }
+
+    let mut violations = walk::scan_workspace(&root).map_err(|e| format!("scan failed: {e}"))?;
+    if !only.is_empty() {
+        violations.retain(|v| only.contains(&v.lint));
+    }
+    report(&violations);
+    // Without --deny-all the scan is informational and always "clean".
+    Ok(!deny_all || violations.is_empty())
+}
+
+fn report(violations: &[Violation]) {
+    for v in violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        println!("mrbc-analyze: no lint violations");
+    } else {
+        let mut by_lint: Vec<(LintId, usize)> = LintId::ALL
+            .into_iter()
+            .map(|l| (l, violations.iter().filter(|v| v.lint == l).count()))
+            .filter(|&(_, c)| c > 0)
+            .collect();
+        by_lint.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        let summary: Vec<String> = by_lint.iter().map(|(l, c)| format!("{c} {l}")).collect();
+        println!(
+            "mrbc-analyze: {} violation(s): {}",
+            violations.len(),
+            summary.join(", ")
+        );
+    }
+}
+
+fn model_check<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<bool, String> {
+    let mut n_max = 5usize;
+    let mut samples = 64u64;
+    let mut seed = 2019u64;
+    let mut skip_core = false;
+    while let Some(arg) = it.next() {
+        match arg {
+            "--nmax" => n_max = parse_num(it.next(), "--nmax")?,
+            "--samples" => samples = parse_num(it.next(), "--samples")?,
+            "--seed" => seed = parse_num(it.next(), "--seed")?,
+            "--skip-core" => skip_core = true,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if !(1..=5).contains(&n_max) {
+        return Err("--nmax must be in 1..=5 (enumeration is 2^(n(n-1)) graphs)".into());
+    }
+
+    println!("model-check: exhaustive sweep of all digraphs, n ≤ {n_max} ...");
+    match model::exhaustive_sweep(n_max) {
+        Ok(r) => println!(
+            "  ok: {} graphs, {} schedule runs, {} messages, max forward round {}",
+            r.graphs, r.runs, r.messages, r.max_rounds
+        ),
+        Err(e) => return fail(&e),
+    }
+
+    println!("model-check: sampled sweep at n = 8 ({samples} graphs, seed {seed}) ...");
+    match model::sampled_sweep(8, samples, seed) {
+        Ok(r) => println!(
+            "  ok: {} graphs, {} schedule runs, max forward round {}",
+            r.graphs, r.runs, r.max_rounds
+        ),
+        Err(e) => return fail(&e),
+    }
+
+    if skip_core {
+        println!("model-check: mrbc-core cross-check skipped (--skip-core)");
+        println!("model-check: all invariants hold");
+        return Ok(true);
+    }
+    println!(
+        "model-check: mrbc-core cross-check (exhaustive n ≤ 4 + {samples} samples each at n = 5, 8) ..."
+    );
+    match model::cross_check_core(4, samples, seed) {
+        Ok(r) => println!("  ok: {} graphs agree on dist/σ/τ/messages/BC", r.graphs),
+        Err(e) => return fail(&e),
+    }
+    println!("model-check: all invariants hold");
+    Ok(true)
+}
+
+fn fail(e: &str) -> Result<bool, String> {
+    eprintln!("model-check: INVARIANT VIOLATED: {e}");
+    Ok(false)
+}
+
+fn parse_num<T: std::str::FromStr>(v: Option<&str>, flag: &str) -> Result<T, String> {
+    v.ok_or_else(|| format!("{flag} needs a value"))?
+        .parse()
+        .map_err(|_| format!("{flag} needs a number"))
+}
+
+/// Default workspace root: this crate's manifest dir is
+/// `<root>/crates/analyze`, so hop two levels up. Falls back to the
+/// current directory when the binary was moved elsewhere.
+fn default_root() -> PathBuf {
+    let compiled = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    match (
+        compiled.parent().and_then(|p| p.parent()),
+        compiled.is_dir(),
+    ) {
+        (Some(root), true) => root.to_path_buf(),
+        _ => PathBuf::from("."),
+    }
+}

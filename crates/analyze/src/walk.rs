@@ -1,0 +1,167 @@
+//! Workspace traversal: find every Rust source file the lints cover.
+//!
+//! Scanned roots (relative to the workspace root): `crates/`, `src/`,
+//! `tests/`, `examples/`. Excluded:
+//!
+//! * `target/` — build outputs;
+//! * `shims/` — in-tree stand-ins for external crates (`rand`,
+//!   `criterion`, `loom`, …). They deliberately mirror third-party API
+//!   surfaces — a timing shim *must* read the wall clock — so they are
+//!   treated like vendored dependencies, exactly as the lints would
+//!   skip `~/.cargo/registry` sources.
+//!
+//! Files are returned sorted so reports (and the CI gate's output) are
+//! byte-stable across filesystems.
+
+use crate::lints::{lint_file, FileContext, Violation};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Top-level directories the lints cover.
+pub const SCAN_ROOTS: [&str; 4] = ["crates", "src", "tests", "examples"];
+
+/// Recursively collect `.rs` files under the scan roots, sorted.
+pub fn workspace_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for dir in SCAN_ROOTS {
+        let base = root.join(dir);
+        if base.is_dir() {
+            collect(&base, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "target" || name == "shims" {
+                continue;
+            }
+            collect(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every workspace source under `root`; returns all violations,
+/// sorted by file then line.
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut out = Vec::new();
+    for path in workspace_sources(root)? {
+        let rel = path.strip_prefix(root).unwrap_or(&path);
+        let ctx = FileContext::from_rel_path(rel);
+        let source = std::fs::read_to_string(&path)?;
+        out.extend(lint_file(&ctx, &source));
+    }
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::LintId;
+
+    /// Build a throwaway fake workspace and return its root.
+    fn fake_workspace(name: &str, files: &[(&str, &str)]) -> PathBuf {
+        let root = std::env::temp_dir()
+            .join("mrbc_analyze_fixtures")
+            .join(format!("{name}_{}", std::process::id()));
+        // A fresh tree per test name keeps reruns hermetic.
+        let _ = std::fs::remove_dir_all(&root);
+        for (rel, content) in files {
+            let path = root.join(rel);
+            std::fs::create_dir_all(path.parent().expect("files live under root"))
+                .expect("mkdir fixture");
+            std::fs::write(&path, content).expect("write fixture");
+        }
+        root
+    }
+
+    #[test]
+    fn clean_fixture_scans_clean() {
+        let root = fake_workspace(
+            "clean",
+            &[
+                ("crates/congest/src/lib.rs", "pub fn ok() -> u32 { 1 }\n"),
+                (
+                    "crates/obs/src/lib.rs",
+                    "pub fn t() { let _ = std::time::Instant::now(); }\n",
+                ),
+                (
+                    "shims/fake/src/lib.rs",
+                    "pub fn bad() { Some(1).unwrap(); let _ = std::time::Instant::now(); }\n",
+                ),
+            ],
+        );
+        assert!(scan_workspace(&root).expect("scan").is_empty());
+    }
+
+    #[test]
+    fn seeded_violation_is_found_with_location() {
+        // The acceptance fixture: one unjustified unwrap in crates/congest.
+        let root = fake_workspace(
+            "seeded",
+            &[
+                ("crates/congest/src/lib.rs", "pub mod engine;\n"),
+                (
+                    "crates/congest/src/engine.rs",
+                    "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+                ),
+            ],
+        );
+        let vs = scan_workspace(&root).expect("scan");
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].lint, LintId::Unwrap);
+        assert_eq!(vs[0].line, 2);
+        assert!(vs[0].file.ends_with("crates/congest/src/engine.rs"));
+    }
+
+    #[test]
+    fn one_violation_per_lint_class_is_found() {
+        let root = fake_workspace(
+            "all_classes",
+            &[
+                (
+                    "crates/core/src/a.rs",
+                    "pub fn t() -> std::time::Instant { std::time::Instant::now() }\n",
+                ),
+                (
+                    "crates/core/src/b.rs",
+                    "pub fn f(x: Option<u32>) -> u32 { x.expect(\"x\") }\n",
+                ),
+                (
+                    "crates/util/src/c.rs",
+                    "pub fn g(p: *const u32) -> u32 { unsafe { *p } }\n",
+                ),
+                (
+                    "crates/dgalois/src/d.rs",
+                    "use std::collections::HashMap;\n",
+                ),
+                (
+                    "crates/graph/src/e.rs",
+                    "pub fn die() { std::process::exit(3); }\n",
+                ),
+            ],
+        );
+        let vs = scan_workspace(&root).expect("scan");
+        let mut lints: Vec<LintId> = vs.iter().map(|v| v.lint).collect();
+        lints.sort_by_key(|l| l.name());
+        assert_eq!(
+            lints,
+            vec![
+                LintId::Exit,
+                LintId::Nondet,
+                LintId::Safety,
+                LintId::Unwrap,
+                LintId::WallClock,
+            ]
+        );
+    }
+}

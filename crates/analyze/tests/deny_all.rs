@@ -1,0 +1,117 @@
+//! The `--deny-all` acceptance contract, end to end through the real
+//! binary:
+//!
+//! * on this workspace it must exit 0 (the tree stays lint-clean — this
+//!   is the same gate CI runs);
+//! * on a fixture tree seeded with an unjustified `.unwrap()` in
+//!   `crates/congest` it must exit non-zero and name the violation.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn analyze_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mrbc-analyze"))
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/analyze sits two levels below the root")
+        .to_path_buf()
+}
+
+#[test]
+fn deny_all_passes_on_this_workspace() {
+    let out = analyze_bin()
+        .args(["--deny-all", "--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("run mrbc-analyze");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "the workspace must stay lint-clean; violations:\n{stdout}"
+    );
+    assert!(stdout.contains("no lint violations"), "got: {stdout}");
+}
+
+#[test]
+fn deny_all_fails_on_seeded_violation() {
+    // Build a minimal fake workspace with one unjustified unwrap in a
+    // protocol crate.
+    let root = std::env::temp_dir()
+        .join("mrbc_analyze_deny_all")
+        .join(std::process::id().to_string());
+    let _ = std::fs::remove_dir_all(&root);
+    let engine = root.join("crates/congest/src/engine.rs");
+    std::fs::create_dir_all(engine.parent().expect("parent")).expect("mkdir fixture");
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("write manifest");
+    std::fs::write(
+        &engine,
+        "pub fn deliver(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+    )
+    .expect("write fixture");
+
+    let out = analyze_bin()
+        .args(["--deny-all", "--root"])
+        .arg(&root)
+        .output()
+        .expect("run mrbc-analyze");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !out.status.success(),
+        "seeded violation must fail the gate; stdout:\n{stdout}"
+    );
+    assert_eq!(out.status.code(), Some(1), "violation exit code is 1");
+    assert!(
+        stdout.contains("crates/congest/src/engine.rs:2") && stdout.contains("[unwrap]"),
+        "violation must be located precisely; got:\n{stdout}"
+    );
+
+    // The same tree with a justification comment passes.
+    std::fs::write(
+        &engine,
+        "pub fn deliver(x: Option<u32>) -> u32 {\n    \
+         // lint: allow(unwrap): x is Some for every caller in this fixture\n    \
+         x.unwrap()\n}\n",
+    )
+    .expect("rewrite fixture");
+    let out = analyze_bin()
+        .args(["--deny-all", "--root"])
+        .arg(&root)
+        .output()
+        .expect("run mrbc-analyze");
+    assert!(out.status.success(), "justified unwrap passes the gate");
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let out = analyze_bin()
+        .arg("--no-such-flag")
+        .output()
+        .expect("run mrbc-analyze");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn model_check_subcommand_smoke() {
+    // Tiny horizon so the binary-level smoke test stays fast; the full
+    // sweep lives in model_check.rs.
+    let out = analyze_bin()
+        .args([
+            "model-check",
+            "--nmax",
+            "3",
+            "--samples",
+            "4",
+            "--skip-core",
+        ])
+        .output()
+        .expect("run mrbc-analyze model-check");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "stdout:\n{stdout}");
+    assert!(stdout.contains("all invariants hold"), "got:\n{stdout}");
+}

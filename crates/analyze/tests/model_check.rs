@@ -1,0 +1,43 @@
+//! Tier-1 protocol model check: every labeled digraph up to `n = 5`
+//! must satisfy the Algorithm 3/5 schedule invariants, and the real
+//! `mrbc-core` engine must agree with the independent model.
+//!
+//! This is the same sweep `mrbc-analyze model-check` runs; keeping it
+//! in `cargo test -q` means a schedule regression fails the build even
+//! if nobody runs the binary.
+
+use analyze::model;
+
+#[test]
+fn exhaustive_all_digraphs_up_to_n5() {
+    let report = model::exhaustive_sweep(5).unwrap_or_else(|e| panic!("{e}"));
+    // 2^(n(n-1)) labeled digraphs per n: 1 + 4 + 64 + 4096 + 1048576.
+    assert_eq!(report.graphs, 1_052_741);
+    assert!(report.runs > report.graphs, "subset-source runs included");
+    // Theorem 1: every forward schedule finished within 2n = 10 rounds.
+    assert!(
+        report.max_rounds <= 10,
+        "round bound: {}",
+        report.max_rounds
+    );
+}
+
+#[test]
+fn sampled_digraphs_at_n8() {
+    let report = model::sampled_sweep(8, 64, 2019).unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(report.graphs, 64);
+    assert!(
+        report.max_rounds <= 16,
+        "round bound: {}",
+        report.max_rounds
+    );
+}
+
+#[test]
+fn core_engine_matches_model_exactly() {
+    // Exhaustive n ≤ 4 plus seeded samples at n = 5 and n = 8: the real
+    // CONGEST implementation must report bit-identical distances,
+    // σ-counts, send timestamps τ and message counts, and matching BC.
+    let report = model::cross_check_core(4, 48, 7).unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(report.graphs, 1 + 4 + 64 + 4096 + 48 + 48);
+}

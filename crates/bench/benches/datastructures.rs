@@ -5,6 +5,9 @@
 //! replicates that comparison for our `FlatMap` vs `std::BTreeMap`, plus
 //! the bitset rank/select operations on MRBC's scheduling hot path.
 
+// Benches panic on bad fixtures exactly like tests do.
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use mrbc_util::{DenseBitset, FlatMap};
 use rand::{Rng, SeedableRng};

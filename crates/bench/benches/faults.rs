@@ -2,6 +2,9 @@
 //! reliable-delivery layer and the checkpointing executor cost on top of
 //! the fault-free substrate, at increasing drop rates.
 
+// Benches panic on bad fixtures exactly like tests do.
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use mrbc_analytics::{pagerank, pagerank_with_faults, PageRankConfig};
 use mrbc_core::{bc, Algorithm, BcConfig};

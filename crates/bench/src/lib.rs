@@ -16,8 +16,5 @@
 //! | `bounds` | Theorem 1 / Lemmas 6–8 round & message bounds |
 //! | `summary` | §5.3 headline averages (rounds ×, comm ×, time ×) |
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod report;
 pub mod suite;

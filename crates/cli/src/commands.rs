@@ -21,8 +21,8 @@ USAGE:
       kinds: rmat kron ba ws er road webcrawl cycle path
   mrbc info <file> [--sources K] [--seed X]
   mrbc bc <file> [--algorithm mrbc|sbbc|mfbc|abbc|brandes] [--hosts H]
-                 [--sources K] [--batch B] [--top N] [--seed X] [--csv out.csv]
-                 [--faults PLAN]
+                 [--sources K] [--batch B] [--chunk C] [--top N] [--seed X]
+                 [--csv out.csv] [--faults PLAN]
   mrbc apsp <file> [--mode 2n|finalizer|detect] [--sources K] [--seed X]
   mrbc tune <file> [--hosts H] [--candidates 8,16,32] [--pilot K] [--seed X]
   mrbc pagerank <file> [--hosts H] [--iters N] [--damping D]
@@ -210,6 +210,17 @@ pub fn build_graph(kind: &str, p: &ParsedArgs) -> Result<CsrGraph, String> {
     })
 }
 
+/// Parses a numeric flag that must be ≥ 1 (host counts, batch and chunk
+/// sizes): a zero would panic deep inside the partitioner or worklist
+/// machinery, and the CLI contract is to never panic on bad input.
+fn positive(p: &ParsedArgs, key: &str, default: usize) -> Result<usize, String> {
+    let v: usize = p.get_or(key, default)?;
+    if v == 0 {
+        return Err(format!("--{key} must be at least 1"));
+    }
+    Ok(v)
+}
+
 fn load(p: &ParsedArgs) -> Result<CsrGraph, String> {
     let path = p
         .positional
@@ -305,8 +316,9 @@ fn cmd_bc(p: &ParsedArgs) -> Result<String, String> {
     let crash_note = faults.as_ref().is_some_and(|f| !f.crashes.is_empty());
     let cfg = BcConfig {
         algorithm,
-        num_hosts: p.get_or("hosts", 4usize)?,
-        batch_size: p.get_or("batch", 32usize)?,
+        num_hosts: positive(p, "hosts", 4)?,
+        batch_size: positive(p, "batch", 32)?,
+        chunk_size: positive(p, "chunk", BcConfig::default().chunk_size)?,
         faults,
         ..BcConfig::default()
     };
@@ -390,8 +402,8 @@ fn cmd_apsp(p: &ParsedArgs) -> Result<String, String> {
 
 fn cmd_tune(p: &ParsedArgs) -> Result<String, String> {
     let g = load(p)?;
-    let hosts: usize = p.get_or("hosts", 4usize)?;
-    let pilot_k: usize = p.get_or("pilot", 32usize)?;
+    let hosts = positive(p, "hosts", 4)?;
+    let pilot_k = positive(p, "pilot", 32)?;
     let seed: u64 = p.get_or("seed", 1u64)?;
     let candidates: Vec<usize> = p
         .get_str("candidates")
@@ -421,7 +433,7 @@ fn cmd_pagerank(p: &ParsedArgs) -> Result<String, String> {
     let g = load(p)?;
     let dg = partition(
         &g,
-        p.get_or("hosts", 4usize)?,
+        positive(p, "hosts", 4)?,
         PartitionPolicy::CartesianVertexCut,
     );
     let cfg = mrbc_analytics::PageRankConfig {
@@ -461,7 +473,7 @@ fn cmd_cc(p: &ParsedArgs) -> Result<String, String> {
     let g = load(p)?;
     let dg = partition(
         &g,
-        p.get_or("hosts", 4usize)?,
+        positive(p, "hosts", 4)?,
         PartitionPolicy::CartesianVertexCut,
     );
     let (out, recovery) = match faults_of(p)? {
@@ -490,7 +502,7 @@ fn cmd_sssp(p: &ParsedArgs) -> Result<String, String> {
     let g = load(p)?;
     let dg = partition(
         &g,
-        p.get_or("hosts", 4usize)?,
+        positive(p, "hosts", 4)?,
         PartitionPolicy::CartesianVertexCut,
     );
     let source: u32 = p.get_or("source", 0u32)?;
@@ -831,5 +843,46 @@ mod tests {
         assert!(run(&p).unwrap_err().contains("cannot read"));
         let p = parse(&sv(&["generate", "nope", "--out", "/tmp/x.el"]), &[]).expect("parse");
         assert!(run(&p).unwrap_err().contains("unknown graph kind"));
+    }
+
+    /// Zero host/batch/chunk counts would panic deep inside the
+    /// partitioner or worklist machinery; the CLI must reject them as
+    /// errors instead, for every subcommand that accepts them.
+    #[test]
+    fn zero_valued_size_flags_are_rejected() {
+        let file = tmpfile("cli_zero.el");
+        io::write_edge_list_file(&generators::cycle(8), &file).expect("write");
+        for argv in [
+            vec!["bc", &file, "--hosts", "0"],
+            vec!["bc", &file, "--batch", "0"],
+            vec!["bc", &file, "--algorithm", "abbc", "--chunk", "0"],
+            vec!["tune", &file, "--hosts", "0"],
+            vec!["tune", &file, "--pilot", "0"],
+            vec!["pagerank", &file, "--hosts", "0"],
+            vec!["cc", &file, "--hosts", "0"],
+            vec!["sssp", &file, "--hosts", "0"],
+        ] {
+            let p = parse(&sv(&argv), &[]).expect("parse");
+            let err = run(&p).unwrap_err();
+            assert!(err.contains("must be at least 1"), "{argv:?}: {err}");
+        }
+    }
+
+    /// Malformed graph files surface as errors, never panics.
+    #[test]
+    fn malformed_graph_files_do_not_panic() {
+        for (name, text) in [
+            ("cli_bad_token.el", "0 1\n2 notanumber\n"),
+            ("cli_bad_arity.el", "0 1 2 3\n"),
+            ("cli_bad_neg.el", "0 -1\n"),
+        ] {
+            let file = tmpfile(name);
+            std::fs::write(&file, text).expect("write");
+            for cmd in ["bc", "info", "apsp", "pagerank", "cc", "sssp"] {
+                let p = parse(&sv(&[cmd, &file]), &[]).expect("parse");
+                let err = run(&p).unwrap_err();
+                assert!(err.contains("cannot read"), "{cmd} on {name}: {err}");
+            }
+        }
     }
 }

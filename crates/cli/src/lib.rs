@@ -3,8 +3,5 @@
 //! `main` is a thin shell around [`args::parse`] + [`commands::run`] so
 //! every behavior is unit testable without spawning processes.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod args;
 pub mod commands;

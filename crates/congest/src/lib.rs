@@ -53,9 +53,6 @@
 //! assert!(stats.rounds <= 9);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod engine;
 
 pub use engine::{Engine, Outbox, RunOutcome, RunStats, Target, VertexProgram};

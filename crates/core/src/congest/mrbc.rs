@@ -105,6 +105,11 @@ pub struct MrbcOutcome {
     pub dist: Vec<Vec<u32>>,
     /// `sigma[j][v]`: number of shortest paths from `sources_sorted[j]`.
     pub sigma: Vec<Vec<f64>>,
+    /// `tau[j][v]`: 1-based forward round in which `v` sent its pair for
+    /// `sources_sorted[j]` (`u32::MAX` when `v` is unreachable). These
+    /// are the reverse timestamps that drive the `A_sv = R − τ_sv + 1`
+    /// accumulation schedule of Algorithm 5.
+    pub tau: Vec<Vec<u32>>,
     /// The sources in the (ascending) order used for `dist` / `sigma`.
     pub sources_sorted: Vec<VertexId>,
     /// Forward-phase (APSP) round/message counters.
@@ -200,10 +205,12 @@ pub fn mrbc_bc_with_precision(
     let mut bc = vec![0.0f64; n];
     let mut dist = vec![vec![INF_DIST; n]; k];
     let mut sigma = vec![vec![0.0f64; n]; k];
+    let mut tau = vec![vec![u32::MAX; n]; k];
     for v in 0..n {
         for j in 0..k {
             dist[j][v] = bwd.dist[v][j];
             sigma[j][v] = bwd.sigma[v][j];
+            tau[j][v] = bwd.tau[v][j];
             if sources_sorted[j] as usize != v {
                 bc[v] += bwd.delta[v][j];
             }
@@ -214,6 +221,7 @@ pub fn mrbc_bc_with_precision(
         bc,
         dist,
         sigma,
+        tau,
         sources_sorted,
         forward: forward_stats,
         backward: backward_stats,
@@ -372,6 +380,7 @@ impl Forward {
             let hi = d + below + cnt;
             if round <= hi {
                 let rank = (round - lo) as usize;
+                // lint: allow(unwrap): rank < cnt == bits.count_ones() by the block bounds above
                 let j = bits.select(rank).expect("rank within block") as u32;
                 return Some((j, *d));
             }
@@ -425,6 +434,7 @@ impl Forward {
     fn remove_entry(&mut self, v: usize, j: u32, d: u32) {
         let bits = self.schedule[v]
             .get_mut(&d)
+            // lint: allow(unwrap): callers remove only entries they just looked up
             .expect("entry to remove must exist");
         bits.clear(j as usize);
         if bits.none() {
@@ -440,6 +450,7 @@ impl Forward {
     /// Algorithm 4 actions for vertex `v` in `round`, after receives.
     fn finalizer_step(&mut self, v: usize, round: u32, out: &mut Outbox<FwdMsg>) {
         let list_complete = {
+            // lint: allow(unwrap): finalizer_step is only called when fin was constructed
             let fin = self.fin.as_ref().expect("finalizer mode");
             if fin.halted[v] {
                 return;
@@ -455,6 +466,7 @@ impl Forward {
             .filter(|&d| d != INF_DIST)
             .max()
             .unwrap_or(0);
+        // lint: allow(unwrap): finalizer_step is only called when fin was constructed
         let fin = self.fin.as_mut().expect("finalizer mode");
 
         // Subtree-count convergecast for computing n (the root starts the
@@ -606,6 +618,7 @@ impl VertexProgram for Forward {
         // Algorithm 4 runs in parallel with the main loop (Step 1).
         if self.fin.is_some() {
             if round == 1 && vi == 0 {
+                // lint: allow(unwrap): guarded by the is_some() check just above
                 let fin = self.fin.as_mut().expect("checked");
                 fin.parent[0] = 0;
                 fin.visited_round[0] = round;
@@ -619,6 +632,7 @@ impl VertexProgram for Forward {
         match self.mode {
             // Finalizer vertices stay active until they halt.
             TerminationMode::Finalizer => {
+                // lint: allow(unwrap): Finalizer mode always constructs fin
                 !self.fin.as_ref().expect("finalizer mode").halted[v as usize]
             }
             _ => self.scheduled_send(v as usize, round).is_some(),
@@ -628,6 +642,7 @@ impl VertexProgram for Forward {
     fn is_quiescent(&self, v: VertexId) -> bool {
         let vi = v as usize;
         match self.mode {
+            // lint: allow(unwrap): Finalizer mode always constructs fin
             TerminationMode::Finalizer => self.fin.as_ref().expect("finalizer mode").halted[vi],
             _ => self.pending[vi] == 0,
         }
@@ -669,6 +684,9 @@ struct Backward {
     precision: SigmaPrecision,
     dist: Vec<Vec<u32>>,
     sigma: Vec<Vec<f64>>,
+    /// `tau[v][j]` carried over from the forward phase so the outcome
+    /// can report the send timestamps alongside `dist` / `sigma`.
+    tau: Vec<Vec<u32>>,
     delta: Vec<Vec<f64>>,
     preds: Vec<Vec<Vec<VertexId>>>,
     /// Per vertex: `(A_sv, j)` pairs sorted ascending by send round.
@@ -698,6 +716,7 @@ impl Backward {
             precision: fwd.precision,
             dist: fwd.dist,
             sigma: fwd.sigma,
+            tau: fwd.tau,
             delta: vec![vec![0.0; k]; n],
             preds: fwd.preds,
             agenda,

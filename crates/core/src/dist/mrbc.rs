@@ -179,7 +179,7 @@ type FwdPushes = (Vec<(u32, u32, u32, f64)>, u64);
 
 /// Per-host backward-phase push records: `(target vertex, source index,
 /// δ contribution)` plus the host's work units.
-type BwdPushes = (Vec<(u32, u32, f64)>, u64);
+type BwdPushes = (Vec<(u32, u32, u32, f64)>, u64);
 
 /// Per-host proxy labels for one batch: the partial (pre-reduce) values
 /// accumulated from local edges, flat over `(local proxy, source)`.
@@ -257,6 +257,7 @@ impl<'a> Batch<'a> {
             b.pending_total += 1;
             // The source's own proxy on its owner starts with (0, 1).
             let own = dg.owner(s) as usize;
+            // lint: allow(unwrap): every vertex has a master proxy on its owner host
             let l = dg.local(own, s).expect("owner has master proxy") as usize;
             b.hosts[own].dist[l * k + j] = 0;
             b.hosts[own].sigma[l * k + j] = 1.0;
@@ -278,6 +279,7 @@ impl<'a> Batch<'a> {
                 return None;
             }
             if round <= d + below + cnt {
+                // lint: allow(unwrap): rank < cnt == bits.count_ones() by the bound just checked
                 let j = bits.select((round - lo) as usize).expect("rank in block") as u32;
                 return Some((j, *d));
             }
@@ -464,6 +466,7 @@ impl<'a> Batch<'a> {
             self.sigma_g[idx] += sig;
         } else if cur > d_new {
             debug_assert_eq!(self.tau[idx], u32::MAX, "improvement after send");
+            // lint: allow(unwrap): cur came from this vertex's own schedule entry
             let bits = self.schedule[v].get_mut(&cur).expect("entry exists");
             bits.clear(j);
             if bits.none() {
@@ -591,8 +594,24 @@ impl<'a> Batch<'a> {
             }
         }
 
+        // δ contributions are not applied to `delta_g` at push time:
+        // f64 sums are not associative, and push order follows the τ
+        // schedule, which depends on host count and batch composition.
+        // Instead they park here per (v, j) and fold in canonical
+        // successor order when the target's own slot fires (all of its
+        // contributions have arrived by then — Lemma 7), so BC scores
+        // are bit-identical across host counts and batch sizes.
+        let mut pending: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n * k];
         for round in 1..=(r + 1) {
             let flags = std::mem::take(&mut agenda[round as usize]);
+            for &(v, j, _) in &flags {
+                let gidx = v as usize * k + j as usize;
+                let mut contribs = std::mem::take(&mut pending[gidx]);
+                contribs.sort_unstable_by_key(|&(w, _)| w);
+                for (_, c) in contribs {
+                    self.delta_g[gidx] += c;
+                }
+            }
             if let Some(l) = link.as_deref_mut() {
                 l.begin_round(stats.num_rounds() + 1);
             }
@@ -636,7 +655,7 @@ impl<'a> Batch<'a> {
                             if dv > 0 && dist_g[uidx] == dv - 1 {
                                 let contrib = sigma_g[uidx] * m;
                                 hs.delta[lu as usize * k + j as usize] += contrib;
-                                out.push((gu as u32, j, contrib));
+                                out.push((gu as u32, j, v, contrib));
                             }
                         }
                     }
@@ -646,14 +665,25 @@ impl<'a> Batch<'a> {
             let mut work = Vec::with_capacity(self.dg.num_hosts);
             for (h, (host_pushes, w)) in pushes.into_iter().enumerate() {
                 work.push(w);
-                for (gu, j, contrib) in host_pushes {
+                for (gu, j, v, contrib) in host_pushes {
                     if !self.delayed_sync {
                         self.eager_pending.push((h as u16, gu, j));
                     }
-                    self.delta_g[gu as usize * k + j as usize] += contrib;
+                    pending[gu as usize * k + j as usize].push((v, contrib));
                 }
             }
             stats.record_round(work, comm);
+        }
+        // Every slot with a contribution fires (its τ is finite), so
+        // nothing should be parked here; fold defensively anyway so
+        // `delta_g` is complete for the final BC read.
+        for (idx, contribs) in pending.iter_mut().enumerate() {
+            if !contribs.is_empty() {
+                contribs.sort_unstable_by_key(|&(w, _)| w);
+                for &(_, c) in contribs.iter() {
+                    self.delta_g[idx] += c;
+                }
+            }
         }
         if !self.delayed_sync && !self.eager_pending.is_empty() {
             if let Some(l) = link.as_deref_mut() {

@@ -121,6 +121,7 @@ impl<'a> SourceState<'a> {
         self.sigma_g[s as usize] = 1.0;
         self.levels.push(vec![s]);
         let own = self.dg.owner(s) as usize;
+        // lint: allow(unwrap): every vertex has a master proxy on its owner host
         let l = self.dg.local(own, s).expect("master proxy") as usize;
         self.host_dist[own][l] = 0;
         self.host_sigma[own][l] = 1.0;

@@ -21,9 +21,6 @@
 //! tolerance; the integration suite in the workspace root enforces this
 //! across graph shapes, partition policies, and host counts.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod brandes;
 pub mod congest;
 pub mod dist;

@@ -23,8 +23,9 @@
 use crossbeam::deque::{Injector, Steal};
 use mrbc_dgalois::CostModel;
 use mrbc_graph::{CsrGraph, VertexId, INF_DIST};
+use mrbc_util::sync::{ActivityCounter, AtomicMin};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Result of an ABBC run.
 #[derive(Clone, Debug)]
@@ -36,8 +37,6 @@ pub struct AbbcOutcome {
     /// Total worklist tasks (chunks) processed — each pays scheduling
     /// overhead in the analytic model.
     pub tasks: u64,
-    /// Measured wall-clock time of the parallel execution.
-    pub wall_time: std::time::Duration,
 }
 
 impl AbbcOutcome {
@@ -70,24 +69,31 @@ pub fn abbc_bc(g: &CsrGraph, sources: &[VertexId], chunk_size: usize) -> AbbcOut
     assert!(chunk_size >= 1, "chunk size must be at least 1");
     let n = g.num_vertices();
     let rev = g.reverse();
-    let started = std::time::Instant::now();
+    // Timing goes through the observability facade (never a direct
+    // Instant::now in algorithm code): the span measures the run when a
+    // recorder is installed and costs nothing otherwise. Analytic
+    // comparisons use `modeled_time`, which stays machine-independent.
+    let run_span = mrbc_obs::span("abbc.run", mrbc_obs::Phase::Forward.as_str())
+        .arg("n", n as u64)
+        .arg("k", sources.len() as u64)
+        .arg("chunk", chunk_size as u64);
     let work = AtomicU64::new(0);
     let tasks = AtomicU64::new(0);
     let mut bc = vec![0.0f64; n];
 
-    let mut dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(INF_DIST)).collect();
+    let dist: Vec<AtomicMin> = (0..n).map(|_| AtomicMin::new(INF_DIST)).collect();
     for &s in sources {
         assert!((s as usize) < n, "source out of range");
-        for d in &mut dist {
-            *d = AtomicU32::new(INF_DIST);
+        for d in &dist {
+            d.set(INF_DIST);
         }
-        dist[s as usize].store(0, Ordering::Relaxed);
+        dist[s as usize].set(0);
 
         // ---- Asynchronous SSSP: chunked work-stealing relaxation. ----
         async_sssp(g, s, &dist, chunk_size, &work, &tasks);
 
         // ---- Level-ordered σ and δ sweeps over the settled distances.
-        let dists: Vec<u32> = dist.iter().map(|d| d.load(Ordering::Relaxed)).collect();
+        let dists: Vec<u32> = dist.iter().map(|d| d.get()).collect();
         let max_d = dists
             .iter()
             .filter(|&&d| d != INF_DIST)
@@ -149,11 +155,11 @@ pub fn abbc_bc(g: &CsrGraph, sources: &[VertexId], chunk_size: usize) -> AbbcOut
         }
     }
 
+    drop(run_span);
     AbbcOutcome {
         bc,
         work_units: work.load(Ordering::Relaxed),
         tasks: tasks.load(Ordering::Relaxed),
-        wall_time: started.elapsed(),
     }
 }
 
@@ -162,14 +168,17 @@ pub fn abbc_bc(g: &CsrGraph, sources: &[VertexId], chunk_size: usize) -> AbbcOut
 fn async_sssp(
     g: &CsrGraph,
     source: VertexId,
-    dist: &[AtomicU32],
+    dist: &[AtomicMin],
     chunk_size: usize,
     work: &AtomicU64,
     tasks: &AtomicU64,
 ) {
     let injector: Injector<Vec<u32>> = Injector::new();
     injector.push(vec![source]);
-    let active = AtomicU64::new(1); // queued vertices (coarse quiescence)
+    // Queued-vertex count for coarse quiescence; the add-before-publish /
+    // settle-after-processing discipline is model-checked under loom in
+    // crates/util/tests/loom_sync.rs.
+    let active = ActivityCounter::new(1);
 
     let threads = rayon::current_num_threads().max(1);
     rayon::scope(|scope| {
@@ -183,31 +192,18 @@ fn async_sssp(
                             tasks.fetch_add(1, Ordering::Relaxed);
                             let mut next: Vec<u32> = Vec::with_capacity(chunk_size);
                             for v in &chunk {
-                                let dv = dist[*v as usize].load(Ordering::Acquire);
+                                let dv = dist[*v as usize].get();
                                 for &u in g.out_neighbors(*v) {
                                     work.fetch_add(1, Ordering::Relaxed);
-                                    let cand = dv.saturating_add(1);
-                                    // Atomic min via CAS loop.
-                                    let mut cur = dist[u as usize].load(Ordering::Relaxed);
-                                    while cand < cur {
-                                        match dist[u as usize].compare_exchange_weak(
-                                            cur,
-                                            cand,
-                                            Ordering::AcqRel,
-                                            Ordering::Relaxed,
-                                        ) {
-                                            Ok(_) => {
-                                                active.fetch_add(1, Ordering::AcqRel);
-                                                next.push(u);
-                                                if next.len() >= chunk_size {
-                                                    injector.push(std::mem::replace(
-                                                        &mut next,
-                                                        Vec::with_capacity(chunk_size),
-                                                    ));
-                                                }
-                                                break;
-                                            }
-                                            Err(now) => cur = now,
+                                    // Atomic min; the winner re-enqueues.
+                                    if dist[u as usize].relax(dv.saturating_add(1)) {
+                                        active.add(1);
+                                        next.push(u);
+                                        if next.len() >= chunk_size {
+                                            injector.push(std::mem::replace(
+                                                &mut next,
+                                                Vec::with_capacity(chunk_size),
+                                            ));
                                         }
                                     }
                                 }
@@ -215,11 +211,11 @@ fn async_sssp(
                             if !next.is_empty() {
                                 injector.push(next);
                             }
-                            active.fetch_sub(chunk.len() as u64, Ordering::AcqRel);
+                            active.settle(chunk.len() as u64);
                         }
                         Steal::Retry => {}
                         Steal::Empty => {
-                            if active.load(Ordering::Acquire) == 0 && injector.is_empty() {
+                            if active.is_quiescent() && injector.is_empty() {
                                 break;
                             }
                             backoff = (backoff + 1).min(6);

@@ -79,6 +79,7 @@ pub fn tune_batch_size(
     let best = samples
         .iter()
         .min_by(|a, b| a.time_per_source.total_cmp(&b.time_per_source))
+        // lint: allow(unwrap): the candidate set is a non-empty compile-time list
         .expect("candidates nonempty");
     TuneOutcome {
         best_batch_size: best.batch_size,

@@ -421,6 +421,7 @@ pub fn run_bsp_with_faults<P: BspProgram>(
                 continue;
             }
             // Rollback: restore the latest checkpoint and replay.
+            // lint: allow(unwrap): a checkpoint is taken in round 1 before any rollback
             let (ckpt_round, saved, aux) = ckpt.as_ref().expect("checkpoint exists from round 1");
             let rb_span = mrbc_obs::span("rollback", mrbc_obs::Phase::Recovery.as_str())
                 .arg("round", round as u64)

@@ -35,9 +35,6 @@
 //! message counts, and communication volumes are exact, which is what the
 //! paper's evaluation hinges on.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod bsp;
 pub mod comm;
 mod cost;

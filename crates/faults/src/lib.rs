@@ -22,9 +22,6 @@
 //! The crate is deliberately dependency-free: both substrates depend on
 //! it, and it must never depend back on them.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod plan;
 mod session;
 mod stats;

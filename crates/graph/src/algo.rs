@@ -181,6 +181,7 @@ pub fn strongly_connected_components(g: &CsrGraph) -> (Vec<usize>, usize) {
                 }
                 if lowlink[v as usize] == index[v as usize] {
                     loop {
+                        // lint: allow(unwrap): v is on the stack whenever lowlink[v] == index[v]
                         let w = stack.pop().expect("Tarjan stack underflow");
                         on_stack[w as usize] = false;
                         comp[w as usize] = num_comps;

@@ -38,7 +38,7 @@ impl CsrGraph {
         assert!(!offsets.is_empty(), "offsets must have length n + 1 >= 1");
         assert_eq!(offsets[0], 0, "offsets must start at 0");
         assert_eq!(
-            *offsets.last().unwrap(),
+            offsets[offsets.len() - 1],
             targets.len(),
             "offsets must end at targets.len()"
         );

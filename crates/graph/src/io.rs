@@ -69,7 +69,13 @@ pub fn read_edge_list(
         let mut it = t.split_whitespace();
         let parse = |s: Option<&str>| -> Option<u64> { s.and_then(|x| x.parse().ok()) };
         match (parse(it.next()), parse(it.next())) {
-            (Some(u), Some(v)) if u <= VertexId::MAX as u64 && v <= VertexId::MAX as u64 => {
+            // A third column would mean a weighted list (or corruption);
+            // silently dropping it would misread the input, so reject.
+            (Some(u), Some(v))
+                if u <= VertexId::MAX as u64
+                    && v <= VertexId::MAX as u64
+                    && it.next().is_none() =>
+            {
                 max_id = max_id.max(u).max(v);
                 edges.push((u as VertexId, v as VertexId));
             }

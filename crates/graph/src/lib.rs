@@ -21,9 +21,6 @@
 //!   the substrate the weighted-capable baselines (ABBC, MFBC) assume.
 //! * [`io`] — plain edge-list text I/O.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod algo;
 mod builder;
 mod csr;

@@ -329,7 +329,9 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                 // Consume one UTF-8 scalar.
                 let rest = std::str::from_utf8(&b[*pos..])
                     .map_err(|_| format!("invalid UTF-8 at byte {pos}"))?;
-                let c = rest.chars().next().unwrap();
+                let Some(c) = rest.chars().next() else {
+                    return Err("unterminated string".into());
+                };
                 s.push(c);
                 *pos += c.len_utf8();
             }

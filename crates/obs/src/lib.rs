@@ -30,9 +30,6 @@
 //! `record` cargo feature disabled the entire facade compiles to
 //! inline no-ops (verified by a counting-allocator test).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod json;
 mod recorder;
 
@@ -163,7 +160,12 @@ mod global {
         // Touch the anchor before enabling so `now_us` is monotone
         // across the whole run.
         let _ = anchor();
-        let prev = RECORDER.lock().unwrap().replace(Recorder::new(run));
+        // Poison-tolerant: a panicking instrumented thread must not take
+        // observability down with it; the recorder state stays usable.
+        let prev = RECORDER
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .replace(Recorder::new(run));
         ENABLED.store(true, Ordering::SeqCst);
         prev
     }
@@ -171,7 +173,10 @@ mod global {
     /// Disable recording and hand back the global recorder.
     pub fn uninstall() -> Option<Recorder> {
         ENABLED.store(false, Ordering::SeqCst);
-        RECORDER.lock().unwrap().take()
+        RECORDER
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
     }
 
     /// Whether a recorder is currently installed. Instrumentation sites
@@ -196,7 +201,11 @@ mod global {
         if !is_enabled() {
             return None;
         }
-        RECORDER.lock().unwrap().as_mut().map(f)
+        RECORDER
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .as_mut()
+            .map(f)
     }
 
     /// Add `delta` to a global counter.

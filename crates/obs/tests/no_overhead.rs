@@ -3,6 +3,10 @@
 //! allocator — the hot paths of the algorithms call these per round and
 //! per message, and "observability disabled" has to mean free.
 
+// The workspace denies unsafe_code; this test is the one deliberate
+// exception — counting allocations requires implementing GlobalAlloc.
+#![allow(unsafe_code)]
+
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -13,12 +17,16 @@ static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 // SAFETY: delegates directly to the system allocator; the counter is a
 // relaxed atomic with no further invariants.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: same contract as `System.alloc`, to which this forwards.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: layout is forwarded unchanged from the caller.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: same contract as `System.dealloc`, to which this forwards.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: ptr/layout are forwarded unchanged from the caller.
         unsafe { System.dealloc(ptr, layout) }
     }
 }

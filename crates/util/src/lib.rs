@@ -14,13 +14,14 @@
 //!   equivalent.
 //! * [`stats`] — running statistics, load-imbalance ratios, and formatting
 //!   helpers used by the benchmark harness.
-
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
+//! * [`sync`] — the CAS primitives of the asynchronous execution paths
+//!   ([`sync::AtomicMin`], [`sync::ActivityCounter`]), model-checked
+//!   under loom (`RUSTFLAGS="--cfg loom"`).
 
 mod bitset;
 mod flat_map;
 pub mod stats;
+pub mod sync;
 
 pub use bitset::DenseBitset;
 pub use flat_map::FlatMap;

@@ -1,0 +1,170 @@
+//! Lock-free primitives shared by the asynchronous execution paths.
+//!
+//! These are the two CAS patterns at the heart of ABBC's asynchronous
+//! SSSP (`crates/core/src/shared/abbc.rs`): an atomic-min distance cell
+//! and a coarse activity counter for quiescence detection. They live
+//! here, behind a `cfg(loom)` switch, so the loom job
+//! (`RUSTFLAGS="--cfg loom" cargo test -p mrbc-util --test loom_sync`)
+//! can model-check the exact code the algorithm runs — not a copy.
+//!
+//! Under `cfg(loom)` the atomics come from the `loom` crate (in this
+//! offline workspace, the stress-perturbation shim in `shims/loom`);
+//! otherwise they are plain `std` atomics with zero overhead.
+
+#[cfg(loom)]
+use loom::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+#[cfg(not(loom))]
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// An atomically-relaxable `u32` cell: concurrent writers can only ever
+/// *lower* the value (the asynchronous Bellman-Ford label).
+///
+/// The CAS loop retries on interference, so after any set of concurrent
+/// [`AtomicMin::relax`] calls the cell holds the minimum of its prior
+/// value and every candidate — the linearizability property the loom
+/// test asserts.
+#[derive(Debug)]
+pub struct AtomicMin(AtomicU32);
+
+impl AtomicMin {
+    /// New cell holding `v`.
+    #[cfg(not(loom))]
+    pub const fn new(v: u32) -> Self {
+        Self(AtomicU32::new(v))
+    }
+
+    /// New cell holding `v` (loom atomics cannot be `const`-constructed).
+    #[cfg(loom)]
+    pub fn new(v: u32) -> Self {
+        Self(AtomicU32::new(v))
+    }
+
+    /// Current value (acquire: pairs with the release in [`relax`]).
+    ///
+    /// [`relax`]: AtomicMin::relax
+    #[inline]
+    pub fn get(&self) -> u32 {
+        self.0.load(Ordering::Acquire)
+    }
+
+    /// Unconditional reset (release), for reuse between runs.
+    #[inline]
+    pub fn set(&self, v: u32) {
+        self.0.store(v, Ordering::Release)
+    }
+
+    /// Atomic min: lowers the cell to `cand` if `cand` is strictly
+    /// smaller. Returns `true` iff this call lowered the value (the
+    /// caller then owns re-enqueueing the vertex).
+    #[inline]
+    pub fn relax(&self, cand: u32) -> bool {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        while cand < cur {
+            match self
+                .0
+                .compare_exchange_weak(cur, cand, Ordering::AcqRel, Ordering::Relaxed)
+            {
+                Ok(_) => return true,
+                Err(now) => cur = now,
+            }
+        }
+        false
+    }
+}
+
+/// Coarse quiescence detection for a work-stealing loop: the counter
+/// tracks enqueued-but-unprocessed items, and the pool may terminate
+/// only when it reads zero *and* the queue is empty.
+///
+/// The discipline (enforced by ABBC's worker loop, checked under loom):
+/// [`ActivityCounter::add`] **before** the item becomes stealable, and
+/// [`ActivityCounter::settle`] only **after** its processing is fully
+/// done — so the count can over-approximate in-flight work but never
+/// under-approximate it, and a zero read is a true quiescence proof.
+#[derive(Debug)]
+pub struct ActivityCounter(AtomicU64);
+
+impl ActivityCounter {
+    /// New counter with `initial` outstanding items.
+    #[cfg(not(loom))]
+    pub const fn new(initial: u64) -> Self {
+        Self(AtomicU64::new(initial))
+    }
+
+    /// New counter with `initial` outstanding items.
+    #[cfg(loom)]
+    pub fn new(initial: u64) -> Self {
+        Self(AtomicU64::new(initial))
+    }
+
+    /// Announce `n` new work items (call before publishing them).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::AcqRel);
+    }
+
+    /// Retire `n` finished items (call only after their effects,
+    /// including any re-enqueues, are published).
+    #[inline]
+    pub fn settle(&self, n: u64) {
+        let prev = self.0.fetch_sub(n, Ordering::AcqRel);
+        debug_assert!(prev >= n, "settled more work than was announced");
+    }
+
+    /// True when no announced work remains outstanding.
+    #[inline]
+    pub fn is_quiescent(&self) -> bool {
+        self.0.load(Ordering::Acquire) == 0
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as StdU64;
+
+    #[test]
+    fn relax_only_lowers() {
+        let c = AtomicMin::new(10);
+        assert!(!c.relax(10));
+        assert!(!c.relax(11));
+        assert_eq!(c.get(), 10);
+        assert!(c.relax(3));
+        assert_eq!(c.get(), 3);
+        c.set(7);
+        assert_eq!(c.get(), 7);
+    }
+
+    #[test]
+    fn concurrent_relax_settles_on_minimum() {
+        let cell = AtomicMin::new(u32::MAX);
+        let lowered = StdU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..8u32 {
+                let (cell, lowered) = (&cell, &lowered);
+                s.spawn(move || {
+                    for i in 0..1000u32 {
+                        if cell.relax(1000 - i + t) {
+                            lowered.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(cell.get(), 1);
+        // Each successful relax strictly lowers the value, so there can
+        // be at most (initial span) of them — and at least one.
+        assert!(lowered.load(std::sync::atomic::Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn activity_counter_quiescence() {
+        let a = ActivityCounter::new(1);
+        assert!(!a.is_quiescent());
+        a.add(2);
+        a.settle(1);
+        assert!(!a.is_quiescent());
+        a.settle(2);
+        assert!(a.is_quiescent());
+    }
+}

@@ -1,0 +1,105 @@
+//! loom model-checking of the `mrbc_util::sync` primitives — the exact
+//! CAS loops ABBC's asynchronous SSSP runs (`cfg(loom)` swaps their
+//! atomics onto loom's instrumented types, so this checks the shipped
+//! code, not a copy).
+//!
+//! Runs only under `RUSTFLAGS="--cfg loom"` (CI's loom job):
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p mrbc-util --test loom_sync --release
+//! ```
+#![cfg(loom)]
+
+use loom::sync::atomic::{AtomicU32, Ordering};
+use loom::sync::Arc;
+use loom::thread;
+use mrbc_util::sync::{ActivityCounter, AtomicMin};
+
+/// Concurrent `relax` calls linearize to min: whatever the interleaving,
+/// the cell ends at the smallest candidate and at least one caller — and
+/// only callers that strictly lowered the value — observed a win.
+#[test]
+fn atomic_min_linearizes_to_minimum() {
+    loom::model(|| {
+        let cell = Arc::new(AtomicMin::new(100));
+        let handles: Vec<_> = [5u32, 3, 7]
+            .into_iter()
+            .map(|cand| {
+                let cell = Arc::clone(&cell);
+                thread::spawn(move || cell.relax(cand))
+            })
+            .collect();
+        let wins = handles
+            .into_iter()
+            .map(|h| h.join().expect("relaxer panicked"))
+            .filter(|&won| won)
+            .count();
+        assert_eq!(cell.get(), 3, "cell must settle on the minimum");
+        assert!(
+            (1..=3).contains(&wins),
+            "the eventual winner always observes a lowering"
+        );
+    });
+}
+
+/// A lost-update would mean two successful relaxes to the same value;
+/// count the total number of wins across racing equal candidates: at
+/// most one can win.
+#[test]
+fn atomic_min_equal_candidates_have_one_winner() {
+    loom::model(|| {
+        let cell = Arc::new(AtomicMin::new(10));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                thread::spawn(move || cell.relax(4))
+            })
+            .collect();
+        let wins = handles
+            .into_iter()
+            .map(|h| h.join().expect("relaxer panicked"))
+            .filter(|&won| won)
+            .count();
+        assert_eq!(wins, 1, "exactly one equal candidate may win");
+        assert_eq!(cell.get(), 4);
+    });
+}
+
+/// The quiescence protocol: `add` before publishing work, `settle` only
+/// after its effects are published. An observer that reads quiescent
+/// must therefore see *all* effects — the property that makes ABBC's
+/// termination check sound.
+#[test]
+fn quiescence_read_implies_all_effects_visible() {
+    loom::model(|| {
+        let active = Arc::new(ActivityCounter::new(1));
+        let effects = Arc::new(AtomicU32::new(0));
+
+        let worker = {
+            let (active, effects) = (Arc::clone(&active), Arc::clone(&effects));
+            thread::spawn(move || {
+                // Process item 1: it spawns a child item.
+                active.add(1); // announce child BEFORE publishing it
+                effects.fetch_add(1, Ordering::Relaxed);
+                active.settle(1); // item 1 fully done
+                                  // Process the child.
+                effects.fetch_add(1, Ordering::Relaxed);
+                active.settle(1);
+            })
+        };
+        let observer = {
+            let (active, effects) = (Arc::clone(&active), Arc::clone(&effects));
+            thread::spawn(move || {
+                if active.is_quiescent() {
+                    // Release on settle / acquire on the zero read: both
+                    // effects must be visible.
+                    assert_eq!(effects.load(Ordering::Relaxed), 2);
+                }
+            })
+        };
+        worker.join().expect("worker panicked");
+        observer.join().expect("observer panicked");
+        assert!(active.is_quiescent());
+        assert_eq!(effects.load(Ordering::Relaxed), 2);
+    });
+}

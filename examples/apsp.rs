@@ -10,6 +10,9 @@
 //!
 //! Run with: `cargo run --release --example apsp`
 
+// Examples panic on impossible states exactly like tests do.
+#![allow(clippy::unwrap_used)]
+
 use mrbc::prelude::*;
 use mrbc_core::congest::mrbc::{directed_apsp, TerminationMode};
 

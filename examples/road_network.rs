@@ -11,6 +11,9 @@
 //!
 //! Run with: `cargo run --release --example road_network`
 
+// Examples panic on impossible states exactly like tests do.
+#![allow(clippy::unwrap_used)]
+
 use mrbc::prelude::*;
 
 fn main() {

