@@ -1,0 +1,221 @@
+//! Measures the overhead of the real TCP transport: the same
+//! dist-MRBC SPMD program driven (a) in-process by the loopback
+//! executor and (b) over a localhost TCP mesh with one thread per rank,
+//! reporting BSP steps per second for both and the slowdown factor.
+//!
+//! The two runs execute the *identical* step sequence and produce
+//! bit-identical betweenness scores (asserted), so the ratio isolates
+//! pure substrate cost: framing, checksums, kernel socket round-trips,
+//! heartbeats, and ack traffic.
+//!
+//! Run with: `cargo run --release -p mrbc-bench --bin netbench`
+//! Pass `--json` to also emit a machine-readable `BENCH_net.json`.
+
+use std::net::SocketAddr;
+
+use mrbc_bench::report::Table;
+use mrbc_core::dist::spmd::MrbcSpmd;
+use mrbc_dgalois::spmd::{run_local, SpmdProgram};
+use mrbc_dgalois::{partition, DistGraph, PartitionPolicy};
+use mrbc_graph::{generators, sample, CsrGraph};
+use mrbc_net::mesh::{Mesh, MeshConfig};
+use mrbc_net::worker::{run_worker, ControlPlane, WorkerConfig, WorkerOutcome};
+use mrbc_obs::json::JsonWriter;
+
+struct Case {
+    name: &'static str,
+    g: CsrGraph,
+    ranks: usize,
+    num_sources: usize,
+    batch: usize,
+    seed: u64,
+}
+
+struct Measurement {
+    name: &'static str,
+    ranks: usize,
+    steps: u64,
+    inproc_steps_per_sec: f64,
+    tcp_steps_per_sec: f64,
+    slowdown: f64,
+}
+
+fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            name: "road-3x16",
+            g: generators::grid_road_network(generators::RoadNetworkConfig::new(3, 16), 7),
+            ranks: 2,
+            num_sources: 16,
+            batch: 8,
+            seed: 1,
+        },
+        Case {
+            name: "road-3x16",
+            g: generators::grid_road_network(generators::RoadNetworkConfig::new(3, 16), 7),
+            ranks: 4,
+            num_sources: 16,
+            batch: 8,
+            seed: 1,
+        },
+        Case {
+            name: "webcrawl-400",
+            g: generators::web_crawl(generators::WebCrawlConfig::new(400), 9),
+            ranks: 4,
+            num_sources: 16,
+            batch: 8,
+            seed: 2,
+        },
+    ]
+}
+
+/// One in-process run: returns (steps, seconds, bc, fingerprint).
+fn run_inproc(
+    g: &CsrGraph,
+    dg: &DistGraph,
+    sources: &[u32],
+    batch: usize,
+) -> (u64, f64, Vec<f64>, u64) {
+    let mut prog = MrbcSpmd::new(g, dg, sources, batch);
+    let t0 = mrbc_obs::now_us();
+    let steps = run_local(&mut prog, u64::MAX).expect("in-process run");
+    let secs = (mrbc_obs::now_us() - t0) as f64 / 1e6;
+    let fp = prog.fingerprint();
+    (steps, secs, prog.bc().to_vec(), fp)
+}
+
+/// One TCP-localhost run, a thread per rank: returns (steps, seconds,
+/// rank 0's bc, fingerprint). The clock covers bind + connect + the full
+/// step loop — the substrate's whole cost of doing business.
+fn run_tcp(
+    g: &CsrGraph,
+    dg: &DistGraph,
+    sources: &[u32],
+    batch: usize,
+) -> (u64, f64, Vec<f64>, u64) {
+    let num_ranks = dg.num_hosts;
+    let t0 = mrbc_obs::now_us();
+    let mut meshes: Vec<Mesh> = (0..num_ranks)
+        .map(|rank| Mesh::bind(&MeshConfig::localhost(rank, num_ranks)).expect("bind"))
+        .collect();
+    let addrs: Vec<SocketAddr> = meshes.iter().map(|m| m.local_addr()).collect();
+    let mut results: Vec<Option<(u64, u64, Vec<f64>)>> = (0..num_ranks).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (rank, mut mesh) in meshes.drain(..).enumerate() {
+            let addrs = addrs.clone();
+            handles.push(scope.spawn(move || {
+                mesh.connect(&addrs, 20_000).expect("establish");
+                let mut prog = MrbcSpmd::new(g, dg, sources, batch);
+                let mut cfg = WorkerConfig::default();
+                let mut control = ControlPlane::headless();
+                let outcome =
+                    run_worker(&mut prog, &mut mesh, &mut cfg, &mut control).expect("worker");
+                let WorkerOutcome::Completed { steps, fingerprint } = outcome else {
+                    panic!("rank {rank} did not complete: {outcome:?}");
+                };
+                (rank, (steps, fingerprint, prog.bc().to_vec()))
+            }));
+        }
+        for handle in handles {
+            let (rank, res) = handle.join().expect("rank thread");
+            results[rank] = Some(res);
+        }
+    });
+    let secs = (mrbc_obs::now_us() - t0) as f64 / 1e6;
+    let (steps, fp, bc) = results
+        .into_iter()
+        .map(|r| r.expect("all ranks reported"))
+        .next()
+        .expect("at least one rank");
+    (steps, secs, bc, fp)
+}
+
+fn to_json(ms: &[Measurement]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("schema");
+    w.string("mrbc-bench-net-v1");
+    w.key("cases");
+    w.begin_array();
+    for m in ms {
+        w.begin_object();
+        w.key("input");
+        w.string(m.name);
+        w.key("ranks");
+        w.float(m.ranks as f64);
+        w.key("steps");
+        w.float(m.steps as f64);
+        w.key("inproc_steps_per_sec");
+        w.float(m.inproc_steps_per_sec);
+        w.key("tcp_steps_per_sec");
+        w.float(m.tcp_steps_per_sec);
+        w.key("tcp_slowdown");
+        w.float(m.slowdown);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+fn main() {
+    // now_us() reads 0 until a recorder is installed; we only need the clock.
+    mrbc_obs::install("netbench");
+    let json_out = std::env::args().any(|a| a == "--json");
+    let mut tbl = Table::new(
+        "SPMD substrate throughput: in-process loopback vs TCP localhost",
+        &[
+            "input",
+            "ranks",
+            "steps",
+            "inproc steps/s",
+            "tcp steps/s",
+            "slowdown",
+        ],
+    );
+    let mut measurements = Vec::new();
+    for case in cases() {
+        let sources =
+            sample::contiguous_sources(case.g.num_vertices(), case.num_sources, case.seed);
+        let dg = partition(&case.g, case.ranks, PartitionPolicy::CartesianVertexCut);
+        let (li_steps, li_secs, li_bc, li_fp) = run_inproc(&case.g, &dg, &sources, case.batch);
+        let (tc_steps, tc_secs, tc_bc, tc_fp) = run_tcp(&case.g, &dg, &sources, case.batch);
+        assert_eq!(li_steps, tc_steps, "step counts diverged");
+        assert_eq!(li_fp, tc_fp, "fingerprints diverged");
+        assert_eq!(
+            li_bc, tc_bc,
+            "BC scores must be bit-identical across substrates"
+        );
+        let inproc_rate = li_steps as f64 / li_secs.max(1e-9);
+        let tcp_rate = tc_steps as f64 / tc_secs.max(1e-9);
+        let slowdown = inproc_rate / tcp_rate.max(1e-9);
+        tbl.row(vec![
+            case.name.into(),
+            case.ranks.to_string(),
+            li_steps.to_string(),
+            format!("{inproc_rate:.0}"),
+            format!("{tcp_rate:.0}"),
+            format!("{slowdown:.1}x"),
+        ]);
+        measurements.push(Measurement {
+            name: case.name,
+            ranks: case.ranks,
+            steps: li_steps,
+            inproc_steps_per_sec: inproc_rate,
+            tcp_steps_per_sec: tcp_rate,
+            slowdown,
+        });
+    }
+    tbl.print();
+    println!(
+        "\nevery TCP run produced bit-identical BC scores to its in-process twin\n\
+         (asserted above); the slowdown is the price of real sockets, framing,\n\
+         CRCs, heartbeats and acks on a loopback RTT."
+    );
+    if json_out {
+        let doc = to_json(&measurements);
+        std::fs::write("BENCH_net.json", &doc).expect("write BENCH_net.json");
+        println!("\nmachine-readable results written to BENCH_net.json");
+    }
+}

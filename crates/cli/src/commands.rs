@@ -30,7 +30,20 @@ USAGE:
   mrbc cc <file> [--hosts H] [--faults PLAN] [--checkpoint K]
   mrbc sssp <file> [--hosts H] [--source V] [--max-weight W] [--seed X]
   mrbc check-json <file>   validate an emitted --trace / --metrics document
+  mrbc launch <file> --ranks N [--kill R@S,...] [--checkpoint-dir DIR]
+                     [--sources K] [--batch B] [--seed X] [--policy P]
+                     [--deadline MS] [--timeout MS] [--verify]
+      run N real worker processes over localhost TCP; --kill SIGKILLs
+      rank R at step S and recovers it from durable checkpoints
+  mrbc worker <file> --rank R --ranks N [...]   one launched rank
+      (normally spawned by `mrbc launch`, speaks the stdio control
+      protocol; see `mrbc_net::launch` docs)
+  mrbc checkpoint-info <dir> [--rank R]   validate a checkpoint directory
   mrbc help
+
+EXIT CODES:
+  0 success   1 command failed   2 usage error
+  3 corrupt or unreadable checkpoint (truncated file, CRC mismatch, ...)
 
 OBSERVABILITY (any command):
   --trace out.json    write a Chrome-trace / Perfetto timeline of the run
@@ -51,23 +64,72 @@ FAULT PLANS (--faults):
 ";
 
 /// Boolean switches `main` declares to the argument parser.
-pub const SWITCHES: &[&str] = &["v", "verbose"];
+pub const SWITCHES: &[&str] = &["v", "verbose", "verify"];
+
+/// Structured command failure: the message to print and the process
+/// exit code the shell contract assigns it (1 = generic failure,
+/// 3 = corrupt or unreadable checkpoint; 2 is reserved for usage
+/// errors, raised by `main` on parse failure).
+#[derive(Debug)]
+pub struct CmdError {
+    /// Human-readable failure description.
+    pub message: String,
+    /// Process exit code.
+    pub code: i32,
+}
+
+impl CmdError {
+    /// A generic failure (exit code 1).
+    pub fn general(message: impl Into<String>) -> Self {
+        CmdError {
+            message: message.into(),
+            code: 1,
+        }
+    }
+
+    /// A checkpoint-corruption failure (exit code 3).
+    pub fn checkpoint(message: impl Into<String>) -> Self {
+        CmdError {
+            message: message.into(),
+            code: 3,
+        }
+    }
+}
+
+impl From<String> for CmdError {
+    fn from(message: String) -> Self {
+        CmdError::general(message)
+    }
+}
+
+impl std::fmt::Display for CmdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for CmdError {}
 
 /// Dispatches a parsed command line; returns the report to print.
-pub fn run(p: &ParsedArgs) -> Result<String, String> {
+pub fn run(p: &ParsedArgs) -> Result<String, CmdError> {
     let obs = ObsRun::begin(p);
     let result = match p.command.as_str() {
-        "generate" => cmd_generate(p),
-        "info" => cmd_info(p),
-        "bc" => cmd_bc(p),
-        "apsp" => cmd_apsp(p),
-        "tune" => cmd_tune(p),
-        "pagerank" => cmd_pagerank(p),
-        "cc" => cmd_cc(p),
-        "sssp" => cmd_sssp(p),
-        "check-json" => cmd_check_json(p),
+        "generate" => cmd_generate(p).map_err(CmdError::from),
+        "info" => cmd_info(p).map_err(CmdError::from),
+        "bc" => cmd_bc(p).map_err(CmdError::from),
+        "apsp" => cmd_apsp(p).map_err(CmdError::from),
+        "tune" => cmd_tune(p).map_err(CmdError::from),
+        "pagerank" => cmd_pagerank(p).map_err(CmdError::from),
+        "cc" => cmd_cc(p).map_err(CmdError::from),
+        "sssp" => cmd_sssp(p).map_err(CmdError::from),
+        "check-json" => cmd_check_json(p).map_err(CmdError::from),
+        "worker" => crate::netcmd::cmd_worker(p),
+        "launch" => crate::netcmd::cmd_launch(p),
+        "checkpoint-info" => crate::netcmd::cmd_checkpoint_info(p),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
-        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+        other => Err(CmdError::general(format!(
+            "unknown command {other:?}\n\n{USAGE}"
+        ))),
     };
     obs.finish(result)
 }
@@ -100,7 +162,7 @@ impl ObsRun {
         }
     }
 
-    fn finish(self, result: Result<String, String>) -> Result<String, String> {
+    fn finish(self, result: Result<String, CmdError>) -> Result<String, CmdError> {
         mrbc_obs::set_verbose(false);
         if !self.active {
             return result;
@@ -109,13 +171,14 @@ impl ObsRun {
         let rec = mrbc_obs::uninstall();
         let mut out = result?;
         let rec = rec.ok_or_else(|| {
-            "observability is compiled out (mrbc-obs feature \"record\" disabled); \
-             --trace/--metrics cannot export"
-                .to_string()
+            CmdError::general(
+                "observability is compiled out (mrbc-obs feature \"record\" disabled); \
+                 --trace/--metrics cannot export",
+            )
         })?;
         if let Some(path) = &self.trace {
             std::fs::write(path, rec.to_chrome_trace_json())
-                .map_err(|e| format!("cannot write {path}: {e}"))?;
+                .map_err(|e| CmdError::general(format!("cannot write {path}: {e}")))?;
             out += &format!(
                 "trace timeline written to {path} ({} events)\n",
                 rec.events().len()
@@ -123,7 +186,7 @@ impl ObsRun {
         }
         if let Some(path) = &self.metrics {
             std::fs::write(path, rec.to_metrics_json())
-                .map_err(|e| format!("cannot write {path}: {e}"))?;
+                .map_err(|e| CmdError::general(format!("cannot write {path}: {e}")))?;
             out += &format!("metrics snapshot written to {path}\n");
         }
         Ok(out)
@@ -732,7 +795,7 @@ mod tests {
         let file = tmpfile("cli_badplan.el");
         io::write_edge_list_file(&generators::cycle(8), &file).expect("write");
         let p = parse(&sv(&["bc", &file, "--faults", "explode:now"]), &[]).expect("parse");
-        assert!(run(&p).unwrap_err().contains("bad --faults plan"));
+        assert!(run(&p).unwrap_err().message.contains("bad --faults plan"));
         let p = parse(
             &sv(&[
                 "cc",
@@ -747,6 +810,7 @@ mod tests {
         .expect("parse");
         assert!(run(&p)
             .unwrap_err()
+            .message
             .contains("--checkpoint must be at least 1"));
     }
 
@@ -832,17 +896,17 @@ mod tests {
         let path = tmpfile("cli_obs_garbage.json");
         std::fs::write(&path, "{\"schema\":\"other\"}").expect("write");
         let p = parse(&sv(&["check-json", &path]), SWITCHES).expect("parse");
-        assert!(run(&p).unwrap_err().contains("unrecognized schema"));
+        assert!(run(&p).unwrap_err().message.contains("unrecognized schema"));
         std::fs::write(&path, "not json").expect("write");
-        assert!(run(&p).unwrap_err().contains("invalid JSON"));
+        assert!(run(&p).unwrap_err().message.contains("invalid JSON"));
     }
 
     #[test]
     fn bad_inputs_are_reported() {
         let p = parse(&sv(&["bc", "/nonexistent/file.el"]), &[]).expect("parse");
-        assert!(run(&p).unwrap_err().contains("cannot read"));
+        assert!(run(&p).unwrap_err().message.contains("cannot read"));
         let p = parse(&sv(&["generate", "nope", "--out", "/tmp/x.el"]), &[]).expect("parse");
-        assert!(run(&p).unwrap_err().contains("unknown graph kind"));
+        assert!(run(&p).unwrap_err().message.contains("unknown graph kind"));
     }
 
     /// Zero host/batch/chunk counts would panic deep inside the
@@ -864,7 +928,10 @@ mod tests {
         ] {
             let p = parse(&sv(&argv), &[]).expect("parse");
             let err = run(&p).unwrap_err();
-            assert!(err.contains("must be at least 1"), "{argv:?}: {err}");
+            assert!(
+                err.message.contains("must be at least 1"),
+                "{argv:?}: {err}"
+            );
         }
     }
 
@@ -881,7 +948,10 @@ mod tests {
             for cmd in ["bc", "info", "apsp", "pagerank", "cc", "sssp"] {
                 let p = parse(&sv(&[cmd, &file]), &[]).expect("parse");
                 let err = run(&p).unwrap_err();
-                assert!(err.contains("cannot read"), "{cmd} on {name}: {err}");
+                assert!(
+                    err.message.contains("cannot read"),
+                    "{cmd} on {name}: {err}"
+                );
             }
         }
     }

@@ -14,7 +14,7 @@ fn main() {
         Ok(report) => print!("{report}"),
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(1);
+            std::process::exit(e.code);
         }
     }
 }

@@ -1,0 +1,186 @@
+//! Process-level tests of the multi-process substrate through the real
+//! `mrbc-cli` binary: a chaos run (launch 4 workers, SIGKILL one
+//! mid-computation, recover from durable checkpoints, verify the result
+//! is bit-identical to the in-process engine) and the structured
+//! exit-code contract for corrupt checkpoints.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use mrbc_graph::{generators, io};
+use mrbc_net::CheckpointStore;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mrbc-cli"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("mrbc-netproc-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("mkdir");
+    d
+}
+
+fn write_test_graph(dir: &std::path::Path) -> String {
+    let g = generators::grid_road_network(generators::RoadNetworkConfig::new(3, 8), 7);
+    let path = dir.join("graph.el").to_string_lossy().into_owned();
+    io::write_edge_list_file(&g, &path).expect("write graph");
+    path
+}
+
+/// The tentpole acceptance test: four real worker processes compute
+/// dist-MRBC over localhost TCP, rank 1 is SIGKILLed mid-forward-phase
+/// and respawned from its durable checkpoint, and the final BC result
+/// (by fingerprint) is bit-identical to a fault-free in-process run.
+#[test]
+fn chaos_kill_recovers_to_bit_identical_result() {
+    let dir = tmpdir("chaos");
+    let graph = write_test_graph(&dir);
+    let ckpts = dir.join("ckpts").to_string_lossy().into_owned();
+    let out = bin()
+        .args([
+            "launch",
+            &graph,
+            "--ranks",
+            "4",
+            "--sources",
+            "8",
+            "--batch",
+            "4",
+            "--policy",
+            "blocked",
+            "--kill",
+            "1@1",
+            "--checkpoint-dir",
+            &ckpts,
+            "--timeout",
+            "90000",
+            "--verify",
+        ])
+        .output()
+        .expect("run launch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "launch failed:\n{stdout}\n{stderr}");
+    assert!(stdout.contains("recoveries: 1"), "{stdout}");
+    assert!(stdout.contains("consensus fingerprint:"), "{stdout}");
+    assert!(
+        stdout.contains("bit-identical to the in-process engine"),
+        "{stdout}"
+    );
+    // Every rank completed; nobody degraded.
+    for rank in 0..4 {
+        assert!(
+            stdout.contains(&format!("rank {rank}: completed")),
+            "{stdout}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A clean 2-process run (the CI smoke shape): no kills, fingerprint
+/// consensus, in-process parity.
+#[test]
+fn two_process_clean_run_verifies() {
+    let dir = tmpdir("clean2");
+    let graph = write_test_graph(&dir);
+    let out = bin()
+        .args([
+            "launch",
+            &graph,
+            "--ranks",
+            "2",
+            "--sources",
+            "8",
+            "--batch",
+            "4",
+            "--timeout",
+            "60000",
+            "--verify",
+        ])
+        .output()
+        .expect("run launch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "launch failed:\n{stdout}\n{stderr}");
+    assert!(stdout.contains("recoveries: 0"), "{stdout}");
+    assert!(
+        stdout.contains("bit-identical to the in-process engine"),
+        "{stdout}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The structured-error satellite: `checkpoint-info` on a truncated or
+/// CRC-flipped checkpoint exits with the dedicated status code 3 and a
+/// structured message, distinguishable from generic failures (1) and
+/// usage errors (2).
+#[test]
+fn corrupt_checkpoints_exit_with_code_3() {
+    let dir = tmpdir("ckpt3");
+    let store = CheckpointStore::open(&dir, 0).expect("open store");
+    store.save(5, b"precious replicated state").expect("save");
+    let dir_s = dir.to_string_lossy().into_owned();
+    let file = dir.join("ckpt-r0-s000000000005.bin");
+
+    // Intact store: exit 0, the step is listed and validated.
+    let out = bin()
+        .args(["checkpoint-info", &dir_s])
+        .output()
+        .expect("run");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("step      5"), "{stdout}");
+    assert!(stdout.contains("crc ok"), "{stdout}");
+
+    // Truncated payload: exit 3, message says truncated.
+    let good = std::fs::read(&file).expect("read");
+    std::fs::write(&file, &good[..good.len() - 4]).expect("truncate");
+    let out = bin()
+        .args(["checkpoint-info", &dir_s])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("truncated checkpoint"), "{stderr}");
+
+    // CRC-flipped payload byte: exit 3, message says checksum.
+    let mut bad = good.clone();
+    let last = bad.len() - 1;
+    bad[last] ^= 0x40;
+    std::fs::write(&file, &bad).expect("corrupt");
+    let out = bin()
+        .args(["checkpoint-info", &dir_s])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("checksum mismatch"), "{stderr}");
+
+    // Contrast: a usage-level failure stays on exit 1, and a parse
+    // error on exit 2 — corruption is its own signal.
+    let out = bin().args(["checkpoint-info"]).output().expect("run");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let out = bin()
+        .args(["checkpoint-info", &dir_s, "--rank"])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An empty checkpoint directory is not an error — there is just
+/// nothing durable yet.
+#[test]
+fn empty_checkpoint_dir_reports_cleanly() {
+    let dir = tmpdir("ckpt-empty");
+    let dir_s = dir.to_string_lossy().into_owned();
+    let out = bin()
+        .args(["checkpoint-info", &dir_s, "--rank", "3"])
+        .output()
+        .expect("run");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("no checkpoints for rank 3"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -12,6 +12,7 @@
 pub mod mfbc;
 pub mod mrbc;
 pub mod sbbc;
+pub mod spmd;
 
 use mrbc_dgalois::comm::{Exchange, PhaseDir, RoundComm};
 use mrbc_dgalois::{BspStats, DistGraph, ReliableLink};

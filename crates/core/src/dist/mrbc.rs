@@ -175,48 +175,142 @@ fn run(
 
 /// Per-host forward-phase push records: `(target vertex, source index,
 /// candidate distance, σ contribution)` plus the host's work units.
-type FwdPushes = (Vec<(u32, u32, u32, f64)>, u64);
+pub(crate) type FwdPushes = (Vec<(u32, u32, u32, f64)>, u64);
 
 /// Per-host backward-phase push records: `(target vertex, source index,
-/// δ contribution)` plus the host's work units.
-type BwdPushes = (Vec<(u32, u32, u32, f64)>, u64);
+/// pushing vertex, δ contribution)` plus the host's work units.
+pub(crate) type BwdPushes = (Vec<(u32, u32, u32, f64)>, u64);
 
 /// Per-host proxy labels for one batch: the partial (pre-reduce) values
 /// accumulated from local edges, flat over `(local proxy, source)`.
-struct HostState {
-    dist: Vec<u32>,
-    sigma: Vec<f64>,
-    delta: Vec<f64>,
+pub(crate) struct HostState {
+    pub(crate) dist: Vec<u32>,
+    pub(crate) sigma: Vec<f64>,
+    pub(crate) delta: Vec<f64>,
     /// Forward-synced markers: after `(v, j)` syncs, the proxy value is
     /// final and must never receive another shortest-path contribution.
-    synced: DenseBitset,
+    pub(crate) synced: DenseBitset,
 }
 
 /// One batch's execution state.
-struct Batch<'a> {
-    g: &'a CsrGraph,
-    dg: &'a DistGraph,
-    k: usize,
+///
+/// Fields and the per-host step methods are `pub(crate)` so the SPMD
+/// replicated-state driver (`dist::spmd`, powering the multi-process
+/// transport) can run the *same* state machine decomposed into
+/// `begin_step` / `local_step(host)` / `fold` — a single source of truth
+/// for the label evolution, which is what makes TCP workers bit-identical
+/// to this in-process path.
+pub(crate) struct Batch<'a> {
+    pub(crate) g: &'a CsrGraph,
+    pub(crate) dg: &'a DistGraph,
+    pub(crate) k: usize,
     /// Authoritative labels, flat over `(global vertex, source)`.
-    dist_g: Vec<u32>,
-    sigma_g: Vec<f64>,
-    delta_g: Vec<f64>,
-    tau: Vec<u32>,
+    pub(crate) dist_g: Vec<u32>,
+    pub(crate) sigma_g: Vec<f64>,
+    pub(crate) delta_g: Vec<f64>,
+    pub(crate) tau: Vec<u32>,
     /// The schedule `M_v` per global vertex.
-    schedule: Vec<FlatMap<u32, DenseBitset>>,
-    pending_total: u64,
+    pub(crate) schedule: Vec<FlatMap<u32, DenseBitset>>,
+    pub(crate) pending_total: u64,
     /// Forward-phase termination round `R`.
-    r_term: u32,
-    hosts: Vec<HostState>,
+    pub(crate) r_term: u32,
+    pub(crate) hosts: Vec<HostState>,
     /// Delayed (paper) vs eager (Gluon-default) synchronization.
-    delayed_sync: bool,
+    pub(crate) delayed_sync: bool,
     /// Eager mode: `(host, v, j)` proxy labels updated last round and not
     /// yet synchronized.
     eager_pending: Vec<(u16, u32, u32)>,
 }
 
+/// Forward push kernel for one host: relax the flagged labels along the
+/// host's local out-edges, updating its proxy partials. Shared verbatim
+/// by the in-process Rayon path and the SPMD `local_step`.
+pub(crate) fn fwd_push_host(
+    dg: &DistGraph,
+    h: usize,
+    k: usize,
+    sigma_g: &[f64],
+    hs: &mut HostState,
+    flags: &[(u32, u32, u32)],
+) -> FwdPushes {
+    let topo = &dg.hosts[h];
+    let mut out: Vec<(u32, u32, u32, f64)> = Vec::new();
+    let mut w = 0u64;
+    for &(v, j, d) in flags {
+        let Some(lv) = dg.local(h, v) else { continue };
+        // Schedule scan + sync bookkeeping for this label.
+        w += 2;
+        let sig = sigma_g[v as usize * k + j as usize];
+        let d_new = d + 1;
+        for &lu in topo.graph.out_neighbors(lv) {
+            // Relaxation + M_v flat-map/bitvector upkeep: the
+            // data-structure overhead behind the paper's "computation
+            // time of MRBC is higher than that of SBBC" (Section 5.3).
+            w += 3;
+            let gu = topo.global_of_local[lu as usize];
+            let idx = lu as usize * k + j as usize;
+            let cur = hs.dist[idx];
+            if d_new < cur {
+                debug_assert!(!hs.synced.get(idx), "proxy improved after its sync round");
+                hs.dist[idx] = d_new;
+                hs.sigma[idx] = sig;
+                out.push((gu, j, d_new, sig));
+            } else if d_new == cur {
+                debug_assert!(!hs.synced.get(idx), "σ contribution after the sync round");
+                hs.sigma[idx] += sig;
+                out.push((gu, j, d_new, sig));
+            }
+            // d_new > cur: longer path, ignored.
+        }
+    }
+    (out, w)
+}
+
+/// Backward push kernel for one host: push `(1 + δ)/σ` to shortest-path
+/// predecessors along the host's local in-edges. Shared by the
+/// in-process Rayon path and the SPMD `local_step`.
+#[allow(clippy::too_many_arguments)] // kernel boundary: three global views + per-host state
+pub(crate) fn bwd_push_host(
+    dg: &DistGraph,
+    h: usize,
+    k: usize,
+    dist_g: &[u32],
+    sigma_g: &[f64],
+    delta_g: &[f64],
+    hs: &mut HostState,
+    flags: &[(u32, u32, u32)],
+) -> BwdPushes {
+    let topo = &dg.hosts[h];
+    let mut out = Vec::new();
+    let mut w = 0u64;
+    for &(v, j, dv) in flags {
+        let Some(lv) = dg.local(h, v) else { continue };
+        w += 2;
+        let gidx = v as usize * k + j as usize;
+        let m = (1.0 + delta_g[gidx]) / sigma_g[gidx];
+        for &lu in topo.in_graph.out_neighbors(lv) {
+            // Accumulation + per-source indexing upkeep.
+            w += 2;
+            let gu = topo.global_of_local[lu as usize] as usize;
+            let uidx = gu * k + j as usize;
+            // u ∈ P_s(v) iff d_su + 1 = d_sv.
+            if dv > 0 && dist_g[uidx] == dv - 1 {
+                let contrib = sigma_g[uidx] * m;
+                hs.delta[lu as usize * k + j as usize] += contrib;
+                out.push((gu as u32, j, v, contrib));
+            }
+        }
+    }
+    (out, w)
+}
+
 impl<'a> Batch<'a> {
-    fn new(g: &'a CsrGraph, dg: &'a DistGraph, sources: &[VertexId], delayed_sync: bool) -> Self {
+    pub(crate) fn new(
+        g: &'a CsrGraph,
+        dg: &'a DistGraph,
+        sources: &[VertexId],
+        delayed_sync: bool,
+    ) -> Self {
         let n = g.num_vertices();
         let k = sources.len();
         let hosts = dg
@@ -270,7 +364,7 @@ impl<'a> Batch<'a> {
 
     /// The unique `(j, d)` of `M_v` scheduled for `round`, if any
     /// (identical logic to the CONGEST implementation).
-    fn scheduled_send(&self, v: usize, round: u32) -> Option<(u32, u32)> {
+    pub(crate) fn scheduled_send(&self, v: usize, round: u32) -> Option<(u32, u32)> {
         let mut below: u32 = 0;
         for (d, bits) in self.schedule[v].iter() {
             let cnt = bits.count_ones() as u32;
@@ -288,6 +382,28 @@ impl<'a> Batch<'a> {
         None
     }
 
+    /// The flag set for forward `round`: every `(v, j, d)` whose send
+    /// condition `r = d + ℓ_v^r(d, s)` fires. Pure; deterministic order
+    /// (ascending `v`, at most one flag per vertex per round).
+    pub(crate) fn forward_flags(&self, round: u32) -> Vec<(u32, u32, u32)> {
+        (0..self.g.num_vertices())
+            .into_par_iter()
+            .filter_map(|v| self.scheduled_send(v, round).map(|(j, d)| (v as u32, j, d)))
+            .collect()
+    }
+
+    /// Marks the round's flags as sent: stamps `τ` and retires them from
+    /// the pending count. Replicated-state mutation (every SPMD replica
+    /// runs it identically in `begin_step`).
+    pub(crate) fn mark_flags(&mut self, flags: &[(u32, u32, u32)], round: u32) {
+        for &(v, j, _) in flags {
+            let idx = v as usize * self.k + j as usize;
+            debug_assert_eq!(self.tau[idx], u32::MAX);
+            self.tau[idx] = round;
+            self.pending_total -= 1;
+        }
+    }
+
     /// Forward phase: Algorithm 3 as BSP rounds with delayed sync.
     fn forward(&mut self, stats: &mut BspStats, mut link: Option<&mut ReliableLink<'_>>) {
         let n = self.g.num_vertices();
@@ -303,16 +419,8 @@ impl<'a> Batch<'a> {
             let mut comm = RoundComm::new(self.dg.num_hosts);
 
             // Flag set: labels whose send condition fires this round.
-            let flags: Vec<(u32, u32, u32)> = (0..n)
-                .into_par_iter()
-                .filter_map(|v| self.scheduled_send(v, round).map(|(j, d)| (v as u32, j, d)))
-                .collect();
-            for &(v, j, _) in &flags {
-                let idx = v as usize * k + j as usize;
-                debug_assert_eq!(self.tau[idx], u32::MAX);
-                self.tau[idx] = round;
-                self.pending_total -= 1;
-            }
+            let flags = self.forward_flags(round);
+            self.mark_flags(&flags, round);
             if mrbc_obs::verbose_enabled() {
                 mrbc_obs::progress(&format!(
                     "round {round} · frontier {} · pending {}",
@@ -343,46 +451,7 @@ impl<'a> Batch<'a> {
                 .hosts
                 .par_iter_mut()
                 .enumerate()
-                .map(|(h, hs)| {
-                    let topo = &dg.hosts[h];
-                    let mut out: Vec<(u32, u32, u32, f64)> = Vec::new();
-                    let mut w = 0u64;
-                    for &(v, j, d) in &flags {
-                        let Some(lv) = dg.local(h, v) else { continue };
-                        // Schedule scan + sync bookkeeping for this label.
-                        w += 2;
-                        let sig = sigma_g[v as usize * k + j as usize];
-                        let d_new = d + 1;
-                        for &lu in topo.graph.out_neighbors(lv) {
-                            // Relaxation + M_v flat-map/bitvector upkeep:
-                            // the data-structure overhead behind the
-                            // paper's "computation time of MRBC is higher
-                            // than that of SBBC" (Section 5.3).
-                            w += 3;
-                            let gu = topo.global_of_local[lu as usize];
-                            let idx = lu as usize * k + j as usize;
-                            let cur = hs.dist[idx];
-                            if d_new < cur {
-                                debug_assert!(
-                                    !hs.synced.get(idx),
-                                    "proxy improved after its sync round"
-                                );
-                                hs.dist[idx] = d_new;
-                                hs.sigma[idx] = sig;
-                                out.push((gu, j, d_new, sig));
-                            } else if d_new == cur {
-                                debug_assert!(
-                                    !hs.synced.get(idx),
-                                    "σ contribution after the sync round"
-                                );
-                                hs.sigma[idx] += sig;
-                                out.push((gu, j, d_new, sig));
-                            }
-                            // d_new > cur: longer path, ignored.
-                        }
-                    }
-                    (out, w)
-                })
+                .map(|(h, hs)| fwd_push_host(dg, h, k, sigma_g, hs, &flags))
                 .collect();
 
             // Merge pushes into the authoritative state (Steps 11–17).
@@ -450,7 +519,7 @@ impl<'a> Batch<'a> {
 
     /// Merge one push into the global labels and schedule (Steps 11–17 of
     /// Algorithm 3 on the authoritative state).
-    fn merge_global(&mut self, v: usize, j: usize, d_new: u32, sig: f64) {
+    pub(crate) fn merge_global(&mut self, v: usize, j: usize, d_new: u32, sig: f64) {
         let k = self.k;
         let idx = v * k + j;
         let cur = self.dist_g[idx];
@@ -480,8 +549,58 @@ impl<'a> Batch<'a> {
         }
     }
 
+    /// Applies the broadcast leg of one sync to a single host: for every
+    /// flagged `(v, j)` with a proxy on `h` that consumes the value (or
+    /// is the master), overwrite the proxy partial with the reconciled
+    /// authoritative value. This is the *only* state mutation a sync
+    /// performs, factored per host so the SPMD driver can run exactly
+    /// host `h`'s share inside `local_step(h)` — any two decompositions
+    /// that call it once per (host, flag set) produce identical state.
+    pub(crate) fn apply_sync_to_host(
+        &mut self,
+        h: usize,
+        flags: &[(u32, u32, u32)],
+        forward: bool,
+    ) {
+        let k = self.k;
+        for &(v, j, _) in flags {
+            let own = self.dg.owner(v) as usize;
+            let Some(l) = self.dg.local(h, v) else {
+                continue;
+            };
+            let consumes = if forward {
+                self.dg.hosts[h].graph.out_degree(l) > 0
+            } else {
+                self.dg.hosts[h].in_graph.out_degree(l) > 0
+            };
+            if !consumes && h != own {
+                continue;
+            }
+            let gidx = v as usize * k + j as usize;
+            let lidx = l as usize * k + j as usize;
+            let d_final = self.dist_g[gidx];
+            let sig = self.sigma_g[gidx];
+            let del = self.delta_g[gidx];
+            let hs = &mut self.hosts[h];
+            if forward {
+                hs.dist[lidx] = d_final;
+                hs.sigma[lidx] = sig;
+                hs.synced.set(lidx);
+            } else {
+                hs.delta[lidx] = del;
+            }
+        }
+    }
+
     /// One reduce + broadcast cycle for the flagged labels. In the
     /// forward phase (d, σ) is reconciled; in the backward phase δ.
+    ///
+    /// Structured as a read-only accounting pass over all proxies
+    /// followed by [`Self::apply_sync_to_host`] for every host. The two
+    /// passes commute because each flag touches its own `(v, j)` slots
+    /// only (at most one flag per vertex per round), so this is
+    /// equivalent to the interleaved per-flag form — and it keeps the
+    /// state writes in the one helper the SPMD driver shares.
     fn sync_flags(
         &mut self,
         flags: &[(u32, u32, u32)],
@@ -506,7 +625,7 @@ impl<'a> Batch<'a> {
                     continue;
                 };
                 let lidx = l as usize * k + j as usize;
-                let hs = &mut self.hosts[h];
+                let hs = &self.hosts[h];
                 if forward {
                     if hs.dist[lidx] == d_final {
                         reduced_sigma += hs.sigma[lidx];
@@ -559,30 +678,24 @@ impl<'a> Batch<'a> {
                 if !consumes && h != own {
                     continue;
                 }
-                let lidx = l as usize * k + j as usize;
                 if h != own {
                     bcast.send(own, h, (), MRBC_ITEM_BYTES);
                 }
-                let hs = &mut self.hosts[h];
-                if forward {
-                    hs.dist[lidx] = d_final;
-                    hs.sigma[lidx] = self.sigma_g[gidx];
-                    hs.synced.set(lidx);
-                } else {
-                    hs.delta[lidx] = self.delta_g[gidx];
-                }
             }
+        }
+        for h in 0..self.dg.num_hosts {
+            self.apply_sync_to_host(h, flags, forward);
         }
         finish_phase(reduce, self.dg, PhaseDir::Reduce, comm, link.as_deref_mut());
         finish_phase(bcast, self.dg, PhaseDir::Broadcast, comm, link);
     }
 
-    /// Backward phase: Algorithm 5 as BSP rounds. `A_sv = R − τ_sv + 1`.
-    fn backward(&mut self, stats: &mut BspStats, mut link: Option<&mut ReliableLink<'_>>) {
+    /// Buckets the accumulation agenda by backward round:
+    /// `A_sv = R − τ_sv + 1`. Pure; deterministic bucket order.
+    pub(crate) fn build_agenda(&self) -> Vec<Vec<(u32, u32, u32)>> {
         let n = self.g.num_vertices();
         let k = self.k;
         let r = self.r_term;
-        // Bucket the accumulation agenda by round.
         let mut agenda: Vec<Vec<(u32, u32, u32)>> = vec![Vec::new(); r as usize + 2];
         for v in 0..n {
             for j in 0..k {
@@ -593,6 +706,48 @@ impl<'a> Batch<'a> {
                 }
             }
         }
+        agenda
+    }
+
+    /// Folds the parked δ contributions of the flagged labels into
+    /// `delta_g`, in canonical pushing-vertex order (the determinism
+    /// argument lives on [`Batch::backward`]'s `pending` comment).
+    pub(crate) fn fold_pending_flags(
+        &mut self,
+        flags: &[(u32, u32, u32)],
+        pending: &mut [Vec<(u32, f64)>],
+    ) {
+        for &(v, j, _) in flags {
+            let gidx = v as usize * self.k + j as usize;
+            let mut contribs = std::mem::take(&mut pending[gidx]);
+            contribs.sort_unstable_by_key(|&(w, _)| w);
+            for (_, c) in contribs {
+                self.delta_g[gidx] += c;
+            }
+        }
+    }
+
+    /// Defensive terminal fold: drains whatever is still parked (nothing
+    /// should be — every contributed slot has finite τ and fires) so
+    /// `delta_g` is complete for the final BC read.
+    pub(crate) fn fold_all_pending(&mut self, pending: &mut [Vec<(u32, f64)>]) {
+        for (idx, contribs) in pending.iter_mut().enumerate() {
+            if !contribs.is_empty() {
+                contribs.sort_unstable_by_key(|&(w, _)| w);
+                for &(_, c) in contribs.iter() {
+                    self.delta_g[idx] += c;
+                }
+                contribs.clear();
+            }
+        }
+    }
+
+    /// Backward phase: Algorithm 5 as BSP rounds. `A_sv = R − τ_sv + 1`.
+    fn backward(&mut self, stats: &mut BspStats, mut link: Option<&mut ReliableLink<'_>>) {
+        let n = self.g.num_vertices();
+        let k = self.k;
+        let r = self.r_term;
+        let mut agenda = self.build_agenda();
 
         // δ contributions are not applied to `delta_g` at push time:
         // f64 sums are not associative, and push order follows the τ
@@ -604,14 +759,7 @@ impl<'a> Batch<'a> {
         let mut pending: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n * k];
         for round in 1..=(r + 1) {
             let flags = std::mem::take(&mut agenda[round as usize]);
-            for &(v, j, _) in &flags {
-                let gidx = v as usize * k + j as usize;
-                let mut contribs = std::mem::take(&mut pending[gidx]);
-                contribs.sort_unstable_by_key(|&(w, _)| w);
-                for (_, c) in contribs {
-                    self.delta_g[gidx] += c;
-                }
-            }
+            self.fold_pending_flags(&flags, &mut pending);
             if let Some(l) = link.as_deref_mut() {
                 l.begin_round(stats.num_rounds() + 1);
             }
@@ -637,30 +785,7 @@ impl<'a> Batch<'a> {
                 .hosts
                 .par_iter_mut()
                 .enumerate()
-                .map(|(h, hs)| {
-                    let topo = &dg.hosts[h];
-                    let mut out = Vec::new();
-                    let mut w = 0u64;
-                    for &(v, j, dv) in &flags {
-                        let Some(lv) = dg.local(h, v) else { continue };
-                        w += 2;
-                        let gidx = v as usize * k + j as usize;
-                        let m = (1.0 + delta_g[gidx]) / sigma_g[gidx];
-                        for &lu in topo.in_graph.out_neighbors(lv) {
-                            // Accumulation + per-source indexing upkeep.
-                            w += 2;
-                            let gu = topo.global_of_local[lu as usize] as usize;
-                            let uidx = gu * k + j as usize;
-                            // u ∈ P_s(v) iff d_su + 1 = d_sv.
-                            if dv > 0 && dist_g[uidx] == dv - 1 {
-                                let contrib = sigma_g[uidx] * m;
-                                hs.delta[lu as usize * k + j as usize] += contrib;
-                                out.push((gu as u32, j, v, contrib));
-                            }
-                        }
-                    }
-                    (out, w)
-                })
+                .map(|(h, hs)| bwd_push_host(dg, h, k, dist_g, sigma_g, delta_g, hs, &flags))
                 .collect();
             let mut work = Vec::with_capacity(self.dg.num_hosts);
             for (h, (host_pushes, w)) in pushes.into_iter().enumerate() {
@@ -677,14 +802,7 @@ impl<'a> Batch<'a> {
         // Every slot with a contribution fires (its τ is finite), so
         // nothing should be parked here; fold defensively anyway so
         // `delta_g` is complete for the final BC read.
-        for (idx, contribs) in pending.iter_mut().enumerate() {
-            if !contribs.is_empty() {
-                contribs.sort_unstable_by_key(|&(w, _)| w);
-                for &(_, c) in contribs.iter() {
-                    self.delta_g[idx] += c;
-                }
-            }
-        }
+        self.fold_all_pending(&mut pending);
         if !self.delayed_sync && !self.eager_pending.is_empty() {
             if let Some(l) = link.as_deref_mut() {
                 l.begin_round(stats.num_rounds() + 1);

@@ -1,0 +1,704 @@
+//! MRBC as a replicated SPMD state machine — the program that real
+//! multi-process workers execute over the `mrbc-net` TCP mesh.
+//!
+//! [`MrbcSpmd`] re-expresses the batched MRBC engine
+//! ([`mrbc_bc`](super::mrbc::mrbc_bc)) in the
+//! [`SpmdProgram`](mrbc_dgalois::spmd::SpmdProgram) contract:
+//!
+//! * **replicated state** — the authoritative labels (`dist_g`, `sigma_g`,
+//!   `delta_g`), the schedule `M_v`, τ, the backward agenda, the parked δ
+//!   contributions and the BC accumulator. Every worker holds all of it
+//!   and mutates it identically in `begin_step` / `fold`.
+//! * **partial state** — one host's proxy labels (`HostState`). A worker
+//!   only ever advances its own host's partials in `local_step`.
+//!
+//! One SPMD step = one BSP round of the in-process engine. `begin_step`
+//! computes the round's flag set (forward: the labels whose send condition
+//! fires, stamping τ; backward: the agenda bucket, folding parked δ).
+//! `local_step(h)` applies the sync broadcast to host `h`'s proxies and
+//! runs the push kernel for `h`'s local edges — the exact
+//! [`fwd_push_host`] / [`bwd_push_host`] kernels the in-process Rayon path
+//! uses. `fold` merges every host's pushes in canonical host order, so the
+//! `f64` evolution is **bit-identical** to the single-process run — that
+//! is the property the chaos test pins: SIGKILL a worker mid-forward,
+//! restore it from a checkpoint, and the final scores still match
+//! [`mrbc_bc`](super::mrbc::mrbc_bc) exactly.
+//!
+//! Snapshots are only taken between steps (before a `begin_step`), so the
+//! in-flight flag set is never serialized. The engine always runs the
+//! paper's delayed-synchronization mode (the eager ablation exists only
+//! in-process, where traffic accounting is the point).
+
+use super::mrbc::{bwd_push_host, fwd_push_host, Batch};
+use mrbc_dgalois::spmd::SpmdProgram;
+use mrbc_dgalois::DistGraph;
+use mrbc_graph::{CsrGraph, VertexId};
+use mrbc_util::crc::{crc32, digest64};
+use mrbc_util::wire::{WireError, WireReader, WireWriter};
+use mrbc_util::DenseBitset;
+
+/// Snapshot magic: `"MSPD"` little-endian.
+const SNAP_MAGIC: u32 = 0x4450_534D;
+/// Snapshot format version.
+const SNAP_VERSION: u32 = 1;
+
+/// Which half of the current batch the machine is in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Forward (APSP) round `round` is next.
+    Forward { round: u32 },
+    /// Backward (δ-accumulation) round `round` is next.
+    Backward { round: u32 },
+}
+
+/// Live execution state of the current batch.
+struct BatchRun<'a> {
+    batch: Batch<'a>,
+    phase: Phase,
+    /// The current step's flag set, computed by `begin_step` and consumed
+    /// by `local_step` / `fold`. Empty between steps.
+    flags: Vec<(u32, u32, u32)>,
+    /// Backward agenda buckets (empty during the forward phase).
+    agenda: Vec<Vec<(u32, u32, u32)>>,
+    /// Parked δ contributions per `(v, j)` (empty during forward).
+    pending: Vec<Vec<(u32, f64)>>,
+}
+
+/// Batched MRBC as a replicated SPMD program (see module docs).
+pub struct MrbcSpmd<'a> {
+    g: &'a CsrGraph,
+    dg: &'a DistGraph,
+    /// Sorted + deduplicated sources, chunked into batches.
+    sorted: Vec<VertexId>,
+    batch_size: usize,
+    bc: Vec<f64>,
+    batch_index: usize,
+    run: Option<BatchRun<'a>>,
+    done: bool,
+}
+
+impl<'a> MrbcSpmd<'a> {
+    /// Sets up the program for `sources` over `dg` (a partition of `g`),
+    /// processed in batches of `batch_size` exactly like
+    /// [`mrbc_bc`](super::mrbc::mrbc_bc) with delayed synchronization.
+    pub fn new(
+        g: &'a CsrGraph,
+        dg: &'a DistGraph,
+        sources: &[VertexId],
+        batch_size: usize,
+    ) -> Self {
+        assert!(batch_size >= 1, "batch size must be at least 1");
+        let n = g.num_vertices();
+        let mut sorted: Vec<VertexId> = sources.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert!(
+            sorted.iter().all(|&s| (s as usize) < n),
+            "source out of range"
+        );
+        let mut me = Self {
+            g,
+            dg,
+            sorted,
+            batch_size,
+            bc: vec![0.0f64; n],
+            batch_index: 0,
+            run: None,
+            done: false,
+        };
+        if me.sorted.is_empty() {
+            me.done = true;
+        } else {
+            me.run = Some(me.start_batch(0));
+        }
+        me
+    }
+
+    /// Number of batches the source set splits into.
+    pub fn num_batches(&self) -> usize {
+        self.sorted.len().div_ceil(self.batch_size)
+    }
+
+    /// The accumulated BC scores (complete once [`SpmdProgram::done`]).
+    pub fn bc(&self) -> &[f64] {
+        &self.bc
+    }
+
+    /// Consumes the program, returning the BC scores.
+    pub fn into_bc(self) -> Vec<f64> {
+        self.bc
+    }
+
+    fn batch_sources(&self, bi: usize) -> &[VertexId] {
+        let lo = bi * self.batch_size;
+        let hi = (lo + self.batch_size).min(self.sorted.len());
+        &self.sorted[lo..hi]
+    }
+
+    fn start_batch(&self, bi: usize) -> BatchRun<'a> {
+        BatchRun {
+            batch: Batch::new(self.g, self.dg, self.batch_sources(bi), true),
+            phase: Phase::Forward { round: 1 },
+            flags: Vec::new(),
+            agenda: Vec::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// CRC over the canonical source list — pins a snapshot to its run
+    /// configuration.
+    fn sources_crc(&self) -> u32 {
+        let mut w = WireWriter::with_capacity(self.sorted.len() * 4);
+        for &s in &self.sorted {
+            w.u32(s);
+        }
+        crc32(&w.into_bytes())
+    }
+}
+
+fn put_bitset(w: &mut WireWriter, bits: &DenseBitset) {
+    w.u32(bits.len() as u32);
+    w.u32(bits.count_ones() as u32);
+    for i in bits.iter_ones() {
+        w.u32(i as u32);
+    }
+}
+
+fn get_bitset(r: &mut WireReader<'_>) -> Result<DenseBitset, WireError> {
+    let len = r.u32()? as usize;
+    let ones = r.u32()? as usize;
+    if ones > len {
+        return Err(WireError::Invalid("bitset ones exceed length"));
+    }
+    let mut bits = DenseBitset::new(len);
+    for _ in 0..ones {
+        let i = r.u32()? as usize;
+        if i >= len {
+            return Err(WireError::Invalid("bitset index out of range"));
+        }
+        bits.set(i);
+    }
+    Ok(bits)
+}
+
+fn put_u32s(w: &mut WireWriter, xs: &[u32]) {
+    for &x in xs {
+        w.u32(x);
+    }
+}
+
+fn put_f64s(w: &mut WireWriter, xs: &[f64]) {
+    for &x in xs {
+        w.f64(x);
+    }
+}
+
+fn get_u32s(r: &mut WireReader<'_>, len: usize) -> Result<Vec<u32>, WireError> {
+    let mut xs = Vec::with_capacity(len);
+    for _ in 0..len {
+        xs.push(r.u32()?);
+    }
+    Ok(xs)
+}
+
+fn get_f64s(r: &mut WireReader<'_>, len: usize) -> Result<Vec<f64>, WireError> {
+    let mut xs = Vec::with_capacity(len);
+    for _ in 0..len {
+        xs.push(r.f64()?);
+    }
+    Ok(xs)
+}
+
+impl SpmdProgram for MrbcSpmd<'_> {
+    fn num_hosts(&self) -> usize {
+        self.dg.num_hosts
+    }
+
+    fn done(&self) -> bool {
+        self.done
+    }
+
+    fn begin_step(&mut self, _step: u64) {
+        let Some(run) = self.run.as_mut() else { return };
+        match run.phase {
+            Phase::Forward { round } => {
+                run.flags = run.batch.forward_flags(round);
+                run.batch.mark_flags(&run.flags, round);
+            }
+            Phase::Backward { round } => {
+                run.flags = std::mem::take(&mut run.agenda[round as usize]);
+                run.batch.fold_pending_flags(&run.flags, &mut run.pending);
+            }
+        }
+    }
+
+    fn local_step(&mut self, _step: u64, host: usize) -> Vec<u8> {
+        let Some(run) = self.run.as_mut() else {
+            return Vec::new();
+        };
+        let forward = matches!(run.phase, Phase::Forward { .. });
+        run.batch.apply_sync_to_host(host, &run.flags, forward);
+        let b = &mut run.batch;
+        let k = b.k;
+        let (out, work) = if forward {
+            let sigma_g = &b.sigma_g;
+            fwd_push_host(b.dg, host, k, sigma_g, &mut b.hosts[host], &run.flags)
+        } else {
+            let (dist_g, sigma_g, delta_g) = (&b.dist_g, &b.sigma_g, &b.delta_g);
+            bwd_push_host(
+                b.dg,
+                host,
+                k,
+                dist_g,
+                sigma_g,
+                delta_g,
+                &mut b.hosts[host],
+                &run.flags,
+            )
+        };
+        let mut w = WireWriter::with_capacity(12 + out.len() * 20);
+        w.u64(work);
+        w.u32(out.len() as u32);
+        for (gu, j, x, val) in out {
+            w.u32(gu);
+            w.u32(j);
+            w.u32(x);
+            w.f64(val);
+        }
+        w.into_bytes()
+    }
+
+    fn fold(&mut self, _step: u64, payloads: &[Vec<u8>]) -> Result<(), WireError> {
+        let n = self.g.num_vertices();
+        let Some(run) = self.run.as_mut() else {
+            return Ok(());
+        };
+        run.flags.clear();
+        let forward = matches!(run.phase, Phase::Forward { .. });
+        let k = run.batch.k;
+        if payloads.len() != self.dg.num_hosts {
+            return Err(WireError::Invalid("payload count != host count"));
+        }
+        // Merge every host's pushes in canonical host order — the same
+        // sequence of merge_global / park operations as the in-process
+        // engine, hence bit-identical f64 evolution.
+        for payload in payloads {
+            let mut r = WireReader::new(payload);
+            let _work = r.u64()?;
+            let cnt = r.u32()? as usize;
+            for _ in 0..cnt {
+                let gu = r.u32()?;
+                let j = r.u32()?;
+                if gu as usize >= n || j as usize >= k {
+                    return Err(WireError::Invalid("push target out of range"));
+                }
+                if forward {
+                    let d_new = r.u32()?;
+                    let sig = r.f64()?;
+                    run.batch.merge_global(gu as usize, j as usize, d_new, sig);
+                } else {
+                    let v = r.u32()?;
+                    let contrib = r.f64()?;
+                    run.pending[gu as usize * k + j as usize].push((v, contrib));
+                }
+            }
+            if !r.is_empty() {
+                return Err(WireError::Invalid("trailing payload bytes"));
+            }
+        }
+
+        // Replicated phase transition.
+        let mut batch_finished = false;
+        match run.phase {
+            Phase::Forward { round } => {
+                if run.batch.pending_total == 0 {
+                    run.batch.r_term = round;
+                    run.agenda = run.batch.build_agenda();
+                    run.pending = vec![Vec::new(); n * k];
+                    run.phase = Phase::Backward { round: 1 };
+                } else {
+                    let cap = 2 * n as u32 + k as u32 + 2;
+                    if round >= cap {
+                        return Err(WireError::Invalid(
+                            "forward phase exceeded the 2n + k bound",
+                        ));
+                    }
+                    run.phase = Phase::Forward { round: round + 1 };
+                }
+            }
+            Phase::Backward { round } => {
+                if round == run.batch.r_term + 1 {
+                    run.batch.fold_all_pending(&mut run.pending);
+                    batch_finished = true;
+                } else {
+                    run.phase = Phase::Backward { round: round + 1 };
+                }
+            }
+        }
+        if batch_finished {
+            let lo = self.batch_index * self.batch_size;
+            let hi = (lo + self.batch_size).min(self.sorted.len());
+            let srcs = &self.sorted[lo..hi];
+            for (v, x) in self.bc.iter_mut().enumerate() {
+                for (j, &s) in srcs.iter().enumerate() {
+                    if s as usize != v {
+                        *x += run.batch.delta_g[v * k + j];
+                    }
+                }
+            }
+            self.batch_index += 1;
+            if self.batch_index * self.batch_size < self.sorted.len() {
+                self.run = Some(self.start_batch(self.batch_index));
+            } else {
+                self.run = None;
+                self.done = true;
+            }
+        }
+        Ok(())
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let n = self.g.num_vertices();
+        let mut w = WireWriter::with_capacity(64 + n * 8);
+        w.u32(SNAP_MAGIC);
+        w.u32(SNAP_VERSION);
+        w.u32(n as u32);
+        w.u32(self.dg.num_hosts as u32);
+        w.u32(self.batch_size as u32);
+        w.u32(self.sorted.len() as u32);
+        w.u32(self.sources_crc());
+        put_f64s(&mut w, &self.bc);
+        w.u8(u8::from(self.done));
+        w.u32(self.batch_index as u32);
+        w.u8(u8::from(self.run.is_some()));
+        if let Some(run) = &self.run {
+            let b = &run.batch;
+            let k = b.k;
+            match run.phase {
+                Phase::Forward { round } => {
+                    w.u8(0);
+                    w.u32(round);
+                }
+                Phase::Backward { round } => {
+                    w.u8(1);
+                    w.u32(round);
+                }
+            }
+            w.u32(k as u32);
+            put_u32s(&mut w, &b.dist_g);
+            put_f64s(&mut w, &b.sigma_g);
+            put_f64s(&mut w, &b.delta_g);
+            put_u32s(&mut w, &b.tau);
+            w.u64(b.pending_total);
+            w.u32(b.r_term);
+            for v in 0..n {
+                w.u32(b.schedule[v].len() as u32);
+                for (d, bits) in b.schedule[v].iter() {
+                    w.u32(*d);
+                    put_bitset(&mut w, bits);
+                }
+            }
+            for hs in &b.hosts {
+                w.u32((hs.dist.len() / k.max(1)) as u32);
+                put_u32s(&mut w, &hs.dist);
+                put_f64s(&mut w, &hs.sigma);
+                put_f64s(&mut w, &hs.delta);
+                put_bitset(&mut w, &hs.synced);
+            }
+            w.u32(run.agenda.len() as u32);
+            for bucket in &run.agenda {
+                w.u32(bucket.len() as u32);
+                for &(v, j, d) in bucket {
+                    w.u32(v);
+                    w.u32(j);
+                    w.u32(d);
+                }
+            }
+            let nonempty = run.pending.iter().filter(|p| !p.is_empty()).count();
+            w.u32(run.pending.len() as u32);
+            w.u32(nonempty as u32);
+            for (idx, contribs) in run.pending.iter().enumerate() {
+                if contribs.is_empty() {
+                    continue;
+                }
+                w.u32(idx as u32);
+                w.u32(contribs.len() as u32);
+                for &(v, c) in contribs {
+                    w.u32(v);
+                    w.f64(c);
+                }
+            }
+        }
+        w.into_bytes()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+        let n = self.g.num_vertices();
+        let mut r = WireReader::new(bytes);
+        if r.u32()? != SNAP_MAGIC {
+            return Err(WireError::Invalid("bad snapshot magic"));
+        }
+        if r.u32()? != SNAP_VERSION {
+            return Err(WireError::Invalid("unsupported snapshot version"));
+        }
+        if r.u32()? as usize != n
+            || r.u32()? as usize != self.dg.num_hosts
+            || r.u32()? as usize != self.batch_size
+            || r.u32()? as usize != self.sorted.len()
+            || r.u32()? != self.sources_crc()
+        {
+            return Err(WireError::Invalid(
+                "snapshot does not match run configuration",
+            ));
+        }
+        let bc = get_f64s(&mut r, n)?;
+        let done = r.u8()? != 0;
+        let batch_index = r.u32()? as usize;
+        let has_run = r.u8()? != 0;
+        if done == has_run {
+            return Err(WireError::Invalid("snapshot done/run flags disagree"));
+        }
+        if batch_index > self.num_batches() {
+            return Err(WireError::Invalid("snapshot batch index out of range"));
+        }
+        let run = if has_run {
+            if batch_index >= self.num_batches() {
+                return Err(WireError::Invalid("snapshot batch index out of range"));
+            }
+            let phase = match r.u8()? {
+                0 => Phase::Forward { round: r.u32()? },
+                1 => Phase::Backward { round: r.u32()? },
+                _ => return Err(WireError::Invalid("bad snapshot phase tag")),
+            };
+            let mut run = self.start_batch(batch_index);
+            let b = &mut run.batch;
+            let k = b.k;
+            if r.u32()? as usize != k {
+                return Err(WireError::Invalid("snapshot batch width mismatch"));
+            }
+            b.dist_g = get_u32s(&mut r, n * k)?;
+            b.sigma_g = get_f64s(&mut r, n * k)?;
+            b.delta_g = get_f64s(&mut r, n * k)?;
+            b.tau = get_u32s(&mut r, n * k)?;
+            b.pending_total = r.u64()?;
+            b.r_term = r.u32()?;
+            for v in 0..n {
+                b.schedule[v].clear();
+                let entries = r.u32()? as usize;
+                for _ in 0..entries {
+                    let d = r.u32()?;
+                    let bits = get_bitset(&mut r)?;
+                    if bits.len() != k {
+                        return Err(WireError::Invalid("schedule bitset width mismatch"));
+                    }
+                    b.schedule[v].insert(d, bits);
+                }
+            }
+            for (h, hs) in b.hosts.iter_mut().enumerate() {
+                let p = r.u32()? as usize;
+                if p != self.dg.hosts[h].num_proxies() {
+                    return Err(WireError::Invalid("snapshot proxy count mismatch"));
+                }
+                hs.dist = get_u32s(&mut r, p * k)?;
+                hs.sigma = get_f64s(&mut r, p * k)?;
+                hs.delta = get_f64s(&mut r, p * k)?;
+                hs.synced = get_bitset(&mut r)?;
+                if hs.synced.len() != p * k {
+                    return Err(WireError::Invalid("synced bitset width mismatch"));
+                }
+            }
+            let buckets = r.u32()? as usize;
+            if let Phase::Backward { round } = phase {
+                if round as usize >= buckets.max(1) && buckets > 0 {
+                    return Err(WireError::Invalid("backward round beyond agenda"));
+                }
+            }
+            let mut agenda = Vec::with_capacity(buckets);
+            for _ in 0..buckets {
+                let cnt = r.u32()? as usize;
+                let mut bucket = Vec::with_capacity(cnt);
+                for _ in 0..cnt {
+                    bucket.push((r.u32()?, r.u32()?, r.u32()?));
+                }
+                agenda.push(bucket);
+            }
+            let pending_len = r.u32()? as usize;
+            if pending_len != 0 && pending_len != n * k {
+                return Err(WireError::Invalid("pending table size mismatch"));
+            }
+            let mut pending = vec![Vec::new(); pending_len];
+            let nonempty = r.u32()? as usize;
+            for _ in 0..nonempty {
+                let idx = r.u32()? as usize;
+                if idx >= pending_len {
+                    return Err(WireError::Invalid("pending index out of range"));
+                }
+                let cnt = r.u32()? as usize;
+                let mut contribs = Vec::with_capacity(cnt);
+                for _ in 0..cnt {
+                    contribs.push((r.u32()?, r.f64()?));
+                }
+                pending[idx] = contribs;
+            }
+            run.phase = phase;
+            run.agenda = agenda;
+            run.pending = pending;
+            Some(run)
+        } else {
+            None
+        };
+        if !r.is_empty() {
+            return Err(WireError::Invalid("trailing snapshot bytes"));
+        }
+        self.bc = bc;
+        self.done = done;
+        self.batch_index = batch_index;
+        self.run = run;
+        Ok(())
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let mut w = WireWriter::with_capacity(self.bc.len() * 8);
+        put_f64s(&mut w, &self.bc);
+        digest64(&w.into_bytes())
+    }
+
+    fn describe(&self, _step: u64) -> String {
+        match &self.run {
+            None => format!("done ({} batches)", self.num_batches()),
+            Some(run) => {
+                let (phase, round) = match run.phase {
+                    Phase::Forward { round } => ("forward", round),
+                    Phase::Backward { round } => ("backward", round),
+                };
+                format!(
+                    "batch {}/{} {phase} round {round}",
+                    self.batch_index + 1,
+                    self.num_batches()
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::mrbc::mrbc_bc;
+    use mrbc_dgalois::spmd::run_local;
+    use mrbc_dgalois::{partition, PartitionPolicy};
+    use mrbc_graph::generators;
+
+    #[test]
+    fn run_local_matches_in_process_engine_bitwise() {
+        let g = generators::rmat(generators::RmatConfig::new(6, 5), 21);
+        let sources: Vec<u32> = (0..16).collect();
+        for policy in [
+            PartitionPolicy::BlockedEdgeCut,
+            PartitionPolicy::HashedEdgeCut,
+            PartitionPolicy::CartesianVertexCut,
+        ] {
+            for hosts in [1, 2, 4] {
+                let dg = partition(&g, hosts, policy);
+                let want = mrbc_bc(&g, &dg, &sources, 8);
+                let mut prog = MrbcSpmd::new(&g, &dg, &sources, 8);
+                let steps = run_local(&mut prog, 1_000_000).expect("run");
+                assert!(steps > 0);
+                assert!(prog.done());
+                // Bitwise, not approximately: the SPMD decomposition must
+                // replay the exact f64 operation sequence.
+                assert_eq!(prog.bc(), want.bc.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn uneven_batches_match_bitwise() {
+        let g = generators::web_crawl(generators::WebCrawlConfig::new(250), 4);
+        let sources: Vec<u32> = (0..13).collect();
+        let dg = partition(&g, 4, PartitionPolicy::CartesianVertexCut);
+        let want = mrbc_bc(&g, &dg, &sources, 5);
+        let mut prog = MrbcSpmd::new(&g, &dg, &sources, 5);
+        run_local(&mut prog, 1_000_000).expect("run");
+        assert_eq!(prog.bc(), want.bc.as_slice());
+        assert_eq!(prog.num_batches(), 3);
+    }
+
+    #[test]
+    fn snapshot_restore_at_every_step_boundary_is_bit_identical() {
+        let g = generators::grid_road_network(generators::RoadNetworkConfig::new(3, 8), 5);
+        let sources: Vec<u32> = (0..6).collect();
+        let dg = partition(&g, 2, PartitionPolicy::BlockedEdgeCut);
+        // Reference run.
+        let mut full = MrbcSpmd::new(&g, &dg, &sources, 3);
+        let total = run_local(&mut full, 1_000_000).expect("run");
+        // For every prefix length, snapshot there, restore into a fresh
+        // instance, finish, and demand bitwise-equal scores — this sweeps
+        // forward rounds, backward rounds, and batch transitions.
+        for cut in 0..=total {
+            let mut head = MrbcSpmd::new(&g, &dg, &sources, 3);
+            let mut step = 0u64;
+            while !head.done() && step < cut {
+                head.begin_step(step);
+                let payloads: Vec<Vec<u8>> = (0..2).map(|h| head.local_step(step, h)).collect();
+                head.fold(step, &payloads).expect("fold");
+                step += 1;
+            }
+            let snap = head.snapshot();
+            let mut tail = MrbcSpmd::new(&g, &dg, &sources, 3);
+            tail.restore(&snap).expect("restore");
+            run_local(&mut tail, 1_000_000).expect("resume");
+            assert_eq!(tail.bc(), full.bc(), "diverged after cut at step {cut}");
+            assert_eq!(tail.fingerprint(), full.fingerprint());
+        }
+    }
+
+    #[test]
+    fn restore_rejects_config_mismatch_and_corruption() {
+        let g = generators::cycle(12);
+        let dg = partition(&g, 2, PartitionPolicy::BlockedEdgeCut);
+        let sources: Vec<u32> = (0..4).collect();
+        let prog = MrbcSpmd::new(&g, &dg, &sources, 2);
+        let snap = prog.snapshot();
+
+        // Different batch size.
+        let mut other = MrbcSpmd::new(&g, &dg, &sources, 4);
+        assert!(other.restore(&snap).is_err());
+        // Different source set.
+        let mut other = MrbcSpmd::new(&g, &dg, &[0, 1, 2, 5], 2);
+        assert!(other.restore(&snap).is_err());
+        // Truncation.
+        let mut same = MrbcSpmd::new(&g, &dg, &sources, 2);
+        assert!(same.restore(&snap[..snap.len() - 3]).is_err());
+        // Bad magic.
+        let mut bad = snap.clone();
+        bad[0] ^= 0xFF;
+        assert!(same.restore(&bad).is_err());
+        // Intact snapshot still restores after the failed attempts.
+        assert!(same.restore(&snap).is_ok());
+    }
+
+    #[test]
+    fn empty_sources_complete_immediately() {
+        let g = generators::path(5);
+        let dg = partition(&g, 2, PartitionPolicy::BlockedEdgeCut);
+        let mut prog = MrbcSpmd::new(&g, &dg, &[], 4);
+        assert!(prog.done());
+        assert_eq!(run_local(&mut prog, 100).expect("run"), 0);
+        assert!(prog.bc().iter().all(|&b| b == 0.0));
+    }
+
+    #[test]
+    fn fingerprint_tracks_result_content() {
+        let g = generators::cycle(10);
+        let dg = partition(&g, 2, PartitionPolicy::BlockedEdgeCut);
+        let mut a = MrbcSpmd::new(&g, &dg, &[0, 1, 2], 2);
+        let mut b = MrbcSpmd::new(&g, &dg, &[0, 1, 2], 2);
+        run_local(&mut a, 1_000_000).expect("run");
+        run_local(&mut b, 1_000_000).expect("run");
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let mut c = MrbcSpmd::new(&g, &dg, &[3, 4, 5], 2);
+        run_local(&mut c, 1_000_000).expect("run");
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+}

@@ -22,6 +22,7 @@
 //! "more proxies are synchronized in each round in MRBC, which leads to
 //! more compression of metadata and lower communication volume".
 
+use crate::reliability::PairSeqs;
 use crate::topology::DistGraph;
 use mrbc_faults::{FaultSession, RecoveryStats};
 
@@ -129,9 +130,10 @@ impl RoundComm {
 /// the fault-free run — the invariant the recovery property tests check.
 pub struct ReliableLink<'a> {
     session: &'a FaultSession,
-    num_hosts: usize,
-    /// Next sequence number per ordered host pair (`from * H + to`).
-    seq: Vec<u64>,
+    /// Sequence-number streams per ordered host pair — the same allocator
+    /// the real TCP transport uses (`crate::reliability`), so simulated and
+    /// real paths share one reliability core.
+    seqs: PairSeqs,
     /// Current BSP round, used to key the session's decisions.
     round: u32,
     /// Accumulated fault/overhead ledger.
@@ -143,8 +145,7 @@ impl<'a> ReliableLink<'a> {
     pub fn new(session: &'a FaultSession, num_hosts: usize) -> Self {
         Self {
             session,
-            num_hosts,
-            seq: vec![0; num_hosts * num_hosts],
+            seqs: PairSeqs::new(num_hosts),
             round: 0,
             recovery: RecoveryStats::default(),
         }
@@ -161,8 +162,7 @@ impl<'a> ReliableLink<'a> {
     /// sender was held up by backoff + straggler delay, and the bytes
     /// beyond the first transmission (resends, acks, duplicates).
     fn transfer(&mut self, from: usize, to: usize, bytes: u64) -> (u32, u64) {
-        let seq = self.seq[from * self.num_hosts + to];
-        self.seq[from * self.num_hosts + to] += 1;
+        let seq = self.seqs.alloc(from, to);
         let mut stall = self.session.delay_rounds(from, to);
         let mut extra = 0u64;
         let mut backoff = 1u32;

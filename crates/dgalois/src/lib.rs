@@ -39,6 +39,8 @@ pub mod bsp;
 pub mod comm;
 mod cost;
 mod partition;
+pub mod reliability;
+pub mod spmd;
 mod stats;
 mod topology;
 

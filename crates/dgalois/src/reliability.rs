@@ -1,0 +1,239 @@
+//! The seq/ack reliability core shared by the simulated and real transports.
+//!
+//! [`ReliableLink`](crate::comm::ReliableLink) (the simulated path) and the
+//! TCP mesh in `mrbc-net` (the real path) must make the same promise to the
+//! BSP layer above them: **exactly-once, in-order delivery per ordered host
+//! pair**, no matter how the raw network drops, duplicates, or reorders
+//! transmissions. This module holds the pieces both paths are built from,
+//! so there is one reliability core to test instead of two to keep in sync:
+//!
+//! * [`PairSeqs`] — sequence-number allocation per ordered host pair;
+//! * [`Reassembly`] — the receiver side: suppresses duplicates and holds
+//!   early arrivals until the gap fills, releasing payloads in sequence
+//!   order;
+//! * [`AckTracker`] — the sender side: retains unacknowledged payloads for
+//!   idempotent resend, with both individual and cumulative acknowledgement
+//!   (acks themselves may be duplicated or reordered — both are absorbed).
+//!
+//! Everything here is pure data-structure logic: no sockets, no clocks, no
+//! randomness. That keeps it proptest-able and lint-clean for the protocol
+//! crates.
+
+use std::collections::BTreeMap;
+
+/// Sequence-number allocator, one monotonic stream per ordered host pair.
+#[derive(Clone, Debug)]
+pub struct PairSeqs {
+    num_hosts: usize,
+    next: Vec<u64>,
+}
+
+impl PairSeqs {
+    /// Fresh allocator for `num_hosts` hosts; every stream starts at 0.
+    pub fn new(num_hosts: usize) -> Self {
+        Self {
+            num_hosts,
+            next: vec![0; num_hosts * num_hosts],
+        }
+    }
+
+    /// Allocates the next sequence number on the `from → to` stream.
+    pub fn alloc(&mut self, from: usize, to: usize) -> u64 {
+        let idx = from * self.num_hosts + to;
+        let seq = self.next[idx];
+        self.next[idx] += 1;
+        seq
+    }
+
+    /// The next sequence number the `from → to` stream would hand out.
+    pub fn peek(&self, from: usize, to: usize) -> u64 {
+        self.next[from * self.num_hosts + to]
+    }
+
+    /// Restarts every stream at 0 (used when a transport epoch changes and
+    /// in-flight traffic from the old epoch is discarded wholesale).
+    pub fn reset(&mut self) {
+        self.next.iter_mut().for_each(|n| *n = 0);
+    }
+}
+
+/// What the receiver should do with an arriving `(seq, payload)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Accept {
+    /// New in-order payload: deliver it (plus any queued successors).
+    Delivered,
+    /// Already seen (retransmission or network duplicate): drop silently,
+    /// but re-acknowledge so the sender stops resending.
+    Duplicate,
+    /// Ahead of the next expected sequence number: held for reassembly.
+    Held,
+}
+
+/// Receiver-side reassembly for one incoming stream: exactly-once,
+/// in-order release regardless of duplication or reordering on the wire.
+#[derive(Clone, Debug, Default)]
+pub struct Reassembly<T> {
+    /// Next sequence number to release.
+    next: u64,
+    /// Early arrivals, keyed by sequence number.
+    held: BTreeMap<u64, T>,
+}
+
+impl<T> Reassembly<T> {
+    /// Fresh stream expecting sequence number 0.
+    pub fn new() -> Self {
+        Self {
+            next: 0,
+            held: BTreeMap::new(),
+        }
+    }
+
+    /// Next sequence number this stream will release.
+    pub fn next_expected(&self) -> u64 {
+        self.next
+    }
+
+    /// Highest sequence number released so far, if any — suitable as a
+    /// cumulative acknowledgement value.
+    pub fn cumulative_ack(&self) -> Option<u64> {
+        self.next.checked_sub(1)
+    }
+
+    /// Offers an arriving `(seq, payload)`; releases every payload that is
+    /// now deliverable, in order, into `out`.
+    pub fn offer(&mut self, seq: u64, payload: T, out: &mut Vec<T>) -> Accept {
+        if seq < self.next || self.held.contains_key(&seq) {
+            return Accept::Duplicate;
+        }
+        if seq != self.next {
+            self.held.insert(seq, payload);
+            return Accept::Held;
+        }
+        out.push(payload);
+        self.next += 1;
+        while let Some(p) = self.held.remove(&self.next) {
+            out.push(p);
+            self.next += 1;
+        }
+        Accept::Delivered
+    }
+
+    /// Number of early arrivals currently parked.
+    pub fn held_len(&self) -> usize {
+        self.held.len()
+    }
+}
+
+/// Sender-side retention of unacknowledged payloads for idempotent resend.
+///
+/// Payloads stay buffered until acknowledged; [`AckTracker::unacked`]
+/// yields everything that must be retransmitted after a timeout or a
+/// reconnect. Duplicate and reordered acknowledgements are absorbed: acking
+/// an unknown or already-acked sequence number is a no-op.
+#[derive(Clone, Debug, Default)]
+pub struct AckTracker<T> {
+    pending: BTreeMap<u64, T>,
+}
+
+impl<T> AckTracker<T> {
+    /// Empty tracker.
+    pub fn new() -> Self {
+        Self {
+            pending: BTreeMap::new(),
+        }
+    }
+
+    /// Retains `payload` under `seq` until acknowledged.
+    pub fn sent(&mut self, seq: u64, payload: T) {
+        self.pending.insert(seq, payload);
+    }
+
+    /// Acknowledges exactly `seq`. Duplicated or reordered acks are no-ops.
+    pub fn ack_one(&mut self, seq: u64) -> bool {
+        self.pending.remove(&seq).is_some()
+    }
+
+    /// Cumulatively acknowledges every sequence number `≤ seq`, returning
+    /// how many payloads were retired. Stale (reordered) cumulative acks
+    /// retire nothing.
+    pub fn ack_through(&mut self, seq: u64) -> usize {
+        let keep = self.pending.split_off(&(seq + 1));
+        let retired = self.pending.len();
+        self.pending = keep;
+        retired
+    }
+
+    /// Sequence numbers and payloads still awaiting acknowledgement, in
+    /// sequence order — the idempotent resend set after a reconnect.
+    pub fn unacked(&self) -> impl Iterator<Item = (u64, &T)> {
+        self.pending.iter().map(|(&s, p)| (s, p))
+    }
+
+    /// Number of payloads awaiting acknowledgement.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when everything sent has been acknowledged.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Drops all retained payloads (epoch change: the old traffic is
+    /// abandoned rather than resent).
+    pub fn clear(&mut self) {
+        self.pending.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_seqs_are_independent_monotonic_streams() {
+        let mut s = PairSeqs::new(3);
+        assert_eq!(s.alloc(0, 1), 0);
+        assert_eq!(s.alloc(0, 1), 1);
+        assert_eq!(s.alloc(1, 0), 0, "reverse direction is its own stream");
+        assert_eq!(s.alloc(2, 1), 0);
+        assert_eq!(s.peek(0, 1), 2);
+        s.reset();
+        assert_eq!(s.alloc(0, 1), 0);
+    }
+
+    #[test]
+    fn reassembly_reorders_and_dedups() {
+        let mut r: Reassembly<&str> = Reassembly::new();
+        let mut out = Vec::new();
+        assert_eq!(r.offer(2, "c", &mut out), Accept::Held);
+        assert_eq!(r.offer(2, "c", &mut out), Accept::Duplicate);
+        assert_eq!(r.offer(0, "a", &mut out), Accept::Delivered);
+        assert_eq!(out, vec!["a"]);
+        assert_eq!(r.offer(1, "b", &mut out), Accept::Delivered);
+        assert_eq!(
+            out,
+            vec!["a", "b", "c"],
+            "held payload released on gap fill"
+        );
+        assert_eq!(r.offer(0, "a", &mut out), Accept::Duplicate);
+        assert_eq!(r.cumulative_ack(), Some(2));
+        assert_eq!(r.held_len(), 0);
+    }
+
+    #[test]
+    fn ack_tracker_absorbs_duplicate_and_reordered_acks() {
+        let mut t: AckTracker<u32> = AckTracker::new();
+        for seq in 0..5 {
+            t.sent(seq, seq as u32 * 10);
+        }
+        assert!(t.ack_one(3));
+        assert!(!t.ack_one(3), "duplicate ack is a no-op");
+        assert_eq!(t.ack_through(1), 2, "retires 0 and 1");
+        assert_eq!(t.ack_through(1), 0, "stale cumulative ack is a no-op");
+        let left: Vec<u64> = t.unacked().map(|(s, _)| s).collect();
+        assert_eq!(left, vec![2, 4]);
+        assert_eq!(t.ack_through(10), 2);
+        assert!(t.is_empty());
+    }
+}

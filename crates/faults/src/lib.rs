@@ -26,6 +26,6 @@ mod plan;
 mod session;
 mod stats;
 
-pub use plan::{CrashFault, DelayFault, FaultParseError, FaultPlan};
+pub use plan::{CrashFault, DelayFault, FaultParseError, FaultPlan, KillFault, PartitionFault};
 pub use session::FaultSession;
 pub use stats::RecoveryStats;

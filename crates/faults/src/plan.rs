@@ -7,11 +7,24 @@
 //! drop:p=0.01                each transmission is lost with probability 0.01
 //! dup:p=0.005                each delivery is duplicated with probability 0.005
 //! delay:pair=0-3,rounds=2    the 0↔3 link straggles 2 extra rounds per message
+//! kill:host=1@round=12       the launcher SIGKILLs worker 1 once it reports round 12
+//! partition:pair=0-2@round=9,ms=300
+//!                            the 0↔2 link is severed for 300 ms starting at round 9
 //! seed=42                    RNG seed for the probabilistic clauses
 //! ```
 //!
-//! Clauses may repeat (`crash` and `delay` accumulate; `drop`/`dup`/`seed`
-//! take the last occurrence). Whitespace around clauses is ignored.
+//! Clauses may repeat (`crash`, `delay`, `kill`, and `partition` accumulate;
+//! `drop`/`dup`/`seed` take the last occurrence). Whitespace around clauses
+//! is ignored.
+//!
+//! The first four clause kinds are *simulated* inside one address space by
+//! `run_bsp_with_faults` and `ReliableLink`. `kill` and `partition` are
+//! different: the `mrbc-net` substrate executes them **for real** — `kill`
+//! makes the process launcher deliver an actual `SIGKILL` to a worker
+//! process, and `partition` makes both endpoints of a TCP link drop the
+//! connection and refuse to re-establish it for a wall-clock window.
+//! (A partition window is wall-clock, not round-counted, because a severed
+//! link stalls the global barrier — rounds cannot advance while it holds.)
 
 use std::fmt;
 use std::str::FromStr;
@@ -37,6 +50,35 @@ pub struct DelayFault {
     pub rounds: u32,
 }
 
+/// A real process kill: the launcher delivers `SIGKILL` to worker `host`
+/// once that worker reports reaching `round`. Unlike [`CrashFault`] this is
+/// not simulated — the process actually dies and must be respawned from its
+/// durable checkpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KillFault {
+    /// The worker process to kill.
+    pub host: usize,
+    /// The 1-based global step at which the kill is triggered.
+    pub round: u32,
+}
+
+/// A real network partition: starting when either endpoint reaches `round`,
+/// the `a↔b` TCP link is severed and reconnection refused for `ms`
+/// wall-clock milliseconds. Healing relies on the reconnect/backoff and
+/// idempotent-resend machinery, so a healed partition must be invisible in
+/// the results.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PartitionFault {
+    /// One endpoint of the severed link.
+    pub a: usize,
+    /// The other endpoint.
+    pub b: usize,
+    /// The 1-based global step at which the partition starts.
+    pub round: u32,
+    /// Wall-clock duration of the partition, in milliseconds.
+    pub ms: u32,
+}
+
 /// A declarative, seeded description of the faults to inject into a run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FaultPlan {
@@ -50,6 +92,10 @@ pub struct FaultPlan {
     pub dup_p: f64,
     /// Straggler links.
     pub delays: Vec<DelayFault>,
+    /// Real process kills (executed by the `mrbc-net` launcher).
+    pub kills: Vec<KillFault>,
+    /// Real wall-clock network partitions (executed by the TCP mesh).
+    pub partitions: Vec<PartitionFault>,
 }
 
 impl Default for FaultPlan {
@@ -60,6 +106,8 @@ impl Default for FaultPlan {
             drop_p: 0.0,
             dup_p: 0.0,
             delays: Vec::new(),
+            kills: Vec::new(),
+            partitions: Vec::new(),
         }
     }
 }
@@ -67,14 +115,22 @@ impl Default for FaultPlan {
 impl FaultPlan {
     /// True if the plan injects nothing.
     pub fn is_empty(&self) -> bool {
-        self.crashes.is_empty() && self.drop_p == 0.0 && self.dup_p == 0.0 && self.delays.is_empty()
+        self.crashes.is_empty()
+            && self.drop_p == 0.0
+            && self.dup_p == 0.0
+            && self.delays.is_empty()
+            && self.kills.is_empty()
+            && self.partitions.is_empty()
     }
 
     /// True if the plan contains only masked faults (drops, duplication,
-    /// delays) — faults a reliable delivery layer hides completely, so
-    /// results must be bitwise-identical to a fault-free run.
+    /// delays, healed partitions) — faults a reliable delivery layer hides
+    /// completely, so results must be bitwise-identical to a fault-free
+    /// run. Crashes are not maskable (they need rollback or self-correcting
+    /// recovery); kills are recoverable via checkpoint respawn but still
+    /// interrupt a process, so they are not *masked* either.
     pub fn is_maskable(&self) -> bool {
-        self.crashes.is_empty()
+        self.crashes.is_empty() && self.kills.is_empty()
     }
 }
 
@@ -149,6 +205,39 @@ impl FromStr for FaultPlan {
                         round: keyed(round_kv, "round")?,
                     });
                 }
+                "kill" => {
+                    // kill:host=H@round=R
+                    let (host_kv, round_kv) = body.split_once('@').ok_or_else(|| {
+                        err(format!("kill clause {body:?}: expected host=H@round=R"))
+                    })?;
+                    plan.kills.push(KillFault {
+                        host: keyed(host_kv, "host")?,
+                        round: keyed(round_kv, "round")?,
+                    });
+                }
+                "partition" => {
+                    // partition:pair=A-B@round=R,ms=D
+                    let (pair_kv, rest) = body.split_once('@').ok_or_else(|| {
+                        err(format!(
+                            "partition clause {body:?}: expected pair=A-B@round=R,ms=D"
+                        ))
+                    })?;
+                    let pair: String = keyed(pair_kv, "pair")?;
+                    let (a, b) = pair
+                        .split_once('-')
+                        .ok_or_else(|| err(format!("pair {pair:?}: expected A-B")))?;
+                    let (round_kv, ms_kv) = rest.split_once(',').ok_or_else(|| {
+                        err(format!("partition clause {body:?}: expected round=R,ms=D"))
+                    })?;
+                    plan.partitions.push(PartitionFault {
+                        a: a.parse()
+                            .map_err(|_| err(format!("bad pair endpoint {a:?}")))?,
+                        b: b.parse()
+                            .map_err(|_| err(format!("bad pair endpoint {b:?}")))?,
+                        round: keyed(round_kv, "round")?,
+                        ms: keyed(ms_kv, "ms")?,
+                    });
+                }
                 "drop" => plan.drop_p = parse_probability(body)?,
                 "dup" => plan.dup_p = parse_probability(body)?,
                 "delay" => {
@@ -191,6 +280,15 @@ impl fmt::Display for FaultPlan {
         }
         for d in &self.delays {
             parts.push(format!("delay:pair={}-{},rounds={}", d.a, d.b, d.rounds));
+        }
+        for k in &self.kills {
+            parts.push(format!("kill:host={}@round={}", k.host, k.round));
+        }
+        for p in &self.partitions {
+            parts.push(format!(
+                "partition:pair={}-{}@round={},ms={}",
+                p.a, p.b, p.round, p.ms
+            ));
         }
         parts.push(format!("seed={}", self.seed));
         write!(f, "{}", parts.join(";"))
@@ -242,11 +340,35 @@ mod tests {
 
     #[test]
     fn display_round_trips() {
-        let text = "crash:host=2@round=40;drop:p=0.01;dup:p=0.005;delay:pair=0-3,rounds=2;seed=42";
+        let text = "crash:host=2@round=40;drop:p=0.01;dup:p=0.005;delay:pair=0-3,rounds=2;\
+                    kill:host=1@round=12;partition:pair=0-2@round=9,ms=300;seed=42";
         let plan: FaultPlan = text.parse().expect("plan");
         assert_eq!(plan.to_string(), text);
         let again: FaultPlan = plan.to_string().parse().expect("round trip");
         assert_eq!(again, plan);
+    }
+
+    #[test]
+    fn kill_and_partition_clauses_parse() {
+        let plan: FaultPlan = "kill:host=3@round=17;partition:pair=1-2@round=5,ms=250"
+            .parse()
+            .expect("plan");
+        assert_eq!(plan.kills, vec![KillFault { host: 3, round: 17 }]);
+        assert_eq!(
+            plan.partitions,
+            vec![PartitionFault {
+                a: 1,
+                b: 2,
+                round: 5,
+                ms: 250
+            }]
+        );
+        assert!(!plan.is_empty());
+        // A kill interrupts a real process: recoverable, but not masked.
+        assert!(!plan.is_maskable());
+        // A healed partition alone must be masked by reconnect + resend.
+        let p: FaultPlan = "partition:pair=0-1@round=2,ms=100".parse().expect("plan");
+        assert!(p.is_maskable());
     }
 
     #[test]
@@ -258,6 +380,9 @@ mod tests {
             ("crash:host=1", "host=H@round=R"),
             ("delay:pair=0-1", "rounds"),
             ("delay:pair=01,rounds=2", "A-B"),
+            ("kill:host=1", "host=H@round=R"),
+            ("partition:pair=0-1", "pair=A-B@round=R,ms=D"),
+            ("partition:pair=0-1@round=3", "round=R,ms=D"),
             ("seed=banana", "seed"),
             ("justaword", "no kind"),
         ] {

@@ -84,6 +84,23 @@ impl FaultSession {
             .iter()
             .any(|c| c.host == host && c.round <= round)
     }
+
+    /// Real process kills whose trigger round is `round` (evaluated by the
+    /// launcher against each worker's reported progress).
+    pub fn kills_at(&self, round: u32) -> impl Iterator<Item = &crate::plan::KillFault> {
+        self.plan.kills.iter().filter(move |k| k.round == round)
+    }
+
+    /// Wall-clock partition window (in ms) starting at `round` for the
+    /// unordered pair `{a, b}`, if any. Overlapping windows accumulate.
+    pub fn partition_ms_at(&self, round: u32, a: usize, b: usize) -> u32 {
+        self.plan
+            .partitions
+            .iter()
+            .filter(|p| p.round == round && ((p.a, p.b) == (a, b) || (p.a, p.b) == (b, a)))
+            .map(|p| p.ms)
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -158,6 +175,22 @@ mod tests {
                 rounds: 2
             }
         );
+    }
+
+    #[test]
+    fn kill_and_partition_queries() {
+        let s = session(
+            "kill:host=1@round=12;kill:host=2@round=12;\
+             partition:pair=0-2@round=9,ms=300;partition:pair=2-0@round=9,ms=50",
+        );
+        let at12: Vec<usize> = s.kills_at(12).map(|k| k.host).collect();
+        assert_eq!(at12, vec![1, 2]);
+        assert_eq!(s.kills_at(11).count(), 0);
+        // Partition windows are unordered-pair keyed and cumulative.
+        assert_eq!(s.partition_ms_at(9, 0, 2), 350);
+        assert_eq!(s.partition_ms_at(9, 2, 0), 350);
+        assert_eq!(s.partition_ms_at(8, 0, 2), 0);
+        assert_eq!(s.partition_ms_at(9, 0, 1), 0);
     }
 
     #[test]

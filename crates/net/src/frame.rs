@@ -1,0 +1,310 @@
+//! Length-prefixed, checksummed wire framing with a versioned handshake.
+//!
+//! Every frame on a mesh connection is
+//!
+//! ```text
+//! [len: u32][crc: u32][kind: u8][from: u16][epoch: u32][step: u64][seq: u64][payload…]
+//! ```
+//!
+//! `len` counts everything after the length field itself (crc + header +
+//! payload); `crc` is the CRC-32 of everything after the crc field. The
+//! `epoch` stamps which incarnation of the run produced the frame —
+//! after a crash-restart recovery the launcher bumps the epoch and
+//! stragglers from the previous incarnation are discarded on receipt.
+//! `seq` is the per-(sender, receiver) reliability sequence number for
+//! [`Data`](FrameKind::Data) frames and the cumulative acknowledgement
+//! for [`Ack`](FrameKind::Ack) frames; other kinds carry 0.
+//!
+//! The handshake: the dialing side sends a [`FrameKind::Hello`] whose
+//! payload is the protocol magic + version + its listen rank; the
+//! accepting side validates and answers [`FrameKind::Welcome`] with its
+//! own rank. Version skew or a corrupt hello terminates the connection
+//! before any data flows.
+
+use mrbc_util::crc::crc32;
+use mrbc_util::wire::{WireError, WireReader, WireWriter};
+
+/// Protocol magic carried in every handshake payload: `"MRBC"`.
+pub const PROTOCOL_MAGIC: u32 = 0x4342_524D;
+/// Protocol version; bumped on any wire-format change.
+pub const PROTOCOL_VERSION: u32 = 1;
+/// Hard cap on a frame's encoded size (64 MiB) — a corrupt length
+/// prefix must not trigger an unbounded allocation.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Frame discriminator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Dialer's half of the handshake (payload: magic, version, rank).
+    Hello,
+    /// Acceptor's half of the handshake (payload: magic, version, rank).
+    Welcome,
+    /// One step's allgather payload, reliability-sequenced.
+    Data,
+    /// Cumulative acknowledgement (`seq` = highest delivered in order).
+    Ack,
+    /// Liveness beacon for the failure detector.
+    Heartbeat,
+    /// Orderly goodbye (the peer is shutting down cleanly).
+    Bye,
+}
+
+impl FrameKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            FrameKind::Hello => 0,
+            FrameKind::Welcome => 1,
+            FrameKind::Data => 2,
+            FrameKind::Ack => 3,
+            FrameKind::Heartbeat => 4,
+            FrameKind::Bye => 5,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, WireError> {
+        Ok(match v {
+            0 => FrameKind::Hello,
+            1 => FrameKind::Welcome,
+            2 => FrameKind::Data,
+            3 => FrameKind::Ack,
+            4 => FrameKind::Heartbeat,
+            5 => FrameKind::Bye,
+            _ => return Err(WireError::Invalid("unknown frame kind")),
+        })
+    }
+}
+
+/// One decoded frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Discriminator.
+    pub kind: FrameKind,
+    /// Sender's rank.
+    pub from: u16,
+    /// Run incarnation the frame belongs to.
+    pub epoch: u32,
+    /// SPMD step the frame belongs to (Data frames; 0 otherwise).
+    pub step: u64,
+    /// Reliability sequence (Data) or cumulative ack (Ack); 0 otherwise.
+    pub seq: u64,
+    /// Opaque payload.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Builds a payload-free frame.
+    pub fn control(kind: FrameKind, from: u16, epoch: u32) -> Self {
+        Frame {
+            kind,
+            from,
+            epoch,
+            step: 0,
+            seq: 0,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Builds a handshake frame ([`FrameKind::Hello`] / [`FrameKind::Welcome`])
+    /// whose payload pins magic + version + rank.
+    pub fn handshake(kind: FrameKind, rank: u16, epoch: u32) -> Self {
+        let mut w = WireWriter::with_capacity(10);
+        w.u32(PROTOCOL_MAGIC);
+        w.u32(PROTOCOL_VERSION);
+        w.u16(rank);
+        Frame {
+            kind,
+            from: rank,
+            epoch,
+            step: 0,
+            seq: 0,
+            payload: w.into_bytes(),
+        }
+    }
+
+    /// Validates a handshake payload, returning the announced rank.
+    pub fn handshake_rank(&self) -> Result<u16, WireError> {
+        let mut r = WireReader::new(&self.payload);
+        if r.u32()? != PROTOCOL_MAGIC {
+            return Err(WireError::Invalid("bad protocol magic"));
+        }
+        if r.u32()? != PROTOCOL_VERSION {
+            return Err(WireError::Invalid("protocol version mismatch"));
+        }
+        let rank = r.u16()?;
+        if rank != self.from {
+            return Err(WireError::Invalid("handshake rank disagrees with header"));
+        }
+        Ok(rank)
+    }
+
+    /// Encodes the frame, including length prefix and checksum.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = WireWriter::with_capacity(23 + self.payload.len());
+        body.u8(self.kind.to_u8());
+        body.u16(self.from);
+        body.u32(self.epoch);
+        body.u64(self.step);
+        body.u64(self.seq);
+        let mut body = body.into_bytes();
+        body.extend_from_slice(&self.payload);
+        let crc = crc32(&body);
+        let mut out = WireWriter::with_capacity(8 + body.len());
+        out.u32((body.len() + 4) as u32);
+        out.u32(crc);
+        let mut out = out.into_bytes();
+        out.extend_from_slice(&body);
+        out
+    }
+}
+
+/// Incremental frame decoder over a byte stream: feed raw TCP bytes,
+/// pull whole validated frames.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+}
+
+impl FrameDecoder {
+    /// Empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes read from the socket.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered (for diagnostics).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Tries to decode the next complete frame. `Ok(None)` means more
+    /// bytes are needed; an error means the stream is corrupt and the
+    /// connection must be dropped (re-synchronizing a byte stream after
+    /// a bad length prefix is not possible).
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if !(27..=MAX_FRAME_BYTES).contains(&len) {
+            return Err(WireError::Invalid("frame length out of bounds"));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let crc = u32::from_le_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]]);
+        let body = &self.buf[8..4 + len];
+        if crc32(body) != crc {
+            return Err(WireError::Invalid("frame checksum mismatch"));
+        }
+        let mut r = WireReader::new(body);
+        let kind = FrameKind::from_u8(r.u8()?)?;
+        let from = r.u16()?;
+        let epoch = r.u32()?;
+        let step = r.u64()?;
+        let seq = r.u64()?;
+        let payload = r.rest().to_vec();
+        self.buf.drain(..4 + len);
+        Ok(Some(Frame {
+            kind,
+            from,
+            epoch,
+            step,
+            seq,
+            payload,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(f: &Frame) -> Frame {
+        let mut d = FrameDecoder::new();
+        d.feed(&f.encode());
+        let got = d.next_frame().unwrap().unwrap();
+        assert_eq!(d.buffered(), 0);
+        got
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let f = Frame {
+            kind: FrameKind::Data,
+            from: 3,
+            epoch: 7,
+            step: 42,
+            seq: 1234567,
+            payload: vec![1, 2, 3, 4, 5],
+        };
+        assert_eq!(roundtrip(&f), f);
+        let hb = Frame::control(FrameKind::Heartbeat, 0, 1);
+        assert_eq!(roundtrip(&hb), hb);
+    }
+
+    #[test]
+    fn decoder_handles_split_and_batched_input() {
+        let a = Frame {
+            kind: FrameKind::Data,
+            from: 1,
+            epoch: 0,
+            step: 1,
+            seq: 0,
+            payload: vec![9; 100],
+        };
+        let b = Frame::control(FrameKind::Ack, 2, 0);
+        let mut bytes = a.encode();
+        bytes.extend_from_slice(&b.encode());
+        let mut d = FrameDecoder::new();
+        // Dribble one byte at a time; both frames must come out intact.
+        let mut got = Vec::new();
+        for byte in bytes {
+            d.feed(&[byte]);
+            while let Some(f) = d.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, vec![a, b]);
+    }
+
+    #[test]
+    fn corrupt_payload_is_rejected() {
+        let f = Frame {
+            kind: FrameKind::Data,
+            from: 1,
+            epoch: 0,
+            step: 1,
+            seq: 5,
+            payload: vec![7; 32],
+        };
+        let mut bytes = f.encode();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        let mut d = FrameDecoder::new();
+        d.feed(&bytes);
+        assert!(d.next_frame().is_err());
+    }
+
+    #[test]
+    fn insane_length_prefix_is_rejected_without_allocating() {
+        let mut d = FrameDecoder::new();
+        d.feed(&u32::MAX.to_le_bytes());
+        assert!(d.next_frame().is_err());
+    }
+
+    #[test]
+    fn handshake_validates_magic_version_and_rank() {
+        let h = Frame::handshake(FrameKind::Hello, 5, 2);
+        assert_eq!(h.handshake_rank().unwrap(), 5);
+        let mut bad = h.clone();
+        bad.payload[0] ^= 0xFF;
+        assert!(bad.handshake_rank().is_err());
+        let mut skew = Frame::handshake(FrameKind::Hello, 5, 2);
+        skew.from = 6; // header/payload disagreement
+        assert!(skew.handshake_rank().is_err());
+    }
+}

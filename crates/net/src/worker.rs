@@ -1,0 +1,457 @@
+//! The worker-side runtime: drives an [`SpmdProgram`] over a [`Mesh`],
+//! checkpointing at every step boundary and cooperating with a launcher
+//! over a small line-oriented control plane to survive crash-restart
+//! recovery.
+//!
+//! # Step loop
+//!
+//! At the top of step `s` the worker durably checkpoints the program
+//! (atomic write-rename, CRC-sealed — see [`crate::checkpoint`]), runs
+//! the replicated pre-step, computes its own rank's partials, and
+//! allgathers payloads. Because checkpoints are cut only at step
+//! boundaries, a restore replays the exact same sequence of folds and
+//! the floating-point state evolves bit-identically.
+//!
+//! # Recovery protocol
+//!
+//! The launcher owns recovery; the worker reacts:
+//!
+//! ```text
+//! launcher → worker:  Recover
+//! worker  → launcher: CkptLatest(step | none)
+//! launcher → worker:  Resume { step, epoch, addrs }
+//! ```
+//!
+//! On `Resume` the worker restores its own checkpoint at `step`
+//! (BSP skew is at most one step and the store keeps the last two
+//! checkpoints, so the launcher's `min` over reported latests is covered
+//! by every worker — including the respawned one, whose checkpoint
+//! directory survived the crash), re-enters the mesh in the new epoch,
+//! and re-executes from `step`. Frames from the previous incarnation are
+//! discarded by the epoch filter.
+//!
+//! When an exchange stalls because the failure detector declared a peer
+//! dead, the worker reports [`WorkerEvent::Stalled`] and parks until the
+//! launcher drives the handshake above — it never unilaterally abandons
+//! the run while a control plane is attached.
+
+use std::net::SocketAddr;
+use std::sync::mpsc::Receiver;
+
+use mrbc_dgalois::spmd::SpmdProgram;
+
+use crate::checkpoint::CheckpointStore;
+use crate::mesh::{Mesh, MeshError};
+
+/// Messages the launcher can send a worker.
+#[derive(Clone, Debug)]
+pub enum ControlMsg {
+    /// A peer died; report your newest durable checkpoint and park.
+    Recover,
+    /// Restore checkpoint `step`, enter `epoch`, reconnect to `addrs`,
+    /// re-execute from `step`. Also used (with `step == 0`) to start a
+    /// fresh run once every worker's listen address is known.
+    Resume {
+        /// Step boundary to restart from.
+        step: u64,
+        /// New transport epoch.
+        epoch: u32,
+        /// Current listen address of every rank.
+        addrs: Vec<SocketAddr>,
+    },
+    /// Abandon the run immediately.
+    Quit,
+}
+
+/// Progress events a worker reports to its launcher.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WorkerEvent {
+    /// The newest durable checkpoint boundary (reply to `Recover`).
+    CkptLatest(Option<u64>),
+    /// Step `s` committed (exchange folded, moving to `s + 1`).
+    Step(u64),
+    /// The exchange at this step cannot complete (peer declared dead);
+    /// parked awaiting recovery.
+    Stalled(u64),
+}
+
+/// How a worker run ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WorkerOutcome {
+    /// The program ran to completion.
+    Completed {
+        /// Steps executed (including re-executed ones after recovery).
+        steps: u64,
+        /// Program fingerprint over the final result.
+        fingerprint: u64,
+    },
+    /// The per-step deadline budget expired; the program state is valid
+    /// at the last committed step boundary and the fingerprint covers
+    /// the partial result accumulated so far.
+    Degraded {
+        /// Last step boundary the program committed.
+        completed_step: u64,
+        /// Fingerprint over the partial result.
+        fingerprint: u64,
+        /// Ranks whose payloads were missing when the budget expired.
+        missing: Vec<usize>,
+    },
+}
+
+/// Worker-side failure.
+#[derive(Debug)]
+pub enum WorkerError {
+    /// Transport failure with no control plane attached to recover it.
+    Mesh(MeshError),
+    /// Durable checkpoint failure.
+    Checkpoint(crate::checkpoint::CheckpointError),
+    /// The program rejected a payload or a restored snapshot.
+    Wire(mrbc_util::wire::WireError),
+    /// The control plane hung up or violated the protocol.
+    Control(&'static str),
+}
+
+impl std::fmt::Display for WorkerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkerError::Mesh(e) => write!(f, "transport: {e}"),
+            WorkerError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+            WorkerError::Wire(e) => write!(f, "program state: {e}"),
+            WorkerError::Control(what) => write!(f, "control plane: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkerError {}
+
+impl From<MeshError> for WorkerError {
+    fn from(e: MeshError) -> Self {
+        WorkerError::Mesh(e)
+    }
+}
+
+impl From<crate::checkpoint::CheckpointError> for WorkerError {
+    fn from(e: crate::checkpoint::CheckpointError) -> Self {
+        WorkerError::Checkpoint(e)
+    }
+}
+
+impl From<mrbc_util::wire::WireError> for WorkerError {
+    fn from(e: mrbc_util::wire::WireError) -> Self {
+        WorkerError::Wire(e)
+    }
+}
+
+/// The launcher-facing side of a worker: an optional inbound message
+/// stream and an event sink. With no receiver attached the worker runs
+/// fire-and-forget: transport failures become errors instead of stalls.
+pub struct ControlPlane {
+    /// Inbound control messages (`None` → headless run).
+    pub rx: Option<Receiver<ControlMsg>>,
+    /// Event sink (launcher stdout lines, test probes, …).
+    pub notify: Box<dyn FnMut(&WorkerEvent) + Send>,
+}
+
+impl ControlPlane {
+    /// A control plane that receives nothing and reports nowhere.
+    pub fn headless() -> Self {
+        ControlPlane {
+            rx: None,
+            notify: Box::new(|_| {}),
+        }
+    }
+
+    fn poll(&mut self) -> Result<Option<ControlMsg>, WorkerError> {
+        use std::sync::mpsc::TryRecvError;
+        match &self.rx {
+            None => Ok(None),
+            Some(rx) => match rx.try_recv() {
+                Ok(msg) => Ok(Some(msg)),
+                Err(TryRecvError::Empty) => Ok(None),
+                Err(TryRecvError::Disconnected) => Err(WorkerError::Control("launcher hung up")),
+            },
+        }
+    }
+
+    fn attached(&self) -> bool {
+        self.rx.is_some()
+    }
+}
+
+/// Worker runtime knobs.
+pub struct WorkerConfig {
+    /// Durable checkpoint store (`None` → no durability, no recovery).
+    pub store: Option<CheckpointStore>,
+    /// Per-step wall-clock budget; expiry degrades to a partial result.
+    pub deadline_ms: Option<u64>,
+    /// Mesh (re-)establish timeout when handling `Resume`.
+    pub establish_timeout_ms: u64,
+    /// Partition faults to enforce, as `(step, peer, window_ms)`:
+    /// entering `step` severs the link to `peer` for `window_ms`.
+    pub partitions: Vec<(u64, usize, u64)>,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        WorkerConfig {
+            store: None,
+            deadline_ms: None,
+            establish_timeout_ms: 10_000,
+            partitions: Vec::new(),
+        }
+    }
+}
+
+/// Outcome of handling one control message.
+enum Handled {
+    /// Nothing structural; keep going.
+    Continue,
+    /// A `Resume` was applied; restart the step loop at this step.
+    ResumedAt(u64),
+    /// `Quit` received.
+    Quit,
+}
+
+/// Drives `prog` to completion over `mesh`.
+///
+/// `mesh` must already be connected ([`Mesh::connect`]) for a fresh
+/// start; under a launcher, the initial `Resume { step: 0 }` performs
+/// the connect. Returns the outcome, or an error when something fails
+/// with no launcher attached to recover it.
+pub fn run_worker<P: SpmdProgram>(
+    prog: &mut P,
+    mesh: &mut Mesh,
+    cfg: &mut WorkerConfig,
+    control: &mut ControlPlane,
+) -> Result<WorkerOutcome, WorkerError> {
+    run_worker_from(prog, mesh, cfg, control, 0)
+}
+
+/// Blocks until the launcher's first [`ControlMsg::Resume`] arrives,
+/// applies it (restore + connect), and returns the step to start from.
+/// A launched worker calls this before [`run_worker_from`]; a respawned
+/// worker additionally answers the launcher's `Recover` probe with its
+/// surviving checkpoint boundary while parked here.
+pub fn await_resume<P: SpmdProgram>(
+    prog: &mut P,
+    mesh: &mut Mesh,
+    cfg: &mut WorkerConfig,
+    control: &mut ControlPlane,
+) -> Result<u64, WorkerError> {
+    match await_recovery(prog, mesh, cfg, control)? {
+        Handled::ResumedAt(s) => Ok(s),
+        _ => Err(WorkerError::Control("quit before first resume")),
+    }
+}
+
+/// [`run_worker`], starting from an arbitrary step boundary (the one a
+/// preceding [`await_resume`] restored).
+pub fn run_worker_from<P: SpmdProgram>(
+    prog: &mut P,
+    mesh: &mut Mesh,
+    cfg: &mut WorkerConfig,
+    control: &mut ControlPlane,
+    start_step: u64,
+) -> Result<WorkerOutcome, WorkerError> {
+    let rank = mesh.rank();
+    let mut step: u64 = start_step;
+    let mut executed: u64 = 0;
+    loop {
+        match drain_control(prog, mesh, cfg, control)? {
+            Handled::Continue => {}
+            Handled::ResumedAt(s) => {
+                step = s;
+                continue;
+            }
+            Handled::Quit => {
+                mesh.goodbye();
+                return Err(WorkerError::Control("quit requested"));
+            }
+        }
+        if prog.done() {
+            break;
+        }
+        for i in 0..cfg.partitions.len() {
+            let (s, peer, ms) = cfg.partitions[i];
+            if s == step {
+                mesh.partition_peer(peer, ms);
+            }
+        }
+        if let Some(store) = &mut cfg.store {
+            store.save(step, &prog.snapshot())?;
+        }
+        prog.begin_step(step);
+        let payload = prog.local_step(step, rank);
+        let span = mrbc_obs::span("net.worker.exchange", "net");
+        mesh.begin_exchange(step, payload);
+        let all = loop {
+            match drain_control(prog, mesh, cfg, control)? {
+                Handled::Continue => {}
+                Handled::ResumedAt(s) => {
+                    step = s;
+                    break None;
+                }
+                Handled::Quit => {
+                    mesh.goodbye();
+                    return Err(WorkerError::Control("quit requested"));
+                }
+            }
+            match mesh.try_complete_exchange(step, cfg.deadline_ms) {
+                Ok(Some(all)) => break Some(all),
+                Ok(None) => std::thread::sleep(std::time::Duration::from_millis(1)),
+                Err(MeshError::DeadlineExpired { missing, .. }) => {
+                    drop(span);
+                    mesh.goodbye();
+                    return Ok(WorkerOutcome::Degraded {
+                        completed_step: step,
+                        fingerprint: prog.fingerprint(),
+                        missing,
+                    });
+                }
+                Err(e @ MeshError::PeerDead { .. }) => {
+                    if !control.attached() {
+                        return Err(e.into());
+                    }
+                    (control.notify)(&WorkerEvent::Stalled(step));
+                    mrbc_obs::counter_add("net.worker.stalls", 1);
+                    // Park until the launcher drives recovery.
+                    match await_recovery(prog, mesh, cfg, control)? {
+                        Handled::ResumedAt(s) => {
+                            step = s;
+                            break None;
+                        }
+                        Handled::Quit => {
+                            mesh.goodbye();
+                            return Err(WorkerError::Control("quit requested"));
+                        }
+                        Handled::Continue => {
+                            return Err(WorkerError::Control("recovery ended without resume"))
+                        }
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        };
+        let Some(all) = all else {
+            continue; // resumed mid-exchange; step already rewound
+        };
+        drop(span);
+        prog.fold(step, &all)?;
+        (control.notify)(&WorkerEvent::Step(step));
+        mrbc_obs::counter_add("net.worker.steps", 1);
+        executed += 1;
+        step += 1;
+    }
+    // Final checkpoint at the terminal boundary, then an orderly goodbye.
+    if let Some(store) = &mut cfg.store {
+        store.save(step, &prog.snapshot())?;
+    }
+    mesh.goodbye();
+    Ok(WorkerOutcome::Completed {
+        steps: executed,
+        fingerprint: prog.fingerprint(),
+    })
+}
+
+/// Handles every queued control message; a `Resume` wins over anything
+/// queued before it.
+fn drain_control<P: SpmdProgram>(
+    prog: &mut P,
+    mesh: &mut Mesh,
+    cfg: &mut WorkerConfig,
+    control: &mut ControlPlane,
+) -> Result<Handled, WorkerError> {
+    let mut outcome = Handled::Continue;
+    while let Some(msg) = control.poll()? {
+        match msg {
+            ControlMsg::Quit => return Ok(Handled::Quit),
+            ControlMsg::Recover => {
+                let latest = cfg
+                    .store
+                    .as_ref()
+                    .and_then(|s| s.latest_step().ok().flatten());
+                (control.notify)(&WorkerEvent::CkptLatest(latest));
+                // The resume typically follows immediately; park for it so
+                // the step loop cannot race ahead on stale state.
+                match await_recovery(prog, mesh, cfg, control)? {
+                    Handled::ResumedAt(s) => outcome = Handled::ResumedAt(s),
+                    Handled::Quit => return Ok(Handled::Quit),
+                    Handled::Continue => {
+                        return Err(WorkerError::Control("recovery ended without resume"))
+                    }
+                }
+            }
+            ControlMsg::Resume { step, epoch, addrs } => {
+                apply_resume(prog, mesh, cfg, step, epoch, &addrs)?;
+                outcome = Handled::ResumedAt(step);
+            }
+        }
+    }
+    Ok(outcome)
+}
+
+/// Blocks (pumping the transport) until the launcher sends `Resume` or
+/// `Quit`. Replies to further `Recover` probes with the newest
+/// checkpoint boundary.
+fn await_recovery<P: SpmdProgram>(
+    prog: &mut P,
+    mesh: &mut Mesh,
+    cfg: &mut WorkerConfig,
+    control: &mut ControlPlane,
+) -> Result<Handled, WorkerError> {
+    if !control.attached() {
+        return Err(WorkerError::Control("cannot recover without a launcher"));
+    }
+    loop {
+        match control.poll()? {
+            Some(ControlMsg::Resume { step, epoch, addrs }) => {
+                apply_resume(prog, mesh, cfg, step, epoch, &addrs)?;
+                return Ok(Handled::ResumedAt(step));
+            }
+            Some(ControlMsg::Quit) => return Ok(Handled::Quit),
+            Some(ControlMsg::Recover) => {
+                let latest = cfg
+                    .store
+                    .as_ref()
+                    .and_then(|s| s.latest_step().ok().flatten());
+                (control.notify)(&WorkerEvent::CkptLatest(latest));
+            }
+            None => {
+                mesh.pump();
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+    }
+}
+
+/// Restores the program at the `step` boundary (when a checkpoint is
+/// required), re-enters the mesh under `epoch`, and reconnects.
+fn apply_resume<P: SpmdProgram>(
+    prog: &mut P,
+    mesh: &mut Mesh,
+    cfg: &mut WorkerConfig,
+    step: u64,
+    epoch: u32,
+    addrs: &[SocketAddr],
+) -> Result<(), WorkerError> {
+    let have_ckpt = cfg
+        .store
+        .as_ref()
+        .map(|s| {
+            s.list_steps()
+                .map(|steps| steps.contains(&step))
+                .unwrap_or(false)
+        })
+        .unwrap_or(false);
+    if have_ckpt {
+        // lint: allow(unwrap): guarded by `have_ckpt` just above
+        let bytes = cfg.store.as_ref().expect("checked above").load(step)?;
+        prog.restore(&bytes)?;
+        mrbc_obs::counter_add("net.worker.restores", 1);
+    } else if step != 0 {
+        return Err(WorkerError::Control("resume step has no local checkpoint"));
+    }
+    mesh.restart_epoch(epoch, addrs);
+    mesh.connect(addrs, cfg.establish_timeout_ms)?;
+    Ok(())
+}

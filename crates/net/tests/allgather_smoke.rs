@@ -1,0 +1,39 @@
+//! Transport-only soak: 50 back-to-back allgather rounds over a 4-rank
+//! localhost TCP mesh, no SPMD program on top. Exercises the framing,
+//! reliability, and — because each rank finishes at its own pace — the
+//! orderly-goodbye path: the fastest rank must not destroy the final
+//! round's payloads by closing its sockets before peers have read them.
+
+use std::net::SocketAddr;
+
+use mrbc_net::mesh::{Mesh, MeshConfig};
+
+#[test]
+fn four_rank_allgather_loop() {
+    let n = 4usize;
+    let mut meshes: Vec<Mesh> = (0..n)
+        .map(|r| Mesh::bind(&MeshConfig::localhost(r, n)).expect("bind"))
+        .collect();
+    let addrs: Vec<SocketAddr> = meshes.iter().map(|m| m.local_addr()).collect();
+    std::thread::scope(|scope| {
+        for (rank, mut mesh) in meshes.drain(..).enumerate() {
+            let addrs = addrs.clone();
+            scope.spawn(move || {
+                mesh.connect(&addrs, 15_000).expect("establish");
+                for step in 0..50u64 {
+                    let payload = vec![rank as u8; (step as usize % 7) + 1];
+                    let all = match mesh.allgather(step, payload, Some(10_000)) {
+                        Ok(a) => a,
+                        Err(e) => panic!("rank {rank} step {step}: {e} stats {:?}", mesh.stats),
+                    };
+                    assert_eq!(all.len(), n);
+                    for (p, bytes) in all.iter().enumerate() {
+                        assert_eq!(bytes.len(), (step as usize % 7) + 1, "len from {p}");
+                        assert!(bytes.iter().all(|&b| b == p as u8), "step {step} from {p}");
+                    }
+                }
+                mesh.goodbye();
+            });
+        }
+    });
+}

@@ -1,0 +1,222 @@
+//! End-to-end transport tests: real TCP sockets on localhost, one thread
+//! per rank, each running the batched-MRBC SPMD program over the mesh.
+//!
+//! The bar is the determinism contract from the paper reproduction: the
+//! distributed run's BC scores must be **bit-identical** to the
+//! single-process engine — through clean runs, through a partition that
+//! heals by reconnect + idempotent resend, and (degraded) through a
+//! deadline expiry.
+
+use std::net::SocketAddr;
+
+use mrbc_core::dist::mrbc::mrbc_bc;
+use mrbc_core::dist::spmd::MrbcSpmd;
+use mrbc_dgalois::{partition, DistGraph, PartitionPolicy};
+use mrbc_graph::{generators, CsrGraph, VertexId};
+use mrbc_net::mesh::{Mesh, MeshConfig, MeshStats};
+use mrbc_net::worker::{run_worker, ControlPlane, WorkerConfig, WorkerOutcome};
+use mrbc_net::DetectorConfig;
+
+fn test_graph() -> (CsrGraph, Vec<VertexId>) {
+    let g = generators::grid_road_network(generators::RoadNetworkConfig::new(3, 8), 7);
+    let n = g.num_vertices() as u32;
+    let sources: Vec<VertexId> = (0..8).map(|i| (i * 3) % n).collect();
+    (g, sources)
+}
+
+struct RankResult {
+    outcome: WorkerOutcome,
+    bc: Vec<f64>,
+    stats: MeshStats,
+}
+
+/// Runs `num_ranks` workers, one thread each, over a localhost TCP mesh.
+/// `config_for(rank)` customizes each worker's runtime knobs.
+fn run_cluster(
+    g: &CsrGraph,
+    dg: &DistGraph,
+    sources: &[VertexId],
+    batch_size: usize,
+    detector: DetectorConfig,
+    mut config_for: impl FnMut(usize) -> WorkerConfig,
+) -> Vec<RankResult> {
+    let num_ranks = dg.num_hosts;
+    let mut meshes: Vec<Mesh> = (0..num_ranks)
+        .map(|rank| {
+            let mut cfg = MeshConfig::localhost(rank, num_ranks);
+            cfg.detector = detector;
+            Mesh::bind(&cfg).expect("bind")
+        })
+        .collect();
+    let addrs: Vec<SocketAddr> = meshes.iter().map(|m| m.local_addr()).collect();
+    let configs: Vec<WorkerConfig> = (0..num_ranks).map(&mut config_for).collect();
+
+    let mut results: Vec<Option<RankResult>> = Vec::new();
+    for _ in 0..num_ranks {
+        results.push(None);
+    }
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (rank, (mut mesh, mut cfg)) in meshes.drain(..).zip(configs).enumerate() {
+            let addrs = addrs.clone();
+            handles.push(scope.spawn(move || {
+                mesh.connect(&addrs, 20_000).expect("establish mesh");
+                let mut prog = MrbcSpmd::new(g, dg, sources, batch_size);
+                let mut control = ControlPlane::headless();
+                let outcome =
+                    run_worker(&mut prog, &mut mesh, &mut cfg, &mut control).expect("worker");
+                (
+                    rank,
+                    RankResult {
+                        outcome,
+                        bc: prog.bc().to_vec(),
+                        stats: mesh.stats,
+                    },
+                )
+            }));
+        }
+        for handle in handles {
+            let (rank, res) = handle.join().expect("worker thread");
+            results[rank] = Some(res);
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("all ranks reported"))
+        .collect()
+}
+
+#[test]
+fn four_rank_tcp_mesh_matches_in_process_engine_bitwise() {
+    let (g, sources) = test_graph();
+    let dg = partition(&g, 4, PartitionPolicy::BlockedEdgeCut);
+    let reference = mrbc_bc(&g, &dg, &sources, 4).bc;
+
+    let results = run_cluster(&g, &dg, &sources, 4, DetectorConfig::default(), |_| {
+        WorkerConfig::default()
+    });
+    for (rank, res) in results.iter().enumerate() {
+        assert!(
+            matches!(res.outcome, WorkerOutcome::Completed { .. }),
+            "rank {rank}: {:?}",
+            res.outcome
+        );
+        assert_eq!(res.bc, reference, "rank {rank} BC must be bit-identical");
+    }
+    // Every replica computed the same fingerprint (the launcher's
+    // cross-worker agreement check relies on this).
+    let fps: Vec<u64> = results
+        .iter()
+        .map(|r| match r.outcome {
+            WorkerOutcome::Completed { fingerprint, .. } => fingerprint,
+            _ => unreachable!(),
+        })
+        .collect();
+    assert!(
+        fps.windows(2).all(|w| w[0] == w[1]),
+        "fingerprints diverged: {fps:?}"
+    );
+}
+
+#[test]
+fn partition_heals_via_reconnect_and_resend() {
+    let (g, sources) = test_graph();
+    let dg = partition(&g, 2, PartitionPolicy::CartesianVertexCut);
+    let reference = mrbc_bc(&g, &dg, &sources, 4).bc;
+
+    // Rank 0 severs its link to rank 1 for 400 ms entering step 2 — well
+    // inside the dead window, so the exchange must stall, reconnect, and
+    // complete via resend rather than declare the peer dead.
+    let detector = DetectorConfig {
+        heartbeat_every_ms: 25,
+        suspect_after_ms: 250,
+        dead_after_ms: 5_000,
+    };
+    let results = run_cluster(&g, &dg, &sources, 4, detector, |rank| {
+        let mut cfg = WorkerConfig::default();
+        if rank == 0 {
+            cfg.partitions = vec![(2, 1, 400)];
+        }
+        cfg
+    });
+    for (rank, res) in results.iter().enumerate() {
+        assert!(
+            matches!(res.outcome, WorkerOutcome::Completed { .. }),
+            "rank {rank}: {:?}",
+            res.outcome
+        );
+        assert_eq!(
+            res.bc, reference,
+            "rank {rank} BC must survive the partition bitwise"
+        );
+    }
+    // The healed link must have actually exercised the recovery path.
+    assert!(
+        results[0].stats.partition_cuts > 0,
+        "partition was enforced: {:?}",
+        results[0].stats
+    );
+    let reconnected = results.iter().any(|r| r.stats.reconnects > 0);
+    assert!(
+        reconnected,
+        "no rank reconnected: {:?} {:?}",
+        results[0].stats, results[1].stats
+    );
+    let resent = results.iter().any(|r| r.stats.resends > 0);
+    assert!(
+        resent,
+        "no rank resent unacked data: {:?} {:?}",
+        results[0].stats, results[1].stats
+    );
+}
+
+#[test]
+fn deadline_budget_degrades_to_partial_results() {
+    let (g, sources) = test_graph();
+    let dg = partition(&g, 2, PartitionPolicy::BlockedEdgeCut);
+
+    // Rank 0 partitions rank 1 for far longer than the per-step budget:
+    // both ranks must give up on the exchange and report a degraded
+    // outcome at that step boundary instead of hanging or crashing. The
+    // budget is generous enough that only the injected 30s partition —
+    // never scheduler contention from parallel test binaries — can
+    // expire it, and the dead-timeout sits far above the budget so the
+    // deadline path (Degraded), not the failure detector (PeerDead),
+    // always resolves the stall.
+    let detector = DetectorConfig {
+        dead_after_ms: 60_000,
+        ..DetectorConfig::default()
+    };
+    let results = run_cluster(&g, &dg, &sources, 4, detector, |rank| {
+        let mut cfg = WorkerConfig {
+            deadline_ms: Some(2_000),
+            ..WorkerConfig::default()
+        };
+        if rank == 0 {
+            cfg.partitions = vec![(1, 1, 30_000)];
+        }
+        cfg
+    });
+    for (rank, res) in results.iter().enumerate() {
+        match &res.outcome {
+            WorkerOutcome::Degraded {
+                completed_step,
+                missing,
+                ..
+            } => {
+                // The cut fires when rank 0 enters step 1, but BSP skew of
+                // one step cuts both ways: rank 1 may still be waiting on
+                // rank 0's step-0 payload (lost with the dropped stream),
+                // or a step-1 payload may have landed before the cut and
+                // let a rank reach step 2. Anything past step 2 would mean
+                // the partition leaked data.
+                assert!(
+                    *completed_step <= 2,
+                    "rank {rank} degraded at step {completed_step}, expected ≤ 2"
+                );
+                assert_eq!(missing, &vec![1 - rank], "rank {rank} missing its peer");
+            }
+            other => panic!("rank {rank} expected degradation, got {other:?}"),
+        }
+    }
+}

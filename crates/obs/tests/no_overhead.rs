@@ -46,12 +46,21 @@ fn disabled_instrumentation_never_allocates() {
     // lazy one-time setup does not count against the hot path.
     exercise(1);
 
-    let before = ALLOCATIONS.load(Ordering::Relaxed);
-    exercise(10_000);
-    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    // The counter is process-global, so a harness thread (stdio capture,
+    // wait machinery) can allocate during the window under scheduler
+    // pressure. Retry a few times: a clean window proves the 10k
+    // exercised calls themselves never touched the allocator.
+    let mut last = u64::MAX;
+    for _ in 0..5 {
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        exercise(10_000);
+        last = ALLOCATIONS.load(Ordering::Relaxed) - before;
+        if last == 0 {
+            break;
+        }
+    }
     assert_eq!(
-        after - before,
-        0,
+        last, 0,
         "disabled observability calls must not touch the allocator"
     );
 }

@@ -1,0 +1,122 @@
+//! Deterministic exponential backoff with jitter.
+//!
+//! Both the simulated reliability layer ([`ReliableLink`] in `mrbc-dgalois`)
+//! and the real TCP transport (`mrbc-net`) need retry pacing.  Retry pacing
+//! with *unseeded* randomness is banned in the protocol crates (the `nondet`
+//! lint), so jitter here is derived purely from a caller-provided seed via
+//! [`crate::splitmix64`]: the same seed always yields the same delay
+//! sequence, which keeps chaos tests and simulations replayable.
+//!
+//! [`ReliableLink`]: https://docs.rs/mrbc-dgalois
+
+use crate::splitmix64;
+
+/// Exponential backoff schedule with bounded deterministic jitter.
+///
+/// Delays grow as `base * 2^attempt`, capped at `max`, then jittered
+/// downward by up to `jitter_frac` (expressed in 1/256ths) so that peers
+/// retrying from the same event do not stampede in lockstep.  All units are
+/// caller-defined (milliseconds for real transports, rounds for the
+/// simulator).
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    /// First delay, in caller units. Must be ≥ 1.
+    base: u64,
+    /// Upper bound on the un-jittered delay.
+    max: u64,
+    /// Jitter width in 1/256ths of the delay (0 = none, 64 = up to 25%).
+    jitter_256ths: u64,
+    /// Seed for the deterministic jitter stream.
+    seed: u64,
+    /// Number of delays handed out so far.
+    attempt: u32,
+}
+
+impl Backoff {
+    /// Create a schedule `base, 2*base, 4*base, … ≤ max` with jitter drawn
+    /// deterministically from `seed`.
+    pub fn new(base: u64, max: u64, jitter_256ths: u64, seed: u64) -> Self {
+        Backoff {
+            base: base.max(1),
+            max: max.max(1),
+            jitter_256ths: jitter_256ths.min(255),
+            seed,
+            attempt: 0,
+        }
+    }
+
+    /// Number of delays handed out so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Reset to the first attempt (e.g. after a successful reconnect).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+
+    /// Next delay in the schedule, advancing the attempt counter.
+    pub fn next_delay(&mut self) -> u64 {
+        let d = self.peek();
+        self.attempt = self.attempt.saturating_add(1);
+        d
+    }
+
+    /// The delay that [`Self::next_delay`] would return, without advancing.
+    pub fn peek(&self) -> u64 {
+        let exp = self.attempt.min(62);
+        let raw = self.base.saturating_mul(1u64 << exp).min(self.max);
+        if self.jitter_256ths == 0 {
+            return raw;
+        }
+        // Deterministic jitter: subtract up to `jitter_256ths/256` of the
+        // raw delay, keyed on (seed, attempt) so every attempt re-rolls.
+        let roll = splitmix64(self.seed ^ u64::from(self.attempt).wrapping_mul(0x9e37)) & 0xff;
+        let cut = raw * self.jitter_256ths * roll / (256 * 256);
+        (raw - cut).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_exponentially_and_caps_without_jitter() {
+        let mut b = Backoff::new(2, 16, 0, 0);
+        let seq: Vec<u64> = (0..6).map(|_| b.next_delay()).collect();
+        assert_eq!(seq, vec![2, 4, 8, 16, 16, 16]);
+    }
+
+    #[test]
+    fn jitter_is_seed_deterministic() {
+        let seq = |seed: u64| -> Vec<u64> {
+            let mut b = Backoff::new(10, 1000, 128, seed);
+            (0..8).map(|_| b.next_delay()).collect()
+        };
+        // Same seed → identical sequence (replayable chaos runs).
+        assert_eq!(seq(42), seq(42));
+        // Different seeds → different sequences (no stampede in lockstep).
+        assert_ne!(seq(42), seq(43));
+        // Jitter only ever shrinks the delay, never below 1 and never above
+        // the un-jittered schedule.
+        let mut plain = Backoff::new(10, 1000, 0, 0);
+        let mut jit = Backoff::new(10, 1000, 128, 7);
+        for _ in 0..16 {
+            let p = plain.next_delay();
+            let j = jit.next_delay();
+            assert!(j >= 1 && j <= p, "jittered {j} outside (0, {p}]");
+            assert!(j * 2 >= p, "jitter cut more than 50%: {j} vs {p}");
+        }
+    }
+
+    #[test]
+    fn reset_restarts_the_schedule() {
+        let mut b = Backoff::new(3, 100, 0, 0);
+        assert_eq!(b.next_delay(), 3);
+        assert_eq!(b.next_delay(), 6);
+        b.reset();
+        assert_eq!(b.attempts(), 0);
+        assert_eq!(b.next_delay(), 3);
+    }
+}

@@ -17,11 +17,22 @@
 //! * [`sync`] — the CAS primitives of the asynchronous execution paths
 //!   ([`sync::AtomicMin`], [`sync::ActivityCounter`]), model-checked
 //!   under loom (`RUSTFLAGS="--cfg loom"`).
+//! * [`backoff`] — deterministic exponential backoff with seeded jitter,
+//!   shared by the simulated [`ReliableLink`] retry loop and the real TCP
+//!   reconnect path in `mrbc-net`.
+//! * [`crc`] / [`wire`] — CRC-32 checksums and the bounds-checked
+//!   little-endian encoding used for network frames, SPMD exchange
+//!   payloads, and durable checkpoints.
+//!
+//! [`ReliableLink`]: https://docs.rs/mrbc-dgalois
 
+pub mod backoff;
 mod bitset;
+pub mod crc;
 mod flat_map;
 pub mod stats;
 pub mod sync;
+pub mod wire;
 
 pub use bitset::DenseBitset;
 pub use flat_map::FlatMap;

@@ -174,6 +174,8 @@ fn arb_maskable_plan(hosts: usize) -> impl Strategy<Value = FaultPlan> {
         .prop_map(|(drop_pm, dup_pm, delays, seed)| FaultPlan {
             seed,
             crashes: Vec::new(),
+            kills: Vec::new(),
+            partitions: Vec::new(),
             drop_p: drop_pm as f64 / 1000.0,
             dup_p: dup_pm as f64 / 1000.0,
             delays: delays
