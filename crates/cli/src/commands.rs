@@ -39,11 +39,22 @@ USAGE:
       (normally spawned by `mrbc launch`, speaks the stdio control
       protocol; see `mrbc_net::launch` docs)
   mrbc checkpoint-info <dir> [--rank R]   validate a checkpoint directory
+  mrbc serve <file> [--port P] [--addr A] [--hosts H] [--batch B]
+                    [--queue Q] [--max-batch M] [--faults PLAN]
+      long-running query daemon; prints \"SERVE <addr>\" when ready and
+      runs until a client sends shutdown or QUIT arrives on stdin
+  mrbc query <addr> <sub> [--epoch E] [...]
+      subs: bc --v V | top --k K | dist --s S --t T
+            subset --sources V,V,... | mutate --add U-V | --remove U-V
+            stats | shutdown
+      --epoch E pins the graph epoch (0 = current); a daemon-side
+      mutation makes pinned queries exit 5
   mrbc help
 
 EXIT CODES:
   0 success   1 command failed   2 usage error
   3 corrupt or unreadable checkpoint (truncated file, CRC mismatch, ...)
+  4 daemon busy (queue full; retry)   5 pinned epoch is stale
 
 OBSERVABILITY (any command):
   --trace out.json    write a Chrome-trace / Perfetto timeline of the run
@@ -126,6 +137,8 @@ pub fn run(p: &ParsedArgs) -> Result<String, CmdError> {
         "worker" => crate::netcmd::cmd_worker(p),
         "launch" => crate::netcmd::cmd_launch(p),
         "checkpoint-info" => crate::netcmd::cmd_checkpoint_info(p),
+        "serve" => crate::servecmd::cmd_serve(p),
+        "query" => crate::servecmd::cmd_query(p),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CmdError::general(format!(
             "unknown command {other:?}\n\n{USAGE}"
@@ -284,7 +297,7 @@ fn positive(p: &ParsedArgs, key: &str, default: usize) -> Result<usize, String> 
     Ok(v)
 }
 
-fn load(p: &ParsedArgs) -> Result<CsrGraph, String> {
+pub(crate) fn load(p: &ParsedArgs) -> Result<CsrGraph, String> {
     let path = p
         .positional
         .first()
@@ -387,8 +400,6 @@ fn cmd_bc(p: &ParsedArgs) -> Result<String, String> {
     };
     let result = bc(&g, &sources, &cfg);
     let top: usize = p.get_or("top", 10usize)?;
-    let mut ranked: Vec<usize> = (0..g.num_vertices()).collect();
-    ranked.sort_by(|&a, &b| result.bc[b].total_cmp(&result.bc[a]));
 
     let mut out = format!(
         "{} on {} vertices / {} edges, {} sources, {} hosts\n\
@@ -426,8 +437,10 @@ fn cmd_bc(p: &ParsedArgs) -> Result<String, String> {
         }
     }
     out += &format!("top-{top} betweenness:\n");
-    for &v in ranked.iter().take(top) {
-        out += &format!("  {v:>8}  {:.3}\n", result.bc[v]);
+    // The shared deterministic ranking (score desc, then vertex id asc)
+    // keeps this table byte-identical to the serve daemon's `top_k`.
+    for (v, score) in mrbc_core::postprocess::top_k(&result.bc, top) {
+        out += &format!("  {v:>8}  {score:.3}\n");
     }
     Ok(out)
 }

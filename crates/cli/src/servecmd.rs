@@ -1,0 +1,393 @@
+//! `mrbc serve` / `mrbc query` — the long-running query daemon and its
+//! client, bridging the `mrbc-serve` crate into the CLI's exit-code
+//! contract: structured `Busy` responses exit 4, `Stale` responses
+//! exit 5, so shell scripts (and the CI smoke job) can distinguish
+//! "retry later" and "re-pin your epoch" from hard failures.
+
+use std::io::BufRead;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use crate::args::ParsedArgs;
+use crate::commands::{load, CmdError};
+use mrbc_core::BcConfig;
+use mrbc_serve::{MutateOp, Request, Response, SchedConfig, ServeClient, ServeConfig, ServeStats};
+
+/// `mrbc serve <graph> [--port P] [--addr A] [--hosts H] [--batch B]
+/// [--queue Q] [--max-batch M] [--faults PLAN]`
+///
+/// Loads the graph, starts the daemon, and prints `SERVE <addr>` on
+/// stdout once the socket is bound (the line scripts poll for). Runs
+/// until a client sends the protocol `Shutdown` request or `QUIT`
+/// arrives on stdin; stdin EOF does *not* stop the daemon, so it
+/// survives being backgrounded with a closed stdin.
+pub fn cmd_serve(p: &ParsedArgs) -> Result<String, CmdError> {
+    let g = load(p).map_err(CmdError::general)?;
+    let addr = format!(
+        "{}:{}",
+        p.get_str("addr").unwrap_or("127.0.0.1"),
+        p.get_or("port", 0u16).map_err(CmdError::general)?
+    );
+    let positive = |key: &str, default: usize| -> Result<usize, CmdError> {
+        let v: usize = p.get_or(key, default).map_err(CmdError::general)?;
+        if v == 0 {
+            return Err(CmdError::general(format!("--{key} must be at least 1")));
+        }
+        Ok(v)
+    };
+    let faults = match p.get_str("faults") {
+        None => None,
+        Some(spec) => Some(
+            spec.parse()
+                .map_err(|e| CmdError::general(format!("bad --faults plan: {e}")))?,
+        ),
+    };
+    let cfg = ServeConfig {
+        addr,
+        bc: BcConfig {
+            num_hosts: positive("hosts", 1)?,
+            batch_size: positive("batch", 32)?,
+            ..BcConfig::default()
+        },
+        sched: SchedConfig {
+            queue_cap: positive("queue", 64)?,
+            max_batch: positive("max-batch", 8)?,
+        },
+        faults,
+    };
+    let mut server =
+        mrbc_serve::start(g, cfg).map_err(|e| CmdError::general(format!("cannot serve: {e}")))?;
+
+    // The readiness line must be visible *now*, not when the command
+    // returns — scripts block on it.
+    println!("SERVE {}", server.local_addr());
+    use std::io::Write as _;
+    drop(std::io::stdout().flush());
+
+    let quit = Arc::new(AtomicBool::new(false));
+    {
+        let quit = Arc::clone(&quit);
+        // Detached on purpose: if stdin never yields QUIT this thread
+        // parks on a read until process exit, and joining it would hang
+        // a protocol-initiated shutdown.
+        drop(
+            thread::Builder::new()
+                .name("serve-stdin".into())
+                .spawn(move || {
+                    for line in std::io::stdin().lock().lines() {
+                        match line {
+                            Ok(l) if l.trim() == "QUIT" => {
+                                quit.store(true, Ordering::SeqCst);
+                                return;
+                            }
+                            Ok(_) => {}
+                            Err(_) => return, // EOF / closed stdin: keep serving
+                        }
+                    }
+                }),
+        );
+    }
+
+    while !server.is_shutting_down() {
+        if quit.load(Ordering::SeqCst) {
+            server.trigger_shutdown();
+            break;
+        }
+        thread::sleep(Duration::from_millis(20));
+    }
+    let stats = server.stats();
+    server.shutdown();
+    Ok(format!(
+        "daemon exited cleanly: {} sessions, {} queries, {} mutations, final epoch {}\n",
+        stats.sessions, stats.queries, stats.mutations, stats.epoch
+    ))
+}
+
+fn render_stats(s: &ServeStats) -> String {
+    format!(
+        "epoch:              {}\n\
+         sessions:           {}\n\
+         queries:            {}\n\
+         source queries:     {}\n\
+         batches:            {}\n\
+         batched sources:    {}\n\
+         coalescing factor:  {:.2}\n\
+         busy rejections:    {}\n\
+         stale rejections:   {}\n\
+         mutations:          {}\n",
+        s.epoch,
+        s.sessions,
+        s.queries,
+        s.source_queries,
+        s.batches,
+        s.batched_sources,
+        s.coalescing_factor(),
+        s.busy_rejections,
+        s.stale_rejections,
+        s.mutations,
+    )
+}
+
+fn parse_edge(spec: &str) -> Result<(u32, u32), CmdError> {
+    let (u, v) = spec
+        .split_once('-')
+        .ok_or_else(|| CmdError::general(format!("bad edge {spec:?}: expected U-V")))?;
+    let parse = |x: &str| {
+        x.trim()
+            .parse::<u32>()
+            .map_err(|_| CmdError::general(format!("bad vertex id {x:?} in edge {spec:?}")))
+    };
+    Ok((parse(u)?, parse(v)?))
+}
+
+/// `mrbc query <addr> <sub> [--epoch E] [...]` where `<sub>` is one of
+/// `bc --v V`, `top --k K`, `dist --s S --t T`, `subset --sources L`,
+/// `mutate --add U-V | --remove U-V`, `stats`, `shutdown`.
+pub fn cmd_query(p: &ParsedArgs) -> Result<String, CmdError> {
+    let addr = p
+        .positional
+        .first()
+        .ok_or_else(|| CmdError::general("missing daemon address"))?;
+    let sub = p
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .ok_or_else(|| CmdError::general("missing query subcommand"))?;
+    let epoch: u64 = p.get_or("epoch", 0u64).map_err(CmdError::general)?;
+
+    let mut client = ServeClient::connect(addr)
+        .map_err(|e| CmdError::general(format!("cannot connect to {addr}: {e}")))?;
+
+    let req = match sub {
+        "bc" => Request::BcScore {
+            epoch,
+            v: p.get_or("v", 0u32).map_err(CmdError::general)?,
+        },
+        "top" => Request::TopK {
+            epoch,
+            k: p.get_or("k", 10u32).map_err(CmdError::general)?,
+        },
+        "dist" => Request::PathInfo {
+            epoch,
+            s: p.get_or("s", 0u32).map_err(CmdError::general)?,
+            t: p.get_or("t", 0u32).map_err(CmdError::general)?,
+        },
+        "subset" => {
+            let spec = p
+                .get_str("sources")
+                .ok_or_else(|| CmdError::general("subset needs --sources V,V,..."))?;
+            let sources = spec
+                .split(',')
+                .map(|x| {
+                    x.trim()
+                        .parse::<u32>()
+                        .map_err(|_| CmdError::general(format!("bad source {x:?}")))
+                })
+                .collect::<Result<Vec<u32>, CmdError>>()?;
+            Request::SubsetBc { epoch, sources }
+        }
+        "mutate" => {
+            let (op, spec) = match (p.get_str("add"), p.get_str("remove")) {
+                (Some(s), None) => (MutateOp::AddEdge, s),
+                (None, Some(s)) => (MutateOp::RemoveEdge, s),
+                _ => {
+                    return Err(CmdError::general(
+                        "mutate needs exactly one of --add U-V / --remove U-V",
+                    ))
+                }
+            };
+            let (u, v) = parse_edge(spec)?;
+            Request::Mutate { op, u, v }
+        }
+        "stats" => Request::Stats,
+        "shutdown" => Request::Shutdown,
+        other => return Err(CmdError::general(format!("unknown query {other:?}"))),
+    };
+
+    let resp = client
+        .call(&req)
+        .map_err(|e| CmdError::general(format!("query failed: {e}")))?;
+    match resp {
+        Response::BcValue { epoch, score } => Ok(format!("bc = {score:.6} @ epoch {epoch}\n")),
+        Response::TopKList { epoch, entries } => {
+            let mut out = format!("top-{} betweenness @ epoch {epoch}:\n", entries.len());
+            for (v, score) in entries {
+                out += &format!("  {v:>8}  {score:.3}\n");
+            }
+            Ok(out)
+        }
+        Response::PathInfo { epoch, dist, sigma } => {
+            if dist == u32::MAX {
+                Ok(format!("unreachable @ epoch {epoch}\n"))
+            } else {
+                Ok(format!("dist = {dist}, sigma = {sigma} @ epoch {epoch}\n"))
+            }
+        }
+        Response::SubsetBc { epoch, scores } => {
+            let mut out = format!(
+                "subset-source BC over {} vertices @ epoch {epoch}, top-10:\n",
+                scores.len()
+            );
+            for (v, score) in mrbc_core::postprocess::top_k(&scores, 10) {
+                out += &format!("  {v:>8}  {score:.3}\n");
+            }
+            Ok(out)
+        }
+        Response::Mutated { epoch, applied } => Ok(if applied {
+            format!("mutation applied; epoch is now {epoch}\n")
+        } else {
+            format!("mutation was a no-op; epoch stays {epoch}\n")
+        }),
+        Response::Stats(s) => Ok(render_stats(&s)),
+        Response::Bye => Ok("daemon acknowledged shutdown\n".to_string()),
+        Response::Busy { queued, capacity } => Err(CmdError {
+            message: format!("daemon busy: queue {queued}/{capacity} full; retry later"),
+            code: 4,
+        }),
+        Response::Stale { requested, current } => Err(CmdError {
+            message: format!("epoch {requested} is stale; daemon is at epoch {current}"),
+            code: 5,
+        }),
+        Response::Error { message } => Err(CmdError::general(format!("daemon error: {message}"))),
+        Response::Welcome { .. } => Err(CmdError::general("unexpected Welcome")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+    use mrbc_graph::generators;
+
+    fn sv(xs: &[&str]) -> Vec<String> {
+        xs.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn daemon() -> (mrbc_serve::Server, String) {
+        let g = generators::rmat(generators::RmatConfig::new(5, 6), 13);
+        let server = mrbc_serve::start(g, ServeConfig::default()).expect("daemon");
+        let addr = server.local_addr().to_string();
+        (server, addr)
+    }
+
+    #[test]
+    fn query_subcommands_roundtrip_against_a_daemon() {
+        let (mut server, addr) = daemon();
+
+        let p = parse(&sv(&["query", &addr, "bc", "--v", "3"]), &[]).expect("parse");
+        assert!(cmd_query(&p).expect("bc").contains("@ epoch 1"));
+
+        let p = parse(&sv(&["query", &addr, "top", "--k", "4"]), &[]).expect("parse");
+        let top = cmd_query(&p).expect("top");
+        assert!(top.contains("top-4 betweenness @ epoch 1"), "{top}");
+
+        let p = parse(&sv(&["query", &addr, "dist", "--s", "0", "--t", "1"]), &[]).expect("parse");
+        assert!(cmd_query(&p).expect("dist").contains("epoch 1"));
+
+        let p = parse(
+            &sv(&["query", &addr, "subset", "--sources", "1,2,2,5"]),
+            &[],
+        )
+        .expect("parse");
+        assert!(cmd_query(&p).expect("subset").contains("top-10"));
+
+        let p = parse(&sv(&["query", &addr, "mutate", "--add", "0-31"]), &[]).expect("parse");
+        let rep = cmd_query(&p).expect("mutate");
+        assert!(rep.contains("epoch is now 2"), "{rep}");
+
+        // The old epoch pin now exits with the stale code.
+        let p = parse(
+            &sv(&["query", &addr, "bc", "--v", "0", "--epoch", "1"]),
+            &[],
+        )
+        .expect("parse");
+        let err = cmd_query(&p).expect_err("stale");
+        assert_eq!(err.code, 5);
+        assert!(err.message.contains("stale"), "{err}");
+
+        let p = parse(&sv(&["query", &addr, "stats"]), &[]).expect("parse");
+        let stats = cmd_query(&p).expect("stats");
+        assert!(stats.contains("coalescing factor"), "{stats}");
+        assert!(stats.contains("stale rejections:   1"), "{stats}");
+
+        let p = parse(&sv(&["query", &addr, "shutdown"]), &[]).expect("parse");
+        assert!(cmd_query(&p).expect("shutdown").contains("acknowledged"));
+        server.wait();
+    }
+
+    #[test]
+    fn query_error_paths() {
+        let (mut server, addr) = daemon();
+
+        let p = parse(&sv(&["query", &addr, "frobnicate"]), &[]).expect("parse");
+        assert!(cmd_query(&p)
+            .expect_err("unknown")
+            .message
+            .contains("unknown query"));
+
+        let p = parse(&sv(&["query", &addr, "mutate"]), &[]).expect("parse");
+        assert!(cmd_query(&p)
+            .expect_err("missing op")
+            .message
+            .contains("exactly one"));
+
+        let p = parse(&sv(&["query", &addr, "mutate", "--add", "7"]), &[]).expect("parse");
+        assert!(cmd_query(&p)
+            .expect_err("bad edge")
+            .message
+            .contains("expected U-V"));
+
+        // Out-of-range vertex surfaces the daemon's structured error.
+        let p = parse(&sv(&["query", &addr, "bc", "--v", "99999"]), &[]).expect("parse");
+        let err = cmd_query(&p).expect_err("oob");
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("out of range"), "{err}");
+
+        let p = parse(&sv(&["query", "127.0.0.1:1", "stats"]), &[]).expect("parse");
+        assert!(cmd_query(&p)
+            .expect_err("no daemon")
+            .message
+            .contains("cannot connect"));
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn busy_daemon_maps_to_exit_code_4() {
+        let g = generators::rmat(generators::RmatConfig::new(5, 6), 13);
+        // Queue of 1 and a stalled worker: the second+ concurrent query
+        // must shed with Busy.
+        let cfg = ServeConfig {
+            sched: SchedConfig {
+                queue_cap: 1,
+                max_batch: 1,
+            },
+            faults: Some("stall:ms=300".parse().expect("plan")),
+            ..ServeConfig::default()
+        };
+        let mut server = mrbc_serve::start(g, cfg).expect("daemon");
+        let addr = server.local_addr().to_string();
+
+        let mut codes = Vec::new();
+        let mut handles = Vec::new();
+        for s in 0..4u32 {
+            let addr = addr.clone();
+            handles.push(std::thread::spawn(move || {
+                let argv = sv(&["query", &addr, "dist", "--s", &s.to_string(), "--t", "0"]);
+                let p = parse(&argv, &[]).expect("parse");
+                match cmd_query(&p) {
+                    Ok(_) => 0,
+                    Err(e) => e.code,
+                }
+            }));
+        }
+        for h in handles {
+            codes.push(h.join().expect("thread"));
+        }
+        assert!(codes.iter().any(|&c| c == 4), "codes: {codes:?}");
+        assert!(codes.iter().all(|&c| c == 0 || c == 4), "codes: {codes:?}");
+        server.shutdown();
+    }
+}

@@ -288,6 +288,116 @@ mod tests {
         }
     }
 
+    /// `batch_size` far beyond `n` must behave exactly like one all-source
+    /// batch: no panics, and scores bit-identical to a normal batched run
+    /// (the determinism contract makes batch size invisible in results).
+    #[test]
+    fn batch_size_larger_than_n_is_safe_and_identical() {
+        let g = generators::rmat(generators::RmatConfig::new(5, 4), 3);
+        let sources: Vec<u32> = (0..g.num_vertices() as u32).collect();
+        for alg in [Algorithm::Mrbc, Algorithm::Mfbc] {
+            let run = |batch: usize| {
+                bc(
+                    &g,
+                    &sources,
+                    &BcConfig {
+                        algorithm: alg,
+                        num_hosts: 2,
+                        batch_size: batch,
+                        ..BcConfig::default()
+                    },
+                )
+                .bc
+            };
+            assert_eq!(
+                run(10 * g.num_vertices()),
+                run(4),
+                "{}: oversized batch diverged",
+                alg.name()
+            );
+        }
+    }
+
+    /// Duplicate and unsorted source lists: the batched algorithms
+    /// canonicalize (sort + dedup) their source set, so a list with
+    /// repeats and arbitrary order must score identically to its sorted
+    /// deduplicated form.
+    #[test]
+    fn duplicate_and_non_contiguous_sources_are_canonicalized() {
+        let g = generators::rmat(generators::RmatConfig::new(5, 4), 11);
+        let messy: Vec<u32> = vec![9, 3, 3, 27, 9, 14, 0, 27];
+        let canonical: Vec<u32> = vec![0, 3, 9, 14, 27];
+        for alg in [Algorithm::Mrbc, Algorithm::Mfbc] {
+            let cfg = BcConfig {
+                algorithm: alg,
+                num_hosts: 3,
+                batch_size: 2,
+                ..BcConfig::default()
+            };
+            assert_eq!(
+                bc(&g, &messy, &cfg).bc,
+                bc(&g, &canonical, &cfg).bc,
+                "{}: messy source list diverged from canonical form",
+                alg.name()
+            );
+        }
+        // The same canonical set scored by the oracle bounds correctness
+        // (not just self-consistency).
+        let oracle = crate::brandes::bc_sources(&g, &canonical);
+        let got = bc(
+            &g,
+            &messy,
+            &BcConfig {
+                algorithm: Algorithm::Mrbc,
+                num_hosts: 3,
+                batch_size: 2,
+                ..BcConfig::default()
+            },
+        )
+        .bc;
+        for (i, (a, b)) in got.iter().zip(&oracle).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-9 * b.abs().max(1.0),
+                "BC[{i}]: {a} vs oracle {b}"
+            );
+        }
+    }
+
+    /// Lemma 8 batching must be results-invisible at both extremes:
+    /// `batch_size = 1` (every source its own batch) and `batch_size = n`
+    /// (one batch) produce bit-identical score vectors.
+    #[test]
+    fn batch_one_and_batch_n_fingerprints_agree() {
+        let g = generators::rmat(generators::RmatConfig::new(5, 5), 21);
+        let n = g.num_vertices();
+        let sources: Vec<u32> = (0..n as u32).step_by(3).collect();
+        for alg in [Algorithm::Mrbc, Algorithm::Mfbc] {
+            let run = |batch: usize| {
+                bc(
+                    &g,
+                    &sources,
+                    &BcConfig {
+                        algorithm: alg,
+                        num_hosts: 2,
+                        batch_size: batch,
+                        ..BcConfig::default()
+                    },
+                )
+                .bc
+            };
+            let one = run(1);
+            let all = run(n);
+            assert_eq!(one, all, "{}: batch 1 vs n diverged", alg.name());
+            // Bit-equality means equal fingerprints under any hash; use
+            // the raw IEEE-754 bits as the canonical fingerprint.
+            let fp = |v: &[f64]| {
+                v.iter()
+                    .fold(0u64, |h, x| mrbc_util::splitmix64(h ^ x.to_bits()))
+            };
+            assert_eq!(fp(&one), fp(&all));
+        }
+    }
+
     #[test]
     fn distributed_results_carry_stats() {
         let g = generators::cycle(20);

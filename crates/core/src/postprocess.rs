@@ -36,11 +36,30 @@ pub fn normalize(bc: &mut [f64]) {
 }
 
 /// The `k` vertices with the largest scores, descending; ties broken by
-/// smaller vertex id for determinism.
+/// smaller vertex id so the ranking is fully deterministic (the serving
+/// layer and the CLI must print byte-identical tables for the same
+/// scores).
+///
+/// Comparisons use `total_cmp`, so the order is total even in the
+/// presence of NaNs or signed zeros. Selection is `O(n + k log k)`
+/// (partial select, then sort only the winners) — `top_k` runs on every
+/// `top_k(k)` query the daemon serves, against full-length score
+/// vectors.
 pub fn top_k(bc: &[f64], k: usize) -> Vec<(VertexId, f64)> {
     let mut idx: Vec<VertexId> = (0..bc.len() as VertexId).collect();
-    idx.sort_by(|&a, &b| bc[b as usize].total_cmp(&bc[a as usize]).then(a.cmp(&b)));
-    idx.truncate(k);
+    let k = k.min(idx.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let by_rank =
+        |a: &VertexId, b: &VertexId| bc[*b as usize].total_cmp(&bc[*a as usize]).then(a.cmp(b));
+    if k < idx.len() {
+        // The comparator is a total order, so the selected prefix is
+        // exactly the set a full sort would put first.
+        idx.select_nth_unstable_by(k - 1, by_rank);
+        idx.truncate(k);
+    }
+    idx.sort_unstable_by(by_rank);
     idx.into_iter().map(|v| (v, bc[v as usize])).collect()
 }
 
@@ -124,6 +143,39 @@ mod tests {
         assert_eq!(t, vec![(1, 3.0), (2, 3.0), (0, 1.0)]);
         assert_eq!(top_k(&bc, 0), vec![]);
         assert_eq!(top_k(&bc, 10).len(), 4);
+        assert_eq!(top_k(&[], 5), vec![]);
+    }
+
+    #[test]
+    fn top_k_ties_always_break_towards_smaller_ids() {
+        // All-equal scores: the ranking must be the identity prefix for
+        // every k, regardless of the selection pivot.
+        let bc = vec![2.5; 9];
+        for k in 0..=9 {
+            let got: Vec<u32> = top_k(&bc, k).into_iter().map(|(v, _)| v).collect();
+            let want: Vec<u32> = (0..k as u32).collect();
+            assert_eq!(got, want, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn top_k_partial_selection_matches_full_sort() {
+        // Pseudorandom scores with deliberate tie plateaus; the partial
+        // selection path must agree bit-for-bit with the reference full
+        // sort for every k.
+        let n = 257;
+        let bc: Vec<f64> = (0..n)
+            .map(|i| (mrbc_util::splitmix64(i as u64) % 32) as f64 / 4.0)
+            .collect();
+        let reference = |k: usize| -> Vec<(u32, f64)> {
+            let mut idx: Vec<u32> = (0..n as u32).collect();
+            idx.sort_by(|&a, &b| bc[b as usize].total_cmp(&bc[a as usize]).then(a.cmp(&b)));
+            idx.truncate(k);
+            idx.into_iter().map(|v| (v, bc[v as usize])).collect()
+        };
+        for k in [0, 1, 2, 31, 32, 33, 128, 256, 257, 1000] {
+            assert_eq!(top_k(&bc, k), reference(k.min(n)), "k = {k}");
+        }
     }
 
     #[test]

@@ -10,12 +10,14 @@
 //! kill:host=1@round=12       the launcher SIGKILLs worker 1 once it reports round 12
 //! partition:pair=0-2@round=9,ms=300
 //!                            the 0↔2 link is severed for 300 ms starting at round 9
+//! stall:ms=150               the serving batch worker sleeps 150 ms per batch
+//! hangup:session=2           the daemon force-closes its 2nd accepted session
 //! seed=42                    RNG seed for the probabilistic clauses
 //! ```
 //!
-//! Clauses may repeat (`crash`, `delay`, `kill`, and `partition` accumulate;
-//! `drop`/`dup`/`seed` take the last occurrence). Whitespace around clauses
-//! is ignored.
+//! Clauses may repeat (`crash`, `delay`, `kill`, `partition`, and `hangup`
+//! accumulate; `drop`/`dup`/`stall`/`seed` take the last occurrence).
+//! Whitespace around clauses is ignored.
 //!
 //! The first four clause kinds are *simulated* inside one address space by
 //! `run_bsp_with_faults` and `ReliableLink`. `kill` and `partition` are
@@ -25,6 +27,13 @@
 //! connection and refuse to re-establish it for a wall-clock window.
 //! (A partition window is wall-clock, not round-counted, because a severed
 //! link stalls the global barrier — rounds cannot advance while it holds.)
+//!
+//! `stall` and `hangup` target the long-running query service
+//! (`mrbc-serve`): `stall` delays the batch worker a wall-clock window
+//! per dispatched batch (the knob overload and coalescing tests turn),
+//! and `hangup` makes the daemon sever the Nth accepted client session
+//! mid-stream (chaos-testing that one killed session cannot take the
+//! daemon down).
 
 use std::fmt;
 use std::str::FromStr;
@@ -96,6 +105,12 @@ pub struct FaultPlan {
     pub kills: Vec<KillFault>,
     /// Real wall-clock network partitions (executed by the TCP mesh).
     pub partitions: Vec<PartitionFault>,
+    /// Wall-clock delay (ms) the `mrbc-serve` batch worker sleeps per
+    /// dispatched batch; 0 means no stall.
+    pub stall_ms: u32,
+    /// Serving sessions (1-based accept order) the `mrbc-serve` daemon
+    /// force-closes after their first response.
+    pub hangups: Vec<u32>,
 }
 
 impl Default for FaultPlan {
@@ -108,6 +123,8 @@ impl Default for FaultPlan {
             delays: Vec::new(),
             kills: Vec::new(),
             partitions: Vec::new(),
+            stall_ms: 0,
+            hangups: Vec::new(),
         }
     }
 }
@@ -121,6 +138,8 @@ impl FaultPlan {
             && self.delays.is_empty()
             && self.kills.is_empty()
             && self.partitions.is_empty()
+            && self.stall_ms == 0
+            && self.hangups.is_empty()
     }
 
     /// True if the plan contains only masked faults (drops, duplication,
@@ -128,9 +147,11 @@ impl FaultPlan {
     /// completely, so results must be bitwise-identical to a fault-free
     /// run. Crashes are not maskable (they need rollback or self-correcting
     /// recovery); kills are recoverable via checkpoint respawn but still
-    /// interrupt a process, so they are not *masked* either.
+    /// interrupt a process, so they are not *masked* either. A serving
+    /// `stall` only delays (maskable); a `hangup` severs a client session
+    /// mid-stream — visible to that client, hence not masked.
     pub fn is_maskable(&self) -> bool {
-        self.crashes.is_empty() && self.kills.is_empty()
+        self.crashes.is_empty() && self.kills.is_empty() && self.hangups.is_empty()
     }
 }
 
@@ -240,6 +261,10 @@ impl FromStr for FaultPlan {
                 }
                 "drop" => plan.drop_p = parse_probability(body)?,
                 "dup" => plan.dup_p = parse_probability(body)?,
+                // stall:ms=D — serving batch-worker delay per batch.
+                "stall" => plan.stall_ms = keyed(body, "ms")?,
+                // hangup:session=N — sever the Nth accepted serving session.
+                "hangup" => plan.hangups.push(keyed(body, "session")?),
                 "delay" => {
                     // delay:pair=A-B,rounds=K
                     let (pair_kv, rounds_kv) = body.split_once(',').ok_or_else(|| {
@@ -289,6 +314,12 @@ impl fmt::Display for FaultPlan {
                 "partition:pair={}-{}@round={},ms={}",
                 p.a, p.b, p.round, p.ms
             ));
+        }
+        if self.stall_ms > 0 {
+            parts.push(format!("stall:ms={}", self.stall_ms));
+        }
+        for h in &self.hangups {
+            parts.push(format!("hangup:session={h}"));
         }
         parts.push(format!("seed={}", self.seed));
         write!(f, "{}", parts.join(";"))
@@ -341,11 +372,27 @@ mod tests {
     #[test]
     fn display_round_trips() {
         let text = "crash:host=2@round=40;drop:p=0.01;dup:p=0.005;delay:pair=0-3,rounds=2;\
-                    kill:host=1@round=12;partition:pair=0-2@round=9,ms=300;seed=42";
+                    kill:host=1@round=12;partition:pair=0-2@round=9,ms=300;stall:ms=150;\
+                    hangup:session=2;seed=42";
         let plan: FaultPlan = text.parse().expect("plan");
         assert_eq!(plan.to_string(), text);
         let again: FaultPlan = plan.to_string().parse().expect("round trip");
         assert_eq!(again, plan);
+    }
+
+    #[test]
+    fn stall_and_hangup_clauses_parse() {
+        let plan: FaultPlan = "stall:ms=200;hangup:session=1;hangup:session=3"
+            .parse()
+            .expect("plan");
+        assert_eq!(plan.stall_ms, 200);
+        assert_eq!(plan.hangups, vec![1, 3]);
+        assert!(!plan.is_empty());
+        // A stall only delays batches — maskable; a hangup severs a live
+        // client session — not masked.
+        let s: FaultPlan = "stall:ms=50".parse().expect("plan");
+        assert!(s.is_maskable());
+        assert!(!plan.is_maskable());
     }
 
     #[test]
@@ -383,6 +430,9 @@ mod tests {
             ("kill:host=1", "host=H@round=R"),
             ("partition:pair=0-1", "pair=A-B@round=R,ms=D"),
             ("partition:pair=0-1@round=3", "round=R,ms=D"),
+            ("stall:s=5", "expected key"),
+            ("hangup:rank=1", "expected key"),
+            ("stall:ms=soon", "cannot parse ms"),
             ("seed=banana", "seed"),
             ("justaword", "no kind"),
         ] {

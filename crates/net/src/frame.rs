@@ -20,8 +20,13 @@
 //! accepting side validates and answers [`FrameKind::Welcome`] with its
 //! own rank. Version skew or a corrupt hello terminates the connection
 //! before any data flows.
+//!
+//! The `[len][crc][body]` envelope itself (length bounds, checksum
+//! validation, handshake preamble) lives in [`mrbc_util::framing`],
+//! shared with the `mrbc-serve` query protocol; this module only defines
+//! the mesh-specific body layout.
 
-use mrbc_util::crc::crc32;
+use mrbc_util::framing::{self, EnvelopeDecoder};
 use mrbc_util::wire::{WireError, WireReader, WireWriter};
 
 /// Protocol magic carried in every handshake payload: `"MRBC"`.
@@ -30,7 +35,11 @@ pub const PROTOCOL_MAGIC: u32 = 0x4342_524D;
 pub const PROTOCOL_VERSION: u32 = 1;
 /// Hard cap on a frame's encoded size (64 MiB) — a corrupt length
 /// prefix must not trigger an unbounded allocation.
-pub const MAX_FRAME_BYTES: usize = 64 << 20;
+pub const MAX_FRAME_BYTES: usize = framing::MAX_ENVELOPE_BYTES;
+
+/// Fixed frame-header length (bytes) ahead of the payload: kind + from +
+/// epoch + step + seq. The envelope decoder rejects anything shorter.
+const HEADER_BYTES: usize = 23;
 
 /// Frame discriminator.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -108,8 +117,7 @@ impl Frame {
     /// whose payload pins magic + version + rank.
     pub fn handshake(kind: FrameKind, rank: u16, epoch: u32) -> Self {
         let mut w = WireWriter::with_capacity(10);
-        w.u32(PROTOCOL_MAGIC);
-        w.u32(PROTOCOL_VERSION);
+        framing::write_preamble(&mut w, PROTOCOL_MAGIC, PROTOCOL_VERSION);
         w.u16(rank);
         Frame {
             kind,
@@ -124,12 +132,7 @@ impl Frame {
     /// Validates a handshake payload, returning the announced rank.
     pub fn handshake_rank(&self) -> Result<u16, WireError> {
         let mut r = WireReader::new(&self.payload);
-        if r.u32()? != PROTOCOL_MAGIC {
-            return Err(WireError::Invalid("bad protocol magic"));
-        }
-        if r.u32()? != PROTOCOL_VERSION {
-            return Err(WireError::Invalid("protocol version mismatch"));
-        }
+        framing::check_preamble(&mut r, PROTOCOL_MAGIC, PROTOCOL_VERSION)?;
         let rank = r.u16()?;
         if rank != self.from {
             return Err(WireError::Invalid("handshake rank disagrees with header"));
@@ -139,7 +142,7 @@ impl Frame {
 
     /// Encodes the frame, including length prefix and checksum.
     pub fn encode(&self) -> Vec<u8> {
-        let mut body = WireWriter::with_capacity(23 + self.payload.len());
+        let mut body = WireWriter::with_capacity(HEADER_BYTES + self.payload.len());
         body.u8(self.kind.to_u8());
         body.u16(self.from);
         body.u32(self.epoch);
@@ -147,37 +150,40 @@ impl Frame {
         body.u64(self.seq);
         let mut body = body.into_bytes();
         body.extend_from_slice(&self.payload);
-        let crc = crc32(&body);
-        let mut out = WireWriter::with_capacity(8 + body.len());
-        out.u32((body.len() + 4) as u32);
-        out.u32(crc);
-        let mut out = out.into_bytes();
-        out.extend_from_slice(&body);
-        out
+        framing::seal(&body)
     }
 }
 
 /// Incremental frame decoder over a byte stream: feed raw TCP bytes,
-/// pull whole validated frames.
-#[derive(Debug, Default)]
+/// pull whole validated frames. Envelope parsing (length bounds, CRC)
+/// is delegated to the shared [`EnvelopeDecoder`].
+#[derive(Debug)]
 pub struct FrameDecoder {
-    buf: Vec<u8>,
+    envelope: EnvelopeDecoder,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl FrameDecoder {
     /// Empty decoder.
     pub fn new() -> Self {
-        Self::default()
+        FrameDecoder {
+            envelope: EnvelopeDecoder::with_min_body(HEADER_BYTES),
+        }
     }
 
     /// Appends raw bytes read from the socket.
     pub fn feed(&mut self, bytes: &[u8]) {
-        self.buf.extend_from_slice(bytes);
+        self.envelope.feed(bytes);
     }
 
     /// Bytes currently buffered (for diagnostics).
     pub fn buffered(&self) -> usize {
-        self.buf.len()
+        self.envelope.buffered()
     }
 
     /// Tries to decode the next complete frame. `Ok(None)` means more
@@ -185,29 +191,16 @@ impl FrameDecoder {
     /// connection must be dropped (re-synchronizing a byte stream after
     /// a bad length prefix is not possible).
     pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
-        if self.buf.len() < 4 {
+        let Some(body) = self.envelope.next_body()? else {
             return Ok(None);
-        }
-        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
-        if !(27..=MAX_FRAME_BYTES).contains(&len) {
-            return Err(WireError::Invalid("frame length out of bounds"));
-        }
-        if self.buf.len() < 4 + len {
-            return Ok(None);
-        }
-        let crc = u32::from_le_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]]);
-        let body = &self.buf[8..4 + len];
-        if crc32(body) != crc {
-            return Err(WireError::Invalid("frame checksum mismatch"));
-        }
-        let mut r = WireReader::new(body);
+        };
+        let mut r = WireReader::new(&body);
         let kind = FrameKind::from_u8(r.u8()?)?;
         let from = r.u16()?;
         let epoch = r.u32()?;
         let step = r.u64()?;
         let seq = r.u64()?;
         let payload = r.rest().to_vec();
-        self.buf.drain(..4 + len);
         Ok(Some(Frame {
             kind,
             from,

@@ -1,0 +1,225 @@
+//! Blocking client for the query service.
+//!
+//! A thin synchronous wrapper: connect, handshake, then issue requests
+//! and wait for their matching responses. Request ids are assigned
+//! monotonically and every read loops until the daemon's answer carries
+//! the awaited id, so the client stays correct even if the daemon ever
+//! interleaves responses (the worker answers out of submission order
+//! only across sessions, never within one, but the id match makes no
+//! assumption either way).
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use mrbc_util::framing::{self, EnvelopeDecoder};
+use mrbc_util::wire::WireError;
+
+use crate::proto::{decode_response, encode_request, MutateOp, Request, Response, ServeStats};
+
+/// Default per-read timeout: long enough for a cold full-BC computation,
+/// short enough that a dead daemon is noticed.
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (connect, read, write, timeout).
+    Io(io::Error),
+    /// The stream decoded but the bytes were not valid protocol.
+    Wire(WireError),
+    /// The daemon answered with something the call cannot use (wrong
+    /// variant, structured `Error` response, premature close).
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// Graph identity reported by the daemon's `Welcome`.
+#[derive(Clone, Copy, Debug)]
+pub struct Welcome {
+    /// Graph epoch at handshake time.
+    pub epoch: u64,
+    /// Vertex count of the resident graph.
+    pub vertices: u64,
+    /// Edge count of the resident graph.
+    pub edges: u64,
+}
+
+/// A connected, handshaken query-service client.
+pub struct ServeClient {
+    stream: TcpStream,
+    dec: EnvelopeDecoder,
+    next_id: u64,
+    welcome: Welcome,
+}
+
+impl ServeClient {
+    /// Connects to `addr` and performs the `Hello` → `Welcome` handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(READ_TIMEOUT))?;
+        let mut client = ServeClient {
+            stream,
+            dec: EnvelopeDecoder::new(),
+            next_id: 1,
+            welcome: Welcome {
+                epoch: 0,
+                vertices: 0,
+                edges: 0,
+            },
+        };
+        match client.call(&Request::Hello)? {
+            Response::Welcome {
+                epoch,
+                vertices,
+                edges,
+            } => {
+                client.welcome = Welcome {
+                    epoch,
+                    vertices,
+                    edges,
+                };
+                Ok(client)
+            }
+            other => Err(ClientError::Protocol(format!(
+                "expected Welcome, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The daemon's `Welcome` (graph identity at handshake time).
+    pub fn welcome(&self) -> Welcome {
+        self.welcome
+    }
+
+    /// Sends `req` and blocks until its matching response arrives.
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let bytes = framing::seal(&encode_request(id, req));
+        self.stream.write_all(&bytes)?;
+        let mut buf = [0u8; 4096];
+        loop {
+            while let Some(body) = self.dec.next_body()? {
+                let (rid, resp) = decode_response(&body)?;
+                if rid == id || rid == 0 {
+                    // id 0 is the daemon's "before I could parse your id"
+                    // error channel; surface it to the caller too.
+                    return Ok(resp);
+                }
+                // A response to an earlier (abandoned) id: skip it.
+            }
+            let n = self.stream.read(&mut buf)?;
+            if n == 0 {
+                return Err(ClientError::Protocol(
+                    "connection closed mid-request".to_string(),
+                ));
+            }
+            self.dec.feed(&buf[..n]);
+        }
+    }
+
+    fn expect_err(got: Response) -> ClientError {
+        match got {
+            Response::Error { message } => ClientError::Protocol(message),
+            other => ClientError::Protocol(format!("unexpected response: {other:?}")),
+        }
+    }
+
+    /// `bc(v)` at the pinned epoch (0 = current): `(epoch, score)`.
+    /// `Busy` / `Stale` surface as the raw [`Response`] via [`Self::call`];
+    /// the typed wrappers treat them as protocol errors for brevity.
+    pub fn bc_score(&mut self, epoch: u64, v: u32) -> Result<(u64, f64), ClientError> {
+        match self.call(&Request::BcScore { epoch, v })? {
+            Response::BcValue { epoch, score } => Ok((epoch, score)),
+            other => Err(Self::expect_err(other)),
+        }
+    }
+
+    /// `top_k(k)` at the pinned epoch: `(epoch, ranked entries)`.
+    pub fn top_k(&mut self, epoch: u64, k: u32) -> Result<(u64, Vec<(u32, f64)>), ClientError> {
+        match self.call(&Request::TopK { epoch, k })? {
+            Response::TopKList { epoch, entries } => Ok((epoch, entries)),
+            other => Err(Self::expect_err(other)),
+        }
+    }
+
+    /// `(dist(s, t), σ(s, t))` at the pinned epoch:
+    /// `(epoch, dist, sigma)`; `dist == u32::MAX` means unreachable.
+    pub fn path_info(
+        &mut self,
+        epoch: u64,
+        s: u32,
+        t: u32,
+    ) -> Result<(u64, u32, f64), ClientError> {
+        match self.call(&Request::PathInfo { epoch, s, t })? {
+            Response::PathInfo { epoch, dist, sigma } => Ok((epoch, dist, sigma)),
+            other => Err(Self::expect_err(other)),
+        }
+    }
+
+    /// Subset-source BC at the pinned epoch: `(epoch, full score vector)`.
+    pub fn subset_bc(
+        &mut self,
+        epoch: u64,
+        sources: &[u32],
+    ) -> Result<(u64, Vec<f64>), ClientError> {
+        let req = Request::SubsetBc {
+            epoch,
+            sources: sources.to_vec(),
+        };
+        match self.call(&req)? {
+            Response::SubsetBc { epoch, scores } => Ok((epoch, scores)),
+            other => Err(Self::expect_err(other)),
+        }
+    }
+
+    /// Applies an edge mutation: `(epoch_after, applied)`.
+    pub fn mutate(&mut self, op: MutateOp, u: u32, v: u32) -> Result<(u64, bool), ClientError> {
+        match self.call(&Request::Mutate { op, u, v })? {
+            Response::Mutated { epoch, applied } => Ok((epoch, applied)),
+            other => Err(Self::expect_err(other)),
+        }
+    }
+
+    /// Serving counters snapshot.
+    pub fn stats(&mut self) -> Result<ServeStats, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(Self::expect_err(other)),
+        }
+    }
+
+    /// Asks the daemon to shut down; resolves on its `Bye`.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            other => Err(Self::expect_err(other)),
+        }
+    }
+}

@@ -1,0 +1,679 @@
+//! The query-service wire protocol.
+//!
+//! Messages ride the shared `[len][crc][body]` envelope from
+//! [`mrbc_util::framing`] (the same envelope the SPMD mesh speaks); this
+//! module defines only the body layout: a tag byte, the client-chosen
+//! request id (echoed verbatim in the response so a pipelining client
+//! can match answers out of order), and the tag-specific fields in the
+//! bounds-checked little-endian [`mrbc_util::wire`] encoding. Scores
+//! travel as raw IEEE-754 bits, so daemon answers are *bit-identical* to
+//! offline computation — the serving parity contract.
+//!
+//! Every request that reads results carries an **epoch pin**: `0` means
+//! "answer against whatever epoch is current", any other value demands
+//! that exact graph epoch and is refused with [`Response::Stale`] once a
+//! mutation has bumped it. Admission-control refusals arrive as
+//! [`Response::Busy`]; neither ever blocks the client.
+
+use mrbc_util::framing;
+use mrbc_util::wire::{WireError, WireReader, WireWriter};
+
+/// Protocol magic carried in `Hello` / `Welcome`: `"MRSV"`.
+pub const SERVE_MAGIC: u32 = 0x5653_524D;
+/// Query-protocol version; bumped on any wire-format change.
+pub const SERVE_VERSION: u32 = 1;
+
+/// Edge mutation direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MutateOp {
+    /// Insert the directed edge `u -> v` (no-op if already present).
+    AddEdge,
+    /// Delete the directed edge `u -> v` (no-op if absent).
+    RemoveEdge,
+}
+
+impl MutateOp {
+    fn to_u8(self) -> u8 {
+        match self {
+            MutateOp::AddEdge => 0,
+            MutateOp::RemoveEdge => 1,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, WireError> {
+        Ok(match v {
+            0 => MutateOp::AddEdge,
+            1 => MutateOp::RemoveEdge,
+            _ => return Err(WireError::Invalid("unknown mutate op")),
+        })
+    }
+}
+
+/// A client request. `epoch` fields are pins: 0 = current epoch.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Handshake: magic + version; answered by [`Response::Welcome`].
+    Hello,
+    /// Betweenness score of one vertex (from the epoch's full BC vector).
+    BcScore {
+        /// Epoch pin (0 = current).
+        epoch: u64,
+        /// Vertex to score.
+        v: u32,
+    },
+    /// The `k` highest-betweenness vertices, deterministically ranked.
+    TopK {
+        /// Epoch pin (0 = current).
+        epoch: u64,
+        /// Ranking length.
+        k: u32,
+    },
+    /// Shortest-path distance and count `(dist(s, t), σ(s, t))`.
+    PathInfo {
+        /// Epoch pin (0 = current).
+        epoch: u64,
+        /// Source vertex.
+        s: u32,
+        /// Target vertex.
+        t: u32,
+    },
+    /// Subset-source betweenness: scores accumulated from `sources` only.
+    SubsetBc {
+        /// Epoch pin (0 = current).
+        epoch: u64,
+        /// Source set (duplicates and arbitrary order are canonicalized).
+        sources: Vec<u32>,
+    },
+    /// Edge mutation; bumps the graph epoch when it changes the graph.
+    Mutate {
+        /// Add or remove.
+        op: MutateOp,
+        /// Edge source.
+        u: u32,
+        /// Edge target.
+        v: u32,
+    },
+    /// Scheduler / store counters snapshot.
+    Stats,
+    /// Ask the daemon to shut down cleanly (answered with [`Response::Bye`]).
+    Shutdown,
+}
+
+impl Request {
+    /// True for queries whose work is scoped to explicit sources — the
+    /// ones the Lemma-8 scheduler coalesces into k-source batches.
+    pub fn is_source_scoped(&self) -> bool {
+        matches!(self, Request::PathInfo { .. } | Request::SubsetBc { .. })
+    }
+
+    /// The epoch pin carried by the request (0 when unpinned or N/A).
+    pub fn epoch_pin(&self) -> u64 {
+        match self {
+            Request::BcScore { epoch, .. }
+            | Request::TopK { epoch, .. }
+            | Request::PathInfo { epoch, .. }
+            | Request::SubsetBc { epoch, .. } => *epoch,
+            _ => 0,
+        }
+    }
+}
+
+/// Scheduler and store counters reported by [`Response::Stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Current graph epoch.
+    pub epoch: u64,
+    /// Queue-admitted query requests (excludes Hello/Stats/Shutdown).
+    pub queries: u64,
+    /// Source-scoped queries executed (PathInfo + SubsetBc).
+    pub source_queries: u64,
+    /// Worker dispatches that contained ≥ 1 source-scoped query.
+    pub batches: u64,
+    /// Distinct sources computed across all batches.
+    pub batched_sources: u64,
+    /// Requests refused with `Busy` (queue at capacity).
+    pub busy_rejections: u64,
+    /// Requests refused with `Stale` (epoch pin mismatch).
+    pub stale_rejections: u64,
+    /// Mutations that changed the graph (epoch bumps).
+    pub mutations: u64,
+    /// Client sessions accepted since startup.
+    pub sessions: u64,
+}
+
+impl ServeStats {
+    /// Batch-coalescing factor: source-scoped queries per dispatched
+    /// batch (1.0 when nothing has been batched yet). The Lemma-8
+    /// amortization is visible exactly when this exceeds 1.
+    pub fn coalescing_factor(&self) -> f64 {
+        if self.batches == 0 {
+            1.0
+        } else {
+            self.source_queries as f64 / self.batches as f64
+        }
+    }
+}
+
+/// A daemon response. Every variant that reports results carries the
+/// epoch the answer was computed against.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Handshake acknowledgement with the daemon's graph identity.
+    Welcome {
+        /// Current graph epoch (epochs start at 1).
+        epoch: u64,
+        /// Vertex count of the resident graph.
+        vertices: u64,
+        /// Edge count of the resident graph.
+        edges: u64,
+    },
+    /// Answer to [`Request::BcScore`].
+    BcValue {
+        /// Epoch the score belongs to.
+        epoch: u64,
+        /// The betweenness score (raw IEEE-754 bit-exact).
+        score: f64,
+    },
+    /// Answer to [`Request::TopK`], ranked score-desc then id-asc.
+    TopKList {
+        /// Epoch the ranking belongs to.
+        epoch: u64,
+        /// `(vertex, score)` entries.
+        entries: Vec<(u32, f64)>,
+    },
+    /// Answer to [`Request::PathInfo`].
+    PathInfo {
+        /// Epoch the artifacts belong to.
+        epoch: u64,
+        /// BFS distance (`u32::MAX` = unreachable).
+        dist: u32,
+        /// Shortest-path count σ(s, t) (0 when unreachable).
+        sigma: f64,
+    },
+    /// Answer to [`Request::SubsetBc`]: the full per-vertex score vector.
+    SubsetBc {
+        /// Epoch the scores belong to.
+        epoch: u64,
+        /// Per-vertex scores accumulated from the requested sources.
+        scores: Vec<f64>,
+    },
+    /// Answer to [`Request::Mutate`].
+    Mutated {
+        /// Epoch after the mutation (bumped iff `applied`).
+        epoch: u64,
+        /// False when the mutation was a no-op (edge already in the
+        /// requested state).
+        applied: bool,
+    },
+    /// Answer to [`Request::Stats`].
+    Stats(ServeStats),
+    /// Load shed: the bounded queue is full; retry later.
+    Busy {
+        /// Jobs queued when the request was refused.
+        queued: u32,
+        /// Queue capacity.
+        capacity: u32,
+    },
+    /// Epoch pin refused: a mutation invalidated the pinned epoch.
+    Stale {
+        /// The epoch the client pinned.
+        requested: u64,
+        /// The daemon's current epoch.
+        current: u64,
+    },
+    /// Structured failure (bad vertex id, malformed request, ...).
+    Error {
+        /// Human-readable description.
+        message: String,
+    },
+    /// Acknowledges [`Request::Shutdown`]; the connection closes next.
+    Bye,
+}
+
+/// Encodes a request body (unsealed — wrap with [`framing::seal`]).
+pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
+    let mut w = WireWriter::with_capacity(32);
+    match req {
+        Request::Hello => {
+            w.u8(0);
+            w.u64(id);
+            framing::write_preamble(&mut w, SERVE_MAGIC, SERVE_VERSION);
+        }
+        Request::BcScore { epoch, v } => {
+            w.u8(1);
+            w.u64(id);
+            w.u64(*epoch);
+            w.u32(*v);
+        }
+        Request::TopK { epoch, k } => {
+            w.u8(2);
+            w.u64(id);
+            w.u64(*epoch);
+            w.u32(*k);
+        }
+        Request::PathInfo { epoch, s, t } => {
+            w.u8(3);
+            w.u64(id);
+            w.u64(*epoch);
+            w.u32(*s);
+            w.u32(*t);
+        }
+        Request::SubsetBc { epoch, sources } => {
+            w.u8(4);
+            w.u64(id);
+            w.u64(*epoch);
+            w.u32(sources.len() as u32);
+            for s in sources {
+                w.u32(*s);
+            }
+        }
+        Request::Mutate { op, u, v } => {
+            w.u8(5);
+            w.u64(id);
+            w.u8(op.to_u8());
+            w.u32(*u);
+            w.u32(*v);
+        }
+        Request::Stats => {
+            w.u8(6);
+            w.u64(id);
+        }
+        Request::Shutdown => {
+            w.u8(7);
+            w.u64(id);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decodes a request body into `(id, request)`. A `Hello` with the wrong
+/// magic or version fails here, before any state is touched.
+pub fn decode_request(body: &[u8]) -> Result<(u64, Request), WireError> {
+    let mut r = WireReader::new(body);
+    let tag = r.u8()?;
+    let id = r.u64()?;
+    let req = match tag {
+        0 => {
+            framing::check_preamble(&mut r, SERVE_MAGIC, SERVE_VERSION)?;
+            Request::Hello
+        }
+        1 => Request::BcScore {
+            epoch: r.u64()?,
+            v: r.u32()?,
+        },
+        2 => Request::TopK {
+            epoch: r.u64()?,
+            k: r.u32()?,
+        },
+        3 => Request::PathInfo {
+            epoch: r.u64()?,
+            s: r.u32()?,
+            t: r.u32()?,
+        },
+        4 => {
+            let epoch = r.u64()?;
+            let count = r.u32()? as usize;
+            if count > body.len() {
+                // A count that exceeds even one byte per element is
+                // corrupt; fail before allocating.
+                return Err(WireError::Invalid("source count exceeds body"));
+            }
+            let mut sources = Vec::with_capacity(count);
+            for _ in 0..count {
+                sources.push(r.u32()?);
+            }
+            Request::SubsetBc { epoch, sources }
+        }
+        5 => Request::Mutate {
+            op: MutateOp::from_u8(r.u8()?)?,
+            u: r.u32()?,
+            v: r.u32()?,
+        },
+        6 => Request::Stats,
+        7 => Request::Shutdown,
+        _ => return Err(WireError::Invalid("unknown request tag")),
+    };
+    if !r.is_empty() {
+        return Err(WireError::Invalid("trailing bytes after request"));
+    }
+    Ok((id, req))
+}
+
+/// Encodes a response body (unsealed — wrap with [`framing::seal`]).
+pub fn encode_response(id: u64, resp: &Response) -> Vec<u8> {
+    let mut w = WireWriter::with_capacity(32);
+    match resp {
+        Response::Welcome {
+            epoch,
+            vertices,
+            edges,
+        } => {
+            w.u8(0);
+            w.u64(id);
+            framing::write_preamble(&mut w, SERVE_MAGIC, SERVE_VERSION);
+            w.u64(*epoch);
+            w.u64(*vertices);
+            w.u64(*edges);
+        }
+        Response::BcValue { epoch, score } => {
+            w.u8(1);
+            w.u64(id);
+            w.u64(*epoch);
+            w.f64(*score);
+        }
+        Response::TopKList { epoch, entries } => {
+            w.u8(2);
+            w.u64(id);
+            w.u64(*epoch);
+            w.u32(entries.len() as u32);
+            for (v, score) in entries {
+                w.u32(*v);
+                w.f64(*score);
+            }
+        }
+        Response::PathInfo { epoch, dist, sigma } => {
+            w.u8(3);
+            w.u64(id);
+            w.u64(*epoch);
+            w.u32(*dist);
+            w.f64(*sigma);
+        }
+        Response::SubsetBc { epoch, scores } => {
+            w.u8(4);
+            w.u64(id);
+            w.u64(*epoch);
+            w.u32(scores.len() as u32);
+            for s in scores {
+                w.f64(*s);
+            }
+        }
+        Response::Mutated { epoch, applied } => {
+            w.u8(5);
+            w.u64(id);
+            w.u64(*epoch);
+            w.u8(u8::from(*applied));
+        }
+        Response::Stats(s) => {
+            w.u8(6);
+            w.u64(id);
+            w.u64(s.epoch);
+            w.u64(s.queries);
+            w.u64(s.source_queries);
+            w.u64(s.batches);
+            w.u64(s.batched_sources);
+            w.u64(s.busy_rejections);
+            w.u64(s.stale_rejections);
+            w.u64(s.mutations);
+            w.u64(s.sessions);
+        }
+        Response::Busy { queued, capacity } => {
+            w.u8(7);
+            w.u64(id);
+            w.u32(*queued);
+            w.u32(*capacity);
+        }
+        Response::Stale { requested, current } => {
+            w.u8(8);
+            w.u64(id);
+            w.u64(*requested);
+            w.u64(*current);
+        }
+        Response::Error { message } => {
+            w.u8(9);
+            w.u64(id);
+            w.bytes(message.as_bytes());
+        }
+        Response::Bye => {
+            w.u8(10);
+            w.u64(id);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decodes a response body into `(id, response)`.
+pub fn decode_response(body: &[u8]) -> Result<(u64, Response), WireError> {
+    let mut r = WireReader::new(body);
+    let tag = r.u8()?;
+    let id = r.u64()?;
+    let resp = match tag {
+        0 => {
+            framing::check_preamble(&mut r, SERVE_MAGIC, SERVE_VERSION)?;
+            Response::Welcome {
+                epoch: r.u64()?,
+                vertices: r.u64()?,
+                edges: r.u64()?,
+            }
+        }
+        1 => Response::BcValue {
+            epoch: r.u64()?,
+            score: r.f64()?,
+        },
+        2 => {
+            let epoch = r.u64()?;
+            let count = r.u32()? as usize;
+            if count > body.len() {
+                return Err(WireError::Invalid("entry count exceeds body"));
+            }
+            let mut entries = Vec::with_capacity(count);
+            for _ in 0..count {
+                let v = r.u32()?;
+                let score = r.f64()?;
+                entries.push((v, score));
+            }
+            Response::TopKList { epoch, entries }
+        }
+        3 => Response::PathInfo {
+            epoch: r.u64()?,
+            dist: r.u32()?,
+            sigma: r.f64()?,
+        },
+        4 => {
+            let epoch = r.u64()?;
+            let count = r.u32()? as usize;
+            if count > body.len() {
+                return Err(WireError::Invalid("score count exceeds body"));
+            }
+            let mut scores = Vec::with_capacity(count);
+            for _ in 0..count {
+                scores.push(r.f64()?);
+            }
+            Response::SubsetBc { epoch, scores }
+        }
+        5 => Response::Mutated {
+            epoch: r.u64()?,
+            applied: r.u8()? != 0,
+        },
+        6 => Response::Stats(ServeStats {
+            epoch: r.u64()?,
+            queries: r.u64()?,
+            source_queries: r.u64()?,
+            batches: r.u64()?,
+            batched_sources: r.u64()?,
+            busy_rejections: r.u64()?,
+            stale_rejections: r.u64()?,
+            mutations: r.u64()?,
+            sessions: r.u64()?,
+        }),
+        7 => Response::Busy {
+            queued: r.u32()?,
+            capacity: r.u32()?,
+        },
+        8 => Response::Stale {
+            requested: r.u64()?,
+            current: r.u64()?,
+        },
+        9 => Response::Error {
+            message: String::from_utf8_lossy(r.bytes()?).into_owned(),
+        },
+        10 => Response::Bye,
+        _ => return Err(WireError::Invalid("unknown response tag")),
+    };
+    if !r.is_empty() {
+        return Err(WireError::Invalid("trailing bytes after response"));
+    }
+    Ok((id, resp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_request_roundtrips() {
+        let reqs = [
+            Request::Hello,
+            Request::BcScore { epoch: 3, v: 17 },
+            Request::TopK { epoch: 0, k: 10 },
+            Request::PathInfo {
+                epoch: 9,
+                s: 1,
+                t: 2,
+            },
+            Request::SubsetBc {
+                epoch: 1,
+                sources: vec![5, 5, 2, 0],
+            },
+            Request::Mutate {
+                op: MutateOp::AddEdge,
+                u: 3,
+                v: 4,
+            },
+            Request::Mutate {
+                op: MutateOp::RemoveEdge,
+                u: 4,
+                v: 3,
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for (i, req) in reqs.iter().enumerate() {
+            let id = 1000 + i as u64;
+            let (rid, back) = decode_request(&encode_request(id, req)).expect("roundtrip");
+            assert_eq!(rid, id);
+            assert_eq!(&back, req);
+        }
+    }
+
+    #[test]
+    fn every_response_roundtrips() {
+        let resps = [
+            Response::Welcome {
+                epoch: 1,
+                vertices: 100,
+                edges: 500,
+            },
+            Response::BcValue {
+                epoch: 2,
+                score: -0.0, // signed zero must survive bit-exactly
+            },
+            Response::TopKList {
+                epoch: 2,
+                entries: vec![(7, 3.25), (1, 3.25), (0, 0.5)],
+            },
+            Response::PathInfo {
+                epoch: 3,
+                dist: u32::MAX,
+                sigma: 0.0,
+            },
+            Response::SubsetBc {
+                epoch: 4,
+                scores: vec![0.0, 1.5, 2.75],
+            },
+            Response::Mutated {
+                epoch: 5,
+                applied: true,
+            },
+            Response::Stats(ServeStats {
+                epoch: 5,
+                queries: 10,
+                source_queries: 8,
+                batches: 2,
+                batched_sources: 6,
+                busy_rejections: 1,
+                stale_rejections: 2,
+                mutations: 4,
+                sessions: 3,
+            }),
+            Response::Busy {
+                queued: 64,
+                capacity: 64,
+            },
+            Response::Stale {
+                requested: 1,
+                current: 2,
+            },
+            Response::Error {
+                message: "vertex out of range".into(),
+            },
+            Response::Bye,
+        ];
+        for (i, resp) in resps.iter().enumerate() {
+            let id = i as u64;
+            let (rid, back) = decode_response(&encode_response(id, resp)).expect("roundtrip");
+            assert_eq!(rid, id);
+            assert_eq!(&back, resp);
+        }
+    }
+
+    #[test]
+    fn bit_exact_scores_survive_the_wire() {
+        let score = 1.000_000_000_000_000_2_f64;
+        let (_, back) =
+            decode_response(&encode_response(0, &Response::BcValue { epoch: 1, score }))
+                .expect("decode");
+        let Response::BcValue { score: got, .. } = back else {
+            panic!("wrong variant");
+        };
+        assert_eq!(got.to_bits(), score.to_bits());
+    }
+
+    #[test]
+    fn corrupt_tags_and_preambles_are_rejected() {
+        assert!(decode_request(&[99, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+        assert!(decode_response(&[99, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+        // Hello with a foreign magic.
+        let mut hello = encode_request(1, &Request::Hello);
+        hello[9] ^= 0xFF;
+        assert!(decode_request(&hello).is_err());
+        // Trailing garbage.
+        let mut stats = encode_request(1, &Request::Stats);
+        stats.push(0);
+        assert!(decode_request(&stats).is_err());
+        // An insane element count must not allocate.
+        let mut w = WireWriter::new();
+        w.u8(4);
+        w.u64(1);
+        w.u64(0);
+        w.u32(u32::MAX);
+        assert!(decode_request(&w.into_bytes()).is_err());
+    }
+
+    #[test]
+    fn source_scoped_classification() {
+        assert!(Request::PathInfo {
+            epoch: 0,
+            s: 0,
+            t: 1
+        }
+        .is_source_scoped());
+        assert!(Request::SubsetBc {
+            epoch: 0,
+            sources: vec![]
+        }
+        .is_source_scoped());
+        assert!(!Request::BcScore { epoch: 0, v: 0 }.is_source_scoped());
+        assert!(!Request::Stats.is_source_scoped());
+        assert_eq!(Request::TopK { epoch: 7, k: 1 }.epoch_pin(), 7);
+        assert_eq!(Request::Stats.epoch_pin(), 0);
+    }
+
+    #[test]
+    fn coalescing_factor_definition() {
+        let mut s = ServeStats::default();
+        assert_eq!(s.coalescing_factor(), 1.0);
+        s.source_queries = 8;
+        s.batches = 2;
+        assert_eq!(s.coalescing_factor(), 4.0);
+    }
+}

@@ -23,6 +23,9 @@
 //! * [`crc`] / [`wire`] — CRC-32 checksums and the bounds-checked
 //!   little-endian encoding used for network frames, SPMD exchange
 //!   payloads, and durable checkpoints.
+//! * [`framing`] — the shared `[len][crc][body]` stream envelope and
+//!   magic/version handshake preamble every TCP protocol in the
+//!   workspace (`mrbc-net`, `mrbc-serve`) speaks.
 //!
 //! [`ReliableLink`]: https://docs.rs/mrbc-dgalois
 
@@ -30,6 +33,7 @@ pub mod backoff;
 mod bitset;
 pub mod crc;
 mod flat_map;
+pub mod framing;
 pub mod stats;
 pub mod sync;
 pub mod wire;

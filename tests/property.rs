@@ -176,6 +176,8 @@ fn arb_maskable_plan(hosts: usize) -> impl Strategy<Value = FaultPlan> {
             crashes: Vec::new(),
             kills: Vec::new(),
             partitions: Vec::new(),
+            stall_ms: 0,
+            hangups: Vec::new(),
             drop_p: drop_pm as f64 / 1000.0,
             dup_p: dup_pm as f64 / 1000.0,
             delays: delays
