@@ -20,6 +20,7 @@
 //! | `safety` | every `unsafe` token is preceded by a `// SAFETY:` comment |
 //! | `nondet` | no `HashMap`/`HashSet`/unseeded RNG in protocol crates (congest, core, dgalois) — iteration order and entropy must never reach the message schedule |
 //! | `exit` | no `std::process::exit` outside the CLI binary |
+//! | `retrysleep` | no raw `thread::sleep` in retry loops — pace retries through `mrbc_util::backoff::Backoff` so delays are bounded, jitterable, and replayable |
 
 use crate::lexer::{self, Masked};
 use std::fmt;
@@ -38,16 +39,19 @@ pub enum LintId {
     Nondet,
     /// `std::process::exit` outside the CLI.
     Exit,
+    /// Hand-rolled `thread::sleep` pacing inside retry loops.
+    RetrySleep,
 }
 
 impl LintId {
     /// All lints, in reporting order.
-    pub const ALL: [LintId; 5] = [
+    pub const ALL: [LintId; 6] = [
         LintId::WallClock,
         LintId::Unwrap,
         LintId::Safety,
         LintId::Nondet,
         LintId::Exit,
+        LintId::RetrySleep,
     ];
 
     /// The name used in `// lint: allow(<name>)` comments and CLI args.
@@ -58,6 +62,7 @@ impl LintId {
             LintId::Safety => "safety",
             LintId::Nondet => "nondet",
             LintId::Exit => "exit",
+            LintId::RetrySleep => "retrysleep",
         }
     }
 
@@ -184,7 +189,8 @@ pub fn lint_file(ctx: &FileContext, source: &str) -> Vec<Violation> {
         }
     };
 
-    for (idx, text) in masked.code.lines().enumerate() {
+    let code_lines: Vec<&str> = masked.code.lines().collect();
+    for (idx, &text) in code_lines.iter().enumerate() {
         let line = idx + 1;
         let in_test = test_lines.get(idx).copied().unwrap_or(false);
 
@@ -277,6 +283,29 @@ pub fn lint_file(ctx: &FileContext, source: &str) -> Vec<Violation> {
                 line,
                 "`std::process::exit` outside the CLI binary; return an error instead".to_string(),
             );
+        }
+
+        // retrysleep — library code only: a raw sleep whose surrounding
+        // code retries/reconnects must pace through the shared
+        // `mrbc_util::backoff::Backoff` instead of a hand-rolled delay,
+        // so retry storms stay bounded, jitterable, and replayable.
+        // Pump/poll loops (no retry vocabulary nearby) are fine.
+        if ctx.role == Role::Lib && !in_test && text.contains("thread::sleep") {
+            let lo = idx.saturating_sub(5);
+            let window = code_lines[lo..=idx].join("\n").to_ascii_lowercase();
+            let retrying = ["retry", "retrie", "reconnect", "resend"]
+                .iter()
+                .any(|t| window.contains(t));
+            let paced = window.contains("backoff") || window.contains("next_delay");
+            if retrying && !paced {
+                emit(
+                    LintId::RetrySleep,
+                    line,
+                    "raw `thread::sleep` in a retry loop; pace through \
+                     `mrbc_util::backoff::Backoff` (see crates/util/src/backoff.rs)"
+                        .to_string(),
+                );
+            }
         }
     }
     out.sort_by_key(|v| v.line);
@@ -537,6 +566,63 @@ mod tests {
             lints_of(&lint_file(&ctx("crates/congest/src/engine.rs"), src)),
             vec![LintId::Nondet]
         );
+    }
+
+    #[test]
+    fn retrysleep_fires_only_in_retry_context() {
+        // A hand-rolled retry pacer: sleep with retry vocabulary nearby.
+        let src = "\
+fn send(&mut self) {
+    let mut retries = 0;
+    loop {
+        if self.try_send() { return; }
+        retries += 1;
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+";
+        let vs = lint_file(&ctx("crates/net/src/x.rs"), src);
+        assert_eq!(lints_of(&vs), vec![LintId::RetrySleep]);
+
+        // The same loop paced through the shared Backoff is clean.
+        let src = "\
+fn send(&mut self) {
+    let mut backoff = Backoff::new(1, 64, 0, 0);
+    loop {
+        if self.try_send() { return; }
+        std::thread::sleep(Duration::from_millis(backoff.next_delay()));
+    }
+}
+";
+        assert!(lint_file(&ctx("crates/net/src/x.rs"), src).is_empty());
+
+        // A plain pump/poll loop with no retry vocabulary never fires.
+        let src = "\
+loop {
+    self.pump();
+    if self.done() { break; }
+    std::thread::sleep(Duration::from_millis(1));
+}
+";
+        assert!(lint_file(&ctx("crates/net/src/x.rs"), src).is_empty());
+
+        // Retry vocabulary in a comment cannot trigger it (masked out).
+        let src = "\
+loop {
+    // retry later
+    std::thread::sleep(Duration::from_millis(1));
+}
+";
+        assert!(lint_file(&ctx("crates/net/src/x.rs"), src).is_empty());
+
+        // Scoped to library code outside #[cfg(test)], and escapable.
+        let src = "let retries = 1;\nstd::thread::sleep(d);\n";
+        assert!(lint_file(&ctx("crates/cli/tests/t.rs"), src).is_empty());
+        assert!(lint_file(&ctx("crates/bench/src/bin/b.rs"), src).is_empty());
+        let src = "let retries = 1;\n\
+                   // lint: allow(retrysleep): fixed cadence mandated by the protocol spec\n\
+                   std::thread::sleep(d);\n";
+        assert!(lint_file(&ctx("crates/net/src/x.rs"), src).is_empty());
     }
 
     #[test]

@@ -25,7 +25,7 @@ LINT OPTIONS:
     --deny-all      exit non-zero if any violation is found (CI gate mode)
     --root PATH     workspace root to scan (default: this binary's workspace)
     --lint NAME     restrict to one lint (repeatable); names:
-                    wallclock, unwrap, safety, nondet, exit
+                    wallclock, unwrap, safety, nondet, exit, retrysleep
 
 MODEL-CHECK OPTIONS:
     --nmax N        exhaustive enumeration horizon, 1..=5   (default 5)

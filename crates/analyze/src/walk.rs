@@ -148,6 +148,10 @@ mod tests {
                     "crates/graph/src/e.rs",
                     "pub fn die() { std::process::exit(3); }\n",
                 ),
+                (
+                    "crates/net/src/f.rs",
+                    "pub fn resend(&mut self) {\n    loop {\n        if self.retry() { return; }\n        std::thread::sleep(d);\n    }\n}\n",
+                ),
             ],
         );
         let vs = scan_workspace(&root).expect("scan");
@@ -158,6 +162,7 @@ mod tests {
             vec![
                 LintId::Exit,
                 LintId::Nondet,
+                LintId::RetrySleep,
                 LintId::Safety,
                 LintId::Unwrap,
                 LintId::WallClock,

@@ -43,18 +43,29 @@ USAGE:
                     [--queue Q] [--max-batch M] [--faults PLAN]
       long-running query daemon; prints \"SERVE <addr>\" when ready and
       runs until a client sends shutdown or QUIT arrives on stdin
-  mrbc query <addr> <sub> [--epoch E] [...]
+  mrbc serve pool <file> [--workers W] [--port P] [--addr A]
+                    [--hosts H] [--batch B] [--queue Q] [--max-batch M]
+                    [--hedge-ms MS] [--retry-after MS] [--faults PLAN]
+      supervised pool of W serve-worker child processes behind one
+      front-end: source-range sharded routing, heartbeat failure
+      detection, SIGKILL -> respawn -> mutation replay recovery; worker
+      death surfaces as structured Retry/Partial, never a hung client
+  mrbc query <addr> <sub> [--epoch E] [--retries N] [...]
       subs: bc --v V | top --k K | dist --s S --t T
             subset --sources V,V,... | mutate --add U-V | --remove U-V
             stats | shutdown
       --epoch E pins the graph epoch (0 = current); a daemon-side
       mutation makes pinned queries exit 5
+      --retries N absorbs pool Retry responses and transient socket
+      failures with jittered backoff before giving up
   mrbc help
 
 EXIT CODES:
   0 success   1 command failed   2 usage error
   3 corrupt or unreadable checkpoint (truncated file, CRC mismatch, ...)
   4 daemon busy (queue full; retry)   5 pinned epoch is stale
+  6 pool is recovering (Retry exhausted; resend later)
+  7 partial result (a shard was lost mid-query; missing sources listed)
 
 OBSERVABILITY (any command):
   --trace out.json    write a Chrome-trace / Perfetto timeline of the run
@@ -71,6 +82,10 @@ FAULT PLANS (--faults):
                            drops/delays only and ignores crash clauses)
     drop:p=P               each message transmission is lost with probability P
     delay:pair=A-B,rounds=D  messages A->B arrive D rounds late
+    kill:worker=R@query=N  (serve pool) SIGKILL worker R after it has been
+                           routed N queries; the supervisor respawns it
+    pause:worker=R:ms=D    (serve pool) freeze worker R with SIGSTOP for
+                           D ms once it has seen traffic, then SIGCONT
     seed=S                 deterministic fault stream seed
 ";
 

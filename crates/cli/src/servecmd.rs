@@ -1,10 +1,14 @@
-//! `mrbc serve` / `mrbc query` — the long-running query daemon and its
+//! `mrbc serve` / `mrbc serve pool` / `mrbc query` — the long-running
+//! query daemon (single-process or supervised worker pool) and its
 //! client, bridging the `mrbc-serve` crate into the CLI's exit-code
 //! contract: structured `Busy` responses exit 4, `Stale` responses
-//! exit 5, so shell scripts (and the CI smoke job) can distinguish
-//! "retry later" and "re-pin your epoch" from hard failures.
+//! exit 5, pool-level `Retry` exhaustion exits 6, and degraded
+//! `Partial` answers exit 7, so shell scripts (and the CI smoke job)
+//! can distinguish "retry later", "re-pin your epoch", "pool is
+//! recovering", and "shard lost mid-query" from hard failures.
 
 use std::io::BufRead;
+use std::process::Command;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -13,7 +17,10 @@ use std::time::Duration;
 use crate::args::ParsedArgs;
 use crate::commands::{load, CmdError};
 use mrbc_core::BcConfig;
-use mrbc_serve::{MutateOp, Request, Response, SchedConfig, ServeClient, ServeConfig, ServeStats};
+use mrbc_serve::{
+    start_pool, ClientConfig, MutateOp, PoolConfig, Request, Response, RetryClient, SchedConfig,
+    ServeClient, ServeConfig, ServeStats, WorkerSpawn,
+};
 
 /// `mrbc serve <graph> [--port P] [--addr A] [--hosts H] [--batch B]
 /// [--queue Q] [--max-batch M] [--faults PLAN]`
@@ -24,6 +31,9 @@ use mrbc_serve::{MutateOp, Request, Response, SchedConfig, ServeClient, ServeCon
 /// arrives on stdin; stdin EOF does *not* stop the daemon, so it
 /// survives being backgrounded with a closed stdin.
 pub fn cmd_serve(p: &ParsedArgs) -> Result<String, CmdError> {
+    if p.positional.first().map(String::as_str) == Some("pool") {
+        return cmd_pool(p);
+    }
     let g = load(p).map_err(CmdError::general)?;
     let addr = format!(
         "{}:{}",
@@ -66,29 +76,7 @@ pub fn cmd_serve(p: &ParsedArgs) -> Result<String, CmdError> {
     use std::io::Write as _;
     drop(std::io::stdout().flush());
 
-    let quit = Arc::new(AtomicBool::new(false));
-    {
-        let quit = Arc::clone(&quit);
-        // Detached on purpose: if stdin never yields QUIT this thread
-        // parks on a read until process exit, and joining it would hang
-        // a protocol-initiated shutdown.
-        drop(
-            thread::Builder::new()
-                .name("serve-stdin".into())
-                .spawn(move || {
-                    for line in std::io::stdin().lock().lines() {
-                        match line {
-                            Ok(l) if l.trim() == "QUIT" => {
-                                quit.store(true, Ordering::SeqCst);
-                                return;
-                            }
-                            Ok(_) => {}
-                            Err(_) => return, // EOF / closed stdin: keep serving
-                        }
-                    }
-                }),
-        );
-    }
+    let quit = watch_stdin_for_quit();
 
     while !server.is_shutting_down() {
         if quit.load(Ordering::SeqCst) {
@@ -102,6 +90,158 @@ pub fn cmd_serve(p: &ParsedArgs) -> Result<String, CmdError> {
     Ok(format!(
         "daemon exited cleanly: {} sessions, {} queries, {} mutations, final epoch {}\n",
         stats.sessions, stats.queries, stats.mutations, stats.epoch
+    ))
+}
+
+/// Watches stdin for a `QUIT` line on a detached thread. Detached on
+/// purpose: if stdin never yields QUIT the thread parks on a read until
+/// process exit, and joining it would hang a protocol-initiated
+/// shutdown. EOF / closed stdin keeps the daemon serving.
+fn watch_stdin_for_quit() -> Arc<AtomicBool> {
+    let quit = Arc::new(AtomicBool::new(false));
+    {
+        let quit = Arc::clone(&quit);
+        drop(
+            thread::Builder::new()
+                .name("serve-stdin".into())
+                .spawn(move || {
+                    for line in std::io::stdin().lock().lines() {
+                        match line {
+                            Ok(l) if l.trim() == "QUIT" => {
+                                quit.store(true, Ordering::SeqCst);
+                                return;
+                            }
+                            Ok(_) => {}
+                            Err(_) => return,
+                        }
+                    }
+                }),
+        );
+    }
+    quit
+}
+
+/// `mrbc serve pool <graph> [--workers W] [--port P] [--addr A]
+/// [--hosts H] [--batch B] [--queue Q] [--max-batch M]
+/// [--hedge-ms MS] [--retry-after MS] [--faults PLAN]`
+///
+/// Starts `W` serve-worker child processes (each a full `mrbc serve`
+/// daemon of this same binary) behind a supervising front-end router:
+/// source-range sharded routing, heartbeat failure detection, SIGKILL →
+/// respawn → mutation-log replay recovery, and structured `Retry` /
+/// `Partial` degradation instead of hangs. Prints the same
+/// `SERVE <addr>` readiness line as the single-process daemon; clients
+/// cannot tell the difference until a worker dies under them.
+///
+/// `--faults` accepts the shared plan DSL; the pool executes
+/// `kill:worker=R@query=N` (SIGKILL worker R after its N-th routed
+/// query) and `pause:worker=R:ms=D` (SIGSTOP/SIGCONT freeze) clauses
+/// for chaos runs.
+fn cmd_pool(p: &ParsedArgs) -> Result<String, CmdError> {
+    let graph = p
+        .positional
+        .get(1)
+        .ok_or_else(|| CmdError::general("serve pool needs a graph file argument"))?
+        .clone();
+    // Fail fast on an unreadable graph here, with a good message, rather
+    // than letting every worker child die trying.
+    drop(
+        mrbc_graph::io::read_edge_list_file(&graph, None)
+            .map_err(|e| CmdError::general(format!("cannot read {graph}: {e}")))?,
+    );
+    let positive = |key: &str, default: usize| -> Result<usize, CmdError> {
+        let v: usize = p.get_or(key, default).map_err(CmdError::general)?;
+        if v == 0 {
+            return Err(CmdError::general(format!("--{key} must be at least 1")));
+        }
+        Ok(v)
+    };
+    let workers = positive("workers", 2)?;
+    let addr = format!(
+        "{}:{}",
+        p.get_str("addr").unwrap_or("127.0.0.1"),
+        p.get_or("port", 0u16).map_err(CmdError::general)?
+    );
+    let faults = match p.get_str("faults") {
+        None => None,
+        Some(spec) => Some(
+            spec.parse()
+                .map_err(|e| CmdError::general(format!("bad --faults plan: {e}")))?,
+        ),
+    };
+    let cfg = PoolConfig {
+        addr,
+        workers,
+        retry_after_ms: p.get_or("retry-after", 100u32).map_err(CmdError::general)?,
+        hedge_after_ms: match p.get_str("hedge-ms") {
+            None => None,
+            Some(ms) => Some(
+                ms.parse()
+                    .map_err(|_| CmdError::general("bad --hedge-ms"))?,
+            ),
+        },
+        faults,
+        ..PoolConfig::default()
+    };
+
+    // Each worker is this same binary running the single-process daemon;
+    // the pool reads its `SERVE <addr>` readiness line from stdout.
+    let exe = std::env::current_exe()
+        .map_err(|e| CmdError::general(format!("cannot locate own binary: {e}")))?;
+    let hosts = positive("hosts", 1)?;
+    let batch = positive("batch", 32)?;
+    let queue = positive("queue", 64)?;
+    let max_batch = positive("max-batch", 8)?;
+    let spawn = WorkerSpawn::Process(Box::new(move |_rank| {
+        let mut cmd = Command::new(&exe);
+        cmd.args([
+            "serve",
+            &graph,
+            "--port",
+            "0",
+            "--hosts",
+            &hosts.to_string(),
+            "--batch",
+            &batch.to_string(),
+            "--queue",
+            &queue.to_string(),
+            "--max-batch",
+            &max_batch.to_string(),
+        ]);
+        cmd
+    }));
+
+    let mut pool =
+        start_pool(spawn, cfg).map_err(|e| CmdError::general(format!("cannot start pool: {e}")))?;
+
+    println!("SERVE {}", pool.local_addr());
+    use std::io::Write as _;
+    drop(std::io::stdout().flush());
+
+    let quit = watch_stdin_for_quit();
+    while !pool.is_shutting_down() {
+        if quit.load(Ordering::SeqCst) {
+            pool.trigger_shutdown();
+            break;
+        }
+        thread::sleep(Duration::from_millis(20));
+    }
+    let stats = pool.pool_stats();
+    let recoveries = pool.recoveries_ms();
+    pool.shutdown();
+    Ok(format!(
+        "pool exited cleanly: {} workers, {} sessions, {} routed, \
+         {} failovers, {} respawns, {} retries emitted, {} partials emitted, \
+         {} hedges, recoveries {:?} ms\n",
+        workers,
+        stats.sessions,
+        stats.routed,
+        stats.failovers,
+        stats.respawns,
+        stats.retries_emitted,
+        stats.partials_emitted,
+        stats.hedges,
+        recoveries,
     ))
 }
 
@@ -142,9 +282,13 @@ fn parse_edge(spec: &str) -> Result<(u32, u32), CmdError> {
     Ok((parse(u)?, parse(v)?))
 }
 
-/// `mrbc query <addr> <sub> [--epoch E] [...]` where `<sub>` is one of
-/// `bc --v V`, `top --k K`, `dist --s S --t T`, `subset --sources L`,
-/// `mutate --add U-V | --remove U-V`, `stats`, `shutdown`.
+/// `mrbc query <addr> <sub> [--epoch E] [--retries N] [...]` where
+/// `<sub>` is one of `bc --v V`, `top --k K`, `dist --s S --t T`,
+/// `subset --sources L`, `mutate --add U-V | --remove U-V`, `stats`,
+/// `shutdown`. `--retries N` wraps the call in the reconnecting
+/// [`RetryClient`], absorbing pool `Retry` responses and transient
+/// socket failures with jittered backoff — the mode chaos scripts use
+/// so a worker SIGKILL under load still exits 0.
 pub fn cmd_query(p: &ParsedArgs) -> Result<String, CmdError> {
     let addr = p
         .positional
@@ -156,9 +300,7 @@ pub fn cmd_query(p: &ParsedArgs) -> Result<String, CmdError> {
         .map(String::as_str)
         .ok_or_else(|| CmdError::general("missing query subcommand"))?;
     let epoch: u64 = p.get_or("epoch", 0u64).map_err(CmdError::general)?;
-
-    let mut client = ServeClient::connect(addr)
-        .map_err(|e| CmdError::general(format!("cannot connect to {addr}: {e}")))?;
+    let retries: u32 = p.get_or("retries", 0u32).map_err(CmdError::general)?;
 
     let req = match sub {
         "bc" => Request::BcScore {
@@ -206,9 +348,24 @@ pub fn cmd_query(p: &ParsedArgs) -> Result<String, CmdError> {
         other => return Err(CmdError::general(format!("unknown query {other:?}"))),
     };
 
-    let resp = client
-        .call(&req)
-        .map_err(|e| CmdError::general(format!("query failed: {e}")))?;
+    let resp = if retries > 0 {
+        let mut client = RetryClient::new(
+            vec![addr.clone()],
+            ClientConfig {
+                max_retries: retries,
+                ..ClientConfig::default()
+            },
+        );
+        client
+            .call(&req)
+            .map_err(|e| CmdError::general(format!("query failed after retries: {e}")))?
+    } else {
+        let mut client = ServeClient::connect(addr)
+            .map_err(|e| CmdError::general(format!("cannot connect to {addr}: {e}")))?;
+        client
+            .call(&req)
+            .map_err(|e| CmdError::general(format!("query failed: {e}")))?
+    };
     match resp {
         Response::BcValue { epoch, score } => Ok(format!("bc = {score:.6} @ epoch {epoch}\n")),
         Response::TopKList { epoch, entries } => {
@@ -249,6 +406,23 @@ pub fn cmd_query(p: &ParsedArgs) -> Result<String, CmdError> {
         Response::Stale { requested, current } => Err(CmdError {
             message: format!("epoch {requested} is stale; daemon is at epoch {current}"),
             code: 5,
+        }),
+        Response::Retry { after_ms } => Err(CmdError {
+            message: format!("pool is recovering; retry after {after_ms} ms (or pass --retries N)"),
+            code: 6,
+        }),
+        Response::Partial {
+            epoch,
+            scores,
+            missing_sources,
+        } => Err(CmdError {
+            message: format!(
+                "partial result @ epoch {epoch}: scores cover {} vertices but \
+                 {} requested source(s) were lost mid-query: {missing_sources:?}",
+                scores.len(),
+                missing_sources.len(),
+            ),
+            code: 7,
         }),
         Response::Error { message } => Err(CmdError::general(format!("daemon error: {message}"))),
         Response::Welcome { .. } => Err(CmdError::general("unexpected Welcome")),
@@ -386,7 +560,7 @@ mod tests {
         for h in handles {
             codes.push(h.join().expect("thread"));
         }
-        assert!(codes.iter().any(|&c| c == 4), "codes: {codes:?}");
+        assert!(codes.contains(&4), "codes: {codes:?}");
         assert!(codes.iter().all(|&c| c == 0 || c == 4), "codes: {codes:?}");
         server.shutdown();
     }

@@ -169,6 +169,119 @@ fn corrupt_checkpoints_exit_with_code_3() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The keep-last-2 fallback satellite: corrupt the NEWEST checkpoint's
+/// CRC on disk and assert recovery proceeds from the older retained one
+/// — the worker reports the older step to `RECOVER`, restores it on
+/// `RESUME`, completes, and exits 0 (emphatically not the corrupt-
+/// checkpoint code 3).
+#[test]
+fn corrupt_newest_checkpoint_recovers_from_older_with_exit_zero() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::process::Stdio;
+
+    let dir = tmpdir("ckpt-fallback");
+    let graph = write_test_graph(&dir);
+    let ckpts = dir.join("ckpts");
+    let ckpts_s = ckpts.to_string_lossy().into_owned();
+
+    let spawn_worker = || {
+        bin()
+            .args([
+                "worker",
+                &graph,
+                "--ranks",
+                "1",
+                "--rank",
+                "0",
+                "--sources",
+                "8",
+                "--batch",
+                "4",
+                "--checkpoint-dir",
+                &ckpts_s,
+            ])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn worker")
+    };
+    // Drives one worker process through the launcher control protocol:
+    // waits for LISTEN, optionally probes RECOVER (returning the CKPT
+    // line), resumes at `step`, and waits for completion.
+    let drive = |mut child: std::process::Child, probe: bool, step: u64, epoch: u32| {
+        let mut stdin = child.stdin.take().expect("stdin");
+        let stdout = BufReader::new(child.stdout.take().expect("stdout"));
+        let mut lines = stdout.lines();
+        let mut addr = String::new();
+        for line in &mut lines {
+            let line = line.expect("read line");
+            if let Some(a) = line.strip_prefix("LISTEN ") {
+                addr = a.trim().to_string();
+                break;
+            }
+        }
+        assert!(!addr.is_empty(), "worker never printed LISTEN");
+        let mut ckpt_line = String::new();
+        if probe {
+            writeln!(stdin, "RECOVER").expect("send RECOVER");
+            for line in &mut lines {
+                let line = line.expect("read line");
+                if line.starts_with("CKPT ") {
+                    ckpt_line = line;
+                    break;
+                }
+            }
+        }
+        writeln!(stdin, "RESUME {step} {epoch} {addr}").expect("send RESUME");
+        let mut done = false;
+        for line in &mut lines {
+            let line = line.expect("read line");
+            if line.starts_with("DONE ") {
+                done = true;
+                break;
+            }
+        }
+        assert!(done, "worker never completed");
+        let status = child.wait().expect("wait");
+        (ckpt_line, status)
+    };
+
+    // First run: a clean single-rank execution that leaves real durable
+    // checkpoints (the newest KEEP_CHECKPOINTS steps) behind.
+    let (_, status) = drive(spawn_worker(), false, 0, 1);
+    assert!(status.success(), "clean run failed: {status:?}");
+    let store = CheckpointStore::open(&ckpts, 0).expect("open store");
+    let steps = store.list_steps().expect("list");
+    assert_eq!(steps.len(), 2, "keep-last-2 retention, got {steps:?}");
+    let (older, newest) = (steps[0], steps[1]);
+
+    // Bit-rot the NEWEST checkpoint's payload (CRC now mismatches).
+    let newest_file = ckpts.join(format!("ckpt-r0-s{newest:012}.bin"));
+    let mut bytes = std::fs::read(&newest_file).expect("read ckpt");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    std::fs::write(&newest_file, &bytes).expect("corrupt ckpt");
+
+    // Second run: RECOVER must report the OLDER (valid) boundary, and
+    // resuming there must restore, re-execute, and complete with exit 0.
+    let (ckpt_line, status) = drive(spawn_worker(), true, older, 2);
+    assert_eq!(
+        ckpt_line,
+        format!("CKPT {older}"),
+        "worker must skip the corrupt newest checkpoint"
+    );
+    assert!(
+        status.success(),
+        "recovery from the older checkpoint failed: {status:?}"
+    );
+    assert_ne!(
+        status.code(),
+        Some(3),
+        "must not die with the corrupt-checkpoint code"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// An empty checkpoint directory is not an error — there is just
 /// nothing durable yet.
 #[test]

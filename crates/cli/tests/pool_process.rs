@@ -1,0 +1,176 @@
+//! Process-level tests of the supervised serve-worker pool through the
+//! real `mrbc-cli` binary: a pool of worker child processes behind the
+//! front-end router, queried by real `mrbc query` client processes while
+//! a fault clause SIGKILLs a worker mid-load. The CI pool-chaos smoke
+//! job runs exactly these tests.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+use mrbc_graph::{generators, io};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mrbc-cli"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("mrbc-poolproc-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("mkdir");
+    d
+}
+
+fn write_test_graph(dir: &std::path::Path) -> String {
+    let g = generators::rmat(generators::RmatConfig::new(6, 6), 19);
+    let path = dir.join("graph.el").to_string_lossy().into_owned();
+    io::write_edge_list_file(&g, &path).expect("write graph");
+    path
+}
+
+/// Starts `mrbc serve pool` and returns the child plus its front-end
+/// address (read from the `SERVE <addr>` readiness line).
+fn start_pool(graph: &str, extra: &[&str]) -> (Child, String) {
+    let mut cmd = bin();
+    cmd.args(["serve", "pool", graph, "--workers", "3"])
+        .args(extra)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    let mut child = cmd.spawn().expect("spawn pool");
+    let stdout = child.stdout.take().expect("stdout");
+    let mut addr = String::new();
+    for line in BufReader::new(stdout).lines() {
+        let line = line.expect("read line");
+        if let Some(a) = line.strip_prefix("SERVE ") {
+            addr = a.trim().to_string();
+            break;
+        }
+    }
+    assert!(!addr.is_empty(), "pool never printed SERVE");
+    (child, addr)
+}
+
+fn stop_pool(mut child: Child, addr: &str) {
+    let ok = bin()
+        .args(["query", addr, "shutdown"])
+        .output()
+        .map(|o| o.status.success())
+        .unwrap_or(false);
+    if !ok {
+        // Fall back to the stdin QUIT channel.
+        if let Some(stdin) = child.stdin.as_mut() {
+            drop(writeln!(stdin, "QUIT"));
+        }
+    }
+    let _ = child.wait();
+}
+
+/// A clean pool run answers exactly like a single daemon and accepts the
+/// full query surface through real client processes.
+#[test]
+fn pool_serves_the_full_query_surface() {
+    let dir = tmpdir("clean");
+    let graph = write_test_graph(&dir);
+
+    // Reference: a single-process daemon on the same graph.
+    let (single, single_addr) = {
+        let mut cmd = bin();
+        cmd.args(["serve", &graph])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        let mut child = cmd.spawn().expect("spawn daemon");
+        let stdout = child.stdout.take().expect("stdout");
+        let mut addr = String::new();
+        for line in BufReader::new(stdout).lines() {
+            let line = line.expect("read line");
+            if let Some(a) = line.strip_prefix("SERVE ") {
+                addr = a.trim().to_string();
+                break;
+            }
+        }
+        (child, addr)
+    };
+    let (pool, pool_addr) = start_pool(&graph, &[]);
+
+    // Identical bc / dist / subset answers, byte-for-byte on stdout
+    // (scores print with enough digits that bit divergence would show).
+    for args in [
+        vec!["bc", "--v", "7"],
+        vec!["top", "--k", "5"],
+        vec!["dist", "--s", "3", "--t", "9"],
+        vec!["subset", "--sources", "1,5,9,33,50"],
+    ] {
+        let from = |addr: &str| {
+            let out = bin()
+                .args(["query", addr])
+                .args(&args)
+                .output()
+                .expect("query");
+            assert!(out.status.success(), "query {args:?} failed: {out:?}");
+            String::from_utf8_lossy(&out.stdout).into_owned()
+        };
+        assert_eq!(
+            from(&single_addr),
+            from(&pool_addr),
+            "pool diverged from single daemon on {args:?}"
+        );
+    }
+
+    stop_pool(pool, &pool_addr);
+    stop_pool(single, &single_addr);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The chaos smoke: 3 workers, a fault clause SIGKILLs worker 0 under
+/// query load, and every client process (driving with `--retries`)
+/// still exits 0 with answers identical to the pre-kill ones.
+#[test]
+fn pool_chaos_kill_under_load_leaves_no_hung_or_failed_client() {
+    let dir = tmpdir("chaos");
+    let graph = write_test_graph(&dir);
+    let (pool, addr) = start_pool(&graph, &["--faults", "kill:worker=0@query=2"]);
+
+    // Baseline answer before the kill clause fires.
+    let baseline = {
+        let out = bin()
+            .args(["query", &addr, "bc", "--v", "7", "--retries", "10"])
+            .output()
+            .expect("baseline query");
+        assert!(out.status.success(), "baseline failed: {out:?}");
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+
+    // Hammer the pool with concurrent client processes; the kill fires
+    // once worker 0 has been routed its 2nd query. Every client must
+    // exit 0 (absorbing any Retry via --retries) with the exact
+    // baseline answer — no hangs, no corrupt responses.
+    let mut clients = Vec::new();
+    for _ in 0..8 {
+        let child = bin()
+            .args(["query", &addr, "bc", "--v", "7", "--retries", "30"])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn client");
+        clients.push(child);
+    }
+    for child in clients {
+        let out = child.wait_with_output().expect("client output");
+        assert!(
+            out.status.success(),
+            "client failed during chaos: {:?}\n{}",
+            out.status,
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout),
+            baseline,
+            "client observed a divergent BC score across failover"
+        );
+    }
+
+    stop_pool(pool, &addr);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -165,7 +165,10 @@ impl<'a> ReliableLink<'a> {
         let seq = self.seqs.alloc(from, to);
         let mut stall = self.session.delay_rounds(from, to);
         let mut extra = 0u64;
-        let mut backoff = 1u32;
+        // Shared pacing schedule (1, 2, 4, … ≤ MAX_BACKOFF_ROUNDS rounds,
+        // unjittered): the same `Backoff` the real transports use, so the
+        // modeled link and the TCP layer cannot drift apart.
+        let mut backoff = mrbc_util::backoff::Backoff::new(1, MAX_BACKOFF_ROUNDS as u64, 0, 0);
         let mut attempt = 0u32;
         let mut acks = 0u64;
         let mut resends = 0u64;
@@ -196,8 +199,7 @@ impl<'a> ReliableLink<'a> {
                 break;
             }
             // Timeout, then resend the payload.
-            stall += backoff;
-            backoff = (backoff * 2).min(MAX_BACKOFF_ROUNDS);
+            stall += backoff.next_delay() as u32;
             self.recovery.retransmissions += 1;
             resends += 1;
             extra += bytes;

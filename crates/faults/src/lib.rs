@@ -26,6 +26,9 @@ mod plan;
 mod session;
 mod stats;
 
-pub use plan::{CrashFault, DelayFault, FaultParseError, FaultPlan, KillFault, PartitionFault};
+pub use plan::{
+    CrashFault, DelayFault, FaultParseError, FaultPlan, KillFault, PartitionFault, WorkerKillFault,
+    WorkerPauseFault,
+};
 pub use session::FaultSession;
 pub use stats::RecoveryStats;

@@ -8,6 +8,8 @@
 //! dup:p=0.005                each delivery is duplicated with probability 0.005
 //! delay:pair=0-3,rounds=2    the 0↔3 link straggles 2 extra rounds per message
 //! kill:host=1@round=12       the launcher SIGKILLs worker 1 once it reports round 12
+//! kill:worker=1@query=25     the serve pool SIGKILLs worker 1 at its 25th dispatched query
+//! pause:worker=0:ms=400      the serve pool SIGSTOPs worker 0 for 400 ms, then SIGCONTs
 //! partition:pair=0-2@round=9,ms=300
 //!                            the 0↔2 link is severed for 300 ms starting at round 9
 //! stall:ms=150               the serving batch worker sleeps 150 ms per batch
@@ -27,6 +29,12 @@
 //! connection and refuse to re-establish it for a wall-clock window.
 //! (A partition window is wall-clock, not round-counted, because a severed
 //! link stalls the global barrier — rounds cannot advance while it holds.)
+//!
+//! `kill:worker=` and `pause:worker=` target the supervised serve-worker
+//! pool (`mrbc-serve`): the supervisor delivers a real `SIGKILL` once the
+//! router has dispatched the given number of queries to that worker, or a
+//! real `SIGSTOP`/`SIGCONT` window — the shared vocabulary between the
+//! chaos harness and the pool integration tests.
 //!
 //! `stall` and `hangup` target the long-running query service
 //! (`mrbc-serve`): `stall` delays the batch worker a wall-clock window
@@ -71,6 +79,30 @@ pub struct KillFault {
     pub round: u32,
 }
 
+/// A real serve-worker kill: the pool supervisor delivers `SIGKILL` to
+/// pool worker `rank` once the router has dispatched `query` requests to
+/// it. The chaos harness and the pool integration tests share this clause
+/// so "worker dies mid-query" means the same thing everywhere.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkerKillFault {
+    /// The pool worker rank to kill.
+    pub rank: usize,
+    /// The 1-based dispatched-query count at which the kill fires.
+    pub query: u64,
+}
+
+/// A real serve-worker freeze: the pool supervisor `SIGSTOP`s worker
+/// `rank` for `ms` wall-clock milliseconds, then `SIGCONT`s it. Unlike a
+/// kill, the worker keeps its state; the clause exercises the straggler
+/// path (hedging, heartbeat suspicion) rather than the respawn path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkerPauseFault {
+    /// The pool worker rank to pause.
+    pub rank: usize,
+    /// Wall-clock pause duration, in milliseconds.
+    pub ms: u32,
+}
+
 /// A real network partition: starting when either endpoint reaches `round`,
 /// the `a↔b` TCP link is severed and reconnection refused for `ms`
 /// wall-clock milliseconds. Healing relies on the reconnect/backoff and
@@ -103,6 +135,11 @@ pub struct FaultPlan {
     pub delays: Vec<DelayFault>,
     /// Real process kills (executed by the `mrbc-net` launcher).
     pub kills: Vec<KillFault>,
+    /// Real serve-worker kills (executed by the `mrbc-serve` pool
+    /// supervisor; fires by dispatched-query count, not round).
+    pub worker_kills: Vec<WorkerKillFault>,
+    /// Real serve-worker SIGSTOP windows (executed by the pool supervisor).
+    pub worker_pauses: Vec<WorkerPauseFault>,
     /// Real wall-clock network partitions (executed by the TCP mesh).
     pub partitions: Vec<PartitionFault>,
     /// Wall-clock delay (ms) the `mrbc-serve` batch worker sleeps per
@@ -122,6 +159,8 @@ impl Default for FaultPlan {
             dup_p: 0.0,
             delays: Vec::new(),
             kills: Vec::new(),
+            worker_kills: Vec::new(),
+            worker_pauses: Vec::new(),
             partitions: Vec::new(),
             stall_ms: 0,
             hangups: Vec::new(),
@@ -137,6 +176,8 @@ impl FaultPlan {
             && self.dup_p == 0.0
             && self.delays.is_empty()
             && self.kills.is_empty()
+            && self.worker_kills.is_empty()
+            && self.worker_pauses.is_empty()
             && self.partitions.is_empty()
             && self.stall_ms == 0
             && self.hangups.is_empty()
@@ -150,8 +191,15 @@ impl FaultPlan {
     /// interrupt a process, so they are not *masked* either. A serving
     /// `stall` only delays (maskable); a `hangup` severs a client session
     /// mid-stream — visible to that client, hence not masked.
+    /// A worker *pause* only freezes a process that later resumes with
+    /// its state intact — the pool hides it behind hedging/failover, so it
+    /// is maskable like `stall`; a worker *kill* destroys in-flight work
+    /// and is not.
     pub fn is_maskable(&self) -> bool {
-        self.crashes.is_empty() && self.kills.is_empty() && self.hangups.is_empty()
+        self.crashes.is_empty()
+            && self.kills.is_empty()
+            && self.worker_kills.is_empty()
+            && self.hangups.is_empty()
     }
 }
 
@@ -227,13 +275,34 @@ impl FromStr for FaultPlan {
                     });
                 }
                 "kill" => {
-                    // kill:host=H@round=R
-                    let (host_kv, round_kv) = body.split_once('@').ok_or_else(|| {
-                        err(format!("kill clause {body:?}: expected host=H@round=R"))
+                    if body.trim_start().starts_with("worker=") {
+                        // kill:worker=R@query=N — pool supervisor kill.
+                        let (rank_kv, query_kv) = body.split_once('@').ok_or_else(|| {
+                            err(format!("kill clause {body:?}: expected worker=R@query=N"))
+                        })?;
+                        plan.worker_kills.push(WorkerKillFault {
+                            rank: keyed(rank_kv, "worker")?,
+                            query: keyed(query_kv, "query")?,
+                        });
+                    } else {
+                        // kill:host=H@round=R — launcher kill.
+                        let (host_kv, round_kv) = body.split_once('@').ok_or_else(|| {
+                            err(format!("kill clause {body:?}: expected host=H@round=R"))
+                        })?;
+                        plan.kills.push(KillFault {
+                            host: keyed(host_kv, "host")?,
+                            round: keyed(round_kv, "round")?,
+                        });
+                    }
+                }
+                "pause" => {
+                    // pause:worker=R:ms=D — pool supervisor SIGSTOP window.
+                    let (rank_kv, ms_kv) = body.split_once(':').ok_or_else(|| {
+                        err(format!("pause clause {body:?}: expected worker=R:ms=D"))
                     })?;
-                    plan.kills.push(KillFault {
-                        host: keyed(host_kv, "host")?,
-                        round: keyed(round_kv, "round")?,
+                    plan.worker_pauses.push(WorkerPauseFault {
+                        rank: keyed(rank_kv, "worker")?,
+                        ms: keyed(ms_kv, "ms")?,
                     });
                 }
                 "partition" => {
@@ -309,6 +378,12 @@ impl fmt::Display for FaultPlan {
         for k in &self.kills {
             parts.push(format!("kill:host={}@round={}", k.host, k.round));
         }
+        for k in &self.worker_kills {
+            parts.push(format!("kill:worker={}@query={}", k.rank, k.query));
+        }
+        for p in &self.worker_pauses {
+            parts.push(format!("pause:worker={}:ms={}", p.rank, p.ms));
+        }
         for p in &self.partitions {
             parts.push(format!(
                 "partition:pair={}-{}@round={},ms={}",
@@ -372,7 +447,8 @@ mod tests {
     #[test]
     fn display_round_trips() {
         let text = "crash:host=2@round=40;drop:p=0.01;dup:p=0.005;delay:pair=0-3,rounds=2;\
-                    kill:host=1@round=12;partition:pair=0-2@round=9,ms=300;stall:ms=150;\
+                    kill:host=1@round=12;kill:worker=2@query=25;pause:worker=0:ms=400;\
+                    partition:pair=0-2@round=9,ms=300;stall:ms=150;\
                     hangup:session=2;seed=42";
         let plan: FaultPlan = text.parse().expect("plan");
         assert_eq!(plan.to_string(), text);
@@ -419,6 +495,37 @@ mod tests {
     }
 
     #[test]
+    fn worker_kill_and_pause_clauses_parse_and_round_trip() {
+        let text = "kill:worker=1@query=25;pause:worker=0:ms=400;seed=0";
+        let plan: FaultPlan = text.parse().expect("plan");
+        assert_eq!(
+            plan.worker_kills,
+            vec![WorkerKillFault { rank: 1, query: 25 }]
+        );
+        assert_eq!(
+            plan.worker_pauses,
+            vec![WorkerPauseFault { rank: 0, ms: 400 }]
+        );
+        assert!(plan.kills.is_empty(), "worker kill is not a launcher kill");
+        assert_eq!(plan.to_string(), text);
+        let again: FaultPlan = plan.to_string().parse().expect("round trip");
+        assert_eq!(again, plan);
+        // A killed worker loses in-flight work: not maskable.
+        assert!(!plan.is_empty());
+        assert!(!plan.is_maskable());
+        // A paused worker resumes with state intact: maskable, like stall.
+        let p: FaultPlan = "pause:worker=2:ms=50".parse().expect("plan");
+        assert!(p.is_maskable());
+        assert!(!p.is_empty());
+        // Repeats accumulate in clause order.
+        let multi: FaultPlan = "kill:worker=0@query=1;kill:worker=2@query=9"
+            .parse()
+            .expect("plan");
+        assert_eq!(multi.worker_kills.len(), 2);
+        assert_eq!(multi.worker_kills[1].rank, 2);
+    }
+
+    #[test]
     fn bad_plans_are_rejected_with_context() {
         for (text, needle) in [
             ("drop:p=1.5", "outside"),
@@ -428,6 +535,11 @@ mod tests {
             ("delay:pair=0-1", "rounds"),
             ("delay:pair=01,rounds=2", "A-B"),
             ("kill:host=1", "host=H@round=R"),
+            ("kill:worker=1", "worker=R@query=N"),
+            ("kill:worker=1@round=2", "expected key"),
+            ("pause:worker=1", "worker=R:ms=D"),
+            ("pause:worker=1:s=9", "expected key"),
+            ("pause:worker=x:ms=9", "cannot parse worker"),
             ("partition:pair=0-1", "pair=A-B@round=R,ms=D"),
             ("partition:pair=0-1@round=3", "round=R,ms=D"),
             ("stall:s=5", "expected key"),

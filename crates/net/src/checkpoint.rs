@@ -189,6 +189,31 @@ impl CheckpointStore {
         Ok(self.list_steps()?.pop())
     }
 
+    /// The newest step whose file still fully validates (magic, version,
+    /// rank, length, CRC). Bit rot in the newest checkpoint falls back
+    /// to the older retained one — the keep-last-[`KEEP_CHECKPOINTS`]
+    /// policy exists precisely so a single corrupt file never strands
+    /// recovery. `None` means no retained checkpoint validates.
+    pub fn latest_valid_step(&self) -> Result<Option<u64>, CheckpointError> {
+        for step in self.list_steps()?.into_iter().rev() {
+            if self.load(step).is_ok() {
+                return Ok(Some(step));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Loads the newest checkpoint that validates, returning
+    /// `(step, payload)`; skips (does not delete) corrupt newer files.
+    pub fn load_latest_valid(&self) -> Result<(u64, Vec<u8>), CheckpointError> {
+        for step in self.list_steps()?.into_iter().rev() {
+            if let Ok(payload) = self.load(step) {
+                return Ok((step, payload));
+            }
+        }
+        Err(CheckpointError::NotFound)
+    }
+
     /// Loads and fully validates the checkpoint for `step`.
     pub fn load(&self, step: u64) -> Result<Vec<u8>, CheckpointError> {
         let path = self.path_of(step);
@@ -338,6 +363,41 @@ mod tests {
                 found: 1,
                 expected: 2
             })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_older_valid() {
+        let dir = tmpdir("fallback");
+        let store = CheckpointStore::open(&dir, 0).unwrap();
+        store.save(6, b"older but intact").unwrap();
+        store.save(7, b"newer but doomed").unwrap();
+        assert_eq!(store.latest_valid_step().unwrap(), Some(7));
+
+        // Flip a payload bit in the NEWEST checkpoint: latest_step still
+        // names it, but recovery-facing lookups skip to the older one.
+        let newest = dir.join("ckpt-r0-s000000000007.bin");
+        let mut bytes = fs::read(&newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        fs::write(&newest, &bytes).unwrap();
+
+        assert_eq!(store.latest_step().unwrap(), Some(7));
+        assert!(matches!(store.load(7), Err(CheckpointError::CrcMismatch)));
+        assert_eq!(store.latest_valid_step().unwrap(), Some(6));
+        assert_eq!(
+            store.load_latest_valid().unwrap(),
+            (6, b"older but intact".to_vec())
+        );
+
+        // Corrupt the older one too: nothing valid remains.
+        let older = dir.join("ckpt-r0-s000000000006.bin");
+        fs::write(&older, b"also gone").unwrap();
+        assert_eq!(store.latest_valid_step().unwrap(), None);
+        assert!(matches!(
+            store.load_latest_valid(),
+            Err(CheckpointError::NotFound)
         ));
         fs::remove_dir_all(&dir).unwrap();
     }

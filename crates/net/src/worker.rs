@@ -46,7 +46,8 @@ use crate::mesh::{Mesh, MeshError};
 /// Messages the launcher can send a worker.
 #[derive(Clone, Debug)]
 pub enum ControlMsg {
-    /// A peer died; report your newest durable checkpoint and park.
+    /// A peer died; report your newest *valid* durable checkpoint
+    /// (corrupt files are skipped, not reported) and park.
     Recover,
     /// Restore checkpoint `step`, enter `epoch`, reconnect to `addrs`,
     /// re-execute from `step`. Also used (with `step == 0`) to start a
@@ -66,7 +67,9 @@ pub enum ControlMsg {
 /// Progress events a worker reports to its launcher.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum WorkerEvent {
-    /// The newest durable checkpoint boundary (reply to `Recover`).
+    /// The newest durable checkpoint boundary that still validates
+    /// (reply to `Recover`); bit-rotted newer files are skipped so the
+    /// launcher's `min` never lands on an unloadable step.
     CkptLatest(Option<u64>),
     /// Step `s` committed (exchange folded, moving to `s + 1`).
     Step(u64),
@@ -369,7 +372,7 @@ fn drain_control<P: SpmdProgram>(
                 let latest = cfg
                     .store
                     .as_ref()
-                    .and_then(|s| s.latest_step().ok().flatten());
+                    .and_then(|s| s.latest_valid_step().ok().flatten());
                 (control.notify)(&WorkerEvent::CkptLatest(latest));
                 // The resume typically follows immediately; park for it so
                 // the step loop cannot race ahead on stale state.
@@ -413,7 +416,7 @@ fn await_recovery<P: SpmdProgram>(
                 let latest = cfg
                     .store
                     .as_ref()
-                    .and_then(|s| s.latest_step().ok().flatten());
+                    .and_then(|s| s.latest_valid_step().ok().flatten());
                 (control.notify)(&WorkerEvent::CkptLatest(latest));
             }
             None => {

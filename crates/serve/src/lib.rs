@@ -27,12 +27,14 @@
 //! the integration tests enforce.
 
 pub mod client;
+pub mod pool;
 pub mod proto;
 pub mod sched;
 pub mod server;
 pub mod store;
 
-pub use client::{ClientError, ServeClient, Welcome};
+pub use client::{ClientConfig, ClientError, RetryClient, ServeClient, Welcome};
+pub use pool::{start_pool, Pool, PoolConfig, PoolStats, WorkerSpawn};
 pub use proto::{MutateOp, Request, Response, ServeStats};
 pub use sched::SchedConfig;
 pub use server::{start, ServeConfig, Server};

@@ -1,0 +1,1518 @@
+//! Supervised serve-worker pool: routing front-end, failure detection,
+//! respawn, and failover.
+//!
+//! A [`Pool`] is a front-end daemon that speaks the exact same wire
+//! protocol as a single [`crate::server::Server`], but answers by
+//! routing every query to one of `W` serve-worker backends, each a full
+//! daemon holding the whole graph. Source-scoped queries are routed by
+//! **source-range affinity** — contiguous vertex ranges, the same
+//! blocked split `BlockedEdgeCut` partitioning uses — so each worker's
+//! per-source forward caches stay hot for its range. Affinity is *not*
+//! data partitioning: any worker can answer any query, which is exactly
+//! what makes failover a re-route instead of a data migration. The
+//! paper's Lemma 8 makes this cheap — a re-driven source batch costs
+//! `k + H` rounds, not `k · H` — and per-source BC contributions compose
+//! independently (Crescenzi–Fraigniaud–Paz), so a lost shard degrades a
+//! `SubsetBc` answer to a structured [`Response::Partial`] rather than
+//! poisoning the whole result.
+//!
+//! Supervision reuses the [`mrbc_net::detector`] heartbeat machinery:
+//! the supervisor thread probes each worker on the detector's beat
+//! schedule; any response is liveness evidence. A worker is declared
+//! down on either hard evidence (its TCP connection died) or silence
+//! (the detector's `Dead` verdict, which catches `SIGSTOP`-style
+//! freezes). Down workers are killed for certain, respawned, re-driven
+//! through the `Hello` handshake, and brought to the current epoch by
+//! replaying the mutation log; in-flight requests they held fail over
+//! to a sibling, and requests that exhaust every sibling or the
+//! dispatch deadline surface as [`Response::Retry`] — **never a hang**.
+//!
+//! The failover state machine per worker:
+//!
+//! ```text
+//!            probes answered                 conn EOF / detector Dead
+//!   Ready ─────────────────────▶ Ready ────────────────────────────▶ Down
+//!     ▲                                                               │
+//!     │   respawn → handshake → replay mutation log → reset detector  │
+//!     └───────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Chaos clauses from the shared fault DSL are executed here for real:
+//! `kill:worker=R@query=N` SIGKILLs worker `R` once the router has
+//! dispatched `N` queries to it, and `pause:worker=R:ms=D` freezes it
+//! with `SIGSTOP`/`SIGCONT` (process backends only).
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use mrbc_core::BcConfig;
+use mrbc_faults::FaultPlan;
+use mrbc_graph::CsrGraph;
+use mrbc_net::detector::{DetectorConfig, HeartbeatDetector, PeerStatus};
+use mrbc_net::mesh::now_ms;
+use mrbc_util::framing::{self, EnvelopeDecoder};
+
+use crate::proto::{
+    decode_request, decode_response, encode_request, encode_response, MutateOp, Request, Response,
+    ServeStats,
+};
+use crate::sched::SchedConfig;
+use crate::server::{start, ServeConfig, Server};
+
+/// How long pump loops sleep when idle.
+const PUMP_IDLE: Duration = Duration::from_millis(1);
+/// Supervisor pump period.
+const SUPERVISE_EVERY: Duration = Duration::from_millis(5);
+/// Deadline for a respawned worker to print its readiness line.
+const SPAWN_READY_MS: u64 = 30_000;
+/// Deadline for the worker-side `Hello` handshake and log replay steps.
+const HANDSHAKE_MS: u64 = 30_000;
+
+/// How the pool obtains its worker backends.
+pub enum WorkerSpawn {
+    /// Spawn real child processes. The closure builds the `Command` for
+    /// each rank; the child must print `SERVE <addr>` on stdout once it
+    /// is listening (the `mrbc-cli serve` readiness contract).
+    Process(Box<dyn FnMut(usize) -> Command + Send>),
+    /// Run workers as in-process [`Server`]s (one thread-pool each).
+    /// Used by integration tests, where spawning subprocesses is not
+    /// available; "kill" degrades to an abrupt server shutdown.
+    InProcess {
+        /// The graph every worker loads.
+        graph: CsrGraph,
+        /// Driver configuration for worker BC computations (boxed to
+        /// keep the enum small next to the `Process` closure).
+        bc: Box<BcConfig>,
+        /// Worker scheduler knobs.
+        sched: SchedConfig,
+    },
+}
+
+/// Pool configuration.
+pub struct PoolConfig {
+    /// Front-end bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Number of serve workers (≥ 1).
+    pub workers: usize,
+    /// Heartbeat/failure-detection timing.
+    pub detector: DetectorConfig,
+    /// End-to-end deadline for routing one query, including failover
+    /// attempts; expiry surfaces as `Retry { after_ms }`.
+    pub dispatch_timeout_ms: u64,
+    /// The `after_ms` hint carried by emitted `Retry` responses.
+    pub retry_after_ms: u32,
+    /// When set, a query unanswered for this long is hedged: dispatched
+    /// a second time to a sibling worker, first answer wins.
+    pub hedge_after_ms: Option<u64>,
+    /// Chaos clauses (`kill:worker=`, `pause:worker=`) executed by the
+    /// supervisor.
+    pub faults: Option<FaultPlan>,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            detector: DetectorConfig::default(),
+            dispatch_timeout_ms: 60_000,
+            retry_after_ms: 100,
+            hedge_after_ms: None,
+            faults: None,
+        }
+    }
+}
+
+/// Pool-level counters (distinct from per-worker [`ServeStats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Client sessions accepted by the front-end.
+    pub sessions: u64,
+    /// Queries routed to workers (excludes Hello/Stats/Shutdown).
+    pub routed: u64,
+    /// `Retry` responses emitted (deadline or no live worker).
+    pub retries_emitted: u64,
+    /// `Partial` responses emitted (lost shard during `SubsetBc`).
+    pub partials_emitted: u64,
+    /// Requests re-routed to a sibling after a worker died mid-flight.
+    pub failovers: u64,
+    /// Straggler queries hedged to a sibling.
+    pub hedges: u64,
+    /// Workers respawned by the supervisor.
+    pub respawns: u64,
+}
+
+#[derive(Default)]
+struct PoolCounters {
+    sessions: AtomicU64,
+    routed: AtomicU64,
+    retries_emitted: AtomicU64,
+    partials_emitted: AtomicU64,
+    failovers: AtomicU64,
+    hedges: AtomicU64,
+    respawns: AtomicU64,
+}
+
+impl PoolCounters {
+    fn snapshot(&self) -> PoolStats {
+        PoolStats {
+            sessions: self.sessions.load(Ordering::Relaxed),
+            routed: self.routed.load(Ordering::Relaxed),
+            retries_emitted: self.retries_emitted.load(Ordering::Relaxed),
+            partials_emitted: self.partials_emitted.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
+            hedges: self.hedges.load(Ordering::Relaxed),
+            respawns: self.respawns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// What a waiter learns about its dispatched request.
+enum WorkerReply {
+    /// The worker answered.
+    Answer(Response),
+    /// The worker's connection died with the request in flight.
+    ConnDead,
+}
+
+/// One live TCP connection to a worker: a shared writer, a pending-reply
+/// map, and a reader thread that resolves replies and drains the map
+/// with [`WorkerReply::ConnDead`] when the stream dies.
+struct WorkerConn {
+    writer: Mutex<TcpStream>,
+    pending: Mutex<HashMap<u64, mpsc::Sender<WorkerReply>>>,
+    conn_alive: AtomicBool,
+    reader: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl WorkerConn {
+    /// Registers interest in `id`, then writes the sealed request.
+    /// On write failure the registration is rolled back.
+    fn send(&self, id: u64, req: &Request, tx: mpsc::Sender<WorkerReply>) -> io::Result<()> {
+        if !self.conn_alive.load(Ordering::SeqCst) {
+            return Err(io::Error::new(io::ErrorKind::NotConnected, "worker down"));
+        }
+        if let Ok(mut p) = self.pending.lock() {
+            p.insert(id, tx);
+        }
+        let bytes = framing::seal(&encode_request(id, req));
+        let res = match self.writer.lock() {
+            Ok(mut w) => w.write_all(&bytes),
+            Err(_) => Err(io::Error::other("writer poisoned")),
+        };
+        if res.is_err() {
+            if let Ok(mut p) = self.pending.lock() {
+                p.remove(&id);
+            }
+            self.conn_alive.store(false, Ordering::SeqCst);
+        }
+        res
+    }
+
+    /// Marks the connection dead and fails every in-flight request so
+    /// its waiter can fail over instead of sleeping out its deadline.
+    fn drain_dead(&self) {
+        self.conn_alive.store(false, Ordering::SeqCst);
+        if let Ok(mut p) = self.pending.lock() {
+            for (_, tx) in p.drain() {
+                drop(tx.send(WorkerReply::ConnDead));
+            }
+        }
+    }
+}
+
+/// The worker process/server behind a slot.
+enum Backend {
+    /// Not currently running (between death and respawn).
+    Down,
+    /// A real child process.
+    Child(Child),
+    /// An in-process server (test mode).
+    InProc(Box<Server>),
+}
+
+impl Backend {
+    /// Kills the backend for certain (SIGKILL for processes).
+    fn kill(&mut self) {
+        match std::mem::replace(self, Backend::Down) {
+            Backend::Down => {}
+            Backend::Child(mut child) => {
+                drop(child.kill());
+                drop(child.wait());
+            }
+            Backend::InProc(mut server) => server.shutdown(),
+        }
+    }
+
+    /// The OS pid, for signal-based chaos clauses.
+    fn pid(&self) -> Option<u32> {
+        match self {
+            Backend::Child(c) => Some(c.id()),
+            _ => None,
+        }
+    }
+}
+
+/// Per-worker supervision state.
+struct WorkerSlot {
+    conn: Mutex<Option<Arc<WorkerConn>>>,
+    backend: Mutex<Backend>,
+    /// Queries the router has dispatched to this worker (drives the
+    /// `kill:worker=R@query=N` trigger).
+    dispatched: AtomicU64,
+}
+
+struct PoolShared {
+    workers: usize,
+    dispatch_timeout_ms: u64,
+    retry_after_ms: u32,
+    hedge_after_ms: Option<u64>,
+    slots: Vec<WorkerSlot>,
+    detector: Mutex<HeartbeatDetector>,
+    shutdown: AtomicBool,
+    next_id: AtomicU64,
+    /// Highest epoch observed in worker answers (served in `Welcome`).
+    epoch: AtomicU64,
+    /// `(vertices, edges)` from the first worker handshake.
+    graph_info: Mutex<(u64, u64)>,
+    /// Every mutation ever accepted, in acceptance order. Guards both
+    /// append+broadcast and replay+reattach, so a respawning worker can
+    /// never miss or reorder a mutation.
+    mutation_log: Mutex<Vec<(MutateOp, u32, u32)>>,
+    counters: PoolCounters,
+    /// Down-detected → ready-again durations, ms (chaos harness reads).
+    recoveries_ms: Mutex<Vec<u64>>,
+}
+
+impl PoolShared {
+    fn fresh_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn conn_of(&self, rank: usize) -> Option<Arc<WorkerConn>> {
+        let conn = self.slots[rank].conn.lock().ok()?.clone()?;
+        if conn.conn_alive.load(Ordering::SeqCst) {
+            Some(conn)
+        } else {
+            None
+        }
+    }
+
+    fn first_alive(&self) -> Option<usize> {
+        (0..self.workers).find(|&r| self.conn_of(r).is_some())
+    }
+
+    fn retry(&self) -> Response {
+        self.counters
+            .retries_emitted
+            .fetch_add(1, Ordering::Relaxed);
+        Response::Retry {
+            after_ms: self.retry_after_ms,
+        }
+    }
+}
+
+/// A running pool front-end. Dropping the handle shuts everything down:
+/// front-end threads, supervisor, and every worker backend.
+pub struct Pool {
+    local_addr: SocketAddr,
+    shared: Arc<PoolShared>,
+    listener: Option<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
+}
+
+/// Starts `cfg.workers` serve workers plus the routing front-end.
+pub fn start_pool(spawn: WorkerSpawn, cfg: PoolConfig) -> io::Result<Pool> {
+    if cfg.workers == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "pool needs at least one worker",
+        ));
+    }
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let local_addr = listener.local_addr()?;
+
+    let shared = Arc::new(PoolShared {
+        workers: cfg.workers,
+        dispatch_timeout_ms: cfg.dispatch_timeout_ms,
+        retry_after_ms: cfg.retry_after_ms,
+        hedge_after_ms: cfg.hedge_after_ms,
+        slots: (0..cfg.workers)
+            .map(|_| WorkerSlot {
+                conn: Mutex::new(None),
+                backend: Mutex::new(Backend::Down),
+                dispatched: AtomicU64::new(0),
+            })
+            .collect(),
+        detector: Mutex::new(HeartbeatDetector::new(cfg.workers, cfg.detector, now_ms())),
+        shutdown: AtomicBool::new(false),
+        next_id: AtomicU64::new(1),
+        epoch: AtomicU64::new(1),
+        graph_info: Mutex::new((0, 0)),
+        mutation_log: Mutex::new(Vec::new()),
+        counters: PoolCounters::default(),
+        recoveries_ms: Mutex::new(Vec::new()),
+    });
+
+    let mut spawner = spawn;
+    for rank in 0..cfg.workers {
+        bring_up_worker(&shared, &mut spawner, rank)
+            .map_err(|e| io::Error::new(e.kind(), format!("worker {rank}: {e}")))?;
+    }
+
+    let faults = cfg.faults.clone();
+    let supervisor = {
+        let shared = Arc::clone(&shared);
+        thread::Builder::new()
+            .name("pool-supervise".into())
+            .spawn(move || supervise_loop(&shared, spawner, faults))?
+    };
+    let accept = {
+        let shared = Arc::clone(&shared);
+        thread::Builder::new()
+            .name("pool-listen".into())
+            .spawn(move || listener_loop(listener, &shared))?
+    };
+
+    Ok(Pool {
+        local_addr,
+        shared,
+        listener: Some(accept),
+        supervisor: Some(supervisor),
+    })
+}
+
+impl Pool {
+    /// The front-end's bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Highest graph epoch observed across workers.
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Pool-level counters snapshot.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.shared.counters.snapshot()
+    }
+
+    /// Down-detected → ready-again durations, in milliseconds, one per
+    /// completed worker recovery (the chaos harness's p50/p99 source).
+    pub fn recoveries_ms(&self) -> Vec<u64> {
+        self.shared
+            .recoveries_ms
+            .lock()
+            .map(|v| v.clone())
+            .unwrap_or_default()
+    }
+
+    /// Kills worker `rank`'s backend right now (SIGKILL for processes).
+    /// The supervisor notices and respawns it; use from tests and the
+    /// chaos harness to exercise the failover path on demand.
+    pub fn kill_worker(&self, rank: usize) {
+        if let Some(slot) = self.shared.slots.get(rank) {
+            if let Ok(mut backend) = slot.backend.lock() {
+                backend.kill();
+            }
+            // Sever the connection too: a SIGKILLed process closes its
+            // sockets anyway; the in-process mode needs the nudge.
+            if let Ok(conn) = slot.conn.lock() {
+                if let Some(conn) = conn.as_ref() {
+                    conn.drain_dead();
+                    if let Ok(w) = conn.writer.lock() {
+                        drop(w.shutdown(std::net::Shutdown::Both));
+                    }
+                }
+            }
+        }
+    }
+
+    /// True once shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown without blocking.
+    pub fn trigger_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Blocks until the front-end and supervisor threads exit.
+    pub fn wait(&mut self) {
+        if let Some(h) = self.listener.take() {
+            drop(h.join());
+        }
+        if let Some(h) = self.supervisor.take() {
+            drop(h.join());
+        }
+    }
+
+    /// Triggers shutdown and joins every thread.
+    pub fn shutdown(&mut self) {
+        self.trigger_shutdown();
+        self.wait();
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker lifecycle
+// ---------------------------------------------------------------------
+
+/// Spawns the backend for `rank` and returns its query address.
+fn spawn_backend(spawner: &mut WorkerSpawn, rank: usize) -> io::Result<(Backend, String)> {
+    match spawner {
+        WorkerSpawn::Process(build) => {
+            let mut cmd = build(rank);
+            cmd.stdin(Stdio::null())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::null());
+            let mut child = cmd.spawn()?;
+            let stdout = child.stdout.take().ok_or_else(|| {
+                io::Error::other("worker child has no stdout despite piped spawn")
+            })?;
+            // The readiness line is read through a channel so a child
+            // that never prints cannot park the supervisor forever.
+            let (tx, rx) = mpsc::channel::<String>();
+            let reader = thread::Builder::new()
+                .name(format!("pool-stdout-{rank}"))
+                .spawn(move || {
+                    let mut lines = BufReader::new(stdout).lines();
+                    for line in &mut lines {
+                        let Ok(line) = line else { return };
+                        if let Some(addr) = line.strip_prefix("SERVE ") {
+                            drop(tx.send(addr.trim().to_string()));
+                            break;
+                        }
+                    }
+                    // Keep draining so the child never blocks on a full
+                    // stdout pipe.
+                    for line in lines {
+                        if line.is_err() {
+                            return;
+                        }
+                    }
+                })?;
+            match rx.recv_timeout(Duration::from_millis(SPAWN_READY_MS)) {
+                Ok(addr) => Ok((Backend::Child(child), addr)),
+                Err(_) => {
+                    drop(child.kill());
+                    drop(child.wait());
+                    drop(reader.join());
+                    Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "worker never printed its SERVE readiness line",
+                    ))
+                }
+            }
+        }
+        WorkerSpawn::InProcess { graph, bc, sched } => {
+            let server = start(
+                graph.clone(),
+                ServeConfig {
+                    addr: "127.0.0.1:0".to_string(),
+                    bc: (**bc).clone(),
+                    sched: *sched,
+                    faults: None,
+                },
+            )?;
+            let addr = server.local_addr().to_string();
+            Ok((Backend::InProc(Box::new(server)), addr))
+        }
+    }
+}
+
+/// Connects to a freshly spawned worker and starts its reader thread.
+fn connect_worker(
+    shared: &Arc<PoolShared>,
+    rank: usize,
+    addr: &str,
+) -> io::Result<Arc<WorkerConn>> {
+    let sockaddr: SocketAddr = addr
+        .parse()
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "bad worker address"))?;
+    let stream = TcpStream::connect_timeout(&sockaddr, Duration::from_millis(HANDSHAKE_MS))?;
+    stream.set_nodelay(true)?;
+    stream.set_write_timeout(Some(Duration::from_millis(HANDSHAKE_MS)))?;
+    let read_side = stream.try_clone()?;
+    read_side.set_read_timeout(Some(Duration::from_millis(50)))?;
+
+    let conn = Arc::new(WorkerConn {
+        writer: Mutex::new(stream),
+        pending: Mutex::new(HashMap::new()),
+        conn_alive: AtomicBool::new(true),
+        reader: Mutex::new(None),
+    });
+
+    let reader = {
+        let conn = Arc::clone(&conn);
+        let shared = Arc::clone(shared);
+        thread::Builder::new()
+            .name(format!("pool-worker-rx-{rank}"))
+            .spawn(move || worker_reader_loop(read_side, &conn, &shared, rank))?
+    };
+    if let Ok(mut slot) = conn.reader.lock() {
+        *slot = Some(reader);
+    }
+    Ok(conn)
+}
+
+/// Pumps one worker connection: resolves pending replies, feeds the
+/// failure detector, and drains the pending map when the stream dies.
+fn worker_reader_loop(
+    mut stream: TcpStream,
+    conn: &Arc<WorkerConn>,
+    shared: &Arc<PoolShared>,
+    rank: usize,
+) {
+    let mut dec = EnvelopeDecoder::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        if !conn.conn_alive.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                dec.feed(&buf[..n]);
+                loop {
+                    let body = match dec.next_body() {
+                        Ok(Some(b)) => b,
+                        Ok(None) => break,
+                        Err(_) => {
+                            conn.drain_dead();
+                            return;
+                        }
+                    };
+                    let Ok((id, resp)) = decode_response(&body) else {
+                        conn.drain_dead();
+                        return;
+                    };
+                    if let Ok(mut d) = shared.detector.lock() {
+                        d.heard_from(rank, now_ms());
+                    }
+                    if let Response::Mutated { epoch, .. }
+                    | Response::Welcome { epoch, .. }
+                    | Response::SubsetBc { epoch, .. } = &resp
+                    {
+                        shared.epoch.fetch_max(*epoch, Ordering::SeqCst);
+                    }
+                    let waiter = conn.pending.lock().ok().and_then(|mut p| p.remove(&id));
+                    if let Some(tx) = waiter {
+                        drop(tx.send(WorkerReply::Answer(resp)));
+                    }
+                    // No waiter: a probe or an abandoned/hedged request
+                    // that already got its answer elsewhere. Drop it.
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    conn.drain_dead();
+}
+
+/// Sends `req` on `conn` and waits up to `timeout_ms` for its answer.
+fn call_conn(
+    shared: &Arc<PoolShared>,
+    conn: &Arc<WorkerConn>,
+    req: &Request,
+    timeout_ms: u64,
+) -> Option<Response> {
+    let (tx, rx) = mpsc::channel();
+    let id = shared.fresh_id();
+    conn.send(id, req, tx).ok()?;
+    match rx.recv_timeout(Duration::from_millis(timeout_ms)) {
+        Ok(WorkerReply::Answer(resp)) => Some(resp),
+        _ => None,
+    }
+}
+
+/// Spawn + connect + handshake + mutation-log replay for one rank, then
+/// publish the connection. Holds the mutation-log lock across replay and
+/// publish so broadcasts serialize against recovery (a respawning worker
+/// can neither miss nor double-order a mutation).
+fn bring_up_worker(
+    shared: &Arc<PoolShared>,
+    spawner: &mut WorkerSpawn,
+    rank: usize,
+) -> io::Result<()> {
+    // Any failure past the spawn must kill the backend, or a half-born
+    // worker process would leak every time the supervisor retries.
+    fn abort(mut backend: Backend, err: io::Error) -> io::Result<()> {
+        backend.kill();
+        Err(err)
+    }
+
+    let (backend, addr) = spawn_backend(spawner, rank)?;
+    let conn = match connect_worker(shared, rank, &addr) {
+        Ok(c) => c,
+        Err(e) => return abort(backend, e),
+    };
+
+    let welcome = call_conn(shared, &conn, &Request::Hello, HANDSHAKE_MS);
+    let Some(Response::Welcome {
+        vertices, edges, ..
+    }) = welcome
+    else {
+        conn.drain_dead();
+        return abort(
+            backend,
+            io::Error::new(io::ErrorKind::TimedOut, "worker handshake failed"),
+        );
+    };
+    if let Ok(mut info) = shared.graph_info.lock() {
+        *info = (vertices, edges);
+    }
+
+    {
+        let log = match shared.mutation_log.lock() {
+            Ok(l) => l,
+            Err(_) => return abort(backend, io::Error::other("mutation log poisoned")),
+        };
+        for &(op, u, v) in log.iter() {
+            let replayed = call_conn(shared, &conn, &Request::Mutate { op, u, v }, HANDSHAKE_MS);
+            if !matches!(replayed, Some(Response::Mutated { .. })) {
+                conn.drain_dead();
+                drop(log);
+                return abort(
+                    backend,
+                    io::Error::other("mutation replay failed during recovery"),
+                );
+            }
+        }
+        let slot = &shared.slots[rank];
+        if let Ok(mut b) = slot.backend.lock() {
+            *b = backend;
+        }
+        if let Ok(mut c) = slot.conn.lock() {
+            *c = Some(conn);
+        }
+    }
+    if let Ok(mut d) = shared.detector.lock() {
+        d.reset_peer(rank, now_ms());
+    }
+    Ok(())
+}
+
+/// Tears down whatever remains of worker `rank`.
+fn tear_down_worker(shared: &Arc<PoolShared>, rank: usize) {
+    let slot = &shared.slots[rank];
+    let conn = slot.conn.lock().ok().and_then(|mut c| c.take());
+    if let Some(conn) = conn {
+        conn.drain_dead();
+        if let Ok(w) = conn.writer.lock() {
+            drop(w.shutdown(std::net::Shutdown::Both));
+        }
+        let reader = conn.reader.lock().ok().and_then(|mut r| r.take());
+        if let Some(h) = reader {
+            drop(h.join());
+        }
+    }
+    if let Ok(mut backend) = slot.backend.lock() {
+        backend.kill();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Supervision
+// ---------------------------------------------------------------------
+
+/// Tracks which one-shot chaos clauses have fired.
+struct ChaosState {
+    kills_fired: Vec<bool>,
+    pauses_fired: Vec<bool>,
+}
+
+fn supervise_loop(shared: &Arc<PoolShared>, mut spawner: WorkerSpawn, faults: Option<FaultPlan>) {
+    let plan = faults.unwrap_or_default();
+    let mut chaos = ChaosState {
+        kills_fired: vec![false; plan.worker_kills.len()],
+        pauses_fired: vec![false; plan.worker_pauses.len()],
+    };
+
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        let now = now_ms();
+
+        // Heartbeat probes on the detector's beat schedule: a Stats
+        // request per worker whose answer (any answer) is liveness
+        // evidence. The reply is discarded — the rx side is dropped —
+        // so probes cost one pending-map entry, no waiting.
+        let beat = shared.detector.lock().map(|mut d| d.beat_due(now));
+        if beat.unwrap_or(false) {
+            for rank in 0..shared.workers {
+                if let Some(conn) = shared.conn_of(rank) {
+                    let (tx, _rx) = mpsc::channel();
+                    drop(conn.send(shared.fresh_id(), &Request::Stats, tx));
+                }
+            }
+        }
+
+        // Chaos clauses (before liveness, so a kill is noticed on the
+        // same pump).
+        execute_chaos(shared, &plan, &mut chaos);
+
+        // Liveness: hard evidence (dead connection) or detector verdict.
+        for rank in 0..shared.workers {
+            let conn_present = shared.slots[rank]
+                .conn
+                .lock()
+                .map(|c| c.is_some())
+                .unwrap_or(false);
+            if !conn_present {
+                continue; // never brought up (start_pool failed earlier)
+            }
+            let conn_dead = shared.conn_of(rank).is_none();
+            let verdict = shared
+                .detector
+                .lock()
+                .map(|mut d| d.status(rank, now))
+                .unwrap_or(PeerStatus::Alive);
+            if conn_dead || verdict == PeerStatus::Dead {
+                let t0 = now_ms();
+                tear_down_worker(shared, rank);
+                match bring_up_worker(shared, &mut spawner, rank) {
+                    Ok(()) => {
+                        shared.counters.respawns.fetch_add(1, Ordering::Relaxed);
+                        if let Ok(mut rec) = shared.recoveries_ms.lock() {
+                            rec.push(now_ms().saturating_sub(t0));
+                        }
+                    }
+                    Err(_) => {
+                        // Spawn failed (resource exhaustion?); leave the
+                        // slot down, retry on the next pump. Queries keep
+                        // failing over to siblings meanwhile.
+                    }
+                }
+            }
+        }
+
+        thread::sleep(SUPERVISE_EVERY);
+    }
+
+    // Shutdown: stop every worker. Best-effort protocol goodbye first so
+    // process workers exit cleanly, then the hard kill.
+    for rank in 0..shared.workers {
+        if let Some(conn) = shared.conn_of(rank) {
+            drop(call_conn(shared, &conn, &Request::Shutdown, 500));
+        }
+        tear_down_worker(shared, rank);
+    }
+}
+
+/// Executes due `kill:worker=` / `pause:worker=` clauses.
+fn execute_chaos(shared: &Arc<PoolShared>, plan: &FaultPlan, chaos: &mut ChaosState) {
+    for (i, k) in plan.worker_kills.iter().enumerate() {
+        if chaos.kills_fired[i] || k.rank >= shared.workers {
+            continue;
+        }
+        if shared.slots[k.rank].dispatched.load(Ordering::Relaxed) >= k.query {
+            chaos.kills_fired[i] = true;
+            if let Ok(mut backend) = shared.slots[k.rank].backend.lock() {
+                backend.kill();
+            }
+            if let Some(conn) = shared.conn_of(k.rank) {
+                conn.drain_dead();
+            }
+        }
+    }
+    for (i, p) in plan.worker_pauses.iter().enumerate() {
+        if chaos.pauses_fired[i] || p.rank >= shared.workers {
+            continue;
+        }
+        // Fire once the worker has seen traffic, so the freeze lands
+        // mid-load rather than on an idle daemon.
+        if shared.slots[p.rank].dispatched.load(Ordering::Relaxed) >= 1 {
+            chaos.pauses_fired[i] = true;
+            let pid = shared.slots[p.rank]
+                .backend
+                .lock()
+                .ok()
+                .and_then(|b| b.pid());
+            if let Some(pid) = pid {
+                let ms = u64::from(p.ms);
+                drop(
+                    thread::Builder::new()
+                        .name("pool-pause".into())
+                        .spawn(move || {
+                            drop(
+                                Command::new("kill")
+                                    .args(["-STOP", &pid.to_string()])
+                                    .status(),
+                            );
+                            thread::sleep(Duration::from_millis(ms));
+                            drop(
+                                Command::new("kill")
+                                    .args(["-CONT", &pid.to_string()])
+                                    .status(),
+                            );
+                        }),
+                );
+            }
+            // In-process workers have no pid to freeze; the clause is a
+            // no-op there (tests use process mode for pause coverage).
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------
+
+/// Source-range shard affinity: contiguous vertex ranges, the same
+/// blocked split the `BlockedEdgeCut` partitioning policy uses.
+fn shard_of(s: u32, vertices: u64, workers: usize) -> usize {
+    if vertices == 0 {
+        return 0;
+    }
+    let rank = (u64::from(s)).saturating_mul(workers as u64) / vertices;
+    (rank as usize).min(workers - 1)
+}
+
+/// Routes one query to `start_rank`, failing over to siblings when a
+/// worker dies mid-flight and hedging stragglers when configured. The
+/// absolute deadline bounds the whole affair; `None` means "not answered
+/// in time" and the caller emits `Retry`.
+fn call_worker(
+    shared: &Arc<PoolShared>,
+    start_rank: usize,
+    req: &Request,
+    deadline_ms: u64,
+) -> Option<Response> {
+    let w = shared.workers;
+    let (tx, rx) = mpsc::channel();
+    let mut rank = start_rank % w;
+    let mut dispatches = 0usize;
+    let mut outstanding = 0usize;
+    let mut hedged = false;
+    // One dispatch per worker plus one hedge is the budget; past that the
+    // pool is out of healthy siblings.
+    let budget = w + 1;
+
+    loop {
+        let now = now_ms();
+        if now >= deadline_ms {
+            return None;
+        }
+        if outstanding == 0 {
+            // Find the next rank that accepts the dispatch.
+            let mut placed = false;
+            for _ in 0..w {
+                if dispatches >= budget {
+                    return None;
+                }
+                if let Some(conn) = shared.conn_of(rank) {
+                    let id = shared.fresh_id();
+                    shared.slots[rank]
+                        .dispatched
+                        .fetch_add(1, Ordering::Relaxed);
+                    if conn.send(id, req, tx.clone()).is_ok() {
+                        dispatches += 1;
+                        outstanding += 1;
+                        placed = true;
+                        break;
+                    }
+                }
+                rank = (rank + 1) % w;
+            }
+            if !placed {
+                // No live worker at all: bail out now, the client gets
+                // a Retry and the supervisor keeps respawning.
+                return None;
+            }
+        }
+
+        let remaining = deadline_ms.saturating_sub(now_ms());
+        if remaining == 0 {
+            return None;
+        }
+        let wait = match shared.hedge_after_ms {
+            Some(h) if !hedged && remaining > h => h,
+            _ => remaining,
+        };
+        match rx.recv_timeout(Duration::from_millis(wait)) {
+            Ok(WorkerReply::Answer(resp)) => return Some(resp),
+            Ok(WorkerReply::ConnDead) => {
+                outstanding -= 1;
+                shared.counters.failovers.fetch_add(1, Ordering::Relaxed);
+                rank = (rank + 1) % w;
+                // Loop re-dispatches to the next sibling (or keeps
+                // waiting on the hedge twin if one is still out).
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if wait == remaining {
+                    return None; // deadline spent
+                }
+                // Hedge window elapsed: duplicate to a sibling, first
+                // answer wins, the loser resolves to a dropped entry.
+                hedged = true;
+                let sibling = (rank + 1) % w;
+                if sibling != rank || w == 1 {
+                    if let Some(conn) = shared.conn_of(sibling) {
+                        let id = shared.fresh_id();
+                        if conn.send(id, req, tx.clone()).is_ok() {
+                            shared.counters.hedges.fetch_add(1, Ordering::Relaxed);
+                            shared.slots[sibling]
+                                .dispatched
+                                .fetch_add(1, Ordering::Relaxed);
+                            dispatches += 1;
+                            outstanding += 1;
+                        }
+                    }
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return None,
+        }
+    }
+}
+
+/// Aggregated pool stats: per-worker counters summed, plus the pool's
+/// own session count (clients connect to the front-end, not workers).
+fn aggregate_stats(shared: &Arc<PoolShared>) -> Response {
+    let mut total = ServeStats::default();
+    let mut answered = false;
+    for rank in 0..shared.workers {
+        let Some(conn) = shared.conn_of(rank) else {
+            continue;
+        };
+        if let Some(Response::Stats(s)) = call_conn(shared, &conn, &Request::Stats, 2_000) {
+            total.epoch = total.epoch.max(s.epoch);
+            total.queries += s.queries;
+            total.source_queries += s.source_queries;
+            total.batches += s.batches;
+            total.batched_sources += s.batched_sources;
+            total.busy_rejections += s.busy_rejections;
+            total.stale_rejections += s.stale_rejections;
+            total.mutations = total.mutations.max(s.mutations);
+            answered = true;
+        }
+    }
+    if !answered {
+        return shared.retry();
+    }
+    total.sessions = shared.counters.sessions.load(Ordering::Relaxed);
+    Response::Stats(total)
+}
+
+/// Broadcasts a mutation to every live worker in rank order, holding the
+/// mutation-log lock so recovery replay serializes against it.
+fn broadcast_mutate(shared: &Arc<PoolShared>, op: MutateOp, u: u32, v: u32) -> Response {
+    let Ok(mut log) = shared.mutation_log.lock() else {
+        return shared.retry();
+    };
+    log.push((op, u, v));
+    let mut reply: Option<Response> = None;
+    for rank in 0..shared.workers {
+        let Some(conn) = shared.conn_of(rank) else {
+            continue;
+        };
+        let resp = call_conn(
+            shared,
+            &conn,
+            &Request::Mutate { op, u, v },
+            shared.dispatch_timeout_ms,
+        );
+        match resp {
+            Some(Response::Mutated { epoch, applied }) => {
+                shared.epoch.fetch_max(epoch, Ordering::SeqCst);
+                if reply.is_none() {
+                    reply = Some(Response::Mutated { epoch, applied });
+                }
+            }
+            Some(Response::Error { message }) if reply.is_none() => {
+                // Validation failure (vertex out of range): identical on
+                // every worker, so the first verdict is THE verdict; the
+                // entry must not stay in the log either.
+                log.pop();
+                return Response::Error { message };
+            }
+            _ => {
+                // Dead or slow worker: it will be respawned and replay
+                // the log, converging to the same epoch.
+            }
+        }
+    }
+    match reply {
+        Some(r) => r,
+        None => {
+            // Nobody took the mutation; withdraw it so a later retry is
+            // not applied twice.
+            log.pop();
+            shared.retry()
+        }
+    }
+}
+
+/// `SubsetBc` fan-out: canonicalize, group by shard affinity, dispatch
+/// each group to its owner, merge per-group vectors in rank order. Lost
+/// groups degrade the answer to `Partial { missing_sources }`.
+fn fan_out_subset(shared: &Arc<PoolShared>, epoch_pin: u64, sources: &[u32]) -> Response {
+    let vertices = shared.graph_info.lock().map(|g| g.0).unwrap_or(0);
+    let mut canon: Vec<u32> = sources.to_vec();
+    canon.sort_unstable();
+    canon.dedup();
+    if canon.is_empty() {
+        // Zero sources → zero scores; answer locally at the current
+        // epoch without bothering a worker.
+        return Response::SubsetBc {
+            epoch: shared.epoch.load(Ordering::SeqCst),
+            scores: vec![0.0; vertices as usize],
+        };
+    }
+
+    // Group in rank order (canon is sorted, shards are contiguous, so
+    // groups are consecutive runs).
+    let mut groups: Vec<(usize, Vec<u32>)> = Vec::new();
+    for &s in &canon {
+        let rank = shard_of(s, vertices, shared.workers);
+        match groups.last_mut() {
+            Some((r, g)) if *r == rank => g.push(s),
+            _ => groups.push((rank, vec![s])),
+        }
+    }
+
+    let deadline = now_ms() + shared.dispatch_timeout_ms;
+    let mut merged: Option<Vec<f64>> = None;
+    let mut merged_epoch: Option<u64> = None;
+    let mut missing: Vec<u32> = Vec::new();
+
+    for (rank, group) in &groups {
+        let sub = Request::SubsetBc {
+            epoch: epoch_pin,
+            sources: group.clone(),
+        };
+        let remaining = deadline.saturating_sub(now_ms());
+        let resp = if remaining == 0 {
+            None
+        } else {
+            call_worker(shared, *rank, &sub, now_ms() + remaining)
+        };
+        match resp {
+            Some(Response::SubsetBc { epoch, scores }) => {
+                match merged_epoch {
+                    Some(e) if e != epoch => {
+                        // A mutation landed between groups; a merged
+                        // vector would be torn. Structured retreat.
+                        return shared.retry();
+                    }
+                    _ => merged_epoch = Some(epoch),
+                }
+                match &mut merged {
+                    None => merged = Some(scores),
+                    Some(acc) => {
+                        if acc.len() != scores.len() {
+                            return shared.retry();
+                        }
+                        for (a, s) in acc.iter_mut().zip(scores) {
+                            *a += s;
+                        }
+                    }
+                }
+            }
+            // Substantive refusals apply to the whole request.
+            Some(r @ (Response::Stale { .. } | Response::Busy { .. } | Response::Error { .. })) => {
+                return r;
+            }
+            _ => missing.extend_from_slice(group),
+        }
+    }
+
+    match (merged, merged_epoch) {
+        (Some(scores), Some(epoch)) if missing.is_empty() => Response::SubsetBc { epoch, scores },
+        (Some(scores), Some(epoch)) => {
+            shared
+                .counters
+                .partials_emitted
+                .fetch_add(1, Ordering::Relaxed);
+            Response::Partial {
+                epoch,
+                scores,
+                missing_sources: missing,
+            }
+        }
+        _ => shared.retry(),
+    }
+}
+
+/// Routes one decoded request; always returns, never hangs.
+fn route(shared: &Arc<PoolShared>, req: &Request) -> Response {
+    match req {
+        Request::Hello => {
+            let (vertices, edges) = shared.graph_info.lock().map(|g| *g).unwrap_or((0, 0));
+            Response::Welcome {
+                epoch: shared.epoch.load(Ordering::SeqCst),
+                vertices,
+                edges,
+            }
+        }
+        Request::Stats => aggregate_stats(shared),
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            Response::Bye
+        }
+        Request::Mutate { op, u, v } => {
+            shared.counters.routed.fetch_add(1, Ordering::Relaxed);
+            broadcast_mutate(shared, *op, *u, *v)
+        }
+        Request::SubsetBc { epoch, sources } => {
+            shared.counters.routed.fetch_add(1, Ordering::Relaxed);
+            fan_out_subset(shared, *epoch, sources)
+        }
+        Request::PathInfo { s, .. } => {
+            shared.counters.routed.fetch_add(1, Ordering::Relaxed);
+            let vertices = shared.graph_info.lock().map(|g| g.0).unwrap_or(0);
+            let rank = shard_of(*s, vertices, shared.workers);
+            let deadline = now_ms() + shared.dispatch_timeout_ms;
+            call_worker(shared, rank, req, deadline).unwrap_or_else(|| shared.retry())
+        }
+        Request::BcScore { .. } | Request::TopK { .. } => {
+            shared.counters.routed.fetch_add(1, Ordering::Relaxed);
+            let rank = shared.first_alive().unwrap_or(0);
+            let deadline = now_ms() + shared.dispatch_timeout_ms;
+            call_worker(shared, rank, req, deadline).unwrap_or_else(|| shared.retry())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Front-end listener / sessions
+// ---------------------------------------------------------------------
+
+fn listener_loop(listener: TcpListener, shared: &Arc<PoolShared>) {
+    let mut sessions: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let index = shared.counters.sessions.fetch_add(1, Ordering::Relaxed) + 1;
+                let shared = Arc::clone(shared);
+                let spawned = thread::Builder::new()
+                    .name(format!("pool-sess-{index}"))
+                    .spawn(move || session_loop(stream, &shared));
+                match spawned {
+                    Ok(h) => sessions.push(h),
+                    Err(_) => {
+                        // Thread exhaustion: shed the connection.
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(PUMP_IDLE),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => thread::sleep(PUMP_IDLE),
+        }
+    }
+    for h in sessions {
+        drop(h.join());
+    }
+}
+
+/// Writes one sealed response on a blocking stream.
+fn write_frame(stream: &mut TcpStream, id: u64, resp: &Response) -> io::Result<()> {
+    stream.write_all(&framing::seal(&encode_response(id, resp)))
+}
+
+/// One front-end client session. The stream is blocking with a short
+/// read timeout so the loop can observe shutdown; request handling is
+/// synchronous (routing blocks this thread, bounded by the dispatch
+/// deadline), which preserves per-session response ordering.
+fn session_loop(mut stream: TcpStream, shared: &Arc<PoolShared>) {
+    if stream.set_nodelay(true).is_err()
+        || stream
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .is_err()
+        || stream
+            .set_write_timeout(Some(Duration::from_millis(10_000)))
+            .is_err()
+    {
+        return;
+    }
+    let mut dec = EnvelopeDecoder::new();
+    let mut greeted = false;
+    let mut buf = [0u8; 4096];
+
+    'pump: loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => dec.feed(&buf[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+        loop {
+            let body = match dec.next_body() {
+                Ok(Some(b)) => b,
+                Ok(None) => break,
+                Err(_) => break 'pump,
+            };
+            let (id, req) = match decode_request(&body) {
+                Ok(pair) => pair,
+                Err(e) => {
+                    let resp = Response::Error {
+                        message: format!("malformed request: {e}"),
+                    };
+                    drop(write_frame(&mut stream, 0, &resp));
+                    break 'pump;
+                }
+            };
+            if !greeted && !matches!(req, Request::Hello) {
+                let resp = Response::Error {
+                    message: "handshake required before queries".to_string(),
+                };
+                drop(write_frame(&mut stream, id, &resp));
+                break 'pump;
+            }
+            if matches!(req, Request::Hello) {
+                greeted = true;
+            }
+            let is_bye = matches!(req, Request::Shutdown);
+            let resp = route(shared, &req);
+            if write_frame(&mut stream, id, &resp).is_err() {
+                break 'pump;
+            }
+            if is_bye {
+                break 'pump;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{ClientConfig, RetryClient, ServeClient};
+    use mrbc_graph::GraphBuilder;
+
+    fn test_graph() -> CsrGraph {
+        // A 12-vertex graph with enough structure that BC is nonzero.
+        let mut b = GraphBuilder::new(12);
+        for v in 0..11u32 {
+            b = b.edge(v, v + 1).edge(v + 1, v);
+        }
+        b.edge(0, 6).edge(6, 0).edge(3, 9).edge(9, 3).build()
+    }
+
+    fn test_pool(workers: usize) -> Pool {
+        let spawn = WorkerSpawn::InProcess {
+            graph: test_graph(),
+            bc: Box::default(),
+            sched: SchedConfig::default(),
+        };
+        let cfg = PoolConfig {
+            workers,
+            dispatch_timeout_ms: 20_000,
+            detector: DetectorConfig {
+                heartbeat_every_ms: 20,
+                suspect_after_ms: 200,
+                dead_after_ms: 800,
+            },
+            ..PoolConfig::default()
+        };
+        start_pool(spawn, cfg).expect("pool starts")
+    }
+
+    fn quick_client(addr: SocketAddr) -> ServeClient {
+        ServeClient::connect_with(
+            addr,
+            &ClientConfig {
+                read_timeout: Duration::from_secs(30),
+                ..ClientConfig::default()
+            },
+        )
+        .expect("connect")
+    }
+
+    #[test]
+    fn pool_answers_like_a_single_daemon() {
+        let pool = test_pool(2);
+        let mut single = {
+            let server = start(test_graph(), ServeConfig::default()).expect("daemon");
+            ServeClient::connect(server.local_addr()).map(|c| (server, c))
+        }
+        .expect("single connect");
+
+        let mut c = quick_client(pool.local_addr());
+        assert_eq!(c.welcome().vertices, 12);
+
+        // Full-BC answers must be bit-identical to the single daemon's.
+        for v in [0u32, 3, 6, 11] {
+            let (_, pooled) = c.bc_score(0, v).expect("pool bc");
+            let (_, alone) = single.1.bc_score(0, v).expect("single bc");
+            assert_eq!(pooled.to_bits(), alone.to_bits(), "bc({v}) diverged");
+        }
+        let (_, pk) = c.top_k(0, 5).expect("pool topk");
+        let (_, sk) = single.1.top_k(0, 5).expect("single topk");
+        assert_eq!(pk, sk);
+
+        // Path queries route by shard affinity; answers are exact.
+        let (_, d, sigma) = c.path_info(0, 0, 11).expect("path");
+        let (_, d2, s2) = single.1.path_info(0, 0, 11).expect("single path");
+        assert_eq!((d, sigma.to_bits()), (d2, s2.to_bits()));
+
+        // Source sets spanning multiple shards merge deterministically.
+        let sources = [0u32, 1, 5, 10, 11];
+        let (_, merged) = c.subset_bc(0, &sources).expect("subset");
+        let (_, again) = quick_client(pool.local_addr())
+            .subset_bc(0, &sources)
+            .expect("subset again");
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&merged), bits(&again), "merge is deterministic");
+    }
+
+    #[test]
+    fn mutations_broadcast_and_welcome_tracks_epoch() {
+        let pool = test_pool(2);
+        let mut c = quick_client(pool.local_addr());
+        let (e1, applied) = c.mutate(MutateOp::AddEdge, 0, 5).expect("mutate");
+        assert!(applied);
+        assert_eq!(e1, 2, "epoch bumps from 1 to 2 on every worker");
+        // A fresh session sees the new epoch in its Welcome.
+        let c2 = quick_client(pool.local_addr());
+        assert_eq!(c2.welcome().epoch, 2);
+        // Both shards answer post-mutation queries at the same epoch.
+        let mut c3 = quick_client(pool.local_addr());
+        let (e_a, _, _) = c3.path_info(0, 1, 3).expect("shard 0");
+        let (e_b, _, _) = c3.path_info(0, 11, 3).expect("shard 1");
+        assert_eq!(e_a, 2, "shard 0 worker applied the mutation");
+        assert_eq!(e_b, 2, "shard 1 worker applied the mutation");
+        assert_eq!(pool.epoch(), 2);
+    }
+
+    #[test]
+    fn killed_worker_respawns_and_queries_keep_completing() {
+        let pool = test_pool(2);
+        let mut c = quick_client(pool.local_addr());
+        let (_, before) = c.bc_score(0, 6).expect("bc before kill");
+
+        pool.kill_worker(0);
+        // Queries keep completing throughout the respawn window; the
+        // RetryClient absorbs any Retry the router emits meanwhile.
+        let mut rc = RetryClient::new(
+            vec![pool.local_addr().to_string()],
+            ClientConfig {
+                max_retries: 50,
+                backoff_base_ms: 10,
+                backoff_max_ms: 100,
+                ..ClientConfig::default()
+            },
+        );
+        for _ in 0..10 {
+            match rc.call(&Request::BcScore { epoch: 0, v: 6 }).expect("call") {
+                Response::BcValue { score, .. } => {
+                    assert_eq!(
+                        score.to_bits(),
+                        before.to_bits(),
+                        "bit-exact across failover"
+                    );
+                }
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+        // The supervisor eventually records the respawn.
+        let deadline = now_ms() + 30_000;
+        while pool.pool_stats().respawns == 0 && now_ms() < deadline {
+            thread::sleep(Duration::from_millis(20));
+        }
+        assert!(pool.pool_stats().respawns >= 1, "worker was respawned");
+        assert_eq!(
+            pool.recoveries_ms().len() as u64,
+            pool.pool_stats().respawns
+        );
+    }
+
+    #[test]
+    fn respawned_worker_replays_mutations() {
+        let pool = test_pool(2);
+        let mut c = quick_client(pool.local_addr());
+        let (e, _) = c.mutate(MutateOp::AddEdge, 2, 7).expect("mutate");
+        assert_eq!(e, 2);
+
+        pool.kill_worker(1);
+        let deadline = now_ms() + 30_000;
+        while pool.pool_stats().respawns == 0 && now_ms() < deadline {
+            thread::sleep(Duration::from_millis(20));
+        }
+        // Shard-1 queries (handled by the respawned worker) answer at
+        // the replayed epoch, not a stale one.
+        let mut rc = RetryClient::new(
+            vec![pool.local_addr().to_string()],
+            ClientConfig {
+                max_retries: 50,
+                backoff_base_ms: 10,
+                backoff_max_ms: 100,
+                ..ClientConfig::default()
+            },
+        );
+        match rc
+            .call(&Request::PathInfo {
+                epoch: 0,
+                s: 11,
+                t: 0,
+            })
+            .expect("path after respawn")
+        {
+            Response::PathInfo { epoch, .. } => assert_eq!(epoch, 2, "mutation was replayed"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shard_affinity_is_contiguous_and_total() {
+        assert_eq!(shard_of(0, 12, 3), 0);
+        assert_eq!(shard_of(3, 12, 3), 0);
+        assert_eq!(shard_of(4, 12, 3), 1);
+        assert_eq!(shard_of(11, 12, 3), 2);
+        // Every vertex maps to a valid rank, ranges are monotone.
+        let mut prev = 0usize;
+        for s in 0..100u32 {
+            let r = shard_of(s, 100, 7);
+            assert!(r < 7);
+            assert!(r >= prev);
+            prev = r;
+        }
+        // Degenerate inputs stay in range.
+        assert_eq!(shard_of(5, 0, 3), 0);
+        assert_eq!(shard_of(500, 100, 7), 6);
+    }
+
+    #[test]
+    fn shutdown_via_protocol_stops_the_pool() {
+        let mut pool = test_pool(1);
+        let mut c = quick_client(pool.local_addr());
+        c.shutdown().expect("bye");
+        pool.wait();
+        assert!(pool.is_shutting_down());
+    }
+}

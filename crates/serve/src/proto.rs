@@ -228,6 +228,26 @@ pub enum Response {
     },
     /// Acknowledges [`Request::Shutdown`]; the connection closes next.
     Bye,
+    /// Transient pool-level failure (worker died mid-request, respawn in
+    /// flight): the request was *not* answered and should be resent after
+    /// the hinted delay. Never emitted by a single-process daemon.
+    Retry {
+        /// Suggested client wait before resending, in milliseconds.
+        after_ms: u32,
+    },
+    /// Degraded answer to [`Request::SubsetBc`]: scores accumulated from
+    /// the sources that completed; `missing_sources` lists the requested
+    /// sources whose shard was lost mid-query. Per-source contributions
+    /// compose independently (Crescenzi–Fraigniaud–Paz), so the partial
+    /// vector is exact for the sources it covers.
+    Partial {
+        /// Epoch the completed contributions belong to.
+        epoch: u64,
+        /// Per-vertex scores from the completed sources only.
+        scores: Vec<f64>,
+        /// Requested sources with no contribution in `scores`.
+        missing_sources: Vec<u32>,
+    },
 }
 
 /// Encodes a request body (unsealed — wrap with [`framing::seal`]).
@@ -427,6 +447,28 @@ pub fn encode_response(id: u64, resp: &Response) -> Vec<u8> {
             w.u8(10);
             w.u64(id);
         }
+        Response::Retry { after_ms } => {
+            w.u8(11);
+            w.u64(id);
+            w.u32(*after_ms);
+        }
+        Response::Partial {
+            epoch,
+            scores,
+            missing_sources,
+        } => {
+            w.u8(12);
+            w.u64(id);
+            w.u64(*epoch);
+            w.u32(scores.len() as u32);
+            for s in scores {
+                w.f64(*s);
+            }
+            w.u32(missing_sources.len() as u32);
+            for s in missing_sources {
+                w.u32(*s);
+            }
+        }
     }
     w.into_bytes()
 }
@@ -507,6 +549,31 @@ pub fn decode_response(body: &[u8]) -> Result<(u64, Response), WireError> {
             message: String::from_utf8_lossy(r.bytes()?).into_owned(),
         },
         10 => Response::Bye,
+        11 => Response::Retry { after_ms: r.u32()? },
+        12 => {
+            let epoch = r.u64()?;
+            let count = r.u32()? as usize;
+            if count > body.len() {
+                return Err(WireError::Invalid("score count exceeds body"));
+            }
+            let mut scores = Vec::with_capacity(count);
+            for _ in 0..count {
+                scores.push(r.f64()?);
+            }
+            let mcount = r.u32()? as usize;
+            if mcount > body.len() {
+                return Err(WireError::Invalid("missing-source count exceeds body"));
+            }
+            let mut missing_sources = Vec::with_capacity(mcount);
+            for _ in 0..mcount {
+                missing_sources.push(r.u32()?);
+            }
+            Response::Partial {
+                epoch,
+                scores,
+                missing_sources,
+            }
+        }
         _ => return Err(WireError::Invalid("unknown response tag")),
     };
     if !r.is_empty() {
@@ -607,6 +674,17 @@ mod tests {
                 message: "vertex out of range".into(),
             },
             Response::Bye,
+            Response::Retry { after_ms: 250 },
+            Response::Partial {
+                epoch: 6,
+                scores: vec![0.0, -0.0, 4.5],
+                missing_sources: vec![2, 9],
+            },
+            Response::Partial {
+                epoch: 7,
+                scores: vec![],
+                missing_sources: vec![],
+            },
         ];
         for (i, resp) in resps.iter().enumerate() {
             let id = i as u64;

@@ -175,6 +175,8 @@ fn arb_maskable_plan(hosts: usize) -> impl Strategy<Value = FaultPlan> {
             seed,
             crashes: Vec::new(),
             kills: Vec::new(),
+            worker_kills: Vec::new(),
+            worker_pauses: Vec::new(),
             partitions: Vec::new(),
             stall_ms: 0,
             hangups: Vec::new(),
