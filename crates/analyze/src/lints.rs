@@ -21,6 +21,7 @@
 //! | `nondet` | no `HashMap`/`HashSet`/unseeded RNG in protocol crates (congest, core, dgalois) — iteration order and entropy must never reach the message schedule |
 //! | `exit` | no `std::process::exit` outside the CLI binary |
 //! | `retrysleep` | no raw `thread::sleep` in retry loops — pace retries through `mrbc_util::backoff::Backoff` so delays are bounded, jitterable, and replayable |
+//! | `spandrop` | no `let _ = …::span(...)` — the wildcard pattern drops the guard immediately, recording a zero-length span; bind it (`let _g = …`) so it lives to the end of the scope |
 
 use crate::lexer::{self, Masked};
 use std::fmt;
@@ -41,17 +42,20 @@ pub enum LintId {
     Exit,
     /// Hand-rolled `thread::sleep` pacing inside retry loops.
     RetrySleep,
+    /// A span guard dropped at birth via `let _ = …::span(...)`.
+    SpanDrop,
 }
 
 impl LintId {
     /// All lints, in reporting order.
-    pub const ALL: [LintId; 6] = [
+    pub const ALL: [LintId; 7] = [
         LintId::WallClock,
         LintId::Unwrap,
         LintId::Safety,
         LintId::Nondet,
         LintId::Exit,
         LintId::RetrySleep,
+        LintId::SpanDrop,
     ];
 
     /// The name used in `// lint: allow(<name>)` comments and CLI args.
@@ -63,6 +67,7 @@ impl LintId {
             LintId::Nondet => "nondet",
             LintId::Exit => "exit",
             LintId::RetrySleep => "retrysleep",
+            LintId::SpanDrop => "spandrop",
         }
     }
 
@@ -306,6 +311,26 @@ pub fn lint_file(ctx: &FileContext, source: &str) -> Vec<Violation> {
                         .to_string(),
                 );
             }
+        }
+
+        // spandrop — `let _ = span(...)` runs Drop immediately, so the
+        // span covers nothing. Any named binding (`let _g = …`) keeps
+        // the guard alive to the end of the scope. Applies everywhere:
+        // a zero-length span is as misleading in a test as in the
+        // library.
+        if (text.contains("let _ =") || text.contains("let _="))
+            && ["::span(", "::span_on(", "::span_at("]
+                .iter()
+                .any(|pat| text.contains(pat))
+        {
+            emit(
+                LintId::SpanDrop,
+                line,
+                "`let _ = …::span(...)` drops the guard immediately, recording a \
+                 zero-length span; bind it to a named variable (`let _g = …`) so it \
+                 spans the scope"
+                    .to_string(),
+            );
         }
     }
     out.sort_by_key(|v| v.line);
@@ -623,6 +648,46 @@ loop {
                    // lint: allow(retrysleep): fixed cadence mandated by the protocol spec\n\
                    std::thread::sleep(d);\n";
         assert!(lint_file(&ctx("crates/net/src/x.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn spandrop_flags_wildcard_bindings_only() {
+        // The bug: wildcard pattern drops the guard at birth.
+        let src = "let _ = mrbc_obs::span(\"phase\", \"cat\");\n";
+        let vs = lint_file(&ctx("crates/core/src/x.rs"), src);
+        assert_eq!(lints_of(&vs), vec![LintId::SpanDrop]);
+        assert!(vs[0].message.contains("zero-length"), "{}", vs[0].message);
+        let src = "let _ = obs::span_on(\"phase\", \"cat\", 3);\n";
+        assert_eq!(
+            lints_of(&lint_file(&ctx("crates/serve/src/pool.rs"), src)),
+            vec![LintId::SpanDrop]
+        );
+
+        // Named bindings (the fix) are clean — `_g` is not `_`.
+        let src = "let _g = mrbc_obs::span(\"phase\", \"cat\");\n";
+        assert!(lint_file(&ctx("crates/core/src/x.rs"), src).is_empty());
+        let src = "let _span = obs::span(\"phase\", \"cat\").arg(\"k\", 1);\n";
+        assert!(lint_file(&ctx("crates/serve/src/pool.rs"), src).is_empty());
+
+        // Fires in tests too — a zero-length span lies everywhere.
+        let src = "let _ = mrbc_obs::span(\"phase\", \"cat\");\n";
+        assert_eq!(
+            lints_of(&lint_file(&ctx("crates/obs/tests/golden.rs"), src)),
+            vec![LintId::SpanDrop]
+        );
+
+        // `let _ =` over a non-span call never fires.
+        let src = "let _ = client.call(&req);\n";
+        assert!(lint_file(&ctx("crates/cli/tests/t.rs"), src).is_empty());
+
+        // Span text inside a comment or string is masked out.
+        let src = "// let _ = obs::span(\"x\", \"y\")\nlet s = \"::span(\";\n";
+        assert!(lint_file(&ctx("crates/core/src/x.rs"), src).is_empty());
+
+        // Escapable with a justified allow, like every other lint.
+        let src = "// lint: allow(spandrop): instant marker span is intentional\n\
+                   let _ = obs::span(\"mark\", \"cat\");\n";
+        assert!(lint_file(&ctx("crates/core/src/x.rs"), src).is_empty());
     }
 
     #[test]

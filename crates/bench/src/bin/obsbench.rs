@@ -1,0 +1,196 @@
+//! Observability overhead gate: the same MRBC computation is driven
+//! with the trace recorder disabled and enabled, and the BSP
+//! steps-per-second throughput is compared. The whole point of the
+//! span facade is that instrumentation is cheap enough to leave on in
+//! production serving — this bench pins that claim to a number and
+//! `BENCH_obs.json` lets CI fail the build when the overhead budget
+//! (5%) is blown.
+//!
+//! Run with: `cargo run --release -p mrbc-bench --bin obsbench`
+//! Pass `--json` to also emit a machine-readable `BENCH_obs.json`.
+
+use mrbc_bench::report::Table;
+use mrbc_core::{bc, Algorithm, BcConfig};
+use mrbc_graph::{generators, sample};
+use mrbc_obs::json::JsonWriter;
+
+/// Overhead budget: tracing must cost at most this fraction of the
+/// untraced throughput.
+const BUDGET_PCT: f64 = 5.0;
+
+struct Case {
+    name: &'static str,
+    scale: u32,
+    sources: usize,
+    reps: usize,
+}
+
+struct Measurement {
+    name: &'static str,
+    rounds: u64,
+    untraced_sps: f64,
+    traced_sps: f64,
+    traced_events: usize,
+    overhead_pct: f64,
+}
+
+fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            name: "rmat-s8",
+            scale: 8,
+            sources: 64,
+            reps: 9,
+        },
+        Case {
+            name: "rmat-s9",
+            scale: 9,
+            sources: 64,
+            reps: 9,
+        },
+    ]
+}
+
+/// One timed run; returns (BSP rounds executed, elapsed µs).
+fn run_once(g: &mrbc_graph::CsrGraph, sources: &[u32]) -> (u64, u64) {
+    let cfg = BcConfig {
+        algorithm: Algorithm::Mrbc,
+        num_hosts: 4,
+        batch_size: 32,
+        ..BcConfig::default()
+    };
+    let t0 = mrbc_obs::monotonic_us();
+    let result = bc(g, sources, &cfg);
+    let dt = mrbc_obs::monotonic_us() - t0;
+    let rounds = result.stats.as_ref().map_or(0, |s| s.num_rounds() as u64);
+    (rounds, dt.max(1))
+}
+
+fn run_case(case: &Case) -> Measurement {
+    let g = generators::rmat(generators::RmatConfig::new(case.scale, 8), 29);
+    let sources = sample::contiguous_sources(g.num_vertices(), case.sources, 7);
+
+    // Warm caches (and the clock anchor) before either timed pass.
+    let _ = run_once(&g, &sources);
+    assert!(
+        !mrbc_obs::is_enabled(),
+        "recorder must be uninstalled at case start"
+    );
+
+    // Interleave off/on repetitions so both modes sample the same
+    // machine conditions, then compare best-of (the standard way to
+    // strip scheduler noise from a throughput comparison — individual
+    // runs are ~10 ms, so any transient stall dwarfs the effect being
+    // measured).
+    let mut rounds = 0;
+    let mut untraced_sps = 0.0f64;
+    let mut traced_sps = 0.0f64;
+    let mut traced_events = 0;
+    for _ in 0..case.reps {
+        // Recorder absent — spans are is_enabled() checks only.
+        let (r, us) = run_once(&g, &sources);
+        let sps = r as f64 / (us as f64 / 1e6);
+        if sps > untraced_sps {
+            untraced_sps = sps;
+            rounds = r;
+        }
+        // Recorder installed — every span/counter/histogram is live.
+        mrbc_obs::install("obsbench");
+        let (r, us) = run_once(&g, &sources);
+        let events = mrbc_obs::uninstall().map_or(0, |rec| rec.events().len());
+        let sps = r as f64 / (us as f64 / 1e6);
+        if sps > traced_sps {
+            traced_sps = sps;
+            traced_events = events;
+        }
+    }
+
+    let overhead_pct = ((untraced_sps - traced_sps) / untraced_sps * 100.0).max(0.0);
+    Measurement {
+        name: case.name,
+        rounds,
+        untraced_sps,
+        traced_sps,
+        traced_events,
+        overhead_pct,
+    }
+}
+
+fn to_json(ms: &[Measurement]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("schema");
+    w.string("mrbc-bench-obs-v1");
+    w.key("budget_pct");
+    w.float(BUDGET_PCT);
+    w.key("within_budget");
+    w.boolean(ms.iter().all(|m| m.overhead_pct <= BUDGET_PCT));
+    w.key("cases");
+    w.begin_array();
+    for m in ms {
+        w.begin_object();
+        w.key("input");
+        w.string(m.name);
+        w.key("rounds");
+        w.float(m.rounds as f64);
+        w.key("steps_per_sec_untraced");
+        w.float(m.untraced_sps);
+        w.key("steps_per_sec_traced");
+        w.float(m.traced_sps);
+        w.key("trace_events");
+        w.float(m.traced_events as f64);
+        w.key("overhead_pct");
+        w.float(m.overhead_pct);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+fn main() -> std::process::ExitCode {
+    let json_out = std::env::args().any(|a| a == "--json");
+    let mut tbl = Table::new(
+        "tracing overhead: BSP steps/sec with the recorder off vs on",
+        &[
+            "input",
+            "rounds",
+            "steps/s off",
+            "steps/s on",
+            "events",
+            "overhead",
+        ],
+    );
+    let mut measurements = Vec::new();
+    for case in cases() {
+        let m = run_case(&case);
+        tbl.row(vec![
+            m.name.into(),
+            m.rounds.to_string(),
+            format!("{:.0}", m.untraced_sps),
+            format!("{:.0}", m.traced_sps),
+            m.traced_events.to_string(),
+            format!("{:.2}%", m.overhead_pct),
+        ]);
+        measurements.push(m);
+    }
+    tbl.print();
+    let worst = measurements
+        .iter()
+        .map(|m| m.overhead_pct)
+        .fold(0.0f64, f64::max);
+    println!(
+        "\nworst-case tracing overhead {worst:.2}% (budget {BUDGET_PCT:.0}%): {}",
+        if worst <= BUDGET_PCT { "PASS" } else { "FAIL" }
+    );
+    if json_out {
+        let doc = to_json(&measurements);
+        std::fs::write("BENCH_obs.json", &doc).expect("write BENCH_obs.json");
+        println!("machine-readable results written to BENCH_obs.json");
+    }
+    if worst > BUDGET_PCT {
+        std::process::ExitCode::FAILURE
+    } else {
+        std::process::ExitCode::SUCCESS
+    }
+}

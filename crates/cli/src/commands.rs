@@ -41,15 +41,21 @@ USAGE:
   mrbc checkpoint-info <dir> [--rank R]   validate a checkpoint directory
   mrbc serve <file> [--port P] [--addr A] [--hosts H] [--batch B]
                     [--queue Q] [--max-batch M] [--faults PLAN]
+                    [--flight-dir D]
       long-running query daemon; prints \"SERVE <addr>\" when ready and
       runs until a client sends shutdown or QUIT arrives on stdin
   mrbc serve pool <file> [--workers W] [--port P] [--addr A]
                     [--hosts H] [--batch B] [--queue Q] [--max-batch M]
                     [--hedge-ms MS] [--retry-after MS] [--faults PLAN]
+                    [--trace-dir D] [--flight-dir D]
       supervised pool of W serve-worker child processes behind one
       front-end: source-range sharded routing, heartbeat failure
       detection, SIGKILL -> respawn -> mutation replay recovery; worker
       death surfaces as structured Retry/Partial, never a hung client
+      --trace-dir D: each worker writes D/trace-worker-<rank>.json
+      (combine with the front-end's own --trace and `mrbc obs merge`)
+      --flight-dir D: dump the flight-recorder ring to D on panic,
+      worker death, and every Retry/Partial emission
   mrbc query <addr> <sub> [--epoch E] [--retries N] [...]
       subs: bc --v V | top --k K | dist --s S --t T
             subset --sources V,V,... | mutate --add U-V | --remove U-V
@@ -58,6 +64,14 @@ USAGE:
       mutation makes pinned queries exit 5
       --retries N absorbs pool Retry responses and transient socket
       failures with jittered backoff before giving up
+  mrbc obs merge --out merged.json <frontend.json> <worker.json>...
+      stitch per-process --trace timelines into one Perfetto document,
+      aligning worker clocks from the pool's Hello-handshake probes
+      (pass the front-end trace first: it holds the probes)
+  mrbc obs last-flight [--dir D] [<file.mrfr>]
+      print the most recent flight-recorder dump (written on panic,
+      worker death, or any Retry/Partial response when --flight-dir
+      was given to serve / serve pool)
   mrbc help
 
 EXIT CODES:
@@ -154,6 +168,7 @@ pub fn run(p: &ParsedArgs) -> Result<String, CmdError> {
         "checkpoint-info" => crate::netcmd::cmd_checkpoint_info(p),
         "serve" => crate::servecmd::cmd_serve(p),
         "query" => crate::servecmd::cmd_query(p),
+        "obs" => crate::obscmd::cmd_obs(p),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CmdError::general(format!(
             "unknown command {other:?}\n\n{USAGE}"
@@ -178,6 +193,10 @@ impl ObsRun {
         let active = trace.is_some() || metrics.is_some();
         if active {
             mrbc_obs::install(&format!("mrbc {}", p.command));
+            // Stamp the recorder with the OS pid so `obs merge` can
+            // match this process's trace against the pool's clock
+            // probes and flight dumps.
+            mrbc_obs::set_pid(u64::from(std::process::id()));
             // Metrics runs validate the paper's bounds online; the trace
             // alone stays probe-free (probes cost oracle BFS time).
             mrbc_obs::set_probes(metrics.is_some());
@@ -264,6 +283,24 @@ fn cmd_check_json(p: &ParsedArgs) -> Result<String, String> {
                 json::TRACE_SCHEMA,
                 events.len()
             ))
+        }
+        // Bench reports (BENCH_*.json): a `cases` array plus an optional
+        // pass/fail verdict that turns the validation into a CI gate.
+        (Some(tag), _) if tag.starts_with("mrbc-bench-") => {
+            let cases = v
+                .get("cases")
+                .or_else(|| v.get("inputs"))
+                .and_then(Value::as_arr)
+                .ok_or_else(|| format!("{path}: bench document missing cases"))?;
+            let mut s = format!("{path}: valid {tag} document ({} cases)\n", cases.len());
+            if let Some(b) = v.get("within_budget") {
+                match b.as_bool() {
+                    Some(true) => s += "overhead budget: within bounds\n",
+                    Some(false) => return Err(format!("{path}: bench reports budget exceeded")),
+                    None => return Err(format!("{path}: malformed within_budget field")),
+                }
+            }
+            Ok(s)
         }
         _ => Err(format!("{path}: unrecognized schema")),
     }

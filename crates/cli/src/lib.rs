@@ -6,4 +6,5 @@
 pub mod args;
 pub mod commands;
 pub mod netcmd;
+pub mod obscmd;
 pub mod servecmd;

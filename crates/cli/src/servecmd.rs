@@ -17,10 +17,25 @@ use std::time::Duration;
 use crate::args::ParsedArgs;
 use crate::commands::{load, CmdError};
 use mrbc_core::BcConfig;
+use mrbc_obs as obs;
 use mrbc_serve::{
     start_pool, ClientConfig, MutateOp, PoolConfig, Request, Response, RetryClient, SchedConfig,
-    ServeClient, ServeConfig, ServeStats, WorkerSpawn,
+    ServeClient, ServeConfig, ServeStats, TraceCtx, WorkerSpawn,
 };
+
+/// Arms the flight recorder when `--flight-dir DIR` was given: every
+/// subsequent panic, worker Dead verdict, or Retry/Partial emission
+/// dumps the in-memory event ring to `DIR/flight-<pid>.mrfr`.
+fn arm_flight(p: &ParsedArgs) -> Result<(), CmdError> {
+    if let Some(dir) = p.get_str("flight-dir") {
+        let dir = std::path::PathBuf::from(dir);
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| CmdError::general(format!("cannot create {}: {e}", dir.display())))?;
+        obs::flight::set_dir(&dir);
+        obs::flight::arm_panic_dump();
+    }
+    Ok(())
+}
 
 /// `mrbc serve <graph> [--port P] [--addr A] [--hosts H] [--batch B]
 /// [--queue Q] [--max-batch M] [--faults PLAN]`
@@ -54,6 +69,7 @@ pub fn cmd_serve(p: &ParsedArgs) -> Result<String, CmdError> {
                 .map_err(|e| CmdError::general(format!("bad --faults plan: {e}")))?,
         ),
     };
+    arm_flight(p)?;
     let cfg = ServeConfig {
         addr,
         bc: BcConfig {
@@ -184,6 +200,22 @@ fn cmd_pool(p: &ParsedArgs) -> Result<String, CmdError> {
         ..PoolConfig::default()
     };
 
+    arm_flight(p)?;
+    // Workers export their own per-process Perfetto timelines into
+    // `--trace-dir` (one file per rank; a respawned replacement reuses
+    // its rank's path). `mrbc obs merge` stitches them together with
+    // the front-end's trace afterwards.
+    let trace_dir = match p.get_str("trace-dir") {
+        None => None,
+        Some(dir) => {
+            let dir = std::path::PathBuf::from(dir);
+            std::fs::create_dir_all(&dir)
+                .map_err(|e| CmdError::general(format!("cannot create {}: {e}", dir.display())))?;
+            Some(dir)
+        }
+    };
+    let flight_dir = p.get_str("flight-dir").map(str::to_string);
+
     // Each worker is this same binary running the single-process daemon;
     // the pool reads its `SERVE <addr>` readiness line from stdout.
     let exe = std::env::current_exe()
@@ -192,7 +224,7 @@ fn cmd_pool(p: &ParsedArgs) -> Result<String, CmdError> {
     let batch = positive("batch", 32)?;
     let queue = positive("queue", 64)?;
     let max_batch = positive("max-batch", 8)?;
-    let spawn = WorkerSpawn::Process(Box::new(move |_rank| {
+    let spawn = WorkerSpawn::Process(Box::new(move |rank| {
         let mut cmd = Command::new(&exe);
         cmd.args([
             "serve",
@@ -208,6 +240,13 @@ fn cmd_pool(p: &ParsedArgs) -> Result<String, CmdError> {
             "--max-batch",
             &max_batch.to_string(),
         ]);
+        if let Some(dir) = &trace_dir {
+            let path = dir.join(format!("trace-worker-{rank}.json"));
+            cmd.args(["--trace", &path.to_string_lossy()]);
+        }
+        if let Some(dir) = &flight_dir {
+            cmd.args(["--flight-dir", dir]);
+        }
         cmd
     }));
 
@@ -232,7 +271,7 @@ fn cmd_pool(p: &ParsedArgs) -> Result<String, CmdError> {
     Ok(format!(
         "pool exited cleanly: {} workers, {} sessions, {} routed, \
          {} failovers, {} respawns, {} retries emitted, {} partials emitted, \
-         {} hedges, recoveries {:?} ms\n",
+         {} hedges, {} mutations replayed, recoveries {:?} ms\n",
         workers,
         stats.sessions,
         stats.routed,
@@ -241,12 +280,13 @@ fn cmd_pool(p: &ParsedArgs) -> Result<String, CmdError> {
         stats.retries_emitted,
         stats.partials_emitted,
         stats.hedges,
+        stats.replayed_mutations,
         recoveries,
     ))
 }
 
 fn render_stats(s: &ServeStats) -> String {
-    format!(
+    let mut out = format!(
         "epoch:              {}\n\
          sessions:           {}\n\
          queries:            {}\n\
@@ -256,7 +296,11 @@ fn render_stats(s: &ServeStats) -> String {
          coalescing factor:  {:.2}\n\
          busy rejections:    {}\n\
          stale rejections:   {}\n\
-         mutations:          {}\n",
+         mutations:          {}\n\
+         queue depth:        {}\n\
+         hedges fired:       {}\n\
+         failover attempts:  {}\n\
+         replayed mutations: {}\n",
         s.epoch,
         s.sessions,
         s.queries,
@@ -267,7 +311,22 @@ fn render_stats(s: &ServeStats) -> String {
         s.busy_rejections,
         s.stale_rejections,
         s.mutations,
-    )
+        s.queue_depth,
+        s.hedge_fired,
+        s.failover_attempts,
+        s.replay_mutations,
+    );
+    for (name, h) in &s.hists {
+        out += &format!(
+            "{name:<19} n={} p50={}us p99={}us p999={}us max={}us\n",
+            h.count(),
+            h.percentile_bucket_lo(50),
+            h.percentile_bucket_lo(99),
+            h.quantile_lo(999, 1000),
+            h.max(),
+        );
+    }
+    out
 }
 
 fn parse_edge(spec: &str) -> Result<(u32, u32), CmdError> {
@@ -348,6 +407,19 @@ pub fn cmd_query(p: &ParsedArgs) -> Result<String, CmdError> {
         other => return Err(CmdError::general(format!("unknown query {other:?}"))),
     };
 
+    // Every query originates a fresh trace context: the daemon, the pool
+    // front-end, and whichever workers execute shards all tag their
+    // spans with this trace id, so `mrbc obs merge` can correlate one
+    // query across process boundaries. Costs nothing when no recorder
+    // is installed anywhere.
+    let ctx = TraceCtx::root();
+    let span_id = obs::fresh_id();
+    let _span = obs::span("query.client", "client")
+        .arg("trace", ctx.trace)
+        .arg("span", span_id)
+        .arg("parent", ctx.parent);
+    let down = ctx.child(span_id);
+
     let resp = if retries > 0 {
         let mut client = RetryClient::new(
             vec![addr.clone()],
@@ -357,13 +429,13 @@ pub fn cmd_query(p: &ParsedArgs) -> Result<String, CmdError> {
             },
         );
         client
-            .call(&req)
+            .call_traced(down, &req)
             .map_err(|e| CmdError::general(format!("query failed after retries: {e}")))?
     } else {
         let mut client = ServeClient::connect(addr)
             .map_err(|e| CmdError::general(format!("cannot connect to {addr}: {e}")))?;
         client
-            .call(&req)
+            .call_traced(down, &req)
             .map_err(|e| CmdError::general(format!("query failed: {e}")))?
     };
     match resp {

@@ -17,8 +17,14 @@
 //!                     DEGRADED <step> <fingerprint:016x> <r,r,… | ->
 //! launcher → worker:  RECOVER
 //!                     RESUME <step> <epoch> <addr,addr,…>
+//!                     TRACE <trace:016x> <parent:016x>
 //!                     QUIT
 //! ```
+//!
+//! `TRACE` carries the launcher's distributed trace context (trace id +
+//! parent span id); it is sent to every worker before the first
+//! `RESUME` and re-sent to respawned replacements, so every
+//! incarnation's exchange spans correlate back to the same launch.
 //!
 //! # Recovery walkthrough
 //!
@@ -129,6 +135,7 @@ pub fn control_line(msg: &ControlMsg) -> String {
             format!("RESUME {step} {epoch} {a}")
         }
         ControlMsg::Quit => "QUIT".to_string(),
+        ControlMsg::Trace { trace, parent } => format!("TRACE {trace:016x} {parent:016x}"),
     }
 }
 
@@ -138,6 +145,11 @@ pub fn parse_control_line(line: &str) -> Option<ControlMsg> {
     match parts.next()? {
         "RECOVER" => Some(ControlMsg::Recover),
         "QUIT" => Some(ControlMsg::Quit),
+        "TRACE" => {
+            let trace = u64::from_str_radix(parts.next()?, 16).ok()?;
+            let parent = u64::from_str_radix(parts.next()?, 16).ok()?;
+            Some(ControlMsg::Trace { trace, parent })
+        }
         "RESUME" => {
             let step = parts.next()?.parse().ok()?;
             let epoch = parts.next()?.parse().ok()?;
@@ -378,6 +390,23 @@ pub fn launch<F: FnMut(usize) -> Command>(
         // lint: allow(unwrap): loop above exits only when all are Some
         addrs.push(a.expect("collected above"));
     }
+
+    // One trace context for the whole run: every worker (and every
+    // respawned replacement, which gets the context re-sent during
+    // recovery) hangs its exchange spans under this launch span.
+    let trace = (mrbc_obs::fresh_id(), mrbc_obs::fresh_id());
+    let _launch_span = mrbc_obs::span("net.launch", "net")
+        .arg("trace", trace.0)
+        .arg("span", trace.1)
+        .arg("parent", 0);
+    broadcast(
+        &mut slots,
+        &ControlMsg::Trace {
+            trace: trace.0,
+            parent: trace.1,
+        },
+    )?;
+
     let mut epoch: u32 = 0;
     broadcast(
         &mut slots,
@@ -411,6 +440,7 @@ pub fn launch<F: FnMut(usize) -> Command>(
                         rank,
                         &mut epoch,
                         deadline,
+                        trace,
                     )?;
                     recoveries += 1;
                 }
@@ -432,6 +462,7 @@ pub fn launch<F: FnMut(usize) -> Command>(
                         rank,
                         &mut epoch,
                         deadline,
+                        trace,
                     )?;
                     recoveries += 1;
                 }
@@ -568,6 +599,7 @@ fn recover<F: FnMut(usize) -> Command>(
     dead_rank: usize,
     epoch: &mut u32,
     deadline: u64,
+    trace: (u64, u64),
 ) -> Result<(), LaunchError> {
     // Wait for the corpse's reader to report EOF so no stale lines from
     // the old incarnation interleave with the respawn's.
@@ -600,6 +632,17 @@ fn recover<F: FnMut(usize) -> Command>(
             _ => {}
         }
     }
+
+    // The replacement missed the run-start TRACE broadcast; re-send it
+    // so its spans land in the same distributed trace as its
+    // predecessor's.
+    send_line(
+        &mut slots[dead_rank],
+        &ControlMsg::Trace {
+            trace: trace.0,
+            parent: trace.1,
+        },
+    )?;
 
     // Everyone reports their newest durable boundary…
     broadcast(slots, &ControlMsg::Recover)?;

@@ -62,6 +62,16 @@ pub enum ControlMsg {
     },
     /// Abandon the run immediately.
     Quit,
+    /// Adopt the launcher's trace context: exchange spans are tagged
+    /// with `trace` / `parent` so a cross-process trace merge can hang
+    /// every rank's work (including respawned replacements, which get
+    /// the same message re-sent) under the originating launch span.
+    Trace {
+        /// Distributed trace id minted by the launcher.
+        trace: u64,
+        /// Span id of the launcher's `net.launch` span.
+        parent: u64,
+    },
 }
 
 /// Progress events a worker reports to its launcher.
@@ -192,6 +202,9 @@ pub struct WorkerConfig {
     /// Partition faults to enforce, as `(step, peer, window_ms)`:
     /// entering `step` severs the link to `peer` for `window_ms`.
     pub partitions: Vec<(u64, usize, u64)>,
+    /// `(trace id, parent span id)` adopted from the launcher's
+    /// [`ControlMsg::Trace`]; `(0, 0)` = untraced.
+    pub trace: (u64, u64),
 }
 
 impl Default for WorkerConfig {
@@ -201,6 +214,7 @@ impl Default for WorkerConfig {
             deadline_ms: None,
             establish_timeout_ms: 10_000,
             partitions: Vec::new(),
+            trace: (0, 0),
         }
     }
 }
@@ -285,7 +299,10 @@ pub fn run_worker_from<P: SpmdProgram>(
         }
         prog.begin_step(step);
         let payload = prog.local_step(step, rank);
-        let span = mrbc_obs::span("net.worker.exchange", "net");
+        let span = mrbc_obs::span("net.worker.exchange", "net")
+            .arg("trace", cfg.trace.0)
+            .arg("span", mrbc_obs::fresh_id())
+            .arg("parent", cfg.trace.1);
         mesh.begin_exchange(step, payload);
         let all = loop {
             match drain_control(prog, mesh, cfg, control)? {
@@ -388,6 +405,7 @@ fn drain_control<P: SpmdProgram>(
                 apply_resume(prog, mesh, cfg, step, epoch, &addrs)?;
                 outcome = Handled::ResumedAt(step);
             }
+            ControlMsg::Trace { trace, parent } => cfg.trace = (trace, parent),
         }
     }
     Ok(outcome)
@@ -419,6 +437,7 @@ fn await_recovery<P: SpmdProgram>(
                     .and_then(|s| s.latest_valid_step().ok().flatten());
                 (control.notify)(&WorkerEvent::CkptLatest(latest));
             }
+            Some(ControlMsg::Trace { trace, parent }) => cfg.trace = (trace, parent),
             None => {
                 mesh.pump();
                 std::thread::sleep(std::time::Duration::from_millis(1));

@@ -30,10 +30,64 @@
 //! `record` cargo feature disabled the entire facade compiles to
 //! inline no-ops (verified by a counting-allocator test).
 
+pub mod flight;
 pub mod json;
+pub mod merge;
 mod recorder;
 
-pub use recorder::{Histogram, Recorder, TraceEvent, MAX_TRACE_EVENTS};
+pub use recorder::{ClockProbe, Histogram, Recorder, TraceEvent, MAX_TRACE_EVENTS};
+
+/// The process-wide monotonic trace clock. One `Instant` anchor is
+/// pinned the first time anyone asks (in practice: at [`install`]
+/// time), and every timestamp in the process — spans, [`now_us`], the
+/// flight recorder — is µs elapsed since that anchor. Being
+/// `Instant`-based it can never step backwards under NTP adjustment,
+/// so span durations are always non-negative.
+pub(crate) mod clock {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+
+    /// The shared anchor (pinned on first use).
+    pub(crate) fn anchor() -> Instant {
+        *ANCHOR.get_or_init(Instant::now)
+    }
+
+    /// Monotonic µs since the anchor.
+    pub(crate) fn monotonic_us() -> u64 {
+        anchor().elapsed().as_micros() as u64
+    }
+}
+
+/// Monotonic µs since the process trace anchor, independent of whether
+/// a recorder is installed — unlike [`now_us`], which reads 0 while
+/// recording is disabled so the hot path stays free. Benchmarks that
+/// time the facade itself (enabled vs disabled) need exactly this.
+pub fn monotonic_us() -> u64 {
+    clock::monotonic_us()
+}
+
+/// A process-unique 64-bit id for trace/span correlation: the OS pid
+/// mixed with a per-process counter through a splitmix64 finalizer, so
+/// ids drawn concurrently in different serve processes never collide in
+/// practice. Never returns 0 (0 means "no context" on the wire).
+/// Allocation-free and independent of whether recording is enabled.
+pub fn fresh_id() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let seed = ((std::process::id() as u64) << 32) ^ n;
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    if z == 0 {
+        1
+    } else {
+        z
+    }
+}
 
 /// Algorithm phase a span or metric belongs to. Used as the
 /// Chrome-trace `cat` field so Perfetto can filter per phase.
@@ -139,26 +193,24 @@ impl MessageClass {
 mod global {
     use std::io::Write as _;
     use std::sync::atomic::{AtomicBool, Ordering};
-    use std::sync::{Mutex, OnceLock};
+    use std::sync::Mutex;
     use std::time::Instant;
 
-    use crate::recorder::{Recorder, TraceEvent};
+    use crate::clock::anchor;
+    use crate::recorder::{ClockProbe, Recorder, TraceEvent};
 
     static ENABLED: AtomicBool = AtomicBool::new(false);
     static PROBES: AtomicBool = AtomicBool::new(false);
     static VERBOSE: AtomicBool = AtomicBool::new(false);
     static RECORDER: Mutex<Option<Recorder>> = Mutex::new(None);
-    static ANCHOR: OnceLock<Instant> = OnceLock::new();
-
-    fn anchor() -> Instant {
-        *ANCHOR.get_or_init(Instant::now)
-    }
 
     /// Install a fresh global [`Recorder`] for the named run,
     /// replacing (and returning) any previous one.
     pub fn install(run: &str) -> Option<Recorder> {
-        // Touch the anchor before enabling so `now_us` is monotone
-        // across the whole run.
+        // Pin the monotonic anchor at install time, before enabling, so
+        // `now_us` is monotone across the whole run and immune to
+        // wall-clock steps (the anchor is an `Instant`, shared with the
+        // flight recorder so both report on one timeline).
         let _ = anchor();
         // Poison-tolerant: a panicking instrumented thread must not take
         // observability down with it; the recorder state stays usable.
@@ -188,12 +240,14 @@ mod global {
 
     /// Microseconds since the process-wide trace epoch (0 when
     /// recording is disabled, so disabled callers pay no clock read).
+    /// Monotonic: reads the `Instant` anchor pinned at install time,
+    /// never the wall clock, so it cannot go backwards under NTP steps.
     #[inline]
     pub fn now_us() -> u64 {
         if !is_enabled() {
             return 0;
         }
-        anchor().elapsed().as_micros() as u64
+        crate::clock::monotonic_us()
     }
 
     /// Run `f` against the global recorder, if one is installed.
@@ -229,6 +283,30 @@ mod global {
     pub fn histogram_record(name: &'static str, value: u64) {
         if is_enabled() {
             with_recorder(|r| r.histogram_record(name, value));
+        }
+    }
+
+    /// Stamp the installed recorder with this process's OS pid, so its
+    /// exported trace identifies its process track to the merger.
+    pub fn set_pid(pid: u64) {
+        with_recorder(|r| r.set_pid(pid));
+    }
+
+    /// Record one clock-synchronization observation against a peer
+    /// process (`t0`/`t2` local µs bracketing the peer's reported
+    /// `t1`). The trace merger reads these back out of the exported
+    /// timeline to estimate per-process clock offsets.
+    #[inline]
+    pub fn clock_probe(peer_pid: u64, t0_us: u64, t1_us: u64, t2_us: u64) {
+        if is_enabled() {
+            with_recorder(|r| {
+                r.clock_probe(ClockProbe {
+                    peer_pid,
+                    t0_us,
+                    t1_us,
+                    t2_us,
+                })
+            });
         }
     }
 
@@ -422,6 +500,14 @@ mod global {
 
     /// No-op (recording compiled out).
     #[inline(always)]
+    pub fn set_pid(_pid: u64) {}
+
+    /// No-op (recording compiled out).
+    #[inline(always)]
+    pub fn clock_probe(_peer_pid: u64, _t0_us: u64, _t1_us: u64, _t2_us: u64) {}
+
+    /// No-op (recording compiled out).
+    #[inline(always)]
     pub fn span_at(
         _name: &'static str,
         _cat: &'static str,
@@ -486,9 +572,9 @@ mod global {
 }
 
 pub use global::{
-    counter_add, gauge_set, histogram_record, install, is_enabled, now_us, probes_enabled,
-    progress, progress_done, set_probes, set_verbose, span, span_at, span_on, uninstall,
-    verbose_enabled, with_recorder, SpanGuard,
+    clock_probe, counter_add, gauge_set, histogram_record, install, is_enabled, now_us,
+    probes_enabled, progress, progress_done, set_pid, set_probes, set_verbose, span, span_at,
+    span_on, uninstall, verbose_enabled, with_recorder, SpanGuard,
 };
 
 /// A process-wide mutex tests use to serialize access to the global
@@ -529,6 +615,7 @@ mod tests {
         {
             let _s = span("scoped", Phase::Driver.as_str());
         }
+        clock_probe(42, 10, 500, 30);
         let r = uninstall().expect("recorder installed");
         assert!(!is_enabled());
         assert_eq!(r.counter("x"), 5);
@@ -538,5 +625,34 @@ mod tests {
         assert_eq!(r.events().len(), 2);
         assert_eq!(r.events()[0].name, "ev");
         assert_eq!(r.events()[1].name, "scoped");
+        assert_eq!(r.clock_probes().len(), 1);
+        assert_eq!(r.clock_probes()[0].peer_pid, 42);
+    }
+
+    #[cfg(feature = "record")]
+    #[test]
+    fn now_us_is_monotone_across_install_cycles() {
+        let _g = crate::test_mutex().lock().unwrap();
+        install("mono-1");
+        let a = now_us();
+        let b = now_us();
+        let _ = uninstall();
+        install("mono-2");
+        let c = now_us();
+        let _ = uninstall();
+        // One anchor for the whole process: a later install never
+        // rewinds the clock, and consecutive reads never go backwards.
+        assert!(b >= a);
+        assert!(c >= b);
+    }
+
+    #[test]
+    fn fresh_ids_are_nonzero_and_distinct() {
+        let ids: Vec<u64> = (0..64).map(|_| fresh_id()).collect();
+        assert!(ids.iter().all(|&i| i != 0));
+        let mut dedup = ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len());
     }
 }

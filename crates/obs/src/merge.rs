@@ -1,0 +1,339 @@
+//! Cross-process trace stitching: merge the per-process Chrome-trace
+//! JSON files of one distributed run into a single Perfetto timeline.
+//!
+//! Each process exports spans timestamped against its own monotonic
+//! trace epoch (pinned at `install` time), so the per-process files
+//! disagree about what "t = 0" means. The front-end, however, performed
+//! a Hello handshake with every worker and recorded a
+//! [`ClockProbe`](crate::ClockProbe) for it: local send/receive
+//! timestamps `t0`/`t2` bracketing the worker's own clock reading `t1`
+//! carried in the Welcome reply. Under the usual symmetric-round-trip
+//! assumption the worker's clock leads the front-end's by
+//! `t1 - (t0 + t2) / 2`, so shifting every worker event by the negated
+//! offset places all tracks on the front-end's timeline, accurate to
+//! half the handshake round trip — microseconds on loopback, far below
+//! the millisecond-scale spans being correlated.
+//!
+//! The merged document keeps one Perfetto *process track* per input
+//! file (pid `1..=n` in input order, named via `process_name` metadata
+//! events), preserves every event's `tid`, `cat` and args — including
+//! the `trace`/`span`/`parent` correlation args — and revalidates
+//! against the standard `mrbc-trace-v1` schema, so `mrbc check-json`
+//! accepts the output unchanged.
+
+use crate::json::{self, JsonWriter, Value, TRACE_SCHEMA};
+
+/// Where one input file landed in the merged timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Track {
+    /// Label of the input (usually its file name).
+    pub label: String,
+    /// Run name recorded in the input's `otherData`.
+    pub run: String,
+    /// OS pid recorded in the input's `otherData`.
+    pub source_pid: u64,
+    /// Pid assigned in the merged document (1-based input order).
+    pub merged_pid: u64,
+    /// µs added to every timestamp of this input (0 for the reference).
+    pub offset_us: i64,
+    /// Whether the offset came from a clock probe (false = no probe
+    /// found; the track is placed on its own epoch, unshifted).
+    pub synced: bool,
+    /// Number of events contributed.
+    pub events: usize,
+}
+
+/// Result of a merge: the combined Perfetto JSON plus a per-input
+/// summary for human-readable reporting.
+#[derive(Debug)]
+pub struct Merged {
+    /// The merged `mrbc-trace-v1` Chrome-trace document.
+    pub json: String,
+    /// Per-input placement summary, in input order.
+    pub tracks: Vec<Track>,
+}
+
+/// Merge per-process trace documents into one timeline. `inputs` are
+/// `(label, file_contents)` pairs; the **first** input is the reference
+/// clock (normally the pool front-end, which holds the clock probes).
+pub fn merge_traces(inputs: &[(String, String)]) -> Result<Merged, String> {
+    if inputs.is_empty() {
+        return Err("no trace files to merge".to_string());
+    }
+    let mut docs = Vec::with_capacity(inputs.len());
+    for (label, text) in inputs {
+        let v = json::parse(text).map_err(|e| format!("{label}: invalid JSON: {e}"))?;
+        let schema = v
+            .get("otherData")
+            .and_then(|o| o.get("schema"))
+            .and_then(Value::as_str);
+        if schema != Some(TRACE_SCHEMA) {
+            return Err(format!("{label}: not a {TRACE_SCHEMA} document"));
+        }
+        docs.push((label.clone(), v));
+    }
+
+    // Clock-probe table from the reference file: peer pid → offset of
+    // that peer's clock ahead of the reference clock. Later probes for
+    // the same pid win (a respawned worker re-handshakes).
+    let mut offsets: Vec<(u64, i64)> = Vec::new();
+    if let Some(sync) = docs[0]
+        .1
+        .get("otherData")
+        .and_then(|o| o.get("clockSync"))
+        .and_then(Value::as_arr)
+    {
+        for probe in sync {
+            let (Some(pid), Some(t0), Some(t1), Some(t2)) = (
+                probe.get("pid").and_then(Value::as_u64),
+                probe.get("t0").and_then(Value::as_u64),
+                probe.get("t1").and_then(Value::as_u64),
+                probe.get("t2").and_then(Value::as_u64),
+            ) else {
+                continue;
+            };
+            let off = t1 as i64 - ((t0 as i64 + t2 as i64) / 2);
+            match offsets.iter_mut().find(|(p, _)| *p == pid) {
+                Some(slot) => slot.1 = off,
+                None => offsets.push((pid, off)),
+            }
+        }
+    }
+
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("traceEvents");
+    w.begin_array();
+    let mut tracks = Vec::with_capacity(docs.len());
+    let mut total_dropped = 0u64;
+    for (i, (label, doc)) in docs.iter().enumerate() {
+        let merged_pid = i as u64 + 1;
+        let other = doc.get("otherData");
+        let source_pid = other
+            .and_then(|o| o.get("pid"))
+            .and_then(Value::as_u64)
+            .unwrap_or(1);
+        let run = other
+            .and_then(|o| o.get("run"))
+            .and_then(Value::as_str)
+            .unwrap_or(label)
+            .to_string();
+        total_dropped += other
+            .and_then(|o| o.get("droppedEvents"))
+            .and_then(Value::as_u64)
+            .unwrap_or(0);
+        // The worker's clock is *ahead* of the reference by `off`, so
+        // mapping its timestamps onto the reference timeline subtracts
+        // the offset. The reference itself is never shifted.
+        let probe = offsets.iter().find(|(p, _)| *p == source_pid);
+        let shift = if i == 0 {
+            0
+        } else {
+            probe.map_or(0, |&(_, off)| -off)
+        };
+        let synced = i == 0 || probe.is_some();
+
+        // Perfetto metadata: name this process track.
+        w.begin_object();
+        w.key("name");
+        w.string("process_name");
+        w.key("ph");
+        w.string("M");
+        w.key("pid");
+        w.number(merged_pid);
+        w.key("tid");
+        w.number(0);
+        w.key("args");
+        w.begin_object();
+        w.key("name");
+        w.string(&format!("{run} (pid {source_pid})"));
+        w.end_object();
+        w.end_object();
+
+        let events = doc
+            .get("traceEvents")
+            .and_then(Value::as_arr)
+            .unwrap_or(&[]);
+        let mut contributed = 0usize;
+        for ev in events {
+            let Some(name) = ev.get("name").and_then(Value::as_str) else {
+                continue;
+            };
+            let ts = ev.get("ts").and_then(Value::as_u64).unwrap_or(0);
+            w.begin_object();
+            w.key("name");
+            w.string(name);
+            w.key("cat");
+            w.string(ev.get("cat").and_then(Value::as_str).unwrap_or(""));
+            w.key("ph");
+            w.string(ev.get("ph").and_then(Value::as_str).unwrap_or("X"));
+            w.key("ts");
+            w.number((ts as i64 + shift).max(0) as u64);
+            w.key("dur");
+            w.number(ev.get("dur").and_then(Value::as_u64).unwrap_or(0));
+            w.key("pid");
+            w.number(merged_pid);
+            w.key("tid");
+            w.number(ev.get("tid").and_then(Value::as_u64).unwrap_or(0));
+            if let Some(Value::Obj(args)) = ev.get("args") {
+                w.key("args");
+                w.begin_object();
+                for (k, v) in args {
+                    match v {
+                        Value::Num(_) => {
+                            if let Some(n) = v.as_u64() {
+                                w.key(k);
+                                w.number(n);
+                            }
+                        }
+                        Value::Str(s) => {
+                            w.key(k);
+                            w.string(s);
+                        }
+                        _ => {}
+                    }
+                }
+                w.end_object();
+            }
+            w.end_object();
+            contributed += 1;
+        }
+        tracks.push(Track {
+            label: label.clone(),
+            run,
+            source_pid,
+            merged_pid,
+            offset_us: shift,
+            synced,
+            events: contributed,
+        });
+    }
+    w.end_array();
+    w.key("displayTimeUnit");
+    w.string("ms");
+    w.key("otherData");
+    w.begin_object();
+    w.key("run");
+    w.string("merged");
+    w.key("schema");
+    w.string(TRACE_SCHEMA);
+    w.key("pid");
+    w.number(0);
+    w.key("droppedEvents");
+    w.number(total_dropped);
+    w.key("sources");
+    w.number(docs.len() as u64);
+    w.key("clockSync");
+    w.begin_array();
+    w.end_array();
+    w.end_object();
+    w.end_object();
+    Ok(Merged {
+        json: w.finish(),
+        tracks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClockProbe, Recorder, TraceEvent};
+
+    fn event(name: &'static str, ts: u64, args: Vec<(&'static str, u64)>) -> TraceEvent {
+        TraceEvent {
+            name,
+            cat: "serve",
+            ts_us: ts,
+            dur_us: 10,
+            tid: 0,
+            args,
+        }
+    }
+
+    #[test]
+    fn merge_shifts_worker_tracks_by_probe_offset() {
+        // Front-end (pid 100): probes say worker 200's clock is ahead
+        // by 5000-((40+60)/2) = 4950 µs.
+        let mut fe = Recorder::new("frontend");
+        fe.set_pid(100);
+        fe.push_event(event("pool.query", 40, vec![("trace", 77), ("span", 1)]));
+        fe.clock_probe(ClockProbe {
+            peer_pid: 200,
+            t0_us: 40,
+            t1_us: 5000,
+            t2_us: 60,
+        });
+        let mut worker = Recorder::new("worker-0");
+        worker.set_pid(200);
+        worker.push_event(event(
+            "serve.query",
+            5010,
+            vec![("trace", 77), ("parent", 1)],
+        ));
+
+        let merged = merge_traces(&[
+            ("fe.json".to_string(), fe.to_chrome_trace_json()),
+            ("w0.json".to_string(), worker.to_chrome_trace_json()),
+        ])
+        .expect("merge");
+
+        assert_eq!(merged.tracks.len(), 2);
+        assert_eq!(merged.tracks[0].offset_us, 0);
+        assert_eq!(merged.tracks[1].offset_us, -4950);
+        assert!(merged.tracks[1].synced);
+        assert_eq!(merged.tracks[1].merged_pid, 2);
+
+        let v = json::parse(&merged.json).expect("valid merged JSON");
+        assert_eq!(
+            v.get("otherData")
+                .and_then(|o| o.get("schema"))
+                .and_then(Value::as_str),
+            Some(TRACE_SCHEMA)
+        );
+        let evs = v
+            .get("traceEvents")
+            .and_then(Value::as_arr)
+            .expect("events");
+        // 2 metadata events + 2 spans.
+        assert_eq!(evs.len(), 4);
+        let worker_span = evs
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("serve.query"))
+            .expect("worker span present");
+        // 5010 on the worker clock → 5010 - 4950 = 60 on the merged one.
+        assert_eq!(worker_span.get("ts").and_then(Value::as_u64), Some(60));
+        assert_eq!(worker_span.get("pid").and_then(Value::as_u64), Some(2));
+        // Correlation args survive the merge.
+        assert_eq!(
+            worker_span
+                .get("args")
+                .and_then(|a| a.get("trace"))
+                .and_then(Value::as_u64),
+            Some(77)
+        );
+    }
+
+    #[test]
+    fn unprobed_worker_is_kept_unshifted_and_flagged() {
+        let fe = Recorder::new("frontend");
+        let mut worker = Recorder::new("worker-1");
+        worker.set_pid(300);
+        worker.push_event(event("serve.query", 120, Vec::new()));
+        let merged = merge_traces(&[
+            ("fe.json".to_string(), fe.to_chrome_trace_json()),
+            ("w1.json".to_string(), worker.to_chrome_trace_json()),
+        ])
+        .expect("merge");
+        assert!(!merged.tracks[1].synced);
+        assert_eq!(merged.tracks[1].offset_us, 0);
+    }
+
+    #[test]
+    fn merge_rejects_non_trace_documents() {
+        let r = Recorder::new("m");
+        let err = merge_traces(&[("m.json".to_string(), r.to_metrics_json())])
+            .expect_err("metrics doc must be rejected");
+        assert!(err.contains("mrbc-trace-v1"), "{err}");
+        assert!(merge_traces(&[]).is_err());
+    }
+}

@@ -28,13 +28,24 @@ pub struct TraceEvent {
     pub args: Vec<(&'static str, u64)>,
 }
 
-/// A log2-bucketed histogram of `u64` samples (typically microseconds
-/// or bytes). Bucket `i` counts samples whose value has bit-length `i`,
-/// i.e. `v == 0` lands in bucket 0 and otherwise
-/// `bucket = 64 - v.leading_zeros()`.
+/// Mantissa bits kept per power of two — 8 sub-buckets per octave, so
+/// bucket boundaries are at most 12.5% apart (HDR-style precision).
+const SUB_BITS: u32 = 3;
+/// Sub-buckets per power of two.
+const SUB: usize = 1 << SUB_BITS;
+
+/// A log-bucketed quantile histogram of `u64` samples (typically
+/// microseconds or bytes), HDR-style: each power of two is split into
+/// [`SUB`] linear sub-buckets, so quantile estimates are exact to
+/// `1/SUB` relative error instead of a full factor of two. Values below
+/// `SUB` are exact. Recording is allocation-free (fixed bucket array),
+/// and histograms from different processes [`merge`](Histogram::merge)
+/// by plain bucket addition, which is what lets the pool front-end
+/// aggregate per-worker latency distributions into fleet-wide
+/// p50/p99/p999.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
-    buckets: [u64; 65],
+    buckets: [u64; Histogram::NUM_BUCKETS],
     count: u64,
     sum: u64,
     min: u64,
@@ -44,7 +55,7 @@ pub struct Histogram {
 impl Default for Histogram {
     fn default() -> Self {
         Histogram {
-            buckets: [0; 65],
+            buckets: [0; Histogram::NUM_BUCKETS],
             count: 0,
             sum: 0,
             min: u64::MAX,
@@ -54,14 +65,78 @@ impl Default for Histogram {
 }
 
 impl Histogram {
+    /// Total number of buckets: `SUB` exact low values plus `SUB`
+    /// sub-buckets for each possible exponent of a `u64`.
+    pub const NUM_BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB;
+
+    /// Bucket index of a value.
+    fn index(v: u64) -> usize {
+        if v < SUB as u64 {
+            return v as usize;
+        }
+        let msb = 63 - v.leading_zeros();
+        let block = (msb - SUB_BITS + 1) as usize;
+        let offset = ((v >> (msb - SUB_BITS)) as usize) & (SUB - 1);
+        block * SUB + offset
+    }
+
+    /// Inclusive lower bound of bucket `i` (inverse of [`Self::index`]).
+    pub fn bucket_lo(i: usize) -> u64 {
+        if i < SUB {
+            return i as u64;
+        }
+        let block = (i / SUB) as u32;
+        let offset = (i % SUB) as u64;
+        let msb = block + SUB_BITS - 1;
+        (1u64 << msb) | (offset << (msb - SUB_BITS))
+    }
+
     /// Record one sample.
     pub fn record(&mut self, v: u64) {
-        let b = (64 - v.leading_zeros()) as usize;
-        self.buckets[b] += 1;
+        self.buckets[Self::index(v)] += 1;
         self.count += 1;
         self.sum = self.sum.saturating_add(v);
         self.min = self.min.min(v);
         self.max = self.max.max(v);
+    }
+
+    /// Fold another histogram into this one (plain bucket addition;
+    /// count/sum/min/max compose exactly).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Rebuild a histogram from wire parts (see
+    /// [`Self::nonzero_indexed`]). Returns `None` when an index is out
+    /// of range or the bucket counts do not sum to `count`.
+    pub fn from_wire(
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+        nonzero: &[(u32, u64)],
+    ) -> Option<Histogram> {
+        let mut h = Histogram::default();
+        let mut total = 0u64;
+        for &(i, c) in nonzero {
+            let slot = h.buckets.get_mut(i as usize)?;
+            *slot = slot.checked_add(c)?;
+            total = total.checked_add(c)?;
+        }
+        if total != count {
+            return None;
+        }
+        h.count = count;
+        h.sum = sum;
+        h.min = if count == 0 { u64::MAX } else { min };
+        h.max = max;
+        Some(h)
     }
 
     /// Number of recorded samples.
@@ -88,22 +163,28 @@ impl Histogram {
         self.max
     }
 
-    /// Inclusive lower bound of the bucket holding the p-th percentile
-    /// sample (`p` in 0..=100). Log2 buckets make this exact only to a
-    /// factor of two, which is all the live progress line needs.
-    pub fn percentile_bucket_lo(&self, p: u64) -> u64 {
-        if self.count == 0 {
+    /// Lower bound of the bucket holding the sample at quantile
+    /// `num/den` (e.g. `(999, 1000)` for p99.9). Exact to `1/SUB`
+    /// relative error.
+    pub fn quantile_lo(&self, num: u64, den: u64) -> u64 {
+        if self.count == 0 || den == 0 {
             return 0;
         }
-        let rank = (self.count.saturating_mul(p)).div_ceil(100).max(1);
+        let rank = ((self.count as u128 * num as u128).div_ceil(den as u128) as u64).max(1);
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return if i == 0 { 0 } else { 1u64 << (i - 1) };
+                return Self::bucket_lo(i);
             }
         }
         self.max
+    }
+
+    /// Inclusive lower bound of the bucket holding the p-th percentile
+    /// sample (`p` in 0..=100).
+    pub fn percentile_bucket_lo(&self, p: u64) -> u64 {
+        self.quantile_lo(p, 100)
     }
 
     /// Non-empty buckets as `(inclusive_lo, count)` pairs.
@@ -112,8 +193,44 @@ impl Histogram {
             .iter()
             .enumerate()
             .filter(|(_, &c)| c > 0)
-            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << (i - 1) }, c))
+            .map(|(i, &c)| (Self::bucket_lo(i), c))
             .collect()
+    }
+
+    /// Non-empty buckets as `(bucket_index, count)` pairs — the wire
+    /// form consumed by [`Self::from_wire`].
+    pub fn nonzero_indexed(&self) -> Vec<(u32, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i as u32, c))
+            .collect()
+    }
+}
+
+/// One clock-synchronization observation against a peer process: the
+/// local send/receive timestamps `t0`/`t2` bracketing the peer's
+/// reported clock reading `t1` (all µs since each process's own trace
+/// epoch). Assuming a symmetric round trip, the peer's clock leads the
+/// local one by `t1 - (t0 + t2) / 2` — the NTP midpoint estimate the
+/// trace merger uses to place per-worker tracks on one timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockProbe {
+    /// OS process id of the peer whose clock was sampled.
+    pub peer_pid: u64,
+    /// Local timestamp just before sending the probe (request).
+    pub t0_us: u64,
+    /// Peer's own trace-epoch timestamp embedded in the reply.
+    pub t1_us: u64,
+    /// Local timestamp just after receiving the reply.
+    pub t2_us: u64,
+}
+
+impl ClockProbe {
+    /// Peer-clock minus local-clock offset in µs (midpoint estimate).
+    pub fn offset_us(&self) -> i64 {
+        self.t1_us as i64 - ((self.t0_us as i64 + self.t2_us as i64) / 2)
     }
 }
 
@@ -127,11 +244,16 @@ impl Histogram {
 pub struct Recorder {
     /// Human-readable run label, embedded in both exports.
     pub run: String,
+    /// OS process id stamped on every exported event (0 = unset; the
+    /// exporter then falls back to 1 so single-process traces keep
+    /// their historical shape).
+    pid: u64,
     counters: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, u64>,
     histograms: BTreeMap<&'static str, Histogram>,
     events: Vec<TraceEvent>,
     dropped_events: u64,
+    clock_probes: Vec<ClockProbe>,
     /// Extra top-level JSON objects for the metrics snapshot, keyed by
     /// field name. Values must be valid JSON — the bound-probe report
     /// from `mrbc-core` lands here as `"bounds"`.
@@ -175,6 +297,31 @@ impl Recorder {
     /// the metrics snapshot.
     pub fn set_extra(&mut self, key: &'static str, value_json: String) {
         self.extras.insert(key, value_json);
+    }
+
+    /// Stamp the recorder with the owning process's OS pid, so merged
+    /// multi-process traces can tell the per-process files apart.
+    pub fn set_pid(&mut self, pid: u64) {
+        self.pid = pid;
+    }
+
+    /// The pid used in exports (1 when never set).
+    pub fn pid(&self) -> u64 {
+        if self.pid == 0 {
+            1
+        } else {
+            self.pid
+        }
+    }
+
+    /// Record one clock-synchronization observation against a peer.
+    pub fn clock_probe(&mut self, probe: ClockProbe) {
+        self.clock_probes.push(probe);
+    }
+
+    /// Recorded clock probes, in observation order.
+    pub fn clock_probes(&self) -> &[ClockProbe] {
+        &self.clock_probes
     }
 
     /// Current value of a counter (0 if never touched).
@@ -222,7 +369,7 @@ impl Recorder {
             w.key("dur");
             w.number(ev.dur_us);
             w.key("pid");
-            w.number(1);
+            w.number(self.pid());
             w.key("tid");
             w.number(ev.tid as u64);
             if !ev.args.is_empty() {
@@ -245,8 +392,25 @@ impl Recorder {
         w.string(&self.run);
         w.key("schema");
         w.string(json::TRACE_SCHEMA);
+        w.key("pid");
+        w.number(self.pid());
         w.key("droppedEvents");
         w.number(self.dropped_events);
+        w.key("clockSync");
+        w.begin_array();
+        for p in &self.clock_probes {
+            w.begin_object();
+            w.key("pid");
+            w.number(p.peer_pid);
+            w.key("t0");
+            w.number(p.t0_us);
+            w.key("t1");
+            w.number(p.t1_us);
+            w.key("t2");
+            w.number(p.t2_us);
+            w.end_object();
+        }
+        w.end_array();
         w.end_object();
         w.end_object();
         w.finish()
@@ -288,8 +452,12 @@ impl Recorder {
             w.number(h.min());
             w.key("max");
             w.number(h.max());
-            w.key("p50_bucket_lo");
-            w.number(h.percentile_bucket_lo(50));
+            w.key("p50");
+            w.number(h.quantile_lo(50, 100));
+            w.key("p99");
+            w.number(h.quantile_lo(99, 100));
+            w.key("p999");
+            w.number(h.quantile_lo(999, 1000));
             w.key("buckets");
             w.begin_array();
             for (lo, c) in h.nonzero_buckets() {
@@ -320,7 +488,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn histogram_buckets_by_bit_length() {
+    fn histogram_subbuckets_are_exact_low_and_tight_high() {
         let mut h = Histogram::default();
         for v in [0, 1, 2, 3, 4, 1000] {
             h.record(v);
@@ -329,13 +497,78 @@ mod tests {
         assert_eq!(h.sum(), 1010);
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 1000);
-        // 0 → bucket lo 0; 1 → lo 1; 2,3 → lo 2; 4 → lo 4; 1000 → lo 512.
+        // Values < 8 are exact; 1000 lands in sub-bucket [960, 1024).
         assert_eq!(
             h.nonzero_buckets(),
-            vec![(0, 1), (1, 1), (2, 2), (4, 1), (512, 1)]
+            vec![(0, 1), (1, 1), (2, 1), (3, 1), (4, 1), (960, 1)]
         );
         assert_eq!(h.percentile_bucket_lo(50), 2);
-        assert_eq!(h.percentile_bucket_lo(100), 512);
+        assert_eq!(h.percentile_bucket_lo(100), 960);
+        assert_eq!(h.quantile_lo(999, 1000), 960);
+    }
+
+    #[test]
+    fn histogram_bucket_lo_inverts_index_within_relative_error() {
+        for v in [0u64, 1, 7, 8, 9, 15, 16, 90, 1000, 1 << 20, u64::MAX] {
+            let i = Histogram::index(v);
+            let lo = Histogram::bucket_lo(i);
+            assert!(lo <= v, "lo {lo} above sample {v}");
+            // Sub-bucket width is lo/8 rounded up to a power-of-two step.
+            assert!(v - lo <= (lo / 8).max(1), "bucket too wide for {v}");
+        }
+    }
+
+    #[test]
+    fn histogram_merge_matches_recording_into_one() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut both = Histogram::default();
+        for v in [3, 90, 7000] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [1, 250_000] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+        assert_eq!(a.quantile_lo(50, 100), both.quantile_lo(50, 100));
+    }
+
+    #[test]
+    fn histogram_wire_roundtrip_and_validation() {
+        let mut h = Histogram::default();
+        for v in [5, 90, 90, 4096] {
+            h.record(v);
+        }
+        let back = Histogram::from_wire(h.count(), h.sum(), h.min(), h.max(), &h.nonzero_indexed())
+            .expect("roundtrip");
+        assert_eq!(back, h);
+        // Count mismatch and out-of-range indices are rejected.
+        assert!(Histogram::from_wire(3, 0, 0, 0, &[(0, 2)]).is_none());
+        assert!(Histogram::from_wire(1, 0, 0, 0, &[(Histogram::NUM_BUCKETS as u32, 1)]).is_none());
+        // Empty roundtrip.
+        let e = Histogram::from_wire(0, 0, 0, 0, &[]).expect("empty");
+        assert_eq!(e, Histogram::default());
+    }
+
+    #[test]
+    fn clock_probe_offset_is_midpoint_estimate() {
+        let p = ClockProbe {
+            peer_pid: 7,
+            t0_us: 100,
+            t1_us: 5000,
+            t2_us: 300,
+        };
+        assert_eq!(p.offset_us(), 5000 - 200);
+        let behind = ClockProbe {
+            peer_pid: 7,
+            t0_us: 5000,
+            t1_us: 100,
+            t2_us: 5400,
+        };
+        assert_eq!(behind.offset_us(), 100 - 5200);
     }
 
     #[test]

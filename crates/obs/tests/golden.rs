@@ -30,6 +30,12 @@ fn sample_recorder() -> Recorder {
         "bounds",
         "{\"model\":\"congest\",\"within_bounds\":true}".to_string(),
     );
+    r.clock_probe(mrbc_obs::ClockProbe {
+        peer_pid: 4242,
+        t0_us: 100,
+        t1_us: 900,
+        t2_us: 140,
+    });
     r
 }
 
@@ -41,7 +47,7 @@ fn metrics_snapshot_is_byte_stable() {
         "\"counters\":{\"congest.messages\":340,\"congest.rounds\":12},",
         "\"gauges\":{\"probe.within_bounds\":1},",
         "\"histograms\":{\"round_us\":{\"count\":2,\"sum\":93,\"min\":3,\"max\":90,",
-        "\"p50_bucket_lo\":2,\"buckets\":[[2,1],[64,1]]}},",
+        "\"p50\":3,\"p99\":88,\"p999\":88,\"buckets\":[[3,1],[88,1]]}},",
         "\"trace_events\":2,\"dropped_events\":0,",
         "\"bounds\":{\"model\":\"congest\",\"within_bounds\":true}}",
     );
@@ -64,8 +70,8 @@ fn chrome_trace_is_byte_stable() {
         "{\"name\":\"mrbc.backward\",\"cat\":\"accumulation\",\"ph\":\"X\",\"ts\":260,",
         "\"dur\":120,\"pid\":1,\"tid\":0}",
         "],\"displayTimeUnit\":\"ms\",",
-        "\"otherData\":{\"run\":\"golden-run\",\"schema\":\"mrbc-trace-v1\",",
-        "\"droppedEvents\":0}}",
+        "\"otherData\":{\"run\":\"golden-run\",\"schema\":\"mrbc-trace-v1\",\"pid\":1,",
+        "\"droppedEvents\":0,\"clockSync\":[{\"pid\":4242,\"t0\":100,\"t1\":900,\"t2\":140}]}}",
     );
     assert_eq!(got, want);
     let v = mrbc_obs::json::parse(&got).expect("valid JSON");

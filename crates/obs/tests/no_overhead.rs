@@ -70,11 +70,16 @@ fn exercise(iters: u64) {
         mrbc_obs::counter_add("test.counter", 1);
         mrbc_obs::gauge_set("test.gauge", i);
         mrbc_obs::histogram_record("test.hist", i);
+        mrbc_obs::clock_probe(1, i, i, i);
         mrbc_obs::span_at("ev", "cat", i, 1, 0, &[("k", i)]);
         let span = mrbc_obs::span("scoped", "cat").arg("k", i);
         drop(span);
         let _ = mrbc_obs::now_us();
         let _ = mrbc_obs::is_enabled();
+        let _ = mrbc_obs::fresh_id();
+        // The flight ring is always on; its fixed-size entries must
+        // never touch the allocator either.
+        mrbc_obs::flight::note("noop.test", i, 0);
         mrbc_obs::progress("never shown");
     }
 }

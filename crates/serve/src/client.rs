@@ -17,7 +17,9 @@ use mrbc_util::backoff::Backoff;
 use mrbc_util::framing::{self, EnvelopeDecoder};
 use mrbc_util::wire::WireError;
 
-use crate::proto::{decode_response, encode_request, MutateOp, Request, Response, ServeStats};
+use crate::proto::{
+    decode_response, encode_request, MutateOp, Request, Response, ServeStats, TraceCtx,
+};
 
 /// Default per-read timeout: long enough for a cold full-BC computation,
 /// short enough that a dead daemon is noticed.
@@ -111,6 +113,11 @@ pub struct Welcome {
     pub vertices: u64,
     /// Edge count of the resident graph.
     pub edges: u64,
+    /// The daemon's monotonic trace clock (µs) when it answered — the
+    /// `t1` of an NTP-style clock-offset probe.
+    pub now_us: u64,
+    /// The daemon's OS pid (its trace process track).
+    pub pid: u64,
 }
 
 /// A connected, handshaken query-service client.
@@ -161,6 +168,8 @@ impl ServeClient {
                 epoch: 0,
                 vertices: 0,
                 edges: 0,
+                now_us: 0,
+                pid: 0,
             },
         };
         match client.call(&Request::Hello)? {
@@ -168,11 +177,15 @@ impl ServeClient {
                 epoch,
                 vertices,
                 edges,
+                now_us,
+                pid,
             } => {
                 client.welcome = Welcome {
                     epoch,
                     vertices,
                     edges,
+                    now_us,
+                    pid,
                 };
                 Ok(client)
             }
@@ -187,11 +200,18 @@ impl ServeClient {
         self.welcome
     }
 
-    /// Sends `req` and blocks until its matching response arrives.
+    /// Sends `req` untraced and blocks until its matching response
+    /// arrives.
     pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.call_traced(TraceCtx::NONE, req)
+    }
+
+    /// Sends `req` carrying `ctx` (the originating query's trace
+    /// context) and blocks until its matching response arrives.
+    pub fn call_traced(&mut self, ctx: TraceCtx, req: &Request) -> Result<Response, ClientError> {
         let id = self.next_id;
         self.next_id += 1;
-        let bytes = framing::seal(&encode_request(id, req));
+        let bytes = framing::seal(&encode_request(id, ctx, req));
         self.stream.write_all(&bytes)?;
         let mut buf = [0u8; 4096];
         loop {
@@ -387,10 +407,17 @@ impl RetryClient {
     /// response (which may still be `Busy`/`Stale`/`Partial` — those are
     /// decisions for the caller, not transport failures).
     pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.call_traced(TraceCtx::NONE, req)
+    }
+
+    /// [`Self::call`] with a trace context; every resend of the same
+    /// logical request carries the same context, so retries stay inside
+    /// the originating query's trace.
+    pub fn call_traced(&mut self, ctx: TraceCtx, req: &Request) -> Result<Response, ClientError> {
         let mut attempts_left = self.cfg.max_retries;
         loop {
             let outcome = match self.ensure_connected() {
-                Ok(client) => client.call(req),
+                Ok(client) => client.call_traced(ctx, req),
                 Err(e) => Err(e),
             };
             let (retriable, hint_ms) = match &outcome {
@@ -508,12 +535,14 @@ mod tests {
                 }
                 dec.feed(&buf[..n]);
                 while let Some(body) = dec.next_body().expect("envelope") {
-                    let (id, req) = crate::proto::decode_request(&body).expect("request");
+                    let (id, _ctx, req) = crate::proto::decode_request(&body).expect("request");
                     let resp = match req {
                         Request::Hello => Response::Welcome {
                             epoch: 1,
                             vertices: 3,
                             edges: 2,
+                            now_us: 10,
+                            pid: 77,
                         },
                         Request::Stats if retries_sent < 2 => {
                             retries_sent += 1;

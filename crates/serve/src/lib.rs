@@ -35,7 +35,7 @@ pub mod store;
 
 pub use client::{ClientConfig, ClientError, RetryClient, ServeClient, Welcome};
 pub use pool::{start_pool, Pool, PoolConfig, PoolStats, WorkerSpawn};
-pub use proto::{MutateOp, Request, Response, ServeStats};
+pub use proto::{MutateOp, Request, Response, ServeStats, TraceCtx};
 pub use sched::SchedConfig;
 pub use server::{start, ServeConfig, Server};
 pub use store::EpochStore;

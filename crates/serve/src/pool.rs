@@ -56,11 +56,12 @@ use mrbc_faults::FaultPlan;
 use mrbc_graph::CsrGraph;
 use mrbc_net::detector::{DetectorConfig, HeartbeatDetector, PeerStatus};
 use mrbc_net::mesh::now_ms;
+use mrbc_obs as obs;
 use mrbc_util::framing::{self, EnvelopeDecoder};
 
 use crate::proto::{
     decode_request, decode_response, encode_request, encode_response, MutateOp, Request, Response,
-    ServeStats,
+    ServeStats, TraceCtx,
 };
 use crate::sched::SchedConfig;
 use crate::server::{start, ServeConfig, Server};
@@ -146,6 +147,8 @@ pub struct PoolStats {
     pub hedges: u64,
     /// Workers respawned by the supervisor.
     pub respawns: u64,
+    /// Mutations replayed into respawned workers during recovery.
+    pub replayed_mutations: u64,
 }
 
 #[derive(Default)]
@@ -157,6 +160,7 @@ struct PoolCounters {
     failovers: AtomicU64,
     hedges: AtomicU64,
     respawns: AtomicU64,
+    replayed_mutations: AtomicU64,
 }
 
 impl PoolCounters {
@@ -169,6 +173,7 @@ impl PoolCounters {
             failovers: self.failovers.load(Ordering::Relaxed),
             hedges: self.hedges.load(Ordering::Relaxed),
             respawns: self.respawns.load(Ordering::Relaxed),
+            replayed_mutations: self.replayed_mutations.load(Ordering::Relaxed),
         }
     }
 }
@@ -192,16 +197,22 @@ struct WorkerConn {
 }
 
 impl WorkerConn {
-    /// Registers interest in `id`, then writes the sealed request.
-    /// On write failure the registration is rolled back.
-    fn send(&self, id: u64, req: &Request, tx: mpsc::Sender<WorkerReply>) -> io::Result<()> {
+    /// Registers interest in `id`, then writes the sealed request
+    /// carrying `ctx`. On write failure the registration is rolled back.
+    fn send(
+        &self,
+        id: u64,
+        ctx: TraceCtx,
+        req: &Request,
+        tx: mpsc::Sender<WorkerReply>,
+    ) -> io::Result<()> {
         if !self.conn_alive.load(Ordering::SeqCst) {
             return Err(io::Error::new(io::ErrorKind::NotConnected, "worker down"));
         }
         if let Ok(mut p) = self.pending.lock() {
             p.insert(id, tx);
         }
-        let bytes = framing::seal(&encode_request(id, req));
+        let bytes = framing::seal(&encode_request(id, ctx, req));
         let res = match self.writer.lock() {
             Ok(mut w) => w.write_all(&bytes),
             Err(_) => Err(io::Error::other("writer poisoned")),
@@ -247,6 +258,31 @@ impl Backend {
                 drop(child.wait());
             }
             Backend::InProc(mut server) => server.shutdown(),
+        }
+    }
+
+    /// Waits up to `timeout_ms` for a child process to exit on its own
+    /// (after a protocol goodbye), so the worker's `--trace` /
+    /// `--flight-dir` exports finish before any hard kill. Returns true
+    /// once the backend is gone.
+    fn wait_graceful(&mut self, timeout_ms: u64) -> bool {
+        let Backend::Child(child) = self else {
+            return false;
+        };
+        let deadline = now_ms() + timeout_ms;
+        loop {
+            match child.try_wait() {
+                Ok(Some(_)) => {
+                    *self = Backend::Down;
+                    return true;
+                }
+                Ok(None) => {}
+                Err(_) => return false,
+            }
+            if now_ms() >= deadline {
+                return false;
+            }
+            thread::sleep(Duration::from_millis(10));
         }
     }
 
@@ -309,9 +345,15 @@ impl PoolShared {
     }
 
     fn retry(&self) -> Response {
-        self.counters
+        let nth = self
+            .counters
             .retries_emitted
-            .fetch_add(1, Ordering::Relaxed);
+            .fetch_add(1, Ordering::Relaxed)
+            + 1;
+        // A Retry means the routing machinery gave up — exactly the
+        // moment the flight recorder's recent history is worth keeping.
+        obs::flight::note("pool.retry_emitted", nth, u64::from(self.retry_after_ms));
+        obs::flight::dump("retry-emitted");
         Response::Retry {
             after_ms: self.retry_after_ms,
         }
@@ -636,7 +678,8 @@ fn worker_reader_loop(
     conn.drain_dead();
 }
 
-/// Sends `req` on `conn` and waits up to `timeout_ms` for its answer.
+/// Sends `req` on `conn` (untraced — pool housekeeping traffic) and
+/// waits up to `timeout_ms` for its answer.
 fn call_conn(
     shared: &Arc<PoolShared>,
     conn: &Arc<WorkerConn>,
@@ -645,7 +688,7 @@ fn call_conn(
 ) -> Option<Response> {
     let (tx, rx) = mpsc::channel();
     let id = shared.fresh_id();
-    conn.send(id, req, tx).ok()?;
+    conn.send(id, TraceCtx::NONE, req, tx).ok()?;
     match rx.recv_timeout(Duration::from_millis(timeout_ms)) {
         Ok(WorkerReply::Answer(resp)) => Some(resp),
         _ => None,
@@ -674,9 +717,18 @@ fn bring_up_worker(
         Err(e) => return abort(backend, e),
     };
 
+    // The Hello round trip doubles as an NTP-style clock probe: t0/t2
+    // bracket the worker's own monotonic reading t1 (`Welcome.now_us`),
+    // giving the trace merger this worker's clock offset.
+    let t0 = obs::now_us();
     let welcome = call_conn(shared, &conn, &Request::Hello, HANDSHAKE_MS);
+    let t2 = obs::now_us();
     let Some(Response::Welcome {
-        vertices, edges, ..
+        vertices,
+        edges,
+        now_us,
+        pid,
+        ..
     }) = welcome
     else {
         conn.drain_dead();
@@ -685,6 +737,8 @@ fn bring_up_worker(
             io::Error::new(io::ErrorKind::TimedOut, "worker handshake failed"),
         );
     };
+    obs::clock_probe(pid, t0, now_us, t2);
+    obs::flight::note("pool.worker_up", rank as u64, pid);
     if let Ok(mut info) = shared.graph_info.lock() {
         *info = (vertices, edges);
     }
@@ -704,6 +758,10 @@ fn bring_up_worker(
                     io::Error::other("mutation replay failed during recovery"),
                 );
             }
+            shared
+                .counters
+                .replayed_mutations
+                .fetch_add(1, Ordering::Relaxed);
         }
         let slot = &shared.slots[rank];
         if let Ok(mut b) = slot.backend.lock() {
@@ -767,7 +825,7 @@ fn supervise_loop(shared: &Arc<PoolShared>, mut spawner: WorkerSpawn, faults: Op
             for rank in 0..shared.workers {
                 if let Some(conn) = shared.conn_of(rank) {
                     let (tx, _rx) = mpsc::channel();
-                    drop(conn.send(shared.fresh_id(), &Request::Stats, tx));
+                    drop(conn.send(shared.fresh_id(), TraceCtx::NONE, &Request::Stats, tx));
                 }
             }
         }
@@ -793,6 +851,14 @@ fn supervise_loop(shared: &Arc<PoolShared>, mut spawner: WorkerSpawn, faults: Op
                 .map(|mut d| d.status(rank, now))
                 .unwrap_or(PeerStatus::Alive);
             if conn_dead || verdict == PeerStatus::Dead {
+                // A worker going down is a flight-recorder moment: keep
+                // the event ring leading up to the verdict.
+                obs::flight::note(
+                    "pool.worker_dead",
+                    rank as u64,
+                    u64::from(verdict == PeerStatus::Dead),
+                );
+                obs::flight::dump("worker-dead");
                 let t0 = now_ms();
                 tear_down_worker(shared, rank);
                 match bring_up_worker(shared, &mut spawner, rank) {
@@ -815,10 +881,18 @@ fn supervise_loop(shared: &Arc<PoolShared>, mut spawner: WorkerSpawn, faults: Op
     }
 
     // Shutdown: stop every worker. Best-effort protocol goodbye first so
-    // process workers exit cleanly, then the hard kill.
+    // process workers exit cleanly, then the hard kill. A worker that
+    // acknowledged the goodbye gets a grace window to flush its
+    // `--trace` / `--flight-dir` exports before tear-down kills it.
     for rank in 0..shared.workers {
-        if let Some(conn) = shared.conn_of(rank) {
-            drop(call_conn(shared, &conn, &Request::Shutdown, 500));
+        let said_bye = shared
+            .conn_of(rank)
+            .map(|conn| call_conn(shared, &conn, &Request::Shutdown, 500).is_some())
+            .unwrap_or(false);
+        if said_bye {
+            if let Ok(mut backend) = shared.slots[rank].backend.lock() {
+                backend.wait_graceful(2000);
+            }
         }
         tear_down_worker(shared, rank);
     }
@@ -900,6 +974,7 @@ fn shard_of(s: u32, vertices: u64, workers: usize) -> usize {
 fn call_worker(
     shared: &Arc<PoolShared>,
     start_rank: usize,
+    ctx: TraceCtx,
     req: &Request,
     deadline_ms: u64,
 ) -> Option<Response> {
@@ -930,7 +1005,7 @@ fn call_worker(
                     shared.slots[rank]
                         .dispatched
                         .fetch_add(1, Ordering::Relaxed);
-                    if conn.send(id, req, tx.clone()).is_ok() {
+                    if conn.send(id, ctx, req, tx.clone()).is_ok() {
                         dispatches += 1;
                         outstanding += 1;
                         placed = true;
@@ -959,6 +1034,7 @@ fn call_worker(
             Ok(WorkerReply::ConnDead) => {
                 outstanding -= 1;
                 shared.counters.failovers.fetch_add(1, Ordering::Relaxed);
+                obs::flight::note("pool.failover", rank as u64, ctx.trace);
                 rank = (rank + 1) % w;
                 // Loop re-dispatches to the next sibling (or keeps
                 // waiting on the hedge twin if one is still out).
@@ -974,7 +1050,8 @@ fn call_worker(
                 if sibling != rank || w == 1 {
                     if let Some(conn) = shared.conn_of(sibling) {
                         let id = shared.fresh_id();
-                        if conn.send(id, req, tx.clone()).is_ok() {
+                        if conn.send(id, ctx, req, tx.clone()).is_ok() {
+                            obs::flight::note("pool.hedge", sibling as u64, ctx.trace);
                             shared.counters.hedges.fetch_add(1, Ordering::Relaxed);
                             shared.slots[sibling]
                                 .dispatched
@@ -990,8 +1067,10 @@ fn call_worker(
     }
 }
 
-/// Aggregated pool stats: per-worker counters summed, plus the pool's
-/// own session count (clients connect to the front-end, not workers).
+/// Aggregated pool stats: per-worker counters summed and their phase
+/// histograms merged by name (log-bucketed histograms add bucket-wise),
+/// plus the pool's own tier — session count and the hedge/failover/
+/// replay counters only the front-end can know.
 fn aggregate_stats(shared: &Arc<PoolShared>) -> Response {
     let mut total = ServeStats::default();
     let mut answered = false;
@@ -1008,13 +1087,19 @@ fn aggregate_stats(shared: &Arc<PoolShared>) -> Response {
             total.busy_rejections += s.busy_rejections;
             total.stale_rejections += s.stale_rejections;
             total.mutations = total.mutations.max(s.mutations);
+            total.queue_depth += s.queue_depth;
+            total.merge_hists(&s);
             answered = true;
         }
     }
     if !answered {
         return shared.retry();
     }
-    total.sessions = shared.counters.sessions.load(Ordering::Relaxed);
+    let c = &shared.counters;
+    total.sessions = c.sessions.load(Ordering::Relaxed);
+    total.hedge_fired = c.hedges.load(Ordering::Relaxed);
+    total.failover_attempts = c.failovers.load(Ordering::Relaxed);
+    total.replay_mutations = c.replayed_mutations.load(Ordering::Relaxed);
     Response::Stats(total)
 }
 
@@ -1070,7 +1155,12 @@ fn broadcast_mutate(shared: &Arc<PoolShared>, op: MutateOp, u: u32, v: u32) -> R
 /// `SubsetBc` fan-out: canonicalize, group by shard affinity, dispatch
 /// each group to its owner, merge per-group vectors in rank order. Lost
 /// groups degrade the answer to `Partial { missing_sources }`.
-fn fan_out_subset(shared: &Arc<PoolShared>, epoch_pin: u64, sources: &[u32]) -> Response {
+fn fan_out_subset(
+    shared: &Arc<PoolShared>,
+    ctx: TraceCtx,
+    epoch_pin: u64,
+    sources: &[u32],
+) -> Response {
     let vertices = shared.graph_info.lock().map(|g| g.0).unwrap_or(0);
     let mut canon: Vec<u32> = sources.to_vec();
     canon.sort_unstable();
@@ -1109,7 +1199,7 @@ fn fan_out_subset(shared: &Arc<PoolShared>, epoch_pin: u64, sources: &[u32]) -> 
         let resp = if remaining == 0 {
             None
         } else {
-            call_worker(shared, *rank, &sub, now_ms() + remaining)
+            call_worker(shared, *rank, ctx, &sub, now_ms() + remaining)
         };
         match resp {
             Some(Response::SubsetBc { epoch, scores }) => {
@@ -1148,6 +1238,9 @@ fn fan_out_subset(shared: &Arc<PoolShared>, epoch_pin: u64, sources: &[u32]) -> 
                 .counters
                 .partials_emitted
                 .fetch_add(1, Ordering::Relaxed);
+            // A degraded answer is a flight-recorder moment too.
+            obs::flight::note("pool.partial_emitted", ctx.trace, missing.len() as u64);
+            obs::flight::dump("partial-emitted");
             Response::Partial {
                 epoch,
                 scores,
@@ -1158,8 +1251,11 @@ fn fan_out_subset(shared: &Arc<PoolShared>, epoch_pin: u64, sources: &[u32]) -> 
     }
 }
 
-/// Routes one decoded request; always returns, never hangs.
-fn route(shared: &Arc<PoolShared>, req: &Request) -> Response {
+/// Routes one decoded request; always returns, never hangs. `ctx` is
+/// the trace context the client sent; routed queries get a
+/// `pool.route` span in that trace, and workers receive a child
+/// context whose parent is the routing span.
+fn route(shared: &Arc<PoolShared>, ctx: TraceCtx, req: &Request) -> Response {
     match req {
         Request::Hello => {
             let (vertices, edges) = shared.graph_info.lock().map(|g| *g).unwrap_or((0, 0));
@@ -1167,6 +1263,8 @@ fn route(shared: &Arc<PoolShared>, req: &Request) -> Response {
                 epoch: shared.epoch.load(Ordering::SeqCst),
                 vertices,
                 edges,
+                now_us: obs::now_us(),
+                pid: u64::from(std::process::id()),
             }
         }
         Request::Stats => aggregate_stats(shared),
@@ -1174,26 +1272,31 @@ fn route(shared: &Arc<PoolShared>, req: &Request) -> Response {
             shared.shutdown.store(true, Ordering::SeqCst);
             Response::Bye
         }
-        Request::Mutate { op, u, v } => {
+        req => {
             shared.counters.routed.fetch_add(1, Ordering::Relaxed);
-            broadcast_mutate(shared, *op, *u, *v)
-        }
-        Request::SubsetBc { epoch, sources } => {
-            shared.counters.routed.fetch_add(1, Ordering::Relaxed);
-            fan_out_subset(shared, *epoch, sources)
-        }
-        Request::PathInfo { s, .. } => {
-            shared.counters.routed.fetch_add(1, Ordering::Relaxed);
-            let vertices = shared.graph_info.lock().map(|g| g.0).unwrap_or(0);
-            let rank = shard_of(*s, vertices, shared.workers);
-            let deadline = now_ms() + shared.dispatch_timeout_ms;
-            call_worker(shared, rank, req, deadline).unwrap_or_else(|| shared.retry())
-        }
-        Request::BcScore { .. } | Request::TopK { .. } => {
-            shared.counters.routed.fetch_add(1, Ordering::Relaxed);
-            let rank = shared.first_alive().unwrap_or(0);
-            let deadline = now_ms() + shared.dispatch_timeout_ms;
-            call_worker(shared, rank, req, deadline).unwrap_or_else(|| shared.retry())
+            let span_id = obs::fresh_id();
+            let _span = obs::span("pool.route", "pool")
+                .arg("trace", ctx.trace)
+                .arg("span", span_id)
+                .arg("parent", ctx.parent);
+            let down = ctx.child(span_id);
+            match req {
+                Request::Mutate { op, u, v } => broadcast_mutate(shared, *op, *u, *v),
+                Request::SubsetBc { epoch, sources } => {
+                    fan_out_subset(shared, down, *epoch, sources)
+                }
+                Request::PathInfo { s, .. } => {
+                    let vertices = shared.graph_info.lock().map(|g| g.0).unwrap_or(0);
+                    let rank = shard_of(*s, vertices, shared.workers);
+                    let deadline = now_ms() + shared.dispatch_timeout_ms;
+                    call_worker(shared, rank, down, req, deadline).unwrap_or_else(|| shared.retry())
+                }
+                _ => {
+                    let rank = shared.first_alive().unwrap_or(0);
+                    let deadline = now_ms() + shared.dispatch_timeout_ms;
+                    call_worker(shared, rank, down, req, deadline).unwrap_or_else(|| shared.retry())
+                }
+            }
         }
     }
 }
@@ -1277,8 +1380,8 @@ fn session_loop(mut stream: TcpStream, shared: &Arc<PoolShared>) {
                 Ok(None) => break,
                 Err(_) => break 'pump,
             };
-            let (id, req) = match decode_request(&body) {
-                Ok(pair) => pair,
+            let (id, ctx, req) = match decode_request(&body) {
+                Ok(triple) => triple,
                 Err(e) => {
                     let resp = Response::Error {
                         message: format!("malformed request: {e}"),
@@ -1298,7 +1401,7 @@ fn session_loop(mut stream: TcpStream, shared: &Arc<PoolShared>) {
                 greeted = true;
             }
             let is_bye = matches!(req, Request::Shutdown);
-            let resp = route(shared, &req);
+            let resp = route(shared, ctx, &req);
             if write_frame(&mut stream, id, &resp).is_err() {
                 break 'pump;
             }

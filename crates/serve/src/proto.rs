@@ -14,14 +14,69 @@
 //! that exact graph epoch and is refused with [`Response::Stale`] once a
 //! mutation has bumped it. Admission-control refusals arrive as
 //! [`Response::Busy`]; neither ever blocks the client.
+//!
+//! Since version 2 every request header also carries a [`TraceCtx`]
+//! (trace id + parent span id, 0 = none), so a query that fans from a
+//! client through the pool front-end into a worker tags every span it
+//! touches with one trace id — the correlation key `mrbc obs merge`
+//! stitches cross-process timelines with. The `Welcome` handshake
+//! reply additionally reports the server's pid and its monotonic
+//! trace-epoch clock reading, giving the front-end the `t1` of an NTP
+//! midpoint clock-offset estimate per worker.
 
 use mrbc_util::framing;
 use mrbc_util::wire::{WireError, WireReader, WireWriter};
 
+use mrbc_obs::Histogram;
+
 /// Protocol magic carried in `Hello` / `Welcome`: `"MRSV"`.
 pub const SERVE_MAGIC: u32 = 0x5653_524D;
 /// Query-protocol version; bumped on any wire-format change.
-pub const SERVE_VERSION: u32 = 1;
+/// v2: trace-context request header, Welcome clock/pid fields,
+/// quantile-histogram + pool-counter Stats extension.
+pub const SERVE_VERSION: u32 = 2;
+
+/// Trace correlation context carried on every request: the originating
+/// query's trace id and the span id of the sender's enclosing span.
+/// Both 0 means "no context" (an untraced client); ids are minted with
+/// [`mrbc_obs::fresh_id`], which never returns 0.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Trace id shared by every span of one originating query.
+    pub trace: u64,
+    /// Span id of the sender's span that caused this request.
+    pub parent: u64,
+}
+
+impl TraceCtx {
+    /// The absent context (untraced request).
+    pub const NONE: TraceCtx = TraceCtx {
+        trace: 0,
+        parent: 0,
+    };
+
+    /// Mint a fresh root context for a new query.
+    pub fn root() -> TraceCtx {
+        TraceCtx {
+            trace: mrbc_obs::fresh_id(),
+            parent: 0,
+        }
+    }
+
+    /// Derive the context a downstream hop should carry, with `span`
+    /// (the local span handling the query) as the new parent.
+    pub fn child(&self, span: u64) -> TraceCtx {
+        TraceCtx {
+            trace: self.trace,
+            parent: span,
+        }
+    }
+
+    /// Whether a trace id is present.
+    pub fn is_set(&self) -> bool {
+        self.trace != 0
+    }
+}
 
 /// Edge mutation direction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -119,7 +174,13 @@ impl Request {
 }
 
 /// Scheduler and store counters reported by [`Response::Stats`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+///
+/// A single daemon fills the scheduler fields and its per-phase latency
+/// histograms; the pool front-end sums worker snapshots (histograms
+/// merge by bucket addition) and adds the supervision counters
+/// (`hedge_fired` / `failover_attempts` / `replay_mutations`), which
+/// are always 0 in a worker's own snapshot.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ServeStats {
     /// Current graph epoch.
     pub epoch: u64,
@@ -139,6 +200,20 @@ pub struct ServeStats {
     pub mutations: u64,
     /// Client sessions accepted since startup.
     pub sessions: u64,
+    /// Jobs waiting in the scheduler queue at snapshot time (summed
+    /// across workers by the pool).
+    pub queue_depth: u64,
+    /// Hedged duplicate dispatches fired by the pool front-end.
+    pub hedge_fired: u64,
+    /// In-flight requests re-dispatched to another worker after a
+    /// connection died.
+    pub failover_attempts: u64,
+    /// Mutations replayed into respawned workers to rebuild their
+    /// graph state (total ops across all respawns).
+    pub replay_mutations: u64,
+    /// Per-phase latency histograms (`serve.queue_us`, `serve.exec_us`,
+    /// `serve.total_us`), mergeable across workers; sorted by name.
+    pub hists: Vec<(String, Histogram)>,
 }
 
 impl ServeStats {
@@ -151,6 +226,24 @@ impl ServeStats {
         } else {
             self.source_queries as f64 / self.batches as f64
         }
+    }
+
+    /// The named per-phase histogram, if present.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Merge another snapshot's histograms into this one's (bucket
+    /// addition per name; names absent here are inserted). Keeps the
+    /// name ordering sorted so encoded snapshots stay deterministic.
+    pub fn merge_hists(&mut self, other: &ServeStats) {
+        for (name, h) in &other.hists {
+            match self.hists.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => mine.merge(h),
+                None => self.hists.push((name.clone(), h.clone())),
+            }
+        }
+        self.hists.sort_by(|a, b| a.0.cmp(&b.0));
     }
 }
 
@@ -166,6 +259,13 @@ pub enum Response {
         vertices: u64,
         /// Edge count of the resident graph.
         edges: u64,
+        /// The server's monotonic trace-epoch clock at reply time
+        /// (µs; 0 when the server is not tracing). This is the `t1` of
+        /// the Hello round-trip clock-offset estimate.
+        now_us: u64,
+        /// The server's OS pid, matching the `pid` in its trace export
+        /// and flight-recorder dumps.
+        pid: u64,
     },
     /// Answer to [`Request::BcScore`].
     BcValue {
@@ -251,36 +351,38 @@ pub enum Response {
 }
 
 /// Encodes a request body (unsealed — wrap with [`framing::seal`]).
-pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
+/// The header is `[tag][id][trace][parent]` for every request.
+pub fn encode_request(id: u64, ctx: TraceCtx, req: &Request) -> Vec<u8> {
     let mut w = WireWriter::with_capacity(32);
+    let header = |w: &mut WireWriter, tag: u8| {
+        w.u8(tag);
+        w.u64(id);
+        w.u64(ctx.trace);
+        w.u64(ctx.parent);
+    };
     match req {
         Request::Hello => {
-            w.u8(0);
-            w.u64(id);
+            header(&mut w, 0);
             framing::write_preamble(&mut w, SERVE_MAGIC, SERVE_VERSION);
         }
         Request::BcScore { epoch, v } => {
-            w.u8(1);
-            w.u64(id);
+            header(&mut w, 1);
             w.u64(*epoch);
             w.u32(*v);
         }
         Request::TopK { epoch, k } => {
-            w.u8(2);
-            w.u64(id);
+            header(&mut w, 2);
             w.u64(*epoch);
             w.u32(*k);
         }
         Request::PathInfo { epoch, s, t } => {
-            w.u8(3);
-            w.u64(id);
+            header(&mut w, 3);
             w.u64(*epoch);
             w.u32(*s);
             w.u32(*t);
         }
         Request::SubsetBc { epoch, sources } => {
-            w.u8(4);
-            w.u64(id);
+            header(&mut w, 4);
             w.u64(*epoch);
             w.u32(sources.len() as u32);
             for s in sources {
@@ -288,30 +390,32 @@ pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
             }
         }
         Request::Mutate { op, u, v } => {
-            w.u8(5);
-            w.u64(id);
+            header(&mut w, 5);
             w.u8(op.to_u8());
             w.u32(*u);
             w.u32(*v);
         }
         Request::Stats => {
-            w.u8(6);
-            w.u64(id);
+            header(&mut w, 6);
         }
         Request::Shutdown => {
-            w.u8(7);
-            w.u64(id);
+            header(&mut w, 7);
         }
     }
     w.into_bytes()
 }
 
-/// Decodes a request body into `(id, request)`. A `Hello` with the wrong
-/// magic or version fails here, before any state is touched.
-pub fn decode_request(body: &[u8]) -> Result<(u64, Request), WireError> {
+/// Decodes a request body into `(id, trace_ctx, request)`. A `Hello`
+/// with the wrong magic or version fails here, before any state is
+/// touched.
+pub fn decode_request(body: &[u8]) -> Result<(u64, TraceCtx, Request), WireError> {
     let mut r = WireReader::new(body);
     let tag = r.u8()?;
     let id = r.u64()?;
+    let ctx = TraceCtx {
+        trace: r.u64()?,
+        parent: r.u64()?,
+    };
     let req = match tag {
         0 => {
             framing::check_preamble(&mut r, SERVE_MAGIC, SERVE_VERSION)?;
@@ -356,7 +460,7 @@ pub fn decode_request(body: &[u8]) -> Result<(u64, Request), WireError> {
     if !r.is_empty() {
         return Err(WireError::Invalid("trailing bytes after request"));
     }
-    Ok((id, req))
+    Ok((id, ctx, req))
 }
 
 /// Encodes a response body (unsealed — wrap with [`framing::seal`]).
@@ -367,6 +471,8 @@ pub fn encode_response(id: u64, resp: &Response) -> Vec<u8> {
             epoch,
             vertices,
             edges,
+            now_us,
+            pid,
         } => {
             w.u8(0);
             w.u64(id);
@@ -374,6 +480,8 @@ pub fn encode_response(id: u64, resp: &Response) -> Vec<u8> {
             w.u64(*epoch);
             w.u64(*vertices);
             w.u64(*edges);
+            w.u64(*now_us);
+            w.u64(*pid);
         }
         Response::BcValue { epoch, score } => {
             w.u8(1);
@@ -425,6 +533,24 @@ pub fn encode_response(id: u64, resp: &Response) -> Vec<u8> {
             w.u64(s.stale_rejections);
             w.u64(s.mutations);
             w.u64(s.sessions);
+            w.u64(s.queue_depth);
+            w.u64(s.hedge_fired);
+            w.u64(s.failover_attempts);
+            w.u64(s.replay_mutations);
+            w.u32(s.hists.len() as u32);
+            for (name, h) in &s.hists {
+                w.bytes(name.as_bytes());
+                w.u64(h.count());
+                w.u64(h.sum());
+                w.u64(h.min());
+                w.u64(h.max());
+                let nz = h.nonzero_indexed();
+                w.u32(nz.len() as u32);
+                for (i, c) in nz {
+                    w.u32(i);
+                    w.u64(c);
+                }
+            }
         }
         Response::Busy { queued, capacity } => {
             w.u8(7);
@@ -485,6 +611,8 @@ pub fn decode_response(body: &[u8]) -> Result<(u64, Response), WireError> {
                 epoch: r.u64()?,
                 vertices: r.u64()?,
                 edges: r.u64()?,
+                now_us: r.u64()?,
+                pid: r.u64()?,
             }
         }
         1 => Response::BcValue {
@@ -526,17 +654,46 @@ pub fn decode_response(body: &[u8]) -> Result<(u64, Response), WireError> {
             epoch: r.u64()?,
             applied: r.u8()? != 0,
         },
-        6 => Response::Stats(ServeStats {
-            epoch: r.u64()?,
-            queries: r.u64()?,
-            source_queries: r.u64()?,
-            batches: r.u64()?,
-            batched_sources: r.u64()?,
-            busy_rejections: r.u64()?,
-            stale_rejections: r.u64()?,
-            mutations: r.u64()?,
-            sessions: r.u64()?,
-        }),
+        6 => {
+            let mut s = ServeStats {
+                epoch: r.u64()?,
+                queries: r.u64()?,
+                source_queries: r.u64()?,
+                batches: r.u64()?,
+                batched_sources: r.u64()?,
+                busy_rejections: r.u64()?,
+                stale_rejections: r.u64()?,
+                mutations: r.u64()?,
+                sessions: r.u64()?,
+                queue_depth: r.u64()?,
+                hedge_fired: r.u64()?,
+                failover_attempts: r.u64()?,
+                replay_mutations: r.u64()?,
+                hists: Vec::new(),
+            };
+            let nhists = r.u32()? as usize;
+            if nhists > body.len() {
+                return Err(WireError::Invalid("histogram count exceeds body"));
+            }
+            for _ in 0..nhists {
+                let name = String::from_utf8_lossy(r.bytes()?).into_owned();
+                let (count, sum, min, max) = (r.u64()?, r.u64()?, r.u64()?, r.u64()?);
+                let nbuckets = r.u32()? as usize;
+                if nbuckets > body.len() {
+                    return Err(WireError::Invalid("bucket count exceeds body"));
+                }
+                let mut nz = Vec::with_capacity(nbuckets);
+                for _ in 0..nbuckets {
+                    let i = r.u32()?;
+                    let c = r.u64()?;
+                    nz.push((i, c));
+                }
+                let h = Histogram::from_wire(count, sum, min, max, &nz)
+                    .ok_or(WireError::Invalid("inconsistent histogram"))?;
+                s.hists.push((name, h));
+            }
+            Response::Stats(s)
+        }
         7 => Response::Busy {
             queued: r.u32()?,
             capacity: r.u32()?,
@@ -616,10 +773,33 @@ mod tests {
         ];
         for (i, req) in reqs.iter().enumerate() {
             let id = 1000 + i as u64;
-            let (rid, back) = decode_request(&encode_request(id, req)).expect("roundtrip");
+            let (rid, ctx, back) =
+                decode_request(&encode_request(id, TraceCtx::NONE, req)).expect("roundtrip");
             assert_eq!(rid, id);
+            assert_eq!(ctx, TraceCtx::NONE);
+            assert!(!ctx.is_set());
             assert_eq!(&back, req);
+            // The trace-context header rides every request unchanged.
+            let tagged = TraceCtx {
+                trace: 0xdead_beef,
+                parent: 42,
+            };
+            let (_, ctx2, back2) =
+                decode_request(&encode_request(id, tagged, req)).expect("roundtrip");
+            assert_eq!(ctx2, tagged);
+            assert!(ctx2.is_set());
+            assert_eq!(&back2, req);
         }
+    }
+
+    #[test]
+    fn trace_ctx_derivation() {
+        let root = TraceCtx::root();
+        assert!(root.is_set());
+        assert_eq!(root.parent, 0);
+        let hop = root.child(77);
+        assert_eq!(hop.trace, root.trace);
+        assert_eq!(hop.parent, 77);
     }
 
     #[test]
@@ -629,6 +809,8 @@ mod tests {
                 epoch: 1,
                 vertices: 100,
                 edges: 500,
+                now_us: 123_456,
+                pid: 9876,
             },
             Response::BcValue {
                 epoch: 2,
@@ -661,6 +843,19 @@ mod tests {
                 stale_rejections: 2,
                 mutations: 4,
                 sessions: 3,
+                queue_depth: 7,
+                hedge_fired: 2,
+                failover_attempts: 1,
+                replay_mutations: 4,
+                hists: {
+                    let mut h = Histogram::default();
+                    h.record(120);
+                    h.record(90_000);
+                    vec![
+                        ("serve.exec_us".to_string(), Histogram::default()),
+                        ("serve.total_us".to_string(), h),
+                    ]
+                },
             }),
             Response::Busy {
                 queued: 64,
@@ -710,12 +905,13 @@ mod tests {
     fn corrupt_tags_and_preambles_are_rejected() {
         assert!(decode_request(&[99, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
         assert!(decode_response(&[99, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
-        // Hello with a foreign magic.
-        let mut hello = encode_request(1, &Request::Hello);
-        hello[9] ^= 0xFF;
+        // Hello with a foreign magic (the preamble starts after the
+        // 25-byte tag + id + trace-context header).
+        let mut hello = encode_request(1, TraceCtx::NONE, &Request::Hello);
+        hello[25] ^= 0xFF;
         assert!(decode_request(&hello).is_err());
         // Trailing garbage.
-        let mut stats = encode_request(1, &Request::Stats);
+        let mut stats = encode_request(1, TraceCtx::NONE, &Request::Stats);
         stats.push(0);
         assert!(decode_request(&stats).is_err());
         // An insane element count must not allocate.
@@ -723,8 +919,47 @@ mod tests {
         w.u8(4);
         w.u64(1);
         w.u64(0);
+        w.u64(0);
+        w.u64(0);
         w.u32(u32::MAX);
         assert!(decode_request(&w.into_bytes()).is_err());
+    }
+
+    #[test]
+    fn inconsistent_stats_histogram_is_rejected() {
+        let mut h = Histogram::default();
+        h.record(5);
+        let mut body = encode_response(
+            3,
+            &Response::Stats(ServeStats {
+                hists: vec![("h".to_string(), h)],
+                ..ServeStats::default()
+            }),
+        );
+        // Corrupt the final bucket count (last 8 bytes, little-endian):
+        // the decoder must notice buckets no longer sum to `count`.
+        let n = body.len();
+        body[n - 8] ^= 0xFF;
+        assert!(decode_response(&body).is_err());
+    }
+
+    #[test]
+    fn pool_aggregation_merges_histograms_by_name() {
+        let mut w0 = ServeStats::default();
+        let mut h0 = Histogram::default();
+        h0.record(100);
+        w0.hists.push(("serve.total_us".to_string(), h0));
+        let mut w1 = ServeStats::default();
+        let mut h1 = Histogram::default();
+        h1.record(900);
+        w1.hists.push(("serve.total_us".to_string(), h1.clone()));
+        w1.hists.push(("serve.queue_us".to_string(), h1));
+        let mut agg = w0.clone();
+        agg.merge_hists(&w1);
+        assert_eq!(agg.hist("serve.total_us").map(Histogram::count), Some(2));
+        assert_eq!(agg.hist("serve.queue_us").map(Histogram::count), Some(1));
+        // Sorted by name for deterministic encoding.
+        assert_eq!(agg.hists[0].0, "serve.queue_us");
     }
 
     #[test]

@@ -26,7 +26,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::Mutex;
 
-use crate::proto::{Request, Response, ServeStats};
+use mrbc_obs::Histogram;
+
+use crate::proto::{Request, Response, ServeStats, TraceCtx};
 
 /// Scheduler tuning knobs.
 #[derive(Clone, Copy, Debug)]
@@ -54,6 +56,10 @@ pub struct Job {
     pub id: u64,
     /// `mrbc_obs::now_us()` at admission (0 when obs is disabled).
     pub enqueued_us: u64,
+    /// Trace context the request arrived with (`TraceCtx::NONE` for
+    /// uninstrumented clients); the worker tags its execution span with
+    /// it so merged timelines correlate across processes.
+    pub ctx: TraceCtx,
     /// The admitted request.
     pub req: Request,
     /// Where the worker sends the `(id, response)` pair. A dead receiver
@@ -81,11 +87,45 @@ pub struct Counters {
     pub mutations: AtomicU64,
     /// Accepted client sessions.
     pub sessions: AtomicU64,
+    /// Per-phase latency histograms. Always on — the log-bucketed
+    /// record path is a handful of integer ops under a short lock, so
+    /// quantiles are available from `Stats` even without `--trace`.
+    pub phases: Mutex<PhaseHists>,
+}
+
+/// The three serving-phase histograms exported via `Stats`.
+#[derive(Debug, Default)]
+pub struct PhaseHists {
+    /// Admission → dispatch wait ("serve.queue_us").
+    pub queue: Histogram,
+    /// Dispatch → response compute ("serve.exec_us").
+    pub exec: Histogram,
+    /// Admission → response, end to end ("serve.total_us").
+    pub total: Histogram,
 }
 
 impl Counters {
-    /// Snapshot into the wire-level stats struct (epoch filled by caller).
-    pub fn snapshot(&self, epoch: u64) -> ServeStats {
+    /// Records one executed job's phase latencies (µs).
+    pub fn record_phases(&self, queue_us: u64, exec_us: u64) {
+        let mut h = self.phases.lock().unwrap_or_else(|e| e.into_inner());
+        h.queue.record(queue_us);
+        h.exec.record(exec_us);
+        h.total.record(queue_us.saturating_add(exec_us));
+    }
+
+    /// Snapshot into the wire-level stats struct. `epoch` and
+    /// `queue_depth` are instantaneous readings supplied by the caller;
+    /// the pool-tier counters (`hedge_fired`, ...) stay zero here and
+    /// are filled in by the front-end when it aggregates.
+    pub fn snapshot(&self, epoch: u64, queue_depth: u64) -> ServeStats {
+        let hists = {
+            let h = self.phases.lock().unwrap_or_else(|e| e.into_inner());
+            vec![
+                ("serve.exec_us".to_string(), h.exec.clone()),
+                ("serve.queue_us".to_string(), h.queue.clone()),
+                ("serve.total_us".to_string(), h.total.clone()),
+            ]
+        };
         ServeStats {
             epoch,
             queries: self.queries.load(Ordering::Relaxed),
@@ -96,6 +136,11 @@ impl Counters {
             stale_rejections: self.stale_rejections.load(Ordering::Relaxed),
             mutations: self.mutations.load(Ordering::Relaxed),
             sessions: self.sessions.load(Ordering::Relaxed),
+            queue_depth,
+            hedge_fired: 0,
+            failover_attempts: 0,
+            replay_mutations: 0,
+            hists,
         }
     }
 }
@@ -182,6 +227,7 @@ mod tests {
             session: 0,
             id: 0,
             enqueued_us: 0,
+            ctx: TraceCtx::NONE,
             req,
             reply: tx,
         }
@@ -255,9 +301,19 @@ mod tests {
         c.queries.store(10, Ordering::Relaxed);
         c.source_queries.store(8, Ordering::Relaxed);
         c.batches.store(2, Ordering::Relaxed);
-        let s = c.snapshot(7);
+        c.record_phases(100, 300);
+        let s = c.snapshot(7, 3);
         assert_eq!(s.epoch, 7);
         assert_eq!(s.queries, 10);
         assert_eq!(s.coalescing_factor(), 4.0);
+        assert_eq!(s.queue_depth, 3);
+        // Worker snapshots never claim pool-tier activity.
+        assert_eq!(s.hedge_fired, 0);
+        assert_eq!(s.failover_attempts, 0);
+        assert_eq!(s.replay_mutations, 0);
+        let q = s.hist("serve.queue_us").expect("queue hist");
+        assert_eq!((q.count(), q.sum()), (1, 100));
+        let t = s.hist("serve.total_us").expect("total hist");
+        assert_eq!(t.sum(), 400);
     }
 }

@@ -81,7 +81,9 @@ struct Shared {
 
 impl Shared {
     fn stats(&self) -> ServeStats {
-        self.sched.counters.snapshot(self.store.epoch())
+        self.sched
+            .counters
+            .snapshot(self.store.epoch(), self.sched.queued() as u64)
     }
 }
 
@@ -266,8 +268,8 @@ fn session_loop(mut stream: TcpStream, shared: &Arc<Shared>, session: u64, sever
                 Ok(None) => break,
                 Err(_) => break 'pump, // unsyncable stream: drop it
             };
-            let (id, req) = match crate::proto::decode_request(&body) {
-                Ok(pair) => pair,
+            let (id, ctx, req) = match crate::proto::decode_request(&body) {
+                Ok(triple) => triple,
                 Err(e) => {
                     let resp = Response::Error {
                         message: format!("malformed request: {e}"),
@@ -287,10 +289,14 @@ fn session_loop(mut stream: TcpStream, shared: &Arc<Shared>, session: u64, sever
                 Request::Hello => {
                     greeted = true;
                     let (vertices, edges) = shared.store.graph_info();
+                    // `now_us` is the t1 of the pool's NTP-style clock
+                    // probe; `pid` identifies this process's trace track.
                     let resp = Response::Welcome {
                         epoch: shared.store.epoch(),
                         vertices,
                         edges,
+                        now_us: obs::now_us(),
+                        pid: u64::from(std::process::id()),
                     };
                     if write_response(&mut stream, id, &resp).is_err() {
                         break 'pump;
@@ -313,6 +319,7 @@ fn session_loop(mut stream: TcpStream, shared: &Arc<Shared>, session: u64, sever
                         session,
                         id,
                         enqueued_us: obs::now_us(),
+                        ctx,
                         req,
                         reply: reply_tx.clone(),
                     };
@@ -403,15 +410,26 @@ fn execute_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
     }
 
     for job in batch {
+        let started = obs::now_us();
+        // The execution span carries the originating query's trace
+        // context so `mrbc obs merge` can stitch it under the
+        // front-end's span on a separate process track.
         let span = obs::span("serve.query", "serve")
             .arg("session", job.session)
-            .arg("id", job.id);
+            .arg("id", job.id)
+            .arg("trace", job.ctx.trace)
+            .arg("span", obs::fresh_id())
+            .arg("parent", job.ctx.parent);
         let resp = execute_job(shared, &job.req);
         drop(span);
         let done = obs::now_us();
+        let queue_us = started.saturating_sub(job.enqueued_us);
+        let exec_us = done.saturating_sub(started);
+        counters.record_phases(queue_us, exec_us);
         if done > job.enqueued_us {
             obs::histogram_record("serve.latency_us", done - job.enqueued_us);
         }
+        obs::flight::note("serve.query", job.ctx.trace, job.id);
         // A dead receiver means the client left: drop the answer, keep
         // the batch going.
         drop(job.reply.send((job.id, resp)));

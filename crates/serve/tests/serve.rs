@@ -257,6 +257,7 @@ fn client_killed_mid_stream_leaves_daemon_healthy() {
         let mut victim = ServeClient::connect(addr).expect("victim connects");
         let req = mrbc_serve::proto::encode_request(
             7,
+            mrbc_serve::proto::TraceCtx::NONE,
             &Request::PathInfo {
                 epoch: 0,
                 s: 1,
@@ -326,7 +327,8 @@ fn malformed_and_unshaken_requests_are_rejected() {
     let mut raw = TcpStream::connect(addr).expect("connect");
     raw.set_read_timeout(Some(Duration::from_secs(5)))
         .expect("timeout");
-    let req = mrbc_serve::proto::encode_request(1, &Request::Stats);
+    let req =
+        mrbc_serve::proto::encode_request(1, mrbc_serve::proto::TraceCtx::NONE, &Request::Stats);
     raw.write_all(&mrbc_util::framing::seal(&req))
         .expect("write");
     let mut dec = mrbc_util::framing::EnvelopeDecoder::new();
