@@ -1,0 +1,1181 @@
+//! Dataflow-flavoured lint rules over the masked lexer.
+//!
+//! Three rules live here, all phrased over guard-binding *spans* rather
+//! than single tokens:
+//!
+//! * `blockunderlock` — while a `MutexGuard`/`RwLock` guard binding is
+//!   live in a scope, no line in that scope may make a blocking call
+//!   (socket `read`/`write`, `accept`, `thread::sleep`,
+//!   `wait_timeout`). Blocking under a lock stalls every contender on
+//!   that mutex for the full duration of the syscall — the exact bug
+//!   class behind a supervisor freezing its whole pool because one
+//!   worker's TCP buffer filled up.
+//! * `lockorder` — the per-crate lock acquisition graph (an edge
+//!   `A → B` whenever lock `B` is taken while a guard of lock `A` is
+//!   live) must be acyclic. Two locks taken in opposite orders on two
+//!   paths deadlock under the right schedule; no test will reliably
+//!   find that schedule, but the graph shows it statically.
+//! * `tagmatch` — every wire-protocol tag literal written on an encode
+//!   path of `proto.rs` / `frame.rs` / `launch.rs` must appear in the
+//!   matching decode `match`. Adding a request variant and forgetting
+//!   the decoder is a one-sided protocol evolution the type system
+//!   cannot see (the tag is just a `u8` / a line keyword).
+//!
+//! The rules are *lexical* dataflow: guard liveness is tracked by brace
+//! depth on [`crate::lexer::mask`]ed code, so string literals and
+//! comments can never confuse the tracking, but calls that block
+//! *internally* (a helper that sleeps) are invisible by design. The
+//! escape hatch is the same `// lint: allow(<name>): <reason>` comment
+//! every other rule honours.
+
+use crate::lexer::{self, Masked};
+use crate::lints::{FileContext, LintId, Role, Violation};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+
+/// Methods that *acquire* a lock and hand back a guard when bound.
+/// `.read()` / `.write()` must be arg-less (RwLock); socket reads and
+/// writes always pass a buffer and so never match these.
+const ACQUIRE_OPS: [&str; 3] = [".lock()", ".read()", ".write()"];
+
+/// Calls that block the thread. Socket I/O always takes a buffer
+/// argument, which is what distinguishes `.read(&mut buf)` (blocking
+/// I/O) from `.read()` (RwLock acquisition) above.
+const BLOCKING_OPS: [&str; 8] = [
+    ".read(&",
+    ".read_exact(",
+    ".read_to_end(",
+    ".write(&",
+    ".write_all(",
+    ".accept(",
+    "thread::sleep(",
+    ".wait_timeout(",
+];
+
+/// Files whose encode/decode tag sets `tagmatch` cross-checks.
+const TAG_FILES: [&str; 3] = ["proto.rs", "frame.rs", "launch.rs"];
+
+/// One `held → acquired` lock-order fact, with the acquisition site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockEdge {
+    /// Crate the acquisition happens in (graphs are per-crate).
+    pub crate_name: String,
+    /// Lock whose guard was live at the acquisition.
+    pub held: String,
+    /// Lock being acquired.
+    pub acquired: String,
+    /// Workspace-relative file of the acquisition.
+    pub file: PathBuf,
+    /// 1-based line of the acquisition.
+    pub line: usize,
+}
+
+/// Run the file-local dataflow rules (`blockunderlock`, `tagmatch`).
+/// `test_lines` marks `#[cfg(test)]` bodies (shared with the caller so
+/// the brace matching happens once). Violations are *not* yet filtered
+/// through allow comments — [`crate::lints::lint_file`] does that.
+pub fn file_violations(ctx: &FileContext, masked: &Masked, test_lines: &[bool]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if ctx.role == Role::Lib {
+        block_under_lock(ctx, masked, test_lines, &mut out);
+    }
+    tag_match(ctx, masked, test_lines, &mut out);
+    out
+}
+
+/// Collect this file's lock-order edges for the per-crate `lockorder`
+/// graph. Applies only to library code outside `#[cfg(test)]`; an
+/// acquisition line carrying (or directly below) a
+/// `// lint: allow(lockorder): …` comment contributes no edges.
+pub fn lock_edges(ctx: &FileContext, source: &str) -> Vec<LockEdge> {
+    if ctx.role != Role::Lib {
+        return Vec::new();
+    }
+    let masked = lexer::mask(source);
+    let test_lines = crate::lints::cfg_test_lines(&masked);
+    let allowed: BTreeSet<usize> = masked
+        .comments
+        .iter()
+        .filter(|(_, t)| t.contains("lint: allow(lockorder)"))
+        .flat_map(|&(l, _)| [l, l + 1])
+        .collect();
+    let mut edges = Vec::new();
+    track_guards(&masked, &test_lines, &mut |ev| {
+        if let GuardEvent::Acquire { line, lock, held } = ev {
+            if allowed.contains(&line) {
+                return;
+            }
+            for h in held {
+                if *h != lock {
+                    edges.push(LockEdge {
+                        crate_name: ctx.crate_name.clone(),
+                        held: h.clone(),
+                        acquired: lock.clone(),
+                        file: ctx.rel_path.clone(),
+                        line,
+                    });
+                }
+            }
+        }
+    });
+    edges
+}
+
+/// One crate's lock-acquisition graph: `(held, acquired)` edge → the
+/// first site that introduced it.
+type AcqGraph<'a> = BTreeMap<(&'a str, &'a str), (&'a PathBuf, usize)>;
+
+/// Check the aggregated per-crate acquisition graphs for cycles. Every
+/// edge that sits on a cycle is reported at its acquisition site, with
+/// the closing path spelled out.
+pub fn lockorder_violations(edges: &[LockEdge]) -> Vec<Violation> {
+    // crate → (held, acquired) → first site; BTree keeps reports stable.
+    let mut graphs: BTreeMap<&str, AcqGraph> = BTreeMap::new();
+    for e in edges {
+        graphs
+            .entry(&e.crate_name)
+            .or_default()
+            .entry((&e.held, &e.acquired))
+            .or_insert((&e.file, e.line));
+    }
+    let mut out = Vec::new();
+    for (krate, graph) in &graphs {
+        for (&(held, acquired), &(file, line)) in graph {
+            // Edge is on a cycle iff `acquired` can reach back to `held`.
+            if let Some(path) = reach(graph, acquired, held) {
+                let cycle = {
+                    let mut c = vec![held.to_string()];
+                    c.extend(path);
+                    c.join("` → `")
+                };
+                out.push(Violation {
+                    lint: LintId::LockOrder,
+                    file: file.clone(),
+                    line,
+                    message: format!(
+                        "lock `{acquired}` acquired while `{held}` is held, but crate \
+                         `{krate}` also orders `{cycle}` — a cycle in the acquisition \
+                         graph deadlocks under the right schedule; pick one global order"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// BFS from `from` to `to` over the edge map; returns the node path
+/// `from..=to` if reachable.
+fn reach(graph: &AcqGraph, from: &str, to: &str) -> Option<Vec<String>> {
+    let mut prev: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut queue = std::collections::VecDeque::from([from]);
+    let mut seen = BTreeSet::from([from]);
+    while let Some(node) = queue.pop_front() {
+        if node == to {
+            let mut path = vec![node.to_string()];
+            let mut cur = node;
+            while let Some(&p) = prev.get(cur) {
+                path.push(p.to_string());
+                cur = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for (&(h, a), _) in graph.iter() {
+            if h == node && seen.insert(a) {
+                prev.insert(a, node);
+                queue.push_back(a);
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Guard tracking
+// ---------------------------------------------------------------------------
+
+/// Events surfaced by [`track_guards`].
+enum GuardEvent<'a> {
+    /// A lock acquisition on `line` of lock `lock`, with the names of
+    /// every lock whose guard is live at that moment.
+    Acquire {
+        line: usize,
+        lock: String,
+        held: &'a [String],
+    },
+    /// `line` executes while at least one guard is live; `guards` lists
+    /// the live `(guard name, lock name)` pairs.
+    Covered {
+        line: usize,
+        text: &'a str,
+        guards: Vec<(String, String)>,
+    },
+}
+
+/// A live guard binding: dies when brace depth drops below `depth`, or
+/// at an explicit `drop(name)`.
+#[derive(Debug, Clone)]
+struct LiveGuard {
+    name: String,
+    lock: String,
+    depth: i32,
+}
+
+/// A `match <expr>.lock() { … }` region whose `Ok(g)` arms bind guards.
+#[derive(Debug, Clone)]
+struct MatchRegion {
+    /// Depth of the arms (one deeper than the `match` line).
+    inner_depth: i32,
+    /// Lock the scrutinee acquired.
+    lock: String,
+    /// Guard bound by the current `Ok(…)` arm, if any.
+    arm_guard: Option<String>,
+    /// `let name = match …` binding, promoted to a guard after the
+    /// region if an `Ok(g) => g` arm passes the guard through.
+    result_name: Option<String>,
+    /// Whether some arm returned the guard itself.
+    passes_guard: bool,
+}
+
+/// Walk masked lines tracking guard liveness, emitting [`GuardEvent`]s.
+/// Lines inside `#[cfg(test)]` are skipped entirely.
+fn track_guards(masked: &Masked, test_lines: &[bool], on: &mut dyn FnMut(GuardEvent<'_>)) {
+    let mut depth = 0i32;
+    let mut guards: Vec<LiveGuard> = Vec::new();
+    let mut regions: Vec<MatchRegion> = Vec::new();
+
+    for (idx, text) in masked.code.lines().enumerate() {
+        let line = idx + 1;
+        let in_test = test_lines.get(idx).copied().unwrap_or(false);
+        let depth_before = depth;
+        let opens = text.bytes().filter(|&b| b == b'{').count() as i32;
+        let closes = text.bytes().filter(|&b| b == b'}').count() as i32;
+        depth += opens - closes;
+
+        if in_test {
+            guards.clear();
+            regions.clear();
+            continue;
+        }
+
+        // Match-region arm transitions happen before acquisition
+        // processing: an arm line both *ends* the previous arm's guard
+        // and may bind a new one.
+        for r in &mut regions {
+            if depth_before == r.inner_depth && text.contains("=>") {
+                r.arm_guard = None;
+                if let Some(name) = ok_arm_binding(text) {
+                    let body = text.split_once("=>").map(|(_, b)| b.trim()).unwrap_or("");
+                    if body.trim_end_matches(',') == name {
+                        r.passes_guard = true;
+                    }
+                    r.arm_guard = Some(name);
+                }
+            }
+        }
+
+        // Acquisitions on this line, left to right.
+        for acq in acquisitions(text) {
+            let held: Vec<String> = live_lock_names(&guards, &regions);
+            on(GuardEvent::Acquire {
+                line,
+                lock: acq.lock.clone(),
+                held: &held,
+            });
+            match classify_binding(text, acq.start, acq.end) {
+                Binding::Plain(name) => guards.push(LiveGuard {
+                    name,
+                    lock: acq.lock,
+                    depth: depth_before,
+                }),
+                Binding::Conditional(name) => guards.push(LiveGuard {
+                    name,
+                    lock: acq.lock,
+                    depth: depth_before + 1,
+                }),
+                Binding::LetElse(name) => guards.push(LiveGuard {
+                    name,
+                    lock: acq.lock,
+                    depth: depth_before,
+                }),
+                Binding::Match { result_name } => regions.push(MatchRegion {
+                    inner_depth: depth_before + 1,
+                    lock: acq.lock,
+                    arm_guard: None,
+                    result_name,
+                    passes_guard: false,
+                }),
+                Binding::Temporary => {}
+            }
+        }
+
+        // Blocking-op coverage: report the line if any guard is live.
+        let covered: Vec<(String, String)> = guards
+            .iter()
+            .map(|g| (g.name.clone(), g.lock.clone()))
+            .chain(
+                regions
+                    .iter()
+                    .filter_map(|r| r.arm_guard.as_ref().map(|n| (n.clone(), r.lock.clone()))),
+            )
+            .collect();
+        if !covered.is_empty() {
+            on(GuardEvent::Covered {
+                line,
+                text,
+                guards: covered,
+            });
+        }
+
+        // Explicit drops end a guard early.
+        guards.retain(|g| !text.contains(&format!("drop({})", g.name)));
+
+        // Scope exits: guards and regions die when depth falls below
+        // their home depth. A closed match region whose `Ok(g) => g`
+        // arm passed the guard through promotes the `let` binding.
+        guards.retain(|g| depth >= g.depth);
+        let mut kept = Vec::new();
+        for r in regions.drain(..) {
+            if depth >= r.inner_depth {
+                kept.push(r);
+            } else if r.passes_guard {
+                if let Some(name) = r.result_name {
+                    if depth >= r.inner_depth - 1 {
+                        guards.push(LiveGuard {
+                            name,
+                            lock: r.lock,
+                            depth: r.inner_depth - 1,
+                        });
+                    }
+                }
+            }
+        }
+        regions = kept;
+    }
+}
+
+fn live_lock_names(guards: &[LiveGuard], regions: &[MatchRegion]) -> Vec<String> {
+    let mut names: Vec<String> = guards.iter().map(|g| g.lock.clone()).collect();
+    names.extend(
+        regions
+            .iter()
+            .filter(|r| r.arm_guard.is_some())
+            .map(|r| r.lock.clone()),
+    );
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// An acquisition found on a line: byte span of the op plus the lock
+/// name (last path segment of the receiver expression).
+struct Acquisition {
+    start: usize,
+    end: usize,
+    lock: String,
+}
+
+fn acquisitions(text: &str) -> Vec<Acquisition> {
+    let mut out = Vec::new();
+    for op in ACQUIRE_OPS {
+        let mut from = 0;
+        while let Some(pos) = text[from..].find(op) {
+            let start = from + pos;
+            if let Some(lock) = receiver_name(text, start) {
+                out.push(Acquisition {
+                    start,
+                    end: start + op.len(),
+                    lock,
+                });
+            }
+            from = start + op.len();
+        }
+    }
+    out.sort_by_key(|a| a.start);
+    out
+}
+
+/// Last path segment of the dotted receiver ending at `dot` (the byte
+/// offset of the op's leading `.`). `shared.mutation_log.lock()` →
+/// `mutation_log`; returns `None` when no identifier precedes (e.g. a
+/// chained `).lock()` whose receiver we cannot name).
+fn receiver_name(text: &str, dot: usize) -> Option<String> {
+    let bytes = text.as_bytes();
+    let mut lo = dot;
+    while lo > 0 {
+        let b = bytes[lo - 1];
+        if b.is_ascii_alphanumeric() || b == b'_' || b == b'.' {
+            lo -= 1;
+        } else {
+            break;
+        }
+    }
+    let segs: Vec<&str> = text[lo..dot].split('.').filter(|s| !s.is_empty()).collect();
+    let last = segs.last()?;
+    if last.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    Some((*last).to_string())
+}
+
+/// How an acquisition's guard is bound, if at all.
+enum Binding {
+    /// `let g = x.lock()[.unwrap()|.expect(…)|?];` — lives in the
+    /// current block.
+    Plain(String),
+    /// `if let Ok(g) = …` / `while let Ok(g) = …` — lives in the block
+    /// the condition opens.
+    Conditional(String),
+    /// `let Ok(g) = … else { … };` — lives in the current block.
+    LetElse(String),
+    /// `… match x.lock() {` — arms may bind guards.
+    Match { result_name: Option<String> },
+    /// Inline temporary (`x.lock().unwrap().push(v)`): the guard dies
+    /// at the end of the statement; no tracked liveness.
+    Temporary,
+}
+
+fn classify_binding(text: &str, acq_start: usize, acq_end: usize) -> Binding {
+    let before = &text[..acq_start];
+    // `… match x.lock() {` — the acquisition is a match scrutinee; the
+    // guard is bound per-arm, tracked via a region.
+    if let Some(mpos) = before.rfind("match ") {
+        let result_name = before[..mpos]
+            .rfind("let ")
+            .and_then(|lp| ident_after(&before[lp + 4..mpos]));
+        return Binding::Match { result_name };
+    }
+    if let Some(okpos) = before.rfind("let Ok(") {
+        let Some(name) = ident_after(&before[okpos + 7..]) else {
+            return Binding::Temporary;
+        };
+        if name == "_" {
+            return Binding::Temporary;
+        }
+        // `if let Ok(` / `while let Ok(` vs `let Ok(…) = … else`.
+        let head = before[..okpos].trim_end();
+        if head.ends_with("if") || head.ends_with("while") {
+            return Binding::Conditional(name);
+        }
+        return Binding::LetElse(name);
+    }
+    if let Some(lpos) = before.rfind("let ") {
+        let Some(name) = ident_after(&before[lpos + 4..]) else {
+            return Binding::Temporary;
+        };
+        if name == "_" {
+            return Binding::Temporary;
+        }
+        // The chain after the acquisition must only unwrap/propagate —
+        // anything else consumes the guard inline.
+        let stmt_end = text[acq_end..]
+            .find(';')
+            .map_or(text.len(), |e| acq_end + e);
+        let mut rest = text[acq_end..stmt_end].trim();
+        loop {
+            if let Some(r) = rest.strip_prefix(".unwrap()") {
+                rest = r.trim_start();
+            } else if let Some(r) = rest.strip_prefix(".expect(") {
+                match r.find(')') {
+                    Some(p) => rest = r[p + 1..].trim_start(),
+                    None => return Binding::Temporary,
+                }
+            } else if let Some(r) = rest.strip_prefix('?') {
+                rest = r.trim_start();
+            } else {
+                break;
+            }
+        }
+        if rest.is_empty() {
+            return Binding::Plain(name);
+        }
+        return Binding::Temporary;
+    }
+    Binding::Temporary
+}
+
+/// `Ok(name)` / `Ok(mut name)` in a match-arm *pattern* (left of `=>`).
+fn ok_arm_binding(text: &str) -> Option<String> {
+    let (lhs, _) = text.split_once("=>")?;
+    let pos = lhs.find("Ok(")?;
+    let name = ident_after(&lhs[pos + 3..])?;
+    if name == "_" {
+        return None;
+    }
+    Some(name)
+}
+
+/// First identifier in `s`, skipping a leading `mut `.
+fn ident_after(s: &str) -> Option<String> {
+    let s = s.trim_start().trim_start_matches("mut ").trim_start();
+    let end = s
+        .find(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+        .unwrap_or(s.len());
+    if end == 0 {
+        return None;
+    }
+    Some(s[..end].to_string())
+}
+
+// ---------------------------------------------------------------------------
+// blockunderlock
+// ---------------------------------------------------------------------------
+
+fn block_under_lock(
+    ctx: &FileContext,
+    masked: &Masked,
+    test_lines: &[bool],
+    out: &mut Vec<Violation>,
+) {
+    track_guards(masked, test_lines, &mut |ev| {
+        let GuardEvent::Covered { line, text, guards } = ev else {
+            return;
+        };
+        for op in BLOCKING_OPS {
+            if let Some(pos) = text.find(op) {
+                // A guard consumed by `Condvar::wait_timeout(guard, …)`
+                // is the condvar handoff idiom, not blocking *under*
+                // an unrelated lock it also holds.
+                if op == ".wait_timeout(" {
+                    let arg = ident_after(&text[pos + op.len()..]).unwrap_or_default();
+                    if guards.len() == 1 && guards[0].0 == arg {
+                        continue;
+                    }
+                }
+                let (gname, glock) = &guards[0];
+                out.push(Violation {
+                    lint: LintId::BlockUnderLock,
+                    file: ctx.rel_path.clone(),
+                    line,
+                    message: format!(
+                        "blocking call `{op}…)` while guard `{gname}` of lock `{glock}` \
+                         is live — every contender on the mutex stalls for the full \
+                         syscall; move the blocking call outside the critical section"
+                    ),
+                });
+            }
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// tagmatch
+// ---------------------------------------------------------------------------
+
+/// A wire tag: numeric (`w.u8(3)`, `3 =>`) or a line keyword
+/// (`"RESUME …"`, `Some("RESUME") =>`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum Tag {
+    Num(u64),
+    Word(String),
+}
+
+impl std::fmt::Display for Tag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tag::Num(n) => write!(f, "{n}"),
+            Tag::Word(w) => write!(f, "{w:?}"),
+        }
+    }
+}
+
+/// A function's line region in the file, 1-based inclusive.
+struct FnRegion {
+    name: String,
+    start: usize,
+    end: usize,
+}
+
+fn tag_match(ctx: &FileContext, masked: &Masked, test_lines: &[bool], out: &mut Vec<Violation>) {
+    let fname = ctx
+        .rel_path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("");
+    if !TAG_FILES.contains(&fname) || ctx.role != Role::Lib {
+        return;
+    }
+    let lines: Vec<&str> = masked.code.lines().collect();
+    let regions: Vec<FnRegion> = fn_regions(&lines)
+        .into_iter()
+        .filter(|r| !test_lines.get(r.start - 1).copied().unwrap_or(false))
+        .collect();
+
+    // Decode side: per-fn tag sets, so encode fns can be checked
+    // against their named partner (`encode_request` → `decode_request`,
+    // `to_u8` → `from_u8`) when one exists.
+    let mut decode: BTreeMap<&str, BTreeSet<Tag>> = BTreeMap::new();
+    for r in regions.iter().filter(|r| is_decode_fn(&r.name)) {
+        let mut tags = BTreeSet::new();
+        for text in lines.iter().take(r.end.min(lines.len())).skip(r.start - 1) {
+            collect_match_lhs_nums(text, &mut tags);
+        }
+        for (sl, content) in &masked.strings {
+            if (r.start..=r.end).contains(sl) {
+                if let Some(w) = caps_keyword(content) {
+                    tags.insert(Tag::Word(w));
+                }
+            }
+        }
+        decode.entry(r.name.as_str()).or_default().extend(tags);
+    }
+    let decode_union: BTreeSet<Tag> = decode.values().flatten().cloned().collect();
+    if decode_union.is_empty() {
+        // Nothing to check against — the file has no decode side.
+        return;
+    }
+
+    for r in regions.iter().filter(|r| is_encode_fn(&r.name)) {
+        let partner = partner_name(&r.name);
+        let target: &BTreeSet<Tag> = partner
+            .as_deref()
+            .and_then(|p| decode.get(p))
+            .filter(|s| !s.is_empty())
+            .unwrap_or(&decode_union);
+        // Numeric encode tags, with the line they appear on.
+        for (idx, text) in lines
+            .iter()
+            .enumerate()
+            .take(r.end.min(lines.len()))
+            .skip(r.start - 1)
+        {
+            for tag in encode_nums_on(text) {
+                if !target.contains(&Tag::Num(tag)) {
+                    out.push(tag_violation(
+                        ctx,
+                        idx + 1,
+                        &Tag::Num(tag),
+                        &r.name,
+                        partner.as_deref(),
+                    ));
+                }
+            }
+        }
+        // Keyword encode tags out of string literals.
+        for (sl, content) in &masked.strings {
+            if (r.start..=r.end).contains(sl) {
+                if let Some(w) = caps_keyword(content) {
+                    let tag = Tag::Word(w);
+                    if !target.contains(&tag) {
+                        out.push(tag_violation(ctx, *sl, &tag, &r.name, partner.as_deref()));
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn tag_violation(
+    ctx: &FileContext,
+    line: usize,
+    tag: &Tag,
+    enc_fn: &str,
+    partner: Option<&str>,
+) -> Violation {
+    let scope = match partner {
+        Some(p) => format!("`{p}`"),
+        None => "any decode match in this file".to_string(),
+    };
+    Violation {
+        lint: LintId::TagMatch,
+        file: ctx.rel_path.clone(),
+        line,
+        message: format!(
+            "wire tag {tag} is written by `{enc_fn}` but never matched by {scope} — \
+             one-sided protocol evolution; add the decode arm (or delete the encoder)"
+        ),
+    }
+}
+
+/// `encode_request` → `decode_request`, `to_u8` → `from_u8`.
+fn partner_name(enc: &str) -> Option<String> {
+    if let Some(suffix) = enc.strip_prefix("encode") {
+        return Some(format!("decode{suffix}"));
+    }
+    if let Some(suffix) = enc.strip_prefix("to_") {
+        return Some(format!("from_{suffix}"));
+    }
+    None
+}
+
+fn is_decode_fn(name: &str) -> bool {
+    name.contains("decode") || name.contains("parse") || name.starts_with("from_")
+}
+
+fn is_encode_fn(name: &str) -> bool {
+    !is_decode_fn(name)
+        && (name.contains("encode") || name.starts_with("to_") || name.ends_with("_line"))
+}
+
+/// Numeric tags written on an encode line: literal args of `u8(N)` /
+/// `header(…, N)` calls, and literal match-arm results `=> N,` (the
+/// `to_u8` shape).
+fn encode_nums_on(text: &str) -> Vec<u64> {
+    let mut out = Vec::new();
+    for pat in ["u8(", "header("] {
+        let mut from = 0;
+        while let Some(pos) = text[from..].find(pat) {
+            let start = from + pos + pat.len();
+            if let Some(close) = text[start..].find(')') {
+                let args = &text[start..start + close];
+                let last = args.rsplit(',').next().unwrap_or("").trim();
+                if let Ok(n) = last.parse::<u64>() {
+                    out.push(n);
+                }
+            }
+            from = start;
+        }
+    }
+    if let Some((_, rhs)) = text.split_once("=>") {
+        let rhs = rhs.trim().trim_end_matches(',').trim();
+        if let Ok(n) = rhs.parse::<u64>() {
+            out.push(n);
+        }
+    }
+    out
+}
+
+/// Numeric literals on the LHS of a match arm: `3 =>`, `3 | 4 =>`.
+fn collect_match_lhs_nums(text: &str, tags: &mut BTreeSet<Tag>) {
+    let Some((lhs, _)) = text.split_once("=>") else {
+        return;
+    };
+    for part in lhs.split('|') {
+        if let Ok(n) = part.trim().parse::<u64>() {
+            tags.insert(Tag::Num(n));
+        }
+    }
+}
+
+/// The ALL-CAPS leading keyword of a protocol line literal
+/// (`"RESUME {} {}"` → `RESUME`); `None` for ordinary strings.
+fn caps_keyword(content: &str) -> Option<String> {
+    let word = content.split_whitespace().next()?;
+    if word.len() >= 2 && word.chars().all(|c| c.is_ascii_uppercase()) {
+        return Some(word.to_string());
+    }
+    None
+}
+
+/// Find `fn name` regions by scanning for the keyword and brace
+/// matching to the body's close. Declarations without bodies (`;`
+/// before any `{`) produce no region.
+fn fn_regions(lines: &[&str]) -> Vec<FnRegion> {
+    let mut out = Vec::new();
+    for (idx, text) in lines.iter().enumerate() {
+        let Some(pos) = find_fn_keyword(text) else {
+            continue;
+        };
+        let Some(name) = ident_after(&text[pos + 3..]) else {
+            continue;
+        };
+        // Scan forward from after the keyword for the body braces.
+        let mut depth = 0i32;
+        let mut opened = false;
+        let mut end = idx;
+        'scan: for (j, t) in lines.iter().enumerate().skip(idx) {
+            let s: &str = if j == idx { &t[pos..] } else { t };
+            for b in s.bytes() {
+                match b {
+                    b'{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    b'}' => {
+                        depth -= 1;
+                        if opened && depth == 0 {
+                            end = j;
+                            break 'scan;
+                        }
+                    }
+                    b';' if !opened && depth == 0 => {
+                        end = idx;
+                        break 'scan;
+                    }
+                    _ => {}
+                }
+            }
+            end = j;
+        }
+        if opened {
+            out.push(FnRegion {
+                name,
+                start: idx + 1,
+                end: end + 1,
+            });
+        }
+    }
+    out
+}
+
+/// Byte offset of a real `fn ` keyword on the line (not `a_fn` etc.).
+fn find_fn_keyword(text: &str) -> Option<usize> {
+    let bytes = text.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = text[from..].find("fn ") {
+        let start = from + pos;
+        let left_ok =
+            start == 0 || !(bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_');
+        if left_ok {
+            return Some(start);
+        }
+        from = start + 3;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::lint_file;
+    use std::path::Path;
+
+    fn ctx(path: &str) -> FileContext {
+        FileContext::from_rel_path(Path::new(path))
+    }
+
+    fn lints_of(vs: &[Violation]) -> Vec<LintId> {
+        vs.iter().map(|v| v.lint).collect()
+    }
+
+    /// The subset of violations for one lint — fixtures freely use
+    /// `.unwrap()` etc., which fire *other* rules by design.
+    fn only(vs: Vec<Violation>, lint: LintId) -> Vec<Violation> {
+        vs.into_iter().filter(|v| v.lint == lint).collect()
+    }
+
+    // ---- blockunderlock -------------------------------------------------
+
+    #[test]
+    fn socket_write_under_plain_guard_fires() {
+        let src = "\
+fn send(&self, bytes: &[u8]) -> io::Result<()> {
+    let mut w = self.writer.lock().unwrap();
+    w.write_all(&bytes)
+}
+";
+        let vs = only(
+            lint_file(&ctx("crates/serve/src/x.rs"), src),
+            LintId::BlockUnderLock,
+        );
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].line, 3);
+        assert!(vs[0].message.contains("writer"), "{}", vs[0].message);
+    }
+
+    #[test]
+    fn guard_in_match_arm_covers_the_arm_body() {
+        // The exact shape of the bug this lint was written for: a
+        // socket write inside the Ok arm of `match writer.lock()`.
+        let src = "\
+fn send(&self, bytes: &[u8]) -> io::Result<()> {
+    let res = match self.writer.lock() {
+        Ok(mut w) => w.write_all(&bytes),
+        Err(_) => Err(io::Error::other(\"poisoned\")),
+    };
+    res
+}
+";
+        let vs = only(
+            lint_file(&ctx("crates/serve/src/x.rs"), src),
+            LintId::BlockUnderLock,
+        );
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].line, 3);
+        assert!(vs[0].message.contains("write_all"), "{}", vs[0].message);
+    }
+
+    #[test]
+    fn sleep_and_accept_under_if_let_guard_fire() {
+        let src = "\
+fn tick(&self) {
+    if let Ok(g) = self.state.lock() {
+        std::thread::sleep(ms(5));
+    }
+}
+";
+        let vs = only(
+            lint_file(&ctx("crates/net/src/x.rs"), src),
+            LintId::BlockUnderLock,
+        );
+        assert_eq!(vs.len(), 1);
+        let src = "\
+fn serve(&self) {
+    let Ok(g) = self.conns.lock() else { return };
+    let (s, _) = self.listener.accept();
+}
+";
+        let vs = only(
+            lint_file(&ctx("crates/net/src/x.rs"), src),
+            LintId::BlockUnderLock,
+        );
+        assert_eq!(vs.len(), 1);
+    }
+
+    #[test]
+    fn guard_death_ends_coverage() {
+        // Guard scope ends at the brace; the accept after it is fine.
+        let src = "\
+fn serve(&self) {
+    {
+        let g = self.state.lock().unwrap();
+        g.touch();
+    }
+    let (s, _) = self.listener.accept();
+}
+";
+        assert!(only(
+            lint_file(&ctx("crates/net/src/x.rs"), src),
+            LintId::BlockUnderLock
+        )
+        .is_empty());
+        // An explicit drop() ends it too.
+        let src = "\
+fn serve(&self) {
+    let g = self.state.lock().unwrap();
+    drop(g);
+    let (s, _) = self.listener.accept();
+}
+";
+        assert!(only(
+            lint_file(&ctx("crates/net/src/x.rs"), src),
+            LintId::BlockUnderLock
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn inline_temporaries_and_condvar_handoff_are_clean() {
+        // A consumed chain never holds a tracked guard.
+        let src = "\
+fn push(&self, v: u32) {
+    self.queue.lock().unwrap().push(v);
+    std::thread::sleep(ms(1));
+}
+";
+        assert!(only(
+            lint_file(&ctx("crates/serve/src/x.rs"), src),
+            LintId::BlockUnderLock
+        )
+        .is_empty());
+        // Condvar wait_timeout consuming its own guard is the idiom.
+        let src = "\
+fn wait(&self) {
+    let g = self.inner.lock().unwrap();
+    let (g, _t) = self.cv.wait_timeout(g, ms(5)).unwrap();
+}
+";
+        assert!(only(
+            lint_file(&ctx("crates/serve/src/x.rs"), src),
+            LintId::BlockUnderLock
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn blockunderlock_scoped_to_lib_and_escapable() {
+        let src = "\
+fn t() {
+    let g = state.lock().unwrap();
+    std::thread::sleep(ms(1));
+}
+";
+        assert!(lint_file(&ctx("crates/cli/tests/t.rs"), src).is_empty());
+        let src = "\
+fn t() {
+    let g = state.lock().unwrap();
+    // lint: allow(blockunderlock): bounded 1ms pause, lock is test-only
+    std::thread::sleep(ms(1));
+}
+";
+        assert!(only(
+            lint_file(&ctx("crates/serve/src/x.rs"), src),
+            LintId::BlockUnderLock
+        )
+        .is_empty());
+    }
+
+    // ---- lockorder ------------------------------------------------------
+
+    fn edge(krate: &str, held: &str, acq: &str, line: usize) -> LockEdge {
+        LockEdge {
+            crate_name: krate.to_string(),
+            held: held.to_string(),
+            acquired: acq.to_string(),
+            file: PathBuf::from(format!("crates/{krate}/src/x.rs")),
+            line,
+        }
+    }
+
+    #[test]
+    fn lock_edges_are_collected_from_nested_guards() {
+        let src = "\
+fn publish(&self) {
+    let log = self.mutation_log.lock().unwrap();
+    let conn = self.conn.lock().unwrap();
+    conn.apply(&log);
+}
+";
+        let es = lock_edges(&ctx("crates/serve/src/x.rs"), src);
+        assert_eq!(es.len(), 1);
+        assert_eq!(es[0].held, "mutation_log");
+        assert_eq!(es[0].acquired, "conn");
+        assert_eq!(es[0].line, 3);
+        // Non-lib roles contribute nothing.
+        assert!(lock_edges(&ctx("crates/serve/tests/t.rs"), src).is_empty());
+        // An allow comment suppresses the edge at its site.
+        let src = "\
+fn publish(&self) {
+    let log = self.mutation_log.lock().unwrap();
+    // lint: allow(lockorder): leaf lock, never taken first
+    let conn = self.conn.lock().unwrap();
+}
+";
+        assert!(lock_edges(&ctx("crates/serve/src/x.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn acquisition_cycles_are_reported_with_the_path() {
+        let es = vec![
+            edge("serve", "a", "b", 10),
+            edge("serve", "b", "a", 20),
+            edge("serve", "b", "c", 30), // not on a cycle
+        ];
+        let vs = lockorder_violations(&es);
+        assert_eq!(vs.len(), 2, "{vs:?}");
+        assert!(vs.iter().all(|v| v.lint == LintId::LockOrder));
+        assert!(vs[0].message.contains("cycle"), "{}", vs[0].message);
+        // Per-crate graphs: the same pair in different crates is clean.
+        let es = vec![edge("serve", "a", "b", 1), edge("net", "b", "a", 2)];
+        assert!(lockorder_violations(&es).is_empty());
+        // Acyclic chains are clean.
+        let es = vec![edge("serve", "a", "b", 1), edge("serve", "b", "c", 2)];
+        assert!(lockorder_violations(&es).is_empty());
+    }
+
+    #[test]
+    fn longer_cycles_are_found() {
+        let es = vec![
+            edge("serve", "a", "b", 1),
+            edge("serve", "b", "c", 2),
+            edge("serve", "c", "a", 3),
+        ];
+        let vs = lockorder_violations(&es);
+        assert_eq!(vs.len(), 3);
+    }
+
+    // ---- tagmatch -------------------------------------------------------
+
+    #[test]
+    fn encoded_numeric_tag_without_decode_arm_fires() {
+        let src = "\
+pub fn encode_request(req: &Req) -> Vec<u8> {
+    let mut w = W::new();
+    match req {
+        Req::A => w.u8(0),
+        Req::B => w.u8(3),
+    }
+    w.bytes()
+}
+pub fn decode_request(b: &[u8]) -> Result<Req, E> {
+    match b[0] {
+        0 => Ok(Req::A),
+        1 => Ok(Req::Old),
+        _ => Err(E::Tag),
+    }
+}
+";
+        let vs = lint_file(&ctx("crates/serve/src/proto.rs"), src);
+        assert_eq!(lints_of(&vs), vec![LintId::TagMatch]);
+        assert_eq!(vs[0].line, 5);
+        assert!(
+            vs[0].message.contains("decode_request"),
+            "{}",
+            vs[0].message
+        );
+        // The same file under a non-protocol name is not checked.
+        assert!(lint_file(&ctx("crates/serve/src/other.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn to_u8_pairs_with_from_u8() {
+        let src = "\
+fn to_u8(k: Kind) -> u8 {
+    match k {
+        Kind::X => 0,
+        Kind::Y => 1,
+    }
+}
+fn from_u8(v: u8) -> Option<Kind> {
+    match v {
+        0 => Some(Kind::X),
+        _ => None,
+    }
+}
+";
+        let vs = lint_file(&ctx("crates/net/src/frame.rs"), src);
+        assert_eq!(lints_of(&vs), vec![LintId::TagMatch]);
+        assert!(vs[0].message.contains('1'), "{}", vs[0].message);
+    }
+
+    #[test]
+    fn line_keyword_tags_cross_check_against_parsers() {
+        let src = "\
+pub fn control_line(msg: &Msg) -> String {
+    match msg {
+        Msg::Recover => \"RECOVER\".to_string(),
+        Msg::Flush => format!(\"FLUSH {}\", 1),
+    }
+}
+pub fn parse_control_line(s: &str) -> Option<Msg> {
+    match s.split_whitespace().next() {
+        Some(\"RECOVER\") => Some(Msg::Recover),
+        _ => None,
+    }
+}
+";
+        let vs = lint_file(&ctx("crates/net/src/launch.rs"), src);
+        assert_eq!(lints_of(&vs), vec![LintId::TagMatch]);
+        assert!(vs[0].message.contains("FLUSH"), "{}", vs[0].message);
+        // Matching keyword sets are clean.
+        let src = src.replace("FLUSH {}", "RECOVER {}");
+        assert!(lint_file(&ctx("crates/net/src/launch.rs"), &src).is_empty());
+    }
+
+    #[test]
+    fn tagmatch_skips_test_modules_and_files_without_decoders() {
+        // Encode-only file: nothing to check against, no noise.
+        let src = "\
+pub fn encode_request(req: &Req) -> Vec<u8> {
+    let mut w = W::new();
+    w.u8(9);
+    w.bytes()
+}
+";
+        assert!(lint_file(&ctx("crates/serve/src/proto.rs"), src).is_empty());
+        // Tag literals inside #[cfg(test)] are invisible.
+        let src = "\
+pub fn encode_request(req: &Req) -> Vec<u8> {
+    let mut w = W::new();
+    w.u8(0);
+    w.bytes()
+}
+pub fn decode_request(b: &[u8]) -> Result<Req, E> {
+    match b[0] {
+        0 => Ok(Req::A),
+        _ => Err(E::T),
+    }
+}
+#[cfg(test)]
+mod tests {
+    fn encode_garbage() -> Vec<u8> {
+        let mut w = W::new();
+        w.u8(99);
+        w.bytes()
+    }
+}
+";
+        assert!(lint_file(&ctx("crates/serve/src/proto.rs"), src).is_empty());
+    }
+}

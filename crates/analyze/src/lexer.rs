@@ -12,7 +12,10 @@
 //!   aligned with the original (newlines are preserved), so line/column
 //!   arithmetic on the masked text maps directly back to the input;
 //! * [`Masked::comments`] — each comment with its 1-based starting
-//!   line, for `// SAFETY:` and `// lint: allow(...)` lookups.
+//!   line, for `// SAFETY:` and `// lint: allow(...)` lookups;
+//! * [`Masked::strings`] — the *content* of each string literal with
+//!   its 1-based starting line, for rules that inspect literals (the
+//!   `tagmatch` wire-tag lint reads protocol keywords out of them).
 //!
 //! Handled syntax: line comments, nested block comments, string
 //! literals with escapes, raw (and byte/raw-byte) strings with `#`
@@ -26,6 +29,9 @@ pub struct Masked {
     pub code: String,
     /// `(starting line, full text)` of every comment, 1-based lines.
     pub comments: Vec<(usize, String)>,
+    /// `(starting line, content)` of every string literal (quotes and
+    /// raw-string fences stripped; escape sequences left raw).
+    pub strings: Vec<(usize, String)>,
 }
 
 impl Masked {
@@ -52,6 +58,7 @@ pub fn mask(src: &str) -> Masked {
     let bytes = src.as_bytes();
     let mut code = Vec::with_capacity(bytes.len());
     let mut comments = Vec::new();
+    let mut strings = Vec::new();
     let mut line = 1usize;
     let mut i = 0usize;
 
@@ -117,7 +124,7 @@ pub fn mask(src: &str) -> Masked {
                 }
                 comments.push((start_line, String::from_utf8_lossy(&text).into_owned()));
             }
-            b'"' => i = skip_string(bytes, i, &mut code, &mut line),
+            b'"' => i = skip_string(bytes, i, &mut code, &mut line, &mut strings),
             b'r' | b'b' if starts_raw_or_byte_literal(bytes, i) => {
                 // Consume the prefix (`r`, `b`, `br`, `rb`) verbatim,
                 // then the string body.
@@ -128,7 +135,7 @@ pub fn mask(src: &str) -> Masked {
                     i += 1;
                 }
                 if bytes[i] == b'"' {
-                    i = skip_string(bytes, i, &mut code, &mut line);
+                    i = skip_string(bytes, i, &mut code, &mut line, &mut strings);
                 } else {
                     // Raw string: r#"..."# with any number of fences.
                     let mut fences = 0usize;
@@ -140,6 +147,8 @@ pub fn mask(src: &str) -> Masked {
                     debug_assert_eq!(bytes.get(i), Some(&b'"'));
                     keep!(b'"');
                     i += 1;
+                    let start_line = line;
+                    let mut content = Vec::new();
                     'body: while i < bytes.len() {
                         if bytes[i] == b'"' {
                             let close = (1..=fences).all(|f| bytes.get(i + f) == Some(&b'#'));
@@ -153,9 +162,11 @@ pub fn mask(src: &str) -> Masked {
                                 break 'body;
                             }
                         }
+                        content.push(bytes[i]);
                         blank!(bytes[i]);
                         i += 1;
                     }
+                    strings.push((start_line, String::from_utf8_lossy(&content).into_owned()));
                 }
             }
             b'\'' => {
@@ -193,12 +204,20 @@ pub fn mask(src: &str) -> Masked {
     Masked {
         code: String::from_utf8_lossy(&code).into_owned(),
         comments,
+        strings,
     }
 }
 
 /// Consume a `"`-delimited string starting at `i`, blanking contents
-/// into `code` (newlines survive; `line` tracks them).
-fn skip_string(bytes: &[u8], mut i: usize, code: &mut Vec<u8>, line: &mut usize) -> usize {
+/// into `code` (newlines survive; `line` tracks them) and recording the
+/// raw content into `strings`.
+fn skip_string(
+    bytes: &[u8],
+    mut i: usize,
+    code: &mut Vec<u8>,
+    line: &mut usize,
+    strings: &mut Vec<(usize, String)>,
+) -> usize {
     let blank = |b: u8, code: &mut Vec<u8>, line: &mut usize| {
         if b == b'\n' {
             code.push(b'\n');
@@ -207,28 +226,35 @@ fn skip_string(bytes: &[u8], mut i: usize, code: &mut Vec<u8>, line: &mut usize)
             code.push(b' ');
         }
     };
+    let start_line = *line;
+    let mut content = Vec::new();
     code.push(b'"');
     i += 1;
     while i < bytes.len() {
         match bytes[i] {
             b'\\' => {
+                content.push(bytes[i]);
                 blank(bytes[i], code, line);
                 i += 1;
                 if i < bytes.len() {
+                    content.push(bytes[i]);
                     blank(bytes[i], code, line);
                     i += 1;
                 }
             }
             b'"' => {
                 code.push(b'"');
+                strings.push((start_line, String::from_utf8_lossy(&content).into_owned()));
                 return i + 1;
             }
             other => {
+                content.push(other);
                 blank(other, code, line);
                 i += 1;
             }
         }
     }
+    strings.push((start_line, String::from_utf8_lossy(&content).into_owned()));
     i
 }
 
@@ -326,5 +352,17 @@ let y = 1; /* block
         let src = "let rounds = radius; let bits = 64;";
         let m = mask(src);
         assert_eq!(m.code, src);
+        assert!(m.strings.is_empty());
+    }
+
+    #[test]
+    fn string_contents_are_captured_with_lines() {
+        let src = "let a = \"RESUME {} {}\";\nlet b = r#\"CKPT none\"#;\nlet c = \"esc\\\"aped\";";
+        let m = mask(src);
+        assert_eq!(m.strings.len(), 3);
+        assert_eq!(m.strings[0], (1, "RESUME {} {}".to_string()));
+        assert_eq!(m.strings[1], (2, "CKPT none".to_string()));
+        assert_eq!(m.strings[2].0, 3);
+        assert!(m.strings[2].1.starts_with("esc"));
     }
 }

@@ -1,15 +1,17 @@
 //! `mrbc-analyze`: the workspace's own static-analysis and
 //! model-checking toolbox.
 //!
-//! Two halves, one binary:
+//! Three halves, one binary:
 //!
-//! * **Lint engine** ([`lints`], [`walk`], [`lexer`]) — project-specific
-//!   rules `clippy` cannot express because they are about *this*
-//!   codebase's layering contract: wall-clock reads live only in
-//!   `mrbc-obs`, protocol crates stay deterministic, library panics are
-//!   justified or absent, `unsafe` carries a `// SAFETY:` argument, and
-//!   only the CLI may `std::process::exit`. Violations can be
-//!   acknowledged in place with `// lint: allow(<name>): <reason>` —
+//! * **Lint engine** ([`lints`], [`dataflow`], [`walk`], [`lexer`]) —
+//!   project-specific rules `clippy` cannot express because they are
+//!   about *this* codebase's layering contract: wall-clock reads live
+//!   only in `mrbc-obs`, protocol crates stay deterministic, library
+//!   panics are justified or absent, `unsafe` carries a `// SAFETY:`
+//!   argument, only the CLI may `std::process::exit`, lock acquisition
+//!   order is globally consistent, no thread blocks while holding a
+//!   mutex, and every encoded wire tag has a decode arm. Violations can
+//!   be acknowledged in place with `// lint: allow(<name>): <reason>` —
 //!   the reason is mandatory and its absence is itself a violation.
 //! * **Protocol model checker** ([`model`]) — a from-the-paper
 //!   re-implementation of the Algorithm 3/5 send schedules that
@@ -19,12 +21,22 @@
 //!   bounds) against a BFS/Brandes oracle, and cross-checks the real
 //!   `mrbc-core` CONGEST engine for bit-identical distances, σ-counts
 //!   and send timestamps.
+//! * **Distributed-protocol model checker** ([`dist_model`]) — an
+//!   explicit-state (BFS over global states) checker for the
+//!   launcher/worker checkpoint-recovery protocol and the serve pool's
+//!   supervision/failover loop: every interleaving of small abstract
+//!   models, safety invariants plus liveness-under-fairness, with
+//!   counterexamples printed as event timelines and a seeded `--inject`
+//!   mutation mode proving each invariant catches its target bug.
 //!
-//! Run it as `cargo run -p analyze` (lint scan) or
-//! `cargo run -p analyze -- model-check`; CI runs both with
+//! Run it as `cargo run -p analyze` (lint scan),
+//! `cargo run -p analyze -- model-check`, or
+//! `cargo run -p analyze -- dist-check`; CI runs all three with
 //! `--deny-all` semantics. The same entry points are exercised as
 //! tier-1 tests so a red invariant fails `cargo test` too.
 
+pub mod dataflow;
+pub mod dist_model;
 pub mod lexer;
 pub mod lints;
 pub mod model;

@@ -22,6 +22,13 @@
 //! | `exit` | no `std::process::exit` outside the CLI binary |
 //! | `retrysleep` | no raw `thread::sleep` in retry loops — pace retries through `mrbc_util::backoff::Backoff` so delays are bounded, jitterable, and replayable |
 //! | `spandrop` | no `let _ = …::span(...)` — the wildcard pattern drops the guard immediately, recording a zero-length span; bind it (`let _g = …`) so it lives to the end of the scope |
+//! | `lockorder` | the per-crate Mutex/RwLock acquisition graph (built from guard-binding spans) must be acyclic — two locks taken in opposite orders on different paths is a deadlock waiting for a schedule |
+//! | `blockunderlock` | no blocking call (`read`/`write` on a socket, `accept`, `thread::sleep`, `wait_timeout`) while a `MutexGuard` binding is live in the same scope — blocking under a lock stalls every contender |
+//! | `tagmatch` | every wire-protocol tag literal written by an encode path in `proto.rs`/`frame.rs`/`launch.rs` must appear in the corresponding decode `match` — catches one-sided protocol evolution |
+//!
+//! The last three are dataflow-flavoured rules implemented in
+//! [`crate::dataflow`]; they share this module's masking, scoping, and
+//! allow-comment machinery.
 
 use crate::lexer::{self, Masked};
 use std::fmt;
@@ -44,11 +51,17 @@ pub enum LintId {
     RetrySleep,
     /// A span guard dropped at birth via `let _ = …::span(...)`.
     SpanDrop,
+    /// A cycle in a crate's lock-acquisition order graph.
+    LockOrder,
+    /// A blocking call made while a `MutexGuard` binding is live.
+    BlockUnderLock,
+    /// An encoded wire tag with no matching decode arm.
+    TagMatch,
 }
 
 impl LintId {
     /// All lints, in reporting order.
-    pub const ALL: [LintId; 7] = [
+    pub const ALL: [LintId; 10] = [
         LintId::WallClock,
         LintId::Unwrap,
         LintId::Safety,
@@ -56,6 +69,9 @@ impl LintId {
         LintId::Exit,
         LintId::RetrySleep,
         LintId::SpanDrop,
+        LintId::LockOrder,
+        LintId::BlockUnderLock,
+        LintId::TagMatch,
     ];
 
     /// The name used in `// lint: allow(<name>)` comments and CLI args.
@@ -68,6 +84,9 @@ impl LintId {
             LintId::Exit => "exit",
             LintId::RetrySleep => "retrysleep",
             LintId::SpanDrop => "spandrop",
+            LintId::LockOrder => "lockorder",
+            LintId::BlockUnderLock => "blockunderlock",
+            LintId::TagMatch => "tagmatch",
         }
     }
 
@@ -317,12 +336,12 @@ pub fn lint_file(ctx: &FileContext, source: &str) -> Vec<Violation> {
         // span covers nothing. Any named binding (`let _g = …`) keeps
         // the guard alive to the end of the scope. Applies everywhere:
         // a zero-length span is as misleading in a test as in the
-        // library.
-        if (text.contains("let _ =") || text.contains("let _="))
-            && ["::span(", "::span_on(", "::span_at("]
-                .iter()
-                .any(|pat| text.contains(pat))
-        {
+        // library. The span call must be the *initializer* of the
+        // wildcard binding — after the `=` and before the statement's
+        // `;` — so a correctly bound `let _guard = obs::span(...)`
+        // sharing a macro-compressed line with an unrelated `let _ =`
+        // cannot trip it.
+        if wildcard_binds_span(text) {
             emit(
                 LintId::SpanDrop,
                 line,
@@ -333,8 +352,40 @@ pub fn lint_file(ctx: &FileContext, source: &str) -> Vec<Violation> {
             );
         }
     }
+
+    // The dataflow-flavoured rules (blockunderlock, tagmatch) run over
+    // the same masked text and share the allow-comment filter via the
+    // emit closure. lockorder needs the whole crate's edges at once and
+    // therefore lives in the workspace walker, not here.
+    for v in crate::dataflow::file_violations(ctx, &masked, &test_lines) {
+        emit(v.lint, v.line, v.message);
+    }
+
     out.sort_by_key(|v| v.line);
     out
+}
+
+/// Does any `let _ =` statement on this masked line have a `…::span*(`
+/// call inside its initializer (between the `=` and the next `;`)?
+fn wildcard_binds_span(text: &str) -> bool {
+    for intro in ["let _ =", "let _="] {
+        let mut from = 0;
+        while let Some(pos) = text[from..].find(intro) {
+            let init_start = from + pos + intro.len();
+            let init_end = text[init_start..]
+                .find(';')
+                .map_or(text.len(), |e| init_start + e);
+            let init = &text[init_start..init_end];
+            if ["::span(", "::span_on(", "::span_at("]
+                .iter()
+                .any(|pat| init.contains(pat))
+            {
+                return true;
+            }
+            from = init_start;
+        }
+    }
+    false
 }
 
 /// `pat` appears in `text` delimited by non-identifier characters.
@@ -427,7 +478,7 @@ fn collect_allows(ctx: &FileContext, masked: &Masked) -> Allows {
 
 /// Per-line flags marking the bodies of `#[cfg(test)]` modules, found
 /// by brace-matching on masked code (string braces cannot confuse it).
-fn cfg_test_lines(masked: &Masked) -> Vec<bool> {
+pub(crate) fn cfg_test_lines(masked: &Masked) -> Vec<bool> {
     let lines: Vec<&str> = masked.code.lines().collect();
     let mut flags = vec![false; lines.len()];
     let mut i = 0;
@@ -687,6 +738,28 @@ loop {
         // Escapable with a justified allow, like every other lint.
         let src = "// lint: allow(spandrop): instant marker span is intentional\n\
                    let _ = obs::span(\"mark\", \"cat\");\n";
+        assert!(lint_file(&ctx("crates/core/src/x.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn spandrop_ignores_correctly_bound_guard_sharing_a_line() {
+        // Regression: macro expansion can compress a correctly bound
+        // span guard and an unrelated wildcard discard onto one line.
+        // The old co-occurrence check flagged this; the span call must
+        // be *inside* the wildcard binding's initializer to fire.
+        let src = "let _guard = mrbc_obs::span(\"phase\", \"cat\"); let _ = compute();\n";
+        assert!(lint_file(&ctx("crates/core/src/x.rs"), src).is_empty());
+        let src = "let _g = obs::span_at(\"p\", \"c\", 0); let _ = tx.send(done);\n";
+        assert!(lint_file(&ctx("crates/serve/src/pool.rs"), src).is_empty());
+
+        // …and the genuine bug on a shared line still fires.
+        let src = "let x = init(); let _ = mrbc_obs::span(\"phase\", \"cat\");\n";
+        assert_eq!(
+            lints_of(&lint_file(&ctx("crates/core/src/x.rs"), src)),
+            vec![LintId::SpanDrop]
+        );
+        // A span call in a *later* statement does not leak backwards.
+        let src = "let _ = flush(); let _guard = obs::span(\"p\", \"c\");\n";
         assert!(lint_file(&ctx("crates/core/src/x.rs"), src).is_empty());
     }
 

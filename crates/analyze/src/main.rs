@@ -3,14 +3,15 @@
 //! ```text
 //! mrbc-analyze [lint] [--deny-all] [--root PATH] [--lint NAME]...
 //! mrbc-analyze model-check [--nmax N] [--samples N] [--seed N] [--skip-core]
+//! mrbc-analyze dist-check [--depth-bound N] [--inject NAME|all] [--json PATH]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 violations or invariant failures, 2 usage
-//! errors. CI runs `mrbc-analyze --deny-all` and
-//! `mrbc-analyze model-check` as gates.
+//! errors. CI runs `mrbc-analyze --deny-all`, `mrbc-analyze
+//! model-check`, and `mrbc-analyze dist-check --inject all` as gates.
 
 use analyze::lints::{LintId, Violation};
-use analyze::{model, walk};
+use analyze::{dist_model, model, walk};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -20,18 +21,30 @@ mrbc-analyze — workspace lint engine & protocol model checker
 USAGE:
     mrbc-analyze [lint] [OPTIONS]       scan the workspace for lint violations
     mrbc-analyze model-check [OPTIONS]  check the Algorithm 3/5 schedule invariants
+    mrbc-analyze dist-check [OPTIONS]   explicit-state check of the recovery and
+                                        pool failover protocols (every interleaving)
 
 LINT OPTIONS:
     --deny-all      exit non-zero if any violation is found (CI gate mode)
     --root PATH     workspace root to scan (default: this binary's workspace)
     --lint NAME     restrict to one lint (repeatable); names:
-                    wallclock, unwrap, safety, nondet, exit, retrysleep
+                    wallclock, unwrap, safety, nondet, exit, retrysleep,
+                    spandrop, lockorder, blockunderlock, tagmatch
 
 MODEL-CHECK OPTIONS:
     --nmax N        exhaustive enumeration horizon, 1..=5   (default 5)
     --samples N     seeded random graphs at n = 8 per sweep (default 64)
     --seed N        RNG seed for the sampled sweeps         (default 2019)
     --skip-core     skip the mrbc-core cross-check (model invariants only)
+
+DIST-CHECK OPTIONS:
+    --depth-bound N BFS depth bound (default 64; reports `truncated`
+                    if exploration was cut short)
+    --inject NAME   also run one seeded protocol bug and require the
+                    checker to catch it; NAME is one of
+                    skip-replay-lock, ack-before-fsync,
+                    no-detector-reset, or `all`
+    --json PATH     write the mrbc-analyze-dist-v1 JSON report to PATH
 ";
 
 fn main() -> ExitCode {
@@ -59,6 +72,10 @@ fn run(args: &[String]) -> Result<bool, String> {
         Some("model-check") => {
             it.next();
             model_check(&mut it)
+        }
+        Some("dist-check") => {
+            it.next();
+            dist_check(&mut it)
         }
         Some("--help") | Some("-h") => {
             println!("{USAGE}");
@@ -184,6 +201,85 @@ fn model_check<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<bool, Strin
 fn fail(e: &str) -> Result<bool, String> {
     eprintln!("model-check: INVARIANT VIOLATED: {e}");
     Ok(false)
+}
+
+fn dist_check<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<bool, String> {
+    let mut depth_bound = dist_model::DEFAULT_DEPTH_BOUND;
+    let mut inject: Option<Option<dist_model::Inject>> = None;
+    let mut json_path: Option<PathBuf> = None;
+    while let Some(arg) = it.next() {
+        match arg {
+            "--depth-bound" => depth_bound = parse_num(it.next(), "--depth-bound")?,
+            "--inject" => {
+                let name = it.next().ok_or("--inject needs a name or `all`")?;
+                inject = Some(if name == "all" {
+                    None
+                } else {
+                    Some(
+                        dist_model::Inject::parse(name)
+                            .ok_or_else(|| format!("unknown injection {name:?}"))?,
+                    )
+                });
+            }
+            "--json" => {
+                let path = it.next().ok_or("--json needs a path")?;
+                json_path = Some(PathBuf::from(path));
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+
+    let report = dist_model::run_dist_check(depth_bound, inject);
+    for m in &report.clean {
+        let status = match (&m.violation, m.truncated) {
+            (Some(_), _) => "VIOLATED",
+            (None, true) => "TRUNCATED",
+            (None, false) => "ok",
+        };
+        println!(
+            "dist-check: model {:<9} {status}: {} states, depth {}, invariants: {}",
+            m.name,
+            m.states,
+            m.max_depth,
+            m.invariants.join(", ")
+        );
+        if let Some(c) = &m.violation {
+            println!("  invariant {} violated; interleaving:", c.invariant);
+            print!("{}", c.timeline());
+        } else if m.truncated {
+            println!("  depth bound {depth_bound} cut exploration short; raise --depth-bound");
+        }
+    }
+    for inj in &report.injections {
+        match &inj.caught {
+            Some(c) => {
+                println!(
+                    "dist-check: inject {:<17} caught by {:<22} ({} model, {}-event trace)",
+                    inj.inject.name(),
+                    c.invariant,
+                    inj.model,
+                    c.trace.len()
+                );
+                print!("{}", c.timeline());
+            }
+            None => println!(
+                "dist-check: inject {:<17} NOT CAUGHT ({} model) — invariants are too weak",
+                inj.inject.name(),
+                inj.model
+            ),
+        }
+    }
+    if let Some(path) = json_path {
+        std::fs::write(&path, report.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("dist-check: wrote {}", path.display());
+    }
+    if report.ok() {
+        println!("dist-check: all invariants hold; every seeded bug caught");
+    } else {
+        eprintln!("dist-check: FAILED");
+    }
+    Ok(report.ok())
 }
 
 fn parse_num<T: std::str::FromStr>(v: Option<&str>, flag: &str) -> Result<T, String> {

@@ -13,6 +13,7 @@
 //! Files are returned sorted so reports (and the CI gate's output) are
 //! byte-stable across filesystems.
 
+use crate::dataflow;
 use crate::lints::{lint_file, FileContext, Violation};
 use std::io;
 use std::path::{Path, PathBuf};
@@ -50,15 +51,20 @@ fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 }
 
 /// Lint every workspace source under `root`; returns all violations,
-/// sorted by file then line.
+/// sorted by file then line. The file-local rules run per file; the
+/// `lockorder` rule needs every file's acquisition edges at once, so
+/// its per-crate graphs are aggregated here and checked at the end.
 pub fn scan_workspace(root: &Path) -> io::Result<Vec<Violation>> {
     let mut out = Vec::new();
+    let mut edges = Vec::new();
     for path in workspace_sources(root)? {
         let rel = path.strip_prefix(root).unwrap_or(&path);
         let ctx = FileContext::from_rel_path(rel);
         let source = std::fs::read_to_string(&path)?;
         out.extend(lint_file(&ctx, &source));
+        edges.extend(dataflow::lock_edges(&ctx, &source));
     }
+    out.extend(dataflow::lockorder_violations(&edges));
     out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(out)
 }
@@ -152,6 +158,28 @@ mod tests {
                     "crates/net/src/f.rs",
                     "pub fn resend(&mut self) {\n    loop {\n        if self.retry() { return; }\n        std::thread::sleep(d);\n    }\n}\n",
                 ),
+                (
+                    "crates/obs/src/g.rs",
+                    "pub fn mark() { let _ = crate::span(\"m\", \"c\"); }\n",
+                ),
+                (
+                    "crates/serve/src/h.rs",
+                    "pub fn blocks(&self) {\n    if let Ok(g) = self.state.lock() {\n        let (s, _) = self.listener.accept();\n    }\n}\n",
+                ),
+                (
+                    "crates/serve/src/proto.rs",
+                    "pub fn encode_request(r: &R) -> Vec<u8> {\n    let mut w = W::new();\n    w.u8(9);\n    w.bytes()\n}\npub fn decode_request(b: &[u8]) -> Result<R, E> {\n    match b[0] {\n        0 => Ok(R::A),\n        _ => Err(E::T),\n    }\n}\n",
+                ),
+                // Two files of one crate taking the same pair of locks
+                // in opposite orders: a lockorder cycle.
+                (
+                    "crates/net/src/lk1.rs",
+                    "pub fn a(&self) {\n    let Ok(g) = self.alpha.lock() else { return };\n    let Ok(h) = self.beta.lock() else { return };\n}\n",
+                ),
+                (
+                    "crates/net/src/lk2.rs",
+                    "pub fn b(&self) {\n    let Ok(h) = self.beta.lock() else { return };\n    let Ok(g) = self.alpha.lock() else { return };\n}\n",
+                ),
             ],
         );
         let vs = scan_workspace(&root).expect("scan");
@@ -160,10 +188,15 @@ mod tests {
         assert_eq!(
             lints,
             vec![
+                LintId::BlockUnderLock,
                 LintId::Exit,
+                LintId::LockOrder,
+                LintId::LockOrder,
                 LintId::Nondet,
                 LintId::RetrySleep,
                 LintId::Safety,
+                LintId::SpanDrop,
+                LintId::TagMatch,
                 LintId::Unwrap,
                 LintId::WallClock,
             ]

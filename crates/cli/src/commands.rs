@@ -29,7 +29,8 @@ USAGE:
                        [--faults PLAN] [--checkpoint K]
   mrbc cc <file> [--hosts H] [--faults PLAN] [--checkpoint K]
   mrbc sssp <file> [--hosts H] [--source V] [--max-weight W] [--seed X]
-  mrbc check-json <file>   validate an emitted --trace / --metrics document
+  mrbc check-json <file>   validate an emitted --trace / --metrics /
+                           bench / dist-check JSON document
   mrbc launch <file> --ranks N [--kill R@S,...] [--checkpoint-dir DIR]
                      [--sources K] [--batch B] [--seed X] [--policy P]
                      [--deadline MS] [--timeout MS] [--verify]
@@ -282,6 +283,48 @@ fn cmd_check_json(p: &ParsedArgs) -> Result<String, String> {
                 "{path}: valid {} document ({} events)\n",
                 json::TRACE_SCHEMA,
                 events.len()
+            ))
+        }
+        // `mrbc-analyze dist-check --json` reports: exploration stats
+        // plus per-model verdicts; any recorded violation, truncation,
+        // or uncaught seeded bug fails the validation.
+        (Some(tag @ "mrbc-analyze-dist-v1"), _) => {
+            for key in ["states_explored", "invariants_checked", "max_depth"] {
+                let n = v
+                    .get(key)
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("{path}: dist-check document missing {key:?}"))?;
+                if key != "max_depth" && n == 0 {
+                    return Err(format!("{path}: dist-check explored nothing ({key} = 0)"));
+                }
+            }
+            let models = v
+                .get("models")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| format!("{path}: dist-check document missing models"))?;
+            for m in models {
+                let name = m.get("name").and_then(Value::as_str).unwrap_or("?");
+                if !matches!(m.get("violation"), Some(Value::Null)) {
+                    return Err(format!("{path}: model {name:?} records a violation"));
+                }
+                if m.get("truncated").and_then(Value::as_bool) != Some(false) {
+                    return Err(format!("{path}: model {name:?} was truncated"));
+                }
+            }
+            let injections = v
+                .get("injections")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| format!("{path}: dist-check document missing injections"))?;
+            for inj in injections {
+                let name = inj.get("name").and_then(Value::as_str).unwrap_or("?");
+                if inj.get("caught").and_then(Value::as_bool) != Some(true) {
+                    return Err(format!("{path}: seeded bug {name:?} was not caught"));
+                }
+            }
+            Ok(format!(
+                "{path}: valid {tag} document ({} models clean, {} seeded bugs caught)\n",
+                models.len(),
+                injections.len()
             ))
         }
         // Bench reports (BENCH_*.json): a `cases` array plus an optional
@@ -964,6 +1007,48 @@ mod tests {
         assert!(run(&p).unwrap_err().message.contains("unrecognized schema"));
         std::fs::write(&path, "not json").expect("write");
         assert!(run(&p).unwrap_err().message.contains("invalid JSON"));
+    }
+
+    #[test]
+    fn check_json_validates_dist_check_reports() {
+        let path = tmpfile("cli_dist_report.json");
+        let clean = "{\"schema\":\"mrbc-analyze-dist-v1\",\"states_explored\":1078,\
+                     \"invariants_checked\":11,\"max_depth\":12,\"models\":[\
+                     {\"name\":\"recovery\",\"states\":322,\"max_depth\":11,\
+                     \"truncated\":false,\"violation\":null}],\"injections\":[\
+                     {\"name\":\"skip-replay-lock\",\"model\":\"pool\",\
+                     \"caught\":true,\"invariant\":\"no-duplicate-mutation\"}]}";
+        std::fs::write(&path, clean).expect("write");
+        let p = parse(&sv(&["check-json", &path]), SWITCHES).expect("parse");
+        let rep = run(&p).expect("clean dist report validates");
+        assert!(rep.contains("mrbc-analyze-dist-v1"), "{rep}");
+        assert!(rep.contains("1 seeded bugs caught"), "{rep}");
+
+        // A recorded violation fails validation.
+        let violated = clean.replace(
+            "\"violation\":null",
+            "\"violation\":{\"invariant\":\"bsp-skew\",\"trace_len\":4}",
+        );
+        std::fs::write(&path, violated).expect("write");
+        let err = run(&p).unwrap_err();
+        assert!(err.message.contains("records a violation"), "{err:?}");
+
+        // An uncaught seeded bug fails validation.
+        let uncaught = clean.replace("\"caught\":true", "\"caught\":false");
+        std::fs::write(&path, uncaught).expect("write");
+        let err = run(&p).unwrap_err();
+        assert!(err.message.contains("was not caught"), "{err:?}");
+
+        // Truncated exploration fails validation.
+        let truncated = clean.replace("\"truncated\":false", "\"truncated\":true");
+        std::fs::write(&path, truncated).expect("write");
+        let err = run(&p).unwrap_err();
+        assert!(err.message.contains("was truncated"), "{err:?}");
+
+        // Missing exploration stats fail validation.
+        std::fs::write(&path, "{\"schema\":\"mrbc-analyze-dist-v1\"}").expect("write");
+        let err = run(&p).unwrap_err();
+        assert!(err.message.contains("missing"), "{err:?}");
     }
 
     #[test]

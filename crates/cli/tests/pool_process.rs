@@ -7,8 +7,13 @@
 use std::io::{BufRead, BufReader, Write};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::time::Duration;
 
 use mrbc_graph::{generators, io};
+
+/// How long a freshly spawned server gets to print its readiness line.
+const SERVE_READY_TIMEOUT_MS: u64 = 30_000;
 
 fn bin() -> Command {
     Command::new(env!("CARGO_BIN_EXE_mrbc-cli"))
@@ -28,6 +33,51 @@ fn write_test_graph(dir: &std::path::Path) -> String {
     path
 }
 
+/// Waits — bounded — for the child's `SERVE <addr>` readiness line.
+///
+/// A plain blocking read here wedges the whole test run if the child
+/// hangs (or dies) before printing, which is exactly what a pool worker
+/// crash at startup looks like. Instead a reader thread forwards the
+/// line over a channel and this polls it against a deadline, failing
+/// fast with the exit status when the child dies early.
+fn wait_for_serve(child: &mut Child, what: &str) -> String {
+    let stdout = child.stdout.take().expect("stdout");
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        for line in BufReader::new(stdout).lines() {
+            let Ok(line) = line else { return };
+            if let Some(a) = line.strip_prefix("SERVE ") {
+                let _ = tx.send(a.trim().to_string());
+                return;
+            }
+        }
+    });
+    let deadline_us = mrbc_obs::monotonic_us() + SERVE_READY_TIMEOUT_MS * 1_000;
+    loop {
+        match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(addr) => return addr,
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                panic!(
+                    "{what} closed stdout before printing SERVE (status: {:?})",
+                    child.try_wait()
+                );
+            }
+        }
+        if let Ok(Some(status)) = child.try_wait() {
+            // The line may still be in flight from the reader thread.
+            if let Ok(addr) = rx.recv_timeout(Duration::from_millis(500)) {
+                return addr;
+            }
+            panic!("{what} exited ({status}) before printing SERVE");
+        }
+        assert!(
+            mrbc_obs::monotonic_us() < deadline_us,
+            "{what} never printed SERVE within {SERVE_READY_TIMEOUT_MS} ms"
+        );
+    }
+}
+
 /// Starts `mrbc serve pool` and returns the child plus its front-end
 /// address (read from the `SERVE <addr>` readiness line).
 fn start_pool(graph: &str, extra: &[&str]) -> (Child, String) {
@@ -38,16 +88,7 @@ fn start_pool(graph: &str, extra: &[&str]) -> (Child, String) {
         .stdout(Stdio::piped())
         .stderr(Stdio::null());
     let mut child = cmd.spawn().expect("spawn pool");
-    let stdout = child.stdout.take().expect("stdout");
-    let mut addr = String::new();
-    for line in BufReader::new(stdout).lines() {
-        let line = line.expect("read line");
-        if let Some(a) = line.strip_prefix("SERVE ") {
-            addr = a.trim().to_string();
-            break;
-        }
-    }
-    assert!(!addr.is_empty(), "pool never printed SERVE");
+    let addr = wait_for_serve(&mut child, "serve pool");
     (child, addr)
 }
 
@@ -81,15 +122,7 @@ fn pool_serves_the_full_query_surface() {
             .stdout(Stdio::piped())
             .stderr(Stdio::null());
         let mut child = cmd.spawn().expect("spawn daemon");
-        let stdout = child.stdout.take().expect("stdout");
-        let mut addr = String::new();
-        for line in BufReader::new(stdout).lines() {
-            let line = line.expect("read line");
-            if let Some(a) = line.strip_prefix("SERVE ") {
-                addr = a.trim().to_string();
-                break;
-            }
-        }
+        let addr = wait_for_serve(&mut child, "serve daemon");
         (child, addr)
     };
     let (pool, pool_addr) = start_pool(&graph, &[]);

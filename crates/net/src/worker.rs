@@ -456,24 +456,135 @@ fn apply_resume<P: SpmdProgram>(
     epoch: u32,
     addrs: &[SocketAddr],
 ) -> Result<(), WorkerError> {
-    let have_ckpt = cfg
-        .store
-        .as_ref()
-        .map(|s| {
-            s.list_steps()
-                .map(|steps| steps.contains(&step))
-                .unwrap_or(false)
-        })
-        .unwrap_or(false);
-    if have_ckpt {
-        // lint: allow(unwrap): guarded by `have_ckpt` just above
-        let bytes = cfg.store.as_ref().expect("checked above").load(step)?;
-        prog.restore(&bytes)?;
-        mrbc_obs::counter_add("net.worker.restores", 1);
+    if let Some(store) = cfg.store.as_ref() {
+        match store.load(step) {
+            Ok(bytes) => {
+                prog.restore(&bytes)?;
+                mrbc_obs::counter_add("net.worker.restores", 1);
+            }
+            Err(crate::checkpoint::CheckpointError::NotFound) if step == 0 => {}
+            Err(crate::checkpoint::CheckpointError::NotFound) => {
+                return Err(WorkerError::Control("resume step has no local checkpoint"));
+            }
+            Err(_) => {
+                // The file for `step` exists but fails validation (CRC
+                // mismatch, truncation, bad header) — e.g. both retained
+                // checkpoints rotted and the launcher's min-common step
+                // landed on a corrupt one. Exit code 3 is reserved for
+                // user-invoked checkpoint reads; mid-protocol the worker
+                // must surface a structured control-plane error the
+                // launcher can attribute, not die opaquely.
+                return Err(WorkerError::Control(
+                    "resume step checkpoint exists but fails validation (corrupt)",
+                ));
+            }
+        }
     } else if step != 0 {
         return Err(WorkerError::Control("resume step has no local checkpoint"));
     }
     mesh.restart_epoch(epoch, addrs);
     mesh.connect(addrs, cfg.establish_timeout_ms)?;
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::MeshConfig;
+    use std::path::PathBuf;
+
+    /// A do-nothing program: `apply_resume`'s error classification is
+    /// all about the checkpoint store, not the program.
+    struct NullProg;
+
+    impl SpmdProgram for NullProg {
+        fn num_hosts(&self) -> usize {
+            1
+        }
+        fn done(&self) -> bool {
+            true
+        }
+        fn begin_step(&mut self, _step: u64) {}
+        fn local_step(&mut self, _step: u64, _host: usize) -> Vec<u8> {
+            Vec::new()
+        }
+        fn fold(
+            &mut self,
+            _step: u64,
+            _payloads: &[Vec<u8>],
+        ) -> Result<(), mrbc_util::wire::WireError> {
+            Ok(())
+        }
+        fn snapshot(&self) -> Vec<u8> {
+            Vec::new()
+        }
+        fn restore(&mut self, _bytes: &[u8]) -> Result<(), mrbc_util::wire::WireError> {
+            Ok(())
+        }
+        fn fingerprint(&self) -> u64 {
+            0
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("mrbc-worker-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn resume_with_store(dir: &std::path::Path, step: u64) -> Result<(), WorkerError> {
+        let mut prog = NullProg;
+        let mut mesh = Mesh::bind(&MeshConfig::localhost(0, 1)).expect("bind mesh");
+        let mut cfg = WorkerConfig {
+            store: Some(CheckpointStore::open(dir, 0).expect("open store")),
+            ..WorkerConfig::default()
+        };
+        apply_resume(&mut prog, &mut mesh, &mut cfg, step, 1, &[])
+    }
+
+    /// Flips one payload byte of every retained checkpoint file so each
+    /// fails its CRC check.
+    fn corrupt_all(dir: &std::path::Path) {
+        for entry in std::fs::read_dir(dir).expect("read dir") {
+            let path = entry.expect("entry").path();
+            let mut bytes = std::fs::read(&path).expect("read ckpt");
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0xff;
+            std::fs::write(&path, bytes).expect("write ckpt");
+        }
+    }
+
+    #[test]
+    fn resume_onto_corrupt_checkpoints_is_a_structured_control_error() {
+        // Both retained checkpoints rot; the launcher's min-common step
+        // lands on one of them. The worker must surface a control-plane
+        // error the launcher can attribute — not the Checkpoint error
+        // class the CLI maps to the reserved exit code 3.
+        let dir = tmpdir("both-corrupt");
+        {
+            let store = CheckpointStore::open(&dir, 0).expect("open store");
+            store.save(1, b"state-1").expect("save 1");
+            store.save(2, b"state-2").expect("save 2");
+        }
+        corrupt_all(&dir);
+        let err = resume_with_store(&dir, 2).expect_err("corrupt resume must fail");
+        match err {
+            WorkerError::Control(msg) => assert!(msg.contains("fails validation"), "{msg}"),
+            other => panic!("want structured Control error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resume_without_a_checkpoint_at_the_step_stays_structured() {
+        let dir = tmpdir("missing-step");
+        {
+            let store = CheckpointStore::open(&dir, 0).expect("open store");
+            store.save(5, b"state-5").expect("save 5");
+        }
+        let err = resume_with_store(&dir, 3).expect_err("missing step must fail");
+        match err {
+            WorkerError::Control(msg) => assert!(msg.contains("no local checkpoint"), "{msg}"),
+            other => panic!("want structured Control error, got {other:?}"),
+        }
+    }
 }

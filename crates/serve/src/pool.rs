@@ -186,19 +186,38 @@ enum WorkerReply {
     ConnDead,
 }
 
-/// One live TCP connection to a worker: a shared writer, a pending-reply
-/// map, and a reader thread that resolves replies and drains the map
-/// with [`WorkerReply::ConnDead`] when the stream dies.
+/// A unit of work for a connection's dedicated writer thread.
+enum WriteCmd {
+    /// A sealed frame to put on the wire.
+    Frame(Vec<u8>),
+    /// Stop the writer thread (connection teardown).
+    Quit,
+}
+
+/// One live TCP connection to a worker: a queue into a dedicated writer
+/// thread (so no caller ever blocks on socket I/O under a lock), a
+/// pending-reply map, and a reader thread that resolves replies and
+/// drains the map with [`WorkerReply::ConnDead`] when the stream dies.
 struct WorkerConn {
-    writer: Mutex<TcpStream>,
+    /// Queue into the writer thread, which owns the write half.
+    write_tx: mpsc::Sender<WriteCmd>,
+    /// The underlying socket, kept only so [`WorkerConn::sever`] can
+    /// `shutdown` it (which takes `&self`); all writes go via the
+    /// writer thread's own clone.
+    sock: TcpStream,
     pending: Mutex<HashMap<u64, mpsc::Sender<WorkerReply>>>,
     conn_alive: AtomicBool,
     reader: Mutex<Option<JoinHandle<()>>>,
+    writer: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl WorkerConn {
-    /// Registers interest in `id`, then writes the sealed request
-    /// carrying `ctx`. On write failure the registration is rolled back.
+    /// Registers interest in `id`, then enqueues the sealed request
+    /// carrying `ctx` for the writer thread. On a dead queue (writer
+    /// thread gone) the registration is rolled back. A socket-level
+    /// write failure surfaces asynchronously: the writer thread severs
+    /// the stream, the reader notices, and the waiter gets
+    /// [`WorkerReply::ConnDead`].
     fn send(
         &self,
         id: u64,
@@ -213,10 +232,10 @@ impl WorkerConn {
             p.insert(id, tx);
         }
         let bytes = framing::seal(&encode_request(id, ctx, req));
-        let res = match self.writer.lock() {
-            Ok(mut w) => w.write_all(&bytes),
-            Err(_) => Err(io::Error::other("writer poisoned")),
-        };
+        let res = self
+            .write_tx
+            .send(WriteCmd::Frame(bytes))
+            .map_err(|_| io::Error::new(io::ErrorKind::NotConnected, "writer gone"));
         if res.is_err() {
             if let Ok(mut p) = self.pending.lock() {
                 p.remove(&id);
@@ -228,13 +247,22 @@ impl WorkerConn {
 
     /// Marks the connection dead and fails every in-flight request so
     /// its waiter can fail over instead of sleeping out its deadline.
+    /// Also tells the writer thread to exit.
     fn drain_dead(&self) {
         self.conn_alive.store(false, Ordering::SeqCst);
+        drop(self.write_tx.send(WriteCmd::Quit));
         if let Ok(mut p) = self.pending.lock() {
             for (_, tx) in p.drain() {
                 drop(tx.send(WorkerReply::ConnDead));
             }
         }
+    }
+
+    /// [`WorkerConn::drain_dead`] plus a hard socket shutdown, so the
+    /// reader thread's blocking `read` returns immediately.
+    fn sever(&self) {
+        self.drain_dead();
+        drop(self.sock.shutdown(std::net::Shutdown::Both));
     }
 }
 
@@ -469,10 +497,7 @@ impl Pool {
             // sockets anyway; the in-process mode needs the nudge.
             if let Ok(conn) = slot.conn.lock() {
                 if let Some(conn) = conn.as_ref() {
-                    conn.drain_dead();
-                    if let Ok(w) = conn.writer.lock() {
-                        drop(w.shutdown(std::net::Shutdown::Both));
-                    }
+                    conn.sever();
                 }
             }
         }
@@ -578,7 +603,8 @@ fn spawn_backend(spawner: &mut WorkerSpawn, rank: usize) -> io::Result<(Backend,
     }
 }
 
-/// Connects to a freshly spawned worker and starts its reader thread.
+/// Connects to a freshly spawned worker and starts its reader and
+/// writer threads.
 fn connect_worker(
     shared: &Arc<PoolShared>,
     rank: usize,
@@ -592,13 +618,28 @@ fn connect_worker(
     stream.set_write_timeout(Some(Duration::from_millis(HANDSHAKE_MS)))?;
     let read_side = stream.try_clone()?;
     read_side.set_read_timeout(Some(Duration::from_millis(50)))?;
+    let write_side = stream.try_clone()?;
+    let (write_tx, write_rx) = mpsc::channel();
 
     let conn = Arc::new(WorkerConn {
-        writer: Mutex::new(stream),
+        write_tx,
+        sock: stream,
         pending: Mutex::new(HashMap::new()),
         conn_alive: AtomicBool::new(true),
         reader: Mutex::new(None),
+        writer: Mutex::new(None),
     });
+
+    // The writer thread deliberately captures no `Arc<WorkerConn>`: it
+    // holds only its stream clone and the channel receiver, so the
+    // connection's refcount can reach zero while the thread is parked
+    // on `recv` (the dropped sender wakes and ends it).
+    let writer = thread::Builder::new()
+        .name(format!("pool-worker-tx-{rank}"))
+        .spawn(move || worker_writer_loop(write_side, write_rx))?;
+    if let Ok(mut slot) = conn.writer.lock() {
+        *slot = Some(writer);
+    }
 
     let reader = {
         let conn = Arc::clone(&conn);
@@ -611,6 +652,23 @@ fn connect_worker(
         *slot = Some(reader);
     }
     Ok(conn)
+}
+
+/// Owns the write half of one worker connection: drains the frame
+/// queue onto the wire. On a write error it severs the socket — the
+/// reader thread then fails the in-flight waiters — and exits.
+fn worker_writer_loop(mut stream: TcpStream, rx: mpsc::Receiver<WriteCmd>) {
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            WriteCmd::Frame(bytes) => {
+                if stream.write_all(&bytes).is_err() {
+                    drop(stream.shutdown(std::net::Shutdown::Both));
+                    break;
+                }
+            }
+            WriteCmd::Quit => break,
+        }
+    }
 }
 
 /// Pumps one worker connection: resolves pending replies, feeds the
@@ -782,12 +840,13 @@ fn tear_down_worker(shared: &Arc<PoolShared>, rank: usize) {
     let slot = &shared.slots[rank];
     let conn = slot.conn.lock().ok().and_then(|mut c| c.take());
     if let Some(conn) = conn {
-        conn.drain_dead();
-        if let Ok(w) = conn.writer.lock() {
-            drop(w.shutdown(std::net::Shutdown::Both));
-        }
+        conn.sever();
         let reader = conn.reader.lock().ok().and_then(|mut r| r.take());
         if let Some(h) = reader {
+            drop(h.join());
+        }
+        let writer = conn.writer.lock().ok().and_then(|mut w| w.take());
+        if let Some(h) = writer {
             drop(h.join());
         }
     }
