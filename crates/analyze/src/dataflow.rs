@@ -1,7 +1,7 @@
 //! Dataflow-flavoured lint rules over the masked lexer.
 //!
-//! Three rules live here, all phrased over guard-binding *spans* rather
-//! than single tokens:
+//! Four rules live here, all phrased over *spans* (guard-binding
+//! scopes, function regions) rather than single tokens:
 //!
 //! * `blockunderlock` — while a `MutexGuard`/`RwLock` guard binding is
 //!   live in a scope, no line in that scope may make a blocking call
@@ -20,6 +20,14 @@
 //!   matching decode `match`. Adding a request variant and forgetting
 //!   the decoder is a one-sided protocol evolution the type system
 //!   cannot see (the tag is just a `u8` / a line keyword).
+//! * `ackdurable` — in the serve crate's acknowledgement paths
+//!   (`pool.rs`, `server.rs`), a function that *constructs* a
+//!   `Response::Mutated` ack must call `append_durable(` on an earlier
+//!   line of the same function. The WAL flush inside `append_durable`
+//!   is the durability barrier the ack contract stands on; an ack
+//!   built before the append can leave the process and then be lost by
+//!   a crash before the covering fsync — the exact bug the
+//!   `ack-before-fsync-wal` dist-check injection demonstrates.
 //!
 //! The rules are *lexical* dataflow: guard liveness is tracked by brace
 //! depth on [`crate::lexer::mask`]ed code, so string literals and
@@ -70,16 +78,18 @@ pub struct LockEdge {
     pub line: usize,
 }
 
-/// Run the file-local dataflow rules (`blockunderlock`, `tagmatch`).
-/// `test_lines` marks `#[cfg(test)]` bodies (shared with the caller so
-/// the brace matching happens once). Violations are *not* yet filtered
-/// through allow comments — [`crate::lints::lint_file`] does that.
+/// Run the file-local dataflow rules (`blockunderlock`, `tagmatch`,
+/// `ackdurable`). `test_lines` marks `#[cfg(test)]` bodies (shared
+/// with the caller so the brace matching happens once). Violations are
+/// *not* yet filtered through allow comments —
+/// [`crate::lints::lint_file`] does that.
 pub fn file_violations(ctx: &FileContext, masked: &Masked, test_lines: &[bool]) -> Vec<Violation> {
     let mut out = Vec::new();
     if ctx.role == Role::Lib {
         block_under_lock(ctx, masked, test_lines, &mut out);
     }
     tag_match(ctx, masked, test_lines, &mut out);
+    ack_durable(ctx, masked, test_lines, &mut out);
     out
 }
 
@@ -758,6 +768,84 @@ fn caps_keyword(content: &str) -> Option<String> {
     None
 }
 
+// ---------------------------------------------------------------------------
+// ackdurable
+// ---------------------------------------------------------------------------
+
+/// Files holding the serve tier's mutation-acknowledgement paths.
+const ACK_FILES: [&str; 2] = ["pool.rs", "server.rs"];
+
+/// `ackdurable` — a `Response::Mutated` acknowledgement constructed in
+/// the serve crate's ack paths must be preceded, in the same function,
+/// by an `append_durable(` call. Purely lexical: "preceded" is textual
+/// line order inside the [`fn_regions`] span, which is exactly the
+/// shape of the real code (`broadcast_mutate` appends, then builds the
+/// ack). Pattern positions — match arms, `if let` / `let … else`
+/// destructures, `matches!` — inspect an existing ack rather than
+/// minting one and never fire. The worker tier, which deliberately
+/// acks non-durably (durability is the pool front-end's job), carries
+/// an allow comment at its one construction site.
+fn ack_durable(ctx: &FileContext, masked: &Masked, test_lines: &[bool], out: &mut Vec<Violation>) {
+    let fname = ctx
+        .rel_path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("");
+    if ctx.crate_name != "serve" || !ACK_FILES.contains(&fname) || ctx.role != Role::Lib {
+        return;
+    }
+    let lines: Vec<&str> = masked.code.lines().collect();
+    for r in fn_regions(&lines) {
+        if test_lines.get(r.start - 1).copied().unwrap_or(false) {
+            continue;
+        }
+        let mut appended = false;
+        for (idx, text) in lines
+            .iter()
+            .enumerate()
+            .take(r.end.min(lines.len()))
+            .skip(r.start - 1)
+        {
+            if text.contains("append_durable(") {
+                appended = true;
+            }
+            let Some(pos) = text.find("Response::Mutated") else {
+                continue;
+            };
+            if appended || mutated_in_pattern(text, pos) {
+                continue;
+            }
+            out.push(Violation {
+                lint: LintId::AckDurable,
+                file: ctx.rel_path.clone(),
+                line: idx + 1,
+                message: format!(
+                    "`Response::Mutated` ack constructed in `{}` with no earlier \
+                     `append_durable(` call — the ack can leave the process before \
+                     the WAL fsync covers the mutation, losing an acknowledged \
+                     write on crash; append durably first",
+                    r.name
+                ),
+            });
+        }
+    }
+}
+
+/// True when the `Response::Mutated` at byte `pos` sits in *pattern*
+/// position — a match arm (its `=>` follows the pattern), a `matches!`
+/// test, or a `let` / `if let` destructure (a `let` precedes it with
+/// no `=` in between) — rather than being constructed as a value.
+fn mutated_in_pattern(text: &str, pos: usize) -> bool {
+    if text.contains("matches!") || text[pos..].contains("=>") {
+        return true;
+    }
+    let prefix = &text[..pos];
+    match prefix.rfind("let ") {
+        Some(l) => !prefix[l..].contains('='),
+        None => false,
+    }
+}
+
 /// Find `fn name` regions by scanning for the keyword and brace
 /// matching to the body's close. Declarations without bodies (`;`
 /// before any `{`) produce no region.
@@ -1177,5 +1265,123 @@ mod tests {
 }
 ";
         assert!(lint_file(&ctx("crates/serve/src/proto.rs"), src).is_empty());
+    }
+
+    // ---- ackdurable -----------------------------------------------------
+
+    #[test]
+    fn mutated_ack_without_append_durable_fires() {
+        let src = "\
+fn broadcast_mutate(shared: &PoolShared) -> Response {
+    let epoch = shared.epoch();
+    Response::Mutated { epoch, applied: true }
+}
+";
+        let vs = only(
+            lint_file(&ctx("crates/serve/src/pool.rs"), src),
+            LintId::AckDurable,
+        );
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].line, 3);
+        assert!(
+            vs[0].message.contains("broadcast_mutate"),
+            "{}",
+            vs[0].message
+        );
+    }
+
+    #[test]
+    fn append_before_ack_is_clean_and_textual_order_matters() {
+        let src = "\
+fn broadcast_mutate(shared: &PoolShared) -> Response {
+    if let Err(e) = shared.append_durable(op, u, v) {
+        return Response::WalFault { message: e.to_string() };
+    }
+    Response::Mutated { epoch, applied }
+}
+";
+        assert!(only(
+            lint_file(&ctx("crates/serve/src/pool.rs"), src),
+            LintId::AckDurable
+        )
+        .is_empty());
+        // Ack minted first, appended after: a crash in between loses
+        // an acknowledged write — the lint must still fire.
+        let src = "\
+fn broadcast_mutate(shared: &PoolShared) -> Response {
+    let ack = Response::Mutated { epoch, applied };
+    let _ = shared.append_durable(op, u, v);
+    ack
+}
+";
+        let vs = only(
+            lint_file(&ctx("crates/serve/src/pool.rs"), src),
+            LintId::AckDurable,
+        );
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].line, 2);
+    }
+
+    #[test]
+    fn ackdurable_skips_pattern_positions_and_out_of_scope_files() {
+        // Destructures, match arms, and matches! inspect an existing
+        // ack (replay, routing) — none of them mint one.
+        let src = "\
+fn pump(shared: &PoolShared) {
+    let Some(Response::Mutated { epoch, .. }) = replayed else { return };
+    match resp {
+        Some(Response::Mutated { epoch, applied }) => shared.note(epoch),
+        _ => {}
+    }
+    if matches!(resp, Some(Response::Mutated { .. })) {
+        shared.tick();
+    }
+}
+";
+        assert!(only(
+            lint_file(&ctx("crates/serve/src/pool.rs"), src),
+            LintId::AckDurable
+        )
+        .is_empty());
+        // Out of scope: the proto codecs and typed client legitimately
+        // construct Mutated (decode side), as do tests.
+        let src = "\
+fn decode(b: &[u8]) -> Response {
+    Response::Mutated { epoch: 1, applied: true }
+}
+";
+        assert!(only(
+            lint_file(&ctx("crates/serve/src/client.rs"), src),
+            LintId::AckDurable
+        )
+        .is_empty());
+        assert!(only(
+            lint_file(&ctx("crates/serve/tests/pool.rs"), src),
+            LintId::AckDurable
+        )
+        .is_empty());
+        assert!(only(
+            lint_file(&ctx("crates/net/src/server.rs"), src),
+            LintId::AckDurable
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn ackdurable_allow_comment_escapes() {
+        // The worker tier's shape: it acks non-durably on purpose —
+        // durability is the pool front-end's job — and says so.
+        let src = "\
+fn execute_job(store: &EpochStore) -> Response {
+    let (epoch, applied) = store.mutate(op, u, v);
+    // lint: allow(ackdurable): worker tier — durability is the pool front-end's job
+    Response::Mutated { epoch, applied }
+}
+";
+        assert!(only(
+            lint_file(&ctx("crates/serve/src/server.rs"), src),
+            LintId::AckDurable
+        )
+        .is_empty());
     }
 }

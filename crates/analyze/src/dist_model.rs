@@ -1,7 +1,7 @@
 //! Explicit-state model checking for the distributed recovery and
 //! failover protocols.
 //!
-//! Two abstract models, one checker:
+//! Three abstract models, one checker:
 //!
 //! * **Recovery** — the launcher/worker checkpoint-recovery protocol
 //!   (`mrbc-net`): BSP workers commit steps and write keep-last-2
@@ -14,6 +14,11 @@
 //!   mutation-log replay under the broadcast lock republishes a
 //!   respawned worker, in-flight shards fail over (refetch, `Retry`,
 //!   `Partial`), and merges must reflect a single epoch.
+//! * **Wal** — the pool front-end's write-ahead-log ack protocol
+//!   (`mrbc-serve` with `--wal-dir`): append, group-commit fsync, ack,
+//!   crash (discarding the un-fsynced tail), recover-by-replay. The
+//!   invariants are the two halves of crash consistency: no
+//!   acknowledged mutation is ever lost, and replay never duplicates.
 //!
 //! The checker does a plain BFS over global states — every
 //! interleaving of the enabled actions, up to a depth bound — and
@@ -37,7 +42,7 @@ use mrbc_serve::proto::{MutateOp, Request, Response};
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
-/// Default BFS depth bound: both models' reachable graphs are explored
+/// Default BFS depth bound: every model's reachable graph is explored
 /// exhaustively well inside it (the checker reports `truncated` if not).
 pub const DEFAULT_DEPTH_BOUND: usize = 64;
 
@@ -61,7 +66,7 @@ pub mod adapters {
     /// Wire tag of a serve request (mirrors `proto::encode_request`).
     pub fn request_tag(r: &Request) -> u8 {
         match r {
-            Request::Hello => 0,
+            Request::Hello { .. } => 0,
             Request::BcScore { .. } => 1,
             Request::TopK { .. } => 2,
             Request::PathInfo { .. } => 3,
@@ -88,13 +93,14 @@ pub mod adapters {
             Response::Bye => 10,
             Response::Retry { .. } => 11,
             Response::Partial { .. } => 12,
+            Response::WalFault { .. } => 13,
         }
     }
 
     /// Variant name of a serve request, for timeline lines.
     pub fn request_name(r: &Request) -> &'static str {
         match r {
-            Request::Hello => "Hello",
+            Request::Hello { .. } => "Hello",
             Request::BcScore { .. } => "BcScore",
             Request::TopK { .. } => "TopK",
             Request::PathInfo { .. } => "PathInfo",
@@ -121,6 +127,7 @@ pub mod adapters {
             Response::Bye => "Bye",
             Response::Retry { .. } => "Retry",
             Response::Partial { .. } => "Partial",
+            Response::WalFault { .. } => "WalFault",
         }
     }
 
@@ -196,14 +203,18 @@ pub enum Inject {
     /// Pool: respawn does not reset the failure detector, so the stale
     /// verdict kills the fresh worker again, forever.
     NoDetectorReset,
+    /// WAL: the pool acks a mutation after the log *append* but before
+    /// the covering fsync, so a crash can lose an acknowledged write.
+    AckBeforeFsyncWal,
 }
 
 impl Inject {
     /// Every seeded bug, in `--inject all` order.
-    pub const ALL: [Inject; 3] = [
+    pub const ALL: [Inject; 4] = [
         Inject::SkipReplayLock,
         Inject::AckBeforeFsync,
         Inject::NoDetectorReset,
+        Inject::AckBeforeFsyncWal,
     ];
 
     /// Stable CLI name.
@@ -212,6 +223,7 @@ impl Inject {
             Inject::SkipReplayLock => "skip-replay-lock",
             Inject::AckBeforeFsync => "ack-before-fsync",
             Inject::NoDetectorReset => "no-detector-reset",
+            Inject::AckBeforeFsyncWal => "ack-before-fsync-wal",
         }
     }
 
@@ -1174,6 +1186,211 @@ impl Model for PoolModel {
 }
 
 // ---------------------------------------------------------------------
+// Model 3: the WAL ack protocol (append → fsync → ack → crash → recover)
+// ---------------------------------------------------------------------
+
+/// Mutations the client wants durably acknowledged.
+const WAL_MUTS: u8 = 2;
+
+/// Global state of the WAL ack-protocol model. All counters are record
+/// counts over one logical log; `durable <= appended` always, and the
+/// whole point of the protocol is keeping `acked <= durable`.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct WalModelState {
+    /// Mutations the client has not yet submitted.
+    muts_left: u8,
+    /// Submitted but not yet broadcast + appended.
+    pending: u8,
+    /// Records written into the log file (may still be in OS buffers).
+    appended: u8,
+    /// Fsync-covered prefix of the log.
+    durable: u8,
+    /// Acknowledgements sent to the client.
+    acked: u8,
+    /// Mutations applied on the workers (broadcast or replay).
+    applied: u8,
+    /// Front-end alive?
+    up: bool,
+    /// Crash budget (the chaos SIGKILL).
+    crashes_left: u8,
+}
+
+/// The WAL durability model: group-commit ordering (append, fsync, ack)
+/// against a crash that discards the un-fsynced log tail, with recovery
+/// replaying exactly the durable prefix. The invariants are the two
+/// halves of crash consistency: an acknowledged mutation is never lost,
+/// and replay never applies a record the log does not hold.
+pub struct WalModel {
+    /// Seeded bug, if any ([`Inject::AckBeforeFsyncWal`]).
+    pub inject: Option<Inject>,
+}
+
+impl Model for WalModel {
+    type State = WalModelState;
+
+    fn name(&self) -> &'static str {
+        "wal"
+    }
+
+    fn init(&self) -> WalModelState {
+        WalModelState {
+            muts_left: WAL_MUTS,
+            pending: 0,
+            appended: 0,
+            durable: 0,
+            acked: 0,
+            applied: 0,
+            up: true,
+            crashes_left: 1,
+        }
+    }
+
+    fn actions(&self, s: &WalModelState) -> Vec<(String, WalModelState)> {
+        let mut out = Vec::new();
+
+        if !s.up {
+            // Recovery: reopen the log, truncate nothing further (the
+            // crash already discarded the un-fsynced tail), respawn the
+            // workers, and replay exactly the durable prefix.
+            let mut t = s.clone();
+            t.up = true;
+            t.applied = s.durable;
+            out.push((
+                format!(
+                    "recover: snapshot + log replay to durable prefix ({} records)",
+                    s.durable
+                ),
+                t,
+            ));
+            return out;
+        }
+
+        if s.muts_left > 0 {
+            let req = Request::Mutate {
+                op: MutateOp::AddEdge,
+                u: 0,
+                v: 1,
+            };
+            let mut t = s.clone();
+            t.muts_left -= 1;
+            t.pending += 1;
+            out.push((
+                format!(
+                    "client -> pool: {} (tag {})",
+                    adapters::request_name(&req),
+                    adapters::request_tag(&req),
+                ),
+                t,
+            ));
+        }
+        if s.pending > 0 {
+            let mut t = s.clone();
+            t.pending -= 1;
+            t.applied += 1;
+            t.appended += 1;
+            out.push((
+                format!(
+                    "pool: broadcast applied; WAL append record {}",
+                    s.appended + 1
+                ),
+                t,
+            ));
+        }
+        if s.durable < s.appended {
+            let mut t = s.clone();
+            t.durable = s.appended;
+            out.push((
+                format!("wal: group-commit fsync covers records 1..={}", s.appended),
+                t,
+            ));
+        }
+        // The ack gate: the covering fsync in the clean protocol — or,
+        // with the seeded bug, the mere append.
+        let ack_gate = if self.inject == Some(Inject::AckBeforeFsyncWal) {
+            s.appended
+        } else {
+            s.durable
+        };
+        if s.acked < ack_gate {
+            let resp = Response::Mutated {
+                epoch: u64::from(s.acked + 1),
+                applied: true,
+            };
+            let bug = if s.acked >= s.durable {
+                " (BUG: before the covering fsync)"
+            } else {
+                ""
+            };
+            let mut t = s.clone();
+            t.acked += 1;
+            out.push((
+                format!(
+                    "pool -> client: {} (tag {}) for record {}{bug}",
+                    adapters::response_name(&resp),
+                    adapters::response_tag(&resp),
+                    s.acked + 1,
+                ),
+                t,
+            ));
+        }
+        if s.crashes_left > 0 {
+            // SIGKILL: the un-fsynced log tail is gone, un-appended
+            // submissions are gone (the client retries them — no ack
+            // ever left), and worker state dies with the front-end.
+            let mut t = s.clone();
+            t.crashes_left -= 1;
+            t.up = false;
+            t.muts_left += s.pending;
+            t.pending = 0;
+            t.appended = s.durable;
+            t.applied = s.durable;
+            let tail = if s.appended > s.durable {
+                format!(
+                    "records {}..={} un-fsynced, lost",
+                    s.durable + 1,
+                    s.appended
+                )
+            } else {
+                "log tail fully fsynced".to_string()
+            };
+            out.push((format!("chaos: SIGKILL front-end ({tail})"), t));
+        }
+        out
+    }
+
+    fn violated(&self, s: &WalModelState) -> Option<&'static str> {
+        // An acknowledgement exists for a record the log no longer
+        // holds: the client was told the mutation stuck, and it is gone.
+        if s.acked > s.appended {
+            return Some("no-acked-mutation-lost");
+        }
+        // The workers hold more mutations than the log: replay (or a
+        // replay/broadcast race) applied something twice.
+        if s.applied > s.appended {
+            return Some("no-duplicate-replay");
+        }
+        None
+    }
+
+    fn invariants(&self) -> Vec<&'static str> {
+        vec![
+            "no-acked-mutation-lost",
+            "no-duplicate-replay",
+            "liveness",
+            "deadlock",
+        ]
+    }
+
+    fn resolved(&self, s: &WalModelState) -> bool {
+        s.up && s.muts_left == 0
+            && s.pending == 0
+            && s.acked == s.appended
+            && s.durable == s.appended
+            && s.applied == s.appended
+    }
+}
+
+// ---------------------------------------------------------------------
 // The dist-check entry point and its JSON report
 // ---------------------------------------------------------------------
 
@@ -1191,7 +1408,7 @@ pub struct InjectionOutcome {
 /// Everything `dist-check` produces.
 #[derive(Clone, Debug)]
 pub struct DistReport {
-    /// Clean-model reports (recovery, pool).
+    /// Clean-model reports (recovery, pool, wal).
     pub clean: Vec<ModelReport>,
     /// Seeded-bug outcomes (empty unless `--inject` was given).
     pub injections: Vec<InjectionOutcome>,
@@ -1294,6 +1511,15 @@ fn run_injection(inject: Inject, depth_bound: usize) -> InjectionOutcome {
                 depth_bound,
             ),
         ),
+        Inject::AckBeforeFsyncWal => (
+            "wal",
+            check(
+                &WalModel {
+                    inject: Some(inject),
+                },
+                depth_bound,
+            ),
+        ),
     };
     InjectionOutcome {
         inject,
@@ -1302,12 +1528,13 @@ fn run_injection(inject: Inject, depth_bound: usize) -> InjectionOutcome {
     }
 }
 
-/// Runs both clean models, plus the requested seeded bugs (`None` =
+/// Runs every clean model, plus the requested seeded bugs (`None` =
 /// clean only; `Some(None)` = all of [`Inject::ALL`]).
 pub fn run_dist_check(depth_bound: usize, inject: Option<Option<Inject>>) -> DistReport {
     let clean = vec![
         check(&RecoveryModel { inject: None }, depth_bound),
         check(&PoolModel { inject: None }, depth_bound),
+        check(&WalModel { inject: None }, depth_bound),
     ];
     let injections = match inject {
         None => Vec::new(),
@@ -1348,6 +1575,36 @@ mod tests {
         );
         assert!(!report.truncated, "depth bound too small for pool");
         assert!(report.states > 100, "suspiciously few states explored");
+    }
+
+    #[test]
+    fn clean_wal_model_holds_exhaustively() {
+        let report = check(&WalModel { inject: None }, DEFAULT_DEPTH_BOUND);
+        assert!(
+            report.violation.is_none(),
+            "clean wal model violated {:?}",
+            report.violation
+        );
+        assert!(!report.truncated, "depth bound too small for wal");
+        assert!(report.states > 10, "suspiciously few states explored");
+    }
+
+    #[test]
+    fn ack_before_fsync_wal_is_caught() {
+        let outcome = run_injection(Inject::AckBeforeFsyncWal, DEFAULT_DEPTH_BOUND);
+        assert_eq!(outcome.model, "wal");
+        let caught = outcome.caught.expect("seeded bug must be caught");
+        assert_eq!(caught.invariant, "no-acked-mutation-lost");
+        // The shortest counterexample is the whole story: an ack leaves
+        // before the covering fsync, then the crash eats the record.
+        assert!(
+            caught.trace.iter().any(|l| l.contains("BUG: before")),
+            "{caught:?}"
+        );
+        assert!(
+            caught.trace.iter().any(|l| l.contains("SIGKILL front-end")),
+            "{caught:?}"
+        );
     }
 
     #[test]
@@ -1435,10 +1692,10 @@ mod tests {
 
     #[test]
     fn adapters_cover_the_wire_tag_spaces() {
-        // Requests 0..=7, responses 0..=12, frames 0..=5: the adapter
+        // Requests 0..=7, responses 0..=13, frames 0..=5: the adapter
         // projections are bijections onto the encoder tag ranges.
         let requests = [
-            Request::Hello,
+            Request::Hello { generation: 0 },
             Request::BcScore { epoch: 0, v: 0 },
             Request::TopK { epoch: 0, k: 1 },
             Request::PathInfo {
@@ -1481,6 +1738,18 @@ mod tests {
                 missing_sources: Vec::new(),
             }),
             12
+        );
+        assert_eq!(
+            adapters::response_tag(&Response::WalFault {
+                message: String::new(),
+            }),
+            13
+        );
+        assert_eq!(
+            adapters::response_name(&Response::WalFault {
+                message: String::new(),
+            }),
+            "WalFault"
         );
         assert_eq!(adapters::response_name(&Response::Bye), "Bye");
         assert_eq!(adapters::request_name(&Request::Stats), "Stats");

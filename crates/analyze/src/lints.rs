@@ -25,8 +25,9 @@
 //! | `lockorder` | the per-crate Mutex/RwLock acquisition graph (built from guard-binding spans) must be acyclic — two locks taken in opposite orders on different paths is a deadlock waiting for a schedule |
 //! | `blockunderlock` | no blocking call (`read`/`write` on a socket, `accept`, `thread::sleep`, `wait_timeout`) while a `MutexGuard` binding is live in the same scope — blocking under a lock stalls every contender |
 //! | `tagmatch` | every wire-protocol tag literal written by an encode path in `proto.rs`/`frame.rs`/`launch.rs` must appear in the corresponding decode `match` — catches one-sided protocol evolution |
+//! | `ackdurable` | in the pool front-end, no `Response::Mutated` acknowledgement may be constructed in a function that never calls `append_durable(` first — the WAL flush is the durability barrier the ack contract stands on |
 //!
-//! The last three are dataflow-flavoured rules implemented in
+//! The last four are dataflow-flavoured rules implemented in
 //! [`crate::dataflow`]; they share this module's masking, scoping, and
 //! allow-comment machinery.
 
@@ -57,11 +58,13 @@ pub enum LintId {
     BlockUnderLock,
     /// An encoded wire tag with no matching decode arm.
     TagMatch,
+    /// A mutation acknowledgement constructed without a WAL flush first.
+    AckDurable,
 }
 
 impl LintId {
     /// All lints, in reporting order.
-    pub const ALL: [LintId; 10] = [
+    pub const ALL: [LintId; 11] = [
         LintId::WallClock,
         LintId::Unwrap,
         LintId::Safety,
@@ -72,6 +75,7 @@ impl LintId {
         LintId::LockOrder,
         LintId::BlockUnderLock,
         LintId::TagMatch,
+        LintId::AckDurable,
     ];
 
     /// The name used in `// lint: allow(<name>)` comments and CLI args.
@@ -87,6 +91,7 @@ impl LintId {
             LintId::LockOrder => "lockorder",
             LintId::BlockUnderLock => "blockunderlock",
             LintId::TagMatch => "tagmatch",
+            LintId::AckDurable => "ackdurable",
         }
     }
 
@@ -353,10 +358,11 @@ pub fn lint_file(ctx: &FileContext, source: &str) -> Vec<Violation> {
         }
     }
 
-    // The dataflow-flavoured rules (blockunderlock, tagmatch) run over
-    // the same masked text and share the allow-comment filter via the
-    // emit closure. lockorder needs the whole crate's edges at once and
-    // therefore lives in the workspace walker, not here.
+    // The dataflow-flavoured rules (blockunderlock, tagmatch,
+    // ackdurable) run over the same masked text and share the
+    // allow-comment filter via the emit closure. lockorder needs the
+    // whole crate's edges at once and therefore lives in the workspace
+    // walker, not here.
     for v in crate::dataflow::file_violations(ctx, &masked, &test_lines) {
         emit(v.lint, v.line, v.message);
     }

@@ -21,15 +21,17 @@ mrbc-analyze — workspace lint engine & protocol model checker
 USAGE:
     mrbc-analyze [lint] [OPTIONS]       scan the workspace for lint violations
     mrbc-analyze model-check [OPTIONS]  check the Algorithm 3/5 schedule invariants
-    mrbc-analyze dist-check [OPTIONS]   explicit-state check of the recovery and
-                                        pool failover protocols (every interleaving)
+    mrbc-analyze dist-check [OPTIONS]   explicit-state check of the recovery,
+                                        pool failover, and WAL durability
+                                        protocols (every interleaving)
 
 LINT OPTIONS:
     --deny-all      exit non-zero if any violation is found (CI gate mode)
     --root PATH     workspace root to scan (default: this binary's workspace)
     --lint NAME     restrict to one lint (repeatable); names:
                     wallclock, unwrap, safety, nondet, exit, retrysleep,
-                    spandrop, lockorder, blockunderlock, tagmatch
+                    spandrop, lockorder, blockunderlock, tagmatch,
+                    ackdurable
 
 MODEL-CHECK OPTIONS:
     --nmax N        exhaustive enumeration horizon, 1..=5   (default 5)
@@ -43,7 +45,7 @@ DIST-CHECK OPTIONS:
     --inject NAME   also run one seeded protocol bug and require the
                     checker to catch it; NAME is one of
                     skip-replay-lock, ack-before-fsync,
-                    no-detector-reset, or `all`
+                    no-detector-reset, ack-before-fsync-wal, or `all`
     --json PATH     write the mrbc-analyze-dist-v1 JSON report to PATH
 ";
 

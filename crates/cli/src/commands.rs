@@ -327,6 +327,39 @@ fn cmd_check_json(p: &ParsedArgs) -> Result<String, String> {
                 injections.len()
             ))
         }
+        // WAL durability bench (BENCH_wal.json): on top of the generic
+        // bench shape, every case must report `lost_acked = 0` — a
+        // recovery that surfaced fewer mutations than were acknowledged
+        // is a durability-contract breach, not a perf regression — and
+        // the overhead verdict is mandatory, not optional.
+        (Some(tag @ "mrbc-bench-wal-v1"), _) => {
+            let cases = v
+                .get("cases")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| format!("{path}: bench document missing cases"))?;
+            for c in cases {
+                let name = c.get("name").and_then(Value::as_str).unwrap_or("?");
+                match c.get("lost_acked").and_then(Value::as_u64) {
+                    Some(0) => {}
+                    Some(n) => {
+                        return Err(format!(
+                            "{path}: case {name:?} lost {n} acked mutation(s) across recovery"
+                        ))
+                    }
+                    None => return Err(format!("{path}: case {name:?} missing lost_acked")),
+                }
+            }
+            match v.get("within_budget").and_then(Value::as_bool) {
+                Some(true) => {}
+                Some(false) => return Err(format!("{path}: durability overhead budget exceeded")),
+                None => return Err(format!("{path}: missing or malformed within_budget")),
+            }
+            Ok(format!(
+                "{path}: valid {tag} document ({} cases, zero lost acked mutations)\n\
+                 overhead budget: within bounds\n",
+                cases.len()
+            ))
+        }
         // Bench reports (BENCH_*.json): a `cases` array plus an optional
         // pass/fail verdict that turns the validation into a CI gate.
         (Some(tag), _) if tag.starts_with("mrbc-bench-") => {
@@ -1049,6 +1082,38 @@ mod tests {
         std::fs::write(&path, "{\"schema\":\"mrbc-analyze-dist-v1\"}").expect("write");
         let err = run(&p).unwrap_err();
         assert!(err.message.contains("missing"), "{err:?}");
+    }
+
+    #[test]
+    fn check_json_gates_wal_bench_reports() {
+        let path = tmpfile("cli_wal_bench.json");
+        let clean = "{\"schema\":\"mrbc-bench-wal-v1\",\"cases\":[\
+                     {\"name\":\"nodurable\",\"acked\":64,\"lost_acked\":0},\
+                     {\"name\":\"flush5ms\",\"acked\":64,\"lost_acked\":0}],\
+                     \"within_budget\":true}";
+        std::fs::write(&path, clean).expect("write");
+        let p = parse(&sv(&["check-json", &path]), SWITCHES).expect("parse");
+        let rep = run(&p).expect("clean wal bench validates");
+        assert!(rep.contains("zero lost acked mutations"), "{rep}");
+
+        // Any lost acked mutation fails the gate, whatever the budget says.
+        let lossy = clean.replacen("\"lost_acked\":0", "\"lost_acked\":2", 1);
+        std::fs::write(&path, lossy).expect("write");
+        let err = run(&p).unwrap_err();
+        assert!(err.message.contains("lost 2 acked"), "{err:?}");
+
+        // A blown overhead budget fails too.
+        let slow = clean.replace("\"within_budget\":true", "\"within_budget\":false");
+        std::fs::write(&path, slow).expect("write");
+        let err = run(&p).unwrap_err();
+        assert!(err.message.contains("budget exceeded"), "{err:?}");
+
+        // The verdict is mandatory for the WAL schema (unlike the
+        // generic bench arm, where it is optional).
+        let noverdict = clean.replace(",\"within_budget\":true", "");
+        std::fs::write(&path, noverdict).expect("write");
+        let err = run(&p).unwrap_err();
+        assert!(err.message.contains("within_budget"), "{err:?}");
     }
 
     #[test]

@@ -2,10 +2,13 @@
 //! query daemon (single-process or supervised worker pool) and its
 //! client, bridging the `mrbc-serve` crate into the CLI's exit-code
 //! contract: structured `Busy` responses exit 4, `Stale` responses
-//! exit 5, pool-level `Retry` exhaustion exits 6, and degraded
-//! `Partial` answers exit 7, so shell scripts (and the CI smoke job)
-//! can distinguish "retry later", "re-pin your epoch", "pool is
-//! recovering", and "shard lost mid-query" from hard failures.
+//! exit 5, pool-level `Retry` exhaustion exits 6, degraded
+//! `Partial` answers exit 7, and a corrupt or unsyncable write-ahead
+//! log exits 8 (both from `WalFault` refusals and from a pool that
+//! cannot open its `--wal-dir`), so shell scripts (and the CI smoke
+//! job) can distinguish "retry later", "re-pin your epoch", "pool is
+//! recovering", "shard lost mid-query", and "durability broken" from
+//! hard failures.
 
 use std::io::BufRead;
 use std::process::Command;
@@ -139,7 +142,8 @@ fn watch_stdin_for_quit() -> Arc<AtomicBool> {
 
 /// `mrbc serve pool <graph> [--workers W] [--port P] [--addr A]
 /// [--hosts H] [--batch B] [--queue Q] [--max-batch M]
-/// [--hedge-ms MS] [--retry-after MS] [--faults PLAN]`
+/// [--hedge-ms MS] [--retry-after MS] [--faults PLAN]
+/// [--wal-dir DIR] [--wal-flush-ms MS]`
 ///
 /// Starts `W` serve-worker child processes (each a full `mrbc serve`
 /// daemon of this same binary) behind a supervising front-end router:
@@ -151,8 +155,17 @@ fn watch_stdin_for_quit() -> Arc<AtomicBool> {
 ///
 /// `--faults` accepts the shared plan DSL; the pool executes
 /// `kill:worker=R@query=N` (SIGKILL worker R after its N-th routed
-/// query) and `pause:worker=R:ms=D` (SIGSTOP/SIGCONT freeze) clauses
-/// for chaos runs.
+/// query), `pause:worker=R:ms=D` (SIGSTOP/SIGCONT freeze),
+/// `torn:wal@rec=N` (tear the Nth WAL append), and `fsyncfail:ms=D`
+/// (WAL fsyncs start failing) clauses for chaos runs.
+///
+/// `--wal-dir DIR` turns on crash-consistent durability: every
+/// acknowledged mutation is fsynced into a write-ahead log before the
+/// ack leaves, and a restart over the same directory replays the log to
+/// the exact pre-crash epoch. A WAL that cannot be opened (corrupt
+/// beyond its last snapshot, or unsyncable) exits 8 instead of serving
+/// with silent data loss. `--wal-flush-ms MS` sets the group-commit
+/// flush interval (0 = fsync inline on every append).
 fn cmd_pool(p: &ParsedArgs) -> Result<String, CmdError> {
     let graph = p
         .positional
@@ -185,6 +198,15 @@ fn cmd_pool(p: &ParsedArgs) -> Result<String, CmdError> {
                 .map_err(|e| CmdError::general(format!("bad --faults plan: {e}")))?,
         ),
     };
+    let wal_dir = match p.get_str("wal-dir") {
+        None => None,
+        Some(dir) => {
+            let dir = std::path::PathBuf::from(dir);
+            std::fs::create_dir_all(&dir)
+                .map_err(|e| CmdError::general(format!("cannot create {}: {e}", dir.display())))?;
+            Some(dir)
+        }
+    };
     let cfg = PoolConfig {
         addr,
         workers,
@@ -197,6 +219,8 @@ fn cmd_pool(p: &ParsedArgs) -> Result<String, CmdError> {
             ),
         },
         faults,
+        wal_dir: wal_dir.clone(),
+        wal_flush_ms: p.get_or("wal-flush-ms", 5u64).map_err(CmdError::general)?,
         ..PoolConfig::default()
     };
 
@@ -250,8 +274,19 @@ fn cmd_pool(p: &ParsedArgs) -> Result<String, CmdError> {
         cmd
     }));
 
-    let mut pool =
-        start_pool(spawn, cfg).map_err(|e| CmdError::general(format!("cannot start pool: {e}")))?;
+    let mut pool = start_pool(spawn, cfg).map_err(|e| {
+        // `start_pool` signals an unrecoverable WAL (corrupt beyond the
+        // last snapshot, or unsyncable) as InvalidData; that is the
+        // durability-broken exit code, distinct from ordinary failures.
+        if wal_dir.is_some() && e.kind() == std::io::ErrorKind::InvalidData {
+            CmdError {
+                message: format!("cannot start pool: {e}"),
+                code: 8,
+            }
+        } else {
+            CmdError::general(format!("cannot start pool: {e}"))
+        }
+    })?;
 
     println!("SERVE {}", pool.local_addr());
     use std::io::Write as _;
@@ -496,6 +531,10 @@ pub fn cmd_query(p: &ParsedArgs) -> Result<String, CmdError> {
             ),
             code: 7,
         }),
+        Response::WalFault { message } => Err(CmdError {
+            message: format!("durability broken: {message}"),
+            code: 8,
+        }),
         Response::Error { message } => Err(CmdError::general(format!("daemon error: {message}"))),
         Response::Welcome { .. } => Err(CmdError::general("unexpected Welcome")),
     }
@@ -598,6 +637,37 @@ mod tests {
             .contains("cannot connect"));
 
         server.shutdown();
+    }
+
+    #[test]
+    fn wal_fault_maps_to_exit_code_8() {
+        let g = generators::rmat(generators::RmatConfig::new(5, 6), 13);
+        let dir = std::env::temp_dir().join(format!("mrbc-cli-walfault-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spawn = WorkerSpawn::InProcess {
+            graph: g,
+            bc: Box::default(),
+            sched: SchedConfig::default(),
+        };
+        let cfg = PoolConfig {
+            workers: 1,
+            wal_dir: Some(dir.clone()),
+            wal_flush_ms: 0,
+            // The very first WAL append tears: the mutation must be
+            // refused with the durability-broken exit code, not acked.
+            faults: Some("torn:wal@rec=1".parse().expect("plan")),
+            ..PoolConfig::default()
+        };
+        let mut pool = start_pool(spawn, cfg).expect("pool");
+        let addr = pool.local_addr().to_string();
+
+        let p = parse(&sv(&["query", &addr, "mutate", "--add", "0-1"]), &[]).expect("parse");
+        let err = cmd_query(&p).expect_err("torn wal refuses the ack");
+        assert_eq!(err.code, 8, "{err}");
+        assert!(err.message.contains("durability broken"), "{err}");
+
+        pool.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

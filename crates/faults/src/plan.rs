@@ -14,6 +14,8 @@
 //!                            the 0↔2 link is severed for 300 ms starting at round 9
 //! stall:ms=150               the serving batch worker sleeps 150 ms per batch
 //! hangup:session=2           the daemon force-closes its 2nd accepted session
+//! torn:wal@rec=5             the pool front-end's WAL tears (half-writes) its 5th record
+//! fsyncfail:ms=120           WAL fsyncs start failing 120 ms of flush budget in
 //! seed=42                    RNG seed for the probabilistic clauses
 //! ```
 //!
@@ -35,6 +37,15 @@
 //! router has dispatched the given number of queries to that worker, or a
 //! real `SIGSTOP`/`SIGCONT` window — the shared vocabulary between the
 //! chaos harness and the pool integration tests.
+//!
+//! `torn` and `fsyncfail` target the pool front-end's write-ahead log
+//! (`mrbc-serve` with `--wal-dir`): `torn:wal@rec=N` makes the Nth append
+//! write only half its frame before poisoning the log (a simulated crash
+//! mid-write — recovery must truncate the torn tail and keep exactly the
+//! acknowledged prefix), and `fsyncfail:ms=D` makes every fsync fail once
+//! `D` milliseconds of flush budget have been consumed (an unsyncable
+//! disk — the front-end must refuse further acks with `WalFault`, never
+//! acknowledge unsynced data).
 //!
 //! `stall` and `hangup` target the long-running query service
 //! (`mrbc-serve`): `stall` delays the batch worker a wall-clock window
@@ -148,6 +159,13 @@ pub struct FaultPlan {
     /// Serving sessions (1-based accept order) the `mrbc-serve` daemon
     /// force-closes after their first response.
     pub hangups: Vec<u32>,
+    /// 1-based WAL record sequence at which the pool front-end's log
+    /// half-writes the frame and poisons itself (simulated crash
+    /// mid-append); `None` means no torn write.
+    pub torn_wal_rec: Option<u64>,
+    /// Milliseconds of WAL flush budget after which every fsync fails
+    /// (simulated unsyncable disk); 0 means fsyncs never fail.
+    pub fsyncfail_ms: u64,
 }
 
 impl Default for FaultPlan {
@@ -164,6 +182,8 @@ impl Default for FaultPlan {
             partitions: Vec::new(),
             stall_ms: 0,
             hangups: Vec::new(),
+            torn_wal_rec: None,
+            fsyncfail_ms: 0,
         }
     }
 }
@@ -181,6 +201,8 @@ impl FaultPlan {
             && self.partitions.is_empty()
             && self.stall_ms == 0
             && self.hangups.is_empty()
+            && self.torn_wal_rec.is_none()
+            && self.fsyncfail_ms == 0
     }
 
     /// True if the plan contains only masked faults (drops, duplication,
@@ -194,12 +216,16 @@ impl FaultPlan {
     /// A worker *pause* only freezes a process that later resumes with
     /// its state intact — the pool hides it behind hedging/failover, so it
     /// is maskable like `stall`; a worker *kill* destroys in-flight work
-    /// and is not.
+    /// and is not. A torn WAL write or a failing fsync breaks the
+    /// durability contract itself — clients see `WalFault` refusals, so
+    /// neither is masked.
     pub fn is_maskable(&self) -> bool {
         self.crashes.is_empty()
             && self.kills.is_empty()
             && self.worker_kills.is_empty()
             && self.hangups.is_empty()
+            && self.torn_wal_rec.is_none()
+            && self.fsyncfail_ms == 0
     }
 }
 
@@ -334,6 +360,21 @@ impl FromStr for FaultPlan {
                 "stall" => plan.stall_ms = keyed(body, "ms")?,
                 // hangup:session=N — sever the Nth accepted serving session.
                 "hangup" => plan.hangups.push(keyed(body, "session")?),
+                "torn" => {
+                    // torn:wal@rec=N — tear the Nth WAL append.
+                    let (target, rec_kv) = body
+                        .split_once('@')
+                        .ok_or_else(|| err(format!("torn clause {body:?}: expected wal@rec=N")))?;
+                    if target.trim() != "wal" {
+                        return Err(err(format!(
+                            "torn target {:?}: only \"wal\" is supported",
+                            target.trim()
+                        )));
+                    }
+                    plan.torn_wal_rec = Some(keyed(rec_kv, "rec")?);
+                }
+                // fsyncfail:ms=D — WAL fsyncs fail after D ms of flush budget.
+                "fsyncfail" => plan.fsyncfail_ms = keyed(body, "ms")?,
                 "delay" => {
                     // delay:pair=A-B,rounds=K
                     let (pair_kv, rounds_kv) = body.split_once(',').ok_or_else(|| {
@@ -396,6 +437,12 @@ impl fmt::Display for FaultPlan {
         for h in &self.hangups {
             parts.push(format!("hangup:session={h}"));
         }
+        if let Some(rec) = self.torn_wal_rec {
+            parts.push(format!("torn:wal@rec={rec}"));
+        }
+        if self.fsyncfail_ms > 0 {
+            parts.push(format!("fsyncfail:ms={}", self.fsyncfail_ms));
+        }
         parts.push(format!("seed={}", self.seed));
         write!(f, "{}", parts.join(";"))
     }
@@ -449,7 +496,7 @@ mod tests {
         let text = "crash:host=2@round=40;drop:p=0.01;dup:p=0.005;delay:pair=0-3,rounds=2;\
                     kill:host=1@round=12;kill:worker=2@query=25;pause:worker=0:ms=400;\
                     partition:pair=0-2@round=9,ms=300;stall:ms=150;\
-                    hangup:session=2;seed=42";
+                    hangup:session=2;torn:wal@rec=5;fsyncfail:ms=120;seed=42";
         let plan: FaultPlan = text.parse().expect("plan");
         assert_eq!(plan.to_string(), text);
         let again: FaultPlan = plan.to_string().parse().expect("round trip");
@@ -545,12 +592,30 @@ mod tests {
             ("stall:s=5", "expected key"),
             ("hangup:rank=1", "expected key"),
             ("stall:ms=soon", "cannot parse ms"),
+            ("torn:wal", "wal@rec=N"),
+            ("torn:disk@rec=3", "only \"wal\""),
+            ("torn:wal@seq=3", "expected key"),
+            ("fsyncfail:ms=never", "cannot parse ms"),
+            ("fsyncfail:after=9", "expected key"),
             ("seed=banana", "seed"),
             ("justaword", "no kind"),
         ] {
             let got = text.parse::<FaultPlan>().expect_err(text);
             assert!(got.0.contains(needle), "{text}: {got:?} missing {needle:?}");
         }
+    }
+
+    #[test]
+    fn wal_clauses_parse_and_are_never_masked() {
+        let plan: FaultPlan = "torn:wal@rec=7".parse().expect("plan");
+        assert_eq!(plan.torn_wal_rec, Some(7));
+        assert!(!plan.is_empty());
+        assert!(!plan.is_maskable(), "a torn WAL write surfaces to clients");
+
+        let plan: FaultPlan = "fsyncfail:ms=250".parse().expect("plan");
+        assert_eq!(plan.fsyncfail_ms, 250);
+        assert!(!plan.is_empty());
+        assert!(!plan.is_maskable(), "a failing fsync surfaces to clients");
     }
 
     #[test]

@@ -118,6 +118,8 @@ pub struct Welcome {
     pub now_us: u64,
     /// The daemon's OS pid (its trace process track).
     pub pid: u64,
+    /// The daemon's WAL generation (0 = not running durably).
+    pub generation: u64,
 }
 
 /// A connected, handshaken query-service client.
@@ -170,15 +172,17 @@ impl ServeClient {
                 edges: 0,
                 now_us: 0,
                 pid: 0,
+                generation: 0,
             },
         };
-        match client.call(&Request::Hello)? {
+        match client.call(&Request::Hello { generation: 0 })? {
             Response::Welcome {
                 epoch,
                 vertices,
                 edges,
                 now_us,
                 pid,
+                generation,
             } => {
                 client.welcome = Welcome {
                     epoch,
@@ -186,6 +190,7 @@ impl ServeClient {
                     edges,
                     now_us,
                     pid,
+                    generation,
                 };
                 Ok(client)
             }
@@ -237,6 +242,11 @@ impl ServeClient {
     fn expect_err(got: Response) -> ClientError {
         match got {
             Response::Error { message } => ClientError::Protocol(message),
+            // Permanent by design: the server's WAL can no longer honour
+            // the durability contract, so a resend would not help.
+            Response::WalFault { message } => {
+                ClientError::Protocol(format!("wal fault: {message}"))
+            }
             other => ClientError::Protocol(format!("unexpected response: {other:?}")),
         }
     }
@@ -537,12 +547,13 @@ mod tests {
                 while let Some(body) = dec.next_body().expect("envelope") {
                     let (id, _ctx, req) = crate::proto::decode_request(&body).expect("request");
                     let resp = match req {
-                        Request::Hello => Response::Welcome {
+                        Request::Hello { .. } => Response::Welcome {
                             epoch: 1,
                             vertices: 3,
                             edges: 2,
                             now_us: 10,
                             pid: 77,
+                            generation: 0,
                         },
                         Request::Stats if retries_sent < 2 => {
                             retries_sent += 1;

@@ -27,6 +27,7 @@
 //! the integration tests enforce.
 
 pub mod client;
+pub mod durable;
 pub mod pool;
 pub mod proto;
 pub mod sched;
@@ -34,6 +35,7 @@ pub mod server;
 pub mod store;
 
 pub use client::{ClientConfig, ClientError, RetryClient, ServeClient, Welcome};
+pub use durable::{DurableLog, DurableRecovery};
 pub use pool::{start_pool, Pool, PoolConfig, PoolStats, WorkerSpawn};
 pub use proto::{MutateOp, Request, Response, ServeStats, TraceCtx};
 pub use sched::SchedConfig;

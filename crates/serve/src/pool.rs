@@ -45,6 +45,7 @@
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -58,7 +59,9 @@ use mrbc_net::detector::{DetectorConfig, HeartbeatDetector, PeerStatus};
 use mrbc_net::mesh::now_ms;
 use mrbc_obs as obs;
 use mrbc_util::framing::{self, EnvelopeDecoder};
+use mrbc_util::wal::{WalConfig, WalError};
 
+use crate::durable::DurableLog;
 use crate::proto::{
     decode_request, decode_response, encode_request, encode_response, MutateOp, Request, Response,
     ServeStats, TraceCtx,
@@ -111,9 +114,20 @@ pub struct PoolConfig {
     /// When set, a query unanswered for this long is hedged: dispatched
     /// a second time to a sibling worker, first answer wins.
     pub hedge_after_ms: Option<u64>,
-    /// Chaos clauses (`kill:worker=`, `pause:worker=`) executed by the
-    /// supervisor.
+    /// Chaos clauses (`kill:worker=`, `pause:worker=`, `torn:wal@rec=`,
+    /// `fsyncfail:ms=`) executed by the supervisor and the WAL.
     pub faults: Option<FaultPlan>,
+    /// Write-ahead-log directory. When set, every acknowledged mutation
+    /// is fsync-covered before its `Mutated` reply leaves the front-end,
+    /// and a restarted front-end recovers snapshot + log replay to the
+    /// exact pre-crash epoch. `None` = legacy in-memory-only mode.
+    pub wal_dir: Option<PathBuf>,
+    /// Group-commit flush interval for the WAL, milliseconds
+    /// (0 = fsync per mutation).
+    pub wal_flush_ms: u64,
+    /// Snapshot + compact the WAL once this many mutations have been
+    /// appended since the last snapshot.
+    pub wal_snapshot_every: usize,
 }
 
 impl Default for PoolConfig {
@@ -126,6 +140,9 @@ impl Default for PoolConfig {
             retry_after_ms: 100,
             hedge_after_ms: None,
             faults: None,
+            wal_dir: None,
+            wal_flush_ms: 5,
+            wal_snapshot_every: 64,
         }
     }
 }
@@ -347,8 +364,21 @@ struct PoolShared {
     graph_info: Mutex<(u64, u64)>,
     /// Every mutation ever accepted, in acceptance order. Guards both
     /// append+broadcast and replay+reattach, so a respawning worker can
-    /// never miss or reorder a mutation.
+    /// never miss or reorder a mutation. Seeded from the WAL on a
+    /// durable restart, so respawned workers bootstrap from
+    /// snapshot + suffix instead of an empty in-memory history.
     mutation_log: Mutex<Vec<(MutateOp, u32, u32)>>,
+    /// The durable write-ahead log (`None` = legacy in-memory mode).
+    durable: Option<DurableLog>,
+    /// This front-end's fencing generation (0 without a WAL). Sent in
+    /// every worker Hello and reported in client Welcomes.
+    generation: u64,
+    /// Cumulative [`ServeStats`] recovered from the WAL snapshot:
+    /// pre-crash counter/histogram totals merged into every
+    /// post-restart aggregation so `query stats` survives respawn.
+    stats_base: Mutex<ServeStats>,
+    /// Mutations appended since the last WAL snapshot compaction.
+    wal_snapshot_every: usize,
     counters: PoolCounters,
     /// Down-detected → ready-again durations, ms (chaos harness reads).
     recoveries_ms: Mutex<Vec<u64>>,
@@ -370,6 +400,17 @@ impl PoolShared {
 
     fn first_alive(&self) -> Option<usize> {
         (0..self.workers).find(|&r| self.conn_of(r).is_some())
+    }
+
+    /// The WAL durability barrier: appends the mutation and blocks until
+    /// its covering fsync (a no-op without `--wal-dir`). Every
+    /// `Response::Mutated` ack the front-end constructs must be preceded
+    /// by this call — the `ackdurable` lint enforces the ordering.
+    fn append_durable(&self, op: MutateOp, u: u32, v: u32) -> Result<(), WalError> {
+        match &self.durable {
+            Some(log) => log.append_durable(op, u, v).map(|_seq| ()),
+            None => Ok(()),
+        }
     }
 
     fn retry(&self) -> Response {
@@ -409,6 +450,34 @@ pub fn start_pool(spawn: WorkerSpawn, cfg: PoolConfig) -> io::Result<Pool> {
     listener.set_nonblocking(true)?;
     let local_addr = listener.local_addr()?;
 
+    // Open the WAL and recover BEFORE any worker exists: the recovered
+    // history seeds the mutation log, so the normal bring-up replay
+    // path restores every worker to the exact pre-crash epoch. A
+    // corrupt-beyond-snapshot or unsyncable log refuses to start
+    // (`InvalidData`, CLI exit code 8) — never a silent fresh start.
+    let (durable, recovered) = match &cfg.wal_dir {
+        Some(dir) => {
+            let wal_cfg = WalConfig {
+                flush_interval_ms: cfg.wal_flush_ms,
+                torn_at_rec: cfg.faults.as_ref().and_then(|p| p.torn_wal_rec),
+                fsyncfail_ms: cfg.faults.as_ref().map_or(0, |p| p.fsyncfail_ms),
+                ..WalConfig::default()
+            };
+            let (log, rec) = DurableLog::open(dir, wal_cfg).map_err(|e| match e {
+                WalError::Io(m) => io::Error::other(format!("wal: {m}")),
+                other => io::Error::new(io::ErrorKind::InvalidData, format!("{other}")),
+            })?;
+            obs::flight::note(
+                "pool.wal_recovered",
+                rec.mutations.len() as u64,
+                log.generation(),
+            );
+            (Some(log), rec)
+        }
+        None => (None, crate::durable::DurableRecovery::default()),
+    };
+    let generation = durable.as_ref().map_or(0, DurableLog::generation);
+
     let shared = Arc::new(PoolShared {
         workers: cfg.workers,
         dispatch_timeout_ms: cfg.dispatch_timeout_ms,
@@ -426,7 +495,11 @@ pub fn start_pool(spawn: WorkerSpawn, cfg: PoolConfig) -> io::Result<Pool> {
         next_id: AtomicU64::new(1),
         epoch: AtomicU64::new(1),
         graph_info: Mutex::new((0, 0)),
-        mutation_log: Mutex::new(Vec::new()),
+        mutation_log: Mutex::new(recovered.mutations),
+        durable,
+        generation,
+        stats_base: Mutex::new(recovered.stats),
+        wal_snapshot_every: cfg.wal_snapshot_every.max(1),
         counters: PoolCounters::default(),
         recoveries_ms: Mutex::new(Vec::new()),
     });
@@ -468,6 +541,11 @@ impl Pool {
     /// Highest graph epoch observed across workers.
     pub fn epoch(&self) -> u64 {
         self.shared.epoch.load(Ordering::SeqCst)
+    }
+
+    /// This front-end's WAL fencing generation (0 without `--wal-dir`).
+    pub fn generation(&self) -> u64 {
+        self.shared.generation
     }
 
     /// Pool-level counters snapshot.
@@ -779,7 +857,13 @@ fn bring_up_worker(
     // bracket the worker's own monotonic reading t1 (`Welcome.now_us`),
     // giving the trace merger this worker's clock offset.
     let t0 = obs::now_us();
-    let welcome = call_conn(shared, &conn, &Request::Hello, HANDSHAKE_MS);
+    // The Hello carries this front-end's WAL generation: a worker that
+    // has already greeted a newer front-end refuses it (split-brain
+    // fencing after a restart race).
+    let hello = Request::Hello {
+        generation: shared.generation,
+    };
+    let welcome = call_conn(shared, &conn, &hello, HANDSHAKE_MS);
     let t2 = obs::now_us();
     let Some(Response::Welcome {
         vertices,
@@ -808,14 +892,18 @@ fn bring_up_worker(
         };
         for &(op, u, v) in log.iter() {
             let replayed = call_conn(shared, &conn, &Request::Mutate { op, u, v }, HANDSHAKE_MS);
-            if !matches!(replayed, Some(Response::Mutated { .. })) {
+            let Some(Response::Mutated { epoch, .. }) = replayed else {
                 conn.drain_dead();
                 drop(log);
                 return abort(
                     backend,
                     io::Error::other("mutation replay failed during recovery"),
                 );
-            }
+            };
+            // Replay is how a restarted front-end rediscovers the
+            // pre-crash epoch: every worker converges to it, and Welcome
+            // must advertise it before the first live query.
+            shared.epoch.fetch_max(epoch, Ordering::SeqCst);
             shared
                 .counters
                 .replayed_mutations
@@ -871,6 +959,9 @@ fn supervise_loop(shared: &Arc<PoolShared>, mut spawner: WorkerSpawn, faults: Op
         kills_fired: vec![false; plan.worker_kills.len()],
         pauses_fired: vec![false; plan.worker_pauses.len()],
     };
+    // Mutations already covered by the recovered snapshot + log need no
+    // immediate re-snapshot; start counting from the recovered history.
+    let mut last_snap = shared.mutation_log.lock().map(|l| l.len()).unwrap_or(0);
 
     while !shared.shutdown.load(Ordering::SeqCst) {
         let now = now_ms();
@@ -936,8 +1027,15 @@ fn supervise_loop(shared: &Arc<PoolShared>, mut spawner: WorkerSpawn, faults: Op
             }
         }
 
+        maybe_snapshot(shared, &mut last_snap, shared.wal_snapshot_every);
+
         thread::sleep(SUPERVISE_EVERY);
     }
+
+    // Final snapshot before tearing the workers down (their stats are
+    // still reachable here), so a clean shutdown restarts from a compact
+    // log and `query stats` counters carry across the restart.
+    maybe_snapshot(shared, &mut last_snap, 1);
 
     // Shutdown: stop every worker. Best-effort protocol goodbye first so
     // process workers exit cleanly, then the hard kill. A worker that
@@ -954,6 +1052,45 @@ fn supervise_loop(shared: &Arc<PoolShared>, mut spawner: WorkerSpawn, faults: Op
             }
         }
         tear_down_worker(shared, rank);
+    }
+}
+
+/// Writes an epoch snapshot once `every` new mutations have accumulated
+/// since the last one (the shutdown path passes `every = 1` to flush any
+/// tail). Stats are aggregated *before* taking the mutation-log lock —
+/// worker stats calls can block for seconds and must not stall the
+/// mutation path — but the snapshot itself is written while holding the
+/// lock, so a concurrent append can never land inside the covered range
+/// without being in the payload. Lock order (mutation_log → wal state)
+/// matches `broadcast_mutate` → `append_durable`, so no deadlock.
+fn maybe_snapshot(shared: &Arc<PoolShared>, last_snap: &mut usize, every: usize) {
+    let Some(durable) = &shared.durable else {
+        return;
+    };
+    let len_now = shared.mutation_log.lock().map(|l| l.len()).unwrap_or(0);
+    if len_now < last_snap.saturating_add(every) {
+        return;
+    }
+    let stats = match aggregate_stats(shared) {
+        Response::Stats(s) => s,
+        _ => return, // no worker answered; retry on the next pump
+    };
+    let Ok(log) = shared.mutation_log.lock() else {
+        return;
+    };
+    if log.len() < last_snap.saturating_add(every) {
+        return;
+    }
+    match durable.snapshot(&log, &stats) {
+        Ok(seq) => {
+            *last_snap = log.len();
+            obs::flight::note("pool.wal_snapshot", log.len() as u64, seq);
+        }
+        Err(_) => {
+            // Non-fatal: appends still carry the durability contract on
+            // the un-compacted log; the next pump retries.
+            obs::flight::note("pool.wal_snapshot_failed", log.len() as u64, 0);
+        }
     }
 }
 
@@ -1159,6 +1296,26 @@ fn aggregate_stats(shared: &Arc<PoolShared>) -> Response {
     total.hedge_fired = c.hedges.load(Ordering::Relaxed);
     total.failover_attempts = c.failovers.load(Ordering::Relaxed);
     total.replay_mutations = c.replayed_mutations.load(Ordering::Relaxed);
+    // Fold in the persisted pre-restart base so `query stats` reports
+    // cumulative counters across front-end generations, not just since
+    // the last respawn. Monotonic-gauge fields (epoch, mutations) take
+    // max; flow counters add; queue_depth is instantaneous so the base
+    // contributes nothing.
+    if let Ok(base) = shared.stats_base.lock() {
+        total.epoch = total.epoch.max(base.epoch);
+        total.queries += base.queries;
+        total.source_queries += base.source_queries;
+        total.batches += base.batches;
+        total.batched_sources += base.batched_sources;
+        total.busy_rejections += base.busy_rejections;
+        total.stale_rejections += base.stale_rejections;
+        total.mutations = total.mutations.max(base.mutations);
+        total.sessions += base.sessions;
+        total.hedge_fired += base.hedge_fired;
+        total.failover_attempts += base.failover_attempts;
+        total.replay_mutations += base.replay_mutations;
+        total.merge_hists(&base);
+    }
     Response::Stats(total)
 }
 
@@ -1169,7 +1326,7 @@ fn broadcast_mutate(shared: &Arc<PoolShared>, op: MutateOp, u: u32, v: u32) -> R
         return shared.retry();
     };
     log.push((op, u, v));
-    let mut reply: Option<Response> = None;
+    let mut reply: Option<(u64, bool)> = None;
     for rank in 0..shared.workers {
         let Some(conn) = shared.conn_of(rank) else {
             continue;
@@ -1184,7 +1341,7 @@ fn broadcast_mutate(shared: &Arc<PoolShared>, op: MutateOp, u: u32, v: u32) -> R
             Some(Response::Mutated { epoch, applied }) => {
                 shared.epoch.fetch_max(epoch, Ordering::SeqCst);
                 if reply.is_none() {
-                    reply = Some(Response::Mutated { epoch, applied });
+                    reply = Some((epoch, applied));
                 }
             }
             Some(Response::Error { message }) if reply.is_none() => {
@@ -1201,7 +1358,22 @@ fn broadcast_mutate(shared: &Arc<PoolShared>, op: MutateOp, u: u32, v: u32) -> R
         }
     }
     match reply {
-        Some(r) => r,
+        Some((epoch, applied)) => {
+            // Durability barrier: the mutation must be fsync-covered in
+            // the WAL *before* the acknowledgement exists, or a crash
+            // between ack and append would lose an acknowledged write.
+            if let Err(e) = shared.append_durable(op, u, v) {
+                // The log can no longer honour the contract (fsync
+                // failure or injected torn write); refuse the ack. The
+                // workers did apply the mutation, but the client was
+                // never told it stuck — exactly the at-most-once story
+                // a retry against a recovered front-end preserves.
+                return Response::WalFault {
+                    message: e.to_string(),
+                };
+            }
+            Response::Mutated { epoch, applied }
+        }
         None => {
             // Nobody took the mutation; withdraw it so a later retry is
             // not applied twice.
@@ -1316,7 +1488,7 @@ fn fan_out_subset(
 /// context whose parent is the routing span.
 fn route(shared: &Arc<PoolShared>, ctx: TraceCtx, req: &Request) -> Response {
     match req {
-        Request::Hello => {
+        Request::Hello { .. } => {
             let (vertices, edges) = shared.graph_info.lock().map(|g| *g).unwrap_or((0, 0));
             Response::Welcome {
                 epoch: shared.epoch.load(Ordering::SeqCst),
@@ -1324,6 +1496,7 @@ fn route(shared: &Arc<PoolShared>, ctx: TraceCtx, req: &Request) -> Response {
                 edges,
                 now_us: obs::now_us(),
                 pid: u64::from(std::process::id()),
+                generation: shared.generation,
             }
         }
         Request::Stats => aggregate_stats(shared),
@@ -1449,14 +1622,14 @@ fn session_loop(mut stream: TcpStream, shared: &Arc<PoolShared>) {
                     break 'pump;
                 }
             };
-            if !greeted && !matches!(req, Request::Hello) {
+            if !greeted && !matches!(req, Request::Hello { .. }) {
                 let resp = Response::Error {
                     message: "handshake required before queries".to_string(),
                 };
                 drop(write_frame(&mut stream, id, &resp));
                 break 'pump;
             }
-            if matches!(req, Request::Hello) {
+            if matches!(req, Request::Hello { .. }) {
                 greeted = true;
             }
             let is_bye = matches!(req, Request::Shutdown);
@@ -1676,5 +1849,78 @@ mod tests {
         c.shutdown().expect("bye");
         pool.wait();
         assert!(pool.is_shutting_down());
+    }
+
+    fn durable_pool(workers: usize, wal_dir: &std::path::Path) -> Pool {
+        let spawn = WorkerSpawn::InProcess {
+            graph: test_graph(),
+            bc: Box::default(),
+            sched: SchedConfig::default(),
+        };
+        let cfg = PoolConfig {
+            workers,
+            dispatch_timeout_ms: 20_000,
+            detector: DetectorConfig {
+                heartbeat_every_ms: 20,
+                suspect_after_ms: 200,
+                dead_after_ms: 800,
+            },
+            wal_dir: Some(wal_dir.to_path_buf()),
+            wal_flush_ms: 0, // inline fsync: deterministic for tests
+            ..PoolConfig::default()
+        };
+        start_pool(spawn, cfg).expect("pool starts")
+    }
+
+    #[test]
+    fn durable_pool_recovers_epoch_stats_and_bc_across_restart() {
+        let dir = std::env::temp_dir().join(format!("mrbc-pool-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let (bc_before, gen_before, muts_before) = {
+            let mut pool = durable_pool(2, &dir);
+            let gen = pool.generation();
+            assert!(gen >= 1, "WAL assigns a nonzero generation");
+            let mut c = quick_client(pool.local_addr());
+            assert_eq!(c.welcome().generation, gen);
+            let (e1, applied) = c.mutate(MutateOp::AddEdge, 0, 5).expect("m1");
+            assert!(applied);
+            assert_eq!(e1, 2);
+            let (e2, _) = c.mutate(MutateOp::RemoveEdge, 3, 9).expect("m2");
+            assert_eq!(e2, 3);
+            let (_, score) = c.bc_score(0, 6).expect("bc");
+            let stats = c.stats().expect("stats");
+            c.shutdown().expect("bye");
+            pool.wait();
+            (score, gen, stats.mutations)
+        };
+        assert_eq!(muts_before, 2);
+
+        // A fresh front-end over the same WAL dir recovers the exact
+        // acknowledged epoch, a newer generation, the cumulative stats
+        // base, and bit-identical BC.
+        let mut pool = durable_pool(2, &dir);
+        assert!(pool.generation() > gen_before, "generation is monotone");
+        let mut c = quick_client(pool.local_addr());
+        let w = c.welcome();
+        assert_eq!(w.epoch, 3, "recovered to the exact pre-shutdown epoch");
+        let (_, score) = c.bc_score(0, 6).expect("bc after recovery");
+        assert_eq!(
+            score.to_bits(),
+            bc_before.to_bits(),
+            "bit-identical BC after crash-consistent recovery"
+        );
+        let stats = c.stats().expect("stats after recovery");
+        assert_eq!(
+            stats.mutations, 2,
+            "mutation counter survives the restart via the stats base"
+        );
+        assert!(
+            stats.queries >= 1,
+            "pre-restart query counters merge into post-restart totals"
+        );
+        c.shutdown().expect("bye");
+        pool.wait();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

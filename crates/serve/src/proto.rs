@@ -34,7 +34,10 @@ pub const SERVE_MAGIC: u32 = 0x5653_524D;
 /// Query-protocol version; bumped on any wire-format change.
 /// v2: trace-context request header, Welcome clock/pid fields,
 /// quantile-histogram + pool-counter Stats extension.
-pub const SERVE_VERSION: u32 = 2;
+/// v3: generation number in Hello/Welcome (split-brain fencing for
+/// restarted pool front-ends) and the WalFault response (durability
+/// lost; maps to exit code 8).
+pub const SERVE_VERSION: u32 = 3;
 
 /// Trace correlation context carried on every request: the originating
 /// query's trace id and the span id of the sender's enclosing span.
@@ -108,7 +111,14 @@ impl MutateOp {
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
     /// Handshake: magic + version; answered by [`Response::Welcome`].
-    Hello,
+    Hello {
+        /// The caller's WAL generation (0 = none: ordinary clients).
+        /// A durable pool front-end sends its persisted generation when
+        /// greeting workers; a worker remembers the highest it has seen
+        /// and refuses older ones, fencing a stale pre-restart
+        /// front-end out of a split-brain double-serving race.
+        generation: u64,
+    },
     /// Betweenness score of one vertex (from the epoch's full BC vector).
     BcScore {
         /// Epoch pin (0 = current).
@@ -247,6 +257,81 @@ impl ServeStats {
     }
 }
 
+/// Encodes a [`ServeStats`] snapshot (the body of [`Response::Stats`];
+/// also the stats half of the pool's durable WAL snapshot, so cumulative
+/// counters survive a front-end restart).
+pub fn encode_stats(w: &mut WireWriter, s: &ServeStats) {
+    w.u64(s.epoch);
+    w.u64(s.queries);
+    w.u64(s.source_queries);
+    w.u64(s.batches);
+    w.u64(s.batched_sources);
+    w.u64(s.busy_rejections);
+    w.u64(s.stale_rejections);
+    w.u64(s.mutations);
+    w.u64(s.sessions);
+    w.u64(s.queue_depth);
+    w.u64(s.hedge_fired);
+    w.u64(s.failover_attempts);
+    w.u64(s.replay_mutations);
+    w.u32(s.hists.len() as u32);
+    for (name, h) in &s.hists {
+        w.bytes(name.as_bytes());
+        w.u64(h.count());
+        w.u64(h.sum());
+        w.u64(h.min());
+        w.u64(h.max());
+        let nz = h.nonzero_indexed();
+        w.u32(nz.len() as u32);
+        for (i, c) in nz {
+            w.u32(i);
+            w.u64(c);
+        }
+    }
+}
+
+/// Decodes a [`ServeStats`] snapshot written by [`encode_stats`].
+pub fn decode_stats(r: &mut WireReader<'_>) -> Result<ServeStats, WireError> {
+    let mut s = ServeStats {
+        epoch: r.u64()?,
+        queries: r.u64()?,
+        source_queries: r.u64()?,
+        batches: r.u64()?,
+        batched_sources: r.u64()?,
+        busy_rejections: r.u64()?,
+        stale_rejections: r.u64()?,
+        mutations: r.u64()?,
+        sessions: r.u64()?,
+        queue_depth: r.u64()?,
+        hedge_fired: r.u64()?,
+        failover_attempts: r.u64()?,
+        replay_mutations: r.u64()?,
+        hists: Vec::new(),
+    };
+    let nhists = r.u32()? as usize;
+    if nhists > r.remaining() {
+        return Err(WireError::Invalid("histogram count exceeds body"));
+    }
+    for _ in 0..nhists {
+        let name = String::from_utf8_lossy(r.bytes()?).into_owned();
+        let (count, sum, min, max) = (r.u64()?, r.u64()?, r.u64()?, r.u64()?);
+        let nbuckets = r.u32()? as usize;
+        if nbuckets > r.remaining() {
+            return Err(WireError::Invalid("bucket count exceeds body"));
+        }
+        let mut nz = Vec::with_capacity(nbuckets);
+        for _ in 0..nbuckets {
+            let i = r.u32()?;
+            let c = r.u64()?;
+            nz.push((i, c));
+        }
+        let h = Histogram::from_wire(count, sum, min, max, &nz)
+            .ok_or(WireError::Invalid("inconsistent histogram"))?;
+        s.hists.push((name, h));
+    }
+    Ok(s)
+}
+
 /// A daemon response. Every variant that reports results carries the
 /// epoch the answer was computed against.
 #[derive(Clone, Debug, PartialEq)]
@@ -266,6 +351,10 @@ pub enum Response {
         /// The server's OS pid, matching the `pid` in its trace export
         /// and flight-recorder dumps.
         pid: u64,
+        /// The server's WAL generation (0 = not durable). A pool
+        /// front-end reports its own persisted generation; a worker
+        /// echoes the highest front-end generation it has accepted.
+        generation: u64,
     },
     /// Answer to [`Request::BcScore`].
     BcValue {
@@ -348,6 +437,15 @@ pub enum Response {
         /// Requested sources with no contribution in `scores`.
         missing_sources: Vec<u32>,
     },
+    /// Durability lost: the front-end's WAL cannot accept the mutation
+    /// (fsync failed or the log is corrupt beyond the snapshot). The
+    /// mutation was **not** acknowledged and was not applied durably;
+    /// reads keep working, but every further mutation gets this answer
+    /// until an operator replaces the log. Maps to CLI exit code 8.
+    WalFault {
+        /// Human-readable failure description.
+        message: String,
+    },
 }
 
 /// Encodes a request body (unsealed — wrap with [`framing::seal`]).
@@ -361,9 +459,10 @@ pub fn encode_request(id: u64, ctx: TraceCtx, req: &Request) -> Vec<u8> {
         w.u64(ctx.parent);
     };
     match req {
-        Request::Hello => {
+        Request::Hello { generation } => {
             header(&mut w, 0);
             framing::write_preamble(&mut w, SERVE_MAGIC, SERVE_VERSION);
+            w.u64(*generation);
         }
         Request::BcScore { epoch, v } => {
             header(&mut w, 1);
@@ -419,7 +518,9 @@ pub fn decode_request(body: &[u8]) -> Result<(u64, TraceCtx, Request), WireError
     let req = match tag {
         0 => {
             framing::check_preamble(&mut r, SERVE_MAGIC, SERVE_VERSION)?;
-            Request::Hello
+            Request::Hello {
+                generation: r.u64()?,
+            }
         }
         1 => Request::BcScore {
             epoch: r.u64()?,
@@ -473,6 +574,7 @@ pub fn encode_response(id: u64, resp: &Response) -> Vec<u8> {
             edges,
             now_us,
             pid,
+            generation,
         } => {
             w.u8(0);
             w.u64(id);
@@ -482,6 +584,7 @@ pub fn encode_response(id: u64, resp: &Response) -> Vec<u8> {
             w.u64(*edges);
             w.u64(*now_us);
             w.u64(*pid);
+            w.u64(*generation);
         }
         Response::BcValue { epoch, score } => {
             w.u8(1);
@@ -524,33 +627,7 @@ pub fn encode_response(id: u64, resp: &Response) -> Vec<u8> {
         Response::Stats(s) => {
             w.u8(6);
             w.u64(id);
-            w.u64(s.epoch);
-            w.u64(s.queries);
-            w.u64(s.source_queries);
-            w.u64(s.batches);
-            w.u64(s.batched_sources);
-            w.u64(s.busy_rejections);
-            w.u64(s.stale_rejections);
-            w.u64(s.mutations);
-            w.u64(s.sessions);
-            w.u64(s.queue_depth);
-            w.u64(s.hedge_fired);
-            w.u64(s.failover_attempts);
-            w.u64(s.replay_mutations);
-            w.u32(s.hists.len() as u32);
-            for (name, h) in &s.hists {
-                w.bytes(name.as_bytes());
-                w.u64(h.count());
-                w.u64(h.sum());
-                w.u64(h.min());
-                w.u64(h.max());
-                let nz = h.nonzero_indexed();
-                w.u32(nz.len() as u32);
-                for (i, c) in nz {
-                    w.u32(i);
-                    w.u64(c);
-                }
-            }
+            encode_stats(&mut w, s);
         }
         Response::Busy { queued, capacity } => {
             w.u8(7);
@@ -595,6 +672,11 @@ pub fn encode_response(id: u64, resp: &Response) -> Vec<u8> {
                 w.u32(*s);
             }
         }
+        Response::WalFault { message } => {
+            w.u8(13);
+            w.u64(id);
+            w.bytes(message.as_bytes());
+        }
     }
     w.into_bytes()
 }
@@ -613,6 +695,7 @@ pub fn decode_response(body: &[u8]) -> Result<(u64, Response), WireError> {
                 edges: r.u64()?,
                 now_us: r.u64()?,
                 pid: r.u64()?,
+                generation: r.u64()?,
             }
         }
         1 => Response::BcValue {
@@ -654,46 +737,7 @@ pub fn decode_response(body: &[u8]) -> Result<(u64, Response), WireError> {
             epoch: r.u64()?,
             applied: r.u8()? != 0,
         },
-        6 => {
-            let mut s = ServeStats {
-                epoch: r.u64()?,
-                queries: r.u64()?,
-                source_queries: r.u64()?,
-                batches: r.u64()?,
-                batched_sources: r.u64()?,
-                busy_rejections: r.u64()?,
-                stale_rejections: r.u64()?,
-                mutations: r.u64()?,
-                sessions: r.u64()?,
-                queue_depth: r.u64()?,
-                hedge_fired: r.u64()?,
-                failover_attempts: r.u64()?,
-                replay_mutations: r.u64()?,
-                hists: Vec::new(),
-            };
-            let nhists = r.u32()? as usize;
-            if nhists > body.len() {
-                return Err(WireError::Invalid("histogram count exceeds body"));
-            }
-            for _ in 0..nhists {
-                let name = String::from_utf8_lossy(r.bytes()?).into_owned();
-                let (count, sum, min, max) = (r.u64()?, r.u64()?, r.u64()?, r.u64()?);
-                let nbuckets = r.u32()? as usize;
-                if nbuckets > body.len() {
-                    return Err(WireError::Invalid("bucket count exceeds body"));
-                }
-                let mut nz = Vec::with_capacity(nbuckets);
-                for _ in 0..nbuckets {
-                    let i = r.u32()?;
-                    let c = r.u64()?;
-                    nz.push((i, c));
-                }
-                let h = Histogram::from_wire(count, sum, min, max, &nz)
-                    .ok_or(WireError::Invalid("inconsistent histogram"))?;
-                s.hists.push((name, h));
-            }
-            Response::Stats(s)
-        }
+        6 => Response::Stats(decode_stats(&mut r)?),
         7 => Response::Busy {
             queued: r.u32()?,
             capacity: r.u32()?,
@@ -731,6 +775,9 @@ pub fn decode_response(body: &[u8]) -> Result<(u64, Response), WireError> {
                 missing_sources,
             }
         }
+        13 => Response::WalFault {
+            message: String::from_utf8_lossy(r.bytes()?).into_owned(),
+        },
         _ => return Err(WireError::Invalid("unknown response tag")),
     };
     if !r.is_empty() {
@@ -746,7 +793,8 @@ mod tests {
     #[test]
     fn every_request_roundtrips() {
         let reqs = [
-            Request::Hello,
+            Request::Hello { generation: 0 },
+            Request::Hello { generation: 7 },
             Request::BcScore { epoch: 3, v: 17 },
             Request::TopK { epoch: 0, k: 10 },
             Request::PathInfo {
@@ -811,6 +859,7 @@ mod tests {
                 edges: 500,
                 now_us: 123_456,
                 pid: 9876,
+                generation: 3,
             },
             Response::BcValue {
                 epoch: 2,
@@ -880,6 +929,9 @@ mod tests {
                 scores: vec![],
                 missing_sources: vec![],
             },
+            Response::WalFault {
+                message: "wal fsync failed: injected".into(),
+            },
         ];
         for (i, resp) in resps.iter().enumerate() {
             let id = i as u64;
@@ -907,7 +959,7 @@ mod tests {
         assert!(decode_response(&[99, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
         // Hello with a foreign magic (the preamble starts after the
         // 25-byte tag + id + trace-context header).
-        let mut hello = encode_request(1, TraceCtx::NONE, &Request::Hello);
+        let mut hello = encode_request(1, TraceCtx::NONE, &Request::Hello { generation: 0 });
         hello[25] ^= 0xFF;
         assert!(decode_request(&hello).is_err());
         // Trailing garbage.

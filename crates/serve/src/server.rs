@@ -28,7 +28,7 @@
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
@@ -77,6 +77,10 @@ struct Shared {
     store: EpochStore,
     sched: Scheduler,
     shutdown: AtomicBool,
+    /// Highest WAL generation any greeting front-end has presented.
+    /// A Hello carrying an older nonzero generation is refused — it
+    /// comes from a pre-restart front-end that lost a split-brain race.
+    max_generation: AtomicU64,
 }
 
 impl Shared {
@@ -106,6 +110,7 @@ pub fn start(graph: CsrGraph, cfg: ServeConfig) -> io::Result<Server> {
         store: EpochStore::new(graph, cfg.bc.clone()),
         sched: Scheduler::new(cfg.sched),
         shutdown: AtomicBool::new(false),
+        max_generation: AtomicU64::new(0),
     });
 
     let stall = Duration::from_millis(u64::from(cfg.faults.as_ref().map_or(0, |p| p.stall_ms)));
@@ -278,7 +283,7 @@ fn session_loop(mut stream: TcpStream, shared: &Arc<Shared>, session: u64, sever
                     break 'pump;
                 }
             };
-            if !greeted && !matches!(req, Request::Hello) {
+            if !greeted && !matches!(req, Request::Hello { .. }) {
                 let resp = Response::Error {
                     message: "handshake required before queries".to_string(),
                 };
@@ -286,7 +291,24 @@ fn session_loop(mut stream: TcpStream, shared: &Arc<Shared>, session: u64, sever
                 break 'pump;
             }
             match req {
-                Request::Hello => {
+                Request::Hello { generation } => {
+                    // Generation fencing: remember the highest front-end
+                    // generation ever greeted; refuse older nonzero ones
+                    // (a stale pre-restart front-end racing its
+                    // successor). Ordinary clients send 0 and pass.
+                    let prev = shared
+                        .max_generation
+                        .fetch_max(generation, Ordering::SeqCst);
+                    if generation != 0 && generation < prev {
+                        let resp = Response::Error {
+                            message: format!(
+                                "stale generation {generation}: a newer front-end \
+                                 (generation {prev}) already owns this worker"
+                            ),
+                        };
+                        drop(write_response(&mut stream, id, &resp));
+                        break 'pump;
+                    }
                     greeted = true;
                     let (vertices, edges) = shared.store.graph_info();
                     // `now_us` is the t1 of the pool's NTP-style clock
@@ -297,6 +319,7 @@ fn session_loop(mut stream: TcpStream, shared: &Arc<Shared>, session: u64, sever
                         edges,
                         now_us: obs::now_us(),
                         pid: u64::from(std::process::id()),
+                        generation: shared.max_generation.load(Ordering::SeqCst),
                     };
                     if write_response(&mut stream, id, &resp).is_err() {
                         break 'pump;
@@ -500,10 +523,11 @@ fn execute_job(shared: &Arc<Shared>, req: &Request) -> Response {
             if applied {
                 counters.mutations.fetch_add(1, Ordering::Relaxed);
             }
+            // lint: allow(ackdurable): worker tier — durability is the pool front-end's job
             Response::Mutated { epoch, applied }
         }
         // Answered inline by the session thread; never queued.
-        Request::Hello | Request::Stats | Request::Shutdown => Response::Error {
+        Request::Hello { .. } | Request::Stats | Request::Shutdown => Response::Error {
             message: "request not queueable".to_string(),
         },
     }

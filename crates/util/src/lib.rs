@@ -26,6 +26,10 @@
 //! * [`framing`] — the shared `[len][crc][body]` stream envelope and
 //!   magic/version handshake preamble every TCP protocol in the
 //!   workspace (`mrbc-net`, `mrbc-serve`) speaks.
+//! * [`wal`] — a durable write-ahead log (CRC-framed records, rotating
+//!   segments, torn-tail truncation, group-commit fsync batching, and
+//!   snapshot compaction) backing the serving tier's ack-durability
+//!   promise.
 //!
 //! [`ReliableLink`]: https://docs.rs/mrbc-dgalois
 
@@ -36,6 +40,7 @@ mod flat_map;
 pub mod framing;
 pub mod stats;
 pub mod sync;
+pub mod wal;
 pub mod wire;
 
 pub use bitset::DenseBitset;

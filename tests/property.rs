@@ -180,6 +180,8 @@ fn arb_maskable_plan(hosts: usize) -> impl Strategy<Value = FaultPlan> {
             partitions: Vec::new(),
             stall_ms: 0,
             hangups: Vec::new(),
+            torn_wal_rec: None,
+            fsyncfail_ms: 0,
             drop_p: drop_pm as f64 / 1000.0,
             dup_p: dup_pm as f64 / 1000.0,
             delays: delays
