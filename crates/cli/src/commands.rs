@@ -87,7 +87,7 @@ OBSERVABILITY (any command):
   --metrics out.json  write a metrics snapshot (counters, histograms, and
                       the Theorem 1 / Lemma 8 bound-probe report) and arm
                       the online invariant probes
-  -v | --verbose      live progress line on stderr (round, frontier,
+  --verbose           live progress line on stderr (round, frontier,
                       sources settled, bytes)
 
 FAULT PLANS (--faults):
@@ -105,7 +105,10 @@ FAULT PLANS (--faults):
 ";
 
 /// Boolean switches `main` declares to the argument parser.
-pub const SWITCHES: &[&str] = &["v", "verbose", "verify"];
+// NB: "v" must NOT be a switch — `query bc --v V` takes a vertex id,
+// and a boolean `-v` would silently eat it (the query then defaults to
+// vertex 0, which is exactly the bug this comment is a tombstone for).
+pub const SWITCHES: &[&str] = &["verbose", "verify"];
 
 /// Structured command failure: the message to print and the process
 /// exit code the shell contract assigns it (1 = generic failure,
@@ -202,7 +205,7 @@ impl ObsRun {
             // alone stays probe-free (probes cost oracle BFS time).
             mrbc_obs::set_probes(metrics.is_some());
         }
-        mrbc_obs::set_verbose(p.has("v") || p.has("verbose"));
+        mrbc_obs::set_verbose(p.has("verbose"));
         ObsRun {
             trace,
             metrics,
@@ -357,6 +360,77 @@ fn cmd_check_json(p: &ParsedArgs) -> Result<String, String> {
             Ok(format!(
                 "{path}: valid {tag} document ({} cases, zero lost acked mutations)\n\
                  overhead budget: within bounds\n",
+                cases.len()
+            ))
+        }
+        // Incremental-maintenance bench (BENCH_incr.json): on top of
+        // the generic bench shape, the power-law case — the workload
+        // the serving tier is designed for — must clear the report's
+        // own speedup floor with a nonzero reuse ratio and a median
+        // affected-source fraction below half the graph. A report where
+        // the engine reuses nothing is a maintenance path that silently
+        // degraded to drop-and-recompute, and this gate is where that
+        // regression becomes a CI failure instead of a perf mystery.
+        (Some(tag @ "mrbc-bench-incr-v1"), _) => {
+            let cases = v
+                .get("cases")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| format!("{path}: bench document missing cases"))?;
+            let min_speedup = v
+                .get("min_speedup")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("{path}: missing or malformed min_speedup"))?;
+            let mut powerlaw = 0usize;
+            for c in cases {
+                let name = c.get("name").and_then(Value::as_str).unwrap_or("?");
+                let speedup = c
+                    .get("speedup")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("{path}: case {name:?} missing speedup"))?;
+                let reuse = c
+                    .get("reuse_ratio")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("{path}: case {name:?} missing reuse_ratio"))?;
+                let affected = c
+                    .get("affected_fraction_p50")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| {
+                        format!("{path}: case {name:?} missing affected_fraction_p50")
+                    })?;
+                if !name.starts_with("powerlaw") {
+                    continue;
+                }
+                powerlaw += 1;
+                if speedup < min_speedup {
+                    return Err(format!(
+                        "{path}: case {name:?} speedup {speedup:.2}x below the \
+                         {min_speedup:.1}x floor"
+                    ));
+                }
+                if reuse <= 0.0 {
+                    return Err(format!(
+                        "{path}: case {name:?} reused no per-source artifacts \
+                         (maintenance degraded to full recompute)"
+                    ));
+                }
+                if affected >= 0.5 {
+                    return Err(format!(
+                        "{path}: case {name:?} median affected-source fraction \
+                         {affected:.2} is not incremental"
+                    ));
+                }
+            }
+            if powerlaw == 0 {
+                return Err(format!("{path}: no power-law case to gate on"));
+            }
+            match v.get("within_budget").and_then(Value::as_bool) {
+                Some(true) => {}
+                Some(false) => return Err(format!("{path}: incremental speedup gate failed")),
+                None => return Err(format!("{path}: missing or malformed within_budget")),
+            }
+            Ok(format!(
+                "{path}: valid {tag} document ({} cases, power-law speedup floor \
+                 {min_speedup:.1}x)\noverhead budget: within bounds\n",
                 cases.len()
             ))
         }
@@ -971,7 +1045,7 @@ mod tests {
                 "2",
                 "--sources",
                 "8",
-                "-v",
+                "--verbose",
                 "--trace",
                 &trace,
                 "--metrics",
@@ -1114,6 +1188,81 @@ mod tests {
         std::fs::write(&path, noverdict).expect("write");
         let err = run(&p).unwrap_err();
         assert!(err.message.contains("within_budget"), "{err:?}");
+    }
+
+    #[test]
+    fn check_json_gates_incr_bench_reports() {
+        let path = tmpfile("cli_incr_bench.json");
+        let clean = "{\"schema\":\"mrbc-bench-incr-v1\",\"cases\":[\
+                     {\"name\":\"powerlaw-s8\",\"speedup\":25.3,\"reuse_ratio\":0.67,\
+                      \"affected_fraction_p50\":0.05},\
+                     {\"name\":\"road-12x24\",\"speedup\":14.0,\"reuse_ratio\":0.43,\
+                      \"affected_fraction_p50\":0.43}],\
+                     \"min_speedup\":3.0,\"within_budget\":true}";
+        std::fs::write(&path, clean).expect("write");
+        let p = parse(&sv(&["check-json", &path]), SWITCHES).expect("parse");
+        let rep = run(&p).expect("clean incr bench validates");
+        assert!(rep.contains("power-law speedup floor 3.0x"), "{rep}");
+
+        // A power-law speedup below the report's own floor fails.
+        let slow = clean.replacen("\"speedup\":25.3", "\"speedup\":2.1", 1);
+        std::fs::write(&path, slow).expect("write");
+        let err = run(&p).unwrap_err();
+        assert!(err.message.contains("below the 3.0x floor"), "{err:?}");
+
+        // Zero reuse on the power-law case means the maintenance path
+        // silently degraded to full recompute — fail loudly.
+        let inert = clean.replacen("\"reuse_ratio\":0.67", "\"reuse_ratio\":0.0", 1);
+        std::fs::write(&path, inert).expect("write");
+        let err = run(&p).unwrap_err();
+        assert!(err.message.contains("reused no per-source"), "{err:?}");
+
+        // A median affected fraction covering half the graph is not
+        // incremental maintenance, whatever the wall clock says.
+        let wide = clean.replacen(
+            "\"affected_fraction_p50\":0.05",
+            "\"affected_fraction_p50\":0.61",
+            1,
+        );
+        std::fs::write(&path, wide).expect("write");
+        let err = run(&p).unwrap_err();
+        assert!(err.message.contains("not incremental"), "{err:?}");
+
+        // The road case is reported but not gated: an adversarial
+        // affected fraction there must NOT fail validation.
+        let road_wide = clean.replacen(
+            "\"affected_fraction_p50\":0.43",
+            "\"affected_fraction_p50\":0.93",
+            1,
+        );
+        std::fs::write(&path, road_wide).expect("write");
+        run(&p).expect("road case is informational only");
+
+        // Without a power-law case there is nothing to gate on; that is
+        // a malformed report, not a pass.
+        let nopl = clean.replacen("powerlaw-s8", "mystery-s8", 1);
+        std::fs::write(&path, nopl).expect("write");
+        let err = run(&p).unwrap_err();
+        assert!(err.message.contains("no power-law case"), "{err:?}");
+
+        // The verdict and the floor are mandatory for this schema.
+        let noverdict = clean.replace(",\"within_budget\":true", "");
+        std::fs::write(&path, noverdict).expect("write");
+        let err = run(&p).unwrap_err();
+        assert!(err.message.contains("within_budget"), "{err:?}");
+        let nofloor = clean.replace("\"min_speedup\":3.0,", "");
+        std::fs::write(&path, nofloor).expect("write");
+        let err = run(&p).unwrap_err();
+        assert!(err.message.contains("min_speedup"), "{err:?}");
+    }
+
+    /// `query bc --v V` must reach the daemon with vertex V: parsing
+    /// through the binary's real switch list (the path `main` takes)
+    /// must treat `--v` as a valued flag, not a verbose toggle.
+    #[test]
+    fn query_vertex_flag_is_not_eaten_by_a_switch() {
+        let p = parse(&sv(&["query", "127.0.0.1:1", "bc", "--v", "3"]), SWITCHES).expect("parse");
+        assert_eq!(p.get_or("v", 0u32).expect("valued"), 3);
     }
 
     #[test]

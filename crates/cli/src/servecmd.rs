@@ -335,7 +335,11 @@ fn render_stats(s: &ServeStats) -> String {
          queue depth:        {}\n\
          hedges fired:       {}\n\
          failover attempts:  {}\n\
-         replayed mutations: {}\n",
+         replayed mutations: {}\n\
+         sources reused:     {}\n\
+         sources rebuilt:    {}\n\
+         reuse ratio:        {:.2}\n\
+         full fallbacks:     {}\n",
         s.epoch,
         s.sessions,
         s.queries,
@@ -350,6 +354,10 @@ fn render_stats(s: &ServeStats) -> String {
         s.hedge_fired,
         s.failover_attempts,
         s.replay_mutations,
+        s.sources_reused,
+        s.sources_rebuilt,
+        s.reuse_ratio(),
+        s.fallback_full,
     );
     for (name, h) in &s.hists {
         out += &format!(
@@ -596,6 +604,15 @@ mod tests {
         let stats = cmd_query(&p).expect("stats");
         assert!(stats.contains("coalescing factor"), "{stats}");
         assert!(stats.contains("stale rejections:   1"), "{stats}");
+        // The mutate above ran against a warm engine (the earlier bc
+        // query built it), so the maintenance counters are live: every
+        // source is either reused or rebuilt, never zero of both.
+        assert!(stats.contains("sources reused:"), "{stats}");
+        assert!(stats.contains("reuse ratio:"), "{stats}");
+        assert!(
+            !stats.contains("sources rebuilt:    0\n"),
+            "a maintained mutation rebuilds at least the affected cone: {stats}"
+        );
 
         let p = parse(&sv(&["query", &addr, "shutdown"]), &[]).expect("parse");
         assert!(cmd_query(&p).expect("shutdown").contains("acknowledged"));

@@ -27,8 +27,8 @@ mod session;
 mod stats;
 
 pub use plan::{
-    CrashFault, DelayFault, FaultParseError, FaultPlan, KillFault, PartitionFault, WorkerKillFault,
-    WorkerPauseFault,
+    ChurnFault, CrashFault, DelayFault, FaultParseError, FaultPlan, KillFault, PartitionFault,
+    WorkerKillFault, WorkerPauseFault,
 };
 pub use session::FaultSession;
 pub use stats::RecoveryStats;

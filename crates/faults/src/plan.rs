@@ -16,6 +16,7 @@
 //! hangup:session=2           the daemon force-closes its 2nd accepted session
 //! torn:wal@rec=5             the pool front-end's WAL tears (half-writes) its 5th record
 //! fsyncfail:ms=120           WAL fsyncs start failing 120 ms of flush budget in
+//! churn:edges=64@seed=9      the pool front-end drives a seeded 64-mutation edge storm
 //! seed=42                    RNG seed for the probabilistic clauses
 //! ```
 //!
@@ -46,6 +47,14 @@
 //! `D` milliseconds of flush budget have been consumed (an unsyncable
 //! disk — the front-end must refuse further acks with `WalFault`, never
 //! acknowledge unsynced data).
+//!
+//! `churn` targets the supervised pool as *load*, not damage: the
+//! front-end streams `K` edge mutations derived deterministically from
+//! the clause's own seed through its normal broadcast/WAL path, so chaos
+//! runs and smoke tests can hold sustained mutating traffic while other
+//! clauses (kills, torn writes) fire mid-storm. Two pools given the same
+//! clause and the same initial graph apply the identical mutation
+//! sequence — the parity assertion the mutate-heavy smoke leans on.
 //!
 //! `stall` and `hangup` target the long-running query service
 //! (`mrbc-serve`): `stall` delays the batch worker a wall-clock window
@@ -131,6 +140,21 @@ pub struct PartitionFault {
     pub ms: u32,
 }
 
+/// A seeded mutation storm: the pool front-end applies `edges` edge
+/// mutations whose endpoints (and add/remove choice) derive
+/// deterministically from `seed`, through the same broadcast + WAL path
+/// client mutations take. Sustained mutating load for chaos runs —
+/// reproducible, so two pools given the same clause stay in lockstep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChurnFault {
+    /// Number of mutations in the storm.
+    pub edges: u64,
+    /// Seed the endpoint/op stream derives from (independent of the
+    /// plan-level `seed`, so a storm can be pinned while probabilistic
+    /// clauses vary).
+    pub seed: u64,
+}
+
 /// A declarative, seeded description of the faults to inject into a run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FaultPlan {
@@ -166,6 +190,9 @@ pub struct FaultPlan {
     /// Milliseconds of WAL flush budget after which every fsync fails
     /// (simulated unsyncable disk); 0 means fsyncs never fail.
     pub fsyncfail_ms: u64,
+    /// Seeded mutation storm the pool front-end drives; `None` means no
+    /// churn.
+    pub churn: Option<ChurnFault>,
 }
 
 impl Default for FaultPlan {
@@ -184,6 +211,7 @@ impl Default for FaultPlan {
             hangups: Vec::new(),
             torn_wal_rec: None,
             fsyncfail_ms: 0,
+            churn: None,
         }
     }
 }
@@ -203,6 +231,7 @@ impl FaultPlan {
             && self.hangups.is_empty()
             && self.torn_wal_rec.is_none()
             && self.fsyncfail_ms == 0
+            && self.churn.is_none()
     }
 
     /// True if the plan contains only masked faults (drops, duplication,
@@ -218,7 +247,9 @@ impl FaultPlan {
     /// is maskable like `stall`; a worker *kill* destroys in-flight work
     /// and is not. A torn WAL write or a failing fsync breaks the
     /// durability contract itself — clients see `WalFault` refusals, so
-    /// neither is masked.
+    /// neither is masked. A `churn` storm mutates the served graph on
+    /// purpose — results legitimately differ from a storm-free run, so
+    /// it is never masked.
     pub fn is_maskable(&self) -> bool {
         self.crashes.is_empty()
             && self.kills.is_empty()
@@ -226,6 +257,7 @@ impl FaultPlan {
             && self.hangups.is_empty()
             && self.torn_wal_rec.is_none()
             && self.fsyncfail_ms == 0
+            && self.churn.is_none()
     }
 }
 
@@ -375,6 +407,16 @@ impl FromStr for FaultPlan {
                 }
                 // fsyncfail:ms=D — WAL fsyncs fail after D ms of flush budget.
                 "fsyncfail" => plan.fsyncfail_ms = keyed(body, "ms")?,
+                "churn" => {
+                    // churn:edges=K@seed=S — seeded pool mutation storm.
+                    let (edges_kv, seed_kv) = body.split_once('@').ok_or_else(|| {
+                        err(format!("churn clause {body:?}: expected edges=K@seed=S"))
+                    })?;
+                    plan.churn = Some(ChurnFault {
+                        edges: keyed(edges_kv, "edges")?,
+                        seed: keyed(seed_kv, "seed")?,
+                    });
+                }
                 "delay" => {
                     // delay:pair=A-B,rounds=K
                     let (pair_kv, rounds_kv) = body.split_once(',').ok_or_else(|| {
@@ -443,6 +485,9 @@ impl fmt::Display for FaultPlan {
         if self.fsyncfail_ms > 0 {
             parts.push(format!("fsyncfail:ms={}", self.fsyncfail_ms));
         }
+        if let Some(c) = self.churn {
+            parts.push(format!("churn:edges={}@seed={}", c.edges, c.seed));
+        }
         parts.push(format!("seed={}", self.seed));
         write!(f, "{}", parts.join(";"))
     }
@@ -496,7 +541,8 @@ mod tests {
         let text = "crash:host=2@round=40;drop:p=0.01;dup:p=0.005;delay:pair=0-3,rounds=2;\
                     kill:host=1@round=12;kill:worker=2@query=25;pause:worker=0:ms=400;\
                     partition:pair=0-2@round=9,ms=300;stall:ms=150;\
-                    hangup:session=2;torn:wal@rec=5;fsyncfail:ms=120;seed=42";
+                    hangup:session=2;torn:wal@rec=5;fsyncfail:ms=120;\
+                    churn:edges=64@seed=9;seed=42";
         let plan: FaultPlan = text.parse().expect("plan");
         assert_eq!(plan.to_string(), text);
         let again: FaultPlan = plan.to_string().parse().expect("round trip");
@@ -597,6 +643,9 @@ mod tests {
             ("torn:wal@seq=3", "expected key"),
             ("fsyncfail:ms=never", "cannot parse ms"),
             ("fsyncfail:after=9", "expected key"),
+            ("churn:edges=8", "edges=K@seed=S"),
+            ("churn:edges=8@rng=3", "expected key"),
+            ("churn:edges=lots@seed=3", "cannot parse edges"),
             ("seed=banana", "seed"),
             ("justaword", "no kind"),
         ] {
@@ -616,6 +665,22 @@ mod tests {
         assert_eq!(plan.fsyncfail_ms, 250);
         assert!(!plan.is_empty());
         assert!(!plan.is_maskable(), "a failing fsync surfaces to clients");
+    }
+
+    #[test]
+    fn churn_clause_parses_and_is_never_masked() {
+        let plan: FaultPlan = "churn:edges=64@seed=9".parse().expect("plan");
+        assert_eq!(plan.churn, Some(ChurnFault { edges: 64, seed: 9 }));
+        assert!(!plan.is_empty());
+        assert!(
+            !plan.is_maskable(),
+            "a mutation storm changes served results by design"
+        );
+        // Last occurrence wins, like the other scalar clauses.
+        let last: FaultPlan = "churn:edges=4@seed=1;churn:edges=8@seed=2"
+            .parse()
+            .expect("plan");
+        assert_eq!(last.churn, Some(ChurnFault { edges: 8, seed: 2 }));
     }
 
     #[test]

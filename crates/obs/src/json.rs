@@ -177,6 +177,14 @@ impl Value {
         }
     }
 
+    /// The numeric payload as f64, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(f) => Some(*f),
+            _ => None,
+        }
+    }
+
     /// The boolean payload, if this is a boolean.
     pub fn as_bool(&self) -> Option<bool> {
         match self {

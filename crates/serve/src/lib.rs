@@ -40,4 +40,7 @@ pub use pool::{start_pool, Pool, PoolConfig, PoolStats, WorkerSpawn};
 pub use proto::{MutateOp, Request, Response, ServeStats, TraceCtx};
 pub use sched::SchedConfig;
 pub use server::{start, ServeConfig, Server};
-pub use store::EpochStore;
+pub use store::{EpochStore, ForwardArtifacts, MutationOutcome};
+// The incremental-maintenance knobs, re-exported so embedders and the
+// benches can configure the store without a direct mrbc-incr edge.
+pub use mrbc_incr::{IncrConfig, IncrOutcome};

@@ -53,7 +53,7 @@ use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
 use mrbc_core::BcConfig;
-use mrbc_faults::FaultPlan;
+use mrbc_faults::{ChurnFault, FaultPlan};
 use mrbc_graph::CsrGraph;
 use mrbc_net::detector::{DetectorConfig, HeartbeatDetector, PeerStatus};
 use mrbc_net::mesh::now_ms;
@@ -166,6 +166,11 @@ pub struct PoolStats {
     pub respawns: u64,
     /// Mutations replayed into respawned workers during recovery.
     pub replayed_mutations: u64,
+    /// `churn:` storm mutations driven so far (acknowledged or refused
+    /// by validation — either way the storm step completed).
+    pub churn_driven: u64,
+    /// Total storm size from the `churn:` clause (0 = no churn).
+    pub churn_total: u64,
 }
 
 #[derive(Default)]
@@ -178,6 +183,8 @@ struct PoolCounters {
     hedges: AtomicU64,
     respawns: AtomicU64,
     replayed_mutations: AtomicU64,
+    churn_driven: AtomicU64,
+    churn_total: AtomicU64,
 }
 
 impl PoolCounters {
@@ -191,6 +198,8 @@ impl PoolCounters {
             hedges: self.hedges.load(Ordering::Relaxed),
             respawns: self.respawns.load(Ordering::Relaxed),
             replayed_mutations: self.replayed_mutations.load(Ordering::Relaxed),
+            churn_driven: self.churn_driven.load(Ordering::Relaxed),
+            churn_total: self.churn_total.load(Ordering::Relaxed),
         }
     }
 }
@@ -436,6 +445,7 @@ pub struct Pool {
     shared: Arc<PoolShared>,
     listener: Option<JoinHandle<()>>,
     supervisor: Option<JoinHandle<()>>,
+    churn: Option<JoinHandle<()>>,
 }
 
 /// Starts `cfg.workers` serve workers plus the routing front-end.
@@ -523,12 +533,31 @@ pub fn start_pool(spawn: WorkerSpawn, cfg: PoolConfig) -> io::Result<Pool> {
             .name("pool-listen".into())
             .spawn(move || listener_loop(listener, &shared))?
     };
+    // The churn clause runs after the workers are up (graph_info is
+    // populated by the handshakes above), so the storm hits a serving
+    // pool, not a cold one.
+    let churn = match cfg.faults.as_ref().and_then(|p| p.churn) {
+        Some(clause) => {
+            shared
+                .counters
+                .churn_total
+                .store(clause.edges, Ordering::Relaxed);
+            let shared = Arc::clone(&shared);
+            Some(
+                thread::Builder::new()
+                    .name("pool-churn".into())
+                    .spawn(move || churn_loop(&shared, clause))?,
+            )
+        }
+        None => None,
+    };
 
     Ok(Pool {
         local_addr,
         shared,
         listener: Some(accept),
         supervisor: Some(supervisor),
+        churn,
     })
 }
 
@@ -594,6 +623,9 @@ impl Pool {
     /// Blocks until the front-end and supervisor threads exit.
     pub fn wait(&mut self) {
         if let Some(h) = self.listener.take() {
+            drop(h.join());
+        }
+        if let Some(h) = self.churn.take() {
             drop(h.join());
         }
         if let Some(h) = self.supervisor.take() {
@@ -1149,6 +1181,59 @@ fn execute_chaos(shared: &Arc<PoolShared>, plan: &FaultPlan, chaos: &mut ChaosSt
     }
 }
 
+/// The `i`-th mutation of a `churn:edges=K@seed=S` storm over an
+/// `n`-vertex graph. Pure function of `(i, seed, n)`: two pools running
+/// the same clause over the same graph derive the identical sequence —
+/// the parity contract the mutate-heavy smoke asserts. Ops alternate
+/// add/remove so the epoch keeps advancing; a self-loop draw is nudged
+/// to the next vertex because the store rejects self-loops as no-ops.
+fn churn_mutation(i: u64, seed: u64, n: u64) -> (MutateOp, u32, u32) {
+    let bits = mrbc_util::splitmix64(seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let u = (bits % n) as u32;
+    let mut v = ((bits >> 32) % n) as u32;
+    if u == v {
+        v = (v + 1) % n as u32;
+    }
+    let op = if i.is_multiple_of(2) {
+        MutateOp::AddEdge
+    } else {
+        MutateOp::RemoveEdge
+    };
+    (op, u, v)
+}
+
+/// Drives the `churn:` clause: a seeded storm of edge mutations pushed
+/// through the same broadcast + durability path client mutations take
+/// (WAL append, fsync barrier, replay into respawned workers). A step
+/// that cannot currently be accepted (`Retry` — e.g. every worker down
+/// mid-respawn) is retried rather than skipped, so the applied sequence
+/// never diverges between runs; a `WalFault` means the durability
+/// contract itself is broken and aborts the storm, matching what a real
+/// client would observe.
+fn churn_loop(shared: &Arc<PoolShared>, clause: ChurnFault) {
+    let n = shared.graph_info.lock().map(|g| g.0).unwrap_or(0);
+    if n < 2 {
+        return; // no non-self-loop edge exists to mutate
+    }
+    for i in 0..clause.edges {
+        let (op, u, v) = churn_mutation(i, clause.seed, n);
+        loop {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            match broadcast_mutate(shared, op, u, v) {
+                Response::Mutated { .. } | Response::Error { .. } => break,
+                Response::WalFault { .. } => return,
+                _ => thread::sleep(Duration::from_millis(5)),
+            }
+        }
+        shared.counters.churn_driven.fetch_add(1, Ordering::Relaxed);
+        // A breath between steps keeps the storm sustained (overlapping
+        // queries, kills, snapshots) instead of one opening burst.
+        thread::sleep(Duration::from_millis(1));
+    }
+}
+
 // ---------------------------------------------------------------------
 // Routing
 // ---------------------------------------------------------------------
@@ -1283,6 +1368,13 @@ fn aggregate_stats(shared: &Arc<PoolShared>) -> Response {
             total.busy_rejections += s.busy_rejections;
             total.stale_rejections += s.stale_rejections;
             total.mutations = total.mutations.max(s.mutations);
+            // Maintenance work is deterministic and replicated: every
+            // worker rebuilds the same sources for the same mutation
+            // stream, so (like `mutations`) one worker's counters
+            // represent the pool — summing would multiply by fan-out.
+            total.sources_reused = total.sources_reused.max(s.sources_reused);
+            total.sources_rebuilt = total.sources_rebuilt.max(s.sources_rebuilt);
+            total.fallback_full = total.fallback_full.max(s.fallback_full);
             total.queue_depth += s.queue_depth;
             total.merge_hists(&s);
             answered = true;
@@ -1310,6 +1402,9 @@ fn aggregate_stats(shared: &Arc<PoolShared>) -> Response {
         total.busy_rejections += base.busy_rejections;
         total.stale_rejections += base.stale_rejections;
         total.mutations = total.mutations.max(base.mutations);
+        total.sources_reused = total.sources_reused.max(base.sources_reused);
+        total.sources_rebuilt = total.sources_rebuilt.max(base.sources_rebuilt);
+        total.fallback_full = total.fallback_full.max(base.fallback_full);
         total.sessions += base.sessions;
         total.hedge_fired += base.hedge_fired;
         total.failover_attempts += base.failover_attempts;
@@ -1849,6 +1944,53 @@ mod tests {
         c.shutdown().expect("bye");
         pool.wait();
         assert!(pool.is_shutting_down());
+    }
+
+    /// Runs a pool with the given churn clause to storm completion and
+    /// returns its final (epoch, full-BC probe bits) for parity checks.
+    fn churn_run(workers: usize, clause: &str) -> (u64, Vec<u64>) {
+        let spawn = WorkerSpawn::InProcess {
+            graph: test_graph(),
+            bc: Box::default(),
+            sched: SchedConfig::default(),
+        };
+        let cfg = PoolConfig {
+            workers,
+            dispatch_timeout_ms: 20_000,
+            faults: Some(clause.parse().expect("churn clause")),
+            ..PoolConfig::default()
+        };
+        let mut pool = start_pool(spawn, cfg).expect("pool starts");
+        let deadline = now_ms() + 30_000;
+        loop {
+            let s = pool.pool_stats();
+            if s.churn_total > 0 && s.churn_driven == s.churn_total {
+                break;
+            }
+            assert!(now_ms() < deadline, "churn storm never completed: {s:?}");
+            thread::sleep(Duration::from_millis(10));
+        }
+        let mut c = quick_client(pool.local_addr());
+        let epoch = pool.epoch();
+        let bits: Vec<u64> = (0..12)
+            .map(|v| c.bc_score(0, v).expect("bc after storm").1.to_bits())
+            .collect();
+        pool.shutdown();
+        (epoch, bits)
+    }
+
+    #[test]
+    fn churn_storms_are_deterministic_across_pools() {
+        // Same clause, different worker counts: identical mutation
+        // sequence, hence identical final epoch and BC bits.
+        let (e1, b1) = churn_run(1, "churn:edges=10@seed=7");
+        let (e2, b2) = churn_run(2, "churn:edges=10@seed=7");
+        assert!(e1 > 1, "storm must advance the epoch");
+        assert_eq!(e1, e2);
+        assert_eq!(b1, b2);
+        // A different seed drives a different storm.
+        let (_, b3) = churn_run(1, "churn:edges=10@seed=8");
+        assert_ne!(b1, b3);
     }
 
     fn durable_pool(workers: usize, wal_dir: &std::path::Path) -> Pool {

@@ -37,7 +37,9 @@ pub const SERVE_MAGIC: u32 = 0x5653_524D;
 /// v3: generation number in Hello/Welcome (split-brain fencing for
 /// restarted pool front-ends) and the WalFault response (durability
 /// lost; maps to exit code 8).
-pub const SERVE_VERSION: u32 = 3;
+/// v4: epoch-maintenance counters in Stats (`sources_reused` /
+/// `sources_rebuilt` / `fallback_full` from the incremental engine).
+pub const SERVE_VERSION: u32 = 4;
 
 /// Trace correlation context carried on every request: the originating
 /// query's trace id and the span id of the sender's enclosing span.
@@ -221,6 +223,14 @@ pub struct ServeStats {
     /// Mutations replayed into respawned workers to rebuild their
     /// graph state (total ops across all respawns).
     pub replay_mutations: u64,
+    /// Per-source artifacts the incremental maintenance engine reused
+    /// across epoch bumps (summed over applied mutations).
+    pub sources_reused: u64,
+    /// Per-source artifacts the maintenance engine rebuilt.
+    pub sources_rebuilt: u64,
+    /// Mutations that tripped the engine's full-rebuild fallback
+    /// (affected fraction over threshold).
+    pub fallback_full: u64,
     /// Per-phase latency histograms (`serve.queue_us`, `serve.exec_us`,
     /// `serve.total_us`), mergeable across workers; sorted by name.
     pub hists: Vec<(String, Histogram)>,
@@ -235,6 +245,18 @@ impl ServeStats {
             1.0
         } else {
             self.source_queries as f64 / self.batches as f64
+        }
+    }
+
+    /// Fraction of per-source artifacts the incremental engine reused
+    /// across all maintained epoch bumps (0.0 before any maintained
+    /// mutation — nothing reused yet is the honest reading).
+    pub fn reuse_ratio(&self) -> f64 {
+        let total = self.sources_reused + self.sources_rebuilt;
+        if total == 0 {
+            0.0
+        } else {
+            self.sources_reused as f64 / total as f64
         }
     }
 
@@ -274,6 +296,9 @@ pub fn encode_stats(w: &mut WireWriter, s: &ServeStats) {
     w.u64(s.hedge_fired);
     w.u64(s.failover_attempts);
     w.u64(s.replay_mutations);
+    w.u64(s.sources_reused);
+    w.u64(s.sources_rebuilt);
+    w.u64(s.fallback_full);
     w.u32(s.hists.len() as u32);
     for (name, h) in &s.hists {
         w.bytes(name.as_bytes());
@@ -306,6 +331,9 @@ pub fn decode_stats(r: &mut WireReader<'_>) -> Result<ServeStats, WireError> {
         hedge_fired: r.u64()?,
         failover_attempts: r.u64()?,
         replay_mutations: r.u64()?,
+        sources_reused: r.u64()?,
+        sources_rebuilt: r.u64()?,
+        fallback_full: r.u64()?,
         hists: Vec::new(),
     };
     let nhists = r.u32()? as usize;
@@ -896,6 +924,9 @@ mod tests {
                 hedge_fired: 2,
                 failover_attempts: 1,
                 replay_mutations: 4,
+                sources_reused: 120,
+                sources_rebuilt: 8,
+                fallback_full: 1,
                 hists: {
                     let mut h = Histogram::default();
                     h.record(120);

@@ -85,6 +85,14 @@ pub struct Counters {
     pub stale_rejections: AtomicU64,
     /// Applied (epoch-bumping) mutations.
     pub mutations: AtomicU64,
+    /// Per-source artifacts reused across epoch bumps by the
+    /// incremental maintenance engine.
+    pub sources_reused: AtomicU64,
+    /// Per-source artifacts rebuilt by the maintenance engine.
+    pub sources_rebuilt: AtomicU64,
+    /// Mutations where the affected fraction tripped the engine's
+    /// full-rebuild fallback.
+    pub fallback_full: AtomicU64,
     /// Accepted client sessions.
     pub sessions: AtomicU64,
     /// Per-phase latency histograms. Always on — the log-bucketed
@@ -135,6 +143,9 @@ impl Counters {
             busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
             stale_rejections: self.stale_rejections.load(Ordering::Relaxed),
             mutations: self.mutations.load(Ordering::Relaxed),
+            sources_reused: self.sources_reused.load(Ordering::Relaxed),
+            sources_rebuilt: self.sources_rebuilt.load(Ordering::Relaxed),
+            fallback_full: self.fallback_full.load(Ordering::Relaxed),
             sessions: self.sessions.load(Ordering::Relaxed),
             queue_depth,
             hedge_fired: 0,

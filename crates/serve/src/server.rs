@@ -519,12 +519,28 @@ fn execute_job(shared: &Arc<Shared>, req: &Request) -> Response {
             if *v >= n {
                 return oob("vertex", *v);
             }
-            let (epoch, applied) = store.mutate(*op, *u, *v);
-            if applied {
+            let out = store.mutate(*op, *u, *v);
+            if out.applied {
                 counters.mutations.fetch_add(1, Ordering::Relaxed);
             }
+            if let Some(m) = out.maintenance {
+                counters
+                    .sources_reused
+                    .fetch_add(m.sources_reused, Ordering::Relaxed);
+                counters
+                    .sources_rebuilt
+                    .fetch_add(m.sources_rebuilt, Ordering::Relaxed);
+                if m.fallback_full {
+                    counters.fallback_full.fetch_add(1, Ordering::Relaxed);
+                }
+                obs::counter_add("serve.incr.sources_reused", m.sources_reused);
+                obs::counter_add("serve.incr.sources_rebuilt", m.sources_rebuilt);
+            }
             // lint: allow(ackdurable): worker tier — durability is the pool front-end's job
-            Response::Mutated { epoch, applied }
+            Response::Mutated {
+                epoch: out.epoch,
+                applied: out.applied,
+            }
         }
         // Answered inline by the session thread; never queued.
         Request::Hello { .. } | Request::Stats | Request::Shutdown => Response::Error {

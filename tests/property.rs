@@ -182,6 +182,7 @@ fn arb_maskable_plan(hosts: usize) -> impl Strategy<Value = FaultPlan> {
             hangups: Vec::new(),
             torn_wal_rec: None,
             fsyncfail_ms: 0,
+            churn: None,
             drop_p: drop_pm as f64 / 1000.0,
             dup_p: dup_pm as f64 / 1000.0,
             delays: delays
